@@ -1,0 +1,16 @@
+"""Helper shared by the benchmark modules (kept out of conftest so it can be
+imported explicitly)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+
+def run_and_report(benchmark, results_dir: Path, runner, name: str):
+    """Execute ``runner`` once under pytest-benchmark and persist its report."""
+    result = benchmark.pedantic(runner, rounds=1, iterations=1)
+    report = result.report()
+    (results_dir / f"{name}.txt").write_text(report + "\n")
+    print()
+    print(report)
+    return result

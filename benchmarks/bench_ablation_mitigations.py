@@ -1,0 +1,68 @@
+"""Ablation benchmark: compare the interference mitigations on one scenario.
+
+Not a figure of the paper, but the natural follow-up its Section V calls for:
+each related-work mitigation targets one point of contention; here they are
+evaluated on equal footing (same baseline scenario, same Δ sweep) so their
+interference reduction can be weighed against their cost to interference-free
+performance.
+"""
+
+from _bench_utils import run_and_report  # noqa: F401  (kept for symmetry)
+
+from repro.core.reporting import format_table
+from repro.config.presets import make_scenario
+from repro.mitigation import (
+    DedicatedWriters,
+    ServerPartitioning,
+    ServerSideCoordination,
+    SourceRateLimit,
+    evaluate_mitigation,
+)
+from repro import units
+
+
+def test_ablation_mitigations(benchmark, results_dir, bench_scale):
+    """Interference reduction vs single-application cost for each mitigation."""
+
+    mitigations = [
+        DedicatedWriters(writers_per_node=1),
+        SourceRateLimit(node_bw=120 * units.MiB),
+        ServerPartitioning(),
+        ServerSideCoordination(),
+    ]
+
+    def runner():
+        scenario = make_scenario(bench_scale, device="hdd", sync_mode="sync-on")
+        outcomes = [
+            evaluate_mitigation(m, scenario, deltas=[-1.0, 0.0, 1.0]) for m in mitigations
+        ]
+        return outcomes
+
+    outcomes = benchmark.pedantic(runner, rounds=1, iterations=1)
+    rows = []
+    for outcome in outcomes:
+        summary = outcome.summary()
+        rows.append(
+            [
+                outcome.name,
+                round(summary["peak_if_baseline"], 2),
+                round(summary["peak_if_mitigated"], 2),
+                round(summary["alone_cost"], 2),
+                outcome.worth_it(),
+            ]
+        )
+    report = format_table(
+        ["mitigation", "peak IF before", "peak IF after", "alone cost", "worth it"],
+        rows,
+        title="[ablation] interference mitigations (HDD, sync ON)",
+    )
+    (results_dir / "ablation_mitigations.txt").write_text(report + "\n")
+    print()
+    print(report)
+
+    by_name = {o.name: o for o in outcomes}
+    # Partitioning and aggregation must reduce the peak interference factor.
+    assert by_name["server-partitioning"].interference_reduction > 0.4
+    assert by_name["dedicated-writers"].mitigated_peak_if <= (
+        by_name["dedicated-writers"].baseline_peak_if + 0.1
+    )

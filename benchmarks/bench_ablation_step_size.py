@@ -1,0 +1,68 @@
+"""Ablation benchmark: sensitivity of the results to the fluid-model step size.
+
+DESIGN.md's model section advances the fluid model with a fixed step chosen
+automatically from the expected run length.  This ablation re-runs the same
+contended configuration with explicit steps spanning a factor of ~6 and
+checks that the headline quantities (write time at dt=0, interference factor)
+move by only a few percent — i.e. the reproduction results are not an
+artifact of the default step choice.
+"""
+
+from _bench_utils import run_and_report  # noqa: F401  (kept for symmetry)
+
+from repro.config.presets import make_scenario
+from repro.config.scenario import SimulationControl
+from repro.core.reporting import format_table
+from repro.model.simulator import simulate_scenario
+
+
+STEPS_MS = (4.0, 10.0, 25.0)
+
+
+def test_ablation_step_size(benchmark, results_dir, bench_scale):
+    """Write time at dt=0 for several fluid-model step sizes."""
+
+    def runner():
+        times = {}
+        for step_ms in STEPS_MS:
+            scenario = make_scenario(
+                bench_scale, device="hdd", sync_mode="sync-off", delay=0.0,
+                step=step_ms * 1e-3,
+            )
+            alone = scenario.with_applications(scenario.applications[:1])
+            alone_time = simulate_scenario(alone).write_time("A")
+            contended = simulate_scenario(scenario)
+            times[step_ms] = (alone_time, contended.write_time("A"))
+        return times
+
+    times = benchmark.pedantic(runner, rounds=1, iterations=1)
+
+    rows = []
+    for step_ms, (alone, contended) in sorted(times.items()):
+        rows.append([step_ms, round(alone, 3), round(contended, 3),
+                     round(contended / alone, 2)])
+    report = format_table(
+        ["step (ms)", "alone (s)", "contended dt=0 (s)", "interference factor"],
+        rows,
+        title="[ablation] fluid-model step-size sensitivity (HDD, sync OFF)",
+    )
+    (results_dir / "ablation_step_size.txt").write_text(report + "\n")
+    print()
+    print(report)
+
+    contended_times = [c for (_a, c) in times.values()]
+    spread = (max(contended_times) - min(contended_times)) / min(contended_times)
+    factors = [c / a for (a, c) in times.values()]
+    # The step size must not change the story: write times within ~10%, and
+    # the interference factor stays around 2 for every step.
+    assert spread < 0.10
+    assert all(1.6 < f < 2.4 for f in factors)
+
+
+def test_step_resolution_defaults():
+    """The automatic step choice respects its configured bounds."""
+    control = SimulationControl()
+    assert control.min_step <= control.resolve_step(10.0) <= control.max_step
+    assert control.resolve_step(0.0) == control.min_step
+    explicit = SimulationControl(step=0.004)
+    assert explicit.resolve_step(1000.0) == 0.004

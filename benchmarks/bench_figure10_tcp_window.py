@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 10 (TCP window evolution / Incast)."""
+
+from _bench_utils import run_and_report
+
+from repro.experiments import figure10
+
+
+def test_figure10_tcp_window(benchmark, results_dir, bench_scale):
+    """Window traces of an independent vs an interfering run (paper Figure 10)."""
+
+    def runner():
+        return figure10.run(scale=bench_scale)
+
+    result = run_and_report(benchmark, results_dir, runner, "figure10")
+    rows = {row["run"]: row for row in result.table("figure10_windows")}
+
+    # Under contention the traced windows spend time near the floor and the
+    # run accumulates many timeout collapses; alone it does not.
+    assert rows["interfering"]["window_collapses"] > 50
+    assert rows["alone"]["window_collapses"] < rows["interfering"]["window_collapses"] / 5
+    assert rows["interfering"]["time_near_floor"] >= rows["alone"]["time_near_floor"]
+    assert result.metric("incast_detected") == 1.0

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 11 (unfairness between first and second app)."""
+
+from _bench_utils import run_and_report
+
+from repro.experiments import figure11
+
+
+def test_figure11_unfairness(benchmark, results_dir, bench_scale):
+    """Window size and progress per application with a staggered start (Figure 11)."""
+
+    def runner():
+        return figure11.run(scale=bench_scale)
+
+    result = run_and_report(benchmark, results_dir, runner, "figure11")
+    rows = {row["application"]: row for row in result.table("figure11_summary")}
+
+    first, second = rows["A"], rows["B"]
+    # The second application suffers far more window collapses and is slowed
+    # down from an earlier point of its transfer than the first one.
+    assert second["window_collapses"] > first["window_collapses"]
+    assert second["progress_at_slowdown"] <= first["progress_at_slowdown"] + 0.05

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 12 (Incast appearance vs client count)."""
+
+from _bench_utils import run_and_report
+
+from repro.experiments import figure12
+
+
+def test_figure12_client_count(benchmark, results_dir, bench_scale):
+    """Δ-graphs for growing client counts (paper Figure 12)."""
+
+    def runner():
+        return figure12.run(scale=bench_scale, n_points=5)
+
+    result = run_and_report(benchmark, results_dir, runner, "figure12")
+    rows = sorted(result.table("figure12_summary"), key=lambda r: r["total_clients"])
+
+    # Window collapses (the Incast signature) appear only above a client-count
+    # threshold and grow with the number of clients.
+    assert rows[0]["collapses"] < rows[-1]["collapses"]
+    assert rows[-1]["collapses"] > 100
+    # The unfairness (positive asymmetry) is present at the largest count.
+    assert rows[-1]["asymmetry"] > -0.02

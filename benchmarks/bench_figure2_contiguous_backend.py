@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 2 (contiguous pattern, backend devices)."""
+
+from _bench_utils import run_and_report
+
+from repro.experiments import figure2
+
+
+def test_figure2_contiguous_backend(benchmark, results_dir, bench_scale):
+    """Δ-graphs per backend device and sync mode (paper Figure 2)."""
+
+    def runner():
+        return figure2.run(scale=bench_scale, n_points=7)
+
+    result = run_and_report(benchmark, results_dir, runner, "figure2")
+
+    # Every real backend peaks near (or above) a 2x slowdown.
+    for device in ("hdd", "ssd", "ram"):
+        assert result.sweep(f"{device}.sync-on").peak_interference_factor() > 1.7
+        assert result.sweep(f"{device}.sync-off").peak_interference_factor() > 1.7
+    # Only the HDD/sync-ON configuration triggers Incast (asymmetry + collapses).
+    hdd_on = result.sweep("hdd.sync-on")
+    assert hdd_on.total_collapses() > 0
+    assert hdd_on.asymmetry_index() > 0.05
+    # Null-aio shows (almost) no interference.
+    assert result.sweep("null-aio").is_flat(0.2)

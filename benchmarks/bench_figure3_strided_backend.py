@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 3 (strided pattern, backend devices)."""
+
+from _bench_utils import run_and_report
+
+from repro.experiments import figure3
+
+
+def test_figure3_strided_backend(benchmark, results_dir, bench_scale):
+    """Δ-graphs for the strided pattern per backend device (paper Figure 3)."""
+
+    def runner():
+        return figure3.run(scale=bench_scale, n_points=3)
+
+    result = run_and_report(benchmark, results_dir, runner, "figure3")
+    rows = {(r["device"], r["sync"]): r for r in result.table("figure3_summary")}
+
+    # Sync ON: the HDD is an order of magnitude slower than SSD/RAM and
+    # suffers at least as much interference.
+    assert rows[("hdd", "Sync ON")]["alone_s"] > 4 * rows[("ram", "Sync ON")]["alone_s"]
+    assert rows[("hdd", "Sync ON")]["peak_IF"] >= rows[("ram", "Sync ON")]["peak_IF"]
+    # Sync OFF: the devices behave alike (within 20%).
+    off_times = [rows[(d, "Sync OFF")]["alone_s"] for d in ("hdd", "ssd", "ram")]
+    assert max(off_times) / min(off_times) < 1.25

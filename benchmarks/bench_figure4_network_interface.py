@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 4 (writers per node / network interface)."""
+
+from _bench_utils import run_and_report
+
+from repro.experiments import figure4
+
+
+def test_figure4_network_interface(benchmark, results_dir, bench_scale):
+    """All cores writing vs one dedicated writer per node (paper Figure 4)."""
+
+    def runner():
+        return figure4.run(scale=bench_scale, n_points=7)
+
+    result = run_and_report(benchmark, results_dir, runner, "figure4")
+    all_cores = result.sweep("all_cores")
+    one_writer = result.sweep("one_writer_per_node")
+
+    # Fewer writers per node remove the Incast collapses and the unfairness.
+    assert one_writer.total_collapses() < all_cores.total_collapses()
+    assert abs(one_writer.asymmetry_index()) < max(all_cores.asymmetry_index(), 0.05)
+    assert one_writer.peak_interference_factor() <= all_cores.peak_interference_factor() + 0.1

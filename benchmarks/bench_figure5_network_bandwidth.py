@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 5 (10G vs 1G storage network)."""
+
+from _bench_utils import run_and_report
+
+from repro.experiments import figure5
+
+
+def test_figure5_network_bandwidth(benchmark, results_dir, bench_scale):
+    """Throttling the network can remove interference (paper Figure 5)."""
+
+    def runner():
+        return figure5.run(scale=bench_scale, n_points=7)
+
+    result = run_and_report(benchmark, results_dir, runner, "figure5")
+
+    ten_on = result.sweep("10g.sync-on")
+    one_on = result.sweep("1g.sync-on")
+    ten_off = result.sweep("10g.sync-off")
+    one_off = result.sweep("1g.sync-off")
+
+    # Sync ON: the disk is the bottleneck, so the peak write times are close
+    # for both networks, but only the 10G sweep is unfair/asymmetric.
+    peak_10 = max(ten_on.write_times(a).max() for a in ten_on.applications)
+    peak_1 = max(one_on.write_times(a).max() for a in one_on.applications)
+    assert abs(peak_10 - peak_1) / peak_10 < 0.25
+    assert ten_on.total_collapses() > one_on.total_collapses()
+    assert ten_on.asymmetry_index() > one_on.asymmetry_index() - 0.02
+
+    # Sync OFF: the throttled network flattens the delta-graph.
+    assert one_off.flatness_index() < 0.4
+    assert ten_off.peak_interference_factor() > one_off.peak_interference_factor() + 0.3

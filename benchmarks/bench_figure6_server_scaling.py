@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 6 and Table II (number of storage servers)."""
+
+from _bench_utils import run_and_report
+
+from repro.experiments import figure6
+
+
+def test_figure6_server_scaling(benchmark, results_dir, bench_scale):
+    """Throughput scaling and interference vs server count (Figure 6, Table II)."""
+
+    def runner():
+        return figure6.run(scale=bench_scale, n_points=5)
+
+    result = run_and_report(benchmark, results_dir, runner, "figure6")
+
+    scaling = {row["servers"]: row for row in result.table("figure6a_scaling")}
+    table2 = {row["servers"]: row for row in result.table("table2_interference")}
+
+    counts = sorted(scaling)
+    # Figure 6(a): more servers -> more aggregate throughput (monotone, within noise).
+    assert scaling[counts[-1]]["max_throughput_GBps"] > scaling[counts[0]]["max_throughput_GBps"]
+    # Table II: the peak interference factor stays roughly constant (~2).
+    factors = [table2[c]["peak_interference_factor"] for c in counts]
+    assert all(1.6 <= f <= 2.6 for f in factors)
+    assert max(factors) - min(factors) < 0.7

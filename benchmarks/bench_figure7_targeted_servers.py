@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 7 (shared vs partitioned servers)."""
+
+from _bench_utils import run_and_report
+
+from repro.experiments import figure7
+
+
+def test_figure7_targeted_servers(benchmark, results_dir, bench_scale):
+    """12 shared servers vs 6+6 partitioned servers (paper Figure 7)."""
+
+    def runner():
+        return figure7.run(scale=bench_scale, n_points=7)
+
+    result = run_and_report(benchmark, results_dir, runner, "figure7")
+    rows = {row["device"]: row for row in result.table("figure7_summary")}
+
+    for device in ("hdd", "ram"):
+        row = rows[device]
+        # Partitioning costs interference-free performance (half the servers)...
+        assert row["partitioned_alone_s"] > row["shared_alone_s"]
+        # ...but removes the interference entirely.
+        assert row["partitioned_peak_IF"] < 1.25
+        assert row["shared_peak_IF"] > 1.7
+    # For the HDD case the contended shared peak exceeds the partitioned peak.
+    assert rows["hdd"]["shared_peak_time_s"] > rows["hdd"]["partitioned_peak_time_s"] * 0.95

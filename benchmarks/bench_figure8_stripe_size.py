@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 8 (stripe size, strided pattern)."""
+
+from _bench_utils import run_and_report
+
+from repro.experiments import figure8
+
+
+def test_figure8_stripe_size(benchmark, results_dir, bench_scale):
+    """Stripe-size sweep of the strided workload (paper Figure 8)."""
+
+    def runner():
+        return figure8.run(scale=bench_scale, n_points=3)
+
+    result = run_and_report(benchmark, results_dir, runner, "figure8")
+    rows = {(r["sync"], r["stripe"]): r for r in result.table("figure8_summary")}
+
+    # Larger stripes are faster for both sync modes.
+    for sync in ("Sync ON", "Sync OFF"):
+        assert rows[(sync, "256 KiB")]["alone_s"] < rows[(sync, "64 KiB")]["alone_s"]
+    # With sync OFF the interference shrinks as requests touch fewer servers;
+    # with sync ON the disk keeps causing interference.
+    assert (
+        rows[("Sync OFF", "256 KiB")]["peak_IF"]
+        < rows[("Sync OFF", "64 KiB")]["peak_IF"]
+    )
+    assert rows[("Sync ON", "256 KiB")]["peak_IF"] > 1.4

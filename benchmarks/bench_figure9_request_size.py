@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 9 (request size, strided pattern)."""
+
+from _bench_utils import run_and_report
+
+from repro.experiments import figure9
+
+
+def test_figure9_request_size(benchmark, results_dir, bench_scale):
+    """Request-size sweep of the strided workload (paper Figure 9)."""
+
+    def runner():
+        return figure9.run(scale=bench_scale, n_points=3)
+
+    result = run_and_report(benchmark, results_dir, runner, "figure9")
+    rows = {(r["sync"], r["request"]): r for r in result.table("figure9_summary")}
+
+    # Small requests involve a single server each...
+    assert rows[("Sync OFF", "64 KiB")]["servers_per_request"] == 1
+    assert rows[("Sync OFF", "512 KiB")]["servers_per_request"] == 8
+    # ...but are far from optimal for a single application (the paper's warning).
+    assert (
+        rows[("Sync OFF", "64 KiB")]["alone_s"]
+        > 1.5 * rows[("Sync OFF", "256 KiB")]["alone_s"]
+    )
+    # Interference with small requests is no worse than with large ones (sync OFF).
+    assert (
+        rows[("Sync OFF", "64 KiB")]["peak_IF"]
+        <= rows[("Sync OFF", "512 KiB")]["peak_IF"] + 0.2
+    )

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table I (local device-level interference)."""
+
+from _bench_utils import run_and_report
+
+from repro.experiments import table1
+
+
+def test_table1_local_device(benchmark, results_dir, bench_scale):
+    """Alone vs interfering local writes on HDD/SSD/RAM (paper Table I)."""
+
+    def runner():
+        return table1.run(scale=bench_scale)
+
+    result = run_and_report(benchmark, results_dir, runner, "table1")
+    rows = {row["device"]: row for row in result.table("table1")}
+    # Paper: slowdowns 2.49 / 1.96 / 1.58 — the ordering and rough bands must hold.
+    assert rows["HDD"]["slowdown"] > rows["SSD"]["slowdown"] > rows["RAM"]["slowdown"]
+    assert 2.2 <= rows["HDD"]["slowdown"] <= 2.8
+    assert 1.7 <= rows["SSD"]["slowdown"] <= 2.2
+    assert 1.4 <= rows["RAM"]["slowdown"] <= 1.8

@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at the
+``reduced`` scale, times it with pytest-benchmark (one round — these are
+experiment harnesses, not micro-benchmarks), prints the resulting rows, and
+saves the full report under ``benchmarks/results/`` so EXPERIMENTS.md can be
+assembled from the exact same data.
+
+Set ``REPRO_BENCH_SCALE=paper`` to run the full paper-scale campaign instead
+(much slower).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "reduced")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where benchmark reports are stored."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    """Scale preset used for the benchmark runs."""
+    return BENCH_SCALE

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Cross-application I/O scheduling: serialize the phases instead of interfering.
+
+The scheduling line of related work (CALCioM, I/O-aware batch schedulers)
+avoids interference by delaying one application's I/O phase until the other's
+is over.  This example evaluates that policy on the paper's contended
+scenario and prints the trade-off the paper warns about: the *write time*
+always improves (each phase runs alone), but the *completion time* — waiting
+included — may not, because the scheduler has only converted contention into
+queueing.
+
+Run with::
+
+    python examples/io_scheduling.py            # reduced scale
+    python examples/io_scheduling.py tiny       # faster
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.config.presets import make_scenario
+from repro.core.reporting import format_table
+from repro.mitigation.scheduling import evaluate_coordination
+
+
+def main() -> int:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "reduced"
+    scenario = make_scenario(scale, device="hdd", sync_mode="sync-on")
+
+    outcome = evaluate_coordination(scenario, n_points=5)
+    summary = outcome.summary()
+
+    rows = []
+    for point in outcome.points:
+        rows.append(
+            [
+                round(point.delta, 2),
+                round(point.interfering_write_times["B"], 2),
+                round(point.coordinated_write_times["B"], 2),
+                round(point.scheduler_wait["B"], 2),
+                round(point.completion_change("B"), 2),
+            ]
+        )
+    print(
+        format_table(
+            ["dt (s)", "write time interfering (s)", "write time coordinated (s)",
+             "scheduler wait (s)", "completion change (s)"],
+            rows,
+            title="Application B: interfere vs. wait-then-run-alone",
+        )
+    )
+    print()
+    print(f"peak interference factor, interfering:  {summary['peak_if_interfering']:.2f}")
+    print(f"peak interference factor, coordinated:  {summary['peak_if_coordinated']:.2f}")
+    print(f"largest wait imposed by the scheduler:  {summary['max_scheduler_wait']:.2f} s")
+    print(f"mean completion-time change:            {summary['mean_completion_change']:+.2f} s")
+    print()
+    print(
+        "Reading: coordination removes the interference from the transfers\n"
+        "themselves, but the delayed application still pays with waiting time;\n"
+        "whether that is a win depends on how much the interference would have\n"
+        "cost — which is exactly why the paper argues for understanding its\n"
+        "root causes rather than treating any single symptom."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

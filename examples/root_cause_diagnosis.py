@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Diagnose the root cause of interference the way the paper does.
+
+Given one contended run, the paper asks: is the slowdown caused by a saturated
+component (which one?), or by a flow-control breakdown (Incast) caused by the
+interplay of a slow backend and the transport?  This example runs the same
+configuration twice — once with HDDs and sync ON (the Incast-prone case) and
+once with the null-aio backend (nothing to saturate) — and prints, for each:
+
+* the per-component utilization ranking (root-cause attribution),
+* the Incast diagnosis (window collapses, buffer pressure, victim application),
+* the traced congestion-window statistics behind the paper's Figure 10.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.traces import compare_window_traces
+from repro.config.presets import make_scenario
+from repro.core.flowcontrol import diagnose_flow_control
+from repro.core.rootcause import attribute_root_cause
+from repro.model.simulator import simulate_scenario
+from repro.sim.tracing import TraceConfig
+
+
+def diagnose(label: str, scale: str, **scenario_kwargs) -> None:
+    trace = TraceConfig(
+        series_sample_period=0.05,
+        record_windows=True,
+        record_progress=True,
+        record_server_state=True,
+        window_connection_limit=2,
+    )
+    scenario = make_scenario(scale, delay=0.5, trace=trace, **scenario_kwargs)
+    result = simulate_scenario(scenario)
+
+    print(f"=== {label} ===")
+    for name in sorted(result.applications):
+        app = result.app(name)
+        print(f"  {name}: write time {app.write_time:.2f}s, "
+              f"{app.window_collapses} window collapses")
+    print()
+    print(attribute_root_cause(result).describe())
+    print()
+    print(diagnose_flow_control(result).describe())
+    stats = compare_window_traces(result)
+    if stats:
+        print()
+        print("  traced connection windows (bytes):")
+        for name, s in sorted(stats.items()):
+            print(f"    {name}: mean {s.mean:.0f}, min {s.minimum:.0f}, "
+                  f"time near floor {s.collapse_fraction:.2f}")
+    print()
+
+
+def main() -> int:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "reduced"
+    diagnose("HDD backend, sync ON (Incast-prone)", scale,
+             device="hdd", sync_mode="sync-on")
+    diagnose("null-aio backend (nothing saturates)", scale,
+             device="hdd", sync_mode="null-aio")
+    print(
+        "With the HDD the dominant cause is the backend device plus the\n"
+        "flow-control breakdown it triggers; with null-aio no component is\n"
+        "saturated and the interference disappears — the paper's central point\n"
+        "that interference arises from the interplay of components, not from\n"
+        "the network alone."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Lossy Ethernet/TCP versus a lossless (InfiniBand-like) fabric.
+
+The paper traces the unfair interference of its HDD/sync-ON experiments back
+to a flow-control breakdown: the servers' receive buffers fill up, client
+bursts are dropped, and the TCP windows of the application that arrived
+second collapse (the Incast problem).  Its future work asks how the findings
+transfer to "other types of network (e.g., InfiniBand)".
+
+This example answers that question inside the simulator: it runs the same
+contended scenario over
+
+* the paper's 10G Ethernet with a TCP-like transport, and
+* a credit-based, lossless fabric (``network="infiniband"``),
+
+and compares the Δ-graphs.  On the lossless fabric the window collapses and
+the unfairness disappear — but the ~2x slowdown of sharing a slow backend
+remains, which is exactly the paper's point: flow control explains the
+*pathological* part of the interference, not the interference itself.
+
+Run with::
+
+    python examples/transport_comparison.py            # reduced scale
+    python examples/transport_comparison.py tiny       # faster
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.asciiplot import plot_delta_sweep
+from repro.core.experiment import TwoApplicationExperiment
+from repro.core.reporting import format_table
+
+
+def main() -> int:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "reduced"
+
+    rows = []
+    sweeps = {}
+    for network, label in (("10g", "10G Ethernet + TCP"),
+                           ("infiniband", "lossless fabric")):
+        experiment = TwoApplicationExperiment(
+            scale,
+            device="hdd",
+            sync_mode="sync-on",
+            pattern="contiguous",
+            network=network,
+        )
+        sweep = experiment.run_sweep(n_points=7, label=label)
+        sweeps[label] = sweep
+        rows.append(
+            [
+                label,
+                round(experiment.alone_time(), 2),
+                round(sweep.peak_interference_factor(), 2),
+                round(sweep.asymmetry_index(), 3),
+                sweep.total_collapses(),
+            ]
+        )
+        print(f"ran {label}")
+
+    print()
+    print(
+        format_table(
+            ["network", "alone time (s)", "peak IF", "asymmetry", "window collapses"],
+            rows,
+            title="Transport comparison (HDD backend, sync ON, contiguous writes)",
+        )
+    )
+    print()
+    for label, sweep in sweeps.items():
+        print(plot_delta_sweep(sweep, title=f"Δ-graph — {label}"))
+        print()
+
+    print(
+        "Reading: the lossless fabric removes the window collapses and the\n"
+        "first-application advantage, but both applications still pay the\n"
+        "~2x cost of sharing the same spinning disks — interference has a\n"
+        "flow-control component *and* a resource-sharing component."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

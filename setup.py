@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file only
+exists so that legacy editable installs (``pip install -e . --no-use-pep517``
+or ``python setup.py develop``) work on machines without the ``wheel``
+package, e.g. air-gapped clusters.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,85 @@
+"""repro — a reproduction of *On the Root Causes of Cross-Application I/O
+Interference in HPC Storage Systems* (Yildiz, Dorier, Ibrahim, Ross, Antoniu,
+IPDPS 2016).
+
+The package provides:
+
+* an event-driven / fluid simulator of the HPC write path (compute-node NICs,
+  a TCP-like transport, PVFS-like servers with bounded buffers, write-back
+  caches and backend devices) — the simulator the paper names as its intended
+  follow-up work,
+* the paper's characterization methodology as a library: two-application
+  Δ-graph experiments, interference-factor and unfairness metrics, root-cause
+  attribution and Incast detection,
+* ready-made reproductions of every table and figure of the paper's
+  evaluation, plus the mitigation baselines the related work proposes.
+
+Quick start::
+
+    from repro import make_scenario, simulate_scenario
+
+    scenario = make_scenario("reduced", device="hdd", sync_mode="sync-on", delay=5.0)
+    result = simulate_scenario(scenario)
+    print(result.describe())
+
+See ``examples/quickstart.py`` for a complete walk-through and
+``DESIGN.md`` / ``EXPERIMENTS.md`` for the reproduction methodology.
+"""
+
+from repro._version import __version__
+from repro.config import (
+    AccessKind,
+    ApplicationSpec,
+    FileSystemConfig,
+    NetworkConfig,
+    PatternSpec,
+    PlatformConfig,
+    ScenarioConfig,
+    ServerConfig,
+    SimulationControl,
+    SyncMode,
+    TransportConfig,
+    grid5000_platform,
+    make_scenario,
+    paper_scale,
+    reduced_scale,
+    tiny_scale,
+)
+from repro.config.presets import make_multi_app_scenario, make_single_app_scenario
+from repro.model import (
+    IOPathSimulator,
+    RunResult,
+    simulate_local_writes,
+    simulate_scenario,
+)
+from repro.storage import device_by_name
+
+__all__ = [
+    "__version__",
+    # configuration
+    "AccessKind",
+    "ApplicationSpec",
+    "FileSystemConfig",
+    "NetworkConfig",
+    "PatternSpec",
+    "PlatformConfig",
+    "ScenarioConfig",
+    "ServerConfig",
+    "SimulationControl",
+    "SyncMode",
+    "TransportConfig",
+    "grid5000_platform",
+    "make_scenario",
+    "make_single_app_scenario",
+    "make_multi_app_scenario",
+    "paper_scale",
+    "reduced_scale",
+    "tiny_scale",
+    # simulation
+    "IOPathSimulator",
+    "RunResult",
+    "simulate_scenario",
+    "simulate_local_writes",
+    # storage
+    "device_by_name",
+]

@@ -1,0 +1,60 @@
+"""Analysis and presentation helpers.
+
+* :mod:`repro.analysis.asciiplot`  — terminal plots of Δ-graphs and traces
+  (the repository has no plotting dependency; every figure can still be
+  eyeballed from a terminal),
+* :mod:`repro.analysis.tables`     — CSV/JSON/markdown export of sweeps and
+  results,
+* :mod:`repro.analysis.traces`     — window/progress trace analytics used by
+  the Figure 10/11 reproductions,
+* :mod:`repro.analysis.paper`      — the paper's reported values and claims,
+* :mod:`repro.analysis.comparison` — claim-by-claim grading of a reproduction,
+* :mod:`repro.analysis.campaign`   — run every experiment and assemble
+  ``EXPERIMENTS.md``.
+"""
+
+from repro.analysis.asciiplot import ascii_plot, plot_delta_sweep, plot_series
+from repro.analysis.campaign import (
+    CampaignResult,
+    ExperimentRecord,
+    campaign_to_markdown,
+    run_campaign,
+    write_experiments_md,
+)
+from repro.analysis.comparison import ClaimCheck, check_experiment, format_checks
+from repro.analysis.paper import CLAIMS, TABLE1, TABLE2, PaperClaim, claims_for
+from repro.analysis.tables import (
+    rows_to_csv,
+    rows_to_markdown,
+    sweep_to_csv,
+    summary_to_json,
+)
+from repro.analysis.traces import (
+    progress_slowdown_point,
+    window_statistics,
+)
+
+__all__ = [
+    "ascii_plot",
+    "plot_delta_sweep",
+    "plot_series",
+    "rows_to_csv",
+    "rows_to_markdown",
+    "sweep_to_csv",
+    "summary_to_json",
+    "window_statistics",
+    "progress_slowdown_point",
+    "CLAIMS",
+    "TABLE1",
+    "TABLE2",
+    "PaperClaim",
+    "claims_for",
+    "ClaimCheck",
+    "check_experiment",
+    "format_checks",
+    "CampaignResult",
+    "ExperimentRecord",
+    "run_campaign",
+    "campaign_to_markdown",
+    "write_experiments_md",
+]

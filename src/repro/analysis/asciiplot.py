@@ -1,0 +1,113 @@
+"""Terminal (ASCII) plots.
+
+The repository deliberately avoids a plotting dependency; these helpers
+render Δ-graphs and time series as fixed-width character plots that are good
+enough to see the triangular/flat/asymmetric shapes the paper discusses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.delta import DeltaSweep
+from repro.errors import AnalysisError
+from repro.sim.timeseries import TimeSeries
+
+__all__ = ["ascii_plot", "plot_delta_sweep", "plot_series"]
+
+_MARKERS = "xo+*#@%&"
+
+
+def ascii_plot(
+    x: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 72,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+) -> str:
+    """Render one or more series over a shared x axis as an ASCII plot."""
+    x = np.asarray(list(x), dtype=np.float64)
+    if x.size == 0:
+        raise AnalysisError("cannot plot an empty x axis")
+    if not series:
+        raise AnalysisError("cannot plot zero series")
+    if width < 20 or height < 5:
+        raise AnalysisError("plot area too small")
+    ys = {name: np.asarray(list(vals), dtype=np.float64) for name, vals in series.items()}
+    for name, vals in ys.items():
+        if vals.shape != x.shape:
+            raise AnalysisError(f"series {name!r} length does not match the x axis")
+    y_all = np.concatenate(list(ys.values()))
+    y_min, y_max = float(np.min(y_all)), float(np.max(y_all))
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = float(np.min(x)), float(np.max(x))
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, vals) in enumerate(ys.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for xv, yv in zip(x, vals):
+            col = int(round((xv - x_min) / (x_max - x_min) * (width - 1)))
+            row = int(round((yv - y_min) / (y_max - y_min) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} [{y_min:.3g} .. {y_max:.3g}]")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_min:.3g} .. {x_max:.3g}")
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {name}" for i, name in enumerate(ys)
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)
+
+
+def plot_delta_sweep(sweep: DeltaSweep, title: str = "", width: int = 72, height: int = 16) -> str:
+    """ASCII Δ-graph: write time of every application versus the delay."""
+    deltas = sweep.deltas
+    series = {app: sweep.write_times(app) for app in sweep.applications}
+    return ascii_plot(
+        deltas,
+        series,
+        width=width,
+        height=height,
+        x_label="dt (s)",
+        y_label="write time (s)",
+        title=title or sweep.label,
+    )
+
+
+def plot_series(
+    series: TimeSeries,
+    title: str = "",
+    width: int = 72,
+    height: int = 14,
+    other: Optional[TimeSeries] = None,
+) -> str:
+    """ASCII plot of one (optionally two) recorded time series."""
+    if len(series) == 0:
+        raise AnalysisError(f"series {series.name!r} is empty")
+    data = {series.name or "series": series.values}
+    x = series.times
+    if other is not None and len(other) > 0:
+        resampled = other.resample(x)
+        data[other.name or "other"] = resampled
+    return ascii_plot(
+        x,
+        data,
+        width=width,
+        height=height,
+        x_label="time (s)",
+        y_label=series.unit or "value",
+        title=title,
+    )

@@ -1,0 +1,301 @@
+"""Run the full reproduction campaign and assemble ``EXPERIMENTS.md``.
+
+A *campaign* is one pass over every registered table/figure reproduction
+(:mod:`repro.experiments.registry`), each graded against the paper's claims
+(:mod:`repro.analysis.comparison`).  The result can be rendered as the
+markdown report the repository ships as ``EXPERIMENTS.md``: for every
+experiment the paper's reported values, the measured values, and a claim-by-
+claim agreement verdict.
+
+Typical use::
+
+    from repro.analysis.campaign import run_campaign, campaign_to_markdown
+
+    campaign = run_campaign(scale="reduced")
+    print(campaign.summary_rows())
+    open("EXPERIMENTS.md", "w").write(campaign_to_markdown(campaign))
+
+or from the command line::
+
+    repro-io campaign --scale reduced --output EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+
+from repro._version import __version__
+from repro.analysis.comparison import ClaimCheck, check_experiment
+from repro.analysis.paper import EXPERIMENT_TITLES, paper_reference_tables
+from repro.analysis.tables import rows_to_markdown
+from repro.errors import ExperimentError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
+    from repro.experiments.base import ExperimentResult
+
+__all__ = [
+    "ExperimentRecord",
+    "CampaignResult",
+    "run_campaign",
+    "campaign_to_markdown",
+    "write_experiments_md",
+]
+
+
+@dataclass
+class ExperimentRecord:
+    """One experiment's outcome within a campaign."""
+
+    experiment_id: str
+    result: ExperimentResult
+    checks: List[ClaimCheck]
+    wall_time: float
+    error: Optional[str] = None
+
+    @property
+    def n_claims(self) -> int:
+        """Number of paper claims evaluated."""
+        return len(self.checks)
+
+    @property
+    def n_agreeing(self) -> int:
+        """Number of claims that agree with the paper."""
+        return sum(1 for check in self.checks if check.passed)
+
+    @property
+    def title(self) -> str:
+        """Human-readable experiment title."""
+        return EXPERIMENT_TITLES.get(self.experiment_id, self.result.title)
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one full reproduction campaign."""
+
+    scale: str
+    records: List[ExperimentRecord] = field(default_factory=list)
+    started_at: float = 0.0
+    wall_time: float = 0.0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_experiments(self) -> int:
+        """Number of experiments that ran."""
+        return len(self.records)
+
+    @property
+    def n_claims(self) -> int:
+        """Total number of paper claims evaluated."""
+        return sum(record.n_claims for record in self.records)
+
+    @property
+    def n_agreeing(self) -> int:
+        """Total number of claims that agree with the paper."""
+        return sum(record.n_agreeing for record in self.records)
+
+    def record(self, experiment_id: str) -> ExperimentRecord:
+        """The record of one experiment."""
+        for rec in self.records:
+            if rec.experiment_id == experiment_id:
+                return rec
+        raise ExperimentError(f"campaign has no record for {experiment_id!r}")
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """One row per experiment: title, claims evaluated/agreeing, runtime."""
+        rows = []
+        for rec in self.records:
+            rows.append(
+                {
+                    "experiment": rec.experiment_id,
+                    "paper reference": rec.result.paper_reference,
+                    "claims agreeing": f"{rec.n_agreeing}/{rec.n_claims}",
+                    "runtime (s)": round(rec.wall_time, 1),
+                }
+            )
+        return rows
+
+    def describe(self) -> str:
+        """One-paragraph plain-text summary."""
+        return (
+            f"campaign at scale {self.scale!r}: {self.n_experiments} experiments, "
+            f"{self.n_agreeing}/{self.n_claims} paper claims reproduced, "
+            f"{self.wall_time:.0f}s wall time"
+        )
+
+
+def run_campaign(
+    scale: str = "reduced",
+    quick: bool = False,
+    experiments: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[str, ExperimentRecord], None]] = None,
+) -> CampaignResult:
+    """Run every (or a subset of the) table/figure reproduction and grade it.
+
+    Parameters
+    ----------
+    scale:
+        Scale preset passed to each experiment (``"tiny"``, ``"reduced"``,
+        ``"paper"``).
+    quick:
+        Use each experiment's reduced sweep-point count.
+    experiments:
+        Optional explicit list of experiment ids; defaults to all registered
+        experiments in presentation order.
+    progress:
+        Optional callback invoked as ``progress(experiment_id, record)`` after
+        each experiment (used by the CLI to stream status lines).
+    """
+    # Imported here (not at module level) so that `import repro.analysis`
+    # does not drag every experiment module in — and so that the experiment
+    # package, which itself uses repro.analysis helpers, can be imported
+    # first without creating an import cycle.
+    from repro.experiments.registry import get_experiment, list_experiments
+
+    ids = (
+        [get_experiment(e).experiment_id for e in experiments]
+        if experiments is not None
+        else [entry.experiment_id for entry in list_experiments()]
+    )
+    campaign = CampaignResult(scale=scale, started_at=time.time())
+    t0 = time.perf_counter()
+    for experiment_id in ids:
+        entry = get_experiment(experiment_id)
+        start = time.perf_counter()
+        result = entry.run(scale=scale, quick=quick)
+        checks = check_experiment(result)
+        record = ExperimentRecord(
+            experiment_id=experiment_id,
+            result=result,
+            checks=checks,
+            wall_time=time.perf_counter() - start,
+        )
+        campaign.records.append(record)
+        if progress is not None:
+            progress(experiment_id, record)
+    campaign.wall_time = time.perf_counter() - t0
+    return campaign
+
+
+# --------------------------------------------------------------------------- #
+# Markdown rendering
+# --------------------------------------------------------------------------- #
+
+
+_PREAMBLE = """\
+# EXPERIMENTS — paper vs. measured
+
+Reproduction report for *On the Root Causes of Cross-Application I/O
+Interference in HPC Storage Systems* (Yildiz, Dorier, Ibrahim, Ross, Antoniu —
+IPDPS 2016), generated by `repro-io campaign` (repro version {version}).
+
+The paper's campaign ran on Grid'5000 (2 x 480 cores against a 12-server
+OrangeFS deployment); this repository replays every experiment against the
+simulated I/O path described in `DESIGN.md`.  Absolute write times therefore
+differ from the paper's — the comparison targets the *shape* of each result:
+which configuration wins, by roughly what factor, whether the Δ-graph is
+triangular/flat/asymmetric, and where the qualitative crossovers fall.
+All runs below use the `{scale}` scale preset (see `repro.config.presets`).
+
+Regenerate with:
+
+```bash
+repro-io campaign --scale {scale} --output EXPERIMENTS.md
+# or, per experiment:
+pytest benchmarks/ --benchmark-only
+```
+"""
+
+
+def campaign_to_markdown(campaign: CampaignResult) -> str:
+    """Render a campaign as the EXPERIMENTS.md document."""
+    lines: List[str] = [
+        _PREAMBLE.format(version=__version__, scale=campaign.scale),
+        "## Summary",
+        "",
+        f"- experiments reproduced: **{campaign.n_experiments}**",
+        f"- paper claims evaluated: **{campaign.n_claims}**, agreeing: "
+        f"**{campaign.n_agreeing}**",
+        f"- campaign wall time: {campaign.wall_time:.0f} s",
+        "",
+        rows_to_markdown(campaign.summary_rows()),
+        "",
+    ]
+
+    reference = paper_reference_tables()
+    for record in campaign.records:
+        result = record.result
+        lines.append(f"## {record.title}")
+        lines.append("")
+        lines.append(f"*Paper reference: {result.paper_reference}; "
+                     f"runtime {record.wall_time:.1f} s.*")
+        lines.append("")
+
+        # Paper-reported quantitative values, when we have them.
+        if record.experiment_id == "table1":
+            lines.append("Paper-reported values (Table I):")
+            lines.append("")
+            lines.append(rows_to_markdown(reference["table1"]))
+            lines.append("")
+        if record.experiment_id == "figure6":
+            lines.append("Paper-reported values (Table II):")
+            lines.append("")
+            lines.append(rows_to_markdown(reference["table2"]))
+            lines.append("")
+
+        # Measured tables.
+        for name, rows in result.tables.items():
+            lines.append(f"Measured — `{name}`:")
+            lines.append("")
+            lines.append(rows_to_markdown(rows))
+            lines.append("")
+
+        # Headline sweep metrics, if any sweeps were recorded.
+        if result.sweeps:
+            sweep_rows = []
+            for name, sweep in result.sweeps.items():
+                sweep_rows.append(
+                    {
+                        "sweep": name,
+                        "peak interference factor": round(sweep.peak_interference_factor(), 2),
+                        "asymmetry index": round(sweep.asymmetry_index(), 3),
+                        "flat": sweep.is_flat(),
+                        "window collapses": sweep.total_collapses(),
+                    }
+                )
+            lines.append("Δ-graph headline metrics:")
+            lines.append("")
+            lines.append(rows_to_markdown(sweep_rows))
+            lines.append("")
+
+        # Claim-by-claim agreement.
+        if record.checks:
+            lines.append("Agreement with the paper:")
+            lines.append("")
+            claim_rows = []
+            for check in record.checks:
+                claim_rows.append(
+                    {
+                        "claim": check.claim.statement,
+                        "agrees": check.passed,
+                        "measured": check.detail,
+                    }
+                )
+            lines.append(rows_to_markdown(claim_rows, columns=["claim", "agrees", "measured"]))
+            lines.append("")
+
+        for note in result.notes:
+            lines.append(f"> {note}")
+            lines.append("")
+
+    return "\n".join(lines)
+
+
+def write_experiments_md(path: str, campaign: CampaignResult) -> str:
+    """Write the campaign report to ``path`` and return the rendered text."""
+    text = campaign_to_markdown(campaign)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return text

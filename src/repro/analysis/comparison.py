@@ -1,0 +1,575 @@
+"""Grade a reproduction run against the paper's claims.
+
+:func:`check_experiment` takes the :class:`~repro.experiments.base.ExperimentResult`
+of one table/figure reproduction and evaluates every
+:class:`~repro.analysis.paper.PaperClaim` recorded for that experiment,
+returning a list of :class:`ClaimCheck` verdicts.  The verdicts power:
+
+* the agreement column of ``EXPERIMENTS.md`` (via
+  :mod:`repro.analysis.campaign`),
+* the ``repro-io campaign`` CLI command,
+* regression tests that pin the qualitative reproduction status.
+
+The thresholds used here are deliberately a little looser than the benchmark
+assertions: a benchmark failure should mean "the reproduction broke", while a
+``passed=False`` verdict merely reports "this particular claim does not hold
+at this scale / seed" without aborting the campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional
+
+from repro.analysis.paper import PaperClaim, claims_for
+from repro.errors import AnalysisError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
+    from repro.experiments.base import ExperimentResult
+
+__all__ = ["ClaimCheck", "check_experiment", "checks_to_rows", "format_checks"]
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """Verdict for one paper claim evaluated against measured results."""
+
+    claim: PaperClaim
+    passed: bool
+    measured: Mapping[str, float] = field(default_factory=dict)
+    detail: str = ""
+
+    @property
+    def claim_id(self) -> str:
+        """Stable identifier of the underlying claim."""
+        return self.claim.claim_id
+
+    @property
+    def experiment_id(self) -> str:
+        """Experiment the claim belongs to."""
+        return self.claim.experiment_id
+
+    def describe(self) -> str:
+        """One-line human-readable verdict."""
+        status = "PASS" if self.passed else "MISS"
+        return f"[{status}] {self.claim.claim_id}: {self.detail or self.claim.statement}"
+
+
+# --------------------------------------------------------------------------- #
+# Per-experiment checkers
+# --------------------------------------------------------------------------- #
+
+
+def _check(claim_id: str, passed: bool, measured: Dict[str, float], detail: str,
+           claims: Mapping[str, PaperClaim]) -> Optional[ClaimCheck]:
+    claim = claims.get(claim_id)
+    if claim is None:  # claim not registered (e.g. trimmed data set)
+        return None
+    return ClaimCheck(claim=claim, passed=bool(passed), measured=measured, detail=detail)
+
+
+def _claims_map(experiment_id: str) -> Dict[str, PaperClaim]:
+    return {claim.claim_id: claim for claim in claims_for(experiment_id)}
+
+
+def _table1_checks(result: ExperimentResult) -> List[ClaimCheck]:
+    claims = _claims_map("table1")
+    rows = {str(row["device"]).upper(): row for row in result.table("table1")}
+    slowdowns = {device: float(row["slowdown"]) for device, row in rows.items()}
+    checks: List[ClaimCheck] = []
+    ordering = (
+        slowdowns.get("HDD", 0.0) > slowdowns.get("SSD", 0.0) > slowdowns.get("RAM", 0.0)
+    )
+    checks.append(_check(
+        "table1.ordering",
+        ordering,
+        slowdowns,
+        "measured slowdowns "
+        + ", ".join(f"{d}={v:.2f}x" for d, v in sorted(slowdowns.items())),
+        claims,
+    ))
+    hdd = slowdowns.get("HDD", 0.0)
+    checks.append(_check(
+        "table1.hdd_exceeds_fair_share",
+        hdd > 2.0,
+        {"hdd": hdd},
+        f"HDD slowdown {hdd:.2f}x vs fair-sharing 2x",
+        claims,
+    ))
+    return [c for c in checks if c is not None]
+
+
+def _figure2_checks(result: ExperimentResult) -> List[ClaimCheck]:
+    claims = _claims_map("figure2")
+    checks: List[ClaimCheck] = []
+    devices = ("hdd", "ssd", "ram")
+    peaks = {}
+    for device in devices:
+        for sync in ("sync-on", "sync-off"):
+            name = f"{device}.{sync}"
+            if name in result.sweeps:
+                peaks[name] = result.sweep(name).peak_interference_factor()
+    peak_ok = bool(peaks) and all(1.6 <= v <= 2.6 for v in peaks.values())
+    checks.append(_check(
+        "figure2.peak_slowdown_2x",
+        peak_ok,
+        peaks,
+        "peak interference factors "
+        + ", ".join(f"{k}={v:.2f}" for k, v in sorted(peaks.items())),
+        claims,
+    ))
+    if "hdd.sync-on" in result.sweeps:
+        sweep = result.sweep("hdd.sync-on")
+        asym = sweep.asymmetry_index()
+        collapses = sweep.total_collapses()
+        checks.append(_check(
+            "figure2.hdd_sync_on_unfair",
+            asym > 0.03 and collapses > 0,
+            {"asymmetry_index": asym, "window_collapses": float(collapses)},
+            f"asymmetry {asym:+.3f} with {collapses} window collapses",
+            claims,
+        ))
+    if "null-aio" in result.sweeps:
+        sweep = result.sweep("null-aio")
+        flat = sweep.flatness_index()
+        checks.append(_check(
+            "figure2.null_aio_flat",
+            flat <= 0.25,
+            {"flatness_index": flat},
+            f"null-aio flatness index {flat:.2f}",
+            claims,
+        ))
+    alone = {row["device"]: float(row["alone_s"]) for row in result.table("figure2_summary")
+             if row["device"] in devices and row["sync"] == "Sync ON"}
+    if {"hdd", "ssd", "ram"} <= set(alone):
+        faster = alone["ssd"] <= alone["hdd"] and alone["ram"] <= alone["hdd"]
+        checks.append(_check(
+            "figure2.faster_backends_faster",
+            faster,
+            alone,
+            "alone write times "
+            + ", ".join(f"{d}={t:.2f}s" for d, t in sorted(alone.items())),
+            claims,
+        ))
+    return [c for c in checks if c is not None]
+
+
+def _figure3_checks(result: ExperimentResult) -> List[ClaimCheck]:
+    claims = _claims_map("figure3")
+    checks: List[ClaimCheck] = []
+    rows = {(row["device"], row["sync"]): row for row in result.table("figure3_summary")}
+    on = {d: rows.get((d, "Sync ON")) for d in ("hdd", "ssd", "ram")}
+    if all(on.values()):
+        hdd_slow = float(on["hdd"]["alone_s"]) > 1.5 * float(on["ssd"]["alone_s"])
+        hdd_if = float(on["hdd"]["peak_IF"]) >= max(
+            float(on["ssd"]["peak_IF"]), float(on["ram"]["peak_IF"])
+        ) - 0.05
+        checks.append(_check(
+            "figure3.hdd_sync_on_worst",
+            hdd_slow and hdd_if,
+            {
+                "hdd_alone_s": float(on["hdd"]["alone_s"]),
+                "ssd_alone_s": float(on["ssd"]["alone_s"]),
+                "hdd_peak_if": float(on["hdd"]["peak_IF"]),
+                "ssd_peak_if": float(on["ssd"]["peak_IF"]),
+            },
+            "HDD alone {:.1f}s vs SSD {:.1f}s; peak IF {:.2f} vs {:.2f}".format(
+                float(on["hdd"]["alone_s"]), float(on["ssd"]["alone_s"]),
+                float(on["hdd"]["peak_IF"]), float(on["ssd"]["peak_IF"]),
+            ),
+            claims,
+        ))
+    off = {d: rows.get((d, "Sync OFF")) for d in ("hdd", "ssd", "ram")}
+    if all(off.values()):
+        times = [float(r["alone_s"]) for r in off.values()]
+        spread = (max(times) - min(times)) / max(max(times), 1e-9)
+        checks.append(_check(
+            "figure3.sync_off_equalizes",
+            spread <= 0.3,
+            {"alone_time_spread": spread},
+            f"sync-OFF alone-time spread across devices {spread:.0%}",
+            claims,
+        ))
+    return [c for c in checks if c is not None]
+
+
+def _figure4_checks(result: ExperimentResult) -> List[ClaimCheck]:
+    claims = _claims_map("figure4")
+    checks: List[ClaimCheck] = []
+    rows = {row["configuration"]: row for row in result.table("figure4_summary")}
+    all_cores = next((r for k, r in rows.items() if "1 writer" not in k), None)
+    one = rows.get("1 writer per node")
+    if all_cores and one:
+        faster = float(one["alone_s"]) <= float(all_cores["alone_s"]) * 1.02
+        checks.append(_check(
+            "figure4.fewer_writers_faster_alone",
+            faster,
+            {"alone_one_writer": float(one["alone_s"]),
+             "alone_all_cores": float(all_cores["alone_s"])},
+            f"alone {float(one['alone_s']):.2f}s (1 writer) vs "
+            f"{float(all_cores['alone_s']):.2f}s (all cores)",
+            claims,
+        ))
+        fairer = (
+            abs(float(one["asymmetry"])) < max(float(all_cores["asymmetry"]), 0.05)
+            and int(one["collapses"]) < int(all_cores["collapses"])
+        )
+        checks.append(_check(
+            "figure4.fewer_writers_fairer",
+            fairer,
+            {
+                "asymmetry_one_writer": float(one["asymmetry"]),
+                "asymmetry_all_cores": float(all_cores["asymmetry"]),
+                "collapses_one_writer": float(one["collapses"]),
+                "collapses_all_cores": float(all_cores["collapses"]),
+            },
+            f"asymmetry {float(one['asymmetry']):+.3f} vs "
+            f"{float(all_cores['asymmetry']):+.3f}, collapses "
+            f"{int(one['collapses'])} vs {int(all_cores['collapses'])}",
+            claims,
+        ))
+    return [c for c in checks if c is not None]
+
+
+def _figure5_checks(result: ExperimentResult) -> List[ClaimCheck]:
+    claims = _claims_map("figure5")
+    checks: List[ClaimCheck] = []
+    needed = {"10g.sync-on", "1g.sync-on", "10g.sync-off", "1g.sync-off"}
+    if not needed <= set(result.sweeps):
+        return checks
+    ten_on, one_on = result.sweep("10g.sync-on"), result.sweep("1g.sync-on")
+    ten_off, one_off = result.sweep("10g.sync-off"), result.sweep("1g.sync-off")
+    peak10 = max(float(ten_on.write_times(a).max()) for a in ten_on.applications)
+    peak1 = max(float(one_on.write_times(a).max()) for a in one_on.applications)
+    same_peak = abs(peak10 - peak1) / max(peak10, 1e-9) < 0.3
+    checks.append(_check(
+        "figure5.sync_on_same_peak",
+        same_peak,
+        {"peak_write_time_10g": peak10, "peak_write_time_1g": peak1},
+        f"sync-ON peak write time {peak10:.2f}s (10G) vs {peak1:.2f}s (1G)",
+        claims,
+    ))
+    fair = one_on.asymmetry_index() < ten_on.asymmetry_index() + 0.02 and (
+        one_on.total_collapses() < max(ten_on.total_collapses(), 1)
+    )
+    checks.append(_check(
+        "figure5.one_gig_restores_fairness",
+        fair,
+        {
+            "asymmetry_10g": ten_on.asymmetry_index(),
+            "asymmetry_1g": one_on.asymmetry_index(),
+            "collapses_10g": float(ten_on.total_collapses()),
+            "collapses_1g": float(one_on.total_collapses()),
+        },
+        f"sync-ON asymmetry {ten_on.asymmetry_index():+.3f} (10G) vs "
+        f"{one_on.asymmetry_index():+.3f} (1G)",
+        claims,
+    ))
+    flat = one_off.flatness_index() <= 0.45 and (
+        ten_off.peak_interference_factor() > one_off.peak_interference_factor() + 0.25
+    )
+    checks.append(_check(
+        "figure5.one_gig_flat_sync_off",
+        flat,
+        {
+            "flatness_1g_sync_off": one_off.flatness_index(),
+            "peak_if_10g_sync_off": ten_off.peak_interference_factor(),
+            "peak_if_1g_sync_off": one_off.peak_interference_factor(),
+        },
+        f"sync-OFF peak IF {ten_off.peak_interference_factor():.2f} (10G) vs "
+        f"{one_off.peak_interference_factor():.2f} (1G)",
+        claims,
+    ))
+    return [c for c in checks if c is not None]
+
+
+def _figure6_checks(result: ExperimentResult) -> List[ClaimCheck]:
+    claims = _claims_map("figure6")
+    checks: List[ClaimCheck] = []
+    scaling = sorted(result.table("figure6a_scaling"), key=lambda r: int(r["servers"]))
+    if len(scaling) >= 2:
+        grows = float(scaling[-1]["max_throughput_GBps"]) > float(scaling[0]["max_throughput_GBps"])
+        checks.append(_check(
+            "figure6.throughput_scales",
+            grows,
+            {f"max_throughput_{r['servers']}": float(r["max_throughput_GBps"]) for r in scaling},
+            "max throughput "
+            + " -> ".join(f"{r['max_throughput_GBps']}GB/s@{r['servers']}" for r in scaling),
+            claims,
+        ))
+    table2 = result.table("table2_interference")
+    factors = {int(r["servers"]): float(r["peak_interference_factor"]) for r in table2}
+    near_two = bool(factors) and all(1.6 <= v <= 2.6 for v in factors.values())
+    spread = (max(factors.values()) - min(factors.values())) if factors else float("nan")
+    checks.append(_check(
+        "figure6.interference_constant",
+        near_two and spread <= 0.6,
+        {f"peak_if_{k}": v for k, v in factors.items()},
+        "peak IF per server count "
+        + ", ".join(f"{k}:{v:.2f}" for k, v in sorted(factors.items())),
+        claims,
+    ))
+    return [c for c in checks if c is not None]
+
+
+def _figure7_checks(result: ExperimentResult) -> List[ClaimCheck]:
+    claims = _claims_map("figure7")
+    checks: List[ClaimCheck] = []
+    rows = {row["device"]: row for row in result.table("figure7_summary")}
+    if not rows:
+        return checks
+    removed = all(
+        float(r["partitioned_peak_IF"]) <= 1.35 and
+        float(r["partitioned_peak_IF"]) < float(r["shared_peak_IF"]) - 0.3
+        for r in rows.values()
+    )
+    checks.append(_check(
+        "figure7.partitioning_removes_interference",
+        removed,
+        {f"partitioned_peak_if_{d}": float(r["partitioned_peak_IF"]) for d, r in rows.items()},
+        ", ".join(
+            f"{d}: shared {float(r['shared_peak_IF']):.2f} -> partitioned "
+            f"{float(r['partitioned_peak_IF']):.2f}" for d, r in rows.items()
+        ),
+        claims,
+    ))
+    costs = all(
+        float(r["partitioned_alone_s"]) > float(r["shared_alone_s"]) * 1.2 for r in rows.values()
+    )
+    checks.append(_check(
+        "figure7.partitioning_costs_alone_performance",
+        costs,
+        {f"alone_ratio_{d}": float(r["partitioned_alone_s"]) / float(r["shared_alone_s"])
+         for d, r in rows.items()},
+        ", ".join(
+            f"{d}: alone {float(r['shared_alone_s']):.2f}s -> "
+            f"{float(r['partitioned_alone_s']):.2f}s" for d, r in rows.items()
+        ),
+        claims,
+    ))
+    beats = any(
+        float(r["partitioned_peak_time_s"]) < float(r["shared_peak_time_s"])
+        for r in rows.values()
+    )
+    checks.append(_check(
+        "figure7.partitioning_can_beat_sharing",
+        beats,
+        {f"peak_time_ratio_{d}":
+         float(r["partitioned_peak_time_s"]) / float(r["shared_peak_time_s"])
+         for d, r in rows.items()},
+        ", ".join(
+            f"{d}: contended peak {float(r['shared_peak_time_s']):.2f}s shared vs "
+            f"{float(r['partitioned_peak_time_s']):.2f}s partitioned"
+            for d, r in rows.items()
+        ),
+        claims,
+    ))
+    return [c for c in checks if c is not None]
+
+
+def _figure8_checks(result: ExperimentResult) -> List[ClaimCheck]:
+    claims = _claims_map("figure8")
+    checks: List[ClaimCheck] = []
+    rows = result.table("figure8_summary")
+    by_sync: Dict[str, List[dict]] = {}
+    for row in rows:
+        by_sync.setdefault(str(row["sync"]), []).append(row)
+    faster = True
+    measured: Dict[str, float] = {}
+    for sync, sync_rows in by_sync.items():
+        ordered = sorted(sync_rows, key=lambda r: r["servers_per_request"], reverse=True)
+        times = [float(r["alone_s"]) for r in ordered]
+        measured.update({f"alone_{sync}_{r['stripe']}": float(r["alone_s"]) for r in ordered})
+        faster = faster and times[-1] <= times[0] * 1.02
+    checks.append(_check(
+        "figure8.larger_stripes_faster",
+        faster,
+        measured,
+        "larger stripes never slower alone: "
+        + ", ".join(f"{k.split('_', 1)[1]}={v:.1f}s" for k, v in sorted(measured.items())),
+        claims,
+    ))
+    off_rows = by_sync.get("Sync OFF", [])
+    single_server = [r for r in off_rows if int(r["servers_per_request"]) == 1]
+    multi_server = [r for r in off_rows if int(r["servers_per_request"]) > 1]
+    if single_server and multi_server:
+        # "Disappear" at the reduced scale: the single-server stripe must be
+        # close to interference-free AND clearly below the multi-server
+        # stripes (the paper's absolute contrast is larger because its
+        # sync-OFF baseline interferes more at full scale).
+        vanished = all(float(r["peak_IF"]) <= 1.35 for r in single_server) and any(
+            float(r["peak_IF"]) >= min(float(s["peak_IF"]) for s in single_server) + 0.15
+            for r in multi_server
+        )
+        checks.append(_check(
+            "figure8.large_stripe_sync_off_interference_free",
+            vanished,
+            {f"peak_if_{r['stripe']}": float(r["peak_IF"]) for r in off_rows},
+            "sync-OFF peak IF "
+            + ", ".join(f"{r['stripe']}={float(r['peak_IF']):.2f}" for r in off_rows),
+            claims,
+        ))
+    return [c for c in checks if c is not None]
+
+
+def _figure9_checks(result: ExperimentResult) -> List[ClaimCheck]:
+    claims = _claims_map("figure9")
+    checks: List[ClaimCheck] = []
+    rows = result.table("figure9_summary")
+    off_rows = [r for r in rows if r["sync"] == "Sync OFF"]
+    if off_rows:
+        small = [r for r in off_rows if int(r["servers_per_request"]) <= 2]
+        large = [r for r in off_rows if int(r["servers_per_request"]) > 2]
+        if small and large:
+            interference_free = all(float(r["peak_IF"]) <= 1.45 for r in small) and any(
+                float(r["peak_IF"]) > 1.5 for r in large
+            )
+            checks.append(_check(
+                "figure9.small_requests_interference_free",
+                interference_free,
+                {f"peak_if_{r['request']}": float(r["peak_IF"]) for r in off_rows},
+                "sync-OFF peak IF "
+                + ", ".join(f"{r['request']}={float(r['peak_IF']):.2f}" for r in off_rows),
+                claims,
+            ))
+            best_alone = min(float(r["alone_s"]) for r in off_rows)
+            small_alone = min(float(r["alone_s"]) for r in small)
+            not_optimal = small_alone > best_alone * 1.15
+            checks.append(_check(
+                "figure9.interference_free_is_not_optimal",
+                not_optimal,
+                {"best_alone_s": best_alone, "small_request_alone_s": small_alone},
+                f"interference-free request sizes are {small_alone / best_alone:.2f}x "
+                "slower alone than the best configuration",
+                claims,
+            ))
+    return [c for c in checks if c is not None]
+
+
+def _figure10_checks(result: ExperimentResult) -> List[ClaimCheck]:
+    claims = _claims_map("figure10")
+    checks: List[ClaimCheck] = []
+    rows = {row["run"]: row for row in result.table("figure10_windows")}
+    alone, contended = rows.get("alone"), rows.get("interfering")
+    if alone and contended:
+        collapse = (
+            int(contended["window_collapses"]) > 10 * max(int(alone["window_collapses"]), 1)
+            and float(contended["time_near_floor"]) >= float(alone["time_near_floor"])
+        )
+        checks.append(_check(
+            "figure10.window_collapse_under_contention",
+            collapse,
+            {
+                "collapses_alone": float(alone["window_collapses"]),
+                "collapses_interfering": float(contended["window_collapses"]),
+                "time_near_floor_interfering": float(contended["time_near_floor"]),
+            },
+            f"window collapses {int(alone['window_collapses'])} alone vs "
+            f"{int(contended['window_collapses'])} under contention",
+            claims,
+        ))
+    return [c for c in checks if c is not None]
+
+
+def _figure11_checks(result: ExperimentResult) -> List[ClaimCheck]:
+    claims = _claims_map("figure11")
+    checks: List[ClaimCheck] = []
+    rows = {row["application"]: row for row in result.table("figure11_summary")}
+    first, second = rows.get("A"), rows.get("B")
+    if first and second:
+        penalized = (
+            int(second["window_collapses"]) > int(first["window_collapses"])
+            and float(second["progress_at_slowdown"]) <= float(first["progress_at_slowdown"]) + 0.05
+        )
+        checks.append(_check(
+            "figure11.second_app_penalized",
+            penalized,
+            {
+                "first_slowdown_progress": float(first["progress_at_slowdown"]),
+                "second_slowdown_progress": float(second["progress_at_slowdown"]),
+                "first_collapses": float(first["window_collapses"]),
+                "second_collapses": float(second["window_collapses"]),
+            },
+            f"slowdown at {float(first['progress_at_slowdown']):.0%} of the transfer for the "
+            f"first application vs {float(second['progress_at_slowdown']):.0%} for the second",
+            claims,
+        ))
+    return [c for c in checks if c is not None]
+
+
+def _figure12_checks(result: ExperimentResult) -> List[ClaimCheck]:
+    claims = _claims_map("figure12")
+    checks: List[ClaimCheck] = []
+    rows = sorted(result.table("figure12_summary"), key=lambda r: int(r["total_clients"]))
+    if len(rows) >= 2:
+        threshold = (
+            int(rows[0]["collapses"]) < int(rows[-1]["collapses"])
+            and int(rows[-1]["collapses"]) > 100
+        )
+        checks.append(_check(
+            "figure12.incast_needs_many_clients",
+            threshold,
+            {f"collapses_{r['total_clients']}": float(r["collapses"]) for r in rows},
+            "window collapses per client count "
+            + ", ".join(f"{r['total_clients']}:{r['collapses']}" for r in rows),
+            claims,
+        ))
+    return [c for c in checks if c is not None]
+
+
+_CHECKERS: Dict[str, Callable[[ExperimentResult], List[ClaimCheck]]] = {
+    "table1": _table1_checks,
+    "figure2": _figure2_checks,
+    "figure3": _figure3_checks,
+    "figure4": _figure4_checks,
+    "figure5": _figure5_checks,
+    "figure6": _figure6_checks,
+    "figure7": _figure7_checks,
+    "figure8": _figure8_checks,
+    "figure9": _figure9_checks,
+    "figure10": _figure10_checks,
+    "figure11": _figure11_checks,
+    "figure12": _figure12_checks,
+}
+
+
+# --------------------------------------------------------------------------- #
+# Public API
+# --------------------------------------------------------------------------- #
+
+
+def check_experiment(result: ExperimentResult) -> List[ClaimCheck]:
+    """Evaluate every recorded paper claim against one experiment result.
+
+    Unknown experiment ids raise :class:`~repro.errors.AnalysisError`;
+    missing tables or sweeps simply skip the claims that need them.
+    """
+    checker = _CHECKERS.get(result.experiment_id)
+    if checker is None:
+        raise AnalysisError(
+            f"no paper-claim checker registered for experiment {result.experiment_id!r}; "
+            f"known: {sorted(_CHECKERS)}"
+        )
+    return checker(result)
+
+
+def checks_to_rows(checks: List[ClaimCheck]) -> List[Dict[str, object]]:
+    """Flatten claim checks into table rows (for CSV/markdown export)."""
+    rows = []
+    for check in checks:
+        rows.append(
+            {
+                "claim": check.claim_id,
+                "section": check.claim.section,
+                "agrees": "yes" if check.passed else "no",
+                "measured": check.detail,
+            }
+        )
+    return rows
+
+
+def format_checks(checks: List[ClaimCheck]) -> str:
+    """Plain-text listing of claim verdicts."""
+    if not checks:
+        return "(no claims registered)"
+    return "\n".join(check.describe() for check in checks)

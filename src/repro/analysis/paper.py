@@ -1,0 +1,357 @@
+"""The paper's reported results, as structured reference data.
+
+Every quantitative number and every boxed "lesson learned" of the paper's
+evaluation section (Section IV) is recorded here so that:
+
+* the comparison module (:mod:`repro.analysis.comparison`) can grade a
+  reproduction run claim by claim,
+* the campaign runner (:mod:`repro.analysis.campaign`) can put the paper's
+  value next to the measured value in ``EXPERIMENTS.md``,
+* tests can assert that the reference data itself is consistent (e.g. the
+  Table I slowdowns match the reported alone/interfering times).
+
+Nothing in this module runs a simulation; it is pure data plus tiny lookup
+helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import AnalysisError
+
+__all__ = [
+    "PaperDeviceRow",
+    "PaperClaim",
+    "TABLE1",
+    "TABLE2",
+    "CLAIMS",
+    "claims_for",
+    "claim_by_id",
+    "paper_reference_tables",
+    "EXPERIMENT_TITLES",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Quantitative tables
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class PaperDeviceRow:
+    """One row of the paper's Table I (local writes, one device)."""
+
+    device: str
+    alone_seconds: float
+    interfering_seconds: float
+    slowdown: float
+
+    def consistent(self, tolerance: float = 0.02) -> bool:
+        """True when the reported slowdown matches the reported times."""
+        derived = self.interfering_seconds / self.alone_seconds
+        return abs(derived - self.slowdown) <= tolerance * self.slowdown
+
+
+#: Table I — "Time taken by an application running on one core to write 2 GB
+#: locally using a contiguous pattern, alone and in the presence of another
+#: application performing the same access to another file at the same moment."
+TABLE1: Dict[str, PaperDeviceRow] = {
+    "HDD": PaperDeviceRow("HDD", alone_seconds=13.4, interfering_seconds=33.4, slowdown=2.49),
+    "SSD": PaperDeviceRow("SSD", alone_seconds=2.27, interfering_seconds=4.46, slowdown=1.96),
+    "RAM": PaperDeviceRow("RAM", alone_seconds=1.32, interfering_seconds=2.09, slowdown=1.58),
+}
+
+#: Table II — "Peak interference factor observed by the application for
+#: different numbers of storage servers." (sync OFF, contiguous pattern)
+TABLE2: Dict[int, float] = {4: 2.22, 8: 2.28, 12: 2.07, 24: 2.00}
+
+
+#: Human-readable titles for every reproduced experiment, keyed by the ids
+#: used throughout the repository.
+EXPERIMENT_TITLES: Dict[str, str] = {
+    "table1": "Table I — local device-level interference",
+    "figure2": "Figure 2 — contiguous pattern, backend devices",
+    "figure3": "Figure 3 — strided pattern, backend devices",
+    "figure4": "Figure 4 — writers per node (network interface)",
+    "figure5": "Figure 5 — network bandwidth (10G vs 1G)",
+    "figure6": "Figure 6 / Table II — number of storage servers",
+    "figure7": "Figure 7 — targeted storage servers (partitioning)",
+    "figure8": "Figure 8 — data distribution policy (stripe size)",
+    "figure9": "Figure 9 — request size",
+    "figure10": "Figure 10 — TCP window evolution (Incast)",
+    "figure11": "Figure 11 — unfairness between first and second application",
+    "figure12": "Figure 12 — Incast vs number of clients",
+}
+
+
+# --------------------------------------------------------------------------- #
+# Qualitative claims
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class PaperClaim:
+    """One checkable statement the paper makes about an experiment.
+
+    Attributes
+    ----------
+    claim_id:
+        Stable identifier (``"<experiment>.<slug>"``) used by the comparison
+        module and EXPERIMENTS.md.
+    experiment_id:
+        The experiment (table/figure) the claim belongs to.
+    statement:
+        The claim, paraphrasing the paper.
+    paper_values:
+        Optional quantitative values the paper reports for this claim.
+    section:
+        Paper section/figure the claim is drawn from.
+    """
+
+    claim_id: str
+    experiment_id: str
+    statement: str
+    section: str
+    paper_values: Mapping[str, float] = field(default_factory=dict)
+
+
+CLAIMS: Tuple[PaperClaim, ...] = (
+    # ----------------------------------------------------------------- Table I
+    PaperClaim(
+        "table1.ordering",
+        "table1",
+        "The local-write slowdown under contention is largest for HDD, then SSD, "
+        "then RAM (2.49x / 1.96x / 1.58x).",
+        "Table I",
+        {"hdd": 2.49, "ssd": 1.96, "ram": 1.58},
+    ),
+    PaperClaim(
+        "table1.hdd_exceeds_fair_share",
+        "table1",
+        "The HDD slowdown exceeds the fair-sharing factor of 2 because interleaved "
+        "requests to distinct files add disk-head movement.",
+        "Section IV-A1",
+        {"hdd": 2.49},
+    ),
+    # ---------------------------------------------------------------- Figure 2
+    PaperClaim(
+        "figure2.peak_slowdown_2x",
+        "figure2",
+        "With a contiguous pattern the peak slowdown is about 2x regardless of the "
+        "storage backend.",
+        "Figure 2, Section IV-A1",
+        {"peak_interference_factor": 2.0},
+    ),
+    PaperClaim(
+        "figure2.hdd_sync_on_unfair",
+        "figure2",
+        "With HDDs and synchronization enabled the delta-graph is asymmetric: the "
+        "application that enters its I/O phase first gets better performance.",
+        "Figure 2(a)-(b)",
+    ),
+    PaperClaim(
+        "figure2.null_aio_flat",
+        "figure2",
+        "The null-aio method (no disk I/O at all) shows essentially no interference.",
+        "Figure 2(c)-(d)",
+    ),
+    PaperClaim(
+        "figure2.faster_backends_faster",
+        "figure2",
+        "Local memory and SSD backends complete the same workload faster than HDDs.",
+        "Figure 2",
+    ),
+    # ---------------------------------------------------------------- Figure 3
+    PaperClaim(
+        "figure3.hdd_sync_on_worst",
+        "figure3",
+        "With a strided pattern and synchronization enabled, HDDs are far slower "
+        "than SSD/RAM and suffer a higher interference factor (random accesses "
+        "amplify both).",
+        "Figure 3(a)-(d)",
+    ),
+    PaperClaim(
+        "figure3.sync_off_equalizes",
+        "figure3",
+        "With synchronization disabled all backends behave alike (the data stays "
+        "in memory).",
+        "Figure 3(e)-(f)",
+    ),
+    # ---------------------------------------------------------------- Figure 4
+    PaperClaim(
+        "figure4.fewer_writers_faster_alone",
+        "figure4",
+        "Using a single writer per node instead of all cores improves "
+        "interference-free performance.",
+        "Figure 4, Section IV-A2",
+    ),
+    PaperClaim(
+        "figure4.fewer_writers_fairer",
+        "figure4",
+        "All cores writing not only produces more interference but also leads to "
+        "unfairness; one writer per node removes the unfair behaviour.",
+        "Figure 4, Section IV-A2",
+    ),
+    # ---------------------------------------------------------------- Figure 5
+    PaperClaim(
+        "figure5.sync_on_same_peak",
+        "figure5",
+        "With synchronization enabled the peak write time under contention is the "
+        "same for the 10G and the 1G network (the disks are the bottleneck).",
+        "Figure 5(a)",
+    ),
+    PaperClaim(
+        "figure5.one_gig_restores_fairness",
+        "figure5",
+        "Throttling the network to 1G restores a symmetric (fair) interference "
+        "behaviour with synchronization enabled.",
+        "Figure 5(a)",
+    ),
+    PaperClaim(
+        "figure5.one_gig_flat_sync_off",
+        "figure5",
+        "With synchronization disabled the 1G network eliminates the interference "
+        "(flat delta-graph) because it limits each application to a rate the "
+        "servers can sustain.",
+        "Figure 5(b)",
+    ),
+    # ------------------------------------------------------- Figure 6 / Table II
+    PaperClaim(
+        "figure6.throughput_scales",
+        "figure6",
+        "The maximum aggregate throughput grows with the number of storage servers.",
+        "Figure 6(a)",
+    ),
+    PaperClaim(
+        "figure6.interference_constant",
+        "figure6",
+        "The peak interference factor stays close to 2 regardless of the number of "
+        "servers (2.22 / 2.28 / 2.07 / 2.00 for 4/8/12/24 servers).",
+        "Table II",
+        {str(k): v for k, v in TABLE2.items()},
+    ),
+    # ---------------------------------------------------------------- Figure 7
+    PaperClaim(
+        "figure7.partitioning_removes_interference",
+        "figure7",
+        "Making each application target a distinct set of servers removes the "
+        "interference (and the unfairness).",
+        "Figure 7, Section IV-A5",
+    ),
+    PaperClaim(
+        "figure7.partitioning_costs_alone_performance",
+        "figure7",
+        "Using half the servers decreases the performance of a single application.",
+        "Figure 7",
+    ),
+    PaperClaim(
+        "figure7.partitioning_can_beat_sharing",
+        "figure7",
+        "Under contention, partitioned servers can complete the workload faster "
+        "than both applications interfering on all servers.",
+        "Figure 7, Section IV-A5",
+    ),
+    # ---------------------------------------------------------------- Figure 8
+    PaperClaim(
+        "figure8.larger_stripes_faster",
+        "figure8",
+        "Stripe sizes larger than the 64 KiB default significantly improve "
+        "performance for the strided workload.",
+        "Figure 8",
+    ),
+    PaperClaim(
+        "figure8.large_stripe_sync_off_interference_free",
+        "figure8",
+        "With synchronization disabled, a stripe size that maps each request to a "
+        "single server makes the interference disappear.",
+        "Figure 8(b), Section IV-A6",
+    ),
+    # ---------------------------------------------------------------- Figure 9
+    PaperClaim(
+        "figure9.small_requests_interference_free",
+        "figure9",
+        "With synchronization disabled, small request sizes (64/128 KiB) remove the "
+        "interference because each request involves fewer servers.",
+        "Figure 9(b), Section IV-A7",
+    ),
+    PaperClaim(
+        "figure9.interference_free_is_not_optimal",
+        "figure9",
+        "The interference-free small-request configurations are far from optimal "
+        "for a single application — no interference does not mean good performance.",
+        "Section IV-A7",
+    ),
+    # --------------------------------------------------------------- Figure 10
+    PaperClaim(
+        "figure10.window_collapse_under_contention",
+        "figure10",
+        "Under contention the TCP window of a client connection repeatedly drops "
+        "to nearly zero (Incast), while it stays high when the application runs "
+        "alone.",
+        "Figure 10, Section IV-B1",
+    ),
+    # --------------------------------------------------------------- Figure 11
+    PaperClaim(
+        "figure11.second_app_penalized",
+        "figure11",
+        "The application that starts second sees its windows collapse and its "
+        "progress slowed from much earlier in its transfer than the application "
+        "that started first (40% vs 90%).",
+        "Figure 11, Section IV-B2",
+        {"first_slowdown_progress": 0.9, "second_slowdown_progress": 0.4},
+    ),
+    # --------------------------------------------------------------- Figure 12
+    PaperClaim(
+        "figure12.incast_needs_many_clients",
+        "figure12",
+        "The Incast collapse and the resulting unfair behaviour appear only above "
+        "a client-count threshold; at small client counts the interference is the "
+        "symmetric sharing of the backend device.",
+        "Figure 12, Section IV-B2",
+    ),
+)
+
+
+# --------------------------------------------------------------------------- #
+# Lookup helpers
+# --------------------------------------------------------------------------- #
+
+
+def claims_for(experiment_id: str) -> List[PaperClaim]:
+    """All claims recorded for one experiment id (may be empty)."""
+    key = experiment_id.strip().lower()
+    return [claim for claim in CLAIMS if claim.experiment_id == key]
+
+
+def claim_by_id(claim_id: str) -> PaperClaim:
+    """Look one claim up by its stable identifier."""
+    for claim in CLAIMS:
+        if claim.claim_id == claim_id:
+            return claim
+    raise AnalysisError(f"unknown paper claim {claim_id!r}")
+
+
+def paper_reference_tables() -> Dict[str, List[Dict[str, object]]]:
+    """The paper's quantitative tables as row dictionaries (for reports)."""
+    table1_rows = [
+        {
+            "device": row.device,
+            "alone_s": row.alone_seconds,
+            "interfering_s": row.interfering_seconds,
+            "slowdown": row.slowdown,
+        }
+        for row in TABLE1.values()
+    ]
+    table2_rows = [
+        {"servers": servers, "peak_interference_factor": factor}
+        for servers, factor in sorted(TABLE2.items())
+    ]
+    return {"table1": table1_rows, "table2": table2_rows}
+
+
+def expected_slowdown(device: str) -> Optional[float]:
+    """The paper's Table I slowdown for a device name (case-insensitive)."""
+    row = TABLE1.get(device.upper())
+    return None if row is None else row.slowdown

@@ -1,0 +1,87 @@
+"""CSV / JSON export of experiment results."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.core.delta import DeltaSweep
+from repro.errors import AnalysisError
+
+__all__ = ["rows_to_csv", "rows_to_markdown", "sweep_to_csv", "summary_to_json"]
+
+
+def rows_to_csv(
+    rows: Iterable[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Serialize a list of flat dictionaries as CSV text.
+
+    Columns default to the union of keys in first-appearance order.
+    """
+    rows = list(rows)
+    if not rows:
+        raise AnalysisError("cannot export zero rows")
+    if columns is None:
+        seen = {}
+        for row in rows:
+            for key in row:
+                seen.setdefault(key, None)
+        columns = list(seen)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(columns), extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({k: row.get(k, "") for k in columns})
+    return buffer.getvalue()
+
+
+def rows_to_markdown(
+    rows: Iterable[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Serialize a list of flat dictionaries as a GitHub-style markdown table.
+
+    Columns default to the union of keys in first-appearance order.  Floats
+    are rendered with a compact precision suitable for EXPERIMENTS.md.
+    """
+    rows = list(rows)
+    if not rows:
+        raise AnalysisError("cannot export zero rows")
+    if columns is None:
+        seen = {}
+        for row in rows:
+            for key in row:
+                seen.setdefault(key, None)
+        columns = list(seen)
+
+    def render(value: object) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            if value != value:  # NaN
+                return ""
+            if abs(value) >= 1000:
+                return f"{value:.0f}"
+            return f"{value:.3g}"
+        return str(value)
+
+    lines = [
+        "| " + " | ".join(str(c) for c in columns) + " |",
+        "|" + "|".join(" --- " for _ in columns) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(render(row.get(c, "")) for c in columns) + " |")
+    return "\n".join(lines)
+
+
+def sweep_to_csv(sweep: DeltaSweep) -> str:
+    """Serialize a Δ-graph sweep as CSV (one row per delay)."""
+    return rows_to_csv(sweep.rows())
+
+
+def summary_to_json(summary: Mapping[str, object], indent: int = 2) -> str:
+    """Serialize a metric summary as pretty JSON."""
+    return json.dumps(dict(summary), indent=indent, sort_keys=True, default=float)

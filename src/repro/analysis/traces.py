@@ -1,0 +1,144 @@
+"""Trace analytics for the window/progress figures.
+
+Figure 10 of the paper compares the TCP window evolution of one client
+connection running alone against the same connection under contention;
+Figure 11 overlays window size and transfer progress for one client of each
+application and reads off *where* each application's progress starts to slow
+down.  The helpers here compute those quantities from recorded traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.model.results import RunResult
+from repro.sim.timeseries import TimeSeries
+
+__all__ = ["WindowStatistics", "window_statistics", "progress_slowdown_point"]
+
+
+@dataclass(frozen=True)
+class WindowStatistics:
+    """Summary of one traced connection's window evolution."""
+
+    name: str
+    mean: float
+    minimum: float
+    maximum: float
+    final: float
+    collapse_fraction: float
+
+    def collapsed(self, threshold_fraction: float = 0.2) -> bool:
+        """True when the window spent a meaningful time near its floor."""
+        return self.collapse_fraction >= threshold_fraction
+
+
+def window_statistics(
+    series: TimeSeries, floor: Optional[float] = None
+) -> WindowStatistics:
+    """Summarize a window trace.
+
+    Parameters
+    ----------
+    series:
+        The recorded window series (bytes over time).
+    floor:
+        Window size considered "collapsed"; defaults to 10% of the series
+        maximum.
+    """
+    if len(series) == 0:
+        raise AnalysisError(f"window series {series.name!r} is empty")
+    values = series.values
+    peak = float(np.max(values))
+    if floor is None:
+        floor = 0.1 * peak if peak > 0 else 0.0
+    collapse_fraction = float(np.mean(values <= floor)) if peak > 0 else 0.0
+    return WindowStatistics(
+        name=series.name,
+        mean=float(np.mean(values)),
+        minimum=float(np.min(values)),
+        maximum=peak,
+        final=float(values[-1]),
+        collapse_fraction=collapse_fraction,
+    )
+
+
+def progress_slowdown_point(
+    result: RunResult,
+    app: str,
+    threshold: float = 0.6,
+    sustain_fraction: float = 0.15,
+    reference_rate: Optional[float] = None,
+) -> float:
+    """Progress fraction at which an application's transfer slows down.
+
+    Mirrors the reading of the paper's Figure 11: the first application only
+    slows down at ~90% of its transfer while the second slows down at ~40%.
+    The slowdown point is the progress fraction at the first moment from
+    which the application's progress rate stays below ``threshold`` times the
+    reference rate for a sustained stretch of its I/O phase (at least
+    ``sustain_fraction`` of the phase).  Only the part of the trace before
+    the transfer completes is considered.
+
+    Parameters
+    ----------
+    result, app:
+        The run and the application to analyse.
+    threshold:
+        Fraction of the reference rate below which progress counts as slow.
+    sustain_fraction:
+        Minimum fraction of the I/O phase the slow stretch must last; short
+        dips (a single collective barrier, one flush) are ignored.
+    reference_rate:
+        Expected healthy progress rate (fraction of the transfer per second).
+        Defaults to the application's own peak rate over the phase — for an
+        application that is held back from the very start (the paper's second
+        application) that peak is only reached once the contender has left,
+        which is exactly the comparison Figure 11 makes.
+
+    Returns 1.0 if the application never slows down.
+    """
+    series = result.progress_series(app)
+    if len(series) < 3:
+        raise AnalysisError(f"not enough progress samples for application {app!r}")
+    times = series.times
+    values = series.values
+    # Only the active part of the phase: drop the flat tail after completion.
+    done = values >= 1.0 - 1e-9
+    if np.any(done):
+        last = int(np.argmax(done)) + 1
+        times = times[: last + 1]
+        values = values[: last + 1]
+    if values.shape[0] < 3:
+        return 1.0
+    rates = np.diff(values) / np.maximum(np.diff(times), 1e-12)
+    if np.all(rates <= 0):
+        return 1.0
+    if reference_rate is None:
+        reference_rate = float(np.max(rates))
+    if reference_rate <= 0:
+        raise AnalysisError("reference_rate must be positive")
+    slow = rates < threshold * reference_rate
+    sustain = max(int(np.ceil(sustain_fraction * rates.shape[0])), 2)
+    # Earliest sample index from which the rate stays slow for `sustain`
+    # consecutive samples (or slow until the end of the phase if fewer
+    # samples remain).
+    for i in range(rates.shape[0]):
+        window = slow[i : i + sustain]
+        if window.shape[0] == 0:
+            break
+        if np.all(window):
+            return float(values[i])
+    return 1.0
+
+
+def compare_window_traces(result: RunResult) -> Dict[str, WindowStatistics]:
+    """Window statistics for every traced connection of a run."""
+    stats = {}
+    for name in result.window_series_names():
+        stats[name] = window_statistics(result.recorder.get_series(name))
+    return stats

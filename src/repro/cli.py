@@ -1,0 +1,179 @@
+"""Command-line interface.
+
+Examples
+--------
+List the available experiments::
+
+    repro-io list
+
+Run one reproduction and print its report::
+
+    repro-io run figure5 --scale reduced
+
+Run a custom Δ-graph sweep::
+
+    repro-io sweep --device hdd --sync sync-on --pattern contiguous --points 9
+
+Export an experiment table as CSV::
+
+    repro-io run figure6 --csv table2_interference
+
+Run the whole campaign and regenerate EXPERIMENTS.md::
+
+    repro-io campaign --scale reduced --output EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import units
+from repro.analysis.asciiplot import plot_delta_sweep
+from repro.analysis.tables import sweep_to_csv
+from repro.core.experiment import TwoApplicationExperiment
+from repro.core.reporting import format_delta_sweep
+from repro.experiments.registry import get_experiment, list_experiments
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-io",
+        description=(
+            "Reproduction toolkit for 'On the Root Causes of Cross-Application "
+            "I/O Interference in HPC Storage Systems' (IPDPS 2016)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the available table/figure reproductions")
+
+    run_parser = sub.add_parser("run", help="run one table/figure reproduction")
+    run_parser.add_argument("experiment", help="experiment id, e.g. table1 or figure5")
+    run_parser.add_argument("--scale", default="reduced", choices=["tiny", "reduced", "paper"])
+    run_parser.add_argument("--quick", action="store_true", help="use fewer sweep points")
+    run_parser.add_argument(
+        "--csv", metavar="TABLE", default=None, help="print one result table as CSV"
+    )
+
+    sweep_parser = sub.add_parser("sweep", help="run a custom two-application delta sweep")
+    sweep_parser.add_argument("--scale", default="reduced", choices=["tiny", "reduced", "paper"])
+    sweep_parser.add_argument("--device", default="hdd", help="hdd, ssd, ram")
+    sweep_parser.add_argument(
+        "--sync", default="sync-on", choices=["sync-on", "sync-off", "null-aio"]
+    )
+    sweep_parser.add_argument("--pattern", default="contiguous", choices=["contiguous", "strided"])
+    sweep_parser.add_argument("--network", default="10g", choices=["10g", "1g"])
+    sweep_parser.add_argument("--stripe-kib", type=float, default=64.0)
+    sweep_parser.add_argument("--request-kib", type=float, default=None)
+    sweep_parser.add_argument("--points", type=int, default=9)
+    sweep_parser.add_argument("--partition-servers", action="store_true")
+    sweep_parser.add_argument("--plot", action="store_true", help="also print an ASCII plot")
+    sweep_parser.add_argument("--csv", action="store_true", help="print the sweep as CSV")
+
+    campaign_parser = sub.add_parser(
+        "campaign",
+        help="run every table/figure reproduction and write the EXPERIMENTS.md report",
+    )
+    campaign_parser.add_argument(
+        "--scale", default="reduced", choices=["tiny", "reduced", "paper"]
+    )
+    campaign_parser.add_argument("--quick", action="store_true",
+                                 help="use fewer sweep points per experiment")
+    campaign_parser.add_argument(
+        "--only", nargs="+", metavar="ID", default=None,
+        help="restrict the campaign to these experiment ids (e.g. table1 figure5)",
+    )
+    campaign_parser.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="write the markdown report to this file (default: print to stdout)",
+    )
+
+    return parser
+
+
+def _command_list() -> int:
+    for entry in list_experiments():
+        print(f"{entry.experiment_id:10s} {entry.paper_reference:22s} {entry.title}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    entry = get_experiment(args.experiment)
+    result = entry.run(scale=args.scale, quick=args.quick)
+    if args.csv:
+        print(result.table_csv(args.csv), end="")
+    else:
+        print(result.report())
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    kwargs = dict(
+        device=args.device,
+        sync_mode=args.sync,
+        pattern=args.pattern,
+        network=args.network,
+        stripe_size=args.stripe_kib * units.KiB,
+        partition_servers=args.partition_servers,
+    )
+    if args.request_kib is not None:
+        kwargs["request_size"] = args.request_kib * units.KiB
+    experiment = TwoApplicationExperiment(args.scale, **kwargs)
+    sweep = experiment.run_sweep(n_points=args.points)
+    if args.csv:
+        print(sweep_to_csv(sweep), end="")
+        return 0
+    print(format_delta_sweep(sweep))
+    if args.plot:
+        print()
+        print(plot_delta_sweep(sweep))
+    return 0
+
+
+def _command_campaign(args: argparse.Namespace) -> int:
+    # Imported lazily: the campaign machinery pulls in every experiment module.
+    from repro.analysis.campaign import campaign_to_markdown, run_campaign
+
+    def progress(experiment_id: str, record) -> None:
+        print(
+            f"[campaign] {experiment_id:10s} {record.n_agreeing}/{record.n_claims} "
+            f"claims agree ({record.wall_time:.1f}s)",
+            file=sys.stderr,
+        )
+
+    campaign = run_campaign(
+        scale=args.scale, quick=args.quick, experiments=args.only, progress=progress
+    )
+    text = campaign_to_markdown(campaign)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}: {campaign.describe()}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro-io`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
+    if args.command == "campaign":
+        return _command_campaign(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Configuration dataclasses and presets.
+
+Everything the simulator needs to know about the platform, the parallel file
+system deployment, and the workloads is described by small, validated,
+immutable-ish dataclasses defined here:
+
+* :mod:`repro.config.network`   — NICs, link rates, TCP-like transport knobs,
+* :mod:`repro.config.server`    — per-server ingest, buffering, caching,
+* :mod:`repro.config.filesystem`— the PVFS-like deployment (stripe, sync, devices),
+* :mod:`repro.config.platform`  — compute-node hardware,
+* :mod:`repro.config.workload`  — access patterns and application groups,
+* :mod:`repro.config.scenario`  — the full experiment description,
+* :mod:`repro.config.presets`   — paper-scale and reduced-scale presets
+  modelled after the Grid'5000 parasilo/paravance clusters used in the paper.
+
+The split mirrors the paper's "potential points of contention" (Figure 1):
+network interface, storage network, file-system servers, and backend devices.
+"""
+
+from repro.config.network import NetworkConfig, TransportConfig
+from repro.config.platform import PlatformConfig
+from repro.config.server import ServerConfig
+from repro.config.filesystem import FileSystemConfig, SyncMode
+from repro.config.workload import AccessKind, ApplicationSpec, PatternSpec
+from repro.config.scenario import ScenarioConfig, SimulationControl
+from repro.config.presets import (
+    PresetName,
+    grid5000_platform,
+    make_multi_app_scenario,
+    make_scenario,
+    make_single_app_scenario,
+    paper_scale,
+    reduced_scale,
+    tiny_scale,
+)
+
+__all__ = [
+    "NetworkConfig",
+    "TransportConfig",
+    "PlatformConfig",
+    "ServerConfig",
+    "FileSystemConfig",
+    "SyncMode",
+    "AccessKind",
+    "PatternSpec",
+    "ApplicationSpec",
+    "ScenarioConfig",
+    "SimulationControl",
+    "PresetName",
+    "grid5000_platform",
+    "make_scenario",
+    "make_single_app_scenario",
+    "make_multi_app_scenario",
+    "paper_scale",
+    "reduced_scale",
+    "tiny_scale",
+]

@@ -1,0 +1,168 @@
+"""Parallel file-system deployment configuration.
+
+Describes an OrangeFS/PVFS2-like deployment: how many servers, how files are
+striped across them, whether each write is synchronized to the backend
+("Sync ON") or left to kernel buffers ("Sync OFF"), and which backend device
+each server uses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence, Tuple
+
+from repro import units
+from repro.config.server import ServerConfig
+from repro.errors import ConfigurationError
+from repro.storage.device import DeviceSpec
+from repro.storage import device_by_name
+
+__all__ = ["SyncMode", "FileSystemConfig"]
+
+
+class SyncMode(enum.Enum):
+    """Whether servers flush each request to the backend before acknowledging.
+
+    * ``SYNC_ON`` — "Sync ON" in the paper: every request is written to the
+      backend device before the acknowledgement; the device is on the
+      critical path.
+    * ``SYNC_OFF`` — data may stay in kernel buffers (the write-back cache);
+      the device is off the critical path as long as memory lasts.
+    * ``NULL_AIO`` — the Trove null-aio method: data is discarded; neither
+      device nor cache is involved.
+    """
+
+    SYNC_ON = "sync-on"
+    SYNC_OFF = "sync-off"
+    NULL_AIO = "null-aio"
+
+    @property
+    def label(self) -> str:
+        """Label matching the paper's figures."""
+        return {
+            SyncMode.SYNC_ON: "Sync ON",
+            SyncMode.SYNC_OFF: "Sync OFF",
+            SyncMode.NULL_AIO: "Null-aio",
+        }[self]
+
+
+@dataclass(frozen=True)
+class FileSystemConfig:
+    """A PVFS-like deployment.
+
+    Attributes
+    ----------
+    n_servers:
+        Number of storage servers (the paper deploys 4 to 24).
+    stripe_size:
+        Round-robin striping unit (bytes); PVFS default is 64 KiB.
+    sync_mode:
+        Synchronization policy (see :class:`SyncMode`).
+    device:
+        Backend device specification used by every server (the paper always
+        uses homogeneous backends).
+    server:
+        Per-server resource description.
+    name:
+        Optional label for reports.
+    """
+
+    n_servers: int = 12
+    stripe_size: float = 64 * units.KiB
+    sync_mode: SyncMode = SyncMode.SYNC_ON
+    device: DeviceSpec = field(default_factory=lambda: device_by_name("hdd"))
+    server: ServerConfig = field(default_factory=ServerConfig)
+    name: str = "pvfs"
+
+    def __post_init__(self) -> None:
+        if self.n_servers <= 0:
+            raise ConfigurationError("n_servers must be positive")
+        if self.stripe_size <= 0:
+            raise ConfigurationError("stripe_size must be positive")
+        if not isinstance(self.sync_mode, SyncMode):
+            raise ConfigurationError(f"sync_mode must be a SyncMode, got {self.sync_mode!r}")
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+
+    @property
+    def all_servers(self) -> Tuple[int, ...]:
+        """Indices of every server in the deployment."""
+        return tuple(range(self.n_servers))
+
+    def server_groups(self, n_groups: int) -> Tuple[Tuple[int, ...], ...]:
+        """Split the servers into ``n_groups`` contiguous, near-equal groups.
+
+        Used by the "targeted servers" experiment (Figure 7): with two groups
+        each application writes to its own half of the deployment.
+        """
+        if n_groups <= 0:
+            raise ConfigurationError("n_groups must be positive")
+        if n_groups > self.n_servers:
+            raise ConfigurationError(
+                f"cannot split {self.n_servers} servers into {n_groups} groups"
+            )
+        base = self.n_servers // n_groups
+        extra = self.n_servers % n_groups
+        groups = []
+        start = 0
+        for g in range(n_groups):
+            size = base + (1 if g < extra else 0)
+            groups.append(tuple(range(start, start + size)))
+            start += size
+        return tuple(groups)
+
+    # ------------------------------------------------------------------ #
+    # Builders
+    # ------------------------------------------------------------------ #
+
+    def with_device(self, device: DeviceSpec | str) -> "FileSystemConfig":
+        """Return a copy using a different backend device (spec or preset name)."""
+        spec = device_by_name(device) if isinstance(device, str) else device
+        return replace(self, device=spec)
+
+    def with_sync(self, sync_mode: SyncMode | str | bool) -> "FileSystemConfig":
+        """Return a copy with a different synchronization policy.
+
+        Accepts a :class:`SyncMode`, the strings ``"sync-on"`` /
+        ``"sync-off"`` / ``"null-aio"``, or a boolean (True = sync ON).
+        """
+        if isinstance(sync_mode, bool):
+            mode = SyncMode.SYNC_ON if sync_mode else SyncMode.SYNC_OFF
+        elif isinstance(sync_mode, str):
+            try:
+                mode = SyncMode(sync_mode)
+            except ValueError as exc:
+                raise ConfigurationError(f"unknown sync mode {sync_mode!r}") from exc
+        else:
+            mode = sync_mode
+        return replace(self, sync_mode=mode)
+
+    def with_stripe_size(self, stripe_size: float) -> "FileSystemConfig":
+        """Return a copy with a different striping unit."""
+        return replace(self, stripe_size=float(stripe_size))
+
+    def with_servers(self, n_servers: int) -> "FileSystemConfig":
+        """Return a copy with a different number of servers."""
+        return replace(self, n_servers=int(n_servers))
+
+    def with_server_config(self, server: ServerConfig) -> "FileSystemConfig":
+        """Return a copy with different per-server resources."""
+        return replace(self, server=server)
+
+    def describe(self) -> str:
+        """One-line human-readable description for reports."""
+        return (
+            f"{self.name}: {self.n_servers} servers, stripe "
+            f"{units.bytes_to_human(self.stripe_size)}, {self.sync_mode.label}, "
+            f"backend {self.device.name}"
+        )
+
+
+def _coerce_optional(value: Optional[Sequence[int]]) -> Optional[Tuple[int, ...]]:
+    """Normalize an optional sequence of server indices (helper for callers)."""
+    if value is None:
+        return None
+    return tuple(int(v) for v in value)

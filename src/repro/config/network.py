@@ -1,0 +1,337 @@
+"""Network and transport configuration.
+
+Two layers are described here:
+
+* :class:`NetworkConfig` — the *physical* storage network: client and server
+  NIC rates, the per-node effective injection bandwidth (the end-to-end
+  goodput a compute node's I/O stack actually achieves, which on the paper's
+  testbed is far below the raw 10 Gbps line rate), and the base round-trip
+  time.
+
+* :class:`TransportConfig` — the *TCP-like transport* the PVFS clients and
+  servers talk over: congestion-window bounds, additive-increase /
+  multiplicative-decrease parameters, the retransmission timeout, and the
+  knobs of the Incast model (established-flow admission weight, collapse
+  efficiency penalty).  These drive the flow-control phenomena the paper
+  identifies as the root cause of unfair interference (Section IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro import units
+from repro.errors import ConfigurationError
+
+__all__ = ["NetworkConfig", "TransportConfig"]
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Parameters of the TCP-like per-connection transport model.
+
+    The model keeps one congestion window per (client process, server)
+    connection and updates it once per simulation step:
+
+    * additive increase when the connection got (nearly) the rate it asked
+      for,
+    * multiplicative decrease when the server buffer throttled it,
+    * collapse to ``window_min`` plus a ``rto`` stall when it was starved for
+      a full RTO — the Incast signature of the paper's Figure 10.
+
+    Attributes
+    ----------
+    window_init:
+        Initial congestion window of a fresh connection (bytes).
+    window_min:
+        Floor of the congestion window (bytes); a collapsed connection
+        restarts from here.
+    window_max:
+        Cap of the congestion window (bytes).
+    mss:
+        Maximum segment size (bytes); used to express the additive-increase
+        step and the "too small for fast retransmit" threshold.
+    additive_increase_segments:
+        Segments added to the window per round-trip of successful delivery.
+    multiplicative_decrease:
+        Factor applied to the window on a congestion signal (0 < f < 1).
+    rto:
+        Retransmission timeout (seconds): a starved connection stalls for
+        this long before retrying with ``window_min``.
+    starvation_fraction:
+        A connection is considered starved in a step when it receives less
+        than this fraction of the bandwidth it requested.
+    established_weight:
+        Admission weight of "established" connections (those that delivered
+        bytes recently) relative to newcomers when the server buffer is
+        oversubscribed.  Values > 1 reproduce the first-application advantage
+        the paper observes with slow backends.
+    established_memory:
+        How long (seconds) a connection stays "established" after its last
+        successful delivery.
+    collapse_penalty:
+        Fractional loss of server drain efficiency when all of its
+        connections are stalled (linear in the stalled fraction).  Models the
+        service "bubbles" caused by timeouts, which make a 10 G network
+        perform *worse* than a throttled 1 G one (paper Section IV-A3).
+    rwnd_overcommit:
+        How far beyond the server buffer the clients collectively probe.  The
+        per-connection flow-control window is
+        ``rwnd_overcommit * buffer / n_active_connections``; values above 1
+        reproduce TCP's probing beyond the available buffer, which is what
+        turns a full buffer into losses and timeouts instead of smooth
+        backpressure.
+    incast_window_segments:
+        A server enters the timeout-prone ("Incast") regime when its buffer
+        share per active connection falls below this many MSS.  With only a
+        couple of segments of window, a loss cannot be repaired by fast
+        retransmit and degenerates into an RTO — the mechanism behind the
+        paper's Figure 10/12.
+    burst_loss_ratio:
+        A connection's bursts are treated as loss-prone only when its NIC can
+        deliver them this many times faster than its fair share of the server
+        drain; throttled sources (the 1 G network of Figure 5) pace their
+        packets and experience backpressure instead of losses.
+    source_margin:
+        A connection only counts as "window-limited" (and therefore
+        loss-prone) when its window-permitted volume per step is below this
+        fraction of its source-NIC share: sources running close to their NIC
+        share are pacing-limited, not window-limited.
+    max_backoff_exponent:
+        Cap on the exponential backoff of the retransmission timeout
+        (stall <= rto * 2**max_backoff_exponent).
+    burst_escape_probability:
+        Probability that a *bursty* connection (one without a running ACK
+        clock: freshly started, or restarting after a timeout) manages to
+        slip its burst into an Incast-regime server and re-establish itself.
+        Failed attempts are whole-window losses that end in a timeout.  The
+        low escape probability is what keeps the second application's windows
+        collapsed while the first one keeps streaming (paper Figures 2(a), 11
+        and 12).
+    burst_reentry_probability:
+        Escape probability for a connection that had already established an
+        ACK clock earlier in its life and is merely recovering from a single
+        timeout: retransmitting one segment into a full buffer is far easier
+        than landing a fresh application's initial burst, so recovering
+        incumbents re-enter quickly while true newcomers stay out.
+    paced_timeout_hazard:
+        Residual per-RTO probability that an ACK-clocked ("paced") connection
+        suffers a timeout while its server is in the Incast regime.  Small:
+        paced packets arrive as buffer space frees, so whole-window losses
+        are rare for them — but not zero, which is why even the first
+        application is visibly slowed in the paper's Figure 2(a).
+    lossless:
+        Credit-based (InfiniBand-like) flow control: a sender only transmits
+        when the receiver has advertised buffer credits, so bursts are never
+        dropped and the timeout-collapse (Incast) machinery never engages.
+        Contention then degrades performance only through genuine resource
+        sharing — the configuration the paper names as future work ("other
+        types of network, e.g. InfiniBand").
+    """
+
+    window_init: float = 16 * units.KiB
+    window_min: float = 4 * units.KiB
+    window_max: float = 1 * units.MiB
+    mss: float = 1500.0
+    additive_increase_segments: float = 1.0
+    multiplicative_decrease: float = 0.6
+    rto: float = 0.2
+    starvation_fraction: float = 0.12
+    established_weight: float = 4.0
+    established_memory: float = 0.02
+    collapse_penalty: float = 0.35
+    rwnd_overcommit: float = 2.0
+    incast_window_segments: float = 4.0
+    burst_loss_ratio: float = 8.0
+    source_margin: float = 0.7
+    max_backoff_exponent: int = 2
+    burst_escape_probability: float = 0.1
+    burst_reentry_probability: float = 0.7
+    paced_timeout_hazard: float = 0.005
+    lossless: bool = False
+
+    def __post_init__(self) -> None:
+        if self.window_min <= 0:
+            raise ConfigurationError("window_min must be positive")
+        if self.window_init < self.window_min:
+            raise ConfigurationError("window_init must be >= window_min")
+        if self.window_max < self.window_init:
+            raise ConfigurationError("window_max must be >= window_init")
+        if self.mss <= 0:
+            raise ConfigurationError("mss must be positive")
+        if not 0.0 < self.multiplicative_decrease < 1.0:
+            raise ConfigurationError("multiplicative_decrease must be in (0, 1)")
+        if self.additive_increase_segments <= 0:
+            raise ConfigurationError("additive_increase_segments must be positive")
+        if self.rto <= 0:
+            raise ConfigurationError("rto must be positive")
+        if not 0.0 <= self.starvation_fraction < 1.0:
+            raise ConfigurationError("starvation_fraction must be in [0, 1)")
+        if self.established_weight < 1.0:
+            raise ConfigurationError("established_weight must be >= 1")
+        if self.established_memory < 0:
+            raise ConfigurationError("established_memory must be non-negative")
+        if not 0.0 <= self.collapse_penalty <= 1.0:
+            raise ConfigurationError("collapse_penalty must be in [0, 1]")
+        if self.rwnd_overcommit <= 0:
+            raise ConfigurationError("rwnd_overcommit must be positive")
+        if self.incast_window_segments <= 0:
+            raise ConfigurationError("incast_window_segments must be positive")
+        if self.burst_loss_ratio <= 0:
+            raise ConfigurationError("burst_loss_ratio must be positive")
+        if not 0.0 < self.source_margin <= 1.0:
+            raise ConfigurationError("source_margin must be in (0, 1]")
+        if self.max_backoff_exponent < 0:
+            raise ConfigurationError("max_backoff_exponent must be non-negative")
+        if not 0.0 < self.burst_escape_probability <= 1.0:
+            raise ConfigurationError("burst_escape_probability must be in (0, 1]")
+        if not 0.0 < self.burst_reentry_probability <= 1.0:
+            raise ConfigurationError("burst_reentry_probability must be in (0, 1]")
+        if not 0.0 <= self.paced_timeout_hazard <= 1.0:
+            raise ConfigurationError("paced_timeout_hazard must be in [0, 1]")
+
+    @property
+    def incast_window_threshold(self) -> float:
+        """Buffer share (bytes) below which a server is in the Incast regime."""
+        return self.incast_window_segments * self.mss
+
+    @classmethod
+    def credit_based(cls, **overrides) -> "TransportConfig":
+        """A lossless, credit-based transport (InfiniBand-style flow control).
+
+        Senders never lose bursts, so the Incast machinery is disabled and
+        congestion manifests purely as backpressure.  Any field can still be
+        overridden through ``overrides``.
+        """
+        params = dict(
+            lossless=True,
+            rwnd_overcommit=1.0,
+            collapse_penalty=0.0,
+            paced_timeout_hazard=0.0,
+            burst_escape_probability=1.0,
+            burst_reentry_probability=1.0,
+        )
+        params.update(overrides)
+        return cls(**params)
+
+    def scaled_time(self, factor: float) -> "TransportConfig":
+        """Return a copy with all time constants multiplied by ``factor``.
+
+        Reduced-scale presets shrink the data volume; scaling the RTO and the
+        established-memory window by the same factor keeps the ratio between
+        transfer times and timeout stalls — the dimensionless quantity the
+        Incast behaviour depends on — comparable to the paper's testbed.
+        """
+        if factor <= 0:
+            raise ConfigurationError("time scale factor must be positive")
+        return replace(
+            self,
+            rto=self.rto * factor,
+            established_memory=self.established_memory * factor,
+        )
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Physical storage-network description.
+
+    Attributes
+    ----------
+    client_nic_bw:
+        Raw line rate of a compute node's NIC (bytes/s).
+    server_nic_bw:
+        Raw line rate of a storage server's NIC (bytes/s).
+    node_injection_bw:
+        Effective end-to-end injection goodput of one compute node's I/O
+        stack (bytes/s).  On the paper's testbed the measured per-node goodput
+        of the PVFS client path is a fraction of the 10 Gbps line rate; this
+        is the parameter that makes "10 G vs 1 G" a ~1.8x difference rather
+        than 10x (Figure 5).  The actual per-node cap used by the model is
+        ``min(client_nic_bw, node_injection_bw)``.
+    rtt:
+        Base round-trip time between a client and a server (seconds),
+        excluding queueing at the server buffer (added dynamically).
+    transport:
+        The TCP-like transport parameters.
+    name:
+        Human-readable label (e.g. ``"10G Ethernet"``).
+    """
+
+    client_nic_bw: float = units.gbit_per_s(10)
+    server_nic_bw: float = units.gbit_per_s(10)
+    node_injection_bw: float = 220 * units.MiB
+    rtt: float = 0.2e-3
+    transport: TransportConfig = field(default_factory=TransportConfig)
+    name: str = "10G Ethernet"
+
+    def __post_init__(self) -> None:
+        if self.client_nic_bw <= 0:
+            raise ConfigurationError("client_nic_bw must be positive")
+        if self.server_nic_bw <= 0:
+            raise ConfigurationError("server_nic_bw must be positive")
+        if self.node_injection_bw <= 0:
+            raise ConfigurationError("node_injection_bw must be positive")
+        if self.rtt <= 0:
+            raise ConfigurationError("rtt must be positive")
+
+    @property
+    def effective_node_bw(self) -> float:
+        """Per-node injection cap: min of line rate and stack goodput."""
+        return min(self.client_nic_bw, self.node_injection_bw)
+
+    def with_bandwidth(self, client_nic_bw: float, name: str | None = None) -> "NetworkConfig":
+        """Return a copy with a different client NIC line rate.
+
+        Used by the Figure 5 experiment ("1 G vs 10 G"): when the line rate
+        drops below the node's stack goodput, the line rate becomes the
+        injection cap — which is exactly the throttling effect the paper
+        exploits.
+        """
+        return replace(
+            self,
+            client_nic_bw=float(client_nic_bw),
+            name=name if name is not None else self.name,
+        )
+
+    @classmethod
+    def ten_gig(cls, transport: TransportConfig | None = None) -> "NetworkConfig":
+        """The paper's default 10 Gbps Ethernet storage network."""
+        return cls(
+            client_nic_bw=units.gbit_per_s(10),
+            server_nic_bw=units.gbit_per_s(10),
+            node_injection_bw=220 * units.MiB,
+            rtt=0.2e-3,
+            transport=transport or TransportConfig(),
+            name="10G Ethernet",
+        )
+
+    @classmethod
+    def one_gig(cls, transport: TransportConfig | None = None) -> "NetworkConfig":
+        """The throttled 1 Gbps Ethernet configuration of Figure 5."""
+        return cls(
+            client_nic_bw=units.gbit_per_s(1),
+            server_nic_bw=units.gbit_per_s(10),
+            node_injection_bw=220 * units.MiB,
+            rtt=0.25e-3,
+            transport=transport or TransportConfig(),
+            name="1G Ethernet",
+        )
+
+    @classmethod
+    def infiniband(cls, transport: TransportConfig | None = None) -> "NetworkConfig":
+        """An FDR InfiniBand-like storage network (lossless, credit-based).
+
+        The paper's future work asks how its findings transfer to other
+        network types; this preset keeps the same node-injection goodput
+        model but uses credit-based flow control, so the flow-control
+        pathologies (Incast, unfairness) cannot occur and any remaining
+        interference is genuine resource sharing.
+        """
+        return cls(
+            client_nic_bw=units.gbit_per_s(56),
+            server_nic_bw=units.gbit_per_s(56),
+            node_injection_bw=220 * units.MiB,
+            rtt=0.05e-3,
+            transport=transport or TransportConfig.credit_based(),
+            name="FDR InfiniBand (lossless)",
+        )

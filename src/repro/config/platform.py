@@ -1,0 +1,72 @@
+"""Compute-platform configuration.
+
+Describes the client side of the testbed: how many compute nodes are
+available, how many cores each has, how fast a single process can push data
+through its own user-space copy path, and the storage network connecting the
+nodes to the servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro import units
+from repro.config.network import NetworkConfig
+from repro.errors import ConfigurationError
+
+__all__ = ["PlatformConfig"]
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Client-side hardware description.
+
+    Attributes
+    ----------
+    n_client_nodes:
+        Number of compute nodes available for applications.
+    cores_per_node:
+        Cores per compute node (the paper's paravance nodes have 16).
+    process_copy_bw:
+        Bandwidth (bytes/s) at which a single client process can prepare and
+        copy its data into the I/O stack.  This per-process, unshared cost is
+        what keeps the Table I RAM-backend slowdown below 2x.
+    network:
+        Storage-network description.
+    name:
+        Human-readable label (e.g. ``"grid5000-paravance"``).
+    """
+
+    n_client_nodes: int = 60
+    cores_per_node: int = 16
+    process_copy_bw: float = 3600 * units.MiB
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    name: str = "cluster"
+
+    def __post_init__(self) -> None:
+        if self.n_client_nodes <= 0:
+            raise ConfigurationError("n_client_nodes must be positive")
+        if self.cores_per_node <= 0:
+            raise ConfigurationError("cores_per_node must be positive")
+        if self.process_copy_bw <= 0:
+            raise ConfigurationError("process_copy_bw must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        """Total number of client cores on the platform."""
+        return self.n_client_nodes * self.cores_per_node
+
+    def with_network(self, network: NetworkConfig) -> "PlatformConfig":
+        """Return a copy using a different storage network."""
+        return replace(self, network=network)
+
+    def with_nodes(self, n_client_nodes: int) -> "PlatformConfig":
+        """Return a copy with a different number of compute nodes."""
+        return replace(self, n_client_nodes=int(n_client_nodes))
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"{self.name}: {self.n_client_nodes} nodes x {self.cores_per_node} cores, "
+            f"{self.network.name}"
+        )

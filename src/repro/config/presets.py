@@ -1,0 +1,493 @@
+"""Scenario presets.
+
+Three scales are provided:
+
+* ``paper``   — the dimensions of the paper's Grid'5000 campaign
+  (2 x 30 nodes x 16 cores writing 64 MiB each to 12 servers);
+* ``reduced`` — the default for benchmarks: same structure, roughly 1/10th of
+  the processes and data, with server buffering and transport time constants
+  rescaled so that the *regimes* (which component saturates, when Incast
+  appears) match the paper-scale behaviour while a full Δ-graph sweep runs in
+  seconds;
+* ``tiny``    — for unit/integration tests: small enough that a simulation
+  finishes in a few hundredths of a second of wall time.
+
+The helper :func:`make_scenario` builds a complete two-application
+:class:`~repro.config.scenario.ScenarioConfig` from a preset plus the knobs
+the paper sweeps (device, sync mode, pattern, stripe size, number of servers,
+writers per node, network, delay, targeted servers).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Tuple, Union
+
+from repro import units
+from repro.config.filesystem import FileSystemConfig, SyncMode
+from repro.config.network import NetworkConfig, TransportConfig
+from repro.config.platform import PlatformConfig
+from repro.config.scenario import ScenarioConfig, SimulationControl
+from repro.config.server import ServerConfig
+from repro.config.workload import AccessKind, ApplicationSpec, PatternSpec
+from repro.errors import ConfigurationError
+from repro.sim.tracing import TraceConfig
+from repro.storage import device_by_name
+from repro.storage.device import DeviceSpec
+
+__all__ = [
+    "PresetName",
+    "ScalePreset",
+    "paper_scale",
+    "reduced_scale",
+    "tiny_scale",
+    "get_scale",
+    "grid5000_platform",
+    "make_scenario",
+    "make_single_app_scenario",
+    "make_multi_app_scenario",
+]
+
+
+class PresetName(str, enum.Enum):
+    """Names of the built-in scales."""
+
+    PAPER = "paper"
+    REDUCED = "reduced"
+    TINY = "tiny"
+
+
+@dataclass(frozen=True)
+class ScalePreset:
+    """All scale-dependent constants of a scenario family.
+
+    Attributes
+    ----------
+    name:
+        Preset label.
+    nodes_per_app / procs_per_node:
+        Default size of each of the two application groups.
+    n_servers:
+        Default number of PVFS servers.
+    bytes_per_process:
+        Default volume written by each process in one I/O phase.
+    node_injection_bw:
+        Effective per-node injection goodput on the 10G network.
+    server_ingest_bw:
+        Per-server request-processing byte rate.
+    server_buffer:
+        Per-server receive/staging buffer (the Incast knob).
+    fragment_op_cost:
+        Per-fragment CPU cost at the server.
+    rto:
+        Transport retransmission timeout (scaled with the run duration).
+    rtt:
+        Base network round-trip time.
+    collective_overhead:
+        Synchronization cost between consecutive collective operations.
+    page_cache:
+        Per-server write-back cache capacity (sync OFF).
+    seed:
+        Default master seed.
+    """
+
+    name: str
+    nodes_per_app: int
+    procs_per_node: int
+    n_servers: int
+    bytes_per_process: float
+    node_injection_bw: float
+    server_ingest_bw: float
+    server_buffer: float
+    fragment_op_cost: float
+    rto: float
+    rtt: float
+    collective_overhead: float
+    page_cache: float
+    seed: int = 20160523
+
+    @property
+    def procs_per_app(self) -> int:
+        """Number of processes in each application group."""
+        return self.nodes_per_app * self.procs_per_node
+
+    @property
+    def total_clients(self) -> int:
+        """Total number of client processes across both applications."""
+        return 2 * self.procs_per_app
+
+
+def paper_scale() -> ScalePreset:
+    """The dimensions of the paper's campaign (60 nodes / 960 cores)."""
+    return ScalePreset(
+        name="paper",
+        nodes_per_app=30,
+        procs_per_node=16,
+        n_servers=12,
+        bytes_per_process=64 * units.MiB,
+        node_injection_bw=220 * units.MiB,
+        server_ingest_bw=600 * units.MiB,
+        server_buffer=4 * units.MiB,
+        fragment_op_cost=0.30e-3,
+        rto=0.2,
+        rtt=0.2e-3,
+        collective_overhead=80.0e-3,
+        page_cache=96 * units.GiB,
+    )
+
+
+def reduced_scale() -> ScalePreset:
+    """Benchmark default: ~1/10th of the paper's processes and data.
+
+    The server ingest rate, buffer, RTO and collective overhead are rescaled
+    so that the offered-load-to-capacity ratios and the ratio of transfer
+    time to timeout stalls remain close to the paper-scale configuration.
+    """
+    return ScalePreset(
+        name="reduced",
+        nodes_per_app=12,
+        procs_per_node=8,
+        n_servers=12,
+        bytes_per_process=32 * units.MiB,
+        node_injection_bw=220 * units.MiB,
+        server_ingest_bw=240 * units.MiB,
+        server_buffer=768 * units.KiB,
+        fragment_op_cost=0.30e-3,
+        rto=0.05,
+        rtt=0.2e-3,
+        collective_overhead=30.0e-3,
+        page_cache=8 * units.GiB,
+    )
+
+
+def tiny_scale() -> ScalePreset:
+    """Test-suite scale: a simulation completes in milliseconds of wall time."""
+    return ScalePreset(
+        name="tiny",
+        nodes_per_app=4,
+        procs_per_node=4,
+        n_servers=4,
+        bytes_per_process=8 * units.MiB,
+        node_injection_bw=220 * units.MiB,
+        server_ingest_bw=240 * units.MiB,
+        server_buffer=128 * units.KiB,
+        fragment_op_cost=0.30e-3,
+        rto=0.02,
+        rtt=0.2e-3,
+        collective_overhead=10.0e-3,
+        page_cache=2 * units.GiB,
+    )
+
+
+_SCALES = {
+    PresetName.PAPER: paper_scale,
+    PresetName.REDUCED: reduced_scale,
+    PresetName.TINY: tiny_scale,
+}
+
+
+def get_scale(scale: Union[str, PresetName, ScalePreset]) -> ScalePreset:
+    """Resolve a scale given by name, enum, or preset object."""
+    if isinstance(scale, ScalePreset):
+        return scale
+    if isinstance(scale, PresetName):
+        return _SCALES[scale]()
+    try:
+        return _SCALES[PresetName(str(scale).lower())]()
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"unknown scale {scale!r}; expected one of "
+            f"{[p.value for p in PresetName]}"
+        ) from exc
+
+
+# --------------------------------------------------------------------------- #
+# Platform and scenario builders
+# --------------------------------------------------------------------------- #
+
+
+def grid5000_platform(
+    scale: Union[str, PresetName, ScalePreset] = PresetName.REDUCED,
+    network: str = "10g",
+) -> PlatformConfig:
+    """Platform modelled after the Grid'5000 parasilo/paravance clusters.
+
+    Parameters
+    ----------
+    scale:
+        Scale preset (affects node counts and transport time constants).
+    network:
+        ``"10g"`` (default), ``"1g"`` for the throttled configuration of
+        Figure 5, or ``"ib"`` / ``"infiniband"`` for a lossless credit-based
+        network (the paper's future-work question).
+    """
+    preset = get_scale(scale)
+    transport = TransportConfig(rto=preset.rto, established_memory=preset.rto)
+    key = network.strip().lower()
+    if key in ("10g", "10 g", "10gbps", "default"):
+        net = NetworkConfig(
+            client_nic_bw=units.gbit_per_s(10),
+            server_nic_bw=units.gbit_per_s(10),
+            node_injection_bw=preset.node_injection_bw,
+            rtt=preset.rtt,
+            transport=transport,
+            name="10G Ethernet",
+        )
+    elif key in ("1g", "1 g", "1gbps"):
+        net = NetworkConfig(
+            client_nic_bw=units.gbit_per_s(1),
+            server_nic_bw=units.gbit_per_s(10),
+            node_injection_bw=preset.node_injection_bw,
+            rtt=preset.rtt * 1.25,
+            transport=transport,
+            name="1G Ethernet",
+        )
+    elif key in ("ib", "infiniband", "lossless"):
+        lossless = TransportConfig.credit_based(
+            rto=preset.rto, established_memory=preset.rto
+        )
+        net = NetworkConfig(
+            client_nic_bw=units.gbit_per_s(56),
+            server_nic_bw=units.gbit_per_s(56),
+            node_injection_bw=preset.node_injection_bw,
+            rtt=preset.rtt * 0.25,
+            transport=lossless,
+            name="FDR InfiniBand (lossless)",
+        )
+    else:
+        raise ConfigurationError(
+            f"unknown network {network!r}; use '10g', '1g' or 'infiniband'"
+        )
+    return PlatformConfig(
+        n_client_nodes=2 * preset.nodes_per_app,
+        cores_per_node=max(preset.procs_per_node, 16),
+        process_copy_bw=3600 * units.MiB,
+        network=net,
+        name=f"grid5000-{preset.name}",
+    )
+
+
+def _build_pattern(
+    preset: ScalePreset,
+    pattern: Union[str, AccessKind, PatternSpec],
+    request_size: Optional[float],
+    bytes_per_process: Optional[float],
+) -> PatternSpec:
+    if isinstance(pattern, PatternSpec):
+        spec = pattern
+    else:
+        kind = pattern if isinstance(pattern, AccessKind) else AccessKind(str(pattern).lower())
+        volume = bytes_per_process if bytes_per_process is not None else preset.bytes_per_process
+        if kind is AccessKind.CONTIGUOUS:
+            spec = PatternSpec.contiguous(
+                bytes_per_process=volume,
+                collective_overhead=preset.collective_overhead,
+            )
+            if request_size is not None:
+                spec = spec.with_request_size(request_size)
+        else:
+            spec = PatternSpec.strided(
+                bytes_per_process=volume,
+                request_size=request_size if request_size is not None else 256 * units.KiB,
+                collective_overhead=preset.collective_overhead,
+            )
+    return spec
+
+
+def make_scenario(
+    scale: Union[str, PresetName, ScalePreset] = PresetName.REDUCED,
+    *,
+    device: Union[str, DeviceSpec] = "hdd",
+    sync_mode: Union[str, SyncMode, bool] = SyncMode.SYNC_ON,
+    pattern: Union[str, AccessKind, PatternSpec] = AccessKind.CONTIGUOUS,
+    request_size: Optional[float] = None,
+    bytes_per_process: Optional[float] = None,
+    stripe_size: float = 64 * units.KiB,
+    n_servers: Optional[int] = None,
+    nodes_per_app: Optional[int] = None,
+    procs_per_node: Optional[int] = None,
+    network: str = "10g",
+    delay: float = 0.0,
+    partition_servers: bool = False,
+    seed: Optional[int] = None,
+    trace: Optional[TraceConfig] = None,
+    step: Optional[float] = None,
+    label: str = "",
+) -> ScenarioConfig:
+    """Build the canonical two-application scenario of the paper.
+
+    Two identically configured applications ("A" and "B") run on disjoint
+    node sets and write to the same PVFS deployment; application B starts
+    ``delay`` seconds after application A (negative = before).
+
+    Parameters mirror the paper's experimental knobs; everything defaults to
+    the paper's baseline (contiguous pattern, HDD backend, sync ON, 64 KiB
+    stripes, 12 servers, all cores writing, 10G network, both applications
+    targeting all servers).
+    """
+    preset = get_scale(scale)
+    platform = grid5000_platform(preset, network=network)
+
+    device_spec = device_by_name(device) if isinstance(device, str) else device
+    if isinstance(sync_mode, bool):
+        mode = SyncMode.SYNC_ON if sync_mode else SyncMode.SYNC_OFF
+    elif isinstance(sync_mode, str):
+        mode = SyncMode(sync_mode)
+    else:
+        mode = sync_mode
+    if mode is SyncMode.NULL_AIO:
+        device_spec = device_by_name("null")
+
+    servers = n_servers if n_servers is not None else preset.n_servers
+    server_cfg = ServerConfig(
+        ingest_bw=preset.server_ingest_bw,
+        fragment_op_cost=preset.fragment_op_cost,
+        buffer_bytes=preset.server_buffer,
+        page_cache_bytes=preset.page_cache,
+    )
+    fs = FileSystemConfig(
+        n_servers=servers,
+        stripe_size=stripe_size,
+        sync_mode=mode,
+        device=device_spec,
+        server=server_cfg,
+        name="orangefs",
+    )
+
+    nodes = nodes_per_app if nodes_per_app is not None else preset.nodes_per_app
+    procs = procs_per_node if procs_per_node is not None else preset.procs_per_node
+    pattern_spec = _build_pattern(preset, pattern, request_size, bytes_per_process)
+
+    targets_a: Optional[Tuple[int, ...]] = None
+    targets_b: Optional[Tuple[int, ...]] = None
+    if partition_servers:
+        groups = fs.server_groups(2)
+        targets_a, targets_b = groups[0], groups[1]
+
+    app_a = ApplicationSpec(
+        name="A",
+        n_nodes=nodes,
+        procs_per_node=procs,
+        pattern=pattern_spec,
+        start_time=0.0,
+        target_servers=targets_a,
+    )
+    app_b = ApplicationSpec(
+        name="B",
+        n_nodes=nodes,
+        procs_per_node=procs,
+        pattern=pattern_spec,
+        start_time=float(delay),
+        target_servers=targets_b,
+    )
+
+    control = SimulationControl(
+        step=step,
+        seed=seed if seed is not None else preset.seed,
+        trace=trace or TraceConfig(),
+    )
+    if platform.n_client_nodes < 2 * nodes:
+        platform = platform.with_nodes(2 * nodes)
+    return ScenarioConfig(
+        platform=platform,
+        filesystem=fs,
+        applications=(app_a, app_b),
+        control=control,
+        label=label or f"{preset.name}/{device_spec.name}/{mode.value}",
+    )
+
+
+def make_single_app_scenario(
+    scale: Union[str, PresetName, ScalePreset] = PresetName.REDUCED,
+    **kwargs,
+) -> ScenarioConfig:
+    """Same as :func:`make_scenario` but with only application "A".
+
+    Used to measure the interference-free baseline of Δ-graph sweeps and the
+    "Alone" column of Table I.
+    """
+    scenario = make_scenario(scale, **kwargs)
+    return scenario.with_applications(scenario.applications[:1])
+
+
+def make_multi_app_scenario(
+    scale: Union[str, PresetName, ScalePreset] = PresetName.REDUCED,
+    n_apps: int = 3,
+    *,
+    start_times: Optional[Sequence[float]] = None,
+    nodes_per_app: Optional[int] = None,
+    partition_servers: bool = False,
+    label: str = "",
+    **kwargs,
+) -> ScenarioConfig:
+    """Scenario with ``n_apps`` identical applications contending on one deployment.
+
+    The paper studies the two-application case; as machines host more and
+    more concurrent applications (its motivation for exascale), the natural
+    extension is to let ``n_apps`` identical groups write at once.  All other
+    keyword arguments are those of :func:`make_scenario`.
+
+    Parameters
+    ----------
+    n_apps:
+        Number of identical application groups (named "A", "B", "C", ...).
+    start_times:
+        Optional per-application start times (default: all start at 0).
+    nodes_per_app:
+        Nodes per group; defaults to the preset's value (the platform is
+        grown to fit all groups).
+    partition_servers:
+        Give each group its own disjoint slice of the servers instead of
+        letting every group write to all of them.
+    """
+    if n_apps <= 0:
+        raise ConfigurationError("n_apps must be positive")
+    if start_times is not None and len(start_times) != n_apps:
+        raise ConfigurationError("start_times must have one entry per application")
+    preset = get_scale(scale)
+    nodes = nodes_per_app if nodes_per_app is not None else preset.nodes_per_app
+
+    base = make_scenario(
+        scale, nodes_per_app=nodes, partition_servers=False, label=label, **kwargs
+    )
+    template = base.applications[0]
+    groups: Tuple[Tuple[int, ...], ...] = ()
+    if partition_servers:
+        groups = base.filesystem.server_groups(n_apps)
+
+    names = [chr(ord("A") + i) if i < 26 else f"app{i}" for i in range(n_apps)]
+    apps = []
+    for i, name in enumerate(names):
+        app = ApplicationSpec(
+            name=name,
+            n_nodes=template.n_nodes,
+            procs_per_node=template.procs_per_node,
+            pattern=template.pattern,
+            start_time=float(start_times[i]) if start_times is not None else 0.0,
+            target_servers=groups[i] if partition_servers else None,
+        )
+        apps.append(app)
+
+    platform = base.platform
+    if platform.n_client_nodes < n_apps * nodes:
+        platform = platform.with_nodes(n_apps * nodes)
+    return ScenarioConfig(
+        platform=platform,
+        filesystem=base.filesystem,
+        applications=tuple(apps),
+        control=base.control,
+        label=label or f"{base.label}/x{n_apps}",
+    )
+
+
+def scaled_preset(base: ScalePreset, **overrides) -> ScalePreset:
+    """Return a copy of ``base`` with the given fields replaced."""
+    return replace(base, **overrides)
+
+
+def _as_tuple(values: Optional[Sequence[int]]) -> Optional[Tuple[int, ...]]:
+    """Internal helper to normalize optional index sequences."""
+    if values is None:
+        return None
+    return tuple(int(v) for v in values)

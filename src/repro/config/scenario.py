@@ -1,0 +1,227 @@
+"""The full scenario description consumed by the simulator.
+
+A :class:`ScenarioConfig` bundles a platform, a file-system deployment, the
+list of applications, and the simulation control knobs (step size, horizon,
+seed, tracing).  It validates global consistency — enough compute nodes for
+all applications, server targets within the deployment — so that the model
+can trust its inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence, Tuple
+
+from repro.config.filesystem import FileSystemConfig
+from repro.config.platform import PlatformConfig
+from repro.config.workload import ApplicationSpec
+from repro.errors import ConfigurationError
+from repro.sim.tracing import TraceConfig
+
+__all__ = ["SimulationControl", "ScenarioConfig"]
+
+
+@dataclass(frozen=True)
+class SimulationControl:
+    """Simulation control parameters.
+
+    Attributes
+    ----------
+    step:
+        Fixed step (seconds) of the fluid model update.  ``None`` selects an
+        adaptive default based on the expected run duration (about 1/2000 of
+        the estimated phase length, clamped to ``[min_step, max_step]``).
+    min_step / max_step:
+        Bounds for the adaptive step.
+    max_time:
+        Hard limit on simulated time; exceeding it raises an error, which
+        protects sweeps against pathological configurations.
+    seed:
+        Master seed of the run's random streams.
+    trace:
+        Trace categories to record.
+    """
+
+    step: Optional[float] = None
+    min_step: float = 2.0e-3
+    max_step: float = 25.0e-3
+    max_time: float = 36000.0
+    seed: int = 20160523
+    trace: TraceConfig = field(default_factory=TraceConfig)
+
+    def __post_init__(self) -> None:
+        if self.step is not None and self.step <= 0:
+            raise ConfigurationError("step must be positive when given")
+        if self.min_step <= 0 or self.max_step <= 0:
+            raise ConfigurationError("step bounds must be positive")
+        if self.min_step > self.max_step:
+            raise ConfigurationError("min_step must be <= max_step")
+        if self.max_time <= 0:
+            raise ConfigurationError("max_time must be positive")
+
+    def resolve_step(self, expected_duration: float) -> float:
+        """Pick the actual step for a run expected to last ``expected_duration``."""
+        if self.step is not None:
+            return self.step
+        if expected_duration <= 0:
+            return self.min_step
+        candidate = expected_duration / 2000.0
+        return min(max(candidate, self.min_step), self.max_step)
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """A complete, validated experiment scenario.
+
+    Attributes
+    ----------
+    platform:
+        Client-side hardware and network.
+    filesystem:
+        The PVFS-like deployment.
+    applications:
+        Application groups; they are placed on disjoint, contiguous node
+        ranges in the order given.
+    control:
+        Simulation control knobs.
+    label:
+        Free-form label used in reports.
+    """
+
+    platform: PlatformConfig
+    filesystem: FileSystemConfig
+    applications: Tuple[ApplicationSpec, ...]
+    control: SimulationControl = field(default_factory=SimulationControl)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.applications:
+            raise ConfigurationError("a scenario needs at least one application")
+        names = [app.name for app in self.applications]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate application names: {names}")
+        total_nodes = sum(app.n_nodes for app in self.applications)
+        if total_nodes > self.platform.n_client_nodes:
+            raise ConfigurationError(
+                f"applications need {total_nodes} nodes but the platform has "
+                f"{self.platform.n_client_nodes}"
+            )
+        for app in self.applications:
+            if app.procs_per_node > self.platform.cores_per_node:
+                raise ConfigurationError(
+                    f"application {app.name!r} uses {app.procs_per_node} processes per "
+                    f"node but nodes have {self.platform.cores_per_node} cores"
+                )
+            if app.target_servers is not None:
+                bad = [s for s in app.target_servers if s >= self.filesystem.n_servers]
+                if bad:
+                    raise ConfigurationError(
+                        f"application {app.name!r} targets servers {bad} but the "
+                        f"deployment has only {self.filesystem.n_servers} servers"
+                    )
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_applications(self) -> int:
+        """Number of application groups."""
+        return len(self.applications)
+
+    def node_ranges(self) -> Tuple[Tuple[int, int], ...]:
+        """Half-open node index range assigned to each application."""
+        ranges = []
+        start = 0
+        for app in self.applications:
+            ranges.append((start, start + app.n_nodes))
+            start += app.n_nodes
+        return tuple(ranges)
+
+    def application(self, name: str) -> ApplicationSpec:
+        """Look up an application by name."""
+        for app in self.applications:
+            if app.name == name:
+                return app
+        raise KeyError(f"no application named {name!r}")
+
+    def app_servers(self, app: ApplicationSpec) -> Tuple[int, ...]:
+        """Servers targeted by ``app`` (all servers unless restricted)."""
+        if app.target_servers is None:
+            return self.filesystem.all_servers
+        return app.target_servers
+
+    def total_bytes(self) -> float:
+        """Total bytes written by all applications."""
+        return sum(app.total_bytes for app in self.applications)
+
+    def estimate_duration(self) -> float:
+        """Crude a-priori estimate of the run duration (for step selection).
+
+        Uses the slowest plausible path: total bytes over the smaller of the
+        aggregate device bandwidth and the aggregate ingest bandwidth, plus
+        application start offsets.
+        """
+        fs = self.filesystem
+        device_bw = fs.device.effective_write_bw(
+            n_streams=max(sum(a.n_processes for a in self.applications), 1),
+            granularity=fs.stripe_size,
+        )
+        if device_bw == float("inf"):
+            device_bw = fs.server.ingest_bw
+        per_server = min(device_bw, fs.server.ingest_bw)
+        aggregate = per_server * fs.n_servers
+        span = max((app.start_time for app in self.applications), default=0.0) - min(
+            (app.start_time for app in self.applications), default=0.0
+        )
+        return self.total_bytes() / max(aggregate, 1.0) + span + 1.0
+
+    # ------------------------------------------------------------------ #
+    # Builders
+    # ------------------------------------------------------------------ #
+
+    def with_applications(self, applications: Sequence[ApplicationSpec]) -> "ScenarioConfig":
+        """Return a copy with a different set of applications."""
+        return replace(self, applications=tuple(applications))
+
+    def with_filesystem(self, filesystem: FileSystemConfig) -> "ScenarioConfig":
+        """Return a copy with a different file-system deployment."""
+        return replace(self, filesystem=filesystem)
+
+    def with_platform(self, platform: PlatformConfig) -> "ScenarioConfig":
+        """Return a copy with a different platform."""
+        return replace(self, platform=platform)
+
+    def with_control(self, control: SimulationControl) -> "ScenarioConfig":
+        """Return a copy with different simulation control knobs."""
+        return replace(self, control=control)
+
+    def with_delay(self, delay: float, second_app: str | None = None) -> "ScenarioConfig":
+        """Return a copy where the second application starts ``delay`` seconds
+        after the first (negative delays start it earlier).
+
+        The first application keeps ``start_time=0``; the application named
+        ``second_app`` (default: the second in the list) starts at ``delay``.
+        This is the knob the Δ-graph experiments sweep.
+        """
+        if len(self.applications) < 2:
+            raise ConfigurationError("with_delay needs at least two applications")
+        target = second_app or self.applications[1].name
+        new_apps = []
+        for app in self.applications:
+            if app.name == target:
+                new_apps.append(app.with_start_time(float(delay)))
+            else:
+                new_apps.append(app.with_start_time(0.0))
+        return replace(self, applications=tuple(new_apps))
+
+    def describe(self) -> str:
+        """Multi-line human-readable description for logs and reports."""
+        lines = [
+            f"scenario {self.label or '(unnamed)'}:",
+            f"  platform:   {self.platform.describe()}",
+            f"  filesystem: {self.filesystem.describe()}",
+        ]
+        for app in self.applications:
+            lines.append(f"  {app.describe()}")
+        return "\n".join(lines)

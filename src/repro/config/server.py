@@ -1,0 +1,113 @@
+"""Per-server configuration (the PVFS/OrangeFS server and its host).
+
+The server model has three stages, mirroring the real data path the paper
+studies (client → network → server buffer → Trove → backend device):
+
+1. a **receive buffer** of bounded size into which the network delivers data;
+   this is where flow control breaks down (the Incast problem),
+2. an **ingest path** with a byte-rate cap (request processing, memory
+   copies) and a per-fragment CPU cost (request handling, metadata, syscall
+   overhead) — the Trove layer,
+3. a **backend sink**: the storage device (sync ON), the page cache with a
+   background flusher (sync OFF), or nothing (null-aio).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro import units
+from repro.errors import ConfigurationError
+
+__all__ = ["ServerConfig"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Static description of one storage server.
+
+    Attributes
+    ----------
+    ingest_bw:
+        Maximum rate (bytes/s) at which the server's request-processing path
+        (network stack + Trove + memory copies) can absorb data, regardless
+        of how fast the backend is.  This is what limits the aggregate
+        throughput scaling of Figure 6.
+    fragment_op_cost:
+        CPU time (seconds) spent per request *fragment* (per stripe piece of
+        a client request).  Small stripe sizes and small request sizes
+        multiply the number of fragments and become op-bound — the effect
+        behind Figures 8 and 9.
+    buffer_bytes:
+        Size of the receive/staging buffer between the network and the
+        backend.  When the backend drains slowly this buffer fills up and the
+        transport windows of the clients collapse (Incast).
+    page_cache_bytes:
+        Amount of host memory available to buffer writes when synchronization
+        is disabled ("Sync OFF").  The paper's workloads fit in memory, so by
+        default this is large.
+    memory_bw:
+        Bandwidth (bytes/s) of writing into the page cache (sync OFF path).
+    flush_bw_fraction:
+        Fraction of the backend device bandwidth used by the background
+        flusher while clients are still writing (sync OFF).  Only matters
+        when the page cache fills up.
+    sync_write_unit:
+        Granularity (bytes) at which the server issues synchronous writes to
+        the backend when synchronization is enabled.  Together with the
+        device's positioning cost this sets the effective sync-ON drain rate.
+    """
+
+    ingest_bw: float = 600 * units.MiB
+    fragment_op_cost: float = 0.3e-3
+    buffer_bytes: float = 8 * units.MiB
+    page_cache_bytes: float = 96 * units.GiB
+    memory_bw: float = 2600 * units.MiB
+    flush_bw_fraction: float = 0.7
+    sync_write_unit: float = 4 * units.MiB
+
+    def __post_init__(self) -> None:
+        if self.ingest_bw <= 0:
+            raise ConfigurationError("ingest_bw must be positive")
+        if self.fragment_op_cost < 0:
+            raise ConfigurationError("fragment_op_cost must be non-negative")
+        if self.buffer_bytes <= 0:
+            raise ConfigurationError("buffer_bytes must be positive")
+        if self.page_cache_bytes < 0:
+            raise ConfigurationError("page_cache_bytes must be non-negative")
+        if self.memory_bw <= 0:
+            raise ConfigurationError("memory_bw must be positive")
+        if not 0.0 < self.flush_bw_fraction <= 1.0:
+            raise ConfigurationError("flush_bw_fraction must be in (0, 1]")
+        if self.sync_write_unit <= 0:
+            raise ConfigurationError("sync_write_unit must be positive")
+
+    @property
+    def ops_per_second(self) -> float:
+        """Fragment-processing rate implied by :attr:`fragment_op_cost`."""
+        if self.fragment_op_cost == 0:
+            return float("inf")
+        return 1.0 / self.fragment_op_cost
+
+    def with_buffer(self, buffer_bytes: float) -> "ServerConfig":
+        """Return a copy with a different receive-buffer size."""
+        return replace(self, buffer_bytes=float(buffer_bytes))
+
+    def with_ingest_bw(self, ingest_bw: float) -> "ServerConfig":
+        """Return a copy with a different ingest byte-rate cap."""
+        return replace(self, ingest_bw=float(ingest_bw))
+
+    def scaled(self, factor: float) -> "ServerConfig":
+        """Return a copy with buffer and cache scaled by ``factor``.
+
+        Used by reduced-scale presets so that the ratio between in-flight
+        data and buffer capacity — which controls when Incast appears —
+        stays comparable to the paper-scale configuration.
+        """
+        if factor <= 0:
+            raise ConfigurationError("scale factor must be positive")
+        return replace(
+            self,
+            buffer_bytes=self.buffer_bytes * factor,
+            page_cache_bytes=self.page_cache_bytes * factor,
+        )

@@ -1,0 +1,253 @@
+"""Workload configuration: access patterns and application groups.
+
+The paper's microbenchmark (an IOR-like MPI program) splits its processes
+into two groups on disjoint node sets; each group performs a series of
+collective write operations following one of two access patterns:
+
+* **Contiguous** — each process issues one 64 MB write at offset
+  ``rank * 64 MB`` of a shared file;
+* **Strided** — each process issues 256 writes of 256 KB each, interleaved
+  with the other processes' blocks (a one-dimensional strided layout).
+
+:class:`PatternSpec` describes the pattern; :class:`ApplicationSpec`
+describes one application group (size, placement, start time, which servers
+it targets).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Tuple
+
+from repro import units
+from repro.errors import ConfigurationError
+
+__all__ = ["AccessKind", "PatternSpec", "ApplicationSpec"]
+
+
+class AccessKind(enum.Enum):
+    """Spatial layout of one application's accesses in its shared file."""
+
+    #: One large contiguous request per process at ``rank * bytes_per_process``.
+    CONTIGUOUS = "contiguous"
+    #: ``n`` requests of ``request_size`` bytes per process, 1-D strided.
+    STRIDED = "strided"
+
+
+@dataclass(frozen=True)
+class PatternSpec:
+    """An application's access pattern.
+
+    Attributes
+    ----------
+    kind:
+        Contiguous or strided (see :class:`AccessKind`).
+    bytes_per_process:
+        Total bytes written by each process during one I/O phase.
+    request_size:
+        Size of each individual request.  For a contiguous pattern this
+        defaults to ``bytes_per_process`` (one request per process); for a
+        strided pattern it is the block size (the paper's default is 256 KiB).
+    collective:
+        Whether the operations are collective: all processes synchronize
+        between consecutive requests (MPI-IO collective writes), which is how
+        the paper's microbenchmark issues its series of operations.
+    collective_overhead:
+        Fixed synchronization/coordination cost (seconds) added between
+        consecutive collective operations.  It models the MPI collective and
+        two-phase-I/O overhead that does not contend with the other
+        application; it is what keeps the interference factor of op-dominated
+        strided runs below the full 2x.
+    """
+
+    kind: AccessKind = AccessKind.CONTIGUOUS
+    bytes_per_process: float = 64 * units.MiB
+    request_size: Optional[float] = None
+    collective: bool = True
+    collective_overhead: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_process <= 0:
+            raise ConfigurationError("bytes_per_process must be positive")
+        if self.request_size is not None and self.request_size <= 0:
+            raise ConfigurationError("request_size must be positive")
+        if self.request_size is not None and self.request_size > self.bytes_per_process:
+            raise ConfigurationError(
+                "request_size cannot exceed bytes_per_process "
+                f"({self.request_size} > {self.bytes_per_process})"
+            )
+        if self.collective_overhead < 0:
+            raise ConfigurationError("collective_overhead must be non-negative")
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def effective_request_size(self) -> float:
+        """Size of one request (defaults to the whole phase for contiguous)."""
+        if self.request_size is not None:
+            return float(self.request_size)
+        if self.kind is AccessKind.CONTIGUOUS:
+            return float(self.bytes_per_process)
+        # The paper's strided default: 256 KiB blocks.
+        return float(256 * units.KiB)
+
+    @property
+    def requests_per_process(self) -> int:
+        """Number of requests each process issues during one phase."""
+        return int(math.ceil(self.bytes_per_process / self.effective_request_size))
+
+    @property
+    def last_request_size(self) -> float:
+        """Size of the final (possibly short) request of each process."""
+        full = self.effective_request_size
+        remainder = self.bytes_per_process - full * (self.requests_per_process - 1)
+        return remainder if remainder > 0 else full
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def contiguous(cls, bytes_per_process: float = 64 * units.MiB,
+                   collective: bool = True,
+                   collective_overhead: float = 0.0) -> "PatternSpec":
+        """The paper's contiguous pattern (one write per process)."""
+        return cls(
+            kind=AccessKind.CONTIGUOUS,
+            bytes_per_process=bytes_per_process,
+            request_size=None,
+            collective=collective,
+            collective_overhead=collective_overhead,
+        )
+
+    @classmethod
+    def strided(cls, bytes_per_process: float = 64 * units.MiB,
+                request_size: float = 256 * units.KiB,
+                collective: bool = True,
+                collective_overhead: float = 0.0) -> "PatternSpec":
+        """The paper's strided pattern (many fixed-size blocks per process)."""
+        return cls(
+            kind=AccessKind.STRIDED,
+            bytes_per_process=bytes_per_process,
+            request_size=request_size,
+            collective=collective,
+            collective_overhead=collective_overhead,
+        )
+
+    def with_request_size(self, request_size: float) -> "PatternSpec":
+        """Return a copy with a different block size (Figure 9 sweeps this)."""
+        return replace(self, request_size=float(request_size))
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        if self.kind is AccessKind.CONTIGUOUS:
+            return (
+                f"contiguous, {units.bytes_to_human(self.bytes_per_process)} per process"
+            )
+        return (
+            f"strided, {self.requests_per_process} x "
+            f"{units.bytes_to_human(self.effective_request_size)} per process"
+        )
+
+
+@dataclass(frozen=True)
+class ApplicationSpec:
+    """One application group of the two-application experiment.
+
+    Attributes
+    ----------
+    name:
+        Label used in results ("A", "B", ...).
+    n_nodes:
+        Number of compute nodes the group runs on (dedicated to it).
+    procs_per_node:
+        Number of processes per node that perform I/O.  The paper's default
+        is 16 (all cores); its "network interface" experiment reduces this to
+        1 writer per node performing the node's whole share.
+    pattern:
+        Access pattern of the group.
+    start_time:
+        Simulated time (seconds) at which the group's I/O phase begins; the
+        Δ-graph experiments vary the difference between the two groups'
+        start times.
+    target_servers:
+        Optional explicit set of server indices the group writes to.  By
+        default a group uses every server; the Figure 7 experiment assigns
+        disjoint halves to the two applications.
+    """
+
+    name: str
+    n_nodes: int
+    procs_per_node: int
+    pattern: PatternSpec
+    start_time: float = 0.0
+    target_servers: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("application name must not be empty")
+        if self.n_nodes <= 0:
+            raise ConfigurationError("n_nodes must be positive")
+        if self.procs_per_node <= 0:
+            raise ConfigurationError("procs_per_node must be positive")
+        if self.target_servers is not None:
+            if len(self.target_servers) == 0:
+                raise ConfigurationError("target_servers must not be empty if given")
+            if len(set(self.target_servers)) != len(self.target_servers):
+                raise ConfigurationError("target_servers must not contain duplicates")
+            if any(s < 0 for s in self.target_servers):
+                raise ConfigurationError("target_servers indices must be non-negative")
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_processes(self) -> int:
+        """Total number of I/O processes in the group."""
+        return self.n_nodes * self.procs_per_node
+
+    @property
+    def total_bytes(self) -> float:
+        """Total bytes the group writes during one phase."""
+        return self.n_processes * self.pattern.bytes_per_process
+
+    def with_start_time(self, start_time: float) -> "ApplicationSpec":
+        """Return a copy starting its I/O phase at ``start_time``."""
+        return replace(self, start_time=float(start_time))
+
+    def with_target_servers(self, servers: Optional[Sequence[int]]) -> "ApplicationSpec":
+        """Return a copy targeting an explicit set of servers (or all, if None)."""
+        target = None if servers is None else tuple(int(s) for s in servers)
+        return replace(self, target_servers=target)
+
+    def with_pattern(self, pattern: PatternSpec) -> "ApplicationSpec":
+        """Return a copy using a different access pattern."""
+        return replace(self, pattern=pattern)
+
+    def with_writers(self, n_nodes: int, procs_per_node: int,
+                     keep_total_bytes: bool = True) -> "ApplicationSpec":
+        """Return a copy with a different writer layout.
+
+        When ``keep_total_bytes`` is True the per-process volume is rescaled
+        so the group writes the same total amount — this is how the paper
+        compares "16 clients per node" against "1 client per node writing
+        16x the data" (Figure 4).
+        """
+        if n_nodes <= 0 or procs_per_node <= 0:
+            raise ConfigurationError("writer counts must be positive")
+        new_procs = n_nodes * procs_per_node
+        pattern = self.pattern
+        if keep_total_bytes:
+            per_proc = self.total_bytes / new_procs
+            pattern = replace(pattern, bytes_per_process=per_proc)
+        return replace(self, n_nodes=int(n_nodes), procs_per_node=int(procs_per_node),
+                       pattern=pattern)
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        servers = "all servers" if self.target_servers is None else (
+            f"servers {list(self.target_servers)}"
+        )
+        return (
+            f"app {self.name}: {self.n_nodes} nodes x {self.procs_per_node} procs, "
+            f"{self.pattern.describe()}, start t={self.start_time:+.3f}s, {servers}"
+        )

@@ -1,0 +1,66 @@
+"""The paper's characterization methodology as a library.
+
+* :mod:`repro.core.metrics`     — interference factor, unfairness/asymmetry,
+  flatness, and the other scalar metrics the paper reads off its Δ-graphs,
+* :mod:`repro.core.delta`       — Δ-graph sweeps (the paper's main instrument),
+* :mod:`repro.core.experiment`  — the canonical two-application experiment,
+* :mod:`repro.core.scenarios`   — the "rule a component out" scenario builders
+  of Section III-A,
+* :mod:`repro.core.rootcause`   — root-cause attribution from component
+  utilizations,
+* :mod:`repro.core.flowcontrol` — Incast / flow-control breakdown detection,
+* :mod:`repro.core.prediction`  — the analytic fair-sharing Δ-graph model
+  (CALCioM-style) used to quantify how far a measured sweep deviates from
+  plain proportional sharing,
+* :mod:`repro.core.reporting`   — plain-text reports of all of the above.
+"""
+
+from repro.core.metrics import (
+    asymmetry_index,
+    flatness_index,
+    interference_factor,
+    peak_interference_factor,
+    slowdown,
+)
+from repro.core.delta import DeltaPoint, DeltaSweep, run_delta_sweep
+from repro.core.experiment import TwoApplicationExperiment
+from repro.core.flowcontrol import FlowControlDiagnosis, diagnose_flow_control
+from repro.core.prediction import (
+    PredictionComparison,
+    compare_with_sweep,
+    predict_sweep,
+    predict_write_times,
+)
+from repro.core.rootcause import BottleneckReport, attribute_root_cause
+from repro.core.scenarios import (
+    colocated_filesystem_scenario,
+    dedicated_writer_scenario,
+    fast_backend_scenario,
+    partitioned_servers_scenario,
+    throttled_network_scenario,
+)
+
+__all__ = [
+    "interference_factor",
+    "slowdown",
+    "peak_interference_factor",
+    "asymmetry_index",
+    "flatness_index",
+    "DeltaPoint",
+    "DeltaSweep",
+    "run_delta_sweep",
+    "TwoApplicationExperiment",
+    "FlowControlDiagnosis",
+    "diagnose_flow_control",
+    "BottleneckReport",
+    "attribute_root_cause",
+    "PredictionComparison",
+    "compare_with_sweep",
+    "predict_sweep",
+    "predict_write_times",
+    "colocated_filesystem_scenario",
+    "dedicated_writer_scenario",
+    "fast_backend_scenario",
+    "partitioned_servers_scenario",
+    "throttled_network_scenario",
+]

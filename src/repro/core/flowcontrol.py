@@ -1,0 +1,122 @@
+"""Flow-control breakdown (Incast) detection.
+
+Section IV-B of the paper shows, with tcpdump traces, that the unfair
+interference cases coincide with the TCP window of the affected clients
+collapsing to nearly zero — the Incast problem — and that this happens when
+the component draining the data (Trove plus a slow disk) cannot keep up while
+the transport keeps pushing.
+
+:func:`diagnose_flow_control` reproduces that diagnosis from a simulation
+run: it combines the collapse counters, the window traces (when recorded) and
+the buffer pressure into a single verdict, and reports the per-application
+split that reveals unfairness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.model.results import RunResult
+
+__all__ = ["FlowControlDiagnosis", "diagnose_flow_control"]
+
+
+@dataclass(frozen=True)
+class FlowControlDiagnosis:
+    """Outcome of the Incast diagnosis for one run."""
+
+    incast_detected: bool
+    collapses_per_app: Dict[str, int]
+    collapse_rate: float
+    buffer_pressure: float
+    min_window_fraction: Optional[float]
+    victim: Optional[str]
+
+    def unfairness_ratio(self) -> float:
+        """Ratio between the most- and least-collapsed application (>= 1)."""
+        counts = sorted(self.collapses_per_app.values())
+        if len(counts) < 2 or counts[0] == 0:
+            return 1.0 if not counts or counts[-1] == 0 else float("inf")
+        return counts[-1] / counts[0]
+
+    def describe(self) -> str:
+        """Multi-line human-readable diagnosis."""
+        lines = [
+            "Incast detected" if self.incast_detected else "no Incast signature",
+            f"  collapse rate: {self.collapse_rate:.2f} per application-second",
+            f"  buffer pressure: {self.buffer_pressure:.2f}",
+        ]
+        for app, count in sorted(self.collapses_per_app.items()):
+            lines.append(f"  collapses[{app}]: {count}")
+        if self.min_window_fraction is not None:
+            lines.append(f"  minimum traced window: {self.min_window_fraction:.3f} of its peak")
+        if self.victim is not None:
+            lines.append(f"  main victim: application {self.victim}")
+        return "\n".join(lines)
+
+
+def diagnose_flow_control(
+    result: RunResult,
+    *,
+    collapse_rate_threshold: float = 5.0,
+    pressure_threshold: float = 0.5,
+) -> FlowControlDiagnosis:
+    """Diagnose whether a run exhibits the Incast flow-control breakdown.
+
+    Parameters
+    ----------
+    result:
+        The simulation run to analyse.
+    collapse_rate_threshold:
+        Minimum number of window collapses per application-second for the run
+        to count as Incast-affected.
+    pressure_threshold:
+        Minimum fraction of time the server buffers had to be (nearly) full.
+
+    Returns
+    -------
+    FlowControlDiagnosis
+    """
+    if not result.applications:
+        raise AnalysisError("the run has no applications to diagnose")
+    collapses = {name: app.window_collapses for name, app in result.applications.items()}
+    span = max(result.simulated_time, 1e-9)
+    rate = sum(collapses.values()) / (span * max(len(collapses), 1))
+    pressure = result.components.mean_buffer_pressure()
+
+    # Window traces (optional): how far the traced windows dropped relative
+    # to their peak — the visual signature of the paper's Figure 10(b).
+    min_window_fraction: Optional[float] = None
+    window_names = result.window_series_names()
+    if window_names:
+        fractions = []
+        for name in window_names:
+            series = result.recorder.get_series(name)
+            if len(series) == 0:
+                continue
+            peak = series.max()
+            if peak > 0:
+                fractions.append(series.min() / peak)
+        if fractions:
+            min_window_fraction = float(np.min(fractions))
+
+    incast = rate >= collapse_rate_threshold and pressure >= pressure_threshold
+    victim: Optional[str] = None
+    if incast and collapses:
+        worst = max(collapses, key=collapses.get)
+        best = min(collapses, key=collapses.get)
+        if collapses[worst] > 1.5 * max(collapses[best], 1):
+            victim = worst
+
+    return FlowControlDiagnosis(
+        incast_detected=bool(incast),
+        collapses_per_app=collapses,
+        collapse_rate=float(rate),
+        buffer_pressure=float(pressure),
+        min_window_fraction=min_window_fraction,
+        victim=victim,
+    )

@@ -1,0 +1,151 @@
+"""Scalar metrics read off Δ-graphs.
+
+The paper quantifies interference with a small set of numbers:
+
+* the **interference factor** (the paper's "slowdown"): write time under
+  contention divided by the interference-free write time (Table I, Table II,
+  Figures 2/3),
+* the **peak interference factor** over a Δ sweep (Table II),
+* **unfairness / asymmetry**: how differently the application that enters its
+  I/O phase first is treated compared with the one that enters second
+  (Figures 2(a), 4, 11, 12),
+* **flatness**: whether a Δ-graph is flat (no interference at any delay),
+  which the paper observes with null-aio, a throttled network, or partitioned
+  servers.
+
+All functions are pure and operate on plain floats/arrays so they can be unit
+tested and reused outside the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+__all__ = [
+    "slowdown",
+    "interference_factor",
+    "peak_interference_factor",
+    "asymmetry_index",
+    "unfairness_ratio",
+    "flatness_index",
+    "is_flat",
+]
+
+
+def slowdown(contended_time: float, alone_time: float) -> float:
+    """Ratio of contended to interference-free write time.
+
+    >>> slowdown(33.4, 13.4)
+    2.4925...
+    """
+    if alone_time <= 0:
+        raise AnalysisError(f"alone_time must be positive, got {alone_time}")
+    if contended_time < 0:
+        raise AnalysisError(f"contended_time must be non-negative, got {contended_time}")
+    return contended_time / alone_time
+
+
+def interference_factor(contended_time: float, alone_time: float) -> float:
+    """The paper's interference factor — an alias of :func:`slowdown`.
+
+    A value of 1 means interference-free behaviour; 2 means the application
+    took twice as long as when running alone.
+    """
+    return slowdown(contended_time, alone_time)
+
+
+def peak_interference_factor(
+    contended_times: Iterable[float], alone_time: float
+) -> float:
+    """Largest interference factor over a Δ sweep (Table II)."""
+    times = [float(t) for t in contended_times]
+    if not times:
+        raise AnalysisError("contended_times must not be empty")
+    return max(interference_factor(t, alone_time) for t in times)
+
+
+def asymmetry_index(
+    deltas: Sequence[float],
+    first_app_times: Sequence[float],
+    second_app_times: Sequence[float],
+) -> float:
+    """Signed unfairness of a Δ-graph.
+
+    For every delay the *first* application is the one that entered its I/O
+    phase earlier and the *second* is the one that entered later.  The index
+    is the mean of ``(second - first) / first`` over all delays where the two
+    phases actually overlap (both are slowed down).
+
+    * positive — the application that starts second is penalized (the
+      behaviour the paper observes with HDD backends and sync ON),
+    * ~zero    — fair, symmetric interference,
+    * negative — the second application is favoured.
+    """
+    deltas = [float(d) for d in deltas]
+    first = [float(t) for t in first_app_times]
+    second = [float(t) for t in second_app_times]
+    if not (len(deltas) == len(first) == len(second)):
+        raise AnalysisError("deltas and time sequences must have equal length")
+    if not deltas:
+        raise AnalysisError("asymmetry_index needs at least one delta point")
+    ratios = []
+    for _d, t_first, t_second in zip(deltas, first, second):
+        if t_first <= 0 or t_second <= 0:
+            raise AnalysisError("write times must be positive")
+        ratios.append((t_second - t_first) / t_first)
+    return float(np.mean(ratios))
+
+
+def unfairness_ratio(first_app_time: float, second_app_time: float) -> float:
+    """Ratio of the second application's write time to the first's.
+
+    Values above 1 mean the late-comer is penalized.
+    """
+    if first_app_time <= 0 or second_app_time <= 0:
+        raise AnalysisError("write times must be positive")
+    return second_app_time / first_app_time
+
+
+def flatness_index(contended_times: Sequence[float], alone_time: float) -> float:
+    """How flat a Δ-graph is: the peak interference factor minus one.
+
+    0 means perfectly flat (no interference at any delay); the paper's
+    null-aio and 1G sync-OFF graphs are nearly flat, while the HDD sync-ON
+    graph peaks around one (a 2x slowdown).
+    """
+    return peak_interference_factor(contended_times, alone_time) - 1.0
+
+
+def is_flat(
+    contended_times: Sequence[float], alone_time: float, tolerance: float = 0.15
+) -> bool:
+    """True when the Δ-graph never exceeds ``1 + tolerance`` times the baseline."""
+    return flatness_index(contended_times, alone_time) <= tolerance
+
+
+def crossover_delay(
+    deltas: Sequence[float],
+    times: Sequence[float],
+    alone_time: float,
+    threshold: float = 1.1,
+) -> Tuple[float, float]:
+    """Delays beyond which interference disappears on each side of a Δ-graph.
+
+    Returns ``(negative_side, positive_side)``: the most negative and most
+    positive delay at which the interference factor still exceeds
+    ``threshold``.  Useful for measuring how wide the interference window is
+    (roughly the interference-free write time on each side).
+    """
+    deltas = np.asarray([float(d) for d in deltas])
+    times = np.asarray([float(t) for t in times])
+    if deltas.shape != times.shape or deltas.size == 0:
+        raise AnalysisError("deltas and times must be non-empty and equal length")
+    factors = times / float(alone_time)
+    affected = deltas[factors > threshold]
+    if affected.size == 0:
+        return (0.0, 0.0)
+    return (float(affected.min()), float(affected.max()))

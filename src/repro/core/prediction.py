@@ -1,0 +1,231 @@
+"""Analytic Δ-graph prediction.
+
+The CALCioM paper (the source of the Δ-graph methodology this work uses)
+models two interfering applications analytically: while their I/O bursts
+overlap each gets a share of the storage system's throughput, and once one of
+them finishes the other recovers the full bandwidth.  Under *fair*
+proportional sharing this produces the symmetric triangular Δ-graphs the
+paper observes whenever a single component is the bottleneck (Figures 2, 5,
+9 with sync ON).
+
+This module provides that analytic model so that:
+
+* experiments can sanity-check the simulator (a fair-sharing configuration
+  must stay close to the analytic triangle),
+* deviations from the triangle — a flat graph (no interference) or an
+  asymmetric one (flow-control unfairness) — can be *quantified* as the
+  distance from the prediction,
+* users can predict interference cheaply (microseconds instead of a
+  simulation) when the fair-sharing assumption is good enough.
+
+The central function is :func:`predict_write_times`, the closed-form solution
+of the two-application fluid sharing problem; :func:`predict_sweep` evaluates
+it over a set of delays and :func:`compare_with_sweep` scores a measured
+:class:`~repro.core.delta.DeltaSweep` against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.delta import DeltaSweep
+from repro.errors import AnalysisError
+
+__all__ = [
+    "predict_write_times",
+    "predict_sweep",
+    "PredictionComparison",
+    "compare_with_sweep",
+]
+
+
+def predict_write_times(
+    delta: float,
+    alone_first: float,
+    alone_second: Optional[float] = None,
+    share_first: float = 0.5,
+) -> Tuple[float, float]:
+    """Closed-form write times of two applications sharing one bottleneck.
+
+    Both applications are modelled as fluid transfers through a single shared
+    resource.  The application that is alone progresses at rate 1 (it finishes
+    its phase in ``alone`` seconds); while both are active the first receives
+    ``share_first`` of the resource and the second the remainder.
+
+    Parameters
+    ----------
+    delta:
+        Start of the second application's burst relative to the first
+        (seconds; negative when the second application actually starts first).
+    alone_first / alone_second:
+        Interference-free write times of the two applications
+        (``alone_second`` defaults to ``alone_first``, the paper's symmetric
+        setup).
+    share_first:
+        Fraction of the shared resource granted to the *earlier* application
+        while both are active (0.5 = fair sharing; larger values model the
+        first-application advantage the paper observes under Incast).
+
+    Returns
+    -------
+    (write_time_first, write_time_second)
+        Predicted write times, where "first" is the application whose burst
+        begins at time 0 and "second" the one whose burst begins at ``delta``.
+    """
+    if alone_first <= 0:
+        raise AnalysisError("alone_first must be positive")
+    alone_second = alone_first if alone_second is None else float(alone_second)
+    if alone_second <= 0:
+        raise AnalysisError("alone_second must be positive")
+    if not 0.0 < share_first < 1.0:
+        raise AnalysisError("share_first must be in (0, 1)")
+
+    if delta < 0:
+        # The "second" application actually starts first: solve the mirrored
+        # problem and swap the answer back.
+        second, first = predict_write_times(
+            -delta, alone_second, alone_first, share_first=share_first
+        )
+        return first, second
+
+    # Work in units of "fraction of the phase per second".
+    rate_first_alone = 1.0 / alone_first
+    rate_second_alone = 1.0 / alone_second
+
+    # Phase 1: the first application runs alone during [0, delta].
+    head_start = min(delta, alone_first)
+    progress_first = head_start * rate_first_alone
+    if progress_first >= 1.0 - 1e-12:
+        # No overlap at all: both run alone.
+        return alone_first, alone_second
+
+    # Phase 2: both applications are active; shares apply.
+    t = float(delta)
+    remaining_first = 1.0 - progress_first
+    remaining_second = 1.0
+    rate_first = share_first * rate_first_alone
+    rate_second = (1.0 - share_first) * rate_second_alone
+
+    finish_first = t + remaining_first / rate_first
+    finish_second = t + remaining_second / rate_second
+    if finish_first <= finish_second:
+        # First finishes while sharing; second then recovers the full rate.
+        overlap_end = finish_first
+        remaining_second -= (overlap_end - t) * rate_second
+        finish_second = overlap_end + remaining_second / rate_second_alone
+    else:
+        overlap_end = finish_second
+        remaining_first -= (overlap_end - t) * rate_first
+        finish_first = overlap_end + remaining_first / rate_first_alone
+
+    return float(finish_first), float(finish_second - delta)
+
+
+def predict_sweep(
+    deltas: Sequence[float],
+    alone_time: float,
+    share_first: float = 0.5,
+    names: Tuple[str, str] = ("A", "B"),
+) -> Dict[str, np.ndarray]:
+    """Predicted write times of both applications over a set of delays.
+
+    Application ``names[0]`` is the one whose burst starts at time 0;
+    ``names[1]`` starts at each delay in turn (the paper's convention).
+    """
+    firsts, seconds = [], []
+    for delta in deltas:
+        first, second = predict_write_times(
+            float(delta), alone_time, alone_time, share_first=share_first
+        )
+        firsts.append(first)
+        seconds.append(second)
+    return {names[0]: np.asarray(firsts), names[1]: np.asarray(seconds)}
+
+
+@dataclass(frozen=True)
+class PredictionComparison:
+    """How closely a measured Δ-graph follows the analytic sharing model."""
+
+    share_first: float
+    mean_absolute_error: float
+    max_relative_error: float
+    measured_peak_if: float
+    predicted_peak_if: float
+
+    def follows_fair_sharing(self, tolerance: float = 0.15) -> bool:
+        """True when the measured sweep stays within ``tolerance`` of the model."""
+        return self.max_relative_error <= tolerance
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dictionary for tables."""
+        return {
+            "share_first": self.share_first,
+            "mean_absolute_error": self.mean_absolute_error,
+            "max_relative_error": self.max_relative_error,
+            "measured_peak_if": self.measured_peak_if,
+            "predicted_peak_if": self.predicted_peak_if,
+        }
+
+
+def _errors_for_share(sweep: DeltaSweep, share_first: float) -> Tuple[float, float, float]:
+    apps = sweep.applications
+    if len(apps) < 2:
+        raise AnalysisError("prediction comparison needs a two-application sweep")
+    first_name, second_name = apps[0], apps[1]
+    alone = sweep.alone_time(first_name)
+    deltas = sweep.deltas
+    predicted = predict_sweep(deltas, alone, share_first=share_first,
+                              names=(first_name, second_name))
+    abs_errors: List[float] = []
+    rel_errors: List[float] = []
+    predicted_peak = 1.0
+    for app in (first_name, second_name):
+        measured = sweep.write_times(app)
+        model = predicted[app]
+        abs_errors.extend(np.abs(measured - model).tolist())
+        rel_errors.extend((np.abs(measured - model) / np.maximum(measured, 1e-12)).tolist())
+        predicted_peak = max(predicted_peak, float(np.max(model)) / sweep.alone_time(app))
+    return float(np.mean(abs_errors)), float(np.max(rel_errors)), predicted_peak
+
+
+def compare_with_sweep(
+    sweep: DeltaSweep,
+    share_first: Optional[float] = None,
+    candidate_shares: Iterable[float] = (0.5, 0.55, 0.6, 0.65, 0.7, 0.75, 0.8),
+) -> PredictionComparison:
+    """Score a measured Δ sweep against the analytic sharing model.
+
+    Parameters
+    ----------
+    sweep:
+        The measured Δ-graph (two applications).
+    share_first:
+        Share of the bottleneck granted to the earlier application while both
+        are active.  ``None`` (default) fits it by choosing, among
+        ``candidate_shares``, the one with the smallest mean absolute error —
+        a fitted share well above 0.5 is another way of reading the paper's
+        unfairness off a Δ-graph.
+    candidate_shares:
+        Candidate values explored when fitting.
+    """
+    if share_first is not None:
+        mae, max_rel, predicted_peak = _errors_for_share(sweep, share_first)
+        best_share = share_first
+    else:
+        best_share, best = None, None
+        for candidate in candidate_shares:
+            errors = _errors_for_share(sweep, candidate)
+            if best is None or errors[0] < best[0]:
+                best, best_share = errors, candidate
+        assert best is not None and best_share is not None
+        mae, max_rel, predicted_peak = best
+    return PredictionComparison(
+        share_first=float(best_share),
+        mean_absolute_error=mae,
+        max_relative_error=max_rel,
+        measured_peak_if=sweep.peak_interference_factor(),
+        predicted_peak_if=predicted_peak,
+    )

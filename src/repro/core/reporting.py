@@ -1,0 +1,120 @@
+"""Plain-text reports for experiments.
+
+Everything the experiment modules print — Δ-graph tables, the Table I / II
+layouts, headline metric summaries — is produced here so that benchmarks,
+the CLI, and the examples share one formatting path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro import units
+from repro.core.delta import DeltaSweep
+
+__all__ = [
+    "format_table",
+    "format_delta_sweep",
+    "format_summary",
+    "format_comparison",
+]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a simple fixed-width text table."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "nan"
+        if abs(cell) >= 1000:
+            return f"{cell:.0f}"
+        return f"{cell:.3g}" if abs(cell) < 10 else f"{cell:.2f}"
+    return str(cell)
+
+
+def format_delta_sweep(sweep: DeltaSweep, title: str = "") -> str:
+    """Render a Δ-graph sweep as the table of points plus headline metrics."""
+    apps = sweep.applications
+    headers = ["dt (s)"]
+    for app in apps:
+        headers += [f"t_{app} (s)", f"IF_{app}"]
+    rows = []
+    for point in sweep.points:
+        row: List[object] = [point.delta]
+        for app in apps:
+            t = point.write_time(app)
+            row += [t, t / sweep.alone_time(app)]
+        rows.append(row)
+    table = format_table(headers, rows, title=title or sweep.label)
+    summary = sweep.summary()
+    extra = [
+        "",
+        f"alone time: {sweep.alone_time(apps[0]):.3f} s",
+        f"peak interference factor: {summary['peak_interference_factor']:.2f}",
+        f"asymmetry index: {summary['asymmetry_index']:+.3f}",
+        f"flatness index: {summary['flatness_index']:.2f}",
+    ]
+    return table + "\n" + "\n".join(extra)
+
+
+def format_summary(summary: Mapping[str, float], title: str = "") -> str:
+    """Render a flat metric dictionary as an aligned key/value listing."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    width = max((len(k) for k in summary), default=0)
+    for key in sorted(summary):
+        value = summary[key]
+        if isinstance(value, float):
+            lines.append(f"  {key.ljust(width)}  {value:.4g}")
+        else:
+            lines.append(f"  {key.ljust(width)}  {value}")
+    return "\n".join(lines)
+
+
+def format_comparison(
+    rows: Mapping[str, Mapping[str, float]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Render a {row_label: {column: value}} mapping as a table.
+
+    Used for Table I (device x alone/interfering/slowdown) and Table II
+    (server count x interference factor).
+    """
+    if columns is None:
+        seen: Dict[str, None] = {}
+        for row in rows.values():
+            for key in row:
+                seen.setdefault(key, None)
+        columns = list(seen)
+    headers = [""] + list(columns)
+    table_rows = []
+    for label, row in rows.items():
+        table_rows.append([label] + [row.get(col, float("nan")) for col in columns])
+    return format_table(headers, table_rows, title=title)
+
+
+def human_bytes(value: float) -> str:
+    """Convenience re-export of :func:`repro.units.bytes_to_human`."""
+    return units.bytes_to_human(value)

@@ -1,0 +1,126 @@
+"""Rule-out scenario builders (the paper's Section III-A methodology).
+
+The paper does not benchmark components in isolation; instead it *rules out*
+or reconfigures one potential point of contention at a time and observes the
+interference that remains:
+
+1. the **network interface** is ruled out by letting a single core per node
+   issue all of the node's I/O,
+2. the **network** is studied by throttling its bandwidth (10 G -> 1 G),
+3. the **servers** are ruled out by giving each application a disjoint set of
+   servers,
+4. the **disks** are ruled out with faster backends (SSD/RAM), the null-aio
+   method, or by disabling synchronization.
+
+Each helper below transforms a baseline scenario accordingly, so experiments
+and examples can express the methodology literally.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import units
+from repro.config.presets import grid5000_platform, make_scenario
+from repro.config.scenario import ScenarioConfig
+from repro.errors import ExperimentError
+
+__all__ = [
+    "dedicated_writer_scenario",
+    "throttled_network_scenario",
+    "partitioned_servers_scenario",
+    "fast_backend_scenario",
+    "colocated_filesystem_scenario",
+]
+
+
+def dedicated_writer_scenario(scenario: ScenarioConfig) -> ScenarioConfig:
+    """Rule out the network interface: one writer per node.
+
+    Every application keeps its node count and total data volume, but a
+    single process per node performs all of that node's I/O — the paper's
+    "1 client per node writes 16 blocks of 64 MB" configuration (Figure 4).
+    """
+    new_apps = []
+    for app in scenario.applications:
+        new_apps.append(app.with_writers(app.n_nodes, 1, keep_total_bytes=True))
+    return scenario.with_applications(new_apps)
+
+
+def throttled_network_scenario(
+    scenario: ScenarioConfig, network: str = "1g", scale: Optional[str] = None
+) -> ScenarioConfig:
+    """Throttle the storage network (the paper's 1 G Ethernet configuration).
+
+    ``scale`` defaults to the scale implied by the scenario's platform name
+    (``grid5000-<scale>``); pass it explicitly for custom platforms.
+    """
+    name = scale
+    if name is None:
+        platform_name = scenario.platform.name
+        if "-" in platform_name:
+            name = platform_name.rsplit("-", 1)[1]
+        else:
+            raise ExperimentError(
+                "cannot infer the scale preset from the platform name; pass scale="
+            )
+    platform = grid5000_platform(name, network=network)
+    if platform.n_client_nodes < scenario.platform.n_client_nodes:
+        platform = platform.with_nodes(scenario.platform.n_client_nodes)
+    return scenario.with_platform(platform)
+
+
+def partitioned_servers_scenario(scenario: ScenarioConfig) -> ScenarioConfig:
+    """Rule out servers and disks as shared components (Figure 7).
+
+    The deployment's servers are split into as many equal groups as there are
+    applications and each application is restricted to its own group, leaving
+    the network as the only shared resource.
+    """
+    groups = scenario.filesystem.server_groups(len(scenario.applications))
+    new_apps = [
+        app.with_target_servers(group)
+        for app, group in zip(scenario.applications, groups)
+    ]
+    return scenario.with_applications(new_apps)
+
+
+def fast_backend_scenario(
+    scenario: ScenarioConfig, backend: str = "ram", sync: Optional[bool] = None
+) -> ScenarioConfig:
+    """Rule out the storage device: RAM/SSD backend and/or sync OFF.
+
+    Parameters
+    ----------
+    backend:
+        Device preset name (``"ram"``, ``"ssd"``, ``"null"``).
+    sync:
+        Optionally force synchronization on/off as well.
+    """
+    fs = scenario.filesystem.with_device(backend)
+    if sync is not None:
+        fs = fs.with_sync(sync)
+    return scenario.with_filesystem(fs)
+
+
+def colocated_filesystem_scenario(
+    device: str = "hdd",
+    bytes_per_process: float = 2 * units.GiB,
+    scale: str = "reduced",
+) -> ScenarioConfig:
+    """Single-node configuration used for the device-level study (Table I).
+
+    One single-process application writes to a single-server deployment, so
+    the network plays no role and any interference observed with a second
+    application is attributable to the backend device.
+    """
+    return make_scenario(
+        scale,
+        device=device,
+        sync_mode="sync-on",
+        nodes_per_app=1,
+        procs_per_node=1,
+        n_servers=1,
+        bytes_per_process=bytes_per_process,
+        label=f"local/{device}",
+    )

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Keeping a small, explicit hierarchy lets callers distinguish configuration
+mistakes (their fault, fix the inputs) from simulation failures (our fault or
+a genuinely impossible scenario) without string matching.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "SchedulingError",
+    "ExperimentError",
+    "AnalysisError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid platform, file-system, or workload configuration.
+
+    Raised during validation, before any simulation starts, so that a bad
+    parameter set never produces silently wrong results.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The simulation engine reached an inconsistent state.
+
+    Examples: the event queue ran dry while applications still had pending
+    I/O, a step produced negative remaining bytes, or the run exceeded its
+    configured maximum simulated time.
+    """
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or after the simulation horizon."""
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """A reproduction experiment could not be assembled or executed."""
+
+
+class AnalysisError(ReproError, ValueError):
+    """Raised by analysis helpers when given malformed or empty results."""

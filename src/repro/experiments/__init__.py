@@ -1,0 +1,41 @@
+"""Reproductions of every table and figure of the paper's evaluation.
+
+Each module reproduces one table or figure:
+
+==============  ===============================================================
+Module          Paper result
+==============  ===============================================================
+``table1``      Table I — local writes on HDD/SSD/RAM, alone vs interfering
+``figure2``     Fig. 2 — contiguous pattern, backend devices, sync ON/OFF
+``figure3``     Fig. 3 — strided pattern, backend devices, sync ON/OFF
+``figure4``     Fig. 4 — 16 writers/node vs 1 writer/node
+``figure5``     Fig. 5 — 10G vs 1G storage network, sync ON/OFF
+``figure6``     Fig. 6 + Table II — number of servers (scaling and Δ-graphs)
+``figure7``     Fig. 7 — shared servers vs partitioned servers
+``figure8``     Fig. 8 — stripe size, strided pattern, sync ON/OFF
+``figure9``     Fig. 9 — request size, strided pattern, sync ON/OFF
+``figure10``    Fig. 10 — TCP window evolution, alone vs interfering
+``figure11``    Fig. 11 — window size and progress of first vs second app
+``figure12``    Fig. 12 — Incast appearance as the client count grows
+==============  ===============================================================
+
+Use :func:`repro.experiments.registry.get_experiment` /
+:func:`repro.experiments.registry.run_experiment` or the ``repro-io`` CLI to
+execute them.
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+]

@@ -1,0 +1,128 @@
+"""Common result container for the table/figure reproductions.
+
+Every experiment module exposes a ``run(scale=..., quick=...)`` function that
+returns an :class:`ExperimentResult`: a set of named tables (lists of flat
+row dictionaries), named Δ-graph sweeps, headline metrics, and a plain-text
+report.  Benchmarks print the report; tests assert on the metrics; the CLI
+can export the tables as CSV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.analysis.tables import rows_to_csv
+from repro.core.delta import DeltaSweep
+from repro.core.reporting import format_delta_sweep, format_summary, format_table
+from repro.errors import AnalysisError
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything produced by one table/figure reproduction."""
+
+    experiment_id: str
+    title: str
+    paper_reference: str
+    tables: Dict[str, List[Dict[str, object]]] = field(default_factory=dict)
+    sweeps: Dict[str, DeltaSweep] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # Mutation helpers used by the experiment modules
+    # ------------------------------------------------------------------ #
+
+    def add_table(self, name: str, rows: List[Dict[str, object]]) -> None:
+        """Attach a named table (list of flat row dictionaries)."""
+        if not rows:
+            raise AnalysisError(f"table {name!r} has no rows")
+        self.tables[name] = rows
+
+    def add_sweep(self, name: str, sweep: DeltaSweep) -> None:
+        """Attach a named Δ-graph sweep."""
+        self.sweeps[name] = sweep
+        self.metrics[f"{name}.peak_interference_factor"] = sweep.peak_interference_factor()
+        self.metrics[f"{name}.asymmetry_index"] = sweep.asymmetry_index()
+        self.metrics[f"{name}.flatness_index"] = sweep.flatness_index()
+
+    def add_metric(self, name: str, value: float) -> None:
+        """Attach one headline metric."""
+        self.metrics[name] = float(value)
+
+    def add_note(self, text: str) -> None:
+        """Attach a free-form note shown at the end of the report."""
+        self.notes.append(text)
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+
+    def table(self, name: str) -> List[Dict[str, object]]:
+        """A named table."""
+        try:
+            return self.tables[name]
+        except KeyError as exc:
+            raise AnalysisError(
+                f"experiment {self.experiment_id} has no table {name!r}; "
+                f"available: {sorted(self.tables)}"
+            ) from exc
+
+    def sweep(self, name: str) -> DeltaSweep:
+        """A named Δ-graph sweep."""
+        try:
+            return self.sweeps[name]
+        except KeyError as exc:
+            raise AnalysisError(
+                f"experiment {self.experiment_id} has no sweep {name!r}; "
+                f"available: {sorted(self.sweeps)}"
+            ) from exc
+
+    def metric(self, name: str) -> float:
+        """A named headline metric."""
+        try:
+            return self.metrics[name]
+        except KeyError as exc:
+            raise AnalysisError(
+                f"experiment {self.experiment_id} has no metric {name!r}"
+            ) from exc
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    def report(self) -> str:
+        """Full plain-text report (tables, sweeps, metrics, notes)."""
+        lines = [f"{self.experiment_id}: {self.title}", f"paper: {self.paper_reference}", ""]
+        for name, rows in self.tables.items():
+            columns = list(rows[0].keys())
+            lines.append(
+                format_table(columns, [[row.get(c, "") for c in columns] for row in rows],
+                             title=f"[table] {name}")
+            )
+            lines.append("")
+        for name, sweep in self.sweeps.items():
+            lines.append(format_delta_sweep(sweep, title=f"[delta-graph] {name}"))
+            lines.append("")
+        if self.metrics:
+            lines.append(format_summary(self.metrics, title="[metrics]"))
+            lines.append("")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def table_csv(self, name: str) -> str:
+        """CSV export of one named table."""
+        return rows_to_csv(self.table(name))
+
+    def summary(self) -> Mapping[str, float]:
+        """All headline metrics."""
+        return dict(self.metrics)
+
+
+def optional_int(value: Optional[int], default: int) -> int:
+    """Small helper for experiment modules with optional point counts."""
+    return default if value is None else int(value)

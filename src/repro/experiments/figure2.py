@@ -1,0 +1,81 @@
+"""Figure 2 — contiguous pattern, backend devices, sync ON/OFF.
+
+Two 480-core applications write 64 MiB per process contiguously.  The paper
+plots Δ-graphs for HDD/SSD/RAM backends with synchronization enabled and
+disabled (plus the null-aio method), and observes:
+
+* write times are lower for SSD/RAM but the *relative* slowdown is ~2x for
+  every backend,
+* with HDD + sync ON the Δ-graph is asymmetric: the application that starts
+  first is less affected,
+* with sync OFF the backends behave alike (data stays in memory), and
+  null-aio shows almost no interference.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.config.filesystem import SyncMode
+from repro.core.experiment import TwoApplicationExperiment
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(
+    scale: str = "reduced",
+    quick: bool = False,
+    devices: Optional[Sequence[str]] = None,
+    n_points: Optional[int] = None,
+) -> ExperimentResult:
+    """Reproduce the Δ-graphs of Figure 2."""
+    devices = list(devices) if devices is not None else ["hdd", "ssd", "ram"]
+    points = n_points if n_points is not None else (5 if quick else 9)
+
+    result = ExperimentResult(
+        experiment_id="figure2",
+        title="Contiguous pattern: influence of the backend device",
+        paper_reference="Figure 2 (a)-(d)",
+    )
+    summary_rows = []
+    for sync in (SyncMode.SYNC_ON, SyncMode.SYNC_OFF):
+        for device in devices:
+            exp = TwoApplicationExperiment(
+                scale, device=device, sync_mode=sync, pattern="contiguous"
+            )
+            sweep = exp.run_sweep(n_points=points, label=f"{device}/{sync.value}")
+            name = f"{device}.{sync.value}"
+            result.add_sweep(name, sweep)
+            summary_rows.append(
+                {
+                    "device": device,
+                    "sync": sync.label,
+                    "alone_s": round(exp.alone_time(), 2),
+                    "peak_IF": round(sweep.peak_interference_factor(), 2),
+                    "asymmetry": round(sweep.asymmetry_index(), 3),
+                    "collapses": sweep.total_collapses(),
+                }
+            )
+    # The null-aio method only makes sense with sync OFF semantics.
+    exp = TwoApplicationExperiment(scale, device="hdd", sync_mode=SyncMode.NULL_AIO,
+                                   pattern="contiguous")
+    sweep = exp.run_sweep(n_points=points, label="null-aio")
+    result.add_sweep("null-aio", sweep)
+    summary_rows.append(
+        {
+            "device": "null-aio",
+            "sync": "Null-aio",
+            "alone_s": round(exp.alone_time(), 2),
+            "peak_IF": round(sweep.peak_interference_factor(), 2),
+            "asymmetry": round(sweep.asymmetry_index(), 3),
+            "collapses": sweep.total_collapses(),
+        }
+    )
+    result.add_table("figure2_summary", summary_rows)
+    result.add_note(
+        "Expected shape: every real backend peaks near a 2x slowdown; the "
+        "HDD/sync-ON sweep is asymmetric (positive asymmetry index) and is "
+        "the only one with a large number of window collapses; null-aio is flat."
+    )
+    return result

@@ -1,0 +1,112 @@
+"""Registry of the table/figure reproductions.
+
+Maps experiment identifiers (``"table1"``, ``"figure2"``, ... ``"figure12"``)
+to their ``run`` functions, with the metadata the CLI and the benchmark
+harness need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    table1,
+)
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["ExperimentEntry", "EXPERIMENTS", "get_experiment", "list_experiments", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    """One registered experiment."""
+
+    experiment_id: str
+    title: str
+    paper_reference: str
+    runner: Callable[..., ExperimentResult]
+
+    def run(self, scale: str = "reduced", quick: bool = False, **kwargs) -> ExperimentResult:
+        """Execute the experiment."""
+        return self.runner(scale=scale, quick=quick, **kwargs)
+
+
+EXPERIMENTS: Dict[str, ExperimentEntry] = {
+    "table1": ExperimentEntry(
+        "table1", "Local device-level interference", "Table I", table1.run
+    ),
+    "figure2": ExperimentEntry(
+        "figure2", "Contiguous pattern, backend devices", "Figure 2", figure2.run
+    ),
+    "figure3": ExperimentEntry(
+        "figure3", "Strided pattern, backend devices", "Figure 3", figure3.run
+    ),
+    "figure4": ExperimentEntry(
+        "figure4", "Writers per node (network interface)", "Figure 4", figure4.run
+    ),
+    "figure5": ExperimentEntry(
+        "figure5", "Network bandwidth 10G vs 1G", "Figure 5", figure5.run
+    ),
+    "figure6": ExperimentEntry(
+        "figure6", "Number of storage servers (+ Table II)", "Figure 6 / Table II", figure6.run
+    ),
+    "figure7": ExperimentEntry(
+        "figure7", "Targeted servers (shared vs partitioned)", "Figure 7", figure7.run
+    ),
+    "figure8": ExperimentEntry(
+        "figure8", "Stripe size (strided pattern)", "Figure 8", figure8.run
+    ),
+    "figure9": ExperimentEntry(
+        "figure9", "Request size (strided pattern)", "Figure 9", figure9.run
+    ),
+    "figure10": ExperimentEntry(
+        "figure10", "TCP window evolution (Incast)", "Figure 10", figure10.run
+    ),
+    "figure11": ExperimentEntry(
+        "figure11", "Unfairness: window and progress traces", "Figure 11", figure11.run
+    ),
+    "figure12": ExperimentEntry(
+        "figure12", "Incast vs number of clients", "Figure 12", figure12.run
+    ),
+}
+
+
+def get_experiment(experiment_id: str) -> ExperimentEntry:
+    """Look up an experiment by id (``"table1"``, ``"figure5"``, ...)."""
+    key = experiment_id.strip().lower()
+    if key not in EXPERIMENTS:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[key]
+
+
+def list_experiments() -> List[ExperimentEntry]:
+    """All registered experiments in presentation order."""
+    return [EXPERIMENTS[k] for k in sorted(EXPERIMENTS, key=_sort_key)]
+
+
+def _sort_key(experiment_id: str) -> tuple:
+    if experiment_id.startswith("table"):
+        return (0, int(experiment_id.replace("table", "") or 0))
+    return (1, int(experiment_id.replace("figure", "") or 0))
+
+
+def run_experiment(
+    experiment_id: str, scale: str = "reduced", quick: bool = False, **kwargs
+) -> ExperimentResult:
+    """Run one experiment by id."""
+    return get_experiment(experiment_id).run(scale=scale, quick=quick, **kwargs)

@@ -1,0 +1,46 @@
+"""Interference-mitigation baselines.
+
+The related work the paper discusses (Section V) proposes mitigations that
+each target one point of contention.  This package implements the four whose
+effect the paper itself probes, as scenario transformations plus an
+evaluation harness, so they can be compared on equal footing:
+
+* :mod:`repro.mitigation.aggregation`  — dedicated I/O processes (fewer
+  writers per node; Damaris-style, paper Section IV-A2),
+* :mod:`repro.mitigation.ratelimit`    — throttling the injection rate at the
+  source (the effect the 1 G network produces accidentally, Section IV-A3),
+* :mod:`repro.mitigation.partitioning` — giving each application a disjoint
+  set of servers (Section IV-A5),
+* :mod:`repro.mitigation.coordination` — server-side coordination that makes
+  all servers serve applications in the same order (Song et al., reference
+  [3]; approximated by a larger stripe so each request involves one server),
+* :mod:`repro.mitigation.scheduling`   — cross-application I/O scheduling
+  (CALCioM / I/O-aware batch scheduling): serialize overlapping I/O phases
+  and account for the waiting time this introduces.
+"""
+
+from repro.mitigation.base import Mitigation, MitigationOutcome, evaluate_mitigation
+from repro.mitigation.aggregation import DedicatedWriters
+from repro.mitigation.ratelimit import SourceRateLimit
+from repro.mitigation.partitioning import ServerPartitioning
+from repro.mitigation.coordination import ServerSideCoordination
+from repro.mitigation.scheduling import (
+    CoordinationOutcome,
+    CoordinationPoint,
+    coordinated_start_times,
+    evaluate_coordination,
+)
+
+__all__ = [
+    "Mitigation",
+    "MitigationOutcome",
+    "evaluate_mitigation",
+    "DedicatedWriters",
+    "SourceRateLimit",
+    "ServerPartitioning",
+    "ServerSideCoordination",
+    "CoordinationOutcome",
+    "CoordinationPoint",
+    "coordinated_start_times",
+    "evaluate_coordination",
+]

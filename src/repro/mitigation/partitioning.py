@@ -1,0 +1,28 @@
+"""Server partitioning.
+
+The paper's Figure 7 shows that making each application target a distinct
+set of servers removes both the interference and the unfairness — at the
+cost of halving the parallelism available to each application.  This
+mitigation applies that partitioning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.scenario import ScenarioConfig
+from repro.core.scenarios import partitioned_servers_scenario
+from repro.mitigation.base import Mitigation
+
+__all__ = ["ServerPartitioning"]
+
+
+@dataclass
+class ServerPartitioning(Mitigation):
+    """Give each application a disjoint, equal share of the servers."""
+
+    name: str = "server-partitioning"
+
+    def apply(self, scenario: ScenarioConfig) -> ScenarioConfig:
+        """Split the deployment's servers between the applications."""
+        return partitioned_servers_scenario(scenario)

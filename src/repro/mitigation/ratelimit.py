@@ -1,0 +1,47 @@
+"""Source-side rate limiting.
+
+The paper observes that simply lowering the network bandwidth to 1 Gbps can
+*eliminate* interference when nothing else is congested, because it
+constrains the rate at which each client sends requests to something the
+backend can sustain (Section IV-A3).  This mitigation applies that idea
+deliberately: cap each compute node's injection bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.config.scenario import ScenarioConfig
+from repro.errors import ConfigurationError
+from repro.mitigation.base import Mitigation
+
+__all__ = ["SourceRateLimit"]
+
+
+@dataclass
+class SourceRateLimit(Mitigation):
+    """Throttle every compute node's injection bandwidth.
+
+    Attributes
+    ----------
+    node_bw:
+        Maximum injection rate per compute node (bytes/s).
+    """
+
+    node_bw: float = 125e6
+    name: str = "source-rate-limit"
+
+    def __post_init__(self) -> None:
+        if self.node_bw <= 0:
+            raise ConfigurationError("node_bw must be positive")
+
+    def apply(self, scenario: ScenarioConfig) -> ScenarioConfig:
+        """Cap the per-node injection bandwidth of the platform."""
+        network = scenario.platform.network
+        limited = replace(
+            network,
+            node_injection_bw=min(network.node_injection_bw, self.node_bw),
+            client_nic_bw=min(network.client_nic_bw, max(self.node_bw, 1.0)),
+            name=f"{network.name} (rate-limited)",
+        )
+        return scenario.with_platform(scenario.platform.with_network(limited))

@@ -1,0 +1,29 @@
+"""The integrated I/O-path model.
+
+This package assembles the substrates (network, PVFS servers, storage
+devices, workloads) into one vectorized fluid/discrete-event simulation:
+
+* :mod:`repro.model.state`     — builds the vectorized per-connection and
+  per-application state from a :class:`~repro.config.scenario.ScenarioConfig`,
+* :mod:`repro.model.stepper`   — the per-step update (drain → admit → window
+  dynamics → operation completion),
+* :mod:`repro.model.simulator` — :class:`IOPathSimulator`, the run loop on
+  top of the discrete-event engine,
+* :mod:`repro.model.results`   — :class:`RunResult`, per-application write
+  times plus component statistics and traces,
+* :mod:`repro.model.local`     — the single-node model used for the paper's
+  Table I (local writes without a network).
+"""
+
+from repro.model.results import ApplicationResult, RunResult
+from repro.model.simulator import IOPathSimulator, simulate_scenario
+from repro.model.local import LocalWriteResult, simulate_local_writes
+
+__all__ = [
+    "ApplicationResult",
+    "RunResult",
+    "IOPathSimulator",
+    "simulate_scenario",
+    "LocalWriteResult",
+    "simulate_local_writes",
+]

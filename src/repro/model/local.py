@@ -1,0 +1,164 @@
+"""Single-node write model (the paper's Table I).
+
+The paper's first experiment removes the network entirely: the microbenchmark
+and a single-server PVFS instance run on the same node, each application is a
+single client writing 2 GB contiguously to its own file, and the only shared
+resource is the backend device.
+
+This model reproduces that setting with a small fluid simulation on the
+discrete-event engine:
+
+* each application's data passes through a private client-side copy stage
+  (bandwidth :attr:`~repro.config.platform.PlatformConfig.process_copy_bw`)
+  and a shared device stage in series,
+* the device's aggregate bandwidth follows the
+  :meth:`~repro.storage.device.DeviceSpec.effective_write_bw` law: when two
+  applications interleave writes to two files, an HDD loses bandwidth to head
+  movement, which is why its slowdown exceeds the fair-sharing factor of 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro import units
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.engine import Simulator
+from repro.storage.device import DeviceSpec
+
+__all__ = ["LocalWriteResult", "simulate_local_writes"]
+
+
+@dataclass(frozen=True)
+class LocalWriteResult:
+    """Outcome of one local-write experiment."""
+
+    device: str
+    write_times: Tuple[float, ...]
+    start_times: Tuple[float, ...]
+    bytes_per_app: float
+
+    @property
+    def n_apps(self) -> int:
+        """Number of applications that wrote concurrently."""
+        return len(self.write_times)
+
+    @property
+    def mean_write_time(self) -> float:
+        """Mean write time across applications."""
+        return float(np.mean(self.write_times))
+
+    @property
+    def max_write_time(self) -> float:
+        """Slowest application's write time."""
+        return float(np.max(self.write_times))
+
+    def slowdown_versus(self, alone: "LocalWriteResult") -> float:
+        """Slowdown of this run relative to an interference-free run."""
+        if alone.mean_write_time <= 0:
+            raise SimulationError("alone write time must be positive")
+        return self.mean_write_time / alone.mean_write_time
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat summary used by reports."""
+        out = {"bytes_per_app": self.bytes_per_app, "mean_write_time": self.mean_write_time}
+        for i, t in enumerate(self.write_times):
+            out[f"write_time.{i}"] = t
+        return out
+
+
+def simulate_local_writes(
+    device: DeviceSpec,
+    n_apps: int = 1,
+    bytes_per_app: float = 2 * units.GiB,
+    process_copy_bw: float = 3600 * units.MiB,
+    start_times: Sequence[float] | None = None,
+    step: float = 10.0e-3,
+    max_time: float = 3600.0,
+) -> LocalWriteResult:
+    """Simulate ``n_apps`` single-process applications writing locally.
+
+    Parameters
+    ----------
+    device:
+        Backend device shared by the applications (each writes its own file).
+    n_apps:
+        Number of concurrent applications.
+    bytes_per_app:
+        Bytes each application writes (the paper uses 2 GB).
+    process_copy_bw:
+        Per-process client-side copy bandwidth (not shared across
+        applications running on different cores).
+    start_times:
+        Optional per-application start times (default: all start at 0).
+    step:
+        Fluid-model step (seconds).
+    max_time:
+        Safety limit on the simulated time.
+
+    Returns
+    -------
+    LocalWriteResult
+        Per-application write times.
+    """
+    if n_apps <= 0:
+        raise ConfigurationError("n_apps must be positive")
+    if bytes_per_app <= 0:
+        raise ConfigurationError("bytes_per_app must be positive")
+    if process_copy_bw <= 0:
+        raise ConfigurationError("process_copy_bw must be positive")
+    if step <= 0:
+        raise ConfigurationError("step must be positive")
+    if start_times is None:
+        starts = np.zeros(n_apps, dtype=np.float64)
+    else:
+        starts = np.asarray(list(start_times), dtype=np.float64)
+        if starts.shape[0] != n_apps:
+            raise ConfigurationError("start_times must have one entry per application")
+
+    remaining = np.full(n_apps, float(bytes_per_app), dtype=np.float64)
+    end_times = np.full(n_apps, np.nan, dtype=np.float64)
+    granule = device.interleave_granule_cap
+
+    sim = Simulator(start_time=float(starts.min()) if starts.size else 0.0)
+
+    def tick(s: Simulator) -> None:
+        now = s.now
+        active = (remaining > 0) & (starts <= now)
+        n_active = int(active.sum())
+        if n_active == 0:
+            if np.all(remaining <= 0):
+                s.stop("all local writers finished")
+            return
+        if device.is_unlimited:
+            per_app_device_bw = np.full(n_apps, process_copy_bw * 1e3)
+        else:
+            aggregate = device.effective_write_bw(n_active, granule)
+            per_app_device_bw = np.full(n_apps, aggregate / n_active)
+        # Client copy and device write proceed in series for each chunk.
+        rate = 1.0 / (1.0 / process_copy_bw + 1.0 / per_app_device_bw)
+        progress = np.where(active, rate * step, 0.0)
+        np.minimum(progress, remaining, out=progress)
+        remaining[:] = remaining - progress
+        finished_now = active & (remaining <= 1e-6)
+        end_times[finished_now] = now
+        if np.all(remaining <= 1e-6):
+            s.stop("all local writers finished")
+
+    sim.schedule_periodic(step, tick, start=float(starts.min()) + step, label="local.tick")
+    sim.run(until=float(starts.min()) + max_time)
+    if np.any(np.isnan(end_times)):
+        raise SimulationError(
+            "local write simulation did not finish within max_time; "
+            "increase max_time or check the device configuration"
+        )
+    write_times = tuple(float(end_times[i] - starts[i]) for i in range(n_apps))
+    return LocalWriteResult(
+        device=device.name,
+        write_times=write_times,
+        start_times=tuple(float(t) for t in starts),
+        bytes_per_app=float(bytes_per_app),
+    )

@@ -1,0 +1,182 @@
+"""Run results.
+
+A :class:`RunResult` captures everything an experiment needs from one
+simulation: per-application write times (the quantity the paper's Δ-graphs
+plot), throughputs, Incast statistics, per-component utilizations (for
+root-cause attribution), and the recorded traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.config.scenario import ScenarioConfig
+from repro.errors import AnalysisError
+from repro.sim.tracing import TraceRecorder
+
+__all__ = ["ApplicationResult", "ComponentStats", "RunResult"]
+
+
+@dataclass(frozen=True)
+class ApplicationResult:
+    """Outcome of one application's I/O phase."""
+
+    name: str
+    start_time: float
+    end_time: float
+    bytes_written: float
+    window_collapses: int
+
+    @property
+    def write_time(self) -> float:
+        """Duration of the I/O phase (seconds)."""
+        return self.end_time - self.start_time
+
+    @property
+    def throughput(self) -> float:
+        """Mean throughput of the phase (bytes/s)."""
+        if self.write_time <= 0:
+            return float("inf")
+        return self.bytes_written / self.write_time
+
+
+@dataclass(frozen=True)
+class ComponentStats:
+    """Utilization summary of every potential point of contention.
+
+    The paper's Figure 1 lists four candidate bottlenecks; the fields here
+    mirror them so :mod:`repro.core.rootcause` can rank them.
+    """
+
+    client_nic_utilization: float
+    server_nic_utilization: float
+    server_utilization: np.ndarray
+    device_utilization: np.ndarray
+    buffer_pressure: np.ndarray
+    total_window_collapses: int
+
+    def mean_server_utilization(self) -> float:
+        """Average utilization across servers."""
+        if self.server_utilization.size == 0:
+            return 0.0
+        return float(np.mean(self.server_utilization))
+
+    def mean_device_utilization(self) -> float:
+        """Average backend-device utilization across servers."""
+        if self.device_utilization.size == 0:
+            return 0.0
+        return float(np.mean(self.device_utilization))
+
+    def mean_buffer_pressure(self) -> float:
+        """Average fraction of time the server buffers were full."""
+        if self.buffer_pressure.size == 0:
+            return 0.0
+        return float(np.mean(self.buffer_pressure))
+
+
+@dataclass
+class RunResult:
+    """Everything produced by one simulation run."""
+
+    scenario: ScenarioConfig
+    applications: Dict[str, ApplicationResult]
+    components: ComponentStats
+    recorder: TraceRecorder
+    simulated_time: float
+    n_steps: int
+    wall_time: float
+    label: str = ""
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    def app(self, name: str) -> ApplicationResult:
+        """Result of the application called ``name``."""
+        try:
+            return self.applications[name]
+        except KeyError as exc:
+            raise AnalysisError(
+                f"no application named {name!r}; available: {sorted(self.applications)}"
+            ) from exc
+
+    def write_time(self, name: str) -> float:
+        """Write time of one application (seconds)."""
+        return self.app(name).write_time
+
+    def throughput(self, name: str) -> float:
+        """Mean throughput of one application (bytes/s)."""
+        return self.app(name).throughput
+
+    def aggregate_throughput(self) -> float:
+        """Total bytes written divided by the span of all phases."""
+        apps = list(self.applications.values())
+        if not apps:
+            return 0.0
+        start = min(a.start_time for a in apps)
+        end = max(a.end_time for a in apps)
+        total = sum(a.bytes_written for a in apps)
+        span = end - start
+        if span <= 0:
+            return float("inf")
+        return total / span
+
+    def total_window_collapses(self) -> int:
+        """Window collapses summed over all applications."""
+        return self.components.total_window_collapses
+
+    def progress_series(self, name: str):
+        """Per-application progress trace (fraction complete over time)."""
+        return self.recorder.get_series(f"progress.{name}")
+
+    def window_series_names(self) -> list:
+        """Names of traced per-connection window series."""
+        return self.recorder.series_names("window.")
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dictionary summarizing the run (used by reports and tests)."""
+        out: Dict[str, float] = {
+            "simulated_time": self.simulated_time,
+            "n_steps": float(self.n_steps),
+            "wall_time": self.wall_time,
+            "aggregate_throughput": self.aggregate_throughput(),
+            "window_collapses": float(self.total_window_collapses()),
+            "mean_server_utilization": self.components.mean_server_utilization(),
+            "mean_device_utilization": self.components.mean_device_utilization(),
+            "mean_buffer_pressure": self.components.mean_buffer_pressure(),
+        }
+        for name, app in self.applications.items():
+            out[f"write_time.{name}"] = app.write_time
+            out[f"throughput.{name}"] = app.throughput
+            out[f"collapses.{name}"] = float(app.window_collapses)
+        out.update(self.extra)
+        return out
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [f"run {self.label or self.scenario.label}:"]
+        for name, app in sorted(self.applications.items()):
+            lines.append(
+                f"  app {name}: write time {app.write_time:.3f}s, "
+                f"throughput {app.throughput / 1e6:.1f} MB/s, "
+                f"{app.window_collapses} window collapses"
+            )
+        lines.append(
+            f"  servers: mean utilization {self.components.mean_server_utilization():.2f}, "
+            f"buffer pressure {self.components.mean_buffer_pressure():.2f}"
+        )
+        return "\n".join(lines)
+
+
+def merge_extra(result: RunResult, **values: float) -> Optional[RunResult]:
+    """Attach extra scalar metadata to a result (returns the same object)."""
+    result.extra.update({k: float(v) for k, v in values.items()})
+    return result

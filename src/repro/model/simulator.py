@@ -1,0 +1,213 @@
+"""The I/O-path simulator: run loop and result assembly.
+
+:class:`IOPathSimulator` glues the vectorized model to the discrete-event
+engine:
+
+* an event starts each application at its configured time,
+* a periodic event advances the fluid model by one step,
+* a periodic observation event samples traces,
+* the run ends when every application has finished its I/O phase.
+
+The module-level helper :func:`simulate_scenario` is the one-call entry point
+used by the experiment framework:  ``result = simulate_scenario(scenario)``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.config.scenario import ScenarioConfig
+from repro.errors import SimulationError
+from repro.model.results import ApplicationResult, ComponentStats, RunResult
+from repro.model.state import ModelState
+from repro.model.stepper import ModelStepper
+from repro.sim.engine import Simulator
+from repro.sim.events import EventPriority
+from repro.sim.rng import RandomStreams
+from repro.sim.tracing import TraceRecorder
+
+__all__ = ["IOPathSimulator", "simulate_scenario"]
+
+
+class IOPathSimulator:
+    """Simulates one scenario end to end.
+
+    Parameters
+    ----------
+    scenario:
+        The validated scenario to run.
+    seed:
+        Optional override of the scenario's master seed (used by sweeps that
+        want common random numbers across the Δ axis).
+    """
+
+    def __init__(self, scenario: ScenarioConfig, seed: Optional[int] = None) -> None:
+        self.scenario = scenario
+        master_seed = scenario.control.seed if seed is None else int(seed)
+        self.streams = RandomStreams(master_seed)
+        self.recorder = TraceRecorder(scenario.control.trace)
+        self.state = ModelState(scenario, self.streams, recorder=self.recorder)
+        self.stepper = ModelStepper(self.state)
+        self._n_steps = 0
+        self._step_size = scenario.control.resolve_step(scenario.estimate_duration())
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def step_size(self) -> float:
+        """Resolved model step (seconds)."""
+        return self._step_size
+
+    def run(self) -> RunResult:
+        """Run the scenario to completion and return the result."""
+        scenario = self.scenario
+        state = self.state
+        start_times = [app.start_time for app in scenario.applications]
+        t0 = min(0.0, min(start_times))
+        horizon = scenario.control.max_time
+        sim = Simulator(start_time=t0, horizon=t0 + horizon * 2 + 1.0)
+
+        # Application starts.
+        for app in state.applications:
+            sim.schedule(
+                app.start_time,
+                self._make_start_callback(app.index),
+                priority=EventPriority.CONTROL,
+                label=f"start.{app.name}",
+            )
+
+        # Model steps.
+        dt = self._step_size
+
+        def tick(s: Simulator) -> None:
+            self.stepper.step(s, dt)
+            self._n_steps += 1
+            if state.all_finished():
+                s.stop("all applications finished")
+
+        sim.schedule_periodic(
+            dt,
+            tick,
+            start=t0 + dt,
+            priority=EventPriority.NORMAL,
+            label="model.step",
+            stop_when=lambda s: state.all_finished(),
+        )
+
+        # Trace sampling.
+        sample_period = scenario.control.trace.series_sample_period
+        sim.schedule_periodic(
+            sample_period,
+            self._sample,
+            start=t0 + sample_period,
+            priority=EventPriority.OBSERVE,
+            label="trace.sample",
+            stop_when=lambda s: state.all_finished(),
+        )
+
+        wall_start = time.perf_counter()
+        end_time = sim.run(until=t0 + horizon)
+        wall_time = time.perf_counter() - wall_start
+
+        if not state.all_finished():
+            unfinished = [rt.app.name for rt in state.app_runtime if not rt.finished]
+            raise SimulationError(
+                f"simulation reached max_time={horizon}s with unfinished "
+                f"applications {unfinished}; check the scenario configuration"
+            )
+        return self._build_result(end_time, wall_time)
+
+    # ------------------------------------------------------------------ #
+    # Callbacks
+    # ------------------------------------------------------------------ #
+
+    def _make_start_callback(self, app_index: int):
+        def _start(sim: Simulator) -> None:
+            self.stepper.start_application(sim, app_index)
+
+        return _start
+
+    def _sample(self, sim: Simulator) -> None:
+        state = self.state
+        recorder = self.recorder
+        now = sim.now
+        config = recorder.config
+        if config.record_progress:
+            completed = state.completed_bytes_per_app()
+            for runtime in state.app_runtime:
+                app = runtime.app
+                total = app.total_bytes
+                fraction = completed[app.index] / total if total > 0 else 0.0
+                if runtime.finished:
+                    fraction = 1.0
+                if runtime.started:
+                    recorder.record(f"progress.{app.name}", now, float(fraction), unit="fraction")
+        if config.record_server_state:
+            recorder.record(
+                "server.buffer_fill.mean", now, float(np.mean(state.buffers.fill)), unit="bytes"
+            )
+            recorder.record(
+                "server.buffer_occupancy.max",
+                now,
+                float(np.max(state.buffers.occupancy_fraction())) if state.n_servers else 0.0,
+                unit="fraction",
+            )
+            recorder.record(
+                "server.drain_rate.mean", now, float(np.mean(state.last_drain_rate)), unit="B/s"
+            )
+        if config.record_windows:
+            for conn, series_name in state.traced_connections.items():
+                recorder.record(series_name, now, float(state.windows.cwnd[conn]), unit="bytes")
+            for runtime in state.app_runtime:
+                app = runtime.app
+                conns = state.app_connection_ids(app)
+                if conns.size:
+                    recorder.record(
+                        f"window.mean.{app.name}",
+                        now,
+                        float(np.mean(state.windows.cwnd[conns])),
+                        unit="bytes",
+                    )
+
+    # ------------------------------------------------------------------ #
+    # Result assembly
+    # ------------------------------------------------------------------ #
+
+    def _build_result(self, end_time: float, wall_time: float) -> RunResult:
+        state = self.state
+        apps = {}
+        for runtime in state.app_runtime:
+            app = runtime.app
+            apps[app.name] = ApplicationResult(
+                name=app.name,
+                start_time=runtime.actual_start_time,
+                end_time=runtime.end_time,
+                bytes_written=runtime.issued_bytes,
+                window_collapses=int(state.collapses_per_app[app.index]),
+            )
+        components = ComponentStats(
+            client_nic_utilization=state.topology.max_client_utilization(),
+            server_nic_utilization=state.topology.max_server_utilization(),
+            server_utilization=state.deployment.utilizations(),
+            device_utilization=state.deployment.device_utilizations(),
+            buffer_pressure=state.buffers.pressure_fraction(),
+            total_window_collapses=state.windows.total_collapses(),
+        )
+        return RunResult(
+            scenario=self.scenario,
+            applications=apps,
+            components=components,
+            recorder=self.recorder,
+            simulated_time=end_time,
+            n_steps=self._n_steps,
+            wall_time=wall_time,
+            label=self.scenario.label,
+        )
+
+
+def simulate_scenario(scenario: ScenarioConfig, seed: Optional[int] = None) -> RunResult:
+    """Convenience wrapper: build an :class:`IOPathSimulator` and run it."""
+    return IOPathSimulator(scenario, seed=seed).run()

@@ -1,0 +1,278 @@
+"""Vectorized model state.
+
+:class:`ModelState` is built once per run from a
+:class:`~repro.config.scenario.ScenarioConfig`.  It holds:
+
+* the :class:`~repro.workload.application.Application` objects (placement,
+  per-operation extents),
+* one *connection* per (process, target server) pair with the transport
+  state (:class:`~repro.network.congestion.WindowState`) and the server
+  receive buffers (:class:`~repro.network.incast.ServerBuffers`),
+* the per-connection "bytes still to send for the current operation" array
+  the stepper updates,
+* per-application progress bookkeeping (current operation, completion
+  times).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.config.scenario import ScenarioConfig
+from repro.errors import SimulationError
+from repro.network.congestion import WindowState
+from repro.network.incast import ServerBuffers
+from repro.network.topology import StarTopology
+from repro.pfs.filesystem import PVFSDeployment
+from repro.pfs.striping import extent_to_server_bytes
+from repro.sim.rng import RandomStreams
+from repro.sim.tracing import TraceRecorder
+from repro.workload.application import Application
+
+__all__ = ["AppRuntime", "ModelState"]
+
+
+@dataclass
+class AppRuntime:
+    """Mutable per-application bookkeeping."""
+
+    app: Application
+    started: bool = False
+    finished: bool = False
+    waiting_issue: bool = False
+    current_op: int = -1
+    ops_completed: int = 0
+    actual_start_time: float = 0.0
+    end_time: float = float("nan")
+    issued_bytes: float = 0.0
+    completed_bytes: float = 0.0
+
+    @property
+    def write_time(self) -> float:
+        """Duration of the application's I/O phase (NaN until finished)."""
+        if not self.finished:
+            return float("nan")
+        return self.end_time - self.actual_start_time
+
+
+class ModelState:
+    """All mutable arrays of one simulation run."""
+
+    def __init__(self, scenario: ScenarioConfig, streams: RandomStreams,
+                 recorder: Optional[TraceRecorder] = None) -> None:
+        self.scenario = scenario
+        self.streams = streams
+        self.recorder = recorder or TraceRecorder(scenario.control.trace)
+
+        fs = scenario.filesystem
+        platform = scenario.platform
+        self.deployment = PVFSDeployment(fs, server_nic_bw=platform.network.server_nic_bw)
+        self.topology = StarTopology(
+            n_client_nodes=platform.n_client_nodes,
+            n_servers=fs.n_servers,
+            network=platform.network,
+        )
+
+        # ---------------- applications and processes ---------------------
+        self.applications: List[Application] = []
+        node_ranges = scenario.node_ranges()
+        first_proc = 0
+        for idx, (spec, node_range) in enumerate(zip(scenario.applications, node_ranges)):
+            app = Application(
+                index=idx,
+                spec=spec,
+                node_range=node_range,
+                servers=scenario.app_servers(spec),
+                first_proc_id=first_proc,
+            )
+            self.applications.append(app)
+            first_proc += app.n_processes
+        self.n_processes = first_proc
+        self.n_servers = fs.n_servers
+        self.n_apps = len(self.applications)
+
+        self.proc_app = np.empty(self.n_processes, dtype=np.int64)
+        self.proc_node = np.empty(self.n_processes, dtype=np.int64)
+        self.proc_rank = np.empty(self.n_processes, dtype=np.int64)
+        for app in self.applications:
+            ids = app.proc_ids()
+            self.proc_app[ids] = app.index
+            self.proc_node[ids] = app.node_of_rank()
+            self.proc_rank[ids] = app.ranks()
+
+        # ---------------- connections -------------------------------------
+        conn_proc: List[np.ndarray] = []
+        conn_server: List[np.ndarray] = []
+        self.conn_matrix = np.full((self.n_processes, self.n_servers), -1, dtype=np.int64)
+        offset = 0
+        for app in self.applications:
+            ids = app.proc_ids()
+            servers = np.asarray(app.servers, dtype=np.int64)
+            procs_rep = np.repeat(ids, servers.shape[0])
+            servers_rep = np.tile(servers, ids.shape[0])
+            count = procs_rep.shape[0]
+            conn_proc.append(procs_rep)
+            conn_server.append(servers_rep)
+            self.conn_matrix[procs_rep, servers_rep] = offset + np.arange(count)
+            offset += count
+        self.n_connections = offset
+        self.conn_proc = np.concatenate(conn_proc) if conn_proc else np.zeros(0, dtype=np.int64)
+        self.conn_server = (
+            np.concatenate(conn_server) if conn_server else np.zeros(0, dtype=np.int64)
+        )
+        self.conn_app = self.proc_app[self.conn_proc]
+        self.conn_node = self.proc_node[self.conn_proc]
+
+        # Transport and buffer state.
+        transport = platform.network.transport
+        self.windows = WindowState(
+            self.n_connections, transport, rng=streams.stream("transport")
+        )
+        self.buffers = ServerBuffers(
+            n_servers=self.n_servers,
+            capacity_bytes=fs.server.buffer_bytes,
+            conn_server=self.conn_server,
+        )
+
+        #: Bytes of the current operation still to be sent, per connection.
+        self.send_remaining = np.zeros(self.n_connections, dtype=np.float64)
+        #: Size of the current operation's fragment on each connection.
+        self.frag_size = np.zeros(self.n_connections, dtype=np.float64)
+
+        # Per-application runtime bookkeeping.
+        self.app_runtime: List[AppRuntime] = [AppRuntime(app=app) for app in self.applications]
+
+        # Per-process bookkeeping for the non-collective mode.
+        self.proc_current_op = np.full(self.n_processes, -1, dtype=np.int64)
+        self.proc_next_issue = np.zeros(self.n_processes, dtype=np.float64)
+
+        # Cached per-server drain rate of the previous step (for RTT estimates).
+        self.last_drain_rate = np.full(
+            self.n_servers, fs.server.ingest_bw, dtype=np.float64
+        )
+
+        # Collapse statistics per application (Incast detection).
+        self.collapses_per_app = np.zeros(self.n_apps, dtype=np.int64)
+
+        # Traced connections (window figures): first connection of each app.
+        limit = self.recorder.config.window_connection_limit
+        self.traced_connections: Dict[int, str] = {}
+        if self.recorder.config.record_windows and limit > 0:
+            for app in self.applications:
+                ids = app.proc_ids()
+                count = 0
+                for proc in ids[: max(limit, 1)]:
+                    for server in app.servers[:1]:
+                        conn = int(self.conn_matrix[proc, server])
+                        if conn >= 0:
+                            self.traced_connections[conn] = (
+                                f"window.{app.name}.rank{int(proc - app.first_proc_id)}"
+                                f".server{int(server)}"
+                            )
+                            count += 1
+                    if count >= limit:
+                        break
+
+    # ------------------------------------------------------------------ #
+    # Operation issue
+    # ------------------------------------------------------------------ #
+
+    def app_connection_ids(self, app: Application) -> np.ndarray:
+        """Connection indices of every (process, server) pair of ``app``."""
+        ids = app.proc_ids()
+        servers = np.asarray(app.servers, dtype=np.int64)
+        matrix = self.conn_matrix[np.ix_(ids, servers)]
+        return matrix.reshape(-1)
+
+    def issue_operation(self, app: Application, op_index: int) -> float:
+        """Load operation ``op_index`` of ``app`` onto its connections.
+
+        Returns the number of bytes issued.  Used for collective operations
+        (all processes issue together).
+        """
+        if op_index < 0 or op_index >= app.n_operations:
+            raise SimulationError(
+                f"application {app.name!r} has no operation {op_index}"
+            )
+        offsets, lengths = app.operation_extents(op_index)
+        fs = self.scenario.filesystem
+        ids = app.proc_ids()
+        issued = 0.0
+        for local_rank in range(ids.shape[0]):
+            proc = int(ids[local_rank])
+            per_server = extent_to_server_bytes(
+                float(offsets[local_rank]),
+                float(lengths[local_rank]),
+                fs.stripe_size,
+                app.servers,
+                self.n_servers,
+            )
+            touched = np.flatnonzero(per_server > 0)
+            conns = self.conn_matrix[proc, touched]
+            if np.any(conns < 0):  # pragma: no cover - defensive
+                raise SimulationError(
+                    f"process {proc} has no connection to one of servers {touched}"
+                )
+            self.send_remaining[conns] += per_server[touched]
+            self.frag_size[conns] = per_server[touched]
+            issued += float(per_server[touched].sum())
+        runtime = self.app_runtime[app.index]
+        runtime.issued_bytes += issued
+        runtime.current_op = op_index
+        runtime.waiting_issue = False
+        return issued
+
+    def issue_process_operation(self, proc: int, op_index: int) -> float:
+        """Load operation ``op_index`` of one process (non-collective mode)."""
+        app = self.applications[int(self.proc_app[proc])]
+        offsets, lengths = app.operation_extents(op_index)
+        local_rank = int(self.proc_rank[proc])
+        fs = self.scenario.filesystem
+        per_server = extent_to_server_bytes(
+            float(offsets[local_rank]),
+            float(lengths[local_rank]),
+            fs.stripe_size,
+            app.servers,
+            self.n_servers,
+        )
+        touched = np.flatnonzero(per_server > 0)
+        conns = self.conn_matrix[proc, touched]
+        self.send_remaining[conns] += per_server[touched]
+        self.frag_size[conns] = per_server[touched]
+        issued = float(per_server[touched].sum())
+        self.app_runtime[app.index].issued_bytes += issued
+        self.proc_current_op[proc] = op_index
+        return issued
+
+    # ------------------------------------------------------------------ #
+    # Aggregations used by the stepper
+    # ------------------------------------------------------------------ #
+
+    def outstanding_per_connection(self) -> np.ndarray:
+        """Bytes not yet durably handled per connection (in flight + to send)."""
+        return self.send_remaining + self.buffers.conn_bytes
+
+    def outstanding_per_app(self) -> np.ndarray:
+        """Bytes not yet durably handled per application."""
+        return np.bincount(
+            self.conn_app, weights=self.outstanding_per_connection(), minlength=self.n_apps
+        )
+
+    def outstanding_per_process(self) -> np.ndarray:
+        """Bytes not yet durably handled per process."""
+        return np.bincount(
+            self.conn_proc, weights=self.outstanding_per_connection(), minlength=self.n_processes
+        )
+
+    def all_finished(self) -> bool:
+        """True when every application has completed its I/O phase."""
+        return all(rt.finished for rt in self.app_runtime)
+
+    def completed_bytes_per_app(self) -> np.ndarray:
+        """Bytes durably handled so far, per application."""
+        issued = np.array([rt.issued_bytes for rt in self.app_runtime])
+        outstanding = self.outstanding_per_app()
+        return np.maximum(issued - outstanding, 0.0)

@@ -1,0 +1,353 @@
+"""The per-step update of the I/O-path model.
+
+Each step of length ``dt``:
+
+1. **Workload mix** — count active writers and average fragment sizes per
+   server (they set the device interleaving penalty and the processing
+   granularity).
+2. **Drain** — every server moves data from its receive buffer to its
+   backend at the rate allowed by its ingest path and backend, reduced when a
+   large fraction of its connections sit in RTO stalls (service "bubbles").
+3. **Offer** — every connection offers up to a congestion-window-limited
+   number of bytes, further capped by its node's injection bandwidth.
+4. **Admission** — the server buffers accept offered bytes into the space
+   available; when oversubscribed, admission happens in a weighted random
+   order in which established connections tend to win and newcomers may get
+   nothing (the Incast race).
+5. **Window dynamics** — AIMD plus timeout collapse per connection.
+6. **Completion** — collective operations complete when every fragment of
+   every process has been drained; the next operation is issued after the
+   collective overhead, and applications record their phase end time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.config.filesystem import SyncMode
+from repro.errors import SimulationError
+from repro.model.state import ModelState
+from repro.network.allocation import cap_by_group
+from repro.sim.engine import Simulator
+from repro.sim.events import EventPriority
+
+__all__ = ["ModelStepper"]
+
+
+class ModelStepper:
+    """Advances a :class:`~repro.model.state.ModelState` one step at a time."""
+
+    def __init__(self, state: ModelState) -> None:
+        self.state = state
+        self._rng = state.streams.stream("admission")
+        network = state.scenario.platform.network
+        self._transport = network.transport
+        self._base_rtt = network.rtt
+        self._node_caps = state.topology.node_capacities()
+        self._server_nic = state.topology.server_capacities()
+        self._client_line_rate = network.client_nic_bw
+        self._completion_epsilon = 1.0  # bytes
+
+    # ------------------------------------------------------------------ #
+    # Aggregate helpers
+    # ------------------------------------------------------------------ #
+
+    def _workload_mix(self):
+        """Per-server active-writer counts and mean fragment sizes."""
+        state = self.state
+        busy = state.outstanding_per_connection() > self._completion_epsilon
+        servers = state.conn_server
+        n_active = np.bincount(servers[busy], minlength=state.n_servers).astype(np.float64)
+        frag_sum = np.bincount(
+            servers[busy], weights=state.frag_size[busy], minlength=state.n_servers
+        )
+        with np.errstate(invalid="ignore"):
+            avg_frag = np.where(n_active > 0, frag_sum / np.maximum(n_active, 1.0), 0.0)
+        # Idle servers: report a neutral granularity so the drain-rate law
+        # does not divide by zero.
+        avg_frag[avg_frag <= 0] = state.scenario.filesystem.stripe_size
+        return busy, np.maximum(n_active, 1.0).astype(np.int64), avg_frag
+
+    def _stalled_fraction_per_server(self, now: float, busy: np.ndarray) -> np.ndarray:
+        state = self.state
+        stalled = ~state.windows.sending_allowed(now)
+        relevant = busy
+        total = np.bincount(state.conn_server[relevant], minlength=state.n_servers)
+        stalled_count = np.bincount(
+            state.conn_server[relevant & stalled], minlength=state.n_servers
+        )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            fraction = np.where(total > 0, stalled_count / np.maximum(total, 1), 0.0)
+        return fraction
+
+    # ------------------------------------------------------------------ #
+    # The step
+    # ------------------------------------------------------------------ #
+
+    def step(self, sim: Simulator, dt: float) -> None:
+        """Advance the model by ``dt`` seconds at the current simulated time."""
+        if dt <= 0:
+            raise SimulationError("dt must be positive")
+        state = self.state
+        now = sim.now
+
+        busy, n_streams, avg_frag = self._workload_mix()
+
+        # ------------------------------------------------------------------
+        # 1. Drain capacity of every server for this step.
+        # ------------------------------------------------------------------
+        drain_nominal = state.deployment.drain_rates(n_streams, avg_frag)
+        stalled_fraction = self._stalled_fraction_per_server(now, busy)
+        penalty = 1.0 - self._transport.collapse_penalty * stalled_fraction
+        drain_rate = drain_nominal * np.clip(penalty, 0.0, 1.0)
+        state.last_drain_rate = np.maximum(drain_rate, 1.0)
+
+        # ------------------------------------------------------------------
+        # 2. Offered load: flow-control window, then source caps.
+        # ------------------------------------------------------------------
+        queue_delay = state.buffers.queueing_delay(state.last_drain_rate)
+        rtt_eff = self._base_rtt + queue_delay[state.conn_server]
+        # Receiver-advertised window: the clients collectively probe a bit
+        # beyond the server buffer (rwnd_overcommit), shared by the
+        # connections of each server that are currently able to send.
+        # Connections sitting out an RTO stall do not consume receive-window
+        # credit, so the surviving (typically first-application) connections
+        # inherit their share — this is what lets the incumbent keep
+        # streaming while the newcomer's windows stay collapsed (Figure 11).
+        sending_allowed = state.windows.sending_allowed(now)
+        n_ready = np.bincount(
+            state.conn_server[busy & sending_allowed], minlength=state.n_servers
+        ).astype(np.float64)
+        rwnd_per_server = np.maximum(
+            self._transport.rwnd_overcommit
+            * state.buffers.capacity
+            / np.maximum(n_ready, 1.0),
+            self._transport.window_min,
+        )
+        effective_window = np.minimum(state.windows.cwnd, rwnd_per_server[state.conn_server])
+        potential = np.where(sending_allowed, effective_window / np.maximum(rtt_eff, 1e-9) * dt, 0.0)
+        desire_data = np.minimum(potential, state.send_remaining)
+        desired = cap_by_group(desire_data, state.conn_node, self._node_caps * dt)
+        active = desired > 1e-9
+
+        # A connection can suffer a timeout collapse ("Incast") only when
+        # (a) it offered a full window as a burst, clearly below what its
+        #     source NIC share would have allowed (window-limited),
+        # (b) its server's buffer share per connection is down to a few MSS,
+        # (c) its NIC can deliver the burst much faster than the connection's
+        #     fair share of the server drain (an un-throttled source).
+        active_per_node = np.bincount(
+            state.conn_node[busy], minlength=state.topology.n_client_nodes
+        ).astype(np.float64)
+        node_share = (self._node_caps * dt)[state.conn_node] / np.maximum(
+            active_per_node[state.conn_node], 1.0
+        )
+        window_limited = (
+            active
+            & (state.send_remaining >= potential * (1.0 - 1e-6))
+            & (potential <= self._transport.source_margin * node_share)
+        )
+        incast_regime = (
+            state.buffers.capacity / np.maximum(n_streams.astype(np.float64), 1.0)
+        ) < self._transport.incast_window_threshold
+        line_rate_share = self._client_line_rate / np.maximum(
+            active_per_node[state.conn_node], 1.0
+        )
+        drain_share = state.last_drain_rate[state.conn_server] / np.maximum(
+            n_streams[state.conn_server].astype(np.float64), 1.0
+        )
+        bursty_source = line_rate_share >= self._transport.burst_loss_ratio * drain_share
+        loss_prone = window_limited & incast_regime[state.conn_server] & bursty_source
+        if self._transport.lossless:
+            # Credit-based flow control: bursts wait for credits instead of
+            # being dropped, so no connection is ever loss-prone and the
+            # Incast machinery below never engages.
+            loss_prone[:] = False
+
+        # Burst-escape gate: a connection without a running ACK clock can
+        # only (re)enter an Incast-regime server if its whole-window burst
+        # survives an already full buffer.  Failed attempts are immediate
+        # timeouts — this is what pins the second application's windows near
+        # zero while the first application keeps streaming (Figures 11/12).
+        buffer_full = state.buffers.occupancy_fraction() >= 0.9
+        gated = loss_prone & ~state.windows.paced & active & buffer_full[state.conn_server]
+        if np.any(gated):
+            draws = self._rng.random(state.n_connections)
+            escape_p = np.where(
+                state.windows.ever_paced,
+                self._transport.burst_reentry_probability,
+                self._transport.burst_escape_probability,
+            )
+            failed = gated & (draws >= escape_p)
+            if np.any(failed):
+                failed_idx = np.flatnonzero(failed)
+                state.windows.force_timeout(failed_idx, now)
+                desired[failed_idx] = 0.0
+                state.collapses_per_app += np.bincount(
+                    state.conn_app[failed_idx], minlength=state.n_apps
+                )
+                state.recorder.mark(
+                    now, "incast", "burst-loss", data={"count": int(failed_idx.size)}
+                )
+
+        # ------------------------------------------------------------------
+        # 3. Admission into the server buffers, then drain into the backends.
+        #    Admission may use the space freed by this step's drain
+        #    (store-and-forward pipelining within one step).  Admission is
+        #    proportional to the offered load; the Incast unfairness is
+        #    carried by the burst-escape gate and the window dynamics above.
+        # ------------------------------------------------------------------
+        weights = np.ones(state.n_connections, dtype=np.float64)
+        admitted, oversubscribed = state.buffers.admit(
+            desired,
+            weights,
+            extra_capacity=drain_rate * dt,
+            max_admission=self._server_nic * dt,
+            rng=None,
+        )
+        state.send_remaining -= admitted
+        state.send_remaining[state.send_remaining < self._completion_epsilon * 1e-3] = 0.0
+
+        drained_per_server, _drained_per_conn = state.buffers.drain(drain_rate * dt)
+        state.deployment.commit(drained_per_server, dt, n_streams, avg_frag)
+
+        # ------------------------------------------------------------------
+        # 4. Window dynamics.
+        # ------------------------------------------------------------------
+        update = state.windows.update(
+            now=now,
+            dt=dt,
+            requested=desired,
+            admitted=admitted,
+            rtt_eff=rtt_eff,
+            oversubscribed=oversubscribed,
+            loss_prone=loss_prone,
+        )
+        if update.n_collapsed:
+            collapsed_apps = np.bincount(
+                state.conn_app[update.collapsed_indices], minlength=state.n_apps
+            )
+            state.collapses_per_app += collapsed_apps
+            state.recorder.mark(
+                now, "incast", "window-collapse", data={"count": int(update.n_collapsed)}
+            )
+
+        # ------------------------------------------------------------------
+        # 5. Physical-link accounting.
+        # ------------------------------------------------------------------
+        per_node = np.bincount(
+            state.conn_node, weights=admitted, minlength=state.topology.n_client_nodes
+        )
+        per_server = np.bincount(
+            state.conn_server, weights=admitted, minlength=state.n_servers
+        )
+        state.topology.record_step(per_node, per_server, dt)
+        state.buffers.note_step()
+
+        # ------------------------------------------------------------------
+        # 6. Operation / application completion.
+        # ------------------------------------------------------------------
+        self._handle_completions(sim)
+
+    # ------------------------------------------------------------------ #
+    # Completion handling
+    # ------------------------------------------------------------------ #
+
+    def _handle_completions(self, sim: Simulator) -> None:
+        state = self.state
+        now = sim.now
+        outstanding_app = state.outstanding_per_app()
+        per_proc_outstanding: Optional[np.ndarray] = None
+
+        for runtime in state.app_runtime:
+            app = runtime.app
+            if not runtime.started or runtime.finished or runtime.waiting_issue:
+                continue
+            pattern = app.spec.pattern
+            if pattern.collective:
+                if outstanding_app[app.index] > self._completion_epsilon:
+                    continue
+                if runtime.current_op < 0:
+                    continue
+                runtime.ops_completed = runtime.current_op + 1
+                if runtime.ops_completed >= app.n_operations:
+                    self._finish_app(runtime, now)
+                else:
+                    runtime.waiting_issue = True
+                    next_op = runtime.current_op + 1
+                    delay = pattern.collective_overhead
+                    sim.schedule_after(
+                        delay,
+                        self._make_issue_callback(app.index, next_op),
+                        priority=EventPriority.CONTROL,
+                        label=f"issue.{app.name}.op{next_op}",
+                    )
+            else:
+                if per_proc_outstanding is None:
+                    per_proc_outstanding = state.outstanding_per_process()
+                self._advance_independent(runtime, per_proc_outstanding, now)
+
+    def _advance_independent(
+        self, runtime, per_proc_outstanding: np.ndarray, now: float
+    ) -> None:
+        """Advance per-process (non-collective) operations of one application."""
+        state = self.state
+        app = runtime.app
+        ids = app.proc_ids()
+        pattern = app.spec.pattern
+        done_procs = 0
+        for proc in ids:
+            proc = int(proc)
+            if per_proc_outstanding[proc] > self._completion_epsilon:
+                continue
+            current = int(state.proc_current_op[proc])
+            if current + 1 >= app.n_operations:
+                done_procs += 1
+                continue
+            if state.proc_next_issue[proc] > now:
+                continue
+            state.issue_process_operation(proc, current + 1)
+            state.proc_next_issue[proc] = now + pattern.collective_overhead
+        if done_procs == ids.shape[0]:
+            self._finish_app(runtime, now)
+
+    def _finish_app(self, runtime, now: float) -> None:
+        runtime.finished = True
+        runtime.end_time = now
+        runtime.completed_bytes = runtime.issued_bytes
+        self.state.recorder.mark(now, "phase", f"{runtime.app.name}.end")
+
+    def _make_issue_callback(self, app_index: int, op_index: int):
+        def _issue(sim: Simulator) -> None:
+            state = self.state
+            app = state.applications[app_index]
+            runtime = state.app_runtime[app_index]
+            if runtime.finished:
+                return
+            state.issue_operation(app, op_index)
+            state.recorder.mark(sim.now, "op", f"{app.name}.op{op_index}")
+
+        return _issue
+
+    # ------------------------------------------------------------------ #
+    # Application start
+    # ------------------------------------------------------------------ #
+
+    def start_application(self, sim: Simulator, app_index: int) -> None:
+        """Begin the I/O phase of one application (issue its first operation)."""
+        state = self.state
+        app = state.applications[app_index]
+        runtime = state.app_runtime[app_index]
+        if runtime.started:
+            raise SimulationError(f"application {app.name!r} started twice")
+        runtime.started = True
+        runtime.actual_start_time = sim.now
+        state.recorder.mark(sim.now, "phase", f"{app.name}.start")
+        if app.spec.pattern.collective:
+            state.issue_operation(app, 0)
+        else:
+            for proc in app.proc_ids():
+                state.issue_process_operation(int(proc), 0)
+                state.proc_next_issue[int(proc)] = sim.now

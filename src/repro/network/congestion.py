@@ -1,0 +1,290 @@
+"""TCP-like per-connection congestion/flow-control window model.
+
+The paper traces the window size of PVFS client connections with tcpdump and
+shows that under contention with a slow backend the window collapses to
+nearly zero (Figure 10) — the Incast problem — and that the collapse hits
+the application that starts second much harder (Figure 11).
+
+:class:`WindowState` holds the per-connection state as NumPy arrays and
+implements one update per simulation step:
+
+* **additive increase** while a connection receives (nearly) the bandwidth
+  it asks for,
+* **multiplicative decrease** when the server buffer throttles it,
+* **timeout collapse** (window := minimum, stall for an exponentially
+  backed-off RTO) when a connection is starved for a full RTO,
+* recovery of the "established" status used by the admission model once a
+  connection delivers again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.config.network import TransportConfig
+
+__all__ = ["WindowState", "WindowUpdateResult"]
+
+
+@dataclass
+class WindowUpdateResult:
+    """Summary of one window-update step (used for tracing and analysis)."""
+
+    n_collapsed: int
+    n_decreased: int
+    n_increased: int
+    stalled_fraction: float
+    collapsed_indices: np.ndarray
+
+
+class WindowState:
+    """Vectorized per-connection transport state.
+
+    Parameters
+    ----------
+    n_connections:
+        Number of connections (client process / server pairs).
+    transport:
+        Transport parameters.
+    rng:
+        Random generator used to desynchronize timeout expirations slightly
+        (avoids artificial lock-step retries that a fluid model would
+        otherwise produce).
+    """
+
+    def __init__(
+        self,
+        n_connections: int,
+        transport: TransportConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        if n_connections < 0:
+            raise ValueError("n_connections must be non-negative")
+        self.transport = transport
+        self._rng = rng
+        n = int(n_connections)
+        self.n_connections = n
+        #: Congestion window in bytes.
+        self.cwnd = np.full(n, float(transport.window_init), dtype=np.float64)
+        #: Simulated time until which the connection refrains from sending.
+        #: Initialized to -inf so that runs starting at negative times
+        #: (Δ-graph experiments with a negative delay) are not stalled.
+        self.stall_until = np.full(n, -np.inf, dtype=np.float64)
+        #: Consecutive timeouts (exponential backoff exponent).
+        self.backoff = np.zeros(n, dtype=np.int64)
+        #: Accumulated time (s) during which the connection was starved.
+        self.starved_time = np.zeros(n, dtype=np.float64)
+        #: Last simulated time the connection delivered bytes to its server.
+        self.last_delivery = np.full(n, -np.inf, dtype=np.float64)
+        #: Cumulative number of timeout collapses (for Incast detection).
+        self.collapse_count = np.zeros(n, dtype=np.int64)
+        #: Total bytes delivered per connection.
+        self.delivered_bytes = np.zeros(n, dtype=np.float64)
+        #: True for connections whose ACK clock is running (they delivered a
+        #: full segment recently and have not timed out since).  Paced
+        #: connections are largely immune to Incast losses; bursty ones are
+        #: not.
+        self.paced = np.zeros(n, dtype=bool)
+        #: True for connections that have been paced at least once; they
+        #: recover from a timeout much more easily than true newcomers.
+        self.ever_paced = np.zeros(n, dtype=bool)
+
+    # ------------------------------------------------------------------ #
+    # Queries used by the admission model
+    # ------------------------------------------------------------------ #
+
+    def sending_allowed(self, now: float) -> np.ndarray:
+        """Boolean mask of connections not currently stalled in an RTO."""
+        return self.stall_until <= now
+
+    def established_mask(self, now: float) -> np.ndarray:
+        """Connections that delivered bytes within the established-memory window."""
+        return (now - self.last_delivery) <= self.transport.established_memory
+
+    def admission_weights(self, now: float) -> np.ndarray:
+        """Admission weights: established connections count for more."""
+        weights = np.ones(self.n_connections, dtype=np.float64)
+        weights[self.established_mask(now)] = self.transport.established_weight
+        return weights
+
+    def force_timeout(self, indices: np.ndarray, now: float) -> int:
+        """Collapse the given connections immediately (burst lost entirely).
+
+        Used by the admission gate for bursty connections whose whole-window
+        probe into a full buffer is dropped.  Returns how many connections
+        were collapsed.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size == 0:
+            return 0
+        t = self.transport
+        self.cwnd[indices] = t.window_min
+        backoff = np.minimum(self.backoff[indices], t.max_backoff_exponent)
+        jitter = self._rng.uniform(0.5, 1.5, size=indices.shape[0])
+        self.stall_until[indices] = now + t.rto * (2.0**backoff) * jitter
+        self.backoff[indices] = backoff + 1
+        self.starved_time[indices] = 0.0
+        self.collapse_count[indices] += 1
+        self.paced[indices] = False
+        return int(indices.size)
+
+    def desired_bytes(self, now: float, dt: float, rtt_eff: np.ndarray) -> np.ndarray:
+        """Bytes each connection would like to send during this step.
+
+        ``rtt_eff`` is the per-connection effective round-trip time (base RTT
+        plus queueing delay at its server); the window-limited rate is
+        ``cwnd / rtt_eff``.
+        """
+        rtt_eff = np.maximum(np.asarray(rtt_eff, dtype=np.float64), 1e-9)
+        rate = self.cwnd / rtt_eff
+        desired = rate * dt
+        desired[~self.sending_allowed(now)] = 0.0
+        return desired
+
+    def stalled_fraction(self, now: float, active_mask: np.ndarray) -> float:
+        """Fraction of active connections currently stalled in an RTO."""
+        active = np.asarray(active_mask, dtype=bool)
+        n_active = int(active.sum())
+        if n_active == 0:
+            return 0.0
+        stalled = np.logical_and(active, ~self.sending_allowed(now))
+        return float(stalled.sum()) / float(n_active)
+
+    # ------------------------------------------------------------------ #
+    # Update
+    # ------------------------------------------------------------------ #
+
+    def update(
+        self,
+        now: float,
+        dt: float,
+        requested: np.ndarray,
+        admitted: np.ndarray,
+        rtt_eff: np.ndarray,
+        oversubscribed: np.ndarray,
+        loss_prone: Optional[np.ndarray] = None,
+    ) -> WindowUpdateResult:
+        """Apply one step of window dynamics.
+
+        Parameters
+        ----------
+        now, dt:
+            Current simulated time and step length.
+        requested:
+            Bytes each connection tried to send this step (0 for idle or
+            stalled connections).
+        admitted:
+            Bytes actually admitted into the server buffer.
+        rtt_eff:
+            Per-connection effective RTT (seconds), used to pace the additive
+            increase.
+        oversubscribed:
+            Boolean per-connection flag: True when the connection's server
+            buffer could not accept all offered traffic this step (a
+            congestion signal even for connections that individually got
+            their share).
+        loss_prone:
+            Boolean per-connection flag: True when the connection is in a
+            regime where a throttled step means *lost packets* (full-window
+            burst into a full buffer with a window of only a few segments)
+            rather than smooth backpressure.  Only loss-prone connections
+            react to throttling with a multiplicative decrease and accumulate
+            starvation toward a timeout collapse; connections that are merely
+            backpressured (receiver window + queueing delay) keep their
+            congestion window, as a self-clocked TCP sender would.  Defaults
+            to "all active connections" (the most pessimistic assumption).
+        """
+        t = self.transport
+        requested = np.asarray(requested, dtype=np.float64)
+        admitted = np.asarray(admitted, dtype=np.float64)
+        rtt_eff = np.maximum(np.asarray(rtt_eff, dtype=np.float64), 1e-9)
+        oversubscribed = np.asarray(oversubscribed, dtype=bool)
+
+        active = requested > 1e-9
+        if loss_prone is None:
+            loss_prone = active
+        else:
+            loss_prone = np.asarray(loss_prone, dtype=bool)
+        fraction = np.ones_like(requested)
+        np.divide(admitted, requested, out=fraction, where=active)
+
+        delivered = admitted > 1e-9
+        self.delivered_bytes += admitted
+        self.last_delivery[delivered] = now
+        self.backoff[np.logical_and(delivered, fraction >= 0.5)] = 0
+        # A connection that pushed at least a segment through has a running
+        # ACK clock again.
+        newly_paced = admitted >= self.transport.mss
+        self.paced[newly_paced] = True
+        self.ever_paced[newly_paced] = True
+
+        # Additive increase: one segment per effective RTT of good progress.
+        good = np.logical_and(active, fraction >= 0.9)
+        increase = t.additive_increase_segments * t.mss * (dt / rtt_eff)
+        self.cwnd[good] = np.minimum(self.cwnd[good] + increase[good], t.window_max)
+
+        # Multiplicative decrease: only loss-prone connections interpret a
+        # throttled step as packet loss.  A paced connection that gets less
+        # than it asked for is experiencing flow control (advertised window,
+        # queueing delay), which real TCP absorbs without shrinking cwnd;
+        # treating it as loss makes low-connection-count configurations
+        # (e.g. one writer per node) underutilize the backend.
+        throttled = active & loss_prone & (fraction < 0.5) & oversubscribed
+        self.cwnd[throttled] = np.maximum(
+            self.cwnd[throttled] * t.multiplicative_decrease, t.window_min
+        )
+
+        # Starvation accounting and timeout collapse.  Only loss-prone
+        # connections accumulate starvation: a burst that hit a full buffer
+        # was lost, while a source-paced trickle was merely delayed.
+        starving = active & loss_prone & (fraction < t.starvation_fraction)
+        self.starved_time[starving] += dt
+        self.starved_time[active & ~starving] = 0.0
+        timed_out = self.starved_time >= t.rto
+
+        # Residual whole-window losses for paced connections in the Incast
+        # regime: rare, but they keep even the incumbent application from
+        # being completely untouched (Figure 2(a) shows it slowed as well).
+        hazard_candidates = active & loss_prone & self.paced & ~timed_out
+        if np.any(hazard_candidates) and t.paced_timeout_hazard > 0.0:
+            p_step = 1.0 - (1.0 - t.paced_timeout_hazard) ** (dt / t.rto)
+            draws = self._rng.random(self.n_connections)
+            timed_out = timed_out | (hazard_candidates & (draws < p_step))
+
+        n_collapsed = int(timed_out.sum())
+        idx = np.flatnonzero(timed_out)
+        if n_collapsed:
+            self.cwnd[idx] = t.window_min
+            backoff = np.minimum(self.backoff[idx], t.max_backoff_exponent)
+            # Randomize the retry instant a little to avoid artificial
+            # lock-step retries among simultaneously collapsed connections.
+            jitter = self._rng.uniform(0.5, 1.5, size=idx.shape[0])
+            self.stall_until[idx] = now + t.rto * (2.0**backoff) * jitter
+            self.backoff[idx] = backoff + 1
+            self.starved_time[idx] = 0.0
+            self.collapse_count[idx] += 1
+            self.paced[idx] = False
+
+        result = WindowUpdateResult(
+            n_collapsed=n_collapsed,
+            n_decreased=int(throttled.sum()),
+            n_increased=int(good.sum()),
+            stalled_fraction=self.stalled_fraction(now, active_mask=active | (~self.sending_allowed(now))),
+            collapsed_indices=idx,
+        )
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def total_collapses(self) -> int:
+        """Total number of timeout collapses across all connections."""
+        return int(self.collapse_count.sum())
+
+    def window_snapshot(self) -> np.ndarray:
+        """Copy of the current window sizes (bytes)."""
+        return self.cwnd.copy()

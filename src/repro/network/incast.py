@@ -1,0 +1,223 @@
+"""Server receive buffers and the admission model (the Incast locus).
+
+Each storage server has a bounded staging buffer between the network and the
+backend.  Clients push data into it (admission) and the backend drains it.
+When the backend is slow the buffer is persistently full; admission becomes a
+race for the little space freed each instant, which established connections
+tend to win — the flow-control breakdown the paper identifies as the root of
+unfair interference.
+
+:class:`ServerBuffers` owns the per-server occupancy and the per-connection
+"bytes currently in the buffer" accounting, and implements:
+
+* :meth:`admit` — weighted, possibly starving admission of offered bytes,
+* :meth:`drain` — removal of drained bytes with per-connection attribution,
+* occupancy/pressure queries used for effective-RTT and root-cause analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.network.allocation import admission_order_keys, allocate_greedy_in_order
+
+__all__ = ["ServerBuffers"]
+
+
+class ServerBuffers:
+    """Receive/staging buffers of every server in the deployment.
+
+    Parameters
+    ----------
+    n_servers:
+        Number of servers.
+    capacity_bytes:
+        Buffer capacity per server (same for every server).
+    conn_server:
+        Array mapping each connection index to its server index.
+    """
+
+    def __init__(
+        self,
+        n_servers: int,
+        capacity_bytes: float,
+        conn_server: np.ndarray,
+    ) -> None:
+        if n_servers <= 0:
+            raise SimulationError("n_servers must be positive")
+        if capacity_bytes <= 0:
+            raise SimulationError("capacity_bytes must be positive")
+        self.n_servers = int(n_servers)
+        self.capacity = float(capacity_bytes)
+        self.conn_server = np.asarray(conn_server, dtype=np.int64)
+        if self.conn_server.size and (
+            self.conn_server.min() < 0 or self.conn_server.max() >= n_servers
+        ):
+            raise SimulationError("conn_server contains out-of-range server indices")
+        n_conns = self.conn_server.shape[0]
+        #: Bytes currently buffered per server.
+        self.fill = np.zeros(self.n_servers, dtype=np.float64)
+        #: Bytes currently buffered per connection.
+        self.conn_bytes = np.zeros(n_conns, dtype=np.float64)
+        #: Cumulative bytes admitted per server.
+        self.total_admitted = np.zeros(self.n_servers, dtype=np.float64)
+        #: Cumulative bytes drained per server.
+        self.total_drained = np.zeros(self.n_servers, dtype=np.float64)
+        #: Number of steps each server spent with a (nearly) full buffer.
+        self.full_steps = np.zeros(self.n_servers, dtype=np.int64)
+        self.observed_steps = 0
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_connections(self) -> int:
+        """Number of connections known to the buffers."""
+        return self.conn_bytes.shape[0]
+
+    def free_space(self) -> np.ndarray:
+        """Free bytes per server."""
+        return np.maximum(self.capacity - self.fill, 0.0)
+
+    def occupancy_fraction(self) -> np.ndarray:
+        """Buffer occupancy per server in [0, 1]."""
+        return np.clip(self.fill / self.capacity, 0.0, 1.0)
+
+    def queueing_delay(self, drain_rate: np.ndarray) -> np.ndarray:
+        """Expected time for a newly admitted byte to reach the backend.
+
+        ``drain_rate`` is the per-server drain bandwidth (bytes/s); servers
+        with an (almost) idle backend report zero delay.
+        """
+        drain_rate = np.maximum(np.asarray(drain_rate, dtype=np.float64), 1e-9)
+        return self.fill / drain_rate
+
+    def pressure_fraction(self) -> np.ndarray:
+        """Fraction of observed steps each server spent with a full buffer."""
+        if self.observed_steps == 0:
+            return np.zeros(self.n_servers, dtype=np.float64)
+        return self.full_steps / float(self.observed_steps)
+
+    # ------------------------------------------------------------------ #
+    # Admission
+    # ------------------------------------------------------------------ #
+
+    def admit(
+        self,
+        offered: np.ndarray,
+        weights: np.ndarray,
+        extra_capacity: Optional[np.ndarray] = None,
+        max_admission: Optional[np.ndarray] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Admit offered bytes into the buffers.
+
+        Parameters
+        ----------
+        offered:
+            Bytes each connection offers this step.
+        weights:
+            Admission weights (established connections > newcomers).
+        extra_capacity:
+            Optional additional per-server capacity admitted this step beyond
+            the currently free space (bytes drained during the same step may
+            be re-used); defaults to zero.
+        max_admission:
+            Optional per-server cap on the bytes admitted this step (e.g. the
+            server NIC capacity for the step).
+        rng:
+            Random generator for the weighted admission order.  If ``None``,
+            admission falls back to purely proportional sharing (used by
+            deterministic unit tests).
+
+        Returns
+        -------
+        (admitted, oversubscribed):
+            ``admitted`` — bytes accepted per connection;
+            ``oversubscribed`` — boolean per connection, True when its server
+            could not accept everything offered to it.
+        """
+        offered = np.asarray(offered, dtype=np.float64)
+        if offered.shape[0] != self.n_connections:
+            raise SimulationError("offered has the wrong number of connections")
+        capacity = self.free_space()
+        if extra_capacity is not None:
+            capacity = capacity + np.maximum(np.asarray(extra_capacity, dtype=np.float64), 0.0)
+        if max_admission is not None:
+            capacity = np.minimum(
+                capacity, np.maximum(np.asarray(max_admission, dtype=np.float64), 0.0)
+            )
+
+        offered_per_server = np.bincount(
+            self.conn_server, weights=offered, minlength=self.n_servers
+        )
+        oversub_server = offered_per_server > capacity + 1e-9
+
+        if rng is None:
+            # Deterministic proportional fallback.
+            from repro.network.allocation import proportional_share
+
+            admitted = np.zeros_like(offered)
+            for s in np.flatnonzero(offered_per_server > 0):
+                mask = self.conn_server == s
+                admitted[mask] = proportional_share(
+                    offered[mask], float(capacity[s]), weights=np.asarray(weights)[mask]
+                )
+        else:
+            keys = admission_order_keys(np.asarray(weights, dtype=np.float64), rng)
+            admitted = allocate_greedy_in_order(offered, keys, self.conn_server, capacity)
+
+        self.conn_bytes += admitted
+        admitted_per_server = np.bincount(
+            self.conn_server, weights=admitted, minlength=self.n_servers
+        )
+        self.fill += admitted_per_server
+        self.total_admitted += admitted_per_server
+        oversubscribed = oversub_server[self.conn_server]
+        return admitted, oversubscribed
+
+    # ------------------------------------------------------------------ #
+    # Drain
+    # ------------------------------------------------------------------ #
+
+    def drain(self, drain_capacity: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Drain up to ``drain_capacity`` bytes per server toward the backend.
+
+        Drained bytes are attributed to connections proportionally to their
+        buffered bytes (a fluid approximation of FIFO service).
+
+        Returns
+        -------
+        (drained_per_server, drained_per_conn)
+        """
+        drain_capacity = np.maximum(np.asarray(drain_capacity, dtype=np.float64), 0.0)
+        if drain_capacity.shape[0] != self.n_servers:
+            raise SimulationError("drain_capacity has the wrong number of servers")
+        drained_per_server = np.minimum(self.fill, drain_capacity)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            fraction = np.where(self.fill > 0, drained_per_server / np.maximum(self.fill, 1e-300), 0.0)
+        drained_per_conn = self.conn_bytes * fraction[self.conn_server]
+        self.conn_bytes -= drained_per_conn
+        # Snap tiny residues to zero so fragments complete crisply.
+        self.conn_bytes[self.conn_bytes < 1e-6] = 0.0
+        self.fill = np.bincount(self.conn_server, weights=self.conn_bytes, minlength=self.n_servers)
+        self.total_drained += drained_per_server
+        return drained_per_server, drained_per_conn
+
+    def note_step(self, full_threshold: float = 0.95) -> None:
+        """Record occupancy statistics for one step (for root-cause analysis)."""
+        self.observed_steps += 1
+        self.full_steps[self.occupancy_fraction() >= full_threshold] += 1
+
+    def reset(self) -> None:
+        """Clear all state (buffers and statistics)."""
+        self.fill[:] = 0.0
+        self.conn_bytes[:] = 0.0
+        self.total_admitted[:] = 0.0
+        self.total_drained[:] = 0.0
+        self.full_steps[:] = 0
+        self.observed_steps = 0

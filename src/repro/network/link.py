@@ -1,0 +1,78 @@
+"""A unidirectional network link with utilization accounting.
+
+The fluid model does not route packets, but the root-cause analysis wants to
+know how busy each physical resource was.  :class:`Link` is a small
+accounting object: the model reports how many bytes crossed the link per
+step, and the link reports its utilization over the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, SimulationError
+
+__all__ = ["Link"]
+
+
+@dataclass
+class Link:
+    """A capacity-limited link.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports (e.g. ``"node3->switch"``).
+    capacity:
+        Line rate in bytes/s.
+    """
+
+    name: str
+    capacity: float
+    transferred_bytes: float = field(default=0.0, init=False)
+    busy_time: float = field(default=0.0, init=False)
+    observed_time: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ConfigurationError(f"link {self.name!r} needs a positive capacity")
+
+    def max_bytes(self, dt: float) -> float:
+        """Maximum bytes the link can carry in ``dt`` seconds."""
+        if dt <= 0:
+            raise SimulationError("dt must be positive")
+        return self.capacity * dt
+
+    def record(self, nbytes: float, dt: float) -> None:
+        """Account for ``nbytes`` carried during a step of length ``dt``."""
+        if nbytes < 0:
+            raise SimulationError("cannot record a negative number of bytes")
+        if dt <= 0:
+            raise SimulationError("dt must be positive")
+        limit = self.max_bytes(dt)
+        if nbytes > limit * (1 + 1e-6):
+            raise SimulationError(
+                f"link {self.name!r} carried {nbytes:.0f} bytes in {dt}s, "
+                f"exceeding its capacity ({limit:.0f} bytes)"
+            )
+        self.transferred_bytes += nbytes
+        self.observed_time += dt
+        self.busy_time += dt * min(nbytes / limit, 1.0)
+
+    def utilization(self) -> float:
+        """Average utilization over the observed time (0 if unobserved)."""
+        if self.observed_time == 0:
+            return 0.0
+        return min(self.busy_time / self.observed_time, 1.0)
+
+    def mean_throughput(self) -> float:
+        """Average throughput (bytes/s) over the observed time."""
+        if self.observed_time == 0:
+            return 0.0
+        return self.transferred_bytes / self.observed_time
+
+    def reset(self) -> None:
+        """Clear accounting state."""
+        self.transferred_bytes = 0.0
+        self.busy_time = 0.0
+        self.observed_time = 0.0

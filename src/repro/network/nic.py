@@ -1,0 +1,56 @@
+"""Network interface of a compute node.
+
+The NIC is the first potential point of contention the paper identifies: all
+cores of a node share it.  In the fluid model the sharing itself is applied
+by :func:`repro.network.allocation.cap_by_group`; this class carries the
+per-node capacity (line rate and effective injection goodput) and the
+utilization accounting used by root-cause reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.network.link import Link
+
+__all__ = ["NIC"]
+
+
+@dataclass
+class NIC:
+    """The shared network interface of one compute node.
+
+    Attributes
+    ----------
+    node_id:
+        Index of the compute node.
+    line_rate:
+        Raw NIC bandwidth (bytes/s).
+    injection_bw:
+        Effective end-to-end injection goodput of the node's I/O stack
+        (bytes/s); the usable capacity is the minimum of both.
+    """
+
+    node_id: int
+    line_rate: float
+    injection_bw: float
+    uplink: Link = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.line_rate <= 0 or self.injection_bw <= 0:
+            raise ConfigurationError("NIC rates must be positive")
+        self.uplink = Link(name=f"node{self.node_id}->fabric", capacity=self.effective_bw)
+
+    @property
+    def effective_bw(self) -> float:
+        """Usable injection bandwidth of the node (bytes/s)."""
+        return min(self.line_rate, self.injection_bw)
+
+    def record(self, nbytes: float, dt: float) -> None:
+        """Account for bytes injected during one step."""
+        self.uplink.record(nbytes, dt)
+
+    def utilization(self) -> float:
+        """Average utilization of the node's injection path."""
+        return self.uplink.utilization()

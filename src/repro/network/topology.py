@@ -1,0 +1,104 @@
+"""Storage-network topology.
+
+The paper's testbed connects all compute nodes and storage servers through a
+single 10 Gbps Ethernet switch, so the topology is a star: every node has an
+uplink to the fabric and every server a downlink from it.  The fabric itself
+is assumed non-blocking (the paper's server-partitioning experiment shows the
+switch core is not the point of contention), but the class keeps per-link
+accounting so that assumption can be checked a posteriori.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.config.network import NetworkConfig
+from repro.errors import ConfigurationError
+from repro.network.link import Link
+from repro.network.nic import NIC
+
+__all__ = ["StarTopology"]
+
+
+class StarTopology:
+    """A single-switch topology with per-endpoint links.
+
+    Parameters
+    ----------
+    n_client_nodes:
+        Number of compute nodes.
+    n_servers:
+        Number of storage servers.
+    network:
+        Link-rate configuration.
+    """
+
+    def __init__(self, n_client_nodes: int, n_servers: int, network: NetworkConfig) -> None:
+        if n_client_nodes <= 0 or n_servers <= 0:
+            raise ConfigurationError("topology needs at least one node and one server")
+        self.network = network
+        self.client_nics: List[NIC] = [
+            NIC(node_id=i, line_rate=network.client_nic_bw, injection_bw=network.node_injection_bw)
+            for i in range(n_client_nodes)
+        ]
+        self.server_downlinks: List[Link] = [
+            Link(name=f"fabric->server{s}", capacity=network.server_nic_bw)
+            for s in range(n_servers)
+        ]
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_client_nodes(self) -> int:
+        """Number of compute nodes in the topology."""
+        return len(self.client_nics)
+
+    @property
+    def n_servers(self) -> int:
+        """Number of storage servers in the topology."""
+        return len(self.server_downlinks)
+
+    def node_capacities(self) -> np.ndarray:
+        """Per-node usable injection bandwidth (bytes/s)."""
+        return np.array([nic.effective_bw for nic in self.client_nics], dtype=np.float64)
+
+    def server_capacities(self) -> np.ndarray:
+        """Per-server downlink bandwidth (bytes/s)."""
+        return np.array([link.capacity for link in self.server_downlinks], dtype=np.float64)
+
+    def record_step(
+        self,
+        per_node_bytes: np.ndarray,
+        per_server_bytes: np.ndarray,
+        dt: float,
+    ) -> None:
+        """Account for one step of traffic on every link."""
+        per_node_bytes = np.asarray(per_node_bytes, dtype=np.float64)
+        per_server_bytes = np.asarray(per_server_bytes, dtype=np.float64)
+        if per_node_bytes.shape[0] != self.n_client_nodes:
+            raise ConfigurationError("per_node_bytes has the wrong length")
+        if per_server_bytes.shape[0] != self.n_servers:
+            raise ConfigurationError("per_server_bytes has the wrong length")
+        for nic, nbytes in zip(self.client_nics, per_node_bytes):
+            nic.record(min(float(nbytes), nic.effective_bw * dt), dt)
+        for link, nbytes in zip(self.server_downlinks, per_server_bytes):
+            link.record(min(float(nbytes), link.capacity * dt), dt)
+
+    def utilization_report(self) -> Dict[str, float]:
+        """Utilization of every link, keyed by link name."""
+        report: Dict[str, float] = {}
+        for nic in self.client_nics:
+            report[nic.uplink.name] = nic.utilization()
+        for link in self.server_downlinks:
+            report[link.name] = link.utilization()
+        return report
+
+    def max_client_utilization(self) -> float:
+        """Highest client-uplink utilization (root-cause indicator)."""
+        return max((nic.utilization() for nic in self.client_nics), default=0.0)
+
+    def max_server_utilization(self) -> float:
+        """Highest server-downlink utilization (root-cause indicator)."""
+        return max((link.utilization() for link in self.server_downlinks), default=0.0)

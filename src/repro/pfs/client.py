@@ -1,0 +1,147 @@
+"""PVFS client library.
+
+The client's single job in the write path is to turn an application-level
+request (offset, size, target file) into per-server fragments according to
+the file's striping, and to track which requests are outstanding.  This
+module provides that logic as an object API (used by examples, tests and the
+mitigation baselines); the vectorized model uses the same striping functions
+directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.pfs.request import Fragment, WriteRequest
+from repro.pfs.striping import extent_to_server_bytes, stripe_span
+
+__all__ = ["PVFSClient"]
+
+
+class PVFSClient:
+    """A minimal PVFS client for one application process.
+
+    Parameters
+    ----------
+    app:
+        Application name the client belongs to.
+    rank:
+        Process rank within the application.
+    stripe_size:
+        Striping unit of the deployment.
+    servers:
+        Server indices the application's file is striped over.
+    n_servers_total:
+        Total number of servers in the deployment.
+    """
+
+    def __init__(
+        self,
+        app: str,
+        rank: int,
+        stripe_size: float,
+        servers: Sequence[int],
+        n_servers_total: int,
+    ) -> None:
+        if stripe_size <= 0:
+            raise ConfigurationError("stripe_size must be positive")
+        if rank < 0:
+            raise ConfigurationError("rank must be non-negative")
+        self.app = app
+        self.rank = int(rank)
+        self.stripe_size = float(stripe_size)
+        self.servers = tuple(int(s) for s in servers)
+        self.n_servers_total = int(n_servers_total)
+        self._next_request_id = 0
+        self._outstanding: Dict[int, WriteRequest] = {}
+        self._completed: List[WriteRequest] = []
+
+    # ------------------------------------------------------------------ #
+    # Request construction
+    # ------------------------------------------------------------------ #
+
+    def build_request(self, offset: float, nbytes: float) -> WriteRequest:
+        """Create a request and split it into per-server fragments."""
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        per_server = extent_to_server_bytes(
+            offset, nbytes, self.stripe_size, self.servers, self.n_servers_total
+        )
+        fragments = []
+        for server in np.flatnonzero(per_server > 0):
+            server = int(server)
+            frag_bytes = float(per_server[server])
+            pieces = max(int(np.ceil(frag_bytes / self.stripe_size)), 1)
+            fragments.append(
+                Fragment(
+                    request_id=request_id,
+                    server=server,
+                    nbytes=frag_bytes,
+                    n_stripe_pieces=pieces,
+                )
+            )
+        request = WriteRequest(
+            request_id=request_id,
+            app=self.app,
+            process_rank=self.rank,
+            offset=float(offset),
+            nbytes=float(nbytes),
+            fragments=tuple(fragments),
+        )
+        return request
+
+    def submit(self, offset: float, nbytes: float) -> WriteRequest:
+        """Build a request and mark it outstanding."""
+        request = self.build_request(offset, nbytes)
+        self._outstanding[request.request_id] = request
+        return request
+
+    def complete(self, request_id: int) -> WriteRequest:
+        """Mark an outstanding request as completed."""
+        if request_id not in self._outstanding:
+            raise KeyError(f"request {request_id} is not outstanding")
+        request = self._outstanding.pop(request_id)
+        self._completed.append(request)
+        return request
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def outstanding(self) -> Tuple[WriteRequest, ...]:
+        """Requests submitted but not yet completed."""
+        return tuple(self._outstanding.values())
+
+    @property
+    def completed(self) -> Tuple[WriteRequest, ...]:
+        """Requests completed so far."""
+        return tuple(self._completed)
+
+    def servers_touched_by(self, offset: float, nbytes: float) -> Tuple[int, ...]:
+        """Servers a request at ``offset`` of ``nbytes`` would involve."""
+        per_server = extent_to_server_bytes(
+            offset, nbytes, self.stripe_size, self.servers, self.n_servers_total
+        )
+        return tuple(int(s) for s in np.flatnonzero(per_server > 0))
+
+    def stripes_touched_by(self, offset: float, nbytes: float) -> int:
+        """Number of stripe units a request spans."""
+        first, last = stripe_span(offset, nbytes, self.stripe_size)
+        return max(last - first + 1, 0)
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"client {self.app}:{self.rank} stripe={self.stripe_size:.0f}B "
+            f"servers={list(self.servers)}"
+        )
+
+
+def _validate_optional_rank(rank: Optional[int]) -> None:
+    """Helper kept for API symmetry (no-op today)."""
+    if rank is not None and rank < 0:
+        raise ConfigurationError("rank must be non-negative")

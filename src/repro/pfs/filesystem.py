@@ -1,0 +1,131 @@
+"""A PVFS deployment: the set of servers plus striping configuration.
+
+:class:`PVFSDeployment` instantiates one :class:`~repro.pfs.server.PVFSServer`
+per configured server and offers vectorized queries (per-server drain rates,
+utilizations) the model stepper and the root-cause analysis consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.config.filesystem import FileSystemConfig
+from repro.errors import ConfigurationError
+from repro.pfs.client import PVFSClient
+from repro.pfs.server import PVFSServer
+
+__all__ = ["PVFSDeployment"]
+
+
+class PVFSDeployment:
+    """All servers of one file-system deployment.
+
+    Parameters
+    ----------
+    config:
+        The file-system configuration.
+    server_nic_bw:
+        Downlink bandwidth of each server (bytes/s), taken from the network
+        configuration of the scenario.
+    """
+
+    def __init__(self, config: FileSystemConfig, server_nic_bw: float) -> None:
+        if server_nic_bw <= 0:
+            raise ConfigurationError("server_nic_bw must be positive")
+        self.config = config
+        self.servers: List[PVFSServer] = [
+            PVFSServer(
+                server_id=s,
+                config=config.server,
+                device=config.device,
+                sync_mode=config.sync_mode,
+                stripe_size=config.stripe_size,
+                server_nic_bw=server_nic_bw,
+            )
+            for s in range(config.n_servers)
+        ]
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_servers(self) -> int:
+        """Number of servers in the deployment."""
+        return len(self.servers)
+
+    def make_client(self, app: str, rank: int, servers: Sequence[int] | None = None) -> PVFSClient:
+        """Create a client handle for one application process."""
+        targets = tuple(servers) if servers is not None else self.config.all_servers
+        return PVFSClient(
+            app=app,
+            rank=rank,
+            stripe_size=self.config.stripe_size,
+            servers=targets,
+            n_servers_total=self.n_servers,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Vectorized queries used by the model stepper
+    # ------------------------------------------------------------------ #
+
+    def drain_rates(
+        self,
+        n_streams: np.ndarray,
+        avg_fragment_sizes: np.ndarray,
+    ) -> np.ndarray:
+        """Per-server drain bandwidth for the current workload mix."""
+        n_streams = np.asarray(n_streams)
+        avg_fragment_sizes = np.asarray(avg_fragment_sizes, dtype=np.float64)
+        if n_streams.shape[0] != self.n_servers or avg_fragment_sizes.shape[0] != self.n_servers:
+            raise ConfigurationError("per-server arrays have the wrong length")
+        rates = np.empty(self.n_servers, dtype=np.float64)
+        for i, server in enumerate(self.servers):
+            rates[i] = server.drain_rate(int(n_streams[i]), float(avg_fragment_sizes[i]))
+        return rates
+
+    def commit(
+        self,
+        drained: np.ndarray,
+        dt: float,
+        n_streams: np.ndarray,
+        avg_fragment_sizes: np.ndarray,
+    ) -> None:
+        """Account for one step of drained bytes on every server."""
+        for i, server in enumerate(self.servers):
+            server.commit(
+                float(drained[i]), dt, int(n_streams[i]), float(avg_fragment_sizes[i])
+            )
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    def utilizations(self) -> np.ndarray:
+        """Per-server drain-path utilization."""
+        return np.array([s.utilization() for s in self.servers], dtype=np.float64)
+
+    def device_utilizations(self) -> np.ndarray:
+        """Per-server backend-device utilization."""
+        return np.array([s.device_utilization() for s in self.servers], dtype=np.float64)
+
+    def dirty_cache_bytes(self) -> np.ndarray:
+        """Per-server dirty bytes in the write-back cache."""
+        return np.array([s.dirty_cache_bytes() for s in self.servers], dtype=np.float64)
+
+    def total_drained(self) -> float:
+        """Total bytes drained by all servers."""
+        return float(sum(s.drained_bytes for s in self.servers))
+
+    def utilization_report(self) -> Dict[str, float]:
+        """Utilization keyed by server name."""
+        return {f"server{s.server_id}": s.utilization() for s in self.servers}
+
+    def reset(self) -> None:
+        """Reset every server's accounting state."""
+        for server in self.servers:
+            server.reset()
+
+    def describe(self) -> Tuple[str, ...]:
+        """Per-server one-line descriptions."""
+        return tuple(server.describe() for server in self.servers)

@@ -1,0 +1,106 @@
+"""Request and fragment records.
+
+A :class:`WriteRequest` is one application-level write (one block of the
+strided pattern, or the whole contiguous extent of a process).  The PVFS
+client splits it into :class:`Fragment` objects — one per server touched —
+which is the granularity the servers process and the transport carries.
+
+The vectorized model does not allocate one Python object per fragment during
+simulation (it keeps arrays); these records are used by the client library
+API, by tests, and by analysis code that wants to reason about individual
+requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Fragment", "WriteRequest"]
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """The part of one request that lands on one server.
+
+    Attributes
+    ----------
+    request_id:
+        Identifier of the parent request.
+    server:
+        Destination server index.
+    nbytes:
+        Bytes of the parent request stored by that server.
+    n_stripe_pieces:
+        Number of stripe-sized pieces the fragment consists of (used for
+        per-operation cost accounting at the server).
+    """
+
+    request_id: int
+    server: int
+    nbytes: float
+    n_stripe_pieces: int
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise ConfigurationError("a fragment must carry a positive number of bytes")
+        if self.n_stripe_pieces <= 0:
+            raise ConfigurationError("a fragment must contain at least one stripe piece")
+
+
+@dataclass
+class WriteRequest:
+    """One application-level write request.
+
+    Attributes
+    ----------
+    request_id:
+        Unique identifier (per client).
+    app:
+        Application name issuing the request.
+    process_rank:
+        Rank of the issuing process within its application.
+    offset:
+        File offset (bytes).
+    nbytes:
+        Request size (bytes).
+    fragments:
+        Per-server fragments, filled in by the client library.
+    """
+
+    request_id: int
+    app: str
+    process_rank: int
+    offset: float
+    nbytes: float
+    fragments: Tuple[Fragment, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise ConfigurationError("offset must be non-negative")
+        if self.nbytes <= 0:
+            raise ConfigurationError("nbytes must be positive")
+        if self.process_rank < 0:
+            raise ConfigurationError("process_rank must be non-negative")
+
+    @property
+    def n_servers_touched(self) -> int:
+        """Number of servers involved in this request."""
+        return len(self.fragments)
+
+    @property
+    def bytes_by_server(self) -> Dict[int, float]:
+        """Mapping server index -> bytes of this request on that server."""
+        return {f.server: f.nbytes for f in self.fragments}
+
+    def total_fragment_bytes(self) -> float:
+        """Sum of fragment sizes (equals ``nbytes`` once fragments are built)."""
+        return sum(f.nbytes for f in self.fragments)
+
+    def is_consistent(self) -> bool:
+        """True when the fragments exactly cover the request."""
+        if not self.fragments:
+            return False
+        return abs(self.total_fragment_bytes() - self.nbytes) < 1e-6

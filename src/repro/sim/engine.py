@@ -1,0 +1,325 @@
+"""The discrete-event simulation engine.
+
+The engine is a classic event-heap kernel:
+
+* :meth:`Simulator.schedule` inserts a callback at an absolute simulated time,
+* :meth:`Simulator.schedule_after` inserts relative to the current time,
+* :meth:`Simulator.run` pops events in ``(time, priority, insertion)`` order
+  and invokes their callbacks until the queue is empty, a horizon is reached,
+  or a stop condition is met.
+
+Determinism
+-----------
+Two runs with the same configuration and seeds execute exactly the same event
+sequence: ties are broken by an insertion counter, and callbacks are never
+compared or hashed for ordering.
+
+The I/O-path model (:mod:`repro.model`) uses the engine for application phase
+starts, periodic model steps, and trace sampling; unit tests exercise it as a
+general-purpose DES kernel.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.events import Event, EventPriority
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Discrete-event simulator with a monotonic clock.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the simulation clock (seconds).  Negative values are
+        allowed; the paper's Δ-graphs place the second application at
+        ``t = dt`` which may be negative relative to the first.
+    horizon:
+        Optional hard limit on simulated time.  Scheduling an event beyond the
+        horizon raises :class:`~repro.errors.SchedulingError`; reaching it
+        during :meth:`run` raises :class:`~repro.errors.SimulationError`
+        unless ``run`` was called with ``until`` at or before the horizon.
+    """
+
+    def __init__(self, start_time: float = 0.0, horizon: Optional[float] = None) -> None:
+        self._now = float(start_time)
+        self._start_time = float(start_time)
+        self._horizon = None if horizon is None else float(horizon)
+        self._heap: list[tuple[tuple[float, int, int], Event]] = []
+        self._seq = 0
+        self._events_processed = 0
+        self._running = False
+        self._stopped = False
+        self._stop_reason: Optional[str] = None
+
+    # ------------------------------------------------------------------ #
+    # Clock and introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def start_time(self) -> float:
+        """Simulated time at which the simulator was created."""
+        return self._start_time
+
+    @property
+    def horizon(self) -> Optional[float]:
+        """Hard limit on simulated time, or ``None`` if unbounded."""
+        return self._horizon
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled, not-yet-fired, not-cancelled events."""
+        return sum(1 for _, ev in self._heap if not ev.cancelled)
+
+    @property
+    def is_running(self) -> bool:
+        """True while :meth:`run` is executing callbacks."""
+        return self._running
+
+    @property
+    def stop_reason(self) -> Optional[str]:
+        """Reason given to :meth:`stop`, if the run was stopped early."""
+        return self._stop_reason
+
+    def peek_next_time(self) -> Optional[float]:
+        """Return the time of the next live event, or ``None`` if empty."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            return None
+        return self._heap[0][1].time
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+
+    def schedule(
+        self,
+        time: float,
+        callback: Callable[["Simulator"], None],
+        *,
+        priority: EventPriority = EventPriority.NORMAL,
+        label: str = "",
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``.
+
+        Returns the :class:`~repro.sim.events.Event`, which can be cancelled.
+
+        Raises
+        ------
+        SchedulingError
+            If ``time`` is in the past or beyond the horizon.
+        """
+        time = float(time)
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule event {label!r} at t={time:.6f}: "
+                f"clock is already at t={self._now:.6f}"
+            )
+        if self._horizon is not None and time > self._horizon:
+            raise SchedulingError(
+                f"cannot schedule event {label!r} at t={time:.6f}: "
+                f"beyond horizon t={self._horizon:.6f}"
+            )
+        event = Event(
+            time=time,
+            priority=priority,
+            seq=self._seq,
+            callback=callback,
+            label=label,
+            payload=payload,
+        )
+        self._seq += 1
+        heapq.heappush(self._heap, (event.sort_key(), event))
+        return event
+
+    def schedule_after(
+        self,
+        delay: float,
+        callback: Callable[["Simulator"], None],
+        *,
+        priority: EventPriority = EventPriority.NORMAL,
+        label: str = "",
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``callback`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay!r} for event {label!r}")
+        return self.schedule(
+            self._now + float(delay),
+            callback,
+            priority=priority,
+            label=label,
+            payload=payload,
+        )
+
+    def schedule_periodic(
+        self,
+        period: float,
+        callback: Callable[["Simulator"], None],
+        *,
+        start: Optional[float] = None,
+        priority: EventPriority = EventPriority.NORMAL,
+        label: str = "",
+        stop_when: Optional[Callable[["Simulator"], bool]] = None,
+    ) -> Event:
+        """Schedule ``callback`` every ``period`` seconds.
+
+        The callback fires first at ``start`` (default: now + period) and is
+        rescheduled after each invocation until ``stop_when(sim)`` returns
+        True (checked before each firing) or the simulation ends.
+
+        Returns the first scheduled event.
+        """
+        if period <= 0:
+            raise SchedulingError(f"periodic event {label!r} needs a positive period")
+
+        def _fire(sim: "Simulator") -> None:
+            if stop_when is not None and stop_when(sim):
+                return
+            callback(sim)
+            if stop_when is not None and stop_when(sim):
+                return
+            next_time = sim.now + period
+            if sim.horizon is not None and next_time > sim.horizon:
+                return
+            sim.schedule(next_time, _fire, priority=priority, label=label)
+
+        first = self._now + period if start is None else float(start)
+        return self.schedule(first, _fire, priority=priority, label=label)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def stop(self, reason: str = "stopped") -> None:
+        """Request that :meth:`run` return after the current callback."""
+        self._stopped = True
+        self._stop_reason = reason
+
+    def step(self) -> bool:
+        """Execute the single next event.
+
+        Returns ``True`` if an event was executed, ``False`` if the queue was
+        empty.
+        """
+        self._drop_cancelled_head()
+        if not self._heap:
+            return False
+        _, event = heapq.heappop(self._heap)
+        if event.time < self._now:  # pragma: no cover - heap invariant guard
+            raise SimulationError(
+                f"event {event!r} would move the clock backwards from {self._now}"
+            )
+        self._now = event.time
+        self._events_processed += 1
+        event.callback(self)
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        *,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run until the queue is empty, ``until`` is reached, or stopped.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the next event would be strictly after
+            ``until`` and advance the clock to ``until``.
+        max_events:
+            Safety valve; raise :class:`~repro.errors.SimulationError` if more
+            than this many events execute (guards against run-away periodic
+            events in misconfigured models).
+
+        Returns
+        -------
+        float
+            The simulation clock at the end of the run.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"cannot run until t={until:.6f}: clock already at t={self._now:.6f}"
+            )
+        self._running = True
+        self._stopped = False
+        self._stop_reason = None
+        executed = 0
+        try:
+            while True:
+                if self._stopped:
+                    break
+                self._drop_cancelled_head()
+                if not self._heap:
+                    break
+                next_time = self._heap[0][1].time
+                if until is not None and next_time > until:
+                    self._now = float(until)
+                    break
+                if self._horizon is not None and next_time > self._horizon:
+                    raise SimulationError(
+                        f"simulation reached horizon t={self._horizon:.6f} with "
+                        f"{self.pending_events} pending events"
+                    )
+                self.step()
+                executed += 1
+                if max_events is not None and executed > max_events:
+                    raise SimulationError(
+                        f"executed more than max_events={max_events} events; "
+                        "likely a run-away periodic event"
+                    )
+            else:  # pragma: no cover - unreachable
+                pass
+            if until is not None and not self._stopped and self._now < until:
+                # Queue drained before reaching `until`.
+                self._now = float(until)
+        finally:
+            self._running = False
+        return self._now
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _drop_cancelled_head(self) -> None:
+        while self._heap and self._heap[0][1].cancelled:
+            heapq.heappop(self._heap)
+
+    def drain_cancelled(self) -> int:
+        """Remove all cancelled events from the heap; return how many."""
+        before = len(self._heap)
+        live = [(key, ev) for key, ev in self._heap if not ev.cancelled]
+        heapq.heapify(live)
+        self._heap = live
+        return before - len(self._heap)
+
+    def iter_pending(self) -> Iterable[Event]:
+        """Yield pending (non-cancelled) events in no particular order."""
+        for _, event in self._heap:
+            if not event.cancelled:
+                yield event
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Simulator t={self._now:.6f} pending={self.pending_events} "
+            f"processed={self._events_processed}>"
+        )

@@ -1,0 +1,203 @@
+"""Generator-based simulation processes.
+
+The I/O-path model itself is vectorized and does not need per-entity
+coroutines, but several smaller models (the background flusher, the local
+device benchmark of Table I, example scripts) read much more naturally as
+sequential processes.  :class:`SimProcess` provides a minimal SimPy-like
+abstraction on top of :class:`repro.sim.engine.Simulator`:
+
+.. code-block:: python
+
+    def writer(proc: SimProcess, device, nbytes):
+        yield Timeout(0.5)                      # think time
+        done = device.submit(nbytes)
+        yield done                              # wait on a completion handle
+
+    SimProcess.spawn(sim, writer, device, 2 * GiB)
+
+A process is a generator that yields either :class:`Timeout` objects or
+:class:`Completion` handles.  The process is resumed when the timeout expires
+or the completion is signalled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.events import EventPriority
+
+__all__ = ["Timeout", "Completion", "SimProcess"]
+
+
+@dataclass
+class Timeout:
+    """Yielded by a process to sleep for ``delay`` simulated seconds."""
+
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise SimulationError(f"Timeout delay must be non-negative, got {self.delay}")
+
+
+@dataclass
+class Completion:
+    """A one-shot completion handle a process can wait on.
+
+    Another process (or plain engine callback) calls :meth:`succeed` to wake
+    every waiter.  A value can be attached and is returned from the ``yield``.
+    """
+
+    label: str = ""
+    _done: bool = field(default=False, init=False)
+    _value: Any = field(default=None, init=False)
+    _waiters: list["SimProcess"] = field(default_factory=list, init=False)
+
+    @property
+    def done(self) -> bool:
+        """True once :meth:`succeed` has been called."""
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        """Value passed to :meth:`succeed` (``None`` before completion)."""
+        return self._value
+
+    def succeed(self, sim: Simulator, value: Any = None) -> None:
+        """Mark the completion done and wake all waiting processes."""
+        if self._done:
+            raise SimulationError(f"Completion {self.label!r} already succeeded")
+        self._done = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            proc._resume(sim, value)
+
+    def add_waiter(self, proc: "SimProcess") -> None:
+        """Register ``proc`` to be resumed when the completion fires."""
+        self._waiters.append(proc)
+
+
+class SimProcess:
+    """A lightweight generator-driven simulation process.
+
+    Use :meth:`spawn` to create and start one.  The generator function
+    receives the :class:`SimProcess` as its first argument followed by any
+    extra positional/keyword arguments.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        generator: Generator[Any, Any, Any],
+        name: str = "process",
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self._generator = generator
+        self._finished = False
+        self._result: Any = None
+        self._completion = Completion(label=f"{name}.done")
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def spawn(
+        cls,
+        sim: Simulator,
+        func: Callable[..., Generator[Any, Any, Any]],
+        *args: Any,
+        name: Optional[str] = None,
+        start_delay: float = 0.0,
+        **kwargs: Any,
+    ) -> "SimProcess":
+        """Create a process from ``func`` and schedule its first step.
+
+        ``func`` must be a generator function; it is called as
+        ``func(process, *args, **kwargs)``.
+        """
+        proc_name = name or getattr(func, "__name__", "process")
+        holder: dict[str, "SimProcess"] = {}
+
+        def make() -> Generator[Any, Any, Any]:
+            return func(holder["proc"], *args, **kwargs)
+
+        proc = cls.__new__(cls)
+        proc.sim = sim
+        proc.name = proc_name
+        proc._finished = False
+        proc._result = None
+        proc._completion = Completion(label=f"{proc_name}.done")
+        holder["proc"] = proc
+        proc._generator = make()
+        sim.schedule_after(
+            start_delay,
+            lambda s: proc._resume(s, None),
+            label=f"{proc_name}.start",
+            priority=EventPriority.NORMAL,
+        )
+        return proc
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def finished(self) -> bool:
+        """True once the generator has returned or raised StopIteration."""
+        return self._finished
+
+    @property
+    def result(self) -> Any:
+        """Return value of the generator (``None`` until finished)."""
+        return self._result
+
+    @property
+    def completion(self) -> Completion:
+        """Completion handle other processes can wait on."""
+        return self._completion
+
+    # ------------------------------------------------------------------ #
+
+    def _resume(self, sim: Simulator, value: Any) -> None:
+        if self._finished:
+            return
+        try:
+            yielded = self._generator.send(value)
+        except StopIteration as stop:
+            self._finished = True
+            self._result = stop.value
+            if not self._completion.done:
+                self._completion.succeed(sim, stop.value)
+            return
+        self._handle_yield(sim, yielded)
+
+    def _handle_yield(self, sim: Simulator, yielded: Any) -> None:
+        if isinstance(yielded, Timeout):
+            sim.schedule_after(
+                yielded.delay,
+                lambda s: self._resume(s, None),
+                label=f"{self.name}.timeout",
+            )
+        elif isinstance(yielded, Completion):
+            if yielded.done:
+                # Resume immediately (same timestamp, later in event order).
+                sim.schedule_after(
+                    0.0,
+                    lambda s: self._resume(s, yielded.value),
+                    label=f"{self.name}.ready",
+                )
+            else:
+                yielded.add_waiter(self)
+        elif isinstance(yielded, SimProcess):
+            self._handle_yield(sim, yielded.completion)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported object {yielded!r}; "
+                "yield a Timeout, Completion, or SimProcess"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self._finished else "running"
+        return f"<SimProcess {self.name!r} {state}>"

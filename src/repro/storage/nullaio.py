@@ -1,0 +1,25 @@
+"""The PVFS ``null-aio`` pseudo device.
+
+``null-aio`` is a Trove method that acknowledges writes without storing the
+data anywhere.  The paper uses it to remove the backend entirely from the
+I/O path (Figure 2(c)/(d)); whatever interference remains must come from the
+network and the servers' request processing.
+"""
+
+from __future__ import annotations
+
+from repro.storage.device import DeviceKind, DeviceSpec
+
+__all__ = ["null_aio"]
+
+
+def null_aio() -> DeviceSpec:
+    """The data-discarding backend (infinite bandwidth, zero cost)."""
+    return DeviceSpec(
+        kind=DeviceKind.NULL,
+        name="Null-aio",
+        write_bw=float("inf"),
+        positioning_cost=0.0,
+        interleave_granule_cap=64 * 1024 * 1024,
+        sync_flush_cost=0.0,
+    )

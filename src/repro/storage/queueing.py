@@ -1,0 +1,80 @@
+"""Device-level queue accounting.
+
+The integrated model tracks, per server, how much data is waiting for the
+backend and how busy the backend has been.  :class:`DeviceQueue` wraps a
+:class:`~repro.storage.device.DeviceSpec` with that accounting so the
+root-cause analysis in :mod:`repro.core.rootcause` can report device
+utilization and identify the device as (or rule it out as) the bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.storage.device import DeviceSpec
+
+__all__ = ["DeviceQueue"]
+
+
+@dataclass
+class DeviceQueue:
+    """Accounting wrapper around a backend device.
+
+    Attributes
+    ----------
+    device:
+        The device specification (bandwidth law).
+    pending_bytes:
+        Bytes accepted by the server but not yet written to the device.
+    """
+
+    device: DeviceSpec
+    pending_bytes: float = field(default=0.0, init=False)
+    written_bytes: float = field(default=0.0, init=False)
+    busy_time: float = field(default=0.0, init=False)
+    observed_time: float = field(default=0.0, init=False)
+
+    def enqueue(self, nbytes: float) -> None:
+        """Add bytes to the device's pending queue."""
+        if nbytes < 0:
+            raise SimulationError("cannot enqueue a negative number of bytes")
+        self.pending_bytes += nbytes
+
+    def drain(self, dt: float, n_streams: int = 1, granularity: float = 4 * 1024 * 1024) -> float:
+        """Write pending data for ``dt`` seconds; return bytes written.
+
+        Also accumulates busy/observed time so that :meth:`utilization`
+        reflects the fraction of time the device had work to do.
+        """
+        if dt <= 0:
+            raise SimulationError("dt must be positive")
+        self.observed_time += dt
+        if self.pending_bytes <= 0:
+            return 0.0
+        if self.device.is_unlimited:
+            written = self.pending_bytes
+            self.pending_bytes = 0.0
+            self.written_bytes += written
+            # The null device is never "busy".
+            return written
+        rate = self.device.effective_write_bw(n_streams, granularity)
+        capacity = rate * dt
+        written = min(self.pending_bytes, capacity)
+        self.pending_bytes -= written
+        self.written_bytes += written
+        self.busy_time += dt * (written / capacity if capacity > 0 else 0.0)
+        return written
+
+    def utilization(self) -> float:
+        """Fraction of observed time the device spent writing (0 if unobserved)."""
+        if self.observed_time == 0:
+            return 0.0
+        return min(self.busy_time / self.observed_time, 1.0)
+
+    def reset(self) -> None:
+        """Drop all accounting state."""
+        self.pending_bytes = 0.0
+        self.written_bytes = 0.0
+        self.busy_time = 0.0
+        self.observed_time = 0.0

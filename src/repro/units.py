@@ -1,0 +1,311 @@
+"""Unit helpers used throughout the library.
+
+All internal quantities use SI base units:
+
+* sizes in **bytes** (plain ``int`` or ``float``),
+* times in **seconds** (``float``),
+* bandwidths in **bytes per second** (``float``).
+
+This module provides named constants and small conversion helpers so that
+configuration code reads like the paper ("64 MB per process", "10 Gbps
+Ethernet", "256 KB stripe size") while the simulator core never has to think
+about units.
+
+The binary prefixes (KiB/MiB/GiB) follow IEC 60027; the paper uses "MB"/"KB"
+loosely for what are powers of two in PVFS and IOR, so the presets in
+:mod:`repro.config` use the binary constants.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "TiB",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "kib",
+    "mib",
+    "gib",
+    "tib",
+    "gbit_per_s",
+    "mbit_per_s",
+    "mb_per_s",
+    "gb_per_s",
+    "us",
+    "ms",
+    "minutes",
+    "hours",
+    "bytes_to_human",
+    "bandwidth_to_human",
+    "seconds_to_human",
+    "parse_size",
+    "parse_bandwidth",
+]
+
+# ---------------------------------------------------------------------------
+# Size constants
+# ---------------------------------------------------------------------------
+
+#: One kibibyte (2**10 bytes).
+KiB: int = 1024
+#: One mebibyte (2**20 bytes).
+MiB: int = 1024 * KiB
+#: One gibibyte (2**30 bytes).
+GiB: int = 1024 * MiB
+#: One tebibyte (2**40 bytes).
+TiB: int = 1024 * GiB
+
+#: One kilobyte (10**3 bytes) — decimal variant, rarely used.
+KB: int = 1000
+#: One megabyte (10**6 bytes) — decimal variant, rarely used.
+MB: int = 1000 * KB
+#: One gigabyte (10**9 bytes) — decimal variant, rarely used.
+GB: int = 1000 * MB
+#: One terabyte (10**12 bytes) — decimal variant, rarely used.
+TB: int = 1000 * GB
+
+
+def kib(n: float) -> float:
+    """Return ``n`` kibibytes expressed in bytes."""
+    return float(n) * KiB
+
+
+def mib(n: float) -> float:
+    """Return ``n`` mebibytes expressed in bytes."""
+    return float(n) * MiB
+
+
+def gib(n: float) -> float:
+    """Return ``n`` gibibytes expressed in bytes."""
+    return float(n) * GiB
+
+
+def tib(n: float) -> float:
+    """Return ``n`` tebibytes expressed in bytes."""
+    return float(n) * TiB
+
+
+# ---------------------------------------------------------------------------
+# Bandwidth constants
+# ---------------------------------------------------------------------------
+
+
+def gbit_per_s(n: float) -> float:
+    """Return ``n`` gigabits per second expressed in bytes per second.
+
+    A "10 G Ethernet" link therefore has a raw capacity of
+    ``gbit_per_s(10) == 1.25e9`` bytes/s.  Protocol efficiency factors are
+    applied separately in :class:`repro.config.platform.LinkSpec`.
+    """
+    return float(n) * 1e9 / 8.0
+
+
+def mbit_per_s(n: float) -> float:
+    """Return ``n`` megabits per second expressed in bytes per second."""
+    return float(n) * 1e6 / 8.0
+
+
+def mb_per_s(n: float) -> float:
+    """Return ``n`` binary megabytes per second expressed in bytes/s."""
+    return float(n) * MiB
+
+
+def gb_per_s(n: float) -> float:
+    """Return ``n`` binary gigabytes per second expressed in bytes/s."""
+    return float(n) * GiB
+
+
+# ---------------------------------------------------------------------------
+# Time constants
+# ---------------------------------------------------------------------------
+
+
+def us(n: float) -> float:
+    """Return ``n`` microseconds expressed in seconds."""
+    return float(n) * 1e-6
+
+
+def ms(n: float) -> float:
+    """Return ``n`` milliseconds expressed in seconds."""
+    return float(n) * 1e-3
+
+
+def minutes(n: float) -> float:
+    """Return ``n`` minutes expressed in seconds."""
+    return float(n) * 60.0
+
+
+def hours(n: float) -> float:
+    """Return ``n`` hours expressed in seconds."""
+    return float(n) * 3600.0
+
+
+# ---------------------------------------------------------------------------
+# Human-readable formatting
+# ---------------------------------------------------------------------------
+
+_SIZE_SUFFIXES = ((TiB, "TiB"), (GiB, "GiB"), (MiB, "MiB"), (KiB, "KiB"))
+
+
+def bytes_to_human(n: float, precision: int = 2) -> str:
+    """Format a byte count with a binary suffix.
+
+    >>> bytes_to_human(64 * MiB)
+    '64 MiB'
+    >>> bytes_to_human(1536)
+    '1.5 KiB'
+    """
+    n = float(n)
+    sign = "-" if n < 0 else ""
+    n = abs(n)
+    for factor, suffix in _SIZE_SUFFIXES:
+        if n >= factor:
+            value = n / factor
+            return f"{sign}{_trim(value, precision)} {suffix}"
+    return f"{sign}{_trim(n, precision)} B"
+
+
+def bandwidth_to_human(n: float, precision: int = 2) -> str:
+    """Format a bandwidth (bytes/s) with a binary suffix.
+
+    >>> bandwidth_to_human(mb_per_s(100))
+    '100 MiB/s'
+    """
+    return bytes_to_human(n, precision) + "/s"
+
+
+def seconds_to_human(t: float, precision: int = 2) -> str:
+    """Format a duration in the most natural unit.
+
+    >>> seconds_to_human(0.0005)
+    '500 us'
+    >>> seconds_to_human(42.0)
+    '42 s'
+    """
+    t = float(t)
+    sign = "-" if t < 0 else ""
+    t = abs(t)
+    if t == 0:
+        return "0 s"
+    if t < 1e-3:
+        return f"{sign}{_trim(t * 1e6, precision)} us"
+    if t < 1.0:
+        return f"{sign}{_trim(t * 1e3, precision)} ms"
+    if t < 120.0:
+        return f"{sign}{_trim(t, precision)} s"
+    if t < 7200.0:
+        return f"{sign}{_trim(t / 60.0, precision)} min"
+    return f"{sign}{_trim(t / 3600.0, precision)} h"
+
+
+def _trim(value: float, precision: int) -> str:
+    """Format ``value`` with at most ``precision`` decimals, no trailing zeros."""
+    text = f"{value:.{precision}f}"
+    if "." in text:
+        text = text.rstrip("0").rstrip(".")
+    return text
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+_SIZE_UNITS = {
+    "b": 1,
+    "kb": KB,
+    "k": KiB,
+    "kib": KiB,
+    "mb": MB,
+    "m": MiB,
+    "mib": MiB,
+    "gb": GB,
+    "g": GiB,
+    "gib": GiB,
+    "tb": TB,
+    "t": TiB,
+    "tib": TiB,
+}
+
+_BANDWIDTH_UNITS = {
+    "b/s": 1.0,
+    "kb/s": float(KiB),
+    "kib/s": float(KiB),
+    "mb/s": float(MiB),
+    "mib/s": float(MiB),
+    "gb/s": float(GiB),
+    "gib/s": float(GiB),
+    "kbit/s": 1e3 / 8.0,
+    "mbit/s": 1e6 / 8.0,
+    "gbit/s": 1e9 / 8.0,
+    "kbps": 1e3 / 8.0,
+    "mbps": 1e6 / 8.0,
+    "gbps": 1e9 / 8.0,
+}
+
+
+def parse_size(text: str | int | float) -> float:
+    """Parse a human-written size like ``"64MiB"`` or ``"256 KB"`` into bytes.
+
+    Bare numbers are returned unchanged (interpreted as bytes).  The decimal
+    "KB"/"MB"/"GB" spellings map to decimal multipliers; the single-letter and
+    IEC spellings map to binary multipliers (matching the paper's usage where
+    "64 MB" means 64 MiB).
+
+    Raises
+    ------
+    ValueError
+        If the text cannot be parsed.
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    stripped = text.strip().lower().replace(" ", "")
+    if not stripped:
+        raise ValueError("empty size string")
+    idx = len(stripped)
+    while idx > 0 and not (stripped[idx - 1].isdigit() or stripped[idx - 1] == "."):
+        idx -= 1
+    number, unit = stripped[:idx], stripped[idx:]
+    if not number:
+        raise ValueError(f"no numeric part in size {text!r}")
+    try:
+        value = float(number)
+    except ValueError as exc:  # pragma: no cover - defensive
+        raise ValueError(f"invalid numeric part in size {text!r}") from exc
+    if not unit:
+        return value
+    if unit not in _SIZE_UNITS:
+        raise ValueError(f"unknown size unit {unit!r} in {text!r}")
+    return value * _SIZE_UNITS[unit]
+
+
+def parse_bandwidth(text: str | int | float) -> float:
+    """Parse a human-written bandwidth like ``"10Gbps"`` into bytes per second.
+
+    Bare numbers are returned unchanged (interpreted as bytes/s).
+
+    Raises
+    ------
+    ValueError
+        If the text cannot be parsed.
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    stripped = text.strip().lower().replace(" ", "")
+    if not stripped:
+        raise ValueError("empty bandwidth string")
+    idx = len(stripped)
+    while idx > 0 and not (stripped[idx - 1].isdigit() or stripped[idx - 1] == "."):
+        idx -= 1
+    number, unit = stripped[:idx], stripped[idx:]
+    if not number:
+        raise ValueError(f"no numeric part in bandwidth {text!r}")
+    value = float(number)
+    if not unit:
+        return value
+    if unit not in _BANDWIDTH_UNITS:
+        raise ValueError(f"unknown bandwidth unit {unit!r} in {text!r}")
+    return value * _BANDWIDTH_UNITS[unit]

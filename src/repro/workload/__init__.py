@@ -1,0 +1,27 @@
+"""Workload substrate: applications, access patterns, and phases.
+
+* :mod:`repro.workload.patterns`    — file-offset generation for the paper's
+  contiguous and strided patterns,
+* :mod:`repro.workload.application` — the runtime view of one application
+  group (process placement, per-operation extents),
+* :mod:`repro.workload.phases`      — I/O phase scheduling helpers (delayed
+  starts, periodic checkpoint schedules),
+* :mod:`repro.workload.ior`         — an IOR-style front end for building
+  application specs from familiar IOR parameters.
+"""
+
+from repro.workload.patterns import request_offsets, request_sizes, pattern_extents
+from repro.workload.application import Application
+from repro.workload.phases import IOPhase, PeriodicCheckpointSchedule
+from repro.workload.ior import IORParameters, ior_application
+
+__all__ = [
+    "request_offsets",
+    "request_sizes",
+    "pattern_extents",
+    "Application",
+    "IOPhase",
+    "PeriodicCheckpointSchedule",
+    "IORParameters",
+    "ior_application",
+]

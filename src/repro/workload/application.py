@@ -1,0 +1,119 @@
+"""Runtime view of one application group.
+
+An :class:`Application` binds an :class:`~repro.config.workload.ApplicationSpec`
+to concrete resources: global node indices, global process indices, and the
+set of servers its file is striped over.  It exposes the per-operation
+extents the model needs when issuing collective operations.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.config.workload import ApplicationSpec
+from repro.errors import ConfigurationError
+from repro.workload.patterns import pattern_extents
+
+__all__ = ["Application"]
+
+
+class Application:
+    """One application group placed on the platform.
+
+    Parameters
+    ----------
+    index:
+        Dense application index (0-based) within the scenario.
+    spec:
+        Static description of the group.
+    node_range:
+        Half-open range ``(first_node, last_node)`` of global node indices
+        assigned to the group.
+    servers:
+        Server indices the group's shared file is striped over.
+    first_proc_id:
+        Global index of the group's rank-0 process.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        spec: ApplicationSpec,
+        node_range: Tuple[int, int],
+        servers: Sequence[int],
+        first_proc_id: int,
+    ) -> None:
+        if node_range[1] - node_range[0] != spec.n_nodes:
+            raise ConfigurationError(
+                f"application {spec.name!r} was given {node_range[1] - node_range[0]} "
+                f"nodes but needs {spec.n_nodes}"
+            )
+        if first_proc_id < 0:
+            raise ConfigurationError("first_proc_id must be non-negative")
+        self.index = int(index)
+        self.spec = spec
+        self.node_range = (int(node_range[0]), int(node_range[1]))
+        self.servers = tuple(int(s) for s in servers)
+        if not self.servers:
+            raise ConfigurationError("an application needs at least one target server")
+        self.first_proc_id = int(first_proc_id)
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+
+    @property
+    def name(self) -> str:
+        """Application name (from the spec)."""
+        return self.spec.name
+
+    @property
+    def n_processes(self) -> int:
+        """Number of I/O processes in the group."""
+        return self.spec.n_processes
+
+    @property
+    def n_operations(self) -> int:
+        """Number of (collective) operations in one I/O phase."""
+        return self.spec.pattern.requests_per_process
+
+    @property
+    def start_time(self) -> float:
+        """Simulated time at which the group's I/O phase begins."""
+        return self.spec.start_time
+
+    @property
+    def total_bytes(self) -> float:
+        """Bytes the group writes during one phase."""
+        return self.spec.total_bytes
+
+    def proc_ids(self) -> np.ndarray:
+        """Global process indices of the group's ranks (rank order)."""
+        return self.first_proc_id + np.arange(self.n_processes, dtype=np.int64)
+
+    def ranks(self) -> np.ndarray:
+        """Rank of every process within the group."""
+        return np.arange(self.n_processes, dtype=np.int64)
+
+    def node_of_rank(self) -> np.ndarray:
+        """Global node index hosting each rank (block placement, rank-major)."""
+        per_node = self.spec.procs_per_node
+        return self.node_range[0] + (self.ranks() // per_node)
+
+    # ------------------------------------------------------------------ #
+    # Workload
+    # ------------------------------------------------------------------ #
+
+    def operation_extents(self, op_index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Extents (offsets, lengths) of operation ``op_index`` for every rank."""
+        return pattern_extents(self.spec.pattern, op_index, self.n_processes)
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"{self.name}: ranks {self.first_proc_id}..{self.first_proc_id + self.n_processes - 1}, "
+            f"nodes {self.node_range[0]}..{self.node_range[1] - 1}, "
+            f"{self.n_operations} ops, servers {list(self.servers)}"
+        )

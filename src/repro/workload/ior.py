@@ -1,0 +1,107 @@
+"""IOR-style front end.
+
+The paper's microbenchmark is "similar to IOR"; many HPC users think in IOR
+parameters (``blockSize``, ``transferSize``, ``segmentCount``, ``filePerProc``,
+number of tasks).  :class:`IORParameters` accepts those parameters and
+produces the equivalent :class:`~repro.config.workload.ApplicationSpec` for
+the simulator, so existing IOR command lines can be translated directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.config.workload import ApplicationSpec, PatternSpec
+from repro.errors import ConfigurationError
+
+__all__ = ["IORParameters", "ior_application"]
+
+
+@dataclass(frozen=True)
+class IORParameters:
+    """A subset of IOR's options sufficient for write-phase studies.
+
+    Attributes
+    ----------
+    tasks:
+        Number of MPI tasks (processes).
+    tasks_per_node:
+        Tasks per compute node.
+    block_size:
+        IOR ``blockSize``: contiguous bytes each task owns per segment.
+    transfer_size:
+        IOR ``transferSize``: bytes moved per I/O call.
+    segment_count:
+        IOR ``segmentCount``: number of (blockSize x tasks) segments.
+    collective:
+        Whether I/O calls are collective (MPI-IO ``write_all``).
+    """
+
+    tasks: int
+    tasks_per_node: int
+    block_size: float = 64 * units.MiB
+    transfer_size: float = 64 * units.MiB
+    segment_count: int = 1
+    collective: bool = True
+
+    def __post_init__(self) -> None:
+        if self.tasks <= 0 or self.tasks_per_node <= 0:
+            raise ConfigurationError("tasks and tasks_per_node must be positive")
+        if self.tasks % self.tasks_per_node != 0:
+            raise ConfigurationError("tasks must be a multiple of tasks_per_node")
+        if self.block_size <= 0 or self.transfer_size <= 0:
+            raise ConfigurationError("block_size and transfer_size must be positive")
+        if self.transfer_size > self.block_size:
+            raise ConfigurationError("transfer_size cannot exceed block_size")
+        if self.segment_count <= 0:
+            raise ConfigurationError("segment_count must be positive")
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of compute nodes used."""
+        return self.tasks // self.tasks_per_node
+
+    @property
+    def bytes_per_task(self) -> float:
+        """Total bytes written by each task."""
+        return self.block_size * self.segment_count
+
+    @property
+    def is_contiguous(self) -> bool:
+        """True when each I/O call moves a whole block (segmented layout)."""
+        return self.transfer_size >= self.block_size and self.segment_count == 1
+
+
+def ior_application(
+    name: str,
+    params: IORParameters,
+    start_time: float = 0.0,
+    collective_overhead: float = 0.0,
+) -> ApplicationSpec:
+    """Translate IOR parameters into an :class:`ApplicationSpec`.
+
+    A single segment with ``transferSize == blockSize`` maps to the paper's
+    contiguous pattern; anything else maps to the strided pattern with the
+    transfer size as the request size.
+    """
+    if params.is_contiguous:
+        pattern = PatternSpec.contiguous(
+            bytes_per_process=params.bytes_per_task,
+            collective=params.collective,
+            collective_overhead=collective_overhead,
+        )
+    else:
+        pattern = PatternSpec.strided(
+            bytes_per_process=params.bytes_per_task,
+            request_size=params.transfer_size,
+            collective=params.collective,
+            collective_overhead=collective_overhead,
+        )
+    return ApplicationSpec(
+        name=name,
+        n_nodes=params.n_nodes,
+        procs_per_node=params.tasks_per_node,
+        pattern=pattern,
+        start_time=start_time,
+    )

@@ -1,0 +1,87 @@
+"""File-offset generation for the paper's access patterns.
+
+Both patterns write ``bytes_per_process`` per process into a file shared by
+the application:
+
+* **Contiguous** — process ``rank`` writes one extent starting at
+  ``rank * bytes_per_process`` (the IOR "segmented" layout).  If a request
+  size smaller than the whole extent is configured, the extent is split into
+  consecutive requests.
+* **Strided**   — the file is organised as interleaved blocks: request ``k``
+  of process ``rank`` starts at ``(k * n_procs + rank) * request_size``
+  (the IOR "strided"/interleaved layout with one block per transfer).
+
+The functions return NumPy arrays so the model can build per-operation
+extents for every process at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.workload import AccessKind, PatternSpec
+from repro.errors import ConfigurationError
+
+__all__ = ["request_offsets", "request_sizes", "pattern_extents", "total_file_size"]
+
+
+def request_sizes(pattern: PatternSpec, rank: int = 0) -> np.ndarray:
+    """Sizes (bytes) of every request one process issues during a phase.
+
+    All requests have the configured request size except possibly the last,
+    which is truncated so the per-process volume is exactly
+    ``bytes_per_process``.
+    """
+    if rank < 0:
+        raise ConfigurationError("rank must be non-negative")
+    n = pattern.requests_per_process
+    sizes = np.full(n, pattern.effective_request_size, dtype=np.float64)
+    sizes[-1] = pattern.last_request_size
+    return sizes
+
+
+def request_offsets(pattern: PatternSpec, rank: int, n_procs: int) -> np.ndarray:
+    """File offsets of every request one process issues during a phase."""
+    if n_procs <= 0:
+        raise ConfigurationError("n_procs must be positive")
+    if rank < 0 or rank >= n_procs:
+        raise ConfigurationError(f"rank {rank} out of range for {n_procs} processes")
+    n = pattern.requests_per_process
+    req = pattern.effective_request_size
+    k = np.arange(n, dtype=np.float64)
+    if pattern.kind is AccessKind.CONTIGUOUS:
+        return rank * pattern.bytes_per_process + k * req
+    return (k * n_procs + rank) * req
+
+
+def pattern_extents(pattern: PatternSpec, op_index: int, n_procs: int) -> tuple[np.ndarray, np.ndarray]:
+    """Extents (offsets, lengths) of operation ``op_index`` for every process.
+
+    Returns two arrays of shape ``(n_procs,)``: the file offset and the size
+    of the request each rank issues as its ``op_index``-th operation.
+    """
+    if op_index < 0 or op_index >= pattern.requests_per_process:
+        raise ConfigurationError(
+            f"op_index {op_index} out of range (pattern has "
+            f"{pattern.requests_per_process} operations)"
+        )
+    req = pattern.effective_request_size
+    ranks = np.arange(n_procs, dtype=np.float64)
+    size = pattern.last_request_size if op_index == pattern.requests_per_process - 1 else req
+    lengths = np.full(n_procs, size, dtype=np.float64)
+    if pattern.kind is AccessKind.CONTIGUOUS:
+        offsets = ranks * pattern.bytes_per_process + op_index * req
+    else:
+        offsets = (op_index * n_procs + ranks) * req
+    return offsets, lengths
+
+
+def total_file_size(pattern: PatternSpec, n_procs: int) -> float:
+    """Size of the shared file after one complete phase of ``n_procs`` processes."""
+    if n_procs <= 0:
+        raise ConfigurationError("n_procs must be positive")
+    if pattern.kind is AccessKind.CONTIGUOUS:
+        return n_procs * pattern.bytes_per_process
+    # Strided: the last block of the last segment defines the file size; with
+    # equal-size requests this is simply the total volume as well.
+    return n_procs * pattern.bytes_per_process

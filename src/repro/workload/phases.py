@@ -1,0 +1,82 @@
+"""I/O phase scheduling helpers.
+
+The paper's experiments contain a single write phase per application, offset
+by the Δ delay.  Real HPC applications alternate computation and I/O
+(checkpointing); the helpers here describe such schedules so the examples and
+the extension experiments can model them on top of the same simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import ConfigurationError
+
+__all__ = ["IOPhase", "PeriodicCheckpointSchedule"]
+
+
+@dataclass(frozen=True)
+class IOPhase:
+    """One I/O burst of an application.
+
+    Attributes
+    ----------
+    start_time:
+        Simulated time at which the burst begins.
+    label:
+        Free-form label ("checkpoint-3", "analysis-dump", ...).
+    """
+
+    start_time: float
+    label: str = "io-phase"
+
+    def __post_init__(self) -> None:
+        if self.start_time < -1e12:
+            raise ConfigurationError("start_time is unreasonably negative")
+
+
+@dataclass(frozen=True)
+class PeriodicCheckpointSchedule:
+    """A periodic checkpointing schedule.
+
+    Attributes
+    ----------
+    period:
+        Time between the start of two consecutive checkpoints (compute time
+        plus write time as seen by the scheduler).
+    n_checkpoints:
+        Number of checkpoints to produce.
+    first_start:
+        Start time of the first checkpoint.
+    jitter:
+        Optional deterministic phase shift applied to every start (used to
+        stagger two applications without randomness).
+    """
+
+    period: float
+    n_checkpoints: int
+    first_start: float = 0.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ConfigurationError("period must be positive")
+        if self.n_checkpoints <= 0:
+            raise ConfigurationError("n_checkpoints must be positive")
+
+    def phases(self) -> List[IOPhase]:
+        """Materialize the schedule as a list of :class:`IOPhase`."""
+        return [
+            IOPhase(
+                start_time=self.first_start + self.jitter + i * self.period,
+                label=f"checkpoint-{i}",
+            )
+            for i in range(self.n_checkpoints)
+        ]
+
+    def __iter__(self) -> Iterator[IOPhase]:
+        return iter(self.phases())
+
+    def __len__(self) -> int:
+        return self.n_checkpoints

@@ -1,0 +1,271 @@
+"""Tests for the claim-by-claim comparison (repro.analysis.comparison).
+
+The checkers are exercised on synthetic experiment results so that both the
+"agrees with the paper" and the "does not agree" paths are covered without
+running the simulator.
+"""
+
+from typing import Dict, Sequence
+
+import pytest
+
+from repro.analysis.comparison import check_experiment, checks_to_rows, format_checks
+from repro.core.delta import DeltaPoint, DeltaSweep
+from repro.errors import AnalysisError
+from repro.experiments.base import ExperimentResult
+
+
+# --------------------------------------------------------------------------- #
+# Synthetic-result helpers
+# --------------------------------------------------------------------------- #
+
+
+def make_sweep(
+    alone: float = 10.0,
+    factors: Sequence[float] = (1.0, 1.5, 2.0, 1.5, 1.0),
+    asymmetry: float = 0.0,
+    collapses: int = 0,
+) -> DeltaSweep:
+    """Build a synthetic two-application Δ sweep.
+
+    ``factors`` gives application A's interference factor at each delay;
+    application B mirrors it shifted by ``asymmetry`` (so that positive
+    asymmetry penalizes B, the application that starts second at dt >= 0).
+    """
+    deltas = [alone * (-1.0 + 2.0 * i / (len(factors) - 1)) for i in range(len(factors))]
+    points = []
+    per_point_collapses = collapses // max(len(factors), 1)
+    for delta, factor in zip(deltas, factors):
+        t_a = alone * factor
+        t_b = alone * (factor + (asymmetry if delta >= 0 else -asymmetry))
+        points.append(
+            DeltaPoint(
+                delta=delta,
+                write_times={"A": t_a, "B": max(t_b, alone)},
+                throughputs={"A": 1.0 / t_a, "B": 1.0 / max(t_b, alone)},
+                window_collapses={"A": 0, "B": per_point_collapses},
+                simulated_time=max(t_a, t_b) + abs(delta),
+            )
+        )
+    return DeltaSweep(points=points, alone_times={"A": alone, "B": alone})
+
+
+def result_with(experiment_id: str, tables: Dict[str, list] = None,
+                sweeps: Dict[str, DeltaSweep] = None) -> ExperimentResult:
+    result = ExperimentResult(experiment_id=experiment_id, title="synthetic",
+                              paper_reference="synthetic")
+    for name, rows in (tables or {}).items():
+        result.add_table(name, rows)
+    for name, sweep in (sweeps or {}).items():
+        result.add_sweep(name, sweep)
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# Table I
+# --------------------------------------------------------------------------- #
+
+
+def table1_result(hdd=2.5, ssd=1.9, ram=1.6) -> ExperimentResult:
+    rows = [
+        {"device": "HDD", "alone_s": 13.0, "interfering_s": 13.0 * hdd, "slowdown": hdd},
+        {"device": "SSD", "alone_s": 2.3, "interfering_s": 2.3 * ssd, "slowdown": ssd},
+        {"device": "RAM", "alone_s": 1.3, "interfering_s": 1.3 * ram, "slowdown": ram},
+    ]
+    return result_with("table1", tables={"table1": rows})
+
+
+class TestTable1Checker:
+    def test_agreeing_result_passes_all_claims(self):
+        checks = check_experiment(table1_result())
+        assert checks and all(c.passed for c in checks)
+
+    def test_wrong_ordering_fails_ordering_claim(self):
+        checks = {c.claim_id: c for c in check_experiment(table1_result(hdd=1.5, ssd=1.9))}
+        assert not checks["table1.ordering"].passed
+
+    def test_fair_sharing_hdd_fails_head_movement_claim(self):
+        checks = {c.claim_id: c for c in check_experiment(table1_result(hdd=2.0))}
+        assert not checks["table1.hdd_exceeds_fair_share"].passed
+
+    def test_measured_values_are_recorded(self):
+        checks = check_experiment(table1_result())
+        ordering = next(c for c in checks if c.claim_id == "table1.ordering")
+        assert ordering.measured["HDD"] == pytest.approx(2.5)
+
+
+# --------------------------------------------------------------------------- #
+# Figure 2
+# --------------------------------------------------------------------------- #
+
+
+def figure2_result(hdd_asym=0.1, hdd_collapses=500, null_peak=1.05) -> ExperimentResult:
+    sweeps = {}
+    summary = []
+    for device in ("hdd", "ssd", "ram"):
+        for sync in ("sync-on", "sync-off"):
+            asym = hdd_asym if (device == "hdd" and sync == "sync-on") else 0.0
+            collapses = hdd_collapses if (device == "hdd" and sync == "sync-on") else 0
+            sweeps[f"{device}.{sync}"] = make_sweep(
+                alone=10.0 if device == "hdd" else 5.0,
+                factors=(1.0, 1.5, 2.0, 1.5, 1.0),
+                asymmetry=asym,
+                collapses=collapses,
+            )
+            summary.append(
+                {"device": device, "sync": "Sync ON" if sync == "sync-on" else "Sync OFF",
+                 "alone_s": 10.0 if device == "hdd" else 5.0, "peak_IF": 2.0,
+                 "asymmetry": asym, "collapses": collapses}
+            )
+    sweeps["null-aio"] = make_sweep(alone=4.0, factors=(1.0, null_peak, 1.0))
+    summary.append({"device": "null-aio", "sync": "Null-aio", "alone_s": 4.0,
+                    "peak_IF": null_peak, "asymmetry": 0.0, "collapses": 0})
+    return result_with("figure2", tables={"figure2_summary": summary}, sweeps=sweeps)
+
+
+class TestFigure2Checker:
+    def test_agreeing_result(self):
+        checks = check_experiment(figure2_result())
+        assert checks and all(c.passed for c in checks)
+
+    def test_flat_null_aio_required(self):
+        checks = {c.claim_id: c for c in check_experiment(figure2_result(null_peak=1.8))}
+        assert not checks["figure2.null_aio_flat"].passed
+
+    def test_symmetric_hdd_fails_unfairness_claim(self):
+        checks = {c.claim_id: c
+                  for c in check_experiment(figure2_result(hdd_asym=0.0, hdd_collapses=0))}
+        assert not checks["figure2.hdd_sync_on_unfair"].passed
+
+
+# --------------------------------------------------------------------------- #
+# Figure 4 / Figure 6 / Figure 11 / Figure 12 (table-driven checkers)
+# --------------------------------------------------------------------------- #
+
+
+def figure4_result(one_alone=2.6, all_alone=2.7, one_asym=0.01, all_asym=0.15,
+                   one_collapses=0, all_collapses=1000) -> ExperimentResult:
+    rows = [
+        {"configuration": "16 writers per node", "alone_s": all_alone, "peak_IF": 2.0,
+         "asymmetry": all_asym, "collapses": all_collapses},
+        {"configuration": "1 writer per node", "alone_s": one_alone, "peak_IF": 2.0,
+         "asymmetry": one_asym, "collapses": one_collapses},
+    ]
+    return result_with("figure4", tables={"figure4_summary": rows})
+
+
+class TestFigure4Checker:
+    def test_agreeing_result(self):
+        checks = check_experiment(figure4_result())
+        assert checks and all(c.passed for c in checks)
+
+    def test_slower_single_writer_fails(self):
+        checks = {c.claim_id: c for c in check_experiment(figure4_result(one_alone=3.5))}
+        assert not checks["figure4.fewer_writers_faster_alone"].passed
+
+    def test_unfair_single_writer_fails(self):
+        checks = {c.claim_id: c for c in check_experiment(
+            figure4_result(one_asym=0.5, one_collapses=5000))}
+        assert not checks["figure4.fewer_writers_fairer"].passed
+
+
+def figure6_result(factors=(2.1, 2.2, 2.0, 2.0), throughputs=(1.0, 2.0, 3.0, 5.0)):
+    counts = (4, 8, 12, 24)
+    scaling = [
+        {"servers": n, "max_throughput_GBps": t, "min_throughput_GBps": t / 2}
+        for n, t in zip(counts, throughputs)
+    ]
+    table2 = [
+        {"servers": n, "peak_interference_factor": f, "paper_value": 2.1}
+        for n, f in zip(counts, factors)
+    ]
+    return result_with("figure6", tables={"figure6a_scaling": scaling,
+                                          "table2_interference": table2})
+
+
+class TestFigure6Checker:
+    def test_agreeing_result(self):
+        checks = check_experiment(figure6_result())
+        assert checks and all(c.passed for c in checks)
+
+    def test_flat_scaling_fails_throughput_claim(self):
+        checks = {c.claim_id: c for c in check_experiment(
+            figure6_result(throughputs=(3.0, 3.0, 3.0, 3.0)))}
+        assert not checks["figure6.throughput_scales"].passed
+
+    def test_varying_interference_fails_constancy_claim(self):
+        checks = {c.claim_id: c for c in check_experiment(
+            figure6_result(factors=(1.2, 2.0, 2.8, 3.5)))}
+        assert not checks["figure6.interference_constant"].passed
+
+
+def figure11_result(first_point=0.9, second_point=0.4, first_collapses=10,
+                    second_collapses=500):
+    rows = [
+        {"application": "A", "starts": "first", "write_time_s": 40.0,
+         "progress_at_slowdown": first_point, "window_time_near_floor": 0.05,
+         "window_collapses": first_collapses},
+        {"application": "B", "starts": "second", "write_time_s": 50.0,
+         "progress_at_slowdown": second_point, "window_time_near_floor": 0.4,
+         "window_collapses": second_collapses},
+    ]
+    return result_with("figure11", tables={"figure11_summary": rows})
+
+
+class TestFigure11Checker:
+    def test_agreeing_result(self):
+        checks = check_experiment(figure11_result())
+        assert checks and all(c.passed for c in checks)
+
+    def test_reversed_unfairness_fails(self):
+        checks = check_experiment(figure11_result(first_point=0.3, second_point=0.9))
+        assert not any(c.passed for c in checks)
+
+
+def figure12_result(collapses=(0, 0, 500, 2000)):
+    clients = (48, 96, 144, 192)
+    rows = [
+        {"total_clients": n, "procs_per_node": n // 24, "alone_s": 2.0, "peak_IF": 2.0,
+         "asymmetry": 0.01 * i, "collapses": c}
+        for i, (n, c) in enumerate(zip(clients, collapses))
+    ]
+    return result_with("figure12", tables={"figure12_summary": rows})
+
+
+class TestFigure12Checker:
+    def test_agreeing_result(self):
+        checks = check_experiment(figure12_result())
+        assert checks and all(c.passed for c in checks)
+
+    def test_collapses_everywhere_fails_threshold_claim(self):
+        checks = check_experiment(figure12_result(collapses=(3000, 2500, 2000, 1500)))
+        assert not any(c.passed for c in checks)
+
+
+# --------------------------------------------------------------------------- #
+# Generic behaviour
+# --------------------------------------------------------------------------- #
+
+
+class TestCheckExperimentGeneric:
+    def test_unknown_experiment_raises(self):
+        bogus = ExperimentResult(experiment_id="figure99", title="?", paper_reference="?")
+        with pytest.raises(AnalysisError):
+            check_experiment(bogus)
+
+    def test_checks_to_rows_and_format(self):
+        checks = check_experiment(table1_result())
+        rows = checks_to_rows(checks)
+        assert len(rows) == len(checks)
+        assert {"claim", "section", "agrees", "measured"} <= set(rows[0])
+        text = format_checks(checks)
+        assert "PASS" in text
+
+    def test_format_checks_empty(self):
+        assert "no claims" in format_checks([])
+
+    def test_claim_check_describe_mentions_status(self):
+        checks = check_experiment(table1_result(hdd=1.5, ssd=1.9))
+        failing = next(c for c in checks if not c.passed)
+        assert failing.describe().startswith("[MISS]")
+        assert failing.experiment_id == "table1"

@@ -1,0 +1,80 @@
+"""Tests for the paper reference data (repro.analysis.paper)."""
+
+import pytest
+
+from repro.analysis import paper
+from repro.errors import AnalysisError
+
+
+class TestTable1Data:
+    def test_all_devices_present(self):
+        assert set(paper.TABLE1) == {"HDD", "SSD", "RAM"}
+
+    def test_reported_slowdowns_match_reported_times(self):
+        for row in paper.TABLE1.values():
+            assert row.consistent(), row
+
+    def test_slowdown_ordering(self):
+        assert (
+            paper.TABLE1["HDD"].slowdown
+            > paper.TABLE1["SSD"].slowdown
+            > paper.TABLE1["RAM"].slowdown
+        )
+
+    def test_expected_slowdown_lookup_is_case_insensitive(self):
+        assert paper.expected_slowdown("hdd") == pytest.approx(2.49)
+        assert paper.expected_slowdown("Ssd") == pytest.approx(1.96)
+        assert paper.expected_slowdown("nvme") is None
+
+
+class TestTable2Data:
+    def test_server_counts(self):
+        assert sorted(paper.TABLE2) == [4, 8, 12, 24]
+
+    def test_factors_near_two(self):
+        for factor in paper.TABLE2.values():
+            assert 1.9 <= factor <= 2.4
+
+
+class TestClaims:
+    def test_every_experiment_has_at_least_one_claim(self):
+        for experiment_id in paper.EXPERIMENT_TITLES:
+            assert paper.claims_for(experiment_id), experiment_id
+
+    def test_claim_ids_are_unique(self):
+        ids = [claim.claim_id for claim in paper.CLAIMS]
+        assert len(ids) == len(set(ids))
+
+    def test_claim_ids_are_prefixed_with_their_experiment(self):
+        for claim in paper.CLAIMS:
+            assert claim.claim_id.startswith(claim.experiment_id + ".")
+
+    def test_claims_for_unknown_experiment_is_empty(self):
+        assert paper.claims_for("figure99") == []
+
+    def test_claim_by_id(self):
+        claim = paper.claim_by_id("figure5.one_gig_flat_sync_off")
+        assert claim.experiment_id == "figure5"
+        assert "1G" in claim.statement or "1 G" in claim.statement
+
+    def test_claim_by_id_unknown_raises(self):
+        with pytest.raises(AnalysisError):
+            paper.claim_by_id("figure5.nonexistent")
+
+    def test_every_claim_names_a_paper_section(self):
+        for claim in paper.CLAIMS:
+            assert claim.section
+
+
+class TestReferenceTables:
+    def test_reference_tables_shapes(self):
+        tables = paper.paper_reference_tables()
+        assert {"table1", "table2"} <= set(tables)
+        assert len(tables["table1"]) == 3
+        assert len(tables["table2"]) == 4
+
+    def test_reference_rows_are_flat_dicts(self):
+        tables = paper.paper_reference_tables()
+        for rows in tables.values():
+            for row in rows:
+                assert all(isinstance(v, (int, float, str)) for v in row.values())

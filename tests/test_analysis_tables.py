@@ -1,0 +1,88 @@
+"""Tests for the table export helpers (CSV / markdown / JSON)."""
+
+import json
+
+import pytest
+
+from repro.analysis.tables import (
+    rows_to_csv,
+    rows_to_markdown,
+    summary_to_json,
+    sweep_to_csv,
+)
+from repro.core.delta import DeltaPoint, DeltaSweep
+from repro.errors import AnalysisError
+
+
+ROWS = [
+    {"device": "HDD", "slowdown": 2.49, "flat": False},
+    {"device": "SSD", "slowdown": 1.96, "flat": False},
+    {"device": "RAM", "slowdown": 1.58, "flat": True},
+]
+
+
+class TestCsv:
+    def test_header_follows_first_appearance_order(self):
+        text = rows_to_csv(ROWS)
+        assert text.splitlines()[0] == "device,slowdown,flat"
+
+    def test_explicit_columns_subset(self):
+        text = rows_to_csv(ROWS, columns=["device"])
+        assert text.splitlines()[1] == "HDD"
+
+    def test_missing_keys_render_empty(self):
+        text = rows_to_csv([{"a": 1}, {"b": 2}])
+        lines = text.splitlines()
+        assert lines[0] == "a,b"
+        assert lines[2] == ",2"
+
+    def test_zero_rows_rejected(self):
+        with pytest.raises(AnalysisError):
+            rows_to_csv([])
+
+
+class TestMarkdown:
+    def test_structure(self):
+        text = rows_to_markdown(ROWS)
+        lines = text.splitlines()
+        assert lines[0] == "| device | slowdown | flat |"
+        assert set(lines[1].replace("|", "").split()) == {"---"}
+        assert len(lines) == 2 + len(ROWS)
+
+    def test_booleans_render_as_yes_no(self):
+        text = rows_to_markdown(ROWS)
+        assert "| yes |" in text and "| no |" in text
+
+    def test_floats_render_compactly(self):
+        text = rows_to_markdown([{"x": 1234.5678, "y": 0.123456, "z": float("nan")}])
+        row = text.splitlines()[-1]
+        assert "1235" in row or "1234" in row
+        assert "0.123" in row
+        assert row.endswith("|  |") or "|  |" in row  # NaN renders empty
+
+    def test_explicit_columns(self):
+        text = rows_to_markdown(ROWS, columns=["slowdown", "device"])
+        assert text.splitlines()[0] == "| slowdown | device |"
+
+    def test_zero_rows_rejected(self):
+        with pytest.raises(AnalysisError):
+            rows_to_markdown([])
+
+
+class TestSweepCsvAndJson:
+    def test_sweep_to_csv_has_one_row_per_point(self):
+        points = [
+            DeltaPoint(delta=d, write_times={"A": 2.0, "B": 2.5},
+                       throughputs={"A": 1.0, "B": 0.8},
+                       window_collapses={"A": 0, "B": 0}, simulated_time=3.0)
+            for d in (-1.0, 0.0, 1.0)
+        ]
+        sweep = DeltaSweep(points=points, alone_times={"A": 2.0, "B": 2.0})
+        text = sweep_to_csv(sweep)
+        assert len(text.strip().splitlines()) == 1 + 3
+        assert "interference_factor.A" in text.splitlines()[0]
+
+    def test_summary_to_json_round_trip(self):
+        payload = {"peak": 2.0, "label": 1}
+        decoded = json.loads(summary_to_json(payload))
+        assert decoded == {"peak": 2.0, "label": 1}

@@ -1,0 +1,127 @@
+"""Tests for the window/progress trace analytics (repro.analysis.traces)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.traces import (
+    compare_window_traces,
+    progress_slowdown_point,
+    window_statistics,
+)
+from repro.errors import AnalysisError
+from repro.model.results import ApplicationResult, ComponentStats, RunResult
+from repro.sim.timeseries import TimeSeries
+from repro.sim.tracing import TraceConfig, TraceRecorder
+
+
+def make_series(values, dt=1.0, name="window"):
+    series = TimeSeries(name=name, unit="bytes")
+    for i, value in enumerate(values):
+        series.append(i * dt, float(value))
+    return series
+
+
+class TestWindowStatistics:
+    def test_basic_statistics(self):
+        stats = window_statistics(make_series([100, 200, 50, 400]))
+        assert stats.maximum == 400
+        assert stats.minimum == 50
+        assert stats.final == 400
+        assert stats.mean == pytest.approx(187.5)
+
+    def test_collapse_fraction_uses_default_floor(self):
+        # floor defaults to 10% of the peak (40); two samples are below it.
+        stats = window_statistics(make_series([400, 30, 10, 400]))
+        assert stats.collapse_fraction == pytest.approx(0.5)
+        assert stats.collapsed(threshold_fraction=0.4)
+        assert not stats.collapsed(threshold_fraction=0.6)
+
+    def test_explicit_floor(self):
+        stats = window_statistics(make_series([400, 30, 10, 400]), floor=5.0)
+        assert stats.collapse_fraction == 0.0
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(AnalysisError):
+            window_statistics(make_series([]))
+
+
+def progress_result(tiny_scenario, samples, app="A"):
+    """RunResult whose recorder holds one synthetic progress series."""
+    recorder = TraceRecorder(TraceConfig(record_windows=True))
+    for t, fraction in samples:
+        recorder.record(f"progress.{app}", t, fraction, unit="fraction")
+    apps = {app: ApplicationResult(app, 0.0, samples[-1][0], 1e9, 0)}
+    components = ComponentStats(
+        client_nic_utilization=0.0,
+        server_nic_utilization=0.0,
+        server_utilization=np.zeros(1),
+        device_utilization=np.zeros(1),
+        buffer_pressure=np.zeros(1),
+        total_window_collapses=0,
+    )
+    return RunResult(
+        scenario=tiny_scenario, applications=apps, components=components,
+        recorder=recorder, simulated_time=samples[-1][0], n_steps=len(samples),
+        wall_time=0.0,
+    )
+
+
+class TestProgressSlowdownPoint:
+    def test_steady_progress_never_slows(self, tiny_scenario):
+        samples = [(t, t / 10.0) for t in range(11)]
+        result = progress_result(tiny_scenario, samples)
+        assert progress_slowdown_point(result, "A") == 1.0
+
+    def test_late_slowdown_detected_near_the_end(self, tiny_scenario):
+        # Full speed until 80% of the transfer, then a crawl.
+        samples = [(t, min(t / 8.0, 0.8)) for t in range(9)]
+        samples += [(9 + k, 0.8 + 0.02 * (k + 1)) for k in range(10)]
+        result = progress_result(tiny_scenario, samples)
+        point = progress_slowdown_point(result, "A", threshold=0.6)
+        assert 0.7 <= point <= 0.85
+
+    def test_blocked_from_the_start_reports_zero(self, tiny_scenario):
+        # Nearly no progress for a long time, then a fast finish (the paper's
+        # second application): the slowdown point is at the very beginning.
+        samples = [(t, 0.002 * t) for t in range(20)]
+        samples += [(20 + k, 0.04 + 0.24 * (k + 1)) for k in range(4)]
+        result = progress_result(tiny_scenario, samples)
+        point = progress_slowdown_point(result, "A", threshold=0.6)
+        assert point <= 0.1
+
+    def test_explicit_reference_rate(self, tiny_scenario):
+        # Constant progress, but at only half the expected (alone) rate.
+        samples = [(t, t / 20.0) for t in range(21)]
+        result = progress_result(tiny_scenario, samples)
+        assert progress_slowdown_point(result, "A", reference_rate=0.1) == pytest.approx(0.0)
+        assert progress_slowdown_point(result, "A", reference_rate=0.05) == 1.0
+
+    def test_invalid_reference_rate_rejected(self, tiny_scenario):
+        samples = [(t, t / 10.0) for t in range(11)]
+        result = progress_result(tiny_scenario, samples)
+        with pytest.raises(AnalysisError):
+            progress_slowdown_point(result, "A", reference_rate=0.0)
+
+    def test_too_few_samples_rejected(self, tiny_scenario):
+        result = progress_result(tiny_scenario, [(0.0, 0.0), (1.0, 1.0)])
+        with pytest.raises(AnalysisError):
+            progress_slowdown_point(result, "A")
+
+    def test_flat_tail_after_completion_is_ignored(self, tiny_scenario):
+        # Healthy transfer that completes at t=10 and then idles: the idle
+        # tail must not be read as a slowdown.
+        samples = [(t, min(t / 10.0, 1.0)) for t in range(30)]
+        result = progress_result(tiny_scenario, samples)
+        assert progress_slowdown_point(result, "A") == 1.0
+
+    def test_integration_second_application_slows_earlier(self, tiny_traced_result):
+        first = progress_slowdown_point(tiny_traced_result, "A")
+        second = progress_slowdown_point(tiny_traced_result, "B")
+        assert second <= first + 0.05
+
+
+class TestCompareWindowTraces:
+    def test_collects_all_window_series(self, tiny_traced_result):
+        stats = compare_window_traces(tiny_traced_result)
+        assert stats
+        assert all(name.startswith("window.") for name in stats)

@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parses_run(self):
+        args = build_parser().parse_args(["run", "table1", "--scale", "tiny", "--quick"])
+        assert args.experiment == "table1"
+        assert args.scale == "tiny"
+        assert args.quick
+
+    def test_parses_sweep(self):
+        args = build_parser().parse_args(
+            ["sweep", "--device", "ram", "--sync", "sync-off", "--points", "3"]
+        )
+        assert args.device == "ram"
+        assert args.points == 3
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "figure12" in out
+
+    def test_run_table1_quick(self, capsys):
+        assert main(["run", "table1", "--scale", "tiny", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "slowdown" in out
+
+    def test_run_csv_export(self, capsys):
+        assert main(["run", "table1", "--scale", "tiny", "--quick", "--csv", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("device,")
+
+    def test_sweep_tiny(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--scale",
+                    "tiny",
+                    "--device",
+                    "ram",
+                    "--sync",
+                    "sync-off",
+                    "--points",
+                    "3",
+                    "--plot",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "peak interference factor" in out
+        assert "write time" in out
+
+    def test_sweep_csv(self, capsys):
+        assert (
+            main(["sweep", "--scale", "tiny", "--device", "ram", "--sync", "sync-off",
+                  "--points", "3", "--csv"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("delta")

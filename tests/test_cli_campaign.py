@@ -1,0 +1,54 @@
+"""Tests for the ``repro-io campaign`` CLI command."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.scale == "reduced"
+        assert args.only is None
+        assert args.output is None
+        assert args.quick is False
+
+    def test_campaign_options(self):
+        args = build_parser().parse_args(
+            ["campaign", "--scale", "tiny", "--quick", "--only", "table1", "figure5",
+             "--output", "report.md"]
+        )
+        assert args.scale == "tiny"
+        assert args.quick
+        assert args.only == ["table1", "figure5"]
+        assert args.output == "report.md"
+
+    def test_campaign_rejects_bad_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--scale", "huge"])
+
+
+class TestExecution:
+    def test_campaign_prints_markdown_to_stdout(self, capsys):
+        rc = main(["campaign", "--scale", "tiny", "--quick", "--only", "table1"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "# EXPERIMENTS" in captured.out
+        assert "Table I" in captured.out
+        assert "[campaign] table1" in captured.err
+
+    def test_campaign_writes_output_file(self, tmp_path, capsys):
+        target = tmp_path / "EXPERIMENTS.md"
+        rc = main(["campaign", "--scale", "tiny", "--quick", "--only", "table1",
+                   "--output", str(target)])
+        captured = capsys.readouterr()
+        assert rc == 0
+        text = target.read_text(encoding="utf-8")
+        assert text.startswith("# EXPERIMENTS")
+        assert "wrote" in captured.err
+        # stdout stays clean when writing to a file
+        assert "# EXPERIMENTS" not in captured.out
+
+    def test_campaign_unknown_experiment_fails_loudly(self):
+        with pytest.raises(Exception):
+            main(["campaign", "--scale", "tiny", "--only", "figure99"])

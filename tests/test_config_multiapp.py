@@ -1,0 +1,77 @@
+"""Tests for the multi-application scenario builder and its simulation."""
+
+import pytest
+
+from repro.config.presets import make_multi_app_scenario, make_single_app_scenario
+from repro.errors import ConfigurationError
+from repro.model.simulator import simulate_scenario
+
+
+class TestMakeMultiAppScenario:
+    def test_default_three_applications(self):
+        scenario = make_multi_app_scenario("tiny", n_apps=3, device="hdd",
+                                           sync_mode="sync-on")
+        assert [app.name for app in scenario.applications] == ["A", "B", "C"]
+        assert len({app.name for app in scenario.applications}) == 3
+
+    def test_platform_grows_to_fit_all_groups(self):
+        scenario = make_multi_app_scenario("tiny", n_apps=4)
+        needed = sum(app.n_nodes for app in scenario.applications)
+        assert scenario.platform.n_client_nodes >= needed
+
+    def test_start_times_applied(self):
+        scenario = make_multi_app_scenario("tiny", n_apps=3, start_times=[0.0, 1.0, 2.5])
+        assert [app.start_time for app in scenario.applications] == [0.0, 1.0, 2.5]
+
+    def test_start_times_length_validated(self):
+        with pytest.raises(ConfigurationError):
+            make_multi_app_scenario("tiny", n_apps=3, start_times=[0.0, 1.0])
+
+    def test_n_apps_validated(self):
+        with pytest.raises(ConfigurationError):
+            make_multi_app_scenario("tiny", n_apps=0)
+
+    def test_partitioning_gives_disjoint_servers(self):
+        scenario = make_multi_app_scenario("tiny", n_apps=2, partition_servers=True)
+        targets = [set(app.target_servers) for app in scenario.applications]
+        assert targets[0].isdisjoint(targets[1])
+        assert all(t for t in targets)
+
+    def test_all_groups_identical(self):
+        scenario = make_multi_app_scenario("tiny", n_apps=3)
+        patterns = {app.pattern for app in scenario.applications}
+        sizes = {(app.n_nodes, app.procs_per_node) for app in scenario.applications}
+        assert len(patterns) == 1
+        assert len(sizes) == 1
+
+    def test_many_apps_get_generated_names(self):
+        scenario = make_multi_app_scenario(
+            "tiny", n_apps=5, nodes_per_app=1, device="ram", sync_mode="sync-off"
+        )
+        assert len(scenario.applications) == 5
+        assert scenario.applications[-1].name == "E"
+
+
+class TestMultiAppInterference:
+    """Interference grows with the number of concurrent applications."""
+
+    @pytest.fixture(scope="class")
+    def alone_time(self):
+        scenario = make_single_app_scenario("tiny", device="hdd", sync_mode="sync-on",
+                                            nodes_per_app=2, procs_per_node=4)
+        return simulate_scenario(scenario).write_time("A")
+
+    def _factor(self, n_apps, alone_time):
+        scenario = make_multi_app_scenario(
+            "tiny", n_apps=n_apps, device="hdd", sync_mode="sync-on",
+            nodes_per_app=2, procs_per_node=4,
+        )
+        result = simulate_scenario(scenario)
+        worst = max(result.write_time(app.name) for app in scenario.applications)
+        return worst / alone_time
+
+    def test_three_apps_interfere_more_than_two(self, alone_time):
+        two = self._factor(2, alone_time)
+        three = self._factor(3, alone_time)
+        assert three > two > 1.5
+        assert three > 2.4  # roughly proportional sharing of the backend

@@ -1,0 +1,189 @@
+"""Tests for scenario builders, root-cause attribution, flow-control diagnosis,
+reporting, and the analysis helpers."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.analysis.asciiplot import ascii_plot, plot_delta_sweep, plot_series
+from repro.analysis.tables import rows_to_csv, summary_to_json, sweep_to_csv
+from repro.analysis.traces import progress_slowdown_point, window_statistics
+from repro.config.presets import make_scenario
+from repro.core.delta import DeltaPoint, DeltaSweep
+from repro.core.flowcontrol import diagnose_flow_control
+from repro.core.reporting import format_comparison, format_delta_sweep, format_summary, format_table
+from repro.core.rootcause import Contender, attribute_root_cause
+from repro.core.scenarios import (
+    colocated_filesystem_scenario,
+    dedicated_writer_scenario,
+    fast_backend_scenario,
+    partitioned_servers_scenario,
+    throttled_network_scenario,
+)
+from repro.errors import AnalysisError
+from repro.sim.timeseries import TimeSeries
+
+
+class TestScenarioBuilders:
+    def test_dedicated_writer(self):
+        scenario = make_scenario("tiny")
+        single = dedicated_writer_scenario(scenario)
+        for app, orig in zip(single.applications, scenario.applications):
+            assert app.procs_per_node == 1
+            assert app.total_bytes == pytest.approx(orig.total_bytes)
+
+    def test_partitioned_servers(self):
+        scenario = make_scenario("tiny")
+        part = partitioned_servers_scenario(scenario)
+        servers = [set(part.app_servers(a)) for a in part.applications]
+        assert servers[0].isdisjoint(servers[1])
+
+    def test_fast_backend(self):
+        scenario = make_scenario("tiny", device="hdd", sync_mode="sync-on")
+        fast = fast_backend_scenario(scenario, backend="ram", sync=False)
+        assert fast.filesystem.device.name == "RAM"
+        assert fast.filesystem.sync_mode.value == "sync-off"
+
+    def test_throttled_network(self):
+        scenario = make_scenario("tiny")
+        throttled = throttled_network_scenario(scenario, network="1g")
+        assert throttled.platform.network.client_nic_bw < scenario.platform.network.client_nic_bw
+
+    def test_colocated(self):
+        scenario = colocated_filesystem_scenario(device="ssd", scale="tiny")
+        assert scenario.filesystem.n_servers == 1
+        assert scenario.applications[0].n_processes == 1
+
+
+class TestRootCauseAndFlowControl:
+    def test_device_dominates_sync_on_hdd(self, tiny_contended_result):
+        report = attribute_root_cause(tiny_contended_result)
+        assert report.scores[Contender.DEVICES] > 0.5
+        # With sync ON on HDDs the storage side of the path (device and the
+        # server drain path it saturates) dominates, not the client NICs.
+        assert report.dominant in (
+            Contender.DEVICES,
+            Contender.SERVERS,
+            Contender.FLOW_CONTROL,
+        )
+        assert report.scores[Contender.CLIENT_NIC] < report.scores[Contender.DEVICES]
+        assert "dominant root cause" in report.describe()
+        ranked = report.ranked()
+        assert ranked[0][1] >= ranked[-1][1]
+
+    def test_flow_control_diagnosis_runs(self, tiny_contended_result):
+        diagnosis = diagnose_flow_control(tiny_contended_result)
+        assert diagnosis.collapse_rate >= 0
+        assert set(diagnosis.collapses_per_app) == {"A", "B"}
+        assert isinstance(diagnosis.describe(), str)
+        assert diagnosis.unfairness_ratio() >= 1.0
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 3.14159]], title="demo")
+        assert "demo" in text
+        assert "3.14" in text
+
+    def test_format_summary(self):
+        text = format_summary({"alpha": 1.0, "beta": 2.5}, title="metrics")
+        assert "alpha" in text and "2.5" in text
+
+    def test_format_comparison(self):
+        text = format_comparison({"HDD": {"alone": 13.4, "slowdown": 2.49}})
+        assert "HDD" in text and "2.49" in text
+
+    def test_format_delta_sweep(self):
+        sweep = DeltaSweep(
+            points=[
+                DeltaPoint(0.0, {"A": 2.0, "B": 2.0}, {"A": 1.0, "B": 1.0}, {"A": 0, "B": 0}, 2.0)
+            ],
+            alone_times={"A": 1.0, "B": 1.0},
+            label="demo",
+        )
+        text = format_delta_sweep(sweep)
+        assert "peak interference factor" in text
+        assert "IF_A" in text
+
+
+class TestAsciiPlot:
+    def test_ascii_plot_contains_markers(self):
+        text = ascii_plot([0, 1, 2], {"y": [1.0, 3.0, 2.0]}, width=40, height=8)
+        assert "x = y" in text
+        assert "|" in text
+
+    def test_plot_validation(self):
+        with pytest.raises(AnalysisError):
+            ascii_plot([], {"y": []})
+        with pytest.raises(AnalysisError):
+            ascii_plot([0, 1], {})
+        with pytest.raises(AnalysisError):
+            ascii_plot([0, 1], {"y": [1.0]})
+        with pytest.raises(AnalysisError):
+            ascii_plot([0, 1], {"y": [1.0, 2.0]}, width=5, height=2)
+
+    def test_plot_delta_sweep(self):
+        sweep = DeltaSweep(
+            points=[
+                DeltaPoint(-1.0, {"A": 1.0, "B": 1.2}, {}, {}, 1.0),
+                DeltaPoint(0.0, {"A": 2.0, "B": 2.0}, {}, {}, 2.0),
+                DeltaPoint(1.0, {"A": 1.2, "B": 1.0}, {}, {}, 1.2),
+            ],
+            alone_times={"A": 1.0, "B": 1.0},
+        )
+        assert "write time" in plot_delta_sweep(sweep, title="demo")
+
+    def test_plot_series(self):
+        ts = TimeSeries(name="window", unit="bytes")
+        for i in range(10):
+            ts.append(float(i), float(i % 3))
+        other = TimeSeries(name="progress")
+        for i in range(10):
+            other.append(float(i), i / 10.0)
+        out = plot_series(ts, other=other)
+        assert "window" in out
+        with pytest.raises(AnalysisError):
+            plot_series(TimeSeries(name="empty"))
+
+
+class TestTablesExport:
+    def test_rows_to_csv(self):
+        csv_text = rows_to_csv([{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        assert csv_text.splitlines()[0] == "a,b"
+        assert "3,4" in csv_text
+        with pytest.raises(AnalysisError):
+            rows_to_csv([])
+
+    def test_sweep_to_csv(self):
+        sweep = DeltaSweep(
+            points=[DeltaPoint(0.0, {"A": 2.0, "B": 2.2}, {}, {}, 2.2)],
+            alone_times={"A": 1.0, "B": 1.0},
+        )
+        csv_text = sweep_to_csv(sweep)
+        assert "delta" in csv_text.splitlines()[0]
+
+    def test_summary_to_json(self):
+        payload = json.loads(summary_to_json({"x": 1.5}))
+        assert payload == {"x": 1.5}
+
+
+class TestTraceAnalytics:
+    def test_window_statistics(self):
+        ts = TimeSeries(name="window.A", unit="bytes")
+        for t, v in [(0, 16000), (1, 16000), (2, 1000), (3, 800), (4, 16000)]:
+            ts.append(float(t), float(v))
+        stats = window_statistics(ts)
+        assert stats.maximum == 16000
+        assert stats.minimum == 800
+        assert 0.0 < stats.collapse_fraction < 1.0
+        assert stats.collapsed(threshold_fraction=0.2)
+        with pytest.raises(AnalysisError):
+            window_statistics(TimeSeries(name="empty"))
+
+    def test_progress_slowdown_point(self, tiny_traced_result):
+        point_a = progress_slowdown_point(tiny_traced_result, "A")
+        point_b = progress_slowdown_point(tiny_traced_result, "B")
+        assert 0.0 <= point_a <= 1.0
+        assert 0.0 <= point_b <= 1.0

@@ -1,0 +1,105 @@
+"""Unit tests for the Incast / flow-control diagnosis."""
+
+import numpy as np
+import pytest
+
+from repro.core.flowcontrol import diagnose_flow_control
+from repro.errors import AnalysisError
+from repro.model.results import ApplicationResult, ComponentStats, RunResult
+from repro.sim.tracing import TraceConfig, TraceRecorder
+
+
+def make_result(tiny_scenario, *, collapses_a=0, collapses_b=0, pressure=0.0,
+                simulated_time=10.0, window_trace=None):
+    recorder = TraceRecorder(TraceConfig(record_windows=True))
+    if window_trace is not None:
+        for t, v in window_trace:
+            recorder.record("window.B.rank0.server0", t, v, unit="bytes")
+    apps = {
+        "A": ApplicationResult("A", 0.0, simulated_time, 1e9, collapses_a),
+        "B": ApplicationResult("B", 0.0, simulated_time, 1e9, collapses_b),
+    }
+    components = ComponentStats(
+        client_nic_utilization=0.2,
+        server_nic_utilization=0.2,
+        server_utilization=np.full(4, 0.5),
+        device_utilization=np.full(4, 0.5),
+        buffer_pressure=np.full(4, pressure),
+        total_window_collapses=collapses_a + collapses_b,
+    )
+    return RunResult(
+        scenario=tiny_scenario,
+        applications=apps,
+        components=components,
+        recorder=recorder,
+        simulated_time=simulated_time,
+        n_steps=100,
+        wall_time=0.01,
+    )
+
+
+class TestDetection:
+    def test_quiet_run_is_not_incast(self, tiny_scenario):
+        diagnosis = diagnose_flow_control(make_result(tiny_scenario))
+        assert not diagnosis.incast_detected
+        assert diagnosis.collapse_rate == 0.0
+
+    def test_collapses_plus_pressure_is_incast(self, tiny_scenario):
+        result = make_result(tiny_scenario, collapses_a=50, collapses_b=500, pressure=0.9)
+        diagnosis = diagnose_flow_control(result)
+        assert diagnosis.incast_detected
+        assert diagnosis.buffer_pressure == pytest.approx(0.9)
+
+    def test_collapses_without_pressure_is_not_incast(self, tiny_scenario):
+        result = make_result(tiny_scenario, collapses_a=50, collapses_b=500, pressure=0.1)
+        assert not diagnose_flow_control(result).incast_detected
+
+    def test_thresholds_are_configurable(self, tiny_scenario):
+        result = make_result(tiny_scenario, collapses_a=5, collapses_b=5, pressure=0.3)
+        strict = diagnose_flow_control(result)
+        lenient = diagnose_flow_control(
+            result, collapse_rate_threshold=0.1, pressure_threshold=0.1
+        )
+        assert not strict.incast_detected
+        assert lenient.incast_detected
+
+    def test_empty_run_rejected(self, tiny_scenario):
+        result = make_result(tiny_scenario)
+        result.applications = {}
+        with pytest.raises(AnalysisError):
+            diagnose_flow_control(result)
+
+
+class TestVictimAndUnfairness:
+    def test_victim_is_the_most_collapsed_application(self, tiny_scenario):
+        result = make_result(tiny_scenario, collapses_a=10, collapses_b=900, pressure=0.9)
+        diagnosis = diagnose_flow_control(result)
+        assert diagnosis.victim == "B"
+
+    def test_balanced_collapses_have_no_single_victim(self, tiny_scenario):
+        result = make_result(tiny_scenario, collapses_a=450, collapses_b=460, pressure=0.9)
+        assert diagnose_flow_control(result).victim is None
+
+    def test_unfairness_ratio(self, tiny_scenario):
+        result = make_result(tiny_scenario, collapses_a=10, collapses_b=100, pressure=0.9)
+        assert diagnose_flow_control(result).unfairness_ratio() == pytest.approx(10.0)
+
+    def test_unfairness_ratio_with_zero_collapses(self, tiny_scenario):
+        assert diagnose_flow_control(make_result(tiny_scenario)).unfairness_ratio() == 1.0
+        one_sided = make_result(tiny_scenario, collapses_b=10)
+        assert diagnose_flow_control(one_sided).unfairness_ratio() == float("inf")
+
+
+class TestWindowTraces:
+    def test_min_window_fraction_from_trace(self, tiny_scenario):
+        trace = [(0.0, 100e3), (1.0, 120e3), (2.0, 4e3), (3.0, 110e3)]
+        result = make_result(tiny_scenario, collapses_b=600, pressure=0.9,
+                             window_trace=trace)
+        diagnosis = diagnose_flow_control(result)
+        assert diagnosis.min_window_fraction == pytest.approx(4e3 / 120e3)
+
+    def test_describe_lists_per_application_collapses(self, tiny_scenario):
+        result = make_result(tiny_scenario, collapses_a=5, collapses_b=50, pressure=0.9)
+        text = diagnose_flow_control(result).describe()
+        assert "collapses[A]: 5" in text
+        assert "collapses[B]: 50" in text

@@ -1,0 +1,76 @@
+"""Tests for the Δ-graph metrics."""
+
+import pytest
+
+from repro.core import metrics
+from repro.errors import AnalysisError
+
+
+class TestSlowdown:
+    def test_basic(self):
+        assert metrics.slowdown(20.0, 10.0) == 2.0
+        assert metrics.interference_factor(33.4, 13.4) == pytest.approx(2.4925, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            metrics.slowdown(1.0, 0.0)
+        with pytest.raises(AnalysisError):
+            metrics.slowdown(-1.0, 1.0)
+
+    def test_peak(self):
+        assert metrics.peak_interference_factor([10, 20, 15], 10.0) == 2.0
+        with pytest.raises(AnalysisError):
+            metrics.peak_interference_factor([], 10.0)
+
+
+class TestAsymmetry:
+    def test_positive_when_second_app_penalized(self):
+        idx = metrics.asymmetry_index([5.0, -5.0], [10.0, 10.0], [15.0, 14.0])
+        assert idx > 0
+
+    def test_zero_when_fair(self):
+        assert metrics.asymmetry_index([5.0], [10.0], [10.0]) == 0.0
+
+    def test_negative_when_first_app_penalized(self):
+        assert metrics.asymmetry_index([5.0], [15.0], [10.0]) < 0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            metrics.asymmetry_index([1.0], [1.0], [1.0, 2.0])
+        with pytest.raises(AnalysisError):
+            metrics.asymmetry_index([], [], [])
+        with pytest.raises(AnalysisError):
+            metrics.asymmetry_index([1.0], [0.0], [1.0])
+
+    def test_unfairness_ratio(self):
+        assert metrics.unfairness_ratio(10.0, 15.0) == 1.5
+        with pytest.raises(AnalysisError):
+            metrics.unfairness_ratio(0.0, 1.0)
+
+
+class TestFlatness:
+    def test_flat_graph(self):
+        times = [10.1, 10.2, 10.0, 10.3]
+        assert metrics.flatness_index(times, 10.0) == pytest.approx(0.03)
+        assert metrics.is_flat(times, 10.0)
+
+    def test_triangular_graph_is_not_flat(self):
+        times = [10.0, 15.0, 20.0, 15.0, 10.0]
+        assert not metrics.is_flat(times, 10.0)
+        assert metrics.flatness_index(times, 10.0) == pytest.approx(1.0)
+
+
+class TestCrossover:
+    def test_crossover_window(self):
+        deltas = [-20, -10, 0, 10, 20]
+        times = [10.0, 15.0, 20.0, 15.0, 10.0]
+        neg, pos = metrics.crossover_delay(deltas, times, 10.0)
+        assert neg == -10
+        assert pos == 10
+
+    def test_no_interference(self):
+        assert metrics.crossover_delay([0.0], [10.0], 10.0) == (0.0, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            metrics.crossover_delay([], [], 10.0)

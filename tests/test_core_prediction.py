@@ -1,0 +1,171 @@
+"""Tests for the analytic fair-sharing Δ-graph model (repro.core.prediction)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.delta import DeltaPoint, DeltaSweep
+from repro.core.prediction import (
+    PredictionComparison,
+    compare_with_sweep,
+    predict_sweep,
+    predict_write_times,
+)
+from repro.errors import AnalysisError
+
+
+class TestPredictWriteTimes:
+    def test_simultaneous_fair_sharing_doubles_both(self):
+        first, second = predict_write_times(0.0, alone_first=10.0)
+        assert first == pytest.approx(20.0)
+        assert second == pytest.approx(20.0)
+
+    def test_disjoint_bursts_are_unaffected(self):
+        first, second = predict_write_times(50.0, alone_first=10.0)
+        assert first == pytest.approx(10.0)
+        assert second == pytest.approx(10.0)
+
+    def test_head_start_benefits_the_first_application(self):
+        first, second = predict_write_times(5.0, alone_first=10.0)
+        # Known closed form: A runs alone 5 s (50%), shares the rest.
+        # A finishes at 5 + 0.5/0.05 = 15 s; B then needs 2.5 more seconds
+        # of full-rate service after 10 s of half-rate service.
+        assert first == pytest.approx(15.0)
+        assert second == pytest.approx(15.0)
+
+    def test_negative_delta_mirrors_positive(self):
+        f_pos, s_pos = predict_write_times(3.0, alone_first=10.0)
+        f_neg, s_neg = predict_write_times(-3.0, alone_first=10.0)
+        assert f_neg == pytest.approx(s_pos)
+        assert s_neg == pytest.approx(f_pos)
+
+    def test_unfair_share_widens_the_gap_between_the_applications(self):
+        fair_first, fair_second = predict_write_times(0.0, 10.0, share_first=0.5)
+        unfair_first, unfair_second = predict_write_times(0.0, 10.0, share_first=0.75)
+        # The favoured (earlier) application finishes sooner; the model is
+        # work-conserving, so the late application still finishes at the same
+        # total makespan — the unfairness appears as the gap between the two.
+        assert unfair_first < fair_first
+        assert unfair_second == pytest.approx(fair_second)
+        assert (unfair_second - unfair_first) > (fair_second - fair_first)
+
+    def test_asymmetric_alone_times(self):
+        first, second = predict_write_times(0.0, alone_first=10.0, alone_second=2.0)
+        # The small application finishes quickly even at half rate; the large
+        # one then recovers the full bandwidth.
+        assert second == pytest.approx(4.0)
+        assert first == pytest.approx(12.0)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            predict_write_times(0.0, alone_first=0.0)
+        with pytest.raises(AnalysisError):
+            predict_write_times(0.0, alone_first=1.0, share_first=1.0)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        delta=st.floats(min_value=-40.0, max_value=40.0, allow_nan=False),
+        alone=st.floats(min_value=0.5, max_value=30.0),
+        share=st.floats(min_value=0.2, max_value=0.8),
+    )
+    def test_predictions_are_bounded_by_alone_and_double(self, delta, alone, share):
+        first, second = predict_write_times(delta, alone, share_first=share)
+        lower = alone * (1.0 - 1e-9)
+        upper = alone * (1.0 / min(share, 1.0 - share)) + 1e-6
+        assert lower <= first <= upper
+        assert lower <= second <= upper
+
+    @settings(max_examples=60, deadline=None)
+    @given(delta=st.floats(min_value=0.0, max_value=40.0, allow_nan=False),
+           alone=st.floats(min_value=0.5, max_value=30.0))
+    def test_fair_sharing_conserves_work(self, delta, alone):
+        """Total service received equals total work, whatever the delay."""
+        first, second = predict_write_times(delta, alone)
+        # Under fair sharing both transfers finish by max(finish) having
+        # consumed 2*alone seconds of full-rate service in total.
+        finish_first = first
+        finish_second = delta + second
+        makespan = max(finish_first, finish_second)
+        assert makespan >= 2 * alone - 1e-6 or delta > 2 * alone
+        assert makespan <= delta + 2 * alone + 1e-6
+
+
+class TestPredictSweep:
+    def test_triangular_shape(self):
+        deltas = [-20.0, -10.0, 0.0, 10.0, 20.0]
+        predicted = predict_sweep(deltas, alone_time=10.0)
+        a = predicted["A"]
+        assert a[2] == pytest.approx(20.0)
+        assert a[0] == pytest.approx(10.0) and a[-1] == pytest.approx(10.0)
+        # symmetric in |delta|
+        assert np.allclose(a, a[::-1])
+
+    def test_custom_names(self):
+        predicted = predict_sweep([0.0], 5.0, names=("x", "y"))
+        assert set(predicted) == {"x", "y"}
+
+
+def synthetic_sweep(alone=10.0, share=0.5, noise=0.0):
+    deltas = np.linspace(-1.5 * alone, 1.5 * alone, 9)
+    points = []
+    for delta in deltas:
+        first, second = predict_write_times(float(delta), alone, share_first=share)
+        first *= 1.0 + noise
+        second *= 1.0 - noise
+        points.append(
+            DeltaPoint(
+                delta=float(delta),
+                write_times={"A": first, "B": second},
+                throughputs={"A": 1.0 / first, "B": 1.0 / second},
+                window_collapses={"A": 0, "B": 0},
+                simulated_time=max(first, second),
+            )
+        )
+    return DeltaSweep(points=points, alone_times={"A": alone, "B": alone})
+
+
+class TestCompareWithSweep:
+    def test_fair_sweep_matches_fair_model(self):
+        comparison = compare_with_sweep(synthetic_sweep(share=0.5), share_first=0.5)
+        assert isinstance(comparison, PredictionComparison)
+        assert comparison.mean_absolute_error == pytest.approx(0.0, abs=1e-9)
+        assert comparison.follows_fair_sharing()
+
+    def test_fit_recovers_the_generating_share(self):
+        comparison = compare_with_sweep(synthetic_sweep(share=0.7))
+        assert comparison.share_first == pytest.approx(0.7, abs=0.051)
+
+    def test_deviation_is_reported(self):
+        comparison = compare_with_sweep(synthetic_sweep(share=0.5, noise=0.3),
+                                        share_first=0.5)
+        assert comparison.max_relative_error > 0.15
+        assert not comparison.follows_fair_sharing()
+
+    def test_summary_keys(self):
+        summary = compare_with_sweep(synthetic_sweep()).summary()
+        assert {"share_first", "mean_absolute_error", "max_relative_error",
+                "measured_peak_if", "predicted_peak_if"} <= set(summary)
+
+    def test_single_application_sweep_rejected(self):
+        sweep = synthetic_sweep()
+        broken = DeltaSweep(
+            points=[
+                DeltaPoint(p.delta, {"A": p.write_times["A"]}, {"A": 1.0}, {"A": 0},
+                           p.simulated_time)
+                for p in sweep.points
+            ],
+            alone_times={"A": 10.0},
+        )
+        with pytest.raises(AnalysisError):
+            compare_with_sweep(broken)
+
+    def test_against_simulator_fair_configuration(self, tiny_contended_result):
+        # Not a full sweep (too slow here): just check the simulator's
+        # dt=0 point sits near the fair-sharing prediction for HDD/sync-ON.
+        # The contended fixture shares one HDD deployment between two equal
+        # applications: fair sharing predicts ~2x, the simulator reports the
+        # write time directly.
+        write_time = tiny_contended_result.write_time("A")
+        predicted_first, _ = predict_write_times(0.0, write_time / 2.0)
+        assert predicted_first == pytest.approx(write_time, rel=0.35)

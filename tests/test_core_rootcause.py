@@ -1,0 +1,121 @@
+"""Unit tests for root-cause attribution on synthetic component statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.rootcause import Contender, attribute_root_cause
+from repro.errors import AnalysisError
+from repro.model.results import ApplicationResult, ComponentStats, RunResult
+from repro.sim.tracing import TraceRecorder
+
+
+def make_result(
+    tiny_scenario,
+    *,
+    client_nic=0.1,
+    server_nic=0.1,
+    server=0.2,
+    device=0.2,
+    pressure=0.0,
+    collapses=0,
+    simulated_time=10.0,
+):
+    """Synthetic RunResult with chosen component utilizations."""
+    apps = {
+        "A": ApplicationResult("A", 0.0, simulated_time, 1e9, collapses // 2),
+        "B": ApplicationResult("B", 0.0, simulated_time, 1e9, collapses - collapses // 2),
+    }
+    components = ComponentStats(
+        client_nic_utilization=client_nic,
+        server_nic_utilization=server_nic,
+        server_utilization=np.full(4, server),
+        device_utilization=np.full(4, device),
+        buffer_pressure=np.full(4, pressure),
+        total_window_collapses=collapses,
+    )
+    return RunResult(
+        scenario=tiny_scenario,
+        applications=apps,
+        components=components,
+        recorder=TraceRecorder(),
+        simulated_time=simulated_time,
+        n_steps=100,
+        wall_time=0.01,
+    )
+
+
+class TestDominantContender:
+    def test_device_dominates(self, tiny_scenario):
+        result = make_result(tiny_scenario, device=0.95, server=0.5)
+        report = attribute_root_cause(result)
+        assert report.dominant is Contender.DEVICES
+
+    def test_servers_dominate(self, tiny_scenario):
+        result = make_result(tiny_scenario, server=0.97, device=0.3)
+        report = attribute_root_cause(result)
+        assert report.dominant is Contender.SERVERS
+
+    def test_client_nic_dominates(self, tiny_scenario):
+        result = make_result(tiny_scenario, client_nic=0.99, device=0.2, server=0.2)
+        report = attribute_root_cause(result)
+        assert report.dominant is Contender.CLIENT_NIC
+
+    def test_storage_network_dominates(self, tiny_scenario):
+        result = make_result(tiny_scenario, server_nic=0.99, device=0.2, server=0.2)
+        report = attribute_root_cause(result)
+        assert report.dominant is Contender.STORAGE_NETWORK
+
+    def test_flow_control_dominates_with_collapses_and_pressure(self, tiny_scenario):
+        result = make_result(
+            tiny_scenario, device=0.5, server=0.5, pressure=0.9,
+            collapses=20_000, simulated_time=10.0,
+        )
+        report = attribute_root_cause(result)
+        assert report.dominant is Contender.FLOW_CONTROL
+
+    def test_idle_run_reports_no_contention(self, tiny_scenario):
+        result = make_result(tiny_scenario, client_nic=0.01, server_nic=0.01,
+                             server=0.02, device=0.02)
+        report = attribute_root_cause(result)
+        assert report.dominant is Contender.NONE
+
+
+class TestReportContents:
+    def test_scores_cover_every_physical_contender(self, tiny_scenario):
+        report = attribute_root_cause(make_result(tiny_scenario))
+        for contender in (Contender.CLIENT_NIC, Contender.STORAGE_NETWORK,
+                          Contender.SERVERS, Contender.DEVICES, Contender.FLOW_CONTROL):
+            assert contender in report.scores
+
+    def test_ranked_is_sorted_descending(self, tiny_scenario):
+        report = attribute_root_cause(make_result(tiny_scenario, device=0.9))
+        scores = [score for _c, score in report.ranked()]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_describe_names_dominant_cause(self, tiny_scenario):
+        report = attribute_root_cause(make_result(tiny_scenario, device=0.95))
+        text = report.describe()
+        assert "dominant root cause" in text
+        assert Contender.DEVICES.value in text
+
+    def test_utilization_summary_keys(self, tiny_scenario):
+        report = attribute_root_cause(make_result(tiny_scenario, collapses=100))
+        assert report.utilization_summary["window_collapses"] == 100.0
+        assert "mean_buffer_pressure" in report.utilization_summary
+
+    def test_empty_run_rejected(self, tiny_scenario):
+        result = make_result(tiny_scenario)
+        result.applications = {}
+        with pytest.raises(AnalysisError):
+            attribute_root_cause(result)
+
+
+class TestIntegrationWithSimulator:
+    def test_contended_hdd_blames_device_or_flow_control(self, tiny_contended_result):
+        report = attribute_root_cause(tiny_contended_result)
+        assert report.dominant in (Contender.DEVICES, Contender.SERVERS,
+                                   Contender.FLOW_CONTROL)
+
+    def test_alone_run_not_attributed_to_flow_control(self, tiny_alone_result):
+        report = attribute_root_cause(tiny_alone_result)
+        assert report.dominant is not Contender.FLOW_CONTROL

@@ -1,0 +1,22 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+def test_hierarchy():
+    assert issubclass(errors.ConfigurationError, errors.ReproError)
+    assert issubclass(errors.ConfigurationError, ValueError)
+    assert issubclass(errors.SimulationError, errors.ReproError)
+    assert issubclass(errors.SimulationError, RuntimeError)
+    assert issubclass(errors.SchedulingError, errors.SimulationError)
+    assert issubclass(errors.ExperimentError, errors.ReproError)
+    assert issubclass(errors.AnalysisError, errors.ReproError)
+
+
+def test_catchable_as_base():
+    with pytest.raises(errors.ReproError):
+        raise errors.SchedulingError("too late")
+    with pytest.raises(errors.ReproError):
+        raise errors.AnalysisError("empty")

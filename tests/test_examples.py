@@ -1,0 +1,60 @@
+"""Smoke tests: every shipped example must run end to end at the tiny scale.
+
+The examples are part of the public API surface (they are what a new user
+copies from), so they are executed here as subprocesses exactly as a user
+would run them.  They all accept an optional scale argument; ``tiny`` keeps
+the whole module under a minute.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_EXAMPLES = {
+    "quickstart.py",
+    "checkpoint_interference.py",
+    "mitigation_comparison.py",
+    "root_cause_diagnosis.py",
+    "transport_comparison.py",
+    "io_scheduling.py",
+    "many_applications.py",
+}
+
+#: A phrase each example must print (proves it reached its reporting stage).
+EXPECTED_OUTPUT = {
+    "quickstart.py": "interference factor",
+    "checkpoint_interference.py": "climate",
+    "mitigation_comparison.py": "Mitigation comparison",
+    "root_cause_diagnosis.py": "dominant root cause",
+    "transport_comparison.py": "Transport comparison",
+    "io_scheduling.py": "peak interference factor",
+    "many_applications.py": "Concurrent applications",
+}
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), "tiny"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        check=False,
+    )
+
+
+def test_examples_directory_is_complete():
+    present = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert EXPECTED_EXAMPLES <= present
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_EXAMPLES))
+def test_example_runs_at_tiny_scale(name):
+    proc = run_example(name)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert EXPECTED_OUTPUT[name].lower() in proc.stdout.lower(), proc.stdout[-2000:]
+    # Examples must not spew tracebacks even when they succeed.
+    assert "Traceback" not in proc.stderr

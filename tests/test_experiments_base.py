@@ -1,0 +1,86 @@
+"""Tests for the ExperimentResult container shared by all reproductions."""
+
+import pytest
+
+from repro.core.delta import DeltaPoint, DeltaSweep
+from repro.errors import AnalysisError
+from repro.experiments.base import ExperimentResult, optional_int
+
+
+def make_sweep(alone=2.0):
+    points = [
+        DeltaPoint(delta=d, write_times={"A": alone * f, "B": alone * f},
+                   throughputs={"A": 1.0, "B": 1.0},
+                   window_collapses={"A": 0, "B": 3},
+                   simulated_time=alone * f)
+        for d, f in ((-alone, 1.0), (0.0, 2.0), (alone, 1.0))
+    ]
+    return DeltaSweep(points=points, alone_times={"A": alone, "B": alone})
+
+
+@pytest.fixture()
+def result():
+    res = ExperimentResult(experiment_id="figureX", title="synthetic experiment",
+                           paper_reference="Figure X")
+    res.add_table("summary", [{"device": "HDD", "slowdown": 2.5},
+                              {"device": "RAM", "slowdown": 1.5}])
+    res.add_sweep("hdd", make_sweep())
+    res.add_metric("headline", 1.23)
+    res.add_note("a note about the shape")
+    return res
+
+
+class TestAccessors:
+    def test_table_roundtrip(self, result):
+        assert result.table("summary")[0]["device"] == "HDD"
+
+    def test_missing_table_raises_with_alternatives(self, result):
+        with pytest.raises(AnalysisError) as excinfo:
+            result.table("nope")
+        assert "summary" in str(excinfo.value)
+
+    def test_empty_table_rejected(self, result):
+        with pytest.raises(AnalysisError):
+            result.add_table("empty", [])
+
+    def test_sweep_roundtrip_and_derived_metrics(self, result):
+        sweep = result.sweep("hdd")
+        assert sweep.peak_interference_factor() == pytest.approx(2.0)
+        # add_sweep records headline metrics automatically
+        assert result.metric("hdd.peak_interference_factor") == pytest.approx(2.0)
+        assert "hdd.asymmetry_index" in result.metrics
+        assert "hdd.flatness_index" in result.metrics
+
+    def test_missing_sweep_and_metric_raise(self, result):
+        with pytest.raises(AnalysisError):
+            result.sweep("nope")
+        with pytest.raises(AnalysisError):
+            result.metric("nope")
+
+    def test_summary_is_a_copy(self, result):
+        summary = result.summary()
+        summary["headline"] = 999.0
+        assert result.metric("headline") == pytest.approx(1.23)
+
+
+class TestReporting:
+    def test_report_contains_everything(self, result):
+        text = result.report()
+        assert "figureX: synthetic experiment" in text
+        assert "[table] summary" in text
+        assert "[delta-graph] hdd" in text
+        assert "[metrics]" in text
+        assert "note: a note about the shape" in text
+
+    def test_table_csv_export(self, result):
+        csv_text = result.table_csv("summary")
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "device,slowdown"
+        assert len(lines) == 3
+
+
+class TestHelpers:
+    def test_optional_int(self):
+        assert optional_int(None, 7) == 7
+        assert optional_int(3, 7) == 3
+        assert optional_int(3.9, 7) == 3

@@ -1,0 +1,82 @@
+"""Tests for the mitigation baselines."""
+
+import pytest
+
+from repro import units
+from repro.config.presets import make_scenario
+from repro.errors import ConfigurationError, ExperimentError
+from repro.mitigation import (
+    DedicatedWriters,
+    ServerPartitioning,
+    ServerSideCoordination,
+    SourceRateLimit,
+    evaluate_mitigation,
+)
+
+
+class TestTransformations:
+    def test_dedicated_writers(self):
+        scenario = make_scenario("tiny")
+        out = DedicatedWriters(writers_per_node=1).apply(scenario)
+        assert all(app.procs_per_node == 1 for app in out.applications)
+        assert out.total_bytes() == pytest.approx(scenario.total_bytes())
+
+    def test_dedicated_writers_validation(self):
+        with pytest.raises(ConfigurationError):
+            DedicatedWriters(writers_per_node=0)
+        scenario = make_scenario("tiny", procs_per_node=2)
+        with pytest.raises(ConfigurationError):
+            DedicatedWriters(writers_per_node=4).apply(scenario)
+
+    def test_source_rate_limit(self):
+        scenario = make_scenario("tiny")
+        out = SourceRateLimit(node_bw=50 * units.MiB).apply(scenario)
+        assert out.platform.network.effective_node_bw <= 50 * units.MiB
+        with pytest.raises(ConfigurationError):
+            SourceRateLimit(node_bw=0)
+
+    def test_server_partitioning(self):
+        scenario = make_scenario("tiny")
+        out = ServerPartitioning().apply(scenario)
+        a, b = (set(out.app_servers(app)) for app in out.applications)
+        assert a.isdisjoint(b)
+
+    def test_server_side_coordination(self):
+        scenario = make_scenario("tiny", pattern="strided", request_size=256 * units.KiB)
+        out = ServerSideCoordination().apply(scenario)
+        assert out.filesystem.stripe_size == 256 * units.KiB
+        explicit = ServerSideCoordination(stripe_size=128 * units.KiB).apply(scenario)
+        assert explicit.filesystem.stripe_size == 128 * units.KiB
+        with pytest.raises(ConfigurationError):
+            ServerSideCoordination(stripe_size=0)
+
+    def test_describe(self):
+        assert "Dedicated" in DedicatedWriters().describe()
+
+
+class TestEvaluation:
+    def test_partitioning_reduces_interference(self):
+        scenario = make_scenario("tiny", device="hdd", sync_mode="sync-on")
+        outcome = evaluate_mitigation(ServerPartitioning(), scenario, deltas=[0.0])
+        assert outcome.mitigated_peak_if < outcome.baseline_peak_if
+        assert outcome.interference_reduction > 0.2
+        # Partitioning halves the servers available to each application.
+        assert outcome.alone_cost > 0.0
+        summary = outcome.summary()
+        assert "peak_if_baseline" in summary
+
+    def test_single_app_scenario_rejected(self):
+        scenario = make_scenario("tiny")
+        alone = scenario.with_applications(scenario.applications[:1])
+        with pytest.raises(ExperimentError):
+            evaluate_mitigation(ServerPartitioning(), alone)
+
+    def test_worth_it_logic(self):
+        from repro.mitigation.base import MitigationOutcome
+
+        good = MitigationOutcome("m", 1.0, 1.05, 2.0, 1.1, 0.3, 0.0)
+        bad = MitigationOutcome("m", 1.0, 2.0, 2.0, 1.1, 0.3, 0.0)
+        neutral = MitigationOutcome("m", 1.0, 1.0, 2.0, 1.95, 0.3, 0.3)
+        assert good.worth_it()
+        assert not bad.worth_it()      # costs too much alone performance
+        assert not neutral.worth_it()  # does not reduce interference

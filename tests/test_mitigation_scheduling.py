@@ -1,0 +1,101 @@
+"""Tests for the cross-application I/O scheduling (coordination) extension."""
+
+import pytest
+
+from repro.config.presets import make_scenario, make_single_app_scenario
+from repro.errors import ExperimentError
+from repro.mitigation.scheduling import (
+    CoordinationOutcome,
+    coordinated_start_times,
+    evaluate_coordination,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_hdd_scenario():
+    return make_scenario("tiny", device="hdd", sync_mode="sync-on")
+
+
+@pytest.fixture(scope="module")
+def outcome(tiny_hdd_scenario):
+    """Coordination evaluation at three delays (one clearly overlapping)."""
+    return evaluate_coordination(tiny_hdd_scenario, deltas=[-0.2, 0.0, 5.0])
+
+
+class TestCoordinatedStartTimes:
+    def test_non_overlapping_requests_unchanged(self, tiny_hdd_scenario):
+        alone = {"A": 1.0, "B": 1.0}
+        starts = coordinated_start_times(tiny_hdd_scenario, delta=5.0, alone_times=alone)
+        assert starts["A"] == 0.0
+        assert starts["B"] == 5.0
+
+    def test_overlapping_requests_are_serialized(self, tiny_hdd_scenario):
+        alone = {"A": 2.0, "B": 2.0}
+        starts = coordinated_start_times(tiny_hdd_scenario, delta=0.5, alone_times=alone)
+        assert starts["A"] == 0.0
+        assert starts["B"] == pytest.approx(2.0)
+
+    def test_negative_delta_serializes_the_other_way(self, tiny_hdd_scenario):
+        alone = {"A": 2.0, "B": 2.0}
+        starts = coordinated_start_times(tiny_hdd_scenario, delta=-1.0, alone_times=alone)
+        # B asked to start first; A is pushed until B is done.
+        assert starts["B"] == -1.0
+        assert starts["A"] == pytest.approx(1.0)
+
+    def test_slack_is_respected(self, tiny_hdd_scenario):
+        alone = {"A": 2.0, "B": 2.0}
+        starts = coordinated_start_times(
+            tiny_hdd_scenario, delta=0.0, alone_times=alone, slack=0.5
+        )
+        assert starts["B"] == pytest.approx(2.5)
+
+    def test_single_application_rejected(self):
+        single = make_single_app_scenario("tiny", device="hdd", sync_mode="sync-on")
+        with pytest.raises(ExperimentError):
+            coordinated_start_times(single, 0.0, {"A": 1.0})
+
+
+class TestEvaluateCoordination:
+    def test_returns_one_point_per_delta(self, outcome):
+        assert isinstance(outcome, CoordinationOutcome)
+        assert [p.delta for p in outcome.points] == [-0.2, 0.0, 5.0]
+        assert outcome.applications == ("A", "B")
+
+    def test_coordination_removes_write_time_interference(self, outcome):
+        assert outcome.peak_interference_factor(coordinated=True) < 1.3
+        assert outcome.peak_interference_factor(coordinated=False) > 1.5
+
+    def test_scheduler_wait_appears_only_when_phases_overlap(self, outcome):
+        overlapping = outcome.points[1]   # dt = 0
+        disjoint = outcome.points[2]      # dt >> alone time
+        assert max(overlapping.scheduler_wait.values()) > 0.0
+        assert max(disjoint.scheduler_wait.values()) == pytest.approx(0.0)
+
+    def test_coordination_trades_interference_for_waiting(self, outcome):
+        point = outcome.points[1]  # dt = 0: fully overlapping request
+        # Write time improves for the delayed application...
+        assert point.write_time_improvement("B") > 0.0
+        # ...but its completion (wait + write) does not improve by as much,
+        # which is the paper's caveat about scheduling-level solutions.
+        assert point.coordinated_completion_times["B"] >= (
+            point.coordinated_write_times["B"]
+        )
+
+    def test_rows_and_summary_are_flat(self, outcome):
+        rows = outcome.rows()
+        assert len(rows) == 3
+        assert {"delta", "interfering_write_time.A", "coordinated_write_time.B",
+                "scheduler_wait.B"} <= set(rows[0])
+        summary = outcome.summary()
+        assert {"peak_if_interfering", "peak_if_coordinated",
+                "mean_completion_change", "max_scheduler_wait"} <= set(summary)
+        assert summary["max_scheduler_wait"] > 0.0
+
+    def test_single_application_rejected(self):
+        single = make_single_app_scenario("tiny", device="hdd", sync_mode="sync-on")
+        with pytest.raises(ExperimentError):
+            evaluate_coordination(single, deltas=[0.0])
+
+    def test_default_deltas_generated(self, tiny_hdd_scenario):
+        outcome = evaluate_coordination(tiny_hdd_scenario, n_points=3)
+        assert len(outcome.points) >= 3

@@ -1,0 +1,62 @@
+"""Tests for the single-node (Table I) model."""
+
+import pytest
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.model.local import simulate_local_writes
+from repro.storage import device_by_name
+
+
+class TestLocalWrites:
+    def test_single_writer_time_matches_device(self):
+        hdd = device_by_name("hdd")
+        result = simulate_local_writes(hdd, n_apps=1, bytes_per_app=512 * units.MiB)
+        # Serial client-copy + device stages: a bit slower than the raw device.
+        expected_min = 512 * units.MiB / hdd.write_bw
+        assert result.mean_write_time >= expected_min
+        assert result.mean_write_time < 2 * expected_min
+        assert result.n_apps == 1
+
+    def test_two_writers_slow_down(self):
+        hdd = device_by_name("hdd")
+        alone = simulate_local_writes(hdd, 1, bytes_per_app=256 * units.MiB)
+        both = simulate_local_writes(hdd, 2, bytes_per_app=256 * units.MiB)
+        slowdown = both.slowdown_versus(alone)
+        assert slowdown > 2.0  # interleaving penalty on top of fair sharing
+
+    def test_device_ordering_of_slowdowns(self):
+        volumes = 256 * units.MiB
+        slowdowns = {}
+        for name in ("hdd", "ssd", "ram"):
+            device = device_by_name(name)
+            alone = simulate_local_writes(device, 1, bytes_per_app=volumes)
+            both = simulate_local_writes(device, 2, bytes_per_app=volumes)
+            slowdowns[name] = both.slowdown_versus(alone)
+        assert slowdowns["hdd"] > slowdowns["ssd"] > slowdowns["ram"]
+        assert slowdowns["ram"] < 2.0
+
+    def test_staggered_starts(self):
+        ram = device_by_name("ram")
+        result = simulate_local_writes(
+            ram, 2, bytes_per_app=256 * units.MiB, start_times=[0.0, 5.0]
+        )
+        # The second app starts after the first has finished: both run alone.
+        assert result.write_times[0] == pytest.approx(result.write_times[1], rel=0.05)
+
+    def test_as_dict(self):
+        ram = device_by_name("ram")
+        result = simulate_local_writes(ram, 2, bytes_per_app=64 * units.MiB)
+        summary = result.as_dict()
+        assert "write_time.0" in summary and "write_time.1" in summary
+
+    def test_validation(self):
+        ram = device_by_name("ram")
+        with pytest.raises(ConfigurationError):
+            simulate_local_writes(ram, 0)
+        with pytest.raises(ConfigurationError):
+            simulate_local_writes(ram, 1, bytes_per_app=0)
+        with pytest.raises(ConfigurationError):
+            simulate_local_writes(ram, 2, start_times=[0.0])
+        with pytest.raises(ConfigurationError):
+            simulate_local_writes(ram, 1, step=0)

@@ -1,0 +1,105 @@
+"""Tests for the run-result containers (repro.model.results)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.model.results import (
+    ApplicationResult,
+    ComponentStats,
+    RunResult,
+    merge_extra,
+)
+from repro.sim.tracing import TraceRecorder
+
+
+def make_run(tiny_scenario, apps=None):
+    apps = apps or {
+        "A": ApplicationResult("A", 0.0, 10.0, 1e9, 5),
+        "B": ApplicationResult("B", 2.0, 14.0, 1e9, 50),
+    }
+    components = ComponentStats(
+        client_nic_utilization=0.3,
+        server_nic_utilization=0.4,
+        server_utilization=np.array([0.5, 0.7]),
+        device_utilization=np.array([0.8, 0.6]),
+        buffer_pressure=np.array([0.9, 0.1]),
+        total_window_collapses=55,
+    )
+    return RunResult(
+        scenario=tiny_scenario,
+        applications=apps,
+        components=components,
+        recorder=TraceRecorder(),
+        simulated_time=14.0,
+        n_steps=1000,
+        wall_time=0.5,
+        label="synthetic",
+    )
+
+
+class TestApplicationResult:
+    def test_write_time_and_throughput(self):
+        app = ApplicationResult("A", start_time=1.0, end_time=5.0,
+                                bytes_written=8.0, window_collapses=0)
+        assert app.write_time == pytest.approx(4.0)
+        assert app.throughput == pytest.approx(2.0)
+
+    def test_zero_duration_throughput_is_infinite(self):
+        app = ApplicationResult("A", 1.0, 1.0, 8.0, 0)
+        assert app.throughput == float("inf")
+
+
+class TestComponentStats:
+    def test_means(self, tiny_scenario):
+        run = make_run(tiny_scenario)
+        assert run.components.mean_server_utilization() == pytest.approx(0.6)
+        assert run.components.mean_device_utilization() == pytest.approx(0.7)
+        assert run.components.mean_buffer_pressure() == pytest.approx(0.5)
+
+    def test_empty_arrays_mean_zero(self):
+        stats = ComponentStats(0.0, 0.0, np.zeros(0), np.zeros(0), np.zeros(0), 0)
+        assert stats.mean_server_utilization() == 0.0
+        assert stats.mean_device_utilization() == 0.0
+        assert stats.mean_buffer_pressure() == 0.0
+
+
+class TestRunResult:
+    def test_accessors(self, tiny_scenario):
+        run = make_run(tiny_scenario)
+        assert run.write_time("A") == pytest.approx(10.0)
+        assert run.write_time("B") == pytest.approx(12.0)
+        assert run.throughput("A") == pytest.approx(1e8)
+        assert run.total_window_collapses() == 55
+
+    def test_unknown_application_raises_with_alternatives(self, tiny_scenario):
+        run = make_run(tiny_scenario)
+        with pytest.raises(AnalysisError) as excinfo:
+            run.app("C")
+        assert "A" in str(excinfo.value) and "B" in str(excinfo.value)
+
+    def test_aggregate_throughput_uses_the_overall_span(self, tiny_scenario):
+        run = make_run(tiny_scenario)
+        assert run.aggregate_throughput() == pytest.approx(2e9 / 14.0)
+
+    def test_aggregate_throughput_empty(self, tiny_scenario):
+        run = make_run(tiny_scenario)
+        run.applications = {}
+        assert run.aggregate_throughput() == 0.0
+
+    def test_summary_keys_and_values(self, tiny_scenario):
+        summary = make_run(tiny_scenario).summary()
+        assert summary["write_time.A"] == pytest.approx(10.0)
+        assert summary["collapses.B"] == pytest.approx(50.0)
+        assert summary["window_collapses"] == pytest.approx(55.0)
+        assert summary["mean_buffer_pressure"] == pytest.approx(0.5)
+
+    def test_describe_mentions_every_application(self, tiny_scenario):
+        text = make_run(tiny_scenario).describe()
+        assert "app A" in text and "app B" in text
+        assert "window collapses" in text
+
+    def test_merge_extra_adds_metadata(self, tiny_scenario):
+        run = make_run(tiny_scenario)
+        merge_extra(run, custom_metric=3.5)
+        assert run.summary()["custom_metric"] == pytest.approx(3.5)

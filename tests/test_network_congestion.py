@@ -1,0 +1,166 @@
+"""Tests for the per-connection window model."""
+
+import numpy as np
+import pytest
+
+from repro.config.network import TransportConfig
+from repro.network.congestion import WindowState
+
+
+def make_state(n=4, rng=None, **kwargs):
+    transport = TransportConfig(rto=0.05, **kwargs)
+    rng = rng or np.random.default_rng(0)
+    return WindowState(n, transport, rng), transport
+
+
+class TestInitialState:
+    def test_initial_windows(self):
+        state, transport = make_state(3)
+        assert np.allclose(state.cwnd, transport.window_init)
+        assert state.total_collapses() == 0
+        assert not state.paced.any()
+
+    def test_sending_allowed_at_negative_time(self):
+        state, _ = make_state(2)
+        assert state.sending_allowed(-100.0).all()
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            WindowState(-1, TransportConfig(), np.random.default_rng(0))
+
+
+class TestDesiredBytes:
+    def test_window_limited_rate(self):
+        state, transport = make_state(2)
+        desired = state.desired_bytes(now=0.0, dt=0.01, rtt_eff=np.array([0.01, 0.01]))
+        assert np.allclose(desired, transport.window_init)
+
+    def test_stalled_connections_desire_nothing(self):
+        state, _ = make_state(2)
+        state.stall_until[0] = 10.0
+        desired = state.desired_bytes(now=0.0, dt=0.01, rtt_eff=np.array([0.01, 0.01]))
+        assert desired[0] == 0.0
+        assert desired[1] > 0.0
+
+
+class TestUpdate:
+    def test_additive_increase_on_success(self):
+        state, transport = make_state(1)
+        before = state.cwnd.copy()
+        state.update(
+            now=0.0,
+            dt=0.01,
+            requested=np.array([2000.0]),
+            admitted=np.array([2000.0]),
+            rtt_eff=np.array([0.01]),
+            oversubscribed=np.array([False]),
+        )
+        assert state.cwnd[0] > before[0]
+        assert state.paced[0]  # delivered more than one MSS
+
+    def test_window_capped_at_max(self):
+        state, transport = make_state(1)
+        state.cwnd[:] = transport.window_max
+        state.update(
+            now=0.0,
+            dt=1.0,
+            requested=np.array([1.0e6]),
+            admitted=np.array([1.0e6]),
+            rtt_eff=np.array([0.001]),
+            oversubscribed=np.array([False]),
+        )
+        assert state.cwnd[0] == transport.window_max
+
+    def test_multiplicative_decrease_when_throttled(self):
+        state, transport = make_state(1)
+        before = float(state.cwnd[0])
+        state.update(
+            now=0.0,
+            dt=0.01,
+            requested=np.array([10000.0]),
+            admitted=np.array([1000.0]),
+            rtt_eff=np.array([0.01]),
+            oversubscribed=np.array([True]),
+        )
+        assert state.cwnd[0] == pytest.approx(before * transport.multiplicative_decrease)
+
+    def test_starvation_leads_to_timeout(self):
+        state, transport = make_state(1)
+        result = None
+        for step in range(20):
+            result = state.update(
+                now=step * 0.01,
+                dt=0.01,
+                requested=np.array([10000.0]),
+                admitted=np.array([0.0]),
+                rtt_eff=np.array([0.01]),
+                oversubscribed=np.array([True]),
+                loss_prone=np.array([True]),
+            )
+            if result.n_collapsed:
+                break
+        assert result is not None and result.n_collapsed == 1
+        assert state.cwnd[0] == transport.window_min
+        assert state.total_collapses() == 1
+        assert not state.sending_allowed(result_time := step * 0.01 + 1e-6)[0]
+        assert not state.paced[0]
+
+    def test_no_timeout_when_not_loss_prone(self):
+        state, _ = make_state(1)
+        for step in range(30):
+            result = state.update(
+                now=step * 0.01,
+                dt=0.01,
+                requested=np.array([10000.0]),
+                admitted=np.array([0.0]),
+                rtt_eff=np.array([0.01]),
+                oversubscribed=np.array([True]),
+                loss_prone=np.array([False]),
+            )
+        assert state.total_collapses() == 0
+
+    def test_force_timeout(self):
+        state, transport = make_state(3)
+        state.paced[:] = True
+        n = state.force_timeout(np.array([0, 2]), now=1.0)
+        assert n == 2
+        assert not state.sending_allowed(1.0 + transport.rto * 0.4)[0]
+        assert state.sending_allowed(1.0)[1]
+        assert state.collapse_count.tolist() == [1, 0, 1]
+        assert not state.paced[0] and state.paced[1]
+        assert state.force_timeout(np.array([], dtype=int), now=1.0) == 0
+
+    def test_backoff_capped(self):
+        state, transport = make_state(1)
+        for _ in range(10):
+            state.force_timeout(np.array([0]), now=0.0)
+        max_stall = transport.rto * (2.0**transport.max_backoff_exponent) * 1.5
+        assert state.stall_until[0] <= max_stall + 1e-9
+
+    def test_established_mask_tracks_delivery(self):
+        state, transport = make_state(2)
+        state.update(
+            now=0.0,
+            dt=0.01,
+            requested=np.array([1000.0, 0.0]),
+            admitted=np.array([1000.0, 0.0]),
+            rtt_eff=np.array([0.01, 0.01]),
+            oversubscribed=np.array([False, False]),
+        )
+        mask = state.established_mask(0.0)
+        assert mask[0] and not mask[1]
+        assert not state.established_mask(transport.established_memory + 1.0)[0]
+
+    def test_admission_weights(self):
+        state, transport = make_state(2)
+        state.last_delivery[0] = 0.0
+        weights = state.admission_weights(0.0)
+        assert weights[0] == transport.established_weight
+        assert weights[1] == 1.0
+
+    def test_stalled_fraction(self):
+        state, _ = make_state(4)
+        state.stall_until[:2] = 100.0
+        frac = state.stalled_fraction(0.0, active_mask=np.array([True, True, True, True]))
+        assert frac == pytest.approx(0.5)
+        assert state.stalled_fraction(0.0, np.zeros(4, dtype=bool)) == 0.0

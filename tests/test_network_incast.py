@@ -1,0 +1,131 @@
+"""Tests for the server receive buffers (admission and drain)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.network.incast import ServerBuffers
+
+
+def make_buffers(n_servers=2, capacity=1000.0, conns_per_server=3):
+    conn_server = np.repeat(np.arange(n_servers), conns_per_server)
+    return ServerBuffers(n_servers=n_servers, capacity_bytes=capacity, conn_server=conn_server)
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        buffers = make_buffers()
+        assert buffers.n_connections == 6
+        assert np.allclose(buffers.free_space(), 1000.0)
+        assert np.allclose(buffers.occupancy_fraction(), 0.0)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            ServerBuffers(0, 100.0, np.array([0]))
+        with pytest.raises(SimulationError):
+            ServerBuffers(2, 0.0, np.array([0]))
+        with pytest.raises(SimulationError):
+            ServerBuffers(2, 100.0, np.array([5]))
+
+
+class TestAdmission:
+    def test_all_admitted_when_room(self):
+        buffers = make_buffers()
+        offered = np.full(6, 100.0)
+        admitted, oversub = buffers.admit(offered, np.ones(6))
+        assert np.allclose(admitted, offered)
+        assert not oversub.any()
+        assert np.allclose(buffers.fill, 300.0)
+
+    def test_admission_limited_by_capacity(self):
+        buffers = make_buffers(capacity=300.0)
+        offered = np.full(6, 200.0)
+        admitted, oversub = buffers.admit(offered, np.ones(6))
+        assert admitted[:3].sum() == pytest.approx(300.0)
+        assert oversub.all()
+        assert np.all(buffers.fill <= 300.0 + 1e-9)
+
+    def test_max_admission_cap(self):
+        buffers = make_buffers(capacity=1e9)
+        offered = np.full(6, 500.0)
+        admitted, _ = buffers.admit(offered, np.ones(6), max_admission=np.array([600.0, 600.0]))
+        assert admitted[:3].sum() == pytest.approx(600.0)
+        assert admitted[3:].sum() == pytest.approx(600.0)
+
+    def test_extra_capacity_allows_pipelining(self):
+        buffers = make_buffers(capacity=100.0)
+        offered = np.full(6, 100.0)
+        admitted, _ = buffers.admit(
+            offered, np.ones(6), extra_capacity=np.array([200.0, 200.0])
+        )
+        assert admitted[:3].sum() == pytest.approx(300.0)
+
+    def test_greedy_mode_with_rng(self, rng):
+        buffers = make_buffers(capacity=250.0)
+        offered = np.full(6, 200.0)
+        admitted, oversub = buffers.admit(offered, np.ones(6), rng=rng)
+        # Per server: capacity 250 < offered 600, so someone gets starved.
+        per_server = np.array([admitted[:3].sum(), admitted[3:].sum()])
+        assert np.allclose(per_server, 250.0)
+        assert (admitted == 0).sum() >= 2
+
+    def test_wrong_length_rejected(self):
+        buffers = make_buffers()
+        with pytest.raises(SimulationError):
+            buffers.admit(np.ones(3), np.ones(3))
+
+
+class TestDrain:
+    def test_drain_attribution_proportional(self):
+        buffers = make_buffers()
+        offered = np.array([300.0, 100.0, 0.0, 0.0, 0.0, 0.0])
+        buffers.admit(offered, np.ones(6))
+        drained_server, drained_conn = buffers.drain(np.array([200.0, 200.0]))
+        assert drained_server[0] == pytest.approx(200.0)
+        assert drained_conn[0] == pytest.approx(150.0)
+        assert drained_conn[1] == pytest.approx(50.0)
+        assert buffers.fill[0] == pytest.approx(200.0)
+
+    def test_drain_cannot_exceed_fill(self):
+        buffers = make_buffers()
+        buffers.admit(np.full(6, 10.0), np.ones(6))
+        drained_server, _ = buffers.drain(np.array([1e9, 1e9]))
+        assert np.allclose(drained_server, 30.0)
+        assert np.allclose(buffers.fill, 0.0)
+
+    def test_small_residues_are_snapped(self):
+        buffers = make_buffers()
+        buffers.admit(np.full(6, 10.0), np.ones(6))
+        buffers.drain(np.array([30.0 - 1e-8, 30.0 - 1e-8]))
+        assert np.allclose(buffers.conn_bytes, 0.0)
+
+    def test_wrong_length_rejected(self):
+        buffers = make_buffers()
+        with pytest.raises(SimulationError):
+            buffers.drain(np.array([1.0]))
+
+    def test_queueing_delay(self):
+        buffers = make_buffers()
+        buffers.admit(np.full(6, 100.0), np.ones(6))
+        delay = buffers.queueing_delay(np.array([100.0, 200.0]))
+        assert delay[0] == pytest.approx(3.0)
+        assert delay[1] == pytest.approx(1.5)
+
+
+class TestStatistics:
+    def test_pressure_fraction(self):
+        buffers = make_buffers(capacity=100.0)
+        buffers.note_step()
+        buffers.admit(np.full(6, 100.0), np.ones(6))
+        buffers.note_step()
+        pressure = buffers.pressure_fraction()
+        assert pressure[0] == pytest.approx(0.5)
+
+    def test_reset(self):
+        buffers = make_buffers()
+        buffers.admit(np.full(6, 10.0), np.ones(6))
+        buffers.note_step()
+        buffers.reset()
+        assert np.allclose(buffers.fill, 0.0)
+        assert buffers.observed_steps == 0
+        assert np.allclose(buffers.total_admitted, 0.0)

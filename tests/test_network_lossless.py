@@ -1,0 +1,88 @@
+"""Tests for the lossless (credit-based / InfiniBand-like) transport extension."""
+
+import pytest
+
+from repro import units
+from repro.config.network import NetworkConfig, TransportConfig
+from repro.config.presets import grid5000_platform, make_scenario
+from repro.core.experiment import TwoApplicationExperiment
+from repro.errors import ConfigurationError
+from repro.model.simulator import simulate_scenario
+
+
+class TestCreditBasedTransport:
+    def test_lossless_flag_default_off(self):
+        assert TransportConfig().lossless is False
+
+    def test_credit_based_disables_loss_machinery(self):
+        transport = TransportConfig.credit_based()
+        assert transport.lossless
+        assert transport.collapse_penalty == 0.0
+        assert transport.paced_timeout_hazard == 0.0
+        assert transport.burst_escape_probability == 1.0
+        assert transport.rwnd_overcommit == pytest.approx(1.0)
+
+    def test_credit_based_accepts_overrides(self):
+        transport = TransportConfig.credit_based(rto=0.5, window_max=2 * units.MiB)
+        assert transport.rto == 0.5
+        assert transport.window_max == 2 * units.MiB
+        assert transport.lossless
+
+    def test_validation_still_applies(self):
+        with pytest.raises(ConfigurationError):
+            TransportConfig.credit_based(rto=-1.0)
+
+
+class TestInfinibandNetwork:
+    def test_infiniband_preset(self):
+        net = NetworkConfig.infiniband()
+        assert net.transport.lossless
+        assert net.client_nic_bw > units.gbit_per_s(10)
+        assert "InfiniBand" in net.name
+
+    def test_platform_accepts_ib_keys(self):
+        for key in ("ib", "infiniband", "lossless"):
+            platform = grid5000_platform("tiny", network=key)
+            assert platform.network.transport.lossless, key
+
+    def test_platform_rejects_unknown_network(self):
+        with pytest.raises(ConfigurationError):
+            grid5000_platform("tiny", network="token-ring")
+
+    def test_make_scenario_with_infiniband(self):
+        scenario = make_scenario("tiny", device="hdd", sync_mode="sync-on",
+                                 network="infiniband")
+        assert scenario.platform.network.transport.lossless
+
+
+class TestLosslessBehaviour:
+    """The paper's future-work question: does Incast survive a lossless fabric?"""
+
+    @pytest.fixture(scope="class")
+    def experiments(self):
+        tcp = TwoApplicationExperiment("tiny", device="hdd", sync_mode="sync-on",
+                                       network="10g")
+        ib = TwoApplicationExperiment("tiny", device="hdd", sync_mode="sync-on",
+                                      network="infiniband")
+        return tcp, ib
+
+    def test_no_window_collapses_on_lossless_fabric(self, experiments):
+        _tcp, ib = experiments
+        contended = ib.run_point(0.0)
+        assert contended.total_window_collapses() == 0
+
+    def test_tcp_fabric_still_collapses(self, experiments):
+        tcp, _ib = experiments
+        contended = tcp.run_point(0.05)
+        assert contended.total_window_collapses() > 0
+
+    def test_device_sharing_interference_remains(self, experiments):
+        _tcp, ib = experiments
+        contended = ib.run_point(0.0)
+        factor = contended.write_time("A") / ib.alone_time()
+        # The disk is still shared: ~2x slowdown, even without any Incast.
+        assert 1.6 < factor < 2.6
+
+    def test_alone_time_not_slower_than_tcp(self, experiments):
+        tcp, ib = experiments
+        assert ib.alone_time() <= tcp.alone_time() * 1.10

@@ -1,0 +1,178 @@
+"""Tests for the PVFS client, server, request records and deployment."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.config.filesystem import FileSystemConfig, SyncMode
+from repro.config.server import ServerConfig
+from repro.errors import ConfigurationError
+from repro.pfs.client import PVFSClient
+from repro.pfs.filesystem import PVFSDeployment
+from repro.pfs.request import Fragment, WriteRequest
+from repro.pfs.server import FLOW_BUFFER_BYTES, PVFSServer
+from repro.storage import device_by_name
+
+KIB = units.KiB
+MIB = units.MiB
+
+
+class TestRequestRecords:
+    def test_fragment_validation(self):
+        with pytest.raises(ConfigurationError):
+            Fragment(request_id=0, server=0, nbytes=0, n_stripe_pieces=1)
+        with pytest.raises(ConfigurationError):
+            Fragment(request_id=0, server=0, nbytes=10, n_stripe_pieces=0)
+
+    def test_request_consistency(self):
+        frags = (
+            Fragment(0, 0, 128 * KIB, 2),
+            Fragment(0, 1, 128 * KIB, 2),
+        )
+        req = WriteRequest(0, "A", 3, offset=0, nbytes=256 * KIB, fragments=frags)
+        assert req.is_consistent()
+        assert req.n_servers_touched == 2
+        assert req.bytes_by_server == {0: 128 * KIB, 1: 128 * KIB}
+
+    def test_request_validation(self):
+        with pytest.raises(ConfigurationError):
+            WriteRequest(0, "A", -1, offset=0, nbytes=10)
+        with pytest.raises(ConfigurationError):
+            WriteRequest(0, "A", 0, offset=-1, nbytes=10)
+
+
+class TestClient:
+    def make_client(self, stripe=64 * KIB, servers=(0, 1, 2, 3), total=4):
+        return PVFSClient("A", rank=0, stripe_size=stripe, servers=servers, n_servers_total=total)
+
+    def test_build_request_fragments(self):
+        client = self.make_client()
+        req = client.build_request(offset=0, nbytes=256 * KIB)
+        assert req.is_consistent()
+        assert req.n_servers_touched == 4
+
+    def test_submit_and_complete(self):
+        client = self.make_client()
+        req = client.submit(0, 128 * KIB)
+        assert len(client.outstanding) == 1
+        client.complete(req.request_id)
+        assert len(client.outstanding) == 0
+        assert len(client.completed) == 1
+        with pytest.raises(KeyError):
+            client.complete(req.request_id)
+
+    def test_servers_touched_by(self):
+        client = self.make_client()
+        assert client.servers_touched_by(0, 64 * KIB) == (0,)
+        assert client.servers_touched_by(64 * KIB, 64 * KIB) == (1,)
+        assert len(client.servers_touched_by(0, 256 * KIB)) == 4
+
+    def test_stripes_touched_by(self):
+        client = self.make_client()
+        assert client.stripes_touched_by(0, 256 * KIB) == 4
+        assert client.stripes_touched_by(10, 10) == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PVFSClient("A", rank=-1, stripe_size=64, servers=(0,), n_servers_total=1)
+        with pytest.raises(ConfigurationError):
+            PVFSClient("A", rank=0, stripe_size=0, servers=(0,), n_servers_total=1)
+
+
+def make_server(sync_mode=SyncMode.SYNC_ON, device="hdd", **server_kwargs):
+    return PVFSServer(
+        server_id=0,
+        config=ServerConfig(**server_kwargs),
+        device=device_by_name(device),
+        sync_mode=sync_mode,
+        stripe_size=64 * KIB,
+        server_nic_bw=1.25e9,
+    )
+
+
+class TestServer:
+    def test_sync_on_drain_follows_device(self):
+        hdd = make_server(SyncMode.SYNC_ON, "hdd")
+        ram = make_server(SyncMode.SYNC_ON, "ram")
+        assert hdd.drain_rate(32, 64 * KIB) < ram.drain_rate(32, 64 * KIB)
+
+    def test_sync_off_hides_the_device(self):
+        hdd_off = make_server(SyncMode.SYNC_OFF, "hdd")
+        ram_off = make_server(SyncMode.SYNC_OFF, "ram")
+        assert hdd_off.drain_rate(32, 64 * KIB) == pytest.approx(
+            ram_off.drain_rate(32, 64 * KIB), rel=0.01
+        )
+
+    def test_null_aio_bypasses_ingest_limit(self):
+        null = make_server(SyncMode.NULL_AIO)
+        regular = make_server(SyncMode.SYNC_OFF)
+        assert null.ingest_rate() > regular.ingest_rate()
+
+    def test_small_fragments_are_op_bound(self):
+        server = make_server(SyncMode.SYNC_OFF)
+        small = server.drain_rate(32, 16 * KIB)
+        large = server.drain_rate(32, 4 * MIB)
+        assert small < large
+
+    def test_processing_unit_bounds(self):
+        server = make_server()
+        assert server.processing_unit(16 * KIB) == 16 * KIB
+        assert server.processing_unit(10 * MIB) == FLOW_BUFFER_BYTES
+
+    def test_commit_accounting(self):
+        server = make_server(SyncMode.SYNC_ON, "hdd")
+        rate = server.drain_rate(8, 1 * MIB)
+        server.commit(rate * 0.1, dt=0.1, n_streams=8, granularity=1 * MIB)
+        assert server.drained_bytes == pytest.approx(rate * 0.1)
+        assert 0.5 < server.utilization() <= 1.0
+        server.reset()
+        assert server.utilization() == 0.0
+
+    def test_commit_sync_off_uses_cache(self):
+        server = make_server(SyncMode.SYNC_OFF, "hdd")
+        server.commit(10 * MIB, dt=0.1, n_streams=4, granularity=1 * MIB)
+        assert server.dirty_cache_bytes() > 0
+
+    def test_describe(self):
+        assert "Sync ON" in make_server().describe()
+
+
+class TestDeployment:
+    def make_deployment(self, n_servers=3):
+        fs = FileSystemConfig(
+            n_servers=n_servers, device=device_by_name("hdd"), server=ServerConfig()
+        )
+        return PVFSDeployment(fs, server_nic_bw=1.25e9)
+
+    def test_servers_created(self):
+        dep = self.make_deployment()
+        assert dep.n_servers == 3
+        assert len(dep.describe()) == 3
+
+    def test_drain_rates_vectorized(self):
+        dep = self.make_deployment()
+        rates = dep.drain_rates(np.array([1, 8, 64]), np.full(3, 1 * MIB))
+        assert rates.shape == (3,)
+        assert rates[0] >= rates[1] >= rates[2]
+
+    def test_commit_and_reports(self):
+        dep = self.make_deployment()
+        dep.commit(np.array([1e6, 2e6, 0.0]), 0.1, np.array([4, 4, 4]), np.full(3, 1 * MIB))
+        assert dep.total_drained() == pytest.approx(3e6)
+        assert dep.utilizations().shape == (3,)
+        assert len(dep.utilization_report()) == 3
+        dep.reset()
+        assert dep.total_drained() == 0.0
+
+    def test_make_client(self):
+        dep = self.make_deployment()
+        client = dep.make_client("A", 5)
+        assert client.rank == 5
+        assert client.servers == (0, 1, 2)
+        restricted = dep.make_client("B", 0, servers=(1,))
+        assert restricted.servers == (1,)
+
+    def test_wrong_shapes_rejected(self):
+        dep = self.make_deployment()
+        with pytest.raises(ConfigurationError):
+            dep.drain_rates(np.array([1]), np.array([1.0]))

@@ -1,0 +1,92 @@
+"""Property-based tests for the newer building blocks.
+
+Complements ``test_properties.py`` (which covers the allocation, striping,
+device and metric primitives) with invariants of the pieces added on top of
+them: markdown table export, the coordination schedule, the multi-application
+scenario builder, and the credit-based transport preset.
+"""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.tables import rows_to_markdown
+from repro.config.network import TransportConfig
+from repro.config.presets import make_multi_app_scenario
+from repro.config.presets import make_scenario
+from repro.mitigation.scheduling import coordinated_start_times
+
+_KEY = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+_VALUE = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    st.booleans(),
+    st.text(alphabet=string.ascii_letters + " ", max_size=12),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(rows=st.lists(st.dictionaries(_KEY, _VALUE, min_size=1, max_size=5),
+                     min_size=1, max_size=8))
+def test_markdown_table_has_one_line_per_row_plus_header(rows):
+    text = rows_to_markdown(rows)
+    lines = text.splitlines()
+    assert len(lines) == len(rows) + 2
+    # every line has the same number of column separators
+    pipes = {line.count("|") for line in lines}
+    assert len(pipes) == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    delta=st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+    alone_a=st.floats(min_value=0.1, max_value=100.0),
+    alone_b=st.floats(min_value=0.1, max_value=100.0),
+    slack=st.floats(min_value=0.0, max_value=5.0),
+)
+def test_coordinated_phases_never_overlap(tiny_two_app_scenario, delta, alone_a,
+                                          alone_b, slack):
+    alone = {"A": alone_a, "B": alone_b}
+    starts = coordinated_start_times(tiny_two_app_scenario, delta, alone, slack=slack)
+    intervals = sorted(
+        (starts[name], starts[name] + alone[name]) for name in starts
+    )
+    for (start_1, end_1), (start_2, _end_2) in zip(intervals, intervals[1:]):
+        assert start_2 >= end_1 + slack - 1e-9
+    # Nobody is scheduled before it asked to run.
+    assert starts["A"] >= 0.0 - 1e-9
+    assert starts["B"] >= delta - 1e-9
+
+
+@pytest.fixture(scope="module")
+def tiny_two_app_scenario():
+    return make_scenario("tiny", device="hdd", sync_mode="sync-on")
+
+
+@settings(max_examples=20, deadline=None)
+@given(n_apps=st.integers(min_value=1, max_value=6))
+def test_multi_app_scenarios_use_disjoint_node_ranges(n_apps):
+    scenario = make_multi_app_scenario(
+        "tiny", n_apps=n_apps, nodes_per_app=1, device="ram", sync_mode="sync-off"
+    )
+    ranges = scenario.node_ranges()
+    assert len(ranges) == n_apps
+    for (start_1, end_1), (start_2, _end_2) in zip(ranges, ranges[1:]):
+        assert end_1 <= start_2
+    assert ranges[-1][1] <= scenario.platform.n_client_nodes
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rto=st.floats(min_value=1e-3, max_value=2.0),
+    window_max_kib=st.integers(min_value=64, max_value=4096),
+)
+def test_credit_based_transport_keeps_overrides_and_stays_lossless(rto, window_max_kib):
+    transport = TransportConfig.credit_based(rto=rto, window_max=window_max_kib * 1024.0)
+    assert transport.lossless
+    assert transport.rto == pytest.approx(rto)
+    assert transport.window_max == pytest.approx(window_max_kib * 1024.0)
+    assert transport.collapse_penalty == 0.0
+    assert transport.incast_window_threshold > 0

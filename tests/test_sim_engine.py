@@ -1,0 +1,164 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.events import EventPriority
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda s: order.append("b"))
+        sim.schedule(1.0, lambda s: order.append("a"))
+        sim.schedule(3.0, lambda s: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_priority_breaks_ties(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda s: order.append("observe"), priority=EventPriority.OBSERVE)
+        sim.schedule(1.0, lambda s: order.append("control"), priority=EventPriority.CONTROL)
+        sim.schedule(1.0, lambda s: order.append("normal"), priority=EventPriority.NORMAL)
+        sim.run()
+        assert order == ["control", "normal", "observe"]
+
+    def test_fifo_among_equal_priority(self):
+        sim = Simulator()
+        order = []
+        for i in range(5):
+            sim.schedule(1.0, lambda s, i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda s: None)
+        sim.run()
+        with pytest.raises(SchedulingError):
+            sim.schedule(0.5, lambda s: None)
+
+    def test_cannot_schedule_beyond_horizon(self):
+        sim = Simulator(horizon=10.0)
+        with pytest.raises(SchedulingError):
+            sim.schedule(11.0, lambda s: None)
+
+    def test_negative_start_time(self):
+        sim = Simulator(start_time=-5.0)
+        seen = []
+        sim.schedule(-4.0, lambda s: seen.append(s.now))
+        sim.schedule(0.0, lambda s: seen.append(s.now))
+        sim.run()
+        assert seen == [-4.0, 0.0]
+
+    def test_schedule_after(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_after(2.5, lambda s: seen.append(s.now))
+        sim.run()
+        assert seen == [2.5]
+        with pytest.raises(SchedulingError):
+            sim.schedule_after(-1.0, lambda s: None)
+
+
+class TestExecution:
+    def test_run_until(self):
+        sim = Simulator()
+        seen = []
+        for t in [1.0, 2.0, 3.0]:
+            sim.schedule(t, lambda s: seen.append(s.now))
+        end = sim.run(until=2.0)
+        assert seen == [1.0, 2.0]
+        assert end == 2.0
+        assert sim.pending_events == 1
+
+    def test_run_until_before_now_raises(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(SimulationError):
+            sim.run(until=1.0)
+
+    def test_stop(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda s: s.stop("done early"))
+        sim.schedule(2.0, lambda s: pytest.fail("should not run"))
+        sim.run()
+        assert sim.stop_reason == "done early"
+        assert sim.now == 1.0
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def reschedule(s):
+            s.schedule_after(0.1, reschedule)
+
+        sim.schedule(0.1, reschedule)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=50)
+
+    def test_step(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda s: None)
+        assert sim.step() is True
+        assert sim.step() is False
+        assert sim.events_processed == 1
+
+    def test_cancelled_events_are_skipped(self):
+        sim = Simulator()
+        seen = []
+        event = sim.schedule(1.0, lambda s: seen.append("cancelled"))
+        sim.schedule(2.0, lambda s: seen.append("kept"))
+        event.cancel()
+        sim.run()
+        assert seen == ["kept"]
+
+    def test_drain_cancelled(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda s: None) for i in range(4)]
+        events[0].cancel()
+        events[2].cancel()
+        removed = sim.drain_cancelled()
+        assert removed == 2
+        assert sim.pending_events == 2
+
+    def test_peek_next_time(self):
+        sim = Simulator()
+        assert sim.peek_next_time() is None
+        sim.schedule(3.0, lambda s: None)
+        assert sim.peek_next_time() == 3.0
+
+
+class TestPeriodic:
+    def test_periodic_fires_repeatedly(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_periodic(1.0, lambda s: ticks.append(s.now))
+        sim.run(until=5.5)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_periodic_stop_when(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_periodic(
+            1.0, lambda s: ticks.append(s.now), stop_when=lambda s: len(ticks) >= 3
+        )
+        sim.run(until=10.0)
+        assert len(ticks) == 3
+
+    def test_periodic_requires_positive_period(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError):
+            sim.schedule_periodic(0.0, lambda s: None)
+
+    def test_run_not_reentrant(self):
+        sim = Simulator()
+
+        def nested(s):
+            with pytest.raises(SimulationError):
+                s.run()
+
+        sim.schedule(1.0, nested)
+        sim.run()

@@ -1,0 +1,102 @@
+"""Tests for generator-based simulation processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.process import Completion, SimProcess, Timeout
+
+
+def test_timeout_sequencing():
+    sim = Simulator()
+    trace = []
+
+    def worker(proc):
+        trace.append(("start", proc.sim.now))
+        yield Timeout(1.0)
+        trace.append(("mid", proc.sim.now))
+        yield Timeout(2.0)
+        trace.append(("end", proc.sim.now))
+        return "done"
+
+    proc = SimProcess.spawn(sim, worker)
+    sim.run()
+    assert trace == [("start", 0.0), ("mid", 1.0), ("end", 3.0)]
+    assert proc.finished
+    assert proc.result == "done"
+
+
+def test_completion_wakes_waiter():
+    sim = Simulator()
+    done = Completion(label="io")
+    values = []
+
+    def waiter(proc):
+        value = yield done
+        values.append((sim.now, value))
+
+    SimProcess.spawn(sim, waiter)
+    sim.schedule(5.0, lambda s: done.succeed(s, value=42))
+    sim.run()
+    assert values == [(5.0, 42)]
+
+
+def test_completion_already_done_resumes_immediately():
+    sim = Simulator()
+    done = Completion()
+    seen = []
+
+    def setter(s):
+        done.succeed(s, "ready")
+
+    def waiter(proc):
+        value = yield done
+        seen.append(value)
+
+    sim.schedule(1.0, setter)
+    SimProcess.spawn(sim, waiter, start_delay=2.0)
+    sim.run()
+    assert seen == ["ready"]
+
+
+def test_completion_cannot_succeed_twice():
+    sim = Simulator()
+    done = Completion()
+    done.succeed(sim)
+    with pytest.raises(SimulationError):
+        done.succeed(sim)
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(SimulationError):
+        Timeout(-1.0)
+
+
+def test_waiting_on_another_process():
+    sim = Simulator()
+    order = []
+
+    def child(proc):
+        yield Timeout(2.0)
+        order.append("child done")
+        return 7
+
+    def parent(proc, child_proc):
+        value = yield child_proc
+        order.append(("parent saw", value))
+
+    child_proc = SimProcess.spawn(sim, child)
+    SimProcess.spawn(sim, parent, child_proc)
+    sim.run()
+    assert order == ["child done", ("parent saw", 7)]
+
+
+def test_invalid_yield_raises():
+    sim = Simulator()
+
+    def bad(proc):
+        yield "nonsense"
+
+    SimProcess.spawn(sim, bad)
+    with pytest.raises(SimulationError):
+        sim.run()

@@ -1,0 +1,83 @@
+"""Tests for the device-queue accounting wrapper."""
+
+import pytest
+
+from repro import units
+from repro.errors import SimulationError
+from repro.storage import device_by_name
+from repro.storage.queueing import DeviceQueue
+
+
+class TestEnqueueDrain:
+    def test_drain_is_bounded_by_device_bandwidth(self):
+        queue = DeviceQueue(device=device_by_name("hdd"))
+        queue.enqueue(10 * units.GiB)
+        written = queue.drain(dt=1.0, n_streams=1, granularity=4 * units.MiB)
+        assert written <= device_by_name("hdd").write_bw * 1.0 + 1e-6
+        assert queue.pending_bytes == pytest.approx(10 * units.GiB - written)
+
+    def test_drain_empties_small_queue(self):
+        queue = DeviceQueue(device=device_by_name("ram"))
+        queue.enqueue(1 * units.MiB)
+        written = queue.drain(dt=1.0)
+        assert written == pytest.approx(1 * units.MiB)
+        assert queue.pending_bytes == 0.0
+
+    def test_null_device_is_instant_and_never_busy(self):
+        queue = DeviceQueue(device=device_by_name("null"))
+        queue.enqueue(100 * units.GiB)
+        written = queue.drain(dt=0.001)
+        assert written == pytest.approx(100 * units.GiB)
+        assert queue.utilization() == 0.0
+
+    def test_negative_enqueue_rejected(self):
+        queue = DeviceQueue(device=device_by_name("hdd"))
+        with pytest.raises(SimulationError):
+            queue.enqueue(-1.0)
+
+    def test_non_positive_dt_rejected(self):
+        queue = DeviceQueue(device=device_by_name("hdd"))
+        with pytest.raises(SimulationError):
+            queue.drain(dt=0.0)
+
+
+class TestUtilization:
+    def test_idle_queue_has_zero_utilization(self):
+        queue = DeviceQueue(device=device_by_name("hdd"))
+        assert queue.utilization() == 0.0
+        queue.drain(dt=1.0)
+        assert queue.utilization() == 0.0
+
+    def test_saturated_queue_has_full_utilization(self):
+        queue = DeviceQueue(device=device_by_name("hdd"))
+        queue.enqueue(100 * units.GiB)
+        for _ in range(5):
+            queue.drain(dt=0.5)
+        assert queue.utilization() == pytest.approx(1.0)
+
+    def test_partial_utilization(self):
+        device = device_by_name("ram")
+        queue = DeviceQueue(device=device)
+        # Enqueue half a second worth of work, observe a full second.
+        queue.enqueue(device.write_bw * 0.5)
+        queue.drain(dt=1.0, n_streams=1, granularity=64 * units.MiB)
+        assert 0.4 <= queue.utilization() <= 0.6
+
+    def test_reset_clears_everything(self):
+        queue = DeviceQueue(device=device_by_name("hdd"))
+        queue.enqueue(units.GiB)
+        queue.drain(dt=1.0)
+        queue.reset()
+        assert queue.pending_bytes == 0.0
+        assert queue.written_bytes == 0.0
+        assert queue.utilization() == 0.0
+
+    def test_more_streams_never_increase_throughput(self):
+        device = device_by_name("hdd")
+        single = DeviceQueue(device=device)
+        many = DeviceQueue(device=device)
+        for queue in (single, many):
+            queue.enqueue(10 * units.GiB)
+        written_single = single.drain(dt=1.0, n_streams=1, granularity=units.MiB)
+        written_many = many.drain(dt=1.0, n_streams=64, granularity=units.MiB)
+        assert written_many <= written_single + 1e-6

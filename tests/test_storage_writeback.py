@@ -1,0 +1,104 @@
+"""Tests for the write-back cache and device queue."""
+
+import pytest
+
+from repro import units
+from repro.errors import ConfigurationError, SimulationError
+from repro.storage.hdd import hdd_7200rpm
+from repro.storage.queueing import DeviceQueue
+from repro.storage.ram import ram_disk
+from repro.storage.writeback import WritebackCache
+
+
+def make_cache(capacity=10 * units.MiB, memory_bw=100 * units.MiB):
+    return WritebackCache(
+        capacity_bytes=capacity, memory_bw=memory_bw, device=hdd_7200rpm(), flush_bw_fraction=0.5
+    )
+
+
+class TestWritebackCache:
+    def test_absorbs_at_memory_speed_when_empty(self):
+        cache = make_cache()
+        assert cache.absorb_rate() == 100 * units.MiB
+        accepted = cache.absorb(1 * units.MiB, dt=0.1)
+        assert accepted == pytest.approx(1 * units.MiB)
+        assert cache.dirty_bytes == pytest.approx(1 * units.MiB)
+
+    def test_absorb_limited_by_rate(self):
+        cache = make_cache()
+        accepted = cache.absorb(100 * units.MiB, dt=0.01)
+        assert accepted == pytest.approx(1 * units.MiB)
+
+    def test_full_cache_degrades_to_flush_rate(self):
+        cache = make_cache(capacity=1 * units.MiB)
+        cache.absorb(1 * units.MiB, dt=1.0)
+        assert cache.is_full
+        assert cache.absorb_rate() < cache.memory_bw
+
+    def test_flush_reduces_dirty(self):
+        cache = make_cache()
+        cache.absorb(5 * units.MiB, dt=1.0)
+        flushed = cache.flush(dt=0.1)
+        assert flushed > 0
+        assert cache.dirty_bytes < 5 * units.MiB
+        assert cache.total_flushed == pytest.approx(flushed)
+
+    def test_drain_remaining_time(self):
+        cache = make_cache()
+        assert cache.drain_remaining_time() == 0.0
+        cache.absorb(5 * units.MiB, dt=1.0)
+        assert cache.drain_remaining_time() > 0.0
+
+    def test_reset(self):
+        cache = make_cache()
+        cache.absorb(2 * units.MiB, dt=1.0)
+        cache.reset()
+        assert cache.dirty_bytes == 0.0
+        assert cache.total_absorbed == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WritebackCache(capacity_bytes=-1, memory_bw=1.0, device=ram_disk())
+        with pytest.raises(ConfigurationError):
+            WritebackCache(capacity_bytes=1.0, memory_bw=0.0, device=ram_disk())
+        cache = make_cache()
+        with pytest.raises(SimulationError):
+            cache.absorb(-1.0, dt=1.0)
+        with pytest.raises(SimulationError):
+            cache.flush(dt=0.0)
+
+
+class TestDeviceQueue:
+    def test_enqueue_and_drain(self):
+        queue = DeviceQueue(device=hdd_7200rpm())
+        queue.enqueue(10 * units.MiB)
+        written = queue.drain(dt=0.05, n_streams=1, granularity=4 * units.MiB)
+        assert written > 0
+        assert queue.pending_bytes == pytest.approx(10 * units.MiB - written)
+        assert 0.0 < queue.utilization() <= 1.0
+
+    def test_idle_device_has_zero_utilization(self):
+        queue = DeviceQueue(device=hdd_7200rpm())
+        queue.drain(dt=1.0)
+        assert queue.utilization() == 0.0
+
+    def test_null_device_drains_everything(self):
+        from repro.storage.nullaio import null_aio
+
+        queue = DeviceQueue(device=null_aio())
+        queue.enqueue(units.GiB)
+        written = queue.drain(dt=0.001)
+        assert written == units.GiB
+        assert queue.pending_bytes == 0.0
+
+    def test_validation_and_reset(self):
+        queue = DeviceQueue(device=hdd_7200rpm())
+        with pytest.raises(SimulationError):
+            queue.enqueue(-1)
+        with pytest.raises(SimulationError):
+            queue.drain(dt=0.0)
+        queue.enqueue(units.MiB)
+        queue.drain(dt=0.01)
+        queue.reset()
+        assert queue.pending_bytes == 0.0
+        assert queue.observed_time == 0.0

@@ -1,0 +1,109 @@
+"""Tests for repro.units."""
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_binary_prefixes(self):
+        assert units.KiB == 1024
+        assert units.MiB == 1024**2
+        assert units.GiB == 1024**3
+        assert units.TiB == 1024**4
+
+    def test_decimal_prefixes(self):
+        assert units.KB == 1000
+        assert units.MB == 1000**2
+        assert units.GB == 1000**3
+
+    def test_size_helpers(self):
+        assert units.kib(2) == 2048
+        assert units.mib(1.5) == 1.5 * 1024**2
+        assert units.gib(3) == 3 * 1024**3
+        assert units.tib(1) == 1024**4
+
+
+class TestBandwidth:
+    def test_gbit_per_s(self):
+        assert units.gbit_per_s(10) == pytest.approx(1.25e9)
+        assert units.gbit_per_s(1) == pytest.approx(1.25e8)
+
+    def test_mbit_per_s(self):
+        assert units.mbit_per_s(8) == pytest.approx(1e6)
+
+    def test_mb_gb_per_s(self):
+        assert units.mb_per_s(1) == units.MiB
+        assert units.gb_per_s(2) == 2 * units.GiB
+
+
+class TestTimeHelpers:
+    def test_us_ms(self):
+        assert units.us(1) == pytest.approx(1e-6)
+        assert units.ms(250) == pytest.approx(0.25)
+
+    def test_minutes_hours(self):
+        assert units.minutes(2) == 120
+        assert units.hours(1.5) == 5400
+
+
+class TestHumanFormatting:
+    def test_bytes_to_human(self):
+        assert units.bytes_to_human(64 * units.MiB) == "64 MiB"
+        assert units.bytes_to_human(1536) == "1.5 KiB"
+        assert units.bytes_to_human(10) == "10 B"
+        assert units.bytes_to_human(-2 * units.GiB) == "-2 GiB"
+
+    def test_bandwidth_to_human(self):
+        assert units.bandwidth_to_human(100 * units.MiB) == "100 MiB/s"
+
+    def test_seconds_to_human(self):
+        assert units.seconds_to_human(0) == "0 s"
+        assert units.seconds_to_human(5e-4) == "500 us"
+        assert units.seconds_to_human(0.25) == "250 ms"
+        assert units.seconds_to_human(42.0) == "42 s"
+        assert units.seconds_to_human(600) == "10 min"
+        assert units.seconds_to_human(7200) == "2 h"
+        assert units.seconds_to_human(-42.0) == "-42 s"
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("64MiB", 64 * units.MiB),
+            ("64 MiB", 64 * units.MiB),
+            ("256 KB", 256 * units.KB),
+            ("256k", 256 * units.KiB),
+            ("2g", 2 * units.GiB),
+            ("1024", 1024.0),
+            (512, 512.0),
+            (1.5, 1.5),
+        ],
+    )
+    def test_parse_size(self, text, expected):
+        assert units.parse_size(text) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("bad", ["", "abc", "12 parsecs"])
+    def test_parse_size_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            units.parse_size(bad)
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("10Gbps", 1.25e9),
+            ("1 gbit/s", 1.25e8),
+            ("100 MB/s", 100 * units.MiB),
+            ("100MiB/s", 100 * units.MiB),
+            (42.0, 42.0),
+        ],
+    )
+    def test_parse_bandwidth(self, text, expected):
+        assert units.parse_bandwidth(text) == pytest.approx(expected)
+
+    def test_parse_bandwidth_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            units.parse_bandwidth("fast")
+        with pytest.raises(ValueError):
+            units.parse_bandwidth("")

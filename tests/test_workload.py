@@ -1,0 +1,153 @@
+"""Tests for the workload substrate (patterns, applications, IOR front end)."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.config.workload import ApplicationSpec, PatternSpec
+from repro.errors import ConfigurationError
+from repro.workload.application import Application
+from repro.workload.ior import IORParameters, ior_application
+from repro.workload.patterns import (
+    pattern_extents,
+    request_offsets,
+    request_sizes,
+    total_file_size,
+)
+from repro.workload.phases import IOPhase, PeriodicCheckpointSchedule
+
+KIB = units.KiB
+MIB = units.MiB
+
+
+class TestPatterns:
+    def test_contiguous_offsets(self):
+        pattern = PatternSpec.contiguous(bytes_per_process=64 * MIB)
+        offsets = request_offsets(pattern, rank=3, n_procs=8)
+        assert offsets.tolist() == [3 * 64 * MIB]
+
+    def test_strided_offsets_interleave(self):
+        pattern = PatternSpec.strided(bytes_per_process=1 * MIB, request_size=256 * KIB)
+        r0 = request_offsets(pattern, rank=0, n_procs=4)
+        r1 = request_offsets(pattern, rank=1, n_procs=4)
+        assert r0[0] == 0
+        assert r1[0] == 256 * KIB
+        # Consecutive requests of the same rank are one full "row" apart.
+        assert r0[1] - r0[0] == 4 * 256 * KIB
+
+    def test_request_sizes_last_truncated(self):
+        pattern = PatternSpec.strided(bytes_per_process=600 * KIB, request_size=256 * KIB)
+        sizes = request_sizes(pattern)
+        assert len(sizes) == 3
+        assert sizes[-1] == pytest.approx(88 * KIB)
+        assert sizes.sum() == pytest.approx(600 * KIB)
+
+    def test_pattern_extents_cover_all_ranks(self):
+        pattern = PatternSpec.strided(bytes_per_process=1 * MIB, request_size=256 * KIB)
+        offsets, lengths = pattern_extents(pattern, op_index=2, n_procs=4)
+        assert offsets.shape == (4,)
+        assert np.all(lengths == 256 * KIB)
+        # Within one operation the ranks' extents are disjoint and adjacent.
+        assert np.all(np.diff(offsets) == 256 * KIB)
+
+    def test_pattern_extents_validation(self):
+        pattern = PatternSpec.contiguous(1 * MIB)
+        with pytest.raises(ConfigurationError):
+            pattern_extents(pattern, op_index=1, n_procs=4)
+        with pytest.raises(ConfigurationError):
+            request_offsets(pattern, rank=9, n_procs=4)
+        with pytest.raises(ConfigurationError):
+            request_offsets(pattern, rank=0, n_procs=0)
+
+    def test_total_file_size(self):
+        pattern = PatternSpec.contiguous(bytes_per_process=4 * MIB)
+        assert total_file_size(pattern, 8) == 32 * MIB
+        with pytest.raises(ConfigurationError):
+            total_file_size(pattern, 0)
+
+    def test_offsets_do_not_overlap_across_ranks(self):
+        pattern = PatternSpec.strided(bytes_per_process=512 * KIB, request_size=128 * KIB)
+        n_procs = 4
+        all_extents = set()
+        for rank in range(n_procs):
+            offsets = request_offsets(pattern, rank, n_procs)
+            sizes = request_sizes(pattern, rank)
+            for off, size in zip(offsets, sizes):
+                extent = (float(off), float(off + size))
+                assert extent not in all_extents
+                all_extents.add(extent)
+
+
+class TestApplication:
+    def make_app(self, n_nodes=2, procs_per_node=4):
+        spec = ApplicationSpec(
+            name="A",
+            n_nodes=n_nodes,
+            procs_per_node=procs_per_node,
+            pattern=PatternSpec.strided(bytes_per_process=1 * MIB, request_size=256 * KIB),
+        )
+        return Application(0, spec, node_range=(0, n_nodes), servers=(0, 1, 2), first_proc_id=0)
+
+    def test_structure(self):
+        app = self.make_app()
+        assert app.n_processes == 8
+        assert app.n_operations == 4
+        assert app.proc_ids().tolist() == list(range(8))
+        assert app.node_of_rank().tolist() == [0, 0, 0, 0, 1, 1, 1, 1]
+        assert "A" in app.describe()
+
+    def test_operation_extents(self):
+        app = self.make_app()
+        offsets, lengths = app.operation_extents(0)
+        assert offsets.shape == (8,)
+        assert np.all(lengths > 0)
+
+    def test_node_range_mismatch_rejected(self):
+        spec = ApplicationSpec(
+            name="A", n_nodes=2, procs_per_node=1, pattern=PatternSpec.contiguous(1 * MIB)
+        )
+        with pytest.raises(ConfigurationError):
+            Application(0, spec, node_range=(0, 3), servers=(0,), first_proc_id=0)
+        with pytest.raises(ConfigurationError):
+            Application(0, spec, node_range=(0, 2), servers=(), first_proc_id=0)
+
+
+class TestPhases:
+    def test_checkpoint_schedule(self):
+        schedule = PeriodicCheckpointSchedule(period=10.0, n_checkpoints=3, first_start=5.0)
+        phases = schedule.phases()
+        assert [p.start_time for p in phases] == [5.0, 15.0, 25.0]
+        assert len(schedule) == 3
+        assert all(isinstance(p, IOPhase) for p in schedule)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicCheckpointSchedule(period=0, n_checkpoints=1)
+        with pytest.raises(ConfigurationError):
+            PeriodicCheckpointSchedule(period=1.0, n_checkpoints=0)
+
+
+class TestIOR:
+    def test_contiguous_translation(self):
+        params = IORParameters(tasks=16, tasks_per_node=4, block_size=8 * MIB,
+                               transfer_size=8 * MIB, segment_count=1)
+        spec = ior_application("A", params)
+        assert spec.n_nodes == 4
+        assert spec.pattern.kind.value == "contiguous"
+        assert spec.total_bytes == 16 * 8 * MIB
+
+    def test_strided_translation(self):
+        params = IORParameters(tasks=8, tasks_per_node=8, block_size=4 * MIB,
+                               transfer_size=256 * KIB, segment_count=2)
+        spec = ior_application("B", params, start_time=3.0)
+        assert spec.pattern.kind.value == "strided"
+        assert spec.start_time == 3.0
+        assert spec.pattern.bytes_per_process == 8 * MIB
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            IORParameters(tasks=3, tasks_per_node=2)
+        with pytest.raises(ConfigurationError):
+            IORParameters(tasks=4, tasks_per_node=2, transfer_size=2 * MIB, block_size=1 * MIB)
+        with pytest.raises(ConfigurationError):
+            IORParameters(tasks=0, tasks_per_node=1)

@@ -11,13 +11,20 @@ Typical use::
 
     from repro.analysis.campaign import run_campaign, campaign_to_markdown
 
-    campaign = run_campaign(scale="reduced")
+    campaign = run_campaign(scale="reduced", jobs=4, cache_dir=".repro-cache")
     print(campaign.summary_rows())
     open("EXPERIMENTS.md", "w").write(campaign_to_markdown(campaign))
 
 or from the command line::
 
-    repro-io campaign --scale reduced --output EXPERIMENTS.md
+    repro-io campaign --scale reduced --jobs 4 --output EXPERIMENTS.md
+
+Experiments fan out across worker processes (:mod:`repro.runner.executor`)
+and every result is persisted in a content-addressed cache
+(:mod:`repro.runner.cache`) when ``cache_dir`` is given, so a repeated or
+resumed campaign only re-runs what changed.  The rendered markdown is
+deterministic by default (timing lines are opt-in), so a parallel campaign
+produces byte-identical output to a serial one.
 """
 
 from __future__ import annotations
@@ -27,10 +34,12 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from repro._version import __version__
-from repro.analysis.comparison import ClaimCheck, check_experiment
+from repro.analysis.comparison import ClaimCheck
 from repro.analysis.paper import EXPERIMENT_TITLES, paper_reference_tables
 from repro.analysis.tables import rows_to_markdown
 from repro.errors import ExperimentError
+from repro.runner.cache import ResultCache, fingerprint
+from repro.runner.executor import ParallelExecutor, TaskSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
     from repro.experiments.base import ExperimentResult
@@ -53,6 +62,7 @@ class ExperimentRecord:
     checks: List[ClaimCheck]
     wall_time: float
     error: Optional[str] = None
+    from_cache: bool = False
 
     @property
     def n_claims(self) -> int:
@@ -68,6 +78,30 @@ class ExperimentRecord:
     def title(self) -> str:
         """Human-readable experiment title."""
         return EXPERIMENT_TITLES.get(self.experiment_id, self.result.title)
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-serializable representation (what the runner cache stores)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "result": self.result.to_dict(),
+            "checks": [check.to_dict() for check in self.checks],
+            "wall_time": float(self.wall_time),
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: Dict[str, object], from_cache: bool = False
+    ) -> "ExperimentRecord":
+        """Rebuild a record from :meth:`to_payload` output (or a worker's)."""
+        from repro.experiments.base import ExperimentResult as _Result
+
+        return cls(
+            experiment_id=str(payload["experiment_id"]),
+            result=_Result.from_dict(payload["result"]),
+            checks=[ClaimCheck.from_dict(c) for c in payload["checks"]],
+            wall_time=float(payload["wall_time"]),
+            from_cache=from_cache,
+        )
 
 
 @dataclass
@@ -96,6 +130,11 @@ class CampaignResult:
         """Total number of claims that agree with the paper."""
         return sum(record.n_agreeing for record in self.records)
 
+    @property
+    def n_cached(self) -> int:
+        """Number of experiments served from the result cache."""
+        return sum(1 for record in self.records if record.from_cache)
+
     def record(self, experiment_id: str) -> ExperimentRecord:
         """The record of one experiment."""
         for rec in self.records:
@@ -103,25 +142,31 @@ class CampaignResult:
                 return rec
         raise ExperimentError(f"campaign has no record for {experiment_id!r}")
 
-    def summary_rows(self) -> List[Dict[str, object]]:
-        """One row per experiment: title, claims evaluated/agreeing, runtime."""
+    def summary_rows(self, include_timing: bool = True) -> List[Dict[str, object]]:
+        """One row per experiment: title, claims evaluated/agreeing, runtime.
+
+        ``include_timing=False`` drops the runtime column, making the rows
+        deterministic across runs (used by the markdown report so serial and
+        parallel campaigns render byte-identically).
+        """
         rows = []
         for rec in self.records:
-            rows.append(
-                {
-                    "experiment": rec.experiment_id,
-                    "paper reference": rec.result.paper_reference,
-                    "claims agreeing": f"{rec.n_agreeing}/{rec.n_claims}",
-                    "runtime (s)": round(rec.wall_time, 1),
-                }
-            )
+            row: Dict[str, object] = {
+                "experiment": rec.experiment_id,
+                "paper reference": rec.result.paper_reference,
+                "claims agreeing": f"{rec.n_agreeing}/{rec.n_claims}",
+            }
+            if include_timing:
+                row["runtime (s)"] = round(rec.wall_time, 1)
+            rows.append(row)
         return rows
 
     def describe(self) -> str:
         """One-paragraph plain-text summary."""
+        cached = f" ({self.n_cached} from cache)" if self.n_cached else ""
         return (
-            f"campaign at scale {self.scale!r}: {self.n_experiments} experiments, "
-            f"{self.n_agreeing}/{self.n_claims} paper claims reproduced, "
+            f"campaign at scale {self.scale!r}: {self.n_experiments} experiments"
+            f"{cached}, {self.n_agreeing}/{self.n_claims} paper claims reproduced, "
             f"{self.wall_time:.0f}s wall time"
         )
 
@@ -131,6 +176,9 @@ def run_campaign(
     quick: bool = False,
     experiments: Optional[Sequence[str]] = None,
     progress: Optional[Callable[[str, ExperimentRecord], None]] = None,
+    *,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> CampaignResult:
     """Run every (or a subset of the) table/figure reproduction and grade it.
 
@@ -146,7 +194,17 @@ def run_campaign(
         experiments in presentation order.
     progress:
         Optional callback invoked as ``progress(experiment_id, record)`` after
-        each experiment (used by the CLI to stream status lines).
+        each experiment completes (used by the CLI to stream status lines).
+        Under ``jobs > 1`` it fires in completion order; the campaign's
+        ``records`` always keep presentation order.
+    jobs:
+        Worker processes to fan the experiments across (1 = in-process
+        serial execution, identical to the historical behavior).
+    cache_dir:
+        When given, completed experiments are stored in (and served from) a
+        content-addressed cache there, keyed by
+        ``(experiment_id, scale, quick, overrides, version)`` — so repeating
+        or resuming a killed campaign only re-runs what is missing.
     """
     # Imported here (not at module level) so that `import repro.analysis`
     # does not drag every experiment module in — and so that the experiment
@@ -161,20 +219,47 @@ def run_campaign(
     )
     campaign = CampaignResult(scale=scale, started_at=time.time())
     t0 = time.perf_counter()
+
+    cache = ResultCache(cache_dir) if cache_dir else None
+    records: Dict[str, ExperimentRecord] = {}
+    fingerprints: Dict[str, str] = {}
+    pending: List[TaskSpec] = []
     for experiment_id in ids:
-        entry = get_experiment(experiment_id)
-        start = time.perf_counter()
-        result = entry.run(scale=scale, quick=quick)
-        checks = check_experiment(result)
-        record = ExperimentRecord(
-            experiment_id=experiment_id,
-            result=result,
-            checks=checks,
-            wall_time=time.perf_counter() - start,
+        if cache is not None:
+            fp = fingerprint(experiment_id, scale, quick)
+            fingerprints[experiment_id] = fp
+            payload = cache.get(fp)
+            if payload is not None:
+                record = ExperimentRecord.from_payload(payload, from_cache=True)
+                records[experiment_id] = record
+                if progress is not None:
+                    progress(experiment_id, record)
+                continue
+        pending.append(
+            TaskSpec(
+                task_id=experiment_id,
+                kind="experiment",
+                payload={"experiment_id": experiment_id, "scale": scale, "quick": quick},
+            )
         )
-        campaign.records.append(record)
+
+    def on_done(task: TaskSpec, payload: Dict[str, object]) -> None:
+        record = ExperimentRecord.from_payload(payload)
+        records[task.task_id] = record
+        if cache is not None:
+            cache.put(
+                fingerprints[task.task_id],
+                payload,
+                key_material={"experiment_id": task.task_id, "scale": scale,
+                              "quick": quick, "version": __version__},
+            )
         if progress is not None:
-            progress(experiment_id, record)
+            progress(task.task_id, record)
+
+    if pending:
+        ParallelExecutor(jobs=jobs).map(pending, progress=on_done)
+
+    campaign.records = [records[experiment_id] for experiment_id in ids]
     campaign.wall_time = time.perf_counter() - t0
     return campaign
 
@@ -209,8 +294,13 @@ pytest benchmarks/ --benchmark-only
 """
 
 
-def campaign_to_markdown(campaign: CampaignResult) -> str:
-    """Render a campaign as the EXPERIMENTS.md document."""
+def campaign_to_markdown(campaign: CampaignResult, include_timing: bool = False) -> str:
+    """Render a campaign as the EXPERIMENTS.md document.
+
+    Timing lines are opt-in (``include_timing=True``): the default report is
+    fully deterministic, so serial, parallel, and cache-served campaigns all
+    render byte-identical markdown.
+    """
     lines: List[str] = [
         _PREAMBLE.format(version=__version__, scale=campaign.scale),
         "## Summary",
@@ -218,9 +308,12 @@ def campaign_to_markdown(campaign: CampaignResult) -> str:
         f"- experiments reproduced: **{campaign.n_experiments}**",
         f"- paper claims evaluated: **{campaign.n_claims}**, agreeing: "
         f"**{campaign.n_agreeing}**",
-        f"- campaign wall time: {campaign.wall_time:.0f} s",
+    ]
+    if include_timing:
+        lines.append(f"- campaign wall time: {campaign.wall_time:.0f} s")
+    lines += [
         "",
-        rows_to_markdown(campaign.summary_rows()),
+        rows_to_markdown(campaign.summary_rows(include_timing=include_timing)),
         "",
     ]
 
@@ -229,8 +322,8 @@ def campaign_to_markdown(campaign: CampaignResult) -> str:
         result = record.result
         lines.append(f"## {record.title}")
         lines.append("")
-        lines.append(f"*Paper reference: {result.paper_reference}; "
-                     f"runtime {record.wall_time:.1f} s.*")
+        runtime = f"; runtime {record.wall_time:.1f} s" if include_timing else ""
+        lines.append(f"*Paper reference: {result.paper_reference}{runtime}.*")
         lines.append("")
 
         # Paper-reported quantitative values, when we have them.
@@ -293,9 +386,11 @@ def campaign_to_markdown(campaign: CampaignResult) -> str:
     return "\n".join(lines)
 
 
-def write_experiments_md(path: str, campaign: CampaignResult) -> str:
+def write_experiments_md(
+    path: str, campaign: CampaignResult, include_timing: bool = False
+) -> str:
     """Write the campaign report to ``path`` and return the rendered text."""
-    text = campaign_to_markdown(campaign)
+    text = campaign_to_markdown(campaign, include_timing=include_timing)
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text)
     return text

@@ -54,6 +54,43 @@ class ClaimCheck:
         status = "PASS" if self.passed else "MISS"
         return f"[{status}] {self.claim.claim_id}: {self.detail or self.claim.statement}"
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable representation (inverse of :meth:`from_dict`).
+
+        The full claim is inlined (rather than stored by id) so a cached
+        verdict remains readable even if the claim registry changes.
+        """
+        return {
+            "claim": {
+                "claim_id": self.claim.claim_id,
+                "experiment_id": self.claim.experiment_id,
+                "statement": self.claim.statement,
+                "section": self.claim.section,
+                "paper_values": {k: float(v) for k, v in self.claim.paper_values.items()},
+            },
+            "passed": bool(self.passed),
+            "measured": {k: float(v) for k, v in self.measured.items()},
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ClaimCheck":
+        """Rebuild a verdict from :meth:`to_dict` output."""
+        claim_data = data["claim"]
+        claim = PaperClaim(
+            claim_id=str(claim_data["claim_id"]),
+            experiment_id=str(claim_data["experiment_id"]),
+            statement=str(claim_data["statement"]),
+            section=str(claim_data["section"]),
+            paper_values={k: float(v) for k, v in claim_data.get("paper_values", {}).items()},
+        )
+        return cls(
+            claim=claim,
+            passed=bool(data["passed"]),
+            measured={k: float(v) for k, v in data.get("measured", {}).items()},
+            detail=str(data.get("detail", "")),
+        )
+
 
 # --------------------------------------------------------------------------- #
 # Per-experiment checkers

@@ -18,9 +18,19 @@ Export an experiment table as CSV::
 
     repro-io run figure6 --csv table2_interference
 
-Run the whole campaign and regenerate EXPERIMENTS.md::
+Run the whole campaign in parallel, with a persistent result cache::
 
-    repro-io campaign --scale reduced --output EXPERIMENTS.md
+    repro-io campaign --scale reduced --jobs 4 --cache-dir .repro-cache \
+        --output EXPERIMENTS.md
+
+Explore a parameter grid and persist each run with a manifest::
+
+    repro-io grid --axis device=hdd,ssd --axis sync=sync-on,sync-off \
+        --scale tiny --jobs 4 --store runs/
+
+Verify the integrity of persisted runs::
+
+    repro-io verify runs/
 """
 
 from __future__ import annotations
@@ -30,6 +40,7 @@ import sys
 from typing import List, Optional
 
 from repro import units
+from repro._version import __version__
 from repro.analysis.asciiplot import plot_delta_sweep
 from repro.analysis.tables import sweep_to_csv
 from repro.core.experiment import TwoApplicationExperiment
@@ -37,6 +48,32 @@ from repro.core.reporting import format_delta_sweep
 from repro.experiments.registry import get_experiment, list_experiments
 
 __all__ = ["main", "build_parser"]
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def _sweep_points(value: str) -> int:
+    """argparse type for ``--points``: an integer number of sweep points >= 3."""
+    try:
+        points = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {value!r}") from None
+    if points < 3:
+        raise argparse.ArgumentTypeError(
+            f"a delta sweep needs at least 3 points, got {points}"
+        )
+    return points
+
+
+def _positive_int(value: str) -> int:
+    """argparse type for ``--jobs``: a strictly positive integer."""
+    try:
+        number = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {value!r}") from None
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {number}")
+    return number
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,6 +84,9 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction toolkit for 'On the Root Causes of Cross-Application "
             "I/O Interference in HPC Storage Systems' (IPDPS 2016)"
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro-io {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -70,7 +110,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--network", default="10g", choices=["10g", "1g"])
     sweep_parser.add_argument("--stripe-kib", type=float, default=64.0)
     sweep_parser.add_argument("--request-kib", type=float, default=None)
-    sweep_parser.add_argument("--points", type=int, default=9)
+    sweep_parser.add_argument(
+        "--points", type=_sweep_points, default=9,
+        help="number of delta points in the sweep (>= 3)",
+    )
+    sweep_parser.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="simulate sweep points across N worker processes",
+    )
     sweep_parser.add_argument("--partition-servers", action="store_true")
     sweep_parser.add_argument("--plot", action="store_true", help="also print an ASCII plot")
     sweep_parser.add_argument("--csv", action="store_true", help="print the sweep as CSV")
@@ -91,6 +138,67 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument(
         "--output", metavar="PATH", default=None,
         help="write the markdown report to this file (default: print to stdout)",
+    )
+    campaign_parser.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="run experiments across N worker processes (default: 1, serial)",
+    )
+    campaign_parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persist results in a content-addressed cache; repeated runs "
+             "are served from it",
+    )
+    campaign_parser.add_argument(
+        "--resume", action="store_true",
+        help=f"resume from the result cache (defaults --cache-dir to "
+             f"{DEFAULT_CACHE_DIR})",
+    )
+    campaign_parser.add_argument(
+        "--timing", action="store_true",
+        help="include wall-time lines in the report (makes the output "
+             "non-deterministic across runs)",
+    )
+
+    grid_parser = sub.add_parser(
+        "grid",
+        help="run a cartesian parameter grid of delta sweeps, one run "
+             "directory per point",
+    )
+    grid_parser.add_argument(
+        "--axis", action="append", metavar="NAME=V1,V2", default=None,
+        help="grid axis (repeatable); axes: device, sync, pattern, network, "
+             "stripe_kib, request_kib.  Default grid: device=hdd,ssd x "
+             "sync=sync-on,sync-off x pattern=contiguous,strided",
+    )
+    grid_parser.add_argument("--scale", default="reduced", choices=["tiny", "reduced", "paper"])
+    grid_parser.add_argument(
+        "--points", type=_sweep_points, default=5,
+        help="delta points per grid point (>= 3)",
+    )
+    grid_parser.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="run grid points across N worker processes",
+    )
+    grid_parser.add_argument(
+        "--seed", type=int, default=0, help="master seed for per-task seeds"
+    )
+    grid_parser.add_argument(
+        "--store", metavar="DIR", default="runs",
+        help="persist each grid point as a run directory under DIR "
+             "(default: runs/)",
+    )
+    grid_parser.add_argument(
+        "--no-store", action="store_true", help="do not persist run directories"
+    )
+    grid_parser.add_argument("--csv", action="store_true",
+                             help="print the summary table as CSV")
+
+    verify_parser = sub.add_parser(
+        "verify", help="verify the manifests of persisted run directories"
+    )
+    verify_parser.add_argument(
+        "paths", nargs="+", metavar="RUN_DIR",
+        help="run directories (or store roots containing them) to verify",
     )
 
     return parser
@@ -124,7 +232,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
     if args.request_kib is not None:
         kwargs["request_size"] = args.request_kib * units.KiB
     experiment = TwoApplicationExperiment(args.scale, **kwargs)
-    sweep = experiment.run_sweep(n_points=args.points)
+    sweep = experiment.run_sweep(n_points=args.points, jobs=args.jobs)
     if args.csv:
         print(sweep_to_csv(sweep), end="")
         return 0
@@ -139,17 +247,23 @@ def _command_campaign(args: argparse.Namespace) -> int:
     # Imported lazily: the campaign machinery pulls in every experiment module.
     from repro.analysis.campaign import campaign_to_markdown, run_campaign
 
+    cache_dir = args.cache_dir
+    if args.resume and cache_dir is None:
+        cache_dir = DEFAULT_CACHE_DIR
+
     def progress(experiment_id: str, record) -> None:
+        origin = "cached" if record.from_cache else f"{record.wall_time:.1f}s"
         print(
             f"[campaign] {experiment_id:10s} {record.n_agreeing}/{record.n_claims} "
-            f"claims agree ({record.wall_time:.1f}s)",
+            f"claims agree ({origin})",
             file=sys.stderr,
         )
 
     campaign = run_campaign(
-        scale=args.scale, quick=args.quick, experiments=args.only, progress=progress
+        scale=args.scale, quick=args.quick, experiments=args.only, progress=progress,
+        jobs=args.jobs, cache_dir=cache_dir,
     )
-    text = campaign_to_markdown(campaign)
+    text = campaign_to_markdown(campaign, include_timing=args.timing)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(text)
@@ -157,6 +271,82 @@ def _command_campaign(args: argparse.Namespace) -> int:
     else:
         print(text)
     return 0
+
+
+def _command_grid(args: argparse.Namespace) -> int:
+    # Imported lazily: keeps `repro-io list` style commands import-light.
+    from repro.analysis.tables import rows_to_csv, rows_to_markdown
+    from repro.runner.grid import ParameterGrid, run_grid
+
+    if args.axis:
+        grid = ParameterGrid.from_specs(args.axis)
+    else:
+        grid = ParameterGrid({
+            "device": ["hdd", "ssd"],
+            "sync": ["sync-on", "sync-off"],
+            "pattern": ["contiguous", "strided"],
+        })
+
+    def progress(point_id: str, point) -> None:
+        print(
+            f"[grid] {point_id:40s} peak IF "
+            f"{point.summary['peak_interference_factor']:.2f}",
+            file=sys.stderr,
+        )
+
+    result = run_grid(
+        grid,
+        scale=args.scale,
+        n_points=args.points,
+        jobs=args.jobs,
+        master_seed=args.seed,
+        store_dir=None if args.no_store else args.store,
+        progress=progress,
+    )
+    rows = result.to_rows()
+    if args.csv:
+        print(rows_to_csv(rows), end="")
+    else:
+        print(rows_to_markdown(rows))
+    if result.store_root:
+        print(
+            f"[grid] {len(result)} runs persisted under {result.store_root} "
+            f"(verify with: repro-io verify {result.store_root})",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _command_verify(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.runner.store import MANIFEST_NAME, RunStore, verify_manifest
+
+    run_dirs: List[Path] = []
+    for raw in args.paths:
+        path = Path(raw)
+        if (path / MANIFEST_NAME).is_file():
+            run_dirs.append(path)
+        elif path.is_dir():
+            found = RunStore(path).runs()
+            if not found:
+                print(f"[verify] FAIL {path}: no {MANIFEST_NAME} found")
+                return 1
+            run_dirs.extend(found)
+        else:
+            print(f"[verify] FAIL {path}: not a directory")
+            return 1
+
+    failures = 0
+    for run_dir in run_dirs:
+        ok, issues = verify_manifest(run_dir)
+        status = "ok" if ok else "FAIL"
+        print(f"[verify] {status:4s} {run_dir}")
+        for issue in issues:
+            print(f"         - {issue}")
+        failures += 0 if ok else 1
+    print(f"[verify] {len(run_dirs) - failures}/{len(run_dirs)} runs verified")
+    return 1 if failures else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -171,6 +361,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_sweep(args)
     if args.command == "campaign":
         return _command_campaign(args)
+    if args.command == "grid":
+        return _command_grid(args)
+    if args.command == "verify":
+        return _command_verify(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -25,7 +25,36 @@ from repro.errors import AnalysisError, ExperimentError
 from repro.model.results import RunResult
 from repro.model.simulator import simulate_scenario
 
-__all__ = ["DeltaPoint", "DeltaSweep", "run_delta_sweep", "default_deltas"]
+__all__ = [
+    "DeltaPoint",
+    "DeltaSweep",
+    "run_delta_sweep",
+    "default_deltas",
+    "alone_times_for",
+    "jsonify",
+]
+
+
+def jsonify(value):
+    """Recursively convert numpy scalars/arrays to plain Python types.
+
+    Result payloads travel through ``json`` (the runner cache and the run
+    store) and across process boundaries; numpy scalars are not JSON
+    serializable, so every ``to_dict`` below funnels through this helper.
+    """
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [jsonify(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {str(k): jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v) for v in value]
+    return value
 
 
 @dataclass(frozen=True)
@@ -59,6 +88,40 @@ class DeltaPoint:
         if len(names) < 2:
             return names[0]
         return names[1] if self.delta >= 0 else names[0]
+
+    @classmethod
+    def from_run_result(cls, delta: float, result: RunResult) -> "DeltaPoint":
+        """Build the point for one simulated two-application run."""
+        return cls(
+            delta=float(delta),
+            write_times={name: app.write_time for name, app in result.applications.items()},
+            throughputs={name: app.throughput for name, app in result.applications.items()},
+            window_collapses={
+                name: app.window_collapses for name, app in result.applications.items()
+            },
+            simulated_time=result.simulated_time,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable representation (inverse of :meth:`from_dict`)."""
+        return {
+            "delta": jsonify(self.delta),
+            "write_times": jsonify(self.write_times),
+            "throughputs": jsonify(self.throughputs),
+            "window_collapses": {k: int(v) for k, v in self.window_collapses.items()},
+            "simulated_time": jsonify(self.simulated_time),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DeltaPoint":
+        """Rebuild a point from :meth:`to_dict` output."""
+        return cls(
+            delta=float(data["delta"]),
+            write_times={k: float(v) for k, v in data["write_times"].items()},
+            throughputs={k: float(v) for k, v in data["throughputs"].items()},
+            window_collapses={k: int(v) for k, v in data["window_collapses"].items()},
+            simulated_time=float(data["simulated_time"]),
+        )
 
 
 @dataclass
@@ -188,6 +251,25 @@ class DeltaSweep:
         out.update(self.extra)
         return out
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable representation (inverse of :meth:`from_dict`)."""
+        return {
+            "points": [p.to_dict() for p in self.points],
+            "alone_times": jsonify(self.alone_times),
+            "label": self.label,
+            "extra": jsonify(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DeltaSweep":
+        """Rebuild a sweep from :meth:`to_dict` output."""
+        return cls(
+            points=[DeltaPoint.from_dict(p) for p in data["points"]],
+            alone_times={k: float(v) for k, v in data["alone_times"].items()},
+            label=str(data.get("label", "")),
+            extra={k: float(v) for k, v in data.get("extra", {}).items()},
+        )
+
 
 def default_deltas(alone_time: float, n_points: int = 9) -> List[float]:
     """Pick a symmetric set of delays spanning the interference window.
@@ -205,6 +287,24 @@ def default_deltas(alone_time: float, n_points: int = 9) -> List[float]:
         n_points += 1
     span = 1.2 * alone_time
     return [float(d) for d in np.linspace(-span, span, n_points)]
+
+
+def alone_times_for(scenario: ScenarioConfig, alone_result: RunResult) -> Dict[str, float]:
+    """Per-application interference-free baselines from one alone run.
+
+    Both applications are identically configured in the paper's methodology;
+    the first application's measured baseline is reused for any application
+    the provided result does not cover.
+    """
+    baseline = alone_result.applications[scenario.applications[0].name]
+    return {
+        app.name: (
+            alone_result.applications[app.name].write_time
+            if app.name in alone_result.applications
+            else baseline.write_time
+        )
+        for app in scenario.applications
+    }
 
 
 def run_delta_sweep(
@@ -243,31 +343,13 @@ def run_delta_sweep(
     if alone_result is None:
         alone_scenario = scenario.with_applications(scenario.applications[:1])
         alone_result = simulate_scenario(alone_scenario, seed=seed)
-    alone_times: Dict[str, float] = {}
-    baseline = alone_result.applications[scenario.applications[0].name]
-    for app in scenario.applications:
-        # Both applications are identically configured in the paper's
-        # methodology; reuse the measured baseline for each of them, unless a
-        # dedicated baseline exists in the provided result.
-        if app.name in alone_result.applications:
-            alone_times[app.name] = alone_result.applications[app.name].write_time
-        else:
-            alone_times[app.name] = baseline.write_time
+    alone_times = alone_times_for(scenario, alone_result)
 
     points: List[DeltaPoint] = []
     for delta in deltas:
         run_scenario = scenario.with_delay(float(delta))
         result = simulate_scenario(run_scenario, seed=seed)
-        point = DeltaPoint(
-            delta=float(delta),
-            write_times={name: app.write_time for name, app in result.applications.items()},
-            throughputs={name: app.throughput for name, app in result.applications.items()},
-            window_collapses={
-                name: app.window_collapses for name, app in result.applications.items()
-            },
-            simulated_time=result.simulated_time,
-        )
-        points.append(point)
+        points.append(DeltaPoint.from_run_result(delta, result))
         if progress is not None:
             progress(float(delta), result)
 

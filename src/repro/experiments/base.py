@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
 from repro.analysis.tables import rows_to_csv
-from repro.core.delta import DeltaSweep
+from repro.core.delta import DeltaSweep, jsonify
 from repro.core.reporting import format_delta_sweep, format_summary, format_table
 from repro.errors import AnalysisError
 
@@ -121,6 +121,37 @@ class ExperimentResult:
     def summary(self) -> Mapping[str, float]:
         """All headline metrics."""
         return dict(self.metrics)
+
+    # ------------------------------------------------------------------ #
+    # Serialization (runner cache / run store / cross-process transport)
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable representation (inverse of :meth:`from_dict`)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "paper_reference": self.paper_reference,
+            "tables": jsonify(self.tables),
+            "sweeps": {name: sweep.to_dict() for name, sweep in self.sweeps.items()},
+            "metrics": jsonify(self.metrics),
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            experiment_id=str(data["experiment_id"]),
+            title=str(data["title"]),
+            paper_reference=str(data["paper_reference"]),
+            tables={name: [dict(row) for row in rows]
+                    for name, rows in data.get("tables", {}).items()},
+            sweeps={name: DeltaSweep.from_dict(payload)
+                    for name, payload in data.get("sweeps", {}).items()},
+            metrics={k: float(v) for k, v in data.get("metrics", {}).items()},
+            notes=[str(n) for n in data.get("notes", [])],
+        )
 
 
 def optional_int(value: Optional[int], default: int) -> int:

@@ -1,0 +1,39 @@
+"""Parallel campaign runner with a persistent, content-addressed result store.
+
+Four pieces (see ``DESIGN.md`` at the repository root):
+
+* :mod:`repro.runner.executor` — process-parallel task execution with
+  deterministic per-task seeding and ordered result reassembly;
+* :mod:`repro.runner.cache` — content-addressed on-disk cache keyed by a
+  SHA-256 fingerprint of ``(experiment, scale, quick, overrides, version)``;
+* :mod:`repro.runner.store` — persistent run directories with verifiable
+  ``manifest.json`` files;
+* :mod:`repro.runner.grid` — declarative cartesian parameter grids executed
+  through the executor and persisted through the store.
+"""
+
+from repro.runner.cache import ResultCache, fingerprint
+from repro.runner.executor import (
+    ParallelExecutor,
+    TaskSpec,
+    derive_task_seed,
+    run_delta_sweep_parallel,
+)
+from repro.runner.grid import GridResult, ParameterGrid, run_grid
+from repro.runner.store import RunStore, load_manifest, verify_manifest, write_run
+
+__all__ = [
+    "ParallelExecutor",
+    "TaskSpec",
+    "derive_task_seed",
+    "run_delta_sweep_parallel",
+    "ResultCache",
+    "fingerprint",
+    "RunStore",
+    "write_run",
+    "load_manifest",
+    "verify_manifest",
+    "ParameterGrid",
+    "GridResult",
+    "run_grid",
+]

@@ -1,0 +1,143 @@
+"""Content-addressed on-disk cache for experiment results.
+
+Every campaign task is identified by a SHA-256 *fingerprint* of everything
+that determines its outcome: the experiment id, the scale preset, the quick
+flag, any config overrides, and the package version.  Unchanged experiments
+are therefore cache hits across process invocations — a killed campaign
+resumes where it stopped, and an immediately repeated run is served entirely
+from disk.  Bumping :data:`repro._version.__version__` (or changing any
+ingredient) invalidates the fingerprint naturally; no explicit eviction
+logic is needed.
+
+Payloads are JSON documents (the ``to_dict()`` form of the result objects),
+stored under ``<cache_dir>/objects/<aa>/<fingerprint>.json`` with the key
+material recorded alongside the payload for debuggability.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional
+
+from repro._version import __version__
+
+__all__ = ["ResultCache", "fingerprint"]
+
+
+def fingerprint(
+    experiment_id: str,
+    scale: str,
+    quick: bool,
+    overrides: Optional[Mapping[str, object]] = None,
+    version: str = __version__,
+) -> str:
+    """SHA-256 fingerprint of one experiment task.
+
+    The key material is serialized canonically (sorted keys, no whitespace
+    variation) so logically equal tasks always hash identically.
+    """
+    material = {
+        "experiment_id": str(experiment_id),
+        "scale": str(scale),
+        "quick": bool(quick),
+        "overrides": {str(k): overrides[k] for k in sorted(overrides)} if overrides else {},
+        "version": str(version),
+    }
+    canonical = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """A content-addressed store of JSON result payloads.
+
+    Parameters
+    ----------
+    cache_dir:
+        Root directory; created on first write.  Safe to share between
+        concurrent processes — writes are atomic (tempfile + rename).
+    """
+
+    def __init__(self, cache_dir: str) -> None:
+        self.root = Path(cache_dir)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _object_path(self, fp: str) -> Path:
+        return self.root / "objects" / fp[:2] / f"{fp}.json"
+
+    def get(self, fp: str) -> Optional[Dict[str, object]]:
+        """The cached payload for ``fp``, or ``None`` (counted as hit/miss)."""
+        path = self._object_path(fp)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            payload = entry["payload"]
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing file, or a corrupt/truncated/foreign-format entry:
+            # treat as a miss so the task simply re-runs and overwrites it.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(
+        self,
+        fp: str,
+        payload: Mapping[str, object],
+        key_material: Optional[Mapping[str, object]] = None,
+    ) -> Path:
+        """Store ``payload`` under fingerprint ``fp`` (atomic, last-write-wins)."""
+        path = self._object_path(fp)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "fingerprint": fp,
+            "stored_at": time.time(),
+            "version": __version__,
+            "key": dict(key_material) if key_material else {},
+            "payload": dict(payload),
+        }
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def contains(self, fp: str) -> bool:
+        """True when a payload is stored for ``fp`` (does not touch counters)."""
+        return self._object_path(fp).is_file()
+
+    def entries(self) -> List[str]:
+        """All stored fingerprints."""
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return []
+        return sorted(p.stem for p in objects.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every cached object; returns how many were removed."""
+        removed = 0
+        for fp in self.entries():
+            self._object_path(fp).unlink()
+            removed += 1
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters for this cache instance."""
+        return {"hits": self.hits, "misses": self.misses}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ResultCache {str(self.root)!r} hits={self.hits} misses={self.misses}>"

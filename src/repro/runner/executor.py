@@ -1,0 +1,271 @@
+"""Process-parallel task execution with deterministic seeding.
+
+The executor fans *tasks* — experiment ids for a campaign, grid points for a
+parameter grid, individual Δ-sweep points for the heavy paper-scale runs —
+across a :class:`concurrent.futures.ProcessPoolExecutor` and reassembles the
+results in submission order, so parallel runs are byte-identical to serial
+ones.
+
+Determinism rules:
+
+* every task carries its own seed, derived from ``(master_seed, task_id)``
+  through the same :class:`numpy.random.SeedSequence` construction as
+  :class:`repro.sim.rng.RandomStreams` — which worker executes a task never
+  affects its result;
+* results are returned in task order regardless of completion order;
+* workers are plain module-level functions returning JSON-serializable
+  payloads (``to_dict()`` form), so the same representation feeds the result
+  cache, the run store, and cross-process transport.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+__all__ = [
+    "TaskSpec",
+    "ParallelExecutor",
+    "derive_task_seed",
+    "execute_task",
+    "run_experiment_task",
+    "run_delta_point_task",
+    "run_grid_point_task",
+    "run_delta_sweep_parallel",
+]
+
+
+def derive_task_seed(master_seed: int, task_id: str) -> int:
+    """Deterministic per-task seed from ``(master_seed, task_id)``.
+
+    Uses the same crc32 + :class:`numpy.random.SeedSequence` construction as
+    :meth:`repro.sim.rng.RandomStreams.stream`, so task streams are
+    statistically independent of each other and of the simulator's own named
+    streams.
+    """
+    name_key = zlib.crc32(task_id.encode("utf-8")) & 0xFFFFFFFF
+    seq = np.random.SeedSequence(entropy=int(master_seed), spawn_key=(name_key,))
+    return int(seq.generate_state(1, dtype=np.uint64)[0] % (2 ** 63))
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One unit of work for the executor.
+
+    ``kind`` selects the worker function; ``payload`` is its (picklable)
+    argument mapping; ``seed`` is the task's deterministic RNG seed.
+    """
+
+    task_id: str
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
+
+
+# --------------------------------------------------------------------------- #
+# Worker functions (module-level so ProcessPoolExecutor can pickle them)
+# --------------------------------------------------------------------------- #
+
+
+def run_experiment_task(payload: Dict[str, Any], seed: Optional[int]) -> Dict[str, Any]:
+    """Run one registered experiment and grade it against the paper.
+
+    Payload keys: ``experiment_id``, ``scale``, ``quick``.  Returns the
+    :meth:`~repro.analysis.campaign.ExperimentRecord.to_payload` form, so
+    the transported/cached shape and the record class cannot drift apart.
+    """
+    from repro.analysis.campaign import ExperimentRecord
+    from repro.analysis.comparison import check_experiment
+    from repro.experiments.registry import get_experiment
+
+    entry = get_experiment(payload["experiment_id"])
+    start = time.perf_counter()
+    result = entry.run(scale=payload["scale"], quick=payload["quick"])
+    checks = check_experiment(result)
+    record = ExperimentRecord(
+        experiment_id=entry.experiment_id,
+        result=result,
+        checks=checks,
+        wall_time=time.perf_counter() - start,
+    )
+    return record.to_payload()
+
+
+def run_delta_point_task(payload: Dict[str, Any], seed: Optional[int]) -> Dict[str, Any]:
+    """Simulate one Δ-graph point of a two-application scenario.
+
+    Payload keys: ``scenario`` (a :class:`~repro.config.scenario.ScenarioConfig`)
+    and ``delta``.  Returns the serialized :class:`~repro.core.delta.DeltaPoint`.
+    """
+    from repro.core.delta import DeltaPoint
+    from repro.model.simulator import simulate_scenario
+
+    scenario = payload["scenario"]
+    delta = float(payload["delta"])
+    result = simulate_scenario(scenario.with_delay(delta), seed=seed)
+    return DeltaPoint.from_run_result(delta, result).to_dict()
+
+
+def run_grid_point_task(payload: Dict[str, Any], seed: Optional[int]) -> Dict[str, Any]:
+    """Run one parameter-grid point: a full Δ-sweep of one configuration.
+
+    Payload keys: ``scale``, ``params`` (scenario keyword overrides, already
+    normalized by :mod:`repro.runner.grid`), ``n_points``.  Returns the
+    serialized sweep plus its headline summary.
+    """
+    from repro.core.delta import jsonify
+    from repro.core.experiment import TwoApplicationExperiment
+
+    params = dict(payload["params"])
+    if seed is not None:
+        params.setdefault("seed", int(seed))
+    experiment = TwoApplicationExperiment(payload["scale"], **params)
+    sweep = experiment.run_sweep(n_points=int(payload["n_points"]))
+    return {
+        "sweep": sweep.to_dict(),
+        "summary": jsonify(sweep.summary()),
+        "alone_time": float(experiment.alone_time()),
+    }
+
+
+_TASK_KINDS: Dict[str, Callable[[Dict[str, Any], Optional[int]], Dict[str, Any]]] = {
+    "experiment": run_experiment_task,
+    "delta-point": run_delta_point_task,
+    "grid-point": run_grid_point_task,
+}
+
+
+def execute_task(task: TaskSpec) -> Dict[str, Any]:
+    """Dispatch one task to its worker function (runs inside the pool)."""
+    try:
+        worker = _TASK_KINDS[task.kind]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown task kind {task.kind!r}; known: {sorted(_TASK_KINDS)}"
+        ) from None
+    return worker(task.payload, task.seed)
+
+
+# --------------------------------------------------------------------------- #
+# The executor
+# --------------------------------------------------------------------------- #
+
+
+class ParallelExecutor:
+    """Fan tasks across worker processes; reassemble results in task order.
+
+    ``jobs=1`` (the default) runs everything in-process with no pool, so the
+    serial path has zero multiprocessing overhead and identical semantics.
+    """
+
+    def __init__(self, jobs: int = 1) -> None:
+        if jobs < 1:
+            raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs)
+
+    def map(
+        self,
+        tasks: Sequence[TaskSpec],
+        progress: Optional[Callable[[TaskSpec, Dict[str, Any]], None]] = None,
+    ) -> List[Dict[str, Any]]:
+        """Execute every task; results come back in ``tasks`` order.
+
+        ``progress`` is invoked as ``progress(task, result)`` as tasks
+        *complete* (completion order under parallelism).  A failing task
+        aborts the whole map: remaining futures are cancelled and the
+        worker's exception is re-raised with the task id attached.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        ids = [t.task_id for t in tasks]
+        if len(set(ids)) != len(ids):
+            raise ExperimentError("task ids must be unique within one map() call")
+
+        if self.jobs == 1 or len(tasks) == 1:
+            results = []
+            for task in tasks:
+                result = execute_task(task)
+                results.append(result)
+                if progress is not None:
+                    progress(task, result)
+            return results
+
+        results_by_index: Dict[int, Dict[str, Any]] = {}
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(tasks))) as pool:
+            future_to_index = {
+                pool.submit(execute_task, task): i for i, task in enumerate(tasks)
+            }
+            pending = set(future_to_index)
+            try:
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index = future_to_index[future]
+                        task = tasks[index]
+                        try:
+                            result = future.result()
+                        except Exception as exc:
+                            raise ExperimentError(
+                                f"task {task.task_id!r} failed in worker: {exc}"
+                            ) from exc
+                        results_by_index[index] = result
+                        if progress is not None:
+                            progress(task, result)
+            finally:
+                for future in pending:
+                    future.cancel()
+        return [results_by_index[i] for i in range(len(tasks))]
+
+
+def run_delta_sweep_parallel(
+    scenario,
+    deltas: Sequence[float],
+    *,
+    jobs: int = 1,
+    alone_result=None,
+    seed: Optional[int] = None,
+    label: str = "",
+):
+    """Parallel analogue of :func:`repro.core.delta.run_delta_sweep`.
+
+    The interference-free baseline runs in the parent (it is one simulation);
+    each Δ point becomes its own task.  With the same ``seed`` the result is
+    identical to the serial sweep — the common-random-numbers convention of
+    the Δ-graph is preserved because every point receives the same seed, as
+    in the serial path.
+    """
+    from repro.core.delta import DeltaPoint, DeltaSweep, alone_times_for
+    from repro.model.simulator import simulate_scenario
+
+    if len(scenario.applications) < 2:
+        raise ExperimentError("a delta sweep needs a two-application scenario")
+
+    if alone_result is None:
+        alone_scenario = scenario.with_applications(scenario.applications[:1])
+        alone_result = simulate_scenario(alone_scenario, seed=seed)
+    alone_times = alone_times_for(scenario, alone_result)
+
+    tasks = [
+        TaskSpec(
+            task_id=f"delta[{i}]={float(delta):+.6g}",
+            kind="delta-point",
+            payload={"scenario": scenario, "delta": float(delta)},
+            seed=seed,
+        )
+        for i, delta in enumerate(deltas)
+    ]
+    payloads = ParallelExecutor(jobs=jobs).map(tasks)
+    points = sorted(
+        (DeltaPoint.from_dict(p) for p in payloads), key=lambda p: p.delta
+    )
+    return DeltaSweep(
+        points=list(points), alone_times=alone_times, label=label or scenario.label
+    )

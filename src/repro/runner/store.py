@@ -1,0 +1,200 @@
+"""Persistent run directories with verifiable manifests.
+
+Every grid point (and any other persisted run) gets its own directory under
+a :class:`RunStore` root:
+
+.. code-block:: text
+
+    runs/
+      hdd_sync-on_contiguous_10g/
+        manifest.json        # run_id, seed, config, timestamp, artifacts
+        sweep.json           # the Δ-graph sweep (DeltaSweep.to_dict)
+        summary.json         # headline metrics
+        sweep.csv            # per-point CSV export
+
+The manifest records a SHA-256 checksum per artifact; :func:`verify_manifest`
+re-hashes everything so a tampered or truncated run directory is detected
+(``repro-io verify <run-dir>``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from repro._version import __version__
+from repro.errors import AnalysisError
+
+__all__ = [
+    "RunStore",
+    "write_run",
+    "load_manifest",
+    "verify_manifest",
+    "MANIFEST_NAME",
+    "REQUIRED_MANIFEST_FIELDS",
+]
+
+MANIFEST_NAME = "manifest.json"
+REQUIRED_MANIFEST_FIELDS = ("run_id", "seed", "config", "timestamp", "artifacts")
+
+
+def _sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(65536), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def write_run(
+    run_dir: Union[str, Path],
+    *,
+    run_id: str,
+    seed: int,
+    config: Mapping[str, object],
+    artifacts: Mapping[str, str],
+    timestamp: Optional[float] = None,
+) -> Dict[str, object]:
+    """Write a run directory: artifacts first, then the manifest.
+
+    Parameters
+    ----------
+    run_dir:
+        Directory to create/fill.
+    run_id, seed, config:
+        Identity of the run, recorded verbatim in the manifest.
+    artifacts:
+        Mapping of file name to text content; each entry is written inside
+        ``run_dir`` and checksummed into the manifest.
+    timestamp:
+        Override for the manifest timestamp (defaults to now).
+
+    Returns the manifest dictionary.
+    """
+    run_path = Path(run_dir)
+    run_path.mkdir(parents=True, exist_ok=True)
+    entries: Dict[str, Dict[str, object]] = {}
+    for name, content in artifacts.items():
+        if Path(name).is_absolute() or ".." in Path(name).parts:
+            raise AnalysisError(f"artifact name {name!r} must be a plain relative path")
+        artifact_path = run_path / name
+        artifact_path.parent.mkdir(parents=True, exist_ok=True)
+        artifact_path.write_text(content, encoding="utf-8")
+        entries[name] = {
+            "path": name,
+            "sha256": _sha256(artifact_path),
+            "bytes": artifact_path.stat().st_size,
+        }
+    manifest = {
+        "run_id": run_id,
+        "seed": int(seed),
+        "config": dict(config),
+        "timestamp": float(time.time() if timestamp is None else timestamp),
+        "version": __version__,
+        "artifacts": entries,
+    }
+    with open(run_path / MANIFEST_NAME, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return manifest
+
+
+def load_manifest(run_dir: Union[str, Path]) -> Dict[str, object]:
+    """Load and return ``manifest.json`` from a run directory."""
+    path = Path(run_dir) / MANIFEST_NAME
+    if not path.is_file():
+        raise AnalysisError(f"no {MANIFEST_NAME} in {Path(run_dir)}")
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def verify_manifest(run_dir: Union[str, Path]) -> Tuple[bool, List[str]]:
+    """Check a run directory's integrity.
+
+    Verifies that the manifest exists and parses, that every required field
+    is present, and that every recorded artifact exists with a matching
+    SHA-256 checksum and size.  Returns ``(ok, issues)`` where ``issues``
+    lists every problem found (empty when ``ok``).
+    """
+    run_path = Path(run_dir)
+    issues: List[str] = []
+    manifest_path = run_path / MANIFEST_NAME
+    if not manifest_path.is_file():
+        return False, [f"missing manifest: {manifest_path}"]
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except ValueError as exc:
+        return False, [f"unreadable manifest {manifest_path}: {exc}"]
+
+    for field_name in REQUIRED_MANIFEST_FIELDS:
+        if field_name not in manifest:
+            issues.append(f"manifest missing required field {field_name!r}")
+    artifacts = manifest.get("artifacts", {})
+    if not isinstance(artifacts, dict):
+        issues.append("manifest field 'artifacts' must be a mapping")
+        artifacts = {}
+    for name, entry in artifacts.items():
+        if not isinstance(entry, dict):
+            issues.append(f"artifact entry {name!r} must be a mapping")
+            continue
+        artifact_path = run_path / entry.get("path", name)
+        if not artifact_path.is_file():
+            issues.append(f"missing artifact: {name}")
+            continue
+        recorded = entry.get("sha256")
+        actual = _sha256(artifact_path)
+        if recorded != actual:
+            issues.append(
+                f"checksum mismatch for {name}: manifest {recorded}, file {actual}"
+            )
+        if "bytes" in entry and artifact_path.stat().st_size != entry["bytes"]:
+            issues.append(f"size mismatch for {name}")
+    return not issues, issues
+
+
+class RunStore:
+    """A directory of persisted runs, one subdirectory per run."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def run_dir(self, run_id: str) -> Path:
+        """Path of one run's directory (not created)."""
+        safe = run_id.replace("/", "_")
+        return self.root / safe
+
+    def write_run(
+        self,
+        run_id: str,
+        *,
+        seed: int,
+        config: Mapping[str, object],
+        artifacts: Mapping[str, str],
+        timestamp: Optional[float] = None,
+    ) -> Path:
+        """Persist one run and return its directory."""
+        run_path = self.run_dir(run_id)
+        write_run(
+            run_path, run_id=run_id, seed=seed, config=config,
+            artifacts=artifacts, timestamp=timestamp,
+        )
+        return run_path
+
+    def runs(self) -> List[Path]:
+        """All run directories currently in the store (sorted by name)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p for p in self.root.iterdir() if (p / MANIFEST_NAME).is_file()
+        )
+
+    def verify_all(self) -> Dict[str, Tuple[bool, List[str]]]:
+        """Verify every run in the store; maps run dir name to verdict."""
+        return {p.name: verify_manifest(p) for p in self.runs()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RunStore {str(self.root)!r} runs={len(self.runs())}>"

@@ -141,7 +141,10 @@ class TimeSeries:
         if self._size == 1 or self.duration() == 0.0:
             return float(self.values[-1])
         dt = np.diff(self.times)
-        return float(np.sum(self.values[:-1] * dt) / np.sum(dt))
+        mean = float(np.sum(self.values[:-1] * dt) / np.sum(dt))
+        # Accumulation rounding can push the quotient a few ULPs outside the
+        # sampled range; the exact time-weighted mean never leaves it.
+        return float(np.clip(mean, self.min(), self.max()))
 
     def max(self) -> float:
         """Maximum sampled value."""

@@ -1,0 +1,109 @@
+"""Tests for the parallel + cached campaign paths.
+
+Uses the three cheapest experiments (table1, figure10, figure11) so the
+campaign runs in well under a second per pass.
+"""
+
+import pytest
+
+from repro.analysis.campaign import (
+    ExperimentRecord,
+    campaign_to_markdown,
+    run_campaign,
+)
+
+CHEAP_IDS = ["table1", "figure10", "figure11"]
+
+
+@pytest.fixture(scope="module")
+def serial_campaign():
+    return run_campaign(scale="tiny", quick=True, experiments=CHEAP_IDS)
+
+
+class TestParallelCampaign:
+    def test_two_workers_byte_identical_markdown(self, serial_campaign):
+        parallel = run_campaign(
+            scale="tiny", quick=True, experiments=CHEAP_IDS, jobs=2
+        )
+        assert campaign_to_markdown(parallel) == campaign_to_markdown(serial_campaign)
+
+    def test_records_keep_presentation_order(self):
+        campaign = run_campaign(
+            scale="tiny", quick=True, experiments=["figure11", "table1"], jobs=2
+        )
+        assert [r.experiment_id for r in campaign.records] == ["figure11", "table1"]
+
+    def test_progress_fires_once_per_experiment(self):
+        seen = []
+        run_campaign(
+            scale="tiny", quick=True, experiments=CHEAP_IDS, jobs=2,
+            progress=lambda eid, record: seen.append(eid),
+        )
+        assert sorted(seen) == sorted(CHEAP_IDS)
+
+
+class TestCachedCampaign:
+    def test_second_run_served_entirely_from_cache(self, tmp_path, serial_campaign):
+        cache_dir = str(tmp_path / "cache")
+        first = run_campaign(
+            scale="tiny", quick=True, experiments=CHEAP_IDS, cache_dir=cache_dir
+        )
+        assert first.n_cached == 0
+        second = run_campaign(
+            scale="tiny", quick=True, experiments=CHEAP_IDS, cache_dir=cache_dir
+        )
+        assert second.n_cached == len(CHEAP_IDS)
+        assert all(record.from_cache for record in second.records)
+        # and the cached rendering is byte-identical to the fresh one
+        assert campaign_to_markdown(second) == campaign_to_markdown(serial_campaign)
+
+    def test_cache_key_respects_quick_flag(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run_campaign(scale="tiny", quick=True, experiments=["table1"],
+                     cache_dir=cache_dir)
+        other = run_campaign(scale="tiny", quick=False, experiments=["table1"],
+                             cache_dir=cache_dir)
+        assert other.n_cached == 0
+
+    def test_partial_cache_resumes(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run_campaign(scale="tiny", quick=True, experiments=["table1"],
+                     cache_dir=cache_dir)
+        resumed = run_campaign(scale="tiny", quick=True,
+                               experiments=["table1", "figure10"],
+                               cache_dir=cache_dir)
+        assert resumed.record("table1").from_cache
+        assert not resumed.record("figure10").from_cache
+
+    def test_describe_reports_cache_hits(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run_campaign(scale="tiny", quick=True, experiments=["table1"],
+                     cache_dir=cache_dir)
+        again = run_campaign(scale="tiny", quick=True, experiments=["table1"],
+                             cache_dir=cache_dir)
+        assert "(1 from cache)" in again.describe()
+
+
+class TestRecordPayloadRoundTrip:
+    def test_round_trip(self, serial_campaign):
+        record = serial_campaign.record("table1")
+        restored = ExperimentRecord.from_payload(record.to_payload())
+        assert restored.experiment_id == record.experiment_id
+        assert restored.n_claims == record.n_claims
+        assert restored.n_agreeing == record.n_agreeing
+        assert restored.result.to_dict() == record.result.to_dict()
+        assert not restored.from_cache
+        cached = ExperimentRecord.from_payload(record.to_payload(), from_cache=True)
+        assert cached.from_cache
+
+
+class TestMarkdownTiming:
+    def test_default_markdown_has_no_timing(self, serial_campaign):
+        text = campaign_to_markdown(serial_campaign)
+        assert "runtime" not in text
+        assert "wall time" not in text
+
+    def test_opt_in_timing(self, serial_campaign):
+        text = campaign_to_markdown(serial_campaign, include_timing=True)
+        assert "runtime" in text
+        assert "campaign wall time" in text

@@ -1,0 +1,96 @@
+"""Tests for the content-addressed result cache."""
+
+import json
+
+import pytest
+
+from repro._version import __version__
+from repro.runner.cache import ResultCache, fingerprint
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        assert fingerprint("table1", "tiny", True) == fingerprint("table1", "tiny", True)
+
+    def test_is_sha256_hex(self):
+        fp = fingerprint("table1", "tiny", False)
+        assert len(fp) == 64
+        int(fp, 16)  # parses as hex
+
+    def test_every_ingredient_changes_the_fingerprint(self):
+        base = fingerprint("table1", "tiny", False, overrides={}, version="1.0.0")
+        assert fingerprint("figure2", "tiny", False, version="1.0.0") != base
+        assert fingerprint("table1", "reduced", False, version="1.0.0") != base
+        assert fingerprint("table1", "tiny", True, version="1.0.0") != base
+        assert fingerprint("table1", "tiny", False, overrides={"seed": 1},
+                           version="1.0.0") != base
+
+    def test_version_bump_invalidates(self):
+        old = fingerprint("table1", "tiny", False, version="1.0.0")
+        new = fingerprint("table1", "tiny", False, version="1.0.1")
+        assert old != new
+
+    def test_default_version_is_package_version(self):
+        assert fingerprint("table1", "tiny", False) == fingerprint(
+            "table1", "tiny", False, version=__version__
+        )
+
+    def test_override_order_does_not_matter(self):
+        a = fingerprint("t", "tiny", False, overrides={"a": 1, "b": 2})
+        b = fingerprint("t", "tiny", False, overrides={"b": 2, "a": 1})
+        assert a == b
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        fp = fingerprint("table1", "tiny", True)
+        assert cache.get(fp) is None
+        cache.put(fp, {"answer": 42})
+        assert cache.get(fp) == {"answer": 42}
+        assert cache.stats() == {"hits": 1, "misses": 1}
+
+    def test_version_bump_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(fingerprint("table1", "tiny", False, version="1.0.0"), {"v": 1})
+        assert cache.get(fingerprint("table1", "tiny", False, version="1.0.1")) is None
+
+    def test_survives_across_instances(self, tmp_path):
+        fp = fingerprint("table1", "tiny", False)
+        ResultCache(str(tmp_path)).put(fp, {"persisted": True})
+        assert ResultCache(str(tmp_path)).get(fp) == {"persisted": True}
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        fp = fingerprint("table1", "tiny", False)
+        path = cache.put(fp, {"ok": 1})
+        path.write_text("{ truncated", encoding="utf-8")
+        assert cache.get(fp) is None
+
+    def test_foreign_format_entry_is_a_miss(self, tmp_path):
+        # Valid JSON but not our envelope (no "payload" key / wrong type).
+        cache = ResultCache(str(tmp_path))
+        fp = fingerprint("table1", "tiny", False)
+        path = cache.put(fp, {"ok": 1})
+        path.write_text('{"foo": 1}', encoding="utf-8")
+        assert cache.get(fp) is None
+        path.write_text('[1, 2, 3]', encoding="utf-8")
+        assert cache.get(fp) is None
+
+    def test_entries_and_clear(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        fps = [fingerprint(e, "tiny", False) for e in ("table1", "figure2")]
+        for fp in fps:
+            cache.put(fp, {})
+        assert cache.entries() == sorted(fps)
+        assert cache.contains(fps[0])
+        assert cache.clear() == 2
+        assert cache.entries() == []
+
+    def test_key_material_recorded(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        fp = fingerprint("table1", "tiny", False)
+        path = cache.put(fp, {"x": 1}, key_material={"experiment_id": "table1"})
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        assert entry["key"]["experiment_id"] == "table1"
+        assert entry["fingerprint"] == fp

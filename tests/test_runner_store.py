@@ -1,0 +1,125 @@
+"""Tests for the persistent run store and manifest verification."""
+
+import json
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.runner.store import (
+    MANIFEST_NAME,
+    REQUIRED_MANIFEST_FIELDS,
+    RunStore,
+    load_manifest,
+    verify_manifest,
+    write_run,
+)
+
+
+@pytest.fixture()
+def run_dir(tmp_path):
+    """A small, valid persisted run."""
+    path = tmp_path / "hdd_sync-on"
+    write_run(
+        path,
+        run_id="hdd_sync-on",
+        seed=1234,
+        config={"scale": "tiny", "params": {"device": "hdd"}},
+        artifacts={"sweep.json": '{"points": []}', "summary.json": "{}"},
+    )
+    return path
+
+
+class TestWriteRun:
+    def test_manifest_has_required_fields(self, run_dir):
+        manifest = load_manifest(run_dir)
+        for field in REQUIRED_MANIFEST_FIELDS:
+            assert field in manifest
+        assert manifest["run_id"] == "hdd_sync-on"
+        assert manifest["seed"] == 1234
+        assert manifest["config"]["scale"] == "tiny"
+
+    def test_artifacts_written_and_checksummed(self, run_dir):
+        manifest = load_manifest(run_dir)
+        assert set(manifest["artifacts"]) == {"sweep.json", "summary.json"}
+        for name, entry in manifest["artifacts"].items():
+            assert (run_dir / name).is_file()
+            assert len(entry["sha256"]) == 64
+
+    def test_rejects_escaping_artifact_names(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            write_run(tmp_path / "r", run_id="r", seed=0, config={},
+                      artifacts={"../escape.txt": "x"})
+
+    def test_load_manifest_missing_raises(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            load_manifest(tmp_path)
+
+
+class TestVerifyManifest:
+    def test_valid_run_verifies(self, run_dir):
+        ok, issues = verify_manifest(run_dir)
+        assert ok and issues == []
+
+    def test_tampered_artifact_detected(self, run_dir):
+        (run_dir / "sweep.json").write_text('{"points": [1]}', encoding="utf-8")
+        ok, issues = verify_manifest(run_dir)
+        assert not ok
+        assert any("checksum mismatch" in issue for issue in issues)
+
+    def test_deleted_artifact_detected(self, run_dir):
+        (run_dir / "summary.json").unlink()
+        ok, issues = verify_manifest(run_dir)
+        assert not ok
+        assert any("missing artifact" in issue for issue in issues)
+
+    def test_missing_manifest_detected(self, tmp_path):
+        ok, issues = verify_manifest(tmp_path)
+        assert not ok
+        assert "missing manifest" in issues[0]
+
+    def test_unparseable_manifest_detected(self, run_dir):
+        (run_dir / MANIFEST_NAME).write_text("not json", encoding="utf-8")
+        ok, issues = verify_manifest(run_dir)
+        assert not ok
+        assert "unreadable manifest" in issues[0]
+
+    def test_non_dict_artifact_entry_detected(self, run_dir):
+        manifest = load_manifest(run_dir)
+        manifest["artifacts"]["sweep.json"] = "not-a-mapping"
+        (run_dir / MANIFEST_NAME).write_text(json.dumps(manifest), encoding="utf-8")
+        ok, issues = verify_manifest(run_dir)
+        assert not ok
+        assert any("must be a mapping" in issue for issue in issues)
+
+    def test_missing_required_field_detected(self, run_dir):
+        manifest = load_manifest(run_dir)
+        del manifest["seed"]
+        (run_dir / MANIFEST_NAME).write_text(json.dumps(manifest), encoding="utf-8")
+        ok, issues = verify_manifest(run_dir)
+        assert not ok
+        assert any("seed" in issue for issue in issues)
+
+
+class TestRunStore:
+    def test_write_and_list_runs(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        store.write_run("a", seed=1, config={}, artifacts={"x.txt": "x"})
+        store.write_run("b", seed=2, config={}, artifacts={"y.txt": "y"})
+        assert [p.name for p in store.runs()] == ["a", "b"]
+
+    def test_verify_all(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.write_run("good", seed=1, config={}, artifacts={"x.txt": "x"})
+        store.write_run("bad", seed=2, config={}, artifacts={"y.txt": "y"})
+        (store.run_dir("bad") / "y.txt").write_text("tampered", encoding="utf-8")
+        verdicts = store.verify_all()
+        assert verdicts["good"][0] is True
+        assert verdicts["bad"][0] is False
+
+    def test_empty_store(self, tmp_path):
+        assert RunStore(tmp_path / "nothing").runs() == []
+
+    def test_run_id_sanitized(self, tmp_path):
+        store = RunStore(tmp_path)
+        path = store.write_run("a/b", seed=0, config={}, artifacts={"f": "x"})
+        assert path.parent == store.root

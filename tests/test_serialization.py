@@ -1,0 +1,99 @@
+"""Round-trip tests for the result-object serialization layer.
+
+The runner cache, the run store, and cross-process transport all move results
+as their ``to_dict()`` JSON form; these tests pin that the round trip is
+lossless — including through an actual ``json.dumps``/``loads`` cycle, which
+is stricter than pickling (tuples, numpy scalars, and dict key types all
+surface here).
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.comparison import ClaimCheck, check_experiment
+from repro.core.delta import DeltaPoint, DeltaSweep, jsonify
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import run_experiment
+
+
+@pytest.fixture(scope="module")
+def table1_result():
+    return run_experiment("table1", scale="tiny", quick=True)
+
+
+@pytest.fixture(scope="module")
+def figure2_result():
+    """A sweep-bearing experiment (tables + sweeps + metrics + notes)."""
+    return run_experiment("figure2", scale="tiny", quick=True)
+
+
+def _json_cycle(data):
+    return json.loads(json.dumps(data))
+
+
+class TestJsonify:
+    def test_numpy_scalars_become_python(self):
+        import numpy as np
+
+        out = jsonify({"f": np.float64(1.5), "i": np.int64(2), "b": np.bool_(True),
+                       "a": np.array([1.0, 2.0]), "t": (1, 2)})
+        assert out == {"f": 1.5, "i": 2, "b": True, "a": [1.0, 2.0], "t": [1, 2]}
+        json.dumps(out)  # fully JSON-serializable
+
+    def test_plain_values_pass_through(self):
+        assert jsonify({"s": "x", "n": None, "f": 0.25}) == {"s": "x", "n": None, "f": 0.25}
+
+
+class TestDeltaSweepRoundTrip:
+    def test_point_round_trip(self):
+        point = DeltaPoint(
+            delta=-1.5,
+            write_times={"A": 2.0, "B": 3.5},
+            throughputs={"A": 10.0, "B": 7.0},
+            window_collapses={"A": 0, "B": 4},
+            simulated_time=9.0,
+        )
+        assert DeltaPoint.from_dict(_json_cycle(point.to_dict())) == point
+
+    def test_sweep_round_trip_preserves_metrics(self, figure2_result):
+        for name in figure2_result.sweeps:
+            sweep = figure2_result.sweep(name)
+            restored = DeltaSweep.from_dict(_json_cycle(sweep.to_dict()))
+            assert restored.to_dict() == sweep.to_dict()
+            assert restored.peak_interference_factor() == sweep.peak_interference_factor()
+            assert restored.asymmetry_index() == sweep.asymmetry_index()
+            assert restored.total_collapses() == sweep.total_collapses()
+
+
+class TestExperimentResultRoundTrip:
+    def test_table_only_result(self, table1_result):
+        restored = ExperimentResult.from_dict(_json_cycle(table1_result.to_dict()))
+        assert restored.to_dict() == table1_result.to_dict()
+        assert restored.experiment_id == "table1"
+        assert restored.tables == table1_result.tables
+
+    def test_sweep_bearing_result(self, figure2_result):
+        restored = ExperimentResult.from_dict(_json_cycle(figure2_result.to_dict()))
+        assert restored.to_dict() == figure2_result.to_dict()
+        assert set(restored.sweeps) == set(figure2_result.sweeps)
+        assert restored.metrics == figure2_result.metrics
+        assert restored.notes == figure2_result.notes
+
+    def test_report_renders_identically(self, table1_result):
+        restored = ExperimentResult.from_dict(_json_cycle(table1_result.to_dict()))
+        assert restored.report() == table1_result.report()
+
+
+class TestClaimCheckRoundTrip:
+    def test_checks_round_trip(self, table1_result):
+        for check in check_experiment(table1_result):
+            restored = ClaimCheck.from_dict(_json_cycle(check.to_dict()))
+            assert restored == check
+            assert restored.describe() == check.describe()
+
+    def test_claim_inlined_not_referenced(self, table1_result):
+        check = check_experiment(table1_result)[0]
+        data = check.to_dict()
+        assert data["claim"]["statement"]
+        assert data["claim"]["section"]

@@ -1,0 +1,101 @@
+"""Benchmark: fixed vs adaptive stepping on a quiescent-heavy Δ-sweep.
+
+The Δ-graphs of the paper spend most of their sweep range at delays much
+larger than one application's write time — runs whose middle is a long dead
+interval in which every connection is idle and the fluid model has nothing to
+do.  The adaptive stepping policy collapses those intervals into single
+jumps; this benchmark measures how many model steps (and how much wall time)
+that saves, and asserts the headline results stay within the policy's
+tolerance.
+
+The full report is persisted as ``benchmarks/results/adaptive_stepping.json``
+(uploaded as a CI artifact) so future PRs can track the step-count ratio.
+"""
+
+import json
+import time
+
+from repro.config.control import SteppingPolicy
+from repro.config.presets import make_scenario
+from repro.model.simulator import simulate_scenario
+
+TOLERANCE = 0.05
+
+#: Delays as multiples of the alone write time; the large ones dominate the
+#: paper's sweeps (whose Δ axes extend to many multiples of one write time)
+#: and are almost entirely quiescent lead-in.
+DELTA_FACTORS = [-12.0, -6.0, 0.0, 6.0, 12.0]
+
+
+def _sweep(scale: str, policy=None) -> dict:
+    """Run the Δ-points and return per-delta steps/write times/wall time."""
+    alone = simulate_scenario(
+        make_scenario(scale, stepping=policy).with_applications(
+            make_scenario(scale).applications[:1]
+        )
+    )
+    alone_time = alone.applications["A"].end_time - alone.applications["A"].start_time
+    points = {}
+    wall = 0.0
+    for factor in DELTA_FACTORS:
+        delta = factor * alone_time
+        scenario = make_scenario(scale, delay=delta, stepping=policy)
+        t0 = time.perf_counter()
+        result = simulate_scenario(scenario)
+        wall += time.perf_counter() - t0
+        points[f"{factor:+.0f}T"] = {
+            "delta_s": round(delta, 6),
+            "n_steps": result.n_steps,
+            "write_times": {
+                name: app.end_time - app.start_time
+                for name, app in result.applications.items()
+            },
+        }
+    return {
+        "alone_time_s": alone_time,
+        "points": points,
+        "total_steps": sum(p["n_steps"] for p in points.values()),
+        "wall_s": round(wall, 3),
+    }
+
+
+def test_adaptive_vs_fixed_quiescent_sweep(benchmark, results_dir, bench_scale):
+    """Adaptive stepping must halve the step count on the quiescent sweep."""
+    fixed = _sweep(bench_scale)
+    adaptive = benchmark.pedantic(
+        lambda: _sweep(bench_scale, SteppingPolicy.adaptive(tolerance=TOLERANCE)),
+        rounds=1,
+        iterations=1,
+    )
+
+    step_ratio = fixed["total_steps"] / max(adaptive["total_steps"], 1)
+    wall_speedup = fixed["wall_s"] / adaptive["wall_s"] if adaptive["wall_s"] else 1.0
+    report = {
+        "scale": bench_scale,
+        "tolerance": TOLERANCE,
+        "fixed": fixed,
+        "adaptive": adaptive,
+        "step_ratio": round(step_ratio, 2),
+        "wall_speedup": round(wall_speedup, 2),
+    }
+    (results_dir / "adaptive_stepping.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+    print()
+    print(
+        f"adaptive stepping ({bench_scale}): {fixed['total_steps']} -> "
+        f"{adaptive['total_steps']} steps ({step_ratio:.1f}x fewer), "
+        f"wall {fixed['wall_s']:.2f}s -> {adaptive['wall_s']:.2f}s "
+        f"({wall_speedup:.2f}x)"
+    )
+
+    benchmark.extra_info["step_ratio"] = round(step_ratio, 2)
+    benchmark.extra_info["wall_speedup"] = round(wall_speedup, 2)
+
+    # The acceptance bar: >= 2x fewer model steps on the quiescent-heavy
+    # sweep, with every write time inside the configured tolerance.
+    assert step_ratio >= 2.0
+    for key, fixed_point in fixed["points"].items():
+        for app, expected in fixed_point["write_times"].items():
+            got = adaptive["points"][key]["write_times"][app]
+            assert abs(got - expected) <= TOLERANCE * expected

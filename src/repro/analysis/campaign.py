@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from repro._version import __version__
 from repro.analysis.comparison import ClaimCheck
+from repro.config.control import SteppingPolicy
 from repro.analysis.paper import EXPERIMENT_TITLES, paper_reference_tables
 from repro.analysis.tables import rows_to_markdown
 from repro.errors import ExperimentError
@@ -179,6 +180,7 @@ def run_campaign(
     *,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    stepping: Optional[SteppingPolicy] = None,
 ) -> CampaignResult:
     """Run every (or a subset of the) table/figure reproduction and grade it.
 
@@ -205,6 +207,12 @@ def run_campaign(
         content-addressed cache there, keyed by
         ``(experiment_id, scale, quick, overrides, version)`` — so repeating
         or resuming a killed campaign only re-runs what is missing.
+    stepping:
+        Optional :class:`~repro.config.control.SteppingPolicy` applied to
+        every simulation of the campaign (the experiments build their
+        scenarios internally, so the policy travels as the process-wide
+        default — set in each worker).  Non-default policies are part of the
+        cache fingerprint, so fixed and adaptive results never mix.
     """
     # Imported here (not at module level) so that `import repro.analysis`
     # does not drag every experiment module in — and so that the experiment
@@ -221,12 +229,19 @@ def run_campaign(
     t0 = time.perf_counter()
 
     cache = ResultCache(cache_dir) if cache_dir else None
+    # An explicit fixed policy is the default behaviour (tolerance/max_dt are
+    # ignored outside adaptive mode): normalize it to None so it shares the
+    # default cache fingerprint instead of re-simulating everything.
+    if stepping is not None and not stepping.is_adaptive:
+        stepping = None
+    stepping_dict = None if stepping is None else stepping.to_dict()
+    overrides = {} if stepping is None else {"stepping": stepping_dict}
     records: Dict[str, ExperimentRecord] = {}
     fingerprints: Dict[str, str] = {}
     pending: List[TaskSpec] = []
     for experiment_id in ids:
         if cache is not None:
-            fp = fingerprint(experiment_id, scale, quick)
+            fp = fingerprint(experiment_id, scale, quick, overrides=overrides)
             fingerprints[experiment_id] = fp
             payload = cache.get(fp)
             if payload is not None:
@@ -239,7 +254,8 @@ def run_campaign(
             TaskSpec(
                 task_id=experiment_id,
                 kind="experiment",
-                payload={"experiment_id": experiment_id, "scale": scale, "quick": quick},
+                payload={"experiment_id": experiment_id, "scale": scale, "quick": quick,
+                         "stepping": stepping_dict},
             )
         )
 
@@ -251,7 +267,8 @@ def run_campaign(
                 fingerprints[task.task_id],
                 payload,
                 key_material={"experiment_id": task.task_id, "scale": scale,
-                              "quick": quick, "version": __version__},
+                              "quick": quick, "overrides": overrides,
+                              "version": __version__},
             )
         if progress is not None:
             progress(task.task_id, record)

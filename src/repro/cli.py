@@ -76,6 +76,51 @@ def _positive_int(value: str) -> int:
     return number
 
 
+def _step_tolerance(value: str) -> float:
+    """argparse type for ``--step-tolerance``: a float in (0, 1]."""
+    try:
+        tolerance = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid float value: {value!r}") from None
+    if not 0.0 < tolerance <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"step tolerance must be in (0, 1], got {tolerance}"
+        )
+    return tolerance
+
+
+def _add_stepping_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the stepping-policy flags shared by ``sweep`` and ``campaign``."""
+    parser.add_argument(
+        "--stepping", default="fixed", choices=["fixed", "adaptive"],
+        help="time-advance policy of the simulation core: 'fixed' (the "
+             "default, byte-identical output) or 'adaptive' (quiescent "
+             "intervals collapse into a single jump)",
+    )
+    parser.add_argument(
+        "--step-tolerance", type=_step_tolerance, default=None, metavar="FRAC",
+        help="adaptive-stepping accuracy knob in (0, 1]: fraction of the "
+             "time to the next state change one step may cross "
+             "(default: 0.05; only valid with --stepping adaptive)",
+    )
+
+
+def _stepping_policy(parser: argparse.ArgumentParser, args: argparse.Namespace):
+    """Build the SteppingPolicy from parsed flags, rejecting nonsense combos."""
+    from repro.config.control import SteppingPolicy
+
+    if args.stepping != "adaptive":
+        if args.step_tolerance is not None:
+            parser.error(
+                "--step-tolerance only applies to adaptive stepping; "
+                "add --stepping adaptive"
+            )
+        return None
+    if args.step_tolerance is None:
+        return SteppingPolicy.adaptive()
+    return SteppingPolicy.adaptive(tolerance=args.step_tolerance)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -121,6 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--partition-servers", action="store_true")
     sweep_parser.add_argument("--plot", action="store_true", help="also print an ASCII plot")
     sweep_parser.add_argument("--csv", action="store_true", help="print the sweep as CSV")
+    _add_stepping_arguments(sweep_parser)
 
     campaign_parser = sub.add_parser(
         "campaign",
@@ -158,6 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="include wall-time lines in the report (makes the output "
              "non-deterministic across runs)",
     )
+    _add_stepping_arguments(campaign_parser)
 
     grid_parser = sub.add_parser(
         "grid",
@@ -220,7 +267,7 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_sweep(args: argparse.Namespace) -> int:
+def _command_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     kwargs = dict(
         device=args.device,
         sync_mode=args.sync,
@@ -229,6 +276,9 @@ def _command_sweep(args: argparse.Namespace) -> int:
         stripe_size=args.stripe_kib * units.KiB,
         partition_servers=args.partition_servers,
     )
+    stepping = _stepping_policy(parser, args)
+    if stepping is not None:
+        kwargs["stepping"] = stepping
     if args.request_kib is not None:
         kwargs["request_size"] = args.request_kib * units.KiB
     experiment = TwoApplicationExperiment(args.scale, **kwargs)
@@ -243,10 +293,11 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_campaign(args: argparse.Namespace) -> int:
+def _command_campaign(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     # Imported lazily: the campaign machinery pulls in every experiment module.
     from repro.analysis.campaign import campaign_to_markdown, run_campaign
 
+    stepping = _stepping_policy(parser, args)
     cache_dir = args.cache_dir
     if args.resume and cache_dir is None:
         cache_dir = DEFAULT_CACHE_DIR
@@ -261,7 +312,7 @@ def _command_campaign(args: argparse.Namespace) -> int:
 
     campaign = run_campaign(
         scale=args.scale, quick=args.quick, experiments=args.only, progress=progress,
-        jobs=args.jobs, cache_dir=cache_dir,
+        jobs=args.jobs, cache_dir=cache_dir, stepping=stepping,
     )
     text = campaign_to_markdown(campaign, include_timing=args.timing)
     if args.output:
@@ -358,9 +409,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         return _command_run(args)
     if args.command == "sweep":
-        return _command_sweep(args)
+        return _command_sweep(args, parser)
     if args.command == "campaign":
-        return _command_campaign(args)
+        return _command_campaign(args, parser)
     if args.command == "grid":
         return _command_grid(args)
     if args.command == "verify":

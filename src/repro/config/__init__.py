@@ -10,6 +10,7 @@ immutable-ish dataclasses defined here:
 * :mod:`repro.config.platform`  — compute-node hardware,
 * :mod:`repro.config.workload`  — access patterns and application groups,
 * :mod:`repro.config.scenario`  — the full experiment description,
+* :mod:`repro.config.control`   — the stepping policy of the simulation core,
 * :mod:`repro.config.presets`   — paper-scale and reduced-scale presets
   modelled after the Grid'5000 parasilo/paravance clusters used in the paper.
 
@@ -23,6 +24,13 @@ from repro.config.server import ServerConfig
 from repro.config.filesystem import FileSystemConfig, SyncMode
 from repro.config.workload import AccessKind, ApplicationSpec, PatternSpec
 from repro.config.scenario import ScenarioConfig, SimulationControl
+from repro.config.control import (
+    SteppingMode,
+    SteppingPolicy,
+    default_stepping_policy,
+    set_default_stepping_policy,
+    stepping_policy,
+)
 from repro.config.presets import (
     PresetName,
     grid5000_platform,
@@ -46,6 +54,11 @@ __all__ = [
     "ApplicationSpec",
     "ScenarioConfig",
     "SimulationControl",
+    "SteppingMode",
+    "SteppingPolicy",
+    "default_stepping_policy",
+    "set_default_stepping_policy",
+    "stepping_policy",
     "PresetName",
     "grid5000_platform",
     "make_scenario",

@@ -25,6 +25,7 @@ from dataclasses import dataclass, replace
 from typing import Optional, Sequence, Tuple, Union
 
 from repro import units
+from repro.config.control import SteppingPolicy
 from repro.config.filesystem import FileSystemConfig, SyncMode
 from repro.config.network import NetworkConfig, TransportConfig
 from repro.config.platform import PlatformConfig
@@ -313,6 +314,7 @@ def make_scenario(
     seed: Optional[int] = None,
     trace: Optional[TraceConfig] = None,
     step: Optional[float] = None,
+    stepping: Optional[SteppingPolicy] = None,
     label: str = "",
 ) -> ScenarioConfig:
     """Build the canonical two-application scenario of the paper.
@@ -386,6 +388,7 @@ def make_scenario(
         step=step,
         seed=seed if seed is not None else preset.seed,
         trace=trace or TraceConfig(),
+        stepping=stepping,
     )
     if platform.n_client_nodes < 2 * nodes:
         platform = platform.with_nodes(2 * nodes)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence, Tuple
 
+from repro.config.control import SteppingPolicy, default_stepping_policy
 from repro.config.filesystem import FileSystemConfig
 from repro.config.platform import PlatformConfig
 from repro.config.workload import ApplicationSpec
@@ -40,6 +41,12 @@ class SimulationControl:
         Master seed of the run's random streams.
     trace:
         Trace categories to record.
+    stepping:
+        Time-advance policy of the simulation core
+        (:class:`~repro.config.control.SteppingPolicy`).  ``None`` — the
+        default — resolves to the process-wide default policy at run time
+        (``fixed`` unless overridden via
+        :func:`repro.config.control.stepping_policy`).
     """
 
     step: Optional[float] = None
@@ -48,6 +55,7 @@ class SimulationControl:
     max_time: float = 36000.0
     seed: int = 20160523
     trace: TraceConfig = field(default_factory=TraceConfig)
+    stepping: Optional[SteppingPolicy] = None
 
     def __post_init__(self) -> None:
         if self.step is not None and self.step <= 0:
@@ -67,6 +75,16 @@ class SimulationControl:
             return self.min_step
         candidate = expected_duration / 2000.0
         return min(max(candidate, self.min_step), self.max_step)
+
+    def resolve_stepping(self) -> SteppingPolicy:
+        """The effective stepping policy of a run using this control block."""
+        if self.stepping is not None:
+            return self.stepping
+        return default_stepping_policy()
+
+    def with_stepping(self, stepping: Optional[SteppingPolicy]) -> "SimulationControl":
+        """Return a copy with a different (or cleared) stepping policy."""
+        return replace(self, stepping=stepping)
 
 
 @dataclass(frozen=True)
@@ -195,6 +213,10 @@ class ScenarioConfig:
     def with_control(self, control: SimulationControl) -> "ScenarioConfig":
         """Return a copy with different simulation control knobs."""
         return replace(self, control=control)
+
+    def with_stepping(self, stepping: Optional[SteppingPolicy]) -> "ScenarioConfig":
+        """Return a copy whose control block pins the given stepping policy."""
+        return replace(self, control=self.control.with_stepping(stepping))
 
     def with_delay(self, delay: float, second_app: str | None = None) -> "ScenarioConfig":
         """Return a copy where the second application starts ``delay`` seconds

@@ -4,7 +4,10 @@
 engine:
 
 * an event starts each application at its configured time,
-* a periodic event advances the fluid model by one step,
+* model-step events advance the fluid model — on a fixed cadence under the
+  default (``fixed``) stepping policy, or at the adaptive bound computed by
+  :meth:`repro.model.stepper.ModelStepper.next_bound` under the ``adaptive``
+  policy, which collapses quiescent intervals into a single jump,
 * a periodic observation event samples traces,
 * the run ends when every application has finished its I/O phase.
 
@@ -14,6 +17,7 @@ used by the experiment framework:  ``result = simulate_scenario(scenario)``.
 
 from __future__ import annotations
 
+import math
 import time
 from typing import Optional
 
@@ -53,6 +57,11 @@ class IOPathSimulator:
         self.stepper = ModelStepper(self.state)
         self._n_steps = 0
         self._step_size = scenario.control.resolve_step(scenario.estimate_duration())
+        self._stepping = scenario.control.resolve_stepping()
+        # Adaptive-driver state: end of the last executed step and the
+        # currently pending step event (None when waiting for a control kick).
+        self._last_step_end = 0.0
+        self._step_event = None
 
     # ------------------------------------------------------------------ #
 
@@ -60,6 +69,11 @@ class IOPathSimulator:
     def step_size(self) -> float:
         """Resolved model step (seconds)."""
         return self._step_size
+
+    @property
+    def stepping(self):
+        """The resolved :class:`~repro.config.control.SteppingPolicy`."""
+        return self._stepping
 
     def run(self) -> RunResult:
         """Run the scenario to completion and return the result."""
@@ -82,20 +96,33 @@ class IOPathSimulator:
         # Model steps.
         dt = self._step_size
 
-        def tick(s: Simulator) -> None:
-            self.stepper.step(s, dt)
-            self._n_steps += 1
-            if state.all_finished():
-                s.stop("all applications finished")
+        if self._stepping.is_adaptive:
+            # Adaptive time advance: each step schedules the next one at the
+            # bound derived from the current rates; control-plane events
+            # (application starts, operation issues) catch the model up over
+            # the pending interval before they mutate state, so no step ever
+            # spans a state change.  No step is scheduled until the first
+            # application starts — the pre-start lead-in costs zero steps.
+            self._last_step_end = t0
+            self._step_event = None
+            self.stepper.pressure_step_ref = dt
+            self.stepper.on_control_change = self._adaptive_catch_up
+        else:
+            # Fixed cadence: the seed behaviour, byte-identical output.
+            def tick(s: Simulator) -> None:
+                self.stepper.step(s, dt)
+                self._n_steps += 1
+                if state.all_finished():
+                    s.stop("all applications finished")
 
-        sim.schedule_periodic(
-            dt,
-            tick,
-            start=t0 + dt,
-            priority=EventPriority.NORMAL,
-            label="model.step",
-            stop_when=lambda s: state.all_finished(),
-        )
+            sim.schedule_periodic(
+                dt,
+                tick,
+                start=t0 + dt,
+                priority=EventPriority.NORMAL,
+                label="model.step",
+                stop_when=lambda s: state.all_finished(),
+            )
 
         # Trace sampling.
         sample_period = scenario.control.trace.series_sample_period
@@ -129,6 +156,80 @@ class IOPathSimulator:
             self.stepper.start_application(sim, app_index)
 
         return _start
+
+    # ------------------------------------------------------------------ #
+    # Adaptive stepping driver
+    # ------------------------------------------------------------------ #
+
+    def _advance_to_now(self, sim: Simulator) -> bool:
+        """Step the model over ``[last step end, now]``; True when the run
+        finished (and was stopped) in the process."""
+        dt = sim.now - self._last_step_end
+        if dt > 0:
+            self.stepper.step(sim, dt)
+            self._n_steps += 1
+            self._last_step_end = sim.now
+        if self.state.all_finished():
+            sim.stop("all applications finished")
+            return True
+        return False
+
+    def _adaptive_tick(self, sim: Simulator) -> None:
+        """Execute one adaptive step and schedule the next one."""
+        self._step_event = None
+        if not self._advance_to_now(sim):
+            self._schedule_next_step(sim)
+
+    def _adaptive_catch_up(self, sim: Simulator) -> None:
+        """Advance the model over the pending interval up to ``sim.now``.
+
+        Invoked by control-plane callbacks (application start, operation
+        issue) *before* they mutate model state: the interval being caught up
+        therefore never spans a state change, which is what makes a single
+        large step over it exact.  The next step is re-anchored one base step
+        after the control event.
+
+        When a normal-cadence step (one base step or less) is already
+        pending, nothing needs catching up: a control event landing inside a
+        base step is exactly the granularity the fixed policy exhibits, and
+        leaving the cadence untouched keeps the adaptive trajectory on the
+        fixed one.
+        """
+        pending = self._step_event
+        if (
+            pending is not None
+            and not pending.cancelled
+            and pending.time - self._last_step_end <= self._step_size * (1.0 + 1e-12)
+        ):
+            return
+        if not self._advance_to_now(sim):
+            self._schedule_step_event(sim, sim.now + self._step_size)
+
+    def _schedule_next_step(self, sim: Simulator) -> None:
+        """Schedule the next step at the adaptive bound (or wait for a kick)."""
+        policy = self._stepping
+        bound = self.stepper.next_bound(sim.now, self._step_size, policy.tolerance)
+        if policy.max_dt is not None:
+            bound = min(bound, policy.max_dt)
+        if not math.isfinite(bound):
+            # Nothing intrinsic pending: the next state change can only come
+            # from a scheduled control event, whose callback kicks us.
+            return
+        self._schedule_step_event(sim, sim.now + bound)
+
+    def _schedule_step_event(self, sim: Simulator, at: float) -> None:
+        """(Re)schedule the pending model-step event at time ``at``."""
+        if self._step_event is not None and not self._step_event.cancelled:
+            self._step_event.cancel()
+        self._step_event = None
+        if sim.horizon is not None and at > sim.horizon:
+            return
+        self._step_event = sim.schedule(
+            max(at, sim.now),
+            self._adaptive_tick,
+            priority=EventPriority.NORMAL,
+            label="model.step",
+        )
 
     def _sample(self, sim: Simulator) -> None:
         state = self.state

@@ -153,6 +153,9 @@ class ModelState:
         self.last_drain_rate = np.full(
             self.n_servers, fs.server.ingest_bw, dtype=np.float64
         )
+        # Cached per-server admission rate (B/s) of the previous step; the
+        # adaptive stepper derives buffer fill/empty horizons from it.
+        self.last_admission_rate = np.zeros(self.n_servers, dtype=np.float64)
 
         # Collapse statistics per application (Incast detection).
         self.collapses_per_app = np.zeros(self.n_apps, dtype=np.int64)

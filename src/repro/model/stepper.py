@@ -1,6 +1,6 @@
-"""The per-step update of the I/O-path model.
+"""The per-step update of the I/O-path model: a phase-aware stepping kernel.
 
-Each step of length ``dt``:
+Each step of length ``dt`` runs six vectorized sub-phases, in order:
 
 1. **Workload mix** — count active writers and average fragment sizes per
    server (they set the device interleaving penalty and the processing
@@ -18,22 +18,77 @@ Each step of length ``dt``:
 6. **Completion** — collective operations complete when every fragment of
    every process has been drained; the next operation is issued after the
    collective overhead, and applications record their phase end time.
+
+Phase contract
+--------------
+The phases communicate exclusively through a :class:`StepContext` (the
+intermediate arrays of the step) and the :class:`~repro.model.state.ModelState`
+(the durable arrays).  Each phase method documents what it *reads* and what it
+*writes*; a phase never mutates a context field owned by an earlier phase.
+This makes the data flow of the hot path explicit and keeps the step
+re-orderable only where the contract allows it.
+
+Adaptive time advance
+---------------------
+:meth:`ModelStepper.next_bound` derives the largest safe ``dt`` from the
+current rates: during *quiescent* intervals (no connection may send, buffers
+empty) it returns the exact time to the next intrinsic state change (earliest
+RTO expiry, earliest pending per-process operation issue) so the simulator can
+collapse the whole dead interval into a single step; while *active* it bounds
+the step to a ``tolerance`` fraction of the time to the next rate-regime
+change (buffer fill/empty, collective completion, transport dynamics).  The
+fixed policy never calls it.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import Callable, Optional
 
 import numpy as np
 
-from repro.config.filesystem import SyncMode
 from repro.errors import SimulationError
 from repro.model.state import ModelState
 from repro.network.allocation import cap_by_group
 from repro.sim.engine import Simulator
 from repro.sim.events import EventPriority
 
-__all__ = ["ModelStepper"]
+__all__ = ["ModelStepper", "StepContext"]
+
+#: Safety margin (seconds) added to a quiescent jump so the landing step is
+#: unambiguously at-or-after the state-changing instant despite float
+#: round-off in ``now + bound``.
+_LANDING_EPSILON = 1.0e-9
+
+
+@dataclass
+class StepContext:
+    """The explicit state contract between the sub-phases of one model step.
+
+    Fields are owned by (i.e. written exactly once in) the phase noted below
+    and read-only afterwards.  ``None`` marks "not produced yet".
+    """
+
+    #: Step inputs (owned by :meth:`ModelStepper.step`).
+    now: float
+    dt: float
+
+    #: Phase 1 — workload mix.
+    busy: Optional[np.ndarray] = None          #: per-conn: has outstanding bytes
+    n_streams: Optional[np.ndarray] = None     #: per-server active writers (>= 1)
+    avg_frag: Optional[np.ndarray] = None      #: per-server mean fragment size
+
+    #: Phase 2 — drain capacity.
+    drain_rate: Optional[np.ndarray] = None    #: per-server drain bandwidth (B/s)
+
+    #: Phase 3 — offered load.
+    rtt_eff: Optional[np.ndarray] = None       #: per-conn effective RTT (s)
+    desired: Optional[np.ndarray] = None       #: per-conn bytes offered this step
+    loss_prone: Optional[np.ndarray] = None    #: per-conn: a throttle means loss
+
+    #: Phase 4 — admission and drain.
+    admitted: Optional[np.ndarray] = None      #: per-conn bytes admitted
+    oversubscribed: Optional[np.ndarray] = None  #: per-conn: server oversubscribed
 
 
 class ModelStepper:
@@ -49,6 +104,16 @@ class ModelStepper:
         self._server_nic = state.topology.server_capacities()
         self._client_line_rate = network.client_nic_bw
         self._completion_epsilon = 1.0  # bytes
+        #: Reference step length for time-weighted pressure accounting.
+        #: ``None`` (the default, and the fixed policy) counts every step
+        #: with weight 1; the adaptive driver sets it to the base step so a
+        #: collapsed quiescent interval still weighs as the steps it replaced.
+        self.pressure_step_ref: Optional[float] = None
+        #: Hook invoked by control-plane callbacks (operation issue) right
+        #: before they mutate model state.  The adaptive driver uses it to
+        #: catch the model up over a pending quiescent interval; ``None``
+        #: (fixed policy) is a no-op.
+        self.on_control_change: Optional[Callable[[Simulator], None]] = None
 
     # ------------------------------------------------------------------ #
     # Aggregate helpers
@@ -90,23 +155,61 @@ class ModelStepper:
         """Advance the model by ``dt`` seconds at the current simulated time."""
         if dt <= 0:
             raise SimulationError("dt must be positive")
+        ctx = StepContext(now=sim.now, dt=dt)
+        self._phase_workload_mix(ctx)
+        self._phase_drain(ctx)
+        self._phase_offer(ctx)
+        self._phase_admission(ctx)
+        self._phase_window_dynamics(ctx)
+        self._phase_accounting(ctx)
+        self._phase_completion(sim)
+
+    # ------------------------------------------------------------------ #
+    # Phase 1 — workload mix
+    # ------------------------------------------------------------------ #
+
+    def _phase_workload_mix(self, ctx: StepContext) -> None:
+        """Classify the offered workload.
+
+        Reads:  ``state.send_remaining``, ``state.buffers.conn_bytes``,
+                ``state.frag_size``.
+        Writes: ``ctx.busy``, ``ctx.n_streams``, ``ctx.avg_frag``.
+        """
+        ctx.busy, ctx.n_streams, ctx.avg_frag = self._workload_mix()
+
+    # ------------------------------------------------------------------ #
+    # Phase 2 — drain capacity
+    # ------------------------------------------------------------------ #
+
+    def _phase_drain(self, ctx: StepContext) -> None:
+        """Compute every server's drain capacity for this step.
+
+        Reads:  ``ctx.busy/n_streams/avg_frag``, ``state.windows`` stalls.
+        Writes: ``ctx.drain_rate``, ``state.last_drain_rate``.
+        """
         state = self.state
-        now = sim.now
-
-        busy, n_streams, avg_frag = self._workload_mix()
-
-        # ------------------------------------------------------------------
-        # 1. Drain capacity of every server for this step.
-        # ------------------------------------------------------------------
-        drain_nominal = state.deployment.drain_rates(n_streams, avg_frag)
-        stalled_fraction = self._stalled_fraction_per_server(now, busy)
+        drain_nominal = state.deployment.drain_rates(ctx.n_streams, ctx.avg_frag)
+        stalled_fraction = self._stalled_fraction_per_server(ctx.now, ctx.busy)
         penalty = 1.0 - self._transport.collapse_penalty * stalled_fraction
-        drain_rate = drain_nominal * np.clip(penalty, 0.0, 1.0)
-        state.last_drain_rate = np.maximum(drain_rate, 1.0)
+        ctx.drain_rate = drain_nominal * np.clip(penalty, 0.0, 1.0)
+        state.last_drain_rate = np.maximum(ctx.drain_rate, 1.0)
 
-        # ------------------------------------------------------------------
-        # 2. Offered load: flow-control window, then source caps.
-        # ------------------------------------------------------------------
+    # ------------------------------------------------------------------ #
+    # Phase 3 — offered load
+    # ------------------------------------------------------------------ #
+
+    def _phase_offer(self, ctx: StepContext) -> None:
+        """Window- and source-capped offered bytes, plus the Incast burst gate.
+
+        Reads:  ``ctx.busy/n_streams/drain_rate``, window state, buffers.
+        Writes: ``ctx.rtt_eff``, ``ctx.desired``, ``ctx.loss_prone``; may
+                collapse gated connections (``windows.force_timeout``) and
+                consume RNG draws for the burst-escape gate.
+        """
+        state = self.state
+        now, dt = ctx.now, ctx.dt
+        busy, n_streams = ctx.busy, ctx.n_streams
+
         queue_delay = state.buffers.queueing_delay(state.last_drain_rate)
         rtt_eff = self._base_rtt + queue_delay[state.conn_server]
         # Receiver-advertised window: the clients collectively probe a bit
@@ -192,38 +295,66 @@ class ModelStepper:
                     now, "incast", "burst-loss", data={"count": int(failed_idx.size)}
                 )
 
-        # ------------------------------------------------------------------
-        # 3. Admission into the server buffers, then drain into the backends.
-        #    Admission may use the space freed by this step's drain
-        #    (store-and-forward pipelining within one step).  Admission is
-        #    proportional to the offered load; the Incast unfairness is
-        #    carried by the burst-escape gate and the window dynamics above.
-        # ------------------------------------------------------------------
+        ctx.rtt_eff = rtt_eff
+        ctx.desired = desired
+        ctx.loss_prone = loss_prone
+
+    # ------------------------------------------------------------------ #
+    # Phase 4 — admission and drain
+    # ------------------------------------------------------------------ #
+
+    def _phase_admission(self, ctx: StepContext) -> None:
+        """Admit offered bytes into the buffers, then drain to the backends.
+
+        Admission may use the space freed by this step's drain
+        (store-and-forward pipelining within one step).  Admission is
+        proportional to the offered load; the Incast unfairness is carried by
+        the burst-escape gate and the window dynamics.
+
+        Reads:  ``ctx.desired/drain_rate/n_streams/avg_frag``.
+        Writes: ``ctx.admitted``, ``ctx.oversubscribed``;
+                ``state.send_remaining``, the server buffers, and the
+                deployment's backend accounting.
+        """
+        state = self.state
+        dt = ctx.dt
         weights = np.ones(state.n_connections, dtype=np.float64)
         admitted, oversubscribed = state.buffers.admit(
-            desired,
+            ctx.desired,
             weights,
-            extra_capacity=drain_rate * dt,
+            extra_capacity=ctx.drain_rate * dt,
             max_admission=self._server_nic * dt,
             rng=None,
         )
         state.send_remaining -= admitted
         state.send_remaining[state.send_remaining < self._completion_epsilon * 1e-3] = 0.0
 
-        drained_per_server, _drained_per_conn = state.buffers.drain(drain_rate * dt)
-        state.deployment.commit(drained_per_server, dt, n_streams, avg_frag)
+        drained_per_server, _drained_per_conn = state.buffers.drain(ctx.drain_rate * dt)
+        state.deployment.commit(drained_per_server, dt, ctx.n_streams, ctx.avg_frag)
 
-        # ------------------------------------------------------------------
-        # 4. Window dynamics.
-        # ------------------------------------------------------------------
+        ctx.admitted = admitted
+        ctx.oversubscribed = oversubscribed
+
+    # ------------------------------------------------------------------ #
+    # Phase 5 — window dynamics
+    # ------------------------------------------------------------------ #
+
+    def _phase_window_dynamics(self, ctx: StepContext) -> None:
+        """AIMD plus timeout collapse per connection.
+
+        Reads:  ``ctx.desired/admitted/rtt_eff/oversubscribed/loss_prone``.
+        Writes: the transport window state; ``state.collapses_per_app``;
+                may consume RNG draws for the paced-timeout hazard.
+        """
+        state = self.state
         update = state.windows.update(
-            now=now,
-            dt=dt,
-            requested=desired,
-            admitted=admitted,
-            rtt_eff=rtt_eff,
-            oversubscribed=oversubscribed,
-            loss_prone=loss_prone,
+            now=ctx.now,
+            dt=ctx.dt,
+            requested=ctx.desired,
+            admitted=ctx.admitted,
+            rtt_eff=ctx.rtt_eff,
+            oversubscribed=ctx.oversubscribed,
+            loss_prone=ctx.loss_prone,
         )
         if update.n_collapsed:
             collapsed_apps = np.bincount(
@@ -231,25 +362,153 @@ class ModelStepper:
             )
             state.collapses_per_app += collapsed_apps
             state.recorder.mark(
-                now, "incast", "window-collapse", data={"count": int(update.n_collapsed)}
+                ctx.now, "incast", "window-collapse", data={"count": int(update.n_collapsed)}
             )
 
-        # ------------------------------------------------------------------
-        # 5. Physical-link accounting.
-        # ------------------------------------------------------------------
+    # ------------------------------------------------------------------ #
+    # Phase 6a — physical-link and pressure accounting
+    # ------------------------------------------------------------------ #
+
+    def _phase_accounting(self, ctx: StepContext) -> None:
+        """Attribute this step's traffic to links and record buffer pressure.
+
+        Reads:  ``ctx.admitted/dt``.
+        Writes: per-link utilization accounting, buffer-pressure statistics,
+                ``state.last_admission_rate``.
+        """
+        state = self.state
         per_node = np.bincount(
-            state.conn_node, weights=admitted, minlength=state.topology.n_client_nodes
+            state.conn_node, weights=ctx.admitted, minlength=state.topology.n_client_nodes
         )
         per_server = np.bincount(
-            state.conn_server, weights=admitted, minlength=state.n_servers
+            state.conn_server, weights=ctx.admitted, minlength=state.n_servers
         )
-        state.topology.record_step(per_node, per_server, dt)
-        state.buffers.note_step()
+        state.topology.record_step(per_node, per_server, ctx.dt)
+        if self.pressure_step_ref:
+            state.buffers.note_step(weight=ctx.dt / self.pressure_step_ref)
+        else:
+            state.buffers.note_step()
+        state.last_admission_rate = per_server / ctx.dt
 
-        # ------------------------------------------------------------------
-        # 6. Operation / application completion.
-        # ------------------------------------------------------------------
+    # ------------------------------------------------------------------ #
+    # Phase 6b — operation / application completion
+    # ------------------------------------------------------------------ #
+
+    def _phase_completion(self, sim: Simulator) -> None:
+        """Complete collective operations and advance per-process streams.
+
+        Reads:  outstanding bytes per app/process.
+        Writes: application runtime bookkeeping; schedules issue events.
+        """
         self._handle_completions(sim)
+
+    # ------------------------------------------------------------------ #
+    # Adaptive time advance
+    # ------------------------------------------------------------------ #
+
+    def next_bound(self, now: float, base_dt: float, tolerance: float) -> float:
+        """Largest safe ``dt`` for the *next* step, derived from current rates.
+
+        Quiescent model (no connection may send — everything is stalled in
+        RTO or idle — and the server buffers are empty): a step is a pure
+        passage of time, so the bound is the exact distance to the next
+        intrinsic state change — the earliest RTO expiry or the earliest
+        pending per-process operation issue — plus a landing epsilon.
+        Returns ``inf`` when no intrinsic change is pending (the next change
+        can then only come from a scheduled control event, which the driver
+        bounds separately).
+
+        Active model: the bound is ``tolerance`` times the shortest of the
+        rate-derived horizons — time to the next buffer fill or empty at the
+        current net rates, time to the next collective completion at the
+        current drain rates, the earliest RTO expiry, and (whenever transport
+        dynamics are in play: stalled connections or half-full buffers) the
+        RTO timescale itself — but never less than ``base_dt``.  With small
+        tolerances the contended phases therefore run at exactly the fixed
+        step, and only provably-smooth intervals stretch.
+        """
+        state = self.state
+        eps = self._completion_epsilon
+        outstanding = state.outstanding_per_connection()
+        busy = outstanding > eps
+        sending = state.windows.sending_allowed(now)
+        buffered = float(state.buffers.fill.sum())
+        stalls = state.windows.stall_until
+
+        if not bool(np.any(busy & sending)) and buffered <= eps:
+            candidates = []
+            if np.any(busy):
+                pending = stalls[busy]
+                pending = pending[np.isfinite(pending) & (pending > now)]
+                if pending.size:
+                    candidates.append(float(pending.min()) - now)
+            issue_wait = self._next_issue_wait(now)
+            if issue_wait is not None:
+                candidates.append(issue_wait)
+            if not candidates:
+                return float("inf")
+            return max(min(candidates), 0.0) + _LANDING_EPSILON
+
+        horizons = []
+        # Transport dynamics in play: never outrun the RTO timescale.
+        if bool(np.any(busy & ~sending)) or bool(
+            np.any(state.buffers.occupancy_fraction() >= 0.5)
+        ):
+            horizons.append(self._transport.rto)
+        # Buffer fill / empty at the current net rates.
+        drain = np.maximum(state.last_drain_rate, 1.0)
+        net = state.last_admission_rate - drain
+        free = state.buffers.free_space()
+        filling = net > 1.0
+        if np.any(filling):
+            horizons.append(float(np.min(free[filling] / net[filling])))
+        emptying = (net < -1.0) & (state.buffers.fill > eps)
+        if np.any(emptying):
+            horizons.append(float(np.min(state.buffers.fill[emptying] / -net[emptying])))
+        # Next collective completion at the current drain rates.
+        per_server_out = np.bincount(
+            state.conn_server, weights=outstanding, minlength=state.n_servers
+        )
+        draining = per_server_out > eps
+        if np.any(draining):
+            horizons.append(float(np.min(per_server_out[draining] / drain[draining])))
+        # Earliest RTO expiry.
+        pending = stalls[busy & (stalls > now)] if np.any(busy) else stalls[:0]
+        pending = pending[np.isfinite(pending)]
+        if pending.size:
+            horizons.append(float(pending.min()) - now)
+        if not horizons:
+            return base_dt
+        return max(base_dt, tolerance * min(horizons))
+
+    def _next_issue_wait(self, now: float) -> Optional[float]:
+        """Time until the earliest pending per-process operation issue.
+
+        Only the non-collective mode tracks issue instants as state
+        (``proc_next_issue``); collective issues are engine events and are
+        bounded by the driver.  Returns ``None`` when no process is waiting.
+        """
+        state = self.state
+        waits = []
+        per_proc_outstanding: Optional[np.ndarray] = None
+        for runtime in state.app_runtime:
+            app = runtime.app
+            if not runtime.started or runtime.finished or runtime.waiting_issue:
+                continue
+            if app.spec.pattern.collective:
+                continue
+            if per_proc_outstanding is None:
+                per_proc_outstanding = state.outstanding_per_process()
+            ids = app.proc_ids()
+            idle = per_proc_outstanding[ids] <= self._completion_epsilon
+            more_ops = (state.proc_current_op[ids] + 1) < app.n_operations
+            pending = state.proc_next_issue[ids][idle & more_ops]
+            pending = pending[pending > now]
+            if pending.size:
+                waits.append(float(pending.min()) - now)
+        if not waits:
+            return None
+        return max(min(waits), 0.0)
 
     # ------------------------------------------------------------------ #
     # Completion handling
@@ -326,6 +585,8 @@ class ModelStepper:
             runtime = state.app_runtime[app_index]
             if runtime.finished:
                 return
+            if self.on_control_change is not None:
+                self.on_control_change(sim)
             state.issue_operation(app, op_index)
             state.recorder.mark(sim.now, "op", f"{app.name}.op{op_index}")
 
@@ -342,6 +603,8 @@ class ModelStepper:
         runtime = state.app_runtime[app_index]
         if runtime.started:
             raise SimulationError(f"application {app.name!r} started twice")
+        if self.on_control_change is not None:
+            self.on_control_change(sim)
         runtime.started = True
         runtime.actual_start_time = sim.now
         state.recorder.mark(sim.now, "phase", f"{app.name}.start")

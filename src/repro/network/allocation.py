@@ -126,7 +126,10 @@ def cap_by_group(
         return demands.copy()
     n_groups = group_capacities.shape[0]
     totals = np.bincount(group_ids, weights=demands, minlength=n_groups)
-    with np.errstate(divide="ignore", invalid="ignore"):
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        # The quotient overflows to inf for near-zero totals (long adaptive
+        # steps make capacity * dt huge); such groups are under capacity and
+        # np.where discards the quotient there, so the overflow is benign.
         factors = np.where(totals > group_capacities, group_capacities / np.maximum(totals, 1e-300), 1.0)
     factors = np.clip(factors, 0.0, 1.0)
     return demands * factors[group_ids]

@@ -66,9 +66,13 @@ class ServerBuffers:
         self.total_admitted = np.zeros(self.n_servers, dtype=np.float64)
         #: Cumulative bytes drained per server.
         self.total_drained = np.zeros(self.n_servers, dtype=np.float64)
-        #: Number of steps each server spent with a (nearly) full buffer.
-        self.full_steps = np.zeros(self.n_servers, dtype=np.int64)
-        self.observed_steps = 0
+        #: Step weight each server spent with a (nearly) full buffer.  Under
+        #: the fixed stepping policy every step weighs 1 and these are plain
+        #: step counts; the adaptive policy weighs a collapsed quiescent jump
+        #: as the number of base steps it replaced, keeping the pressure
+        #: fraction time-weighted and therefore comparable across policies.
+        self.full_steps = np.zeros(self.n_servers, dtype=np.float64)
+        self.observed_steps = 0.0
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -208,10 +212,14 @@ class ServerBuffers:
         self.total_drained += drained_per_server
         return drained_per_server, drained_per_conn
 
-    def note_step(self, full_threshold: float = 0.95) -> None:
-        """Record occupancy statistics for one step (for root-cause analysis)."""
-        self.observed_steps += 1
-        self.full_steps[self.occupancy_fraction() >= full_threshold] += 1
+    def note_step(self, full_threshold: float = 0.95, weight: float = 1.0) -> None:
+        """Record occupancy statistics for one step (for root-cause analysis).
+
+        ``weight`` is the step's worth in base-step units (1 under the fixed
+        policy; ``dt / base_dt`` for an adaptive jump).
+        """
+        self.observed_steps += weight
+        self.full_steps[self.occupancy_fraction() >= full_threshold] += weight
 
     def reset(self) -> None:
         """Clear all state (buffers and statistics)."""
@@ -219,5 +227,5 @@ class ServerBuffers:
         self.conn_bytes[:] = 0.0
         self.total_admitted[:] = 0.0
         self.total_drained[:] = 0.0
-        self.full_steps[:] = 0
-        self.observed_steps = 0
+        self.full_steps[:] = 0.0
+        self.observed_steps = 0.0

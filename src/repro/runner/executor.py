@@ -77,18 +77,25 @@ class TaskSpec:
 def run_experiment_task(payload: Dict[str, Any], seed: Optional[int]) -> Dict[str, Any]:
     """Run one registered experiment and grade it against the paper.
 
-    Payload keys: ``experiment_id``, ``scale``, ``quick``.  Returns the
+    Payload keys: ``experiment_id``, ``scale``, ``quick`` and optionally
+    ``stepping`` (a serialized
+    :class:`~repro.config.control.SteppingPolicy` applied as the process
+    default while the experiment runs).  Returns the
     :meth:`~repro.analysis.campaign.ExperimentRecord.to_payload` form, so
     the transported/cached shape and the record class cannot drift apart.
     """
     from repro.analysis.campaign import ExperimentRecord
     from repro.analysis.comparison import check_experiment
+    from repro.config.control import SteppingPolicy, stepping_policy
     from repro.experiments.registry import get_experiment
 
+    policy = payload.get("stepping")
+    policy = None if policy is None else SteppingPolicy.from_dict(policy)
     entry = get_experiment(payload["experiment_id"])
     start = time.perf_counter()
-    result = entry.run(scale=payload["scale"], quick=payload["quick"])
-    checks = check_experiment(result)
+    with stepping_policy(policy):
+        result = entry.run(scale=payload["scale"], quick=payload["quick"])
+        checks = check_experiment(result)
     record = ExperimentRecord(
         experiment_id=entry.experiment_id,
         result=result,

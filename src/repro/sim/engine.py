@@ -29,6 +29,10 @@ from repro.sim.events import Event, EventPriority
 
 __all__ = ["Simulator"]
 
+#: Heaps smaller than this are never compacted (a rebuild would cost more
+#: than the dead entries it removes).
+_COMPACTION_MIN_SIZE = 64
+
 
 class Simulator:
     """Discrete-event simulator with a monotonic clock.
@@ -52,6 +56,7 @@ class Simulator:
         self._horizon = None if horizon is None else float(horizon)
         self._heap: list[tuple[tuple[float, int, int], Event]] = []
         self._seq = 0
+        self._n_cancelled = 0
         self._events_processed = 0
         self._running = False
         self._stopped = False
@@ -84,7 +89,12 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of scheduled, not-yet-fired, not-cancelled events."""
-        return sum(1 for _, ev in self._heap if not ev.cancelled)
+        return len(self._heap) - self._n_cancelled
+
+    @property
+    def heap_size(self) -> int:
+        """Number of heap entries, including cancelled-but-not-popped ones."""
+        return len(self._heap)
 
     @property
     def is_running(self) -> bool:
@@ -143,6 +153,7 @@ class Simulator:
             callback=callback,
             label=label,
             payload=payload,
+            on_cancel=self._note_cancelled,
         )
         self._seq += 1
         heapq.heappush(self._heap, (event.sort_key(), event))
@@ -222,6 +233,9 @@ class Simulator:
         if not self._heap:
             return False
         _, event = heapq.heappop(self._heap)
+        # The event is out of the heap; a late cancel() must not count
+        # toward the cancelled-but-heaped total.
+        event.on_cancel = None
         if event.time < self._now:  # pragma: no cover - heap invariant guard
             raise SimulationError(
                 f"event {event!r} would move the clock backwards from {self._now}"
@@ -300,9 +314,26 @@ class Simulator:
     # Internals
     # ------------------------------------------------------------------ #
 
+    def _note_cancelled(self, _event: Event) -> None:
+        """Account for one cancellation; compact when dead entries dominate.
+
+        Cancelled events stay in the heap until popped, so a workload that
+        keeps rescheduling (e.g. the adaptive stepping driver re-anchoring
+        its step event on every control change) would otherwise grow the
+        heap with corpses.  Rebuilding once more than half the entries are
+        dead keeps the amortized cost per cancellation O(log n).
+        """
+        self._n_cancelled += 1
+        if (
+            len(self._heap) >= _COMPACTION_MIN_SIZE
+            and self._n_cancelled * 2 > len(self._heap)
+        ):
+            self.drain_cancelled()
+
     def _drop_cancelled_head(self) -> None:
         while self._heap and self._heap[0][1].cancelled:
             heapq.heappop(self._heap)
+            self._n_cancelled -= 1
 
     def drain_cancelled(self) -> int:
         """Remove all cancelled events from the heap; return how many."""
@@ -310,6 +341,7 @@ class Simulator:
         live = [(key, ev) for key, ev in self._heap if not ev.cancelled]
         heapq.heapify(live)
         self._heap = live
+        self._n_cancelled = 0
         return before - len(self._heap)
 
     def iter_pending(self) -> Iterable[Event]:

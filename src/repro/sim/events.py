@@ -54,7 +54,8 @@ class Event:
     payload:
         Optional arbitrary data attached to the event.
     cancelled:
-        Cancelled events stay in the heap but are skipped when popped.
+        Cancelled events stay in the heap but are skipped when popped (the
+        engine compacts the heap when cancelled entries dominate it).
     """
 
     time: float
@@ -64,6 +65,11 @@ class Event:
     label: str = ""
     payload: Optional[Any] = None
     cancelled: bool = field(default=False, compare=False)
+    #: Set by the engine at scheduling time so it can keep an O(1) count of
+    #: cancelled-but-still-heaped events (the compaction trigger).
+    on_cancel: Optional[Callable[["Event"], None]] = field(
+        default=None, compare=False, repr=False
+    )
 
     def sort_key(self) -> tuple[float, int, int]:
         """Return the total ordering key used by the event heap."""
@@ -71,7 +77,11 @@ class Event:
 
     def cancel(self) -> None:
         """Mark the event as cancelled; the engine will skip it."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.on_cancel is not None:
+            self.on_cancel(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         tag = f" {self.label!r}" if self.label else ""

@@ -52,9 +52,42 @@ class TimeSeries:
         self._size += 1
 
     def extend(self, times: Iterable[float], values: Iterable[float]) -> None:
-        """Append multiple samples (validated pairwise)."""
-        for t, v in zip(times, values):
-            self.append(float(t), float(v))
+        """Bulk-append samples: vectorized validation, one capacity grow.
+
+        Equivalent to calling :meth:`append` for each pair, but the
+        monotonicity check runs as a single ``np.diff`` and the backing
+        arrays grow at most once, so tracing hot paths (periodic sampling,
+        recorder merges) pay O(n) instead of n validated appends.
+        """
+        if not isinstance(times, (np.ndarray, list, tuple)):
+            times = list(times)
+        if not isinstance(values, (np.ndarray, list, tuple)):
+            values = list(values)
+        times = np.asarray(times, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        if times.shape != values.shape:
+            raise AnalysisError("times and values must have the same shape")
+        if times.ndim != 1:
+            raise AnalysisError("times and values must be one-dimensional")
+        n = times.shape[0]
+        if n == 0:
+            return
+        if times.shape[0] > 1 and np.any(np.diff(times) < 0):
+            raise AnalysisError(
+                f"time series {self.name!r}: bulk samples are not in "
+                "non-decreasing time order"
+            )
+        if self._size and times[0] < self._times[self._size - 1]:
+            raise AnalysisError(
+                f"time series {self.name!r}: sample at t={times[0]} precedes "
+                f"last sample at t={self._times[self._size - 1]}"
+            )
+        needed = self._size + n
+        if needed > self._times.shape[0]:
+            self._grow(minimum=needed)
+        self._times[self._size : needed] = times
+        self._values[self._size : needed] = values
+        self._size = needed
 
     @classmethod
     def from_arrays(
@@ -75,8 +108,8 @@ class TimeSeries:
         series._size = times.size
         return series
 
-    def _grow(self) -> None:
-        new_capacity = max(_INITIAL_CAPACITY, self._times.shape[0] * 2)
+    def _grow(self, minimum: int = 0) -> None:
+        new_capacity = max(_INITIAL_CAPACITY, self._times.shape[0] * 2, minimum)
         new_times = np.empty(new_capacity, dtype=np.float64)
         new_values = np.empty(new_capacity, dtype=np.float64)
         new_times[: self._size] = self._times[: self._size]

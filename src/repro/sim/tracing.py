@@ -182,8 +182,7 @@ class TraceRecorder:
         """Copy series and marks from ``other``, optionally prefixing names."""
         for name, series in other._series.items():
             target = self.series(prefix + name, unit=series.unit)
-            for t, v in zip(series.times, series.values):
-                target.append(float(t), float(v))
+            target.extend(series.times, series.values)
         for m in other._marks:
             self._marks.append(
                 TraceMark(time=m.time, category=m.category, label=prefix + m.label, data=m.data)

@@ -23,6 +23,37 @@ class TestParser:
         assert args.device == "ram"
         assert args.points == 3
 
+    def test_parses_stepping_flags(self):
+        for command in ("sweep", "campaign"):
+            args = build_parser().parse_args(
+                [command, "--stepping", "adaptive", "--step-tolerance", "0.1"]
+            )
+            assert args.stepping == "adaptive"
+            assert args.step_tolerance == 0.1
+            assert build_parser().parse_args([command]).stepping == "fixed"
+
+    def test_rejects_unknown_stepping_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--stepping", "sometimes"])
+
+    def test_rejects_out_of_range_tolerance(self):
+        for bad in ("0", "-0.5", "1.5", "nan"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(
+                    ["sweep", "--stepping", "adaptive", "--step-tolerance", bad]
+                )
+
+    def test_rejects_tolerance_without_adaptive(self, capsys):
+        for argv in (
+            ["sweep", "--scale", "tiny", "--points", "3", "--step-tolerance", "0.1"],
+            ["campaign", "--scale", "tiny", "--quick", "--step-tolerance", "0.1"],
+            ["sweep", "--scale", "tiny", "--points", "3", "--stepping", "fixed",
+             "--step-tolerance", "0.1"],
+        ):
+            with pytest.raises(SystemExit):
+                main(argv)
+            assert "--stepping adaptive" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -67,6 +98,15 @@ class TestCommands:
         assert (
             main(["sweep", "--scale", "tiny", "--device", "ram", "--sync", "sync-off",
                   "--points", "3", "--csv"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("delta")
+
+    def test_sweep_adaptive_stepping(self, capsys):
+        assert (
+            main(["sweep", "--scale", "tiny", "--device", "ram", "--sync", "sync-off",
+                  "--points", "3", "--stepping", "adaptive",
+                  "--step-tolerance", "0.05", "--csv"]) == 0
         )
         out = capsys.readouterr().out
         assert out.splitlines()[0].startswith("delta")

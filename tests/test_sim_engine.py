@@ -124,6 +124,53 @@ class TestExecution:
         assert removed == 2
         assert sim.pending_events == 2
 
+    def test_heap_compacts_when_cancelled_events_dominate(self):
+        """Cancelling more than half of a large heap triggers a compaction."""
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda s: None) for i in range(100)]
+        assert sim.heap_size == 100
+        # Cancel just under the trigger: nothing is compacted yet.
+        for event in events[:50]:
+            event.cancel()
+        assert sim.heap_size == 100
+        assert sim.pending_events == 50
+        # One more cancellation tips the dead fraction over 1/2.
+        events[50].cancel()
+        assert sim.heap_size == 49
+        assert sim.pending_events == 49
+
+    def test_small_heaps_are_not_compacted(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda s: None) for i in range(10)]
+        for event in events[:9]:
+            event.cancel()
+        assert sim.heap_size == 10  # below the compaction minimum
+        assert sim.pending_events == 1
+        sim.run()
+        assert sim.events_processed == 1
+
+    def test_cancel_after_fire_keeps_counts_consistent(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda s: None)
+        sim.run()
+        event.cancel()  # late cancel of an already-fired event
+        assert sim.pending_events == 0
+        assert sim.heap_size == 0
+
+    def test_double_cancel_is_counted_once(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda s: None) for i in range(80)]
+        for _ in range(3):
+            events[0].cancel()
+        assert sim.pending_events == 79
+        # The remaining schedule/run machinery still sees a consistent count.
+        for event in events[1:41]:
+            event.cancel()
+        assert sim.pending_events == 39
+        assert sim.heap_size == 39  # compaction fired exactly at the trigger
+        sim.run()
+        assert sim.events_processed == 39
+
     def test_peek_next_time(self):
         sim = Simulator()
         assert sim.peek_next_time() is None

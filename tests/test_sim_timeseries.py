@@ -50,6 +50,46 @@ class TestConstruction:
         ts.extend([0.0, 1.0], [5.0, 6.0])
         assert len(ts) == 2
 
+    def test_extend_bulk_matches_repeated_append(self):
+        times = np.sort(np.random.default_rng(7).uniform(0.0, 10.0, size=1000))
+        values = np.arange(1000, dtype=np.float64)
+        bulk = TimeSeries()
+        bulk.extend(times, values)
+        one_by_one = TimeSeries()
+        for t, v in zip(times, values):
+            one_by_one.append(float(t), float(v))
+        assert np.array_equal(bulk.times, one_by_one.times)
+        assert np.array_equal(bulk.values, one_by_one.values)
+
+    def test_extend_grows_once_past_capacity(self):
+        ts = TimeSeries()
+        ts.append(0.0, 1.0)
+        ts.extend(np.arange(1.0, 1001.0), np.zeros(1000))
+        assert len(ts) == 1001
+        assert ts.times[-1] == 1000.0
+
+    def test_extend_validates_order(self):
+        ts = TimeSeries()
+        with pytest.raises(AnalysisError):
+            ts.extend([1.0, 0.5], [0.0, 0.0])  # internally out of order
+        ts.append(5.0, 0.0)
+        with pytest.raises(AnalysisError):
+            ts.extend([4.0, 6.0], [0.0, 0.0])  # precedes the last sample
+        with pytest.raises(AnalysisError):
+            ts.extend([6.0, 7.0], [0.0])  # shape mismatch
+        assert len(ts) == 1
+
+    def test_extend_empty_is_a_no_op(self):
+        ts = TimeSeries()
+        ts.extend([], [])
+        assert ts.is_empty()
+
+    def test_extend_accepts_generators(self):
+        ts = TimeSeries()
+        ts.extend((float(t) for t in range(5)), (float(v) for v in range(5)))
+        assert len(ts) == 5
+        assert ts.times[-1] == 4.0
+
     def test_dict_roundtrip(self):
         ts = make_series()
         clone = TimeSeries.from_dict(ts.to_dict())

@@ -10,7 +10,9 @@
 * :mod:`repro.analysis.paper`      — the paper's reported values and claims,
 * :mod:`repro.analysis.comparison` — claim-by-claim grading of a reproduction,
 * :mod:`repro.analysis.campaign`   — run every experiment and assemble
-  ``EXPERIMENTS.md``.
+  ``EXPERIMENTS.md``,
+* :mod:`repro.analysis.interference` — pairwise slowdown/dilation/asymmetry
+  metrics and the interference-matrix heatmap report.
 """
 
 from repro.analysis.asciiplot import ascii_plot, plot_delta_sweep, plot_series
@@ -22,6 +24,15 @@ from repro.analysis.campaign import (
     write_experiments_md,
 )
 from repro.analysis.comparison import ClaimCheck, check_experiment, format_checks
+from repro.analysis.interference import (
+    dilation,
+    matrix_heatmap_markdown,
+    matrix_report_markdown,
+    pair_asymmetry,
+    severity,
+    slowdown,
+    update_experiments_section,
+)
 from repro.analysis.paper import CLAIMS, TABLE1, TABLE2, PaperClaim, claims_for
 from repro.analysis.tables import (
     rows_to_csv,
@@ -57,4 +68,11 @@ __all__ = [
     "run_campaign",
     "campaign_to_markdown",
     "write_experiments_md",
+    "slowdown",
+    "dilation",
+    "pair_asymmetry",
+    "severity",
+    "matrix_heatmap_markdown",
+    "matrix_report_markdown",
+    "update_experiments_section",
 ]

@@ -40,7 +40,7 @@ from repro.analysis.paper import EXPERIMENT_TITLES, paper_reference_tables
 from repro.analysis.tables import rows_to_markdown
 from repro.errors import ExperimentError
 from repro.runner.cache import ResultCache, fingerprint
-from repro.runner.executor import ParallelExecutor, TaskSpec
+from repro.runner.executor import TaskSpec, execute_cached
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
     from repro.experiments.base import ExperimentResult
@@ -236,45 +236,36 @@ def run_campaign(
         stepping = None
     stepping_dict = None if stepping is None else stepping.to_dict()
     overrides = {} if stepping is None else {"stepping": stepping_dict}
-    records: Dict[str, ExperimentRecord] = {}
-    fingerprints: Dict[str, str] = {}
-    pending: List[TaskSpec] = []
-    for experiment_id in ids:
-        if cache is not None:
-            fp = fingerprint(experiment_id, scale, quick, overrides=overrides)
-            fingerprints[experiment_id] = fp
-            payload = cache.get(fp)
-            if payload is not None:
-                record = ExperimentRecord.from_payload(payload, from_cache=True)
-                records[experiment_id] = record
-                if progress is not None:
-                    progress(experiment_id, record)
-                continue
-        pending.append(
-            TaskSpec(
-                task_id=experiment_id,
-                kind="experiment",
-                payload={"experiment_id": experiment_id, "scale": scale, "quick": quick,
-                         "stepping": stepping_dict},
-            )
+    tasks = [
+        TaskSpec(
+            task_id=experiment_id,
+            kind="experiment",
+            payload={"experiment_id": experiment_id, "scale": scale, "quick": quick,
+                     "stepping": stepping_dict},
         )
+        for experiment_id in ids
+    ]
 
-    def on_done(task: TaskSpec, payload: Dict[str, object]) -> None:
-        record = ExperimentRecord.from_payload(payload)
+    records: Dict[str, ExperimentRecord] = {}
+
+    def on_result(task: TaskSpec, payload: Dict[str, object], from_cache: bool) -> None:
+        record = ExperimentRecord.from_payload(payload, from_cache=from_cache)
         records[task.task_id] = record
-        if cache is not None:
-            cache.put(
-                fingerprints[task.task_id],
-                payload,
-                key_material={"experiment_id": task.task_id, "scale": scale,
-                              "quick": quick, "overrides": overrides,
-                              "version": __version__},
-            )
         if progress is not None:
             progress(task.task_id, record)
 
-    if pending:
-        ParallelExecutor(jobs=jobs).map(pending, progress=on_done)
+    execute_cached(
+        tasks,
+        jobs=jobs,
+        cache=cache,
+        fingerprint_for=lambda task: fingerprint(
+            task.task_id, scale, quick, overrides=overrides
+        ),
+        key_material_for=lambda task: {"experiment_id": task.task_id, "scale": scale,
+                                       "quick": quick, "overrides": overrides,
+                                       "version": __version__},
+        progress=on_result,
+    )
 
     campaign.records = [records[experiment_id] for experiment_id in ids]
     campaign.wall_time = time.perf_counter() - t0

@@ -1,0 +1,209 @@
+"""Pairwise interference metrics and the matrix heatmap report.
+
+The Δ-graph answers "how does interference between two *identical*
+applications evolve with their relative start time"; the interference matrix
+answers the orthogonal population question — "which *kinds* of workloads hurt
+each other, and why".  This module holds the pure metric functions and the
+markdown rendering; the campaign that produces the numbers lives in
+:mod:`repro.scenarios.matrix`.
+
+Metrics (per ordered pair ``(victim, aggressor)``):
+
+* **slowdown** — victim phase time co-running over victim phase time alone
+  (the interference factor of the paper, generalized to unequal workloads);
+* **dilation** — pair makespan over the longer alone phase: how much the
+  *machine* pays for co-scheduling, independent of who pays it;
+* **asymmetry** — slowdown(victim) − slowdown(aggressor) from the same run:
+  positive when the row workload suffers more than the column workload;
+* **root cause** — the dominant contender of
+  :func:`repro.core.rootcause.attribute_root_cause` for the pair run, so
+  every cell of the heatmap is explained, not just measured.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from repro.analysis.tables import rows_to_markdown
+from repro.errors import AnalysisError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.model.results import RunResult
+    from repro.scenarios.matrix import InterferenceMatrix
+
+__all__ = [
+    "slowdown",
+    "dilation",
+    "pair_asymmetry",
+    "severity",
+    "attribute_pair",
+    "matrix_heatmap_markdown",
+    "matrix_report_markdown",
+    "update_experiments_section",
+    "MATRIX_SECTION_BEGIN",
+    "MATRIX_SECTION_END",
+]
+
+
+def slowdown(pair_time: float, alone_time: float) -> float:
+    """Interference factor of one workload: co-running over alone phase time."""
+    if alone_time <= 0:
+        raise AnalysisError(f"alone time must be positive, got {alone_time}")
+    if pair_time < 0:
+        raise AnalysisError(f"pair time must be non-negative, got {pair_time}")
+    return pair_time / alone_time
+
+
+def dilation(pair_makespan: float, alone_a: float, alone_b: float) -> float:
+    """Machine-level cost of co-scheduling: makespan over the longer phase."""
+    longest = max(alone_a, alone_b)
+    if longest <= 0:
+        raise AnalysisError("alone times must include a positive phase")
+    if pair_makespan < 0:
+        raise AnalysisError("pair makespan must be non-negative")
+    return pair_makespan / longest
+
+
+def pair_asymmetry(slowdown_a: float, slowdown_b: float) -> float:
+    """How much harder A is hit than B (positive: A suffers more)."""
+    return float(slowdown_a) - float(slowdown_b)
+
+
+#: Severity bands of a slowdown value, worst first: (threshold, label).
+_SEVERITY_BANDS: Tuple[Tuple[float, str], ...] = (
+    (2.0, "severe"),
+    (1.5, "high"),
+    (1.15, "moderate"),
+    (1.05, "mild"),
+    (0.0, "none"),
+)
+
+
+def severity(value: float) -> str:
+    """Qualitative band of a slowdown value (``none`` ... ``severe``)."""
+    for threshold, label in _SEVERITY_BANDS:
+        if value >= threshold:
+            return label
+    return "none"
+
+
+#: Slowdowns at or above the "high" band render bold in the heatmap; the
+#: report prose quotes the same number, so retuning the bands moves both.
+_BOLD_THRESHOLD = next(t for t, label in _SEVERITY_BANDS if label == "high")
+
+
+def attribute_pair(result: "RunResult") -> Tuple[str, Dict[str, float]]:
+    """Root-cause attribution hook for one pair run.
+
+    Returns ``(dominant, scores)`` where ``dominant`` names the winning
+    contender and ``scores`` maps every contender to its heuristic score —
+    the explanation column of the matrix report.
+    """
+    from repro.core.rootcause import attribute_root_cause
+
+    report = attribute_root_cause(result)
+    scores = {
+        contender.value: float(score) for contender, score in report.scores.items()
+    }
+    return report.dominant.value, scores
+
+
+# --------------------------------------------------------------------------- #
+# Markdown rendering
+# --------------------------------------------------------------------------- #
+
+MATRIX_SECTION_BEGIN = "<!-- repro:interference-matrix:begin -->"
+MATRIX_SECTION_END = "<!-- repro:interference-matrix:end -->"
+
+
+def _format_cell(value: float) -> str:
+    """Heatmap cell: the slowdown, bold once it crosses the 'high' band."""
+    text = f"{value:.2f}"
+    return f"**{text}**" if value >= _BOLD_THRESHOLD else text
+
+
+def matrix_heatmap_markdown(matrix: "InterferenceMatrix") -> str:
+    """The NxN slowdown heatmap: rows are victims, columns aggressors."""
+    rows: List[Dict[str, object]] = []
+    for victim in matrix.names:
+        row: Dict[str, object] = {"slowdown of \\ with": victim}
+        for aggressor in matrix.names:
+            row[aggressor] = _format_cell(matrix.slowdown_of(victim, aggressor))
+        rows.append(row)
+    return rows_to_markdown(rows)
+
+
+def matrix_report_markdown(matrix: "InterferenceMatrix") -> str:
+    """The full, deterministic matrix section for EXPERIMENTS.md."""
+    lines: List[str] = [
+        f"## Interference matrix — scale `{matrix.scale}`",
+        "",
+        f"All-pairs co-scheduling of {len(matrix.names)} workload archetypes "
+        f"({', '.join(f'`{n}`' for n in matrix.names)}) on one shared "
+        f"`{matrix.options.get('device', 'hdd')}`/"
+        f"`{matrix.options.get('sync_mode', 'sync-on')}` deployment.  Cell "
+        "(row, column) is the *slowdown* of the row workload when co-running "
+        "with the column workload (phase time together / phase time alone); "
+        f"**bold** marks slowdowns of {_BOLD_THRESHOLD:g}x or worse.",
+        "",
+        matrix_heatmap_markdown(matrix),
+        "",
+        "Interference-free baselines:",
+        "",
+        rows_to_markdown([
+            {
+                "workload": name,
+                "alone phase (s)": f"{matrix.alone_time(name):.3f}",
+            }
+            for name in matrix.names
+        ]),
+        "",
+        "Per-pair diagnosis (unordered pairs; asymmetry > 0 means the first "
+        "workload suffers more):",
+        "",
+    ]
+    detail_rows = []
+    for cell in matrix.cells_in_order():
+        detail_rows.append({
+            "pair": f"{cell.a} + {cell.b}",
+            "slowdown": f"{cell.slowdown_a:.2f} / {cell.slowdown_b:.2f}",
+            "dilation": f"{cell.dilation:.2f}",
+            "asymmetry": f"{cell.asymmetry:+.2f}",
+            "severity": severity(max(cell.slowdown_a, cell.slowdown_b)),
+            "dominant root cause": cell.root_cause,
+            "window collapses": cell.window_collapses,
+        })
+    lines.append(rows_to_markdown(detail_rows))
+    lines.append("")
+    lines.append(f"Regenerate with: `{matrix.regenerate_command()}`.")
+    return "\n".join(lines)
+
+
+def update_experiments_section(path: str, section: str) -> str:
+    """Insert or replace the marker-delimited matrix section in a report file.
+
+    Idempotent by construction: the section is wrapped in begin/end marker
+    comments, and a re-run with identical results rewrites the file
+    byte-identically — which is what lets the warm-cache acceptance check
+    (`repro-io matrix` twice) diff clean.  Returns the full file content.
+    """
+    block = f"{MATRIX_SECTION_BEGIN}\n{section}\n{MATRIX_SECTION_END}\n"
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            existing = handle.read()
+    except FileNotFoundError:
+        existing = ""
+
+    if MATRIX_SECTION_BEGIN in existing and MATRIX_SECTION_END in existing:
+        head, _, rest = existing.partition(MATRIX_SECTION_BEGIN)
+        _, _, tail = rest.partition(MATRIX_SECTION_END)
+        tail = tail.lstrip("\n")
+        content = head + block + tail
+    elif existing:
+        joiner = "" if existing.endswith("\n\n") else ("\n" if existing.endswith("\n") else "\n\n")
+        content = existing + joiner + block
+    else:
+        content = block
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content)
+    return content

@@ -31,6 +31,12 @@ Explore a parameter grid and persist each run with a manifest::
 Verify the integrity of persisted runs::
 
     repro-io verify runs/
+
+Run the all-pairs interference matrix over workload archetypes (updates the
+interference-matrix section of EXPERIMENTS.md and persists ``matrix.json``;
+a warm-cache repeat is a 100% cache hit with byte-identical outputs)::
+
+    repro-io matrix --archetypes checkpoint,analytics --jobs 2
 """
 
 from __future__ import annotations
@@ -45,48 +51,104 @@ from repro.analysis.asciiplot import plot_delta_sweep
 from repro.analysis.tables import sweep_to_csv
 from repro.core.experiment import TwoApplicationExperiment
 from repro.core.reporting import format_delta_sweep
+from repro.errors import UsageError
 from repro.experiments.registry import get_experiment, list_experiments
 
 __all__ = ["main", "build_parser"]
 
 DEFAULT_CACHE_DIR = ".repro-cache"
+DEFAULT_STORE_DIR = "runs"
 
 
-def _sweep_points(value: str) -> int:
-    """argparse type for ``--points``: an integer number of sweep points >= 3."""
+# --------------------------------------------------------------------------- #
+# Argument validation
+#
+# Every validator raises repro.errors.UsageError with a message that names
+# the current flag spelling; _cli_type funnels that into argparse's uniform
+# bad-argument path (message on stderr, exit code 2) so all subcommands
+# reject bad values identically.
+# --------------------------------------------------------------------------- #
+
+
+def _cli_type(validator):
+    """Wrap a UsageError-raising validator as an argparse type callable."""
+
+    def convert(value: str):
+        try:
+            return validator(value)
+        except UsageError as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from None
+
+    convert.__name__ = validator.__name__.lstrip("_")
+    return convert
+
+
+def validate_sweep_points(value: str) -> int:
+    """``--points``: an integer number of Δ-sweep delays, at least 3."""
     try:
         points = int(value)
     except ValueError:
-        raise argparse.ArgumentTypeError(f"invalid int value: {value!r}") from None
+        raise UsageError(f"--points expects an integer, got {value!r}") from None
     if points < 3:
-        raise argparse.ArgumentTypeError(
-            f"a delta sweep needs at least 3 points, got {points}"
+        raise UsageError(
+            f"--points must be at least 3 (a delta sweep needs >= 3 delays), "
+            f"got {points}"
         )
     return points
 
 
-def _positive_int(value: str) -> int:
-    """argparse type for ``--jobs``: a strictly positive integer."""
+def validate_jobs(value: str) -> int:
+    """``--jobs``: a strictly positive worker count."""
     try:
         number = int(value)
     except ValueError:
-        raise argparse.ArgumentTypeError(f"invalid int value: {value!r}") from None
+        raise UsageError(f"--jobs expects an integer, got {value!r}") from None
     if number < 1:
-        raise argparse.ArgumentTypeError(f"must be >= 1, got {number}")
+        raise UsageError(f"--jobs must be >= 1, got {number}")
     return number
 
 
-def _step_tolerance(value: str) -> float:
-    """argparse type for ``--step-tolerance``: a float in (0, 1]."""
+def validate_step_tolerance(value: str) -> float:
+    """``--step-tolerance``: a float in (0, 1]."""
     try:
         tolerance = float(value)
     except ValueError:
-        raise argparse.ArgumentTypeError(f"invalid float value: {value!r}") from None
+        raise UsageError(
+            f"--step-tolerance expects a number, got {value!r}"
+        ) from None
     if not 0.0 < tolerance <= 1.0:
-        raise argparse.ArgumentTypeError(
-            f"step tolerance must be in (0, 1], got {tolerance}"
+        raise UsageError(
+            f"--step-tolerance must be in (0, 1], got {tolerance}"
         )
     return tolerance
+
+
+def validate_archetypes(value: str):
+    """``--archetypes``: >= 2 comma-separated registered archetype names."""
+    from repro.scenarios.archetypes import archetype_names
+
+    names = [part.strip().lower() for part in value.split(",") if part.strip()]
+    known = archetype_names()
+    unknown = sorted(set(names) - set(known))
+    if unknown:
+        raise UsageError(
+            f"--archetypes names unknown archetypes {unknown}; "
+            f"available: {known}"
+        )
+    if len(names) < 2:
+        raise UsageError(
+            f"--archetypes needs at least two comma-separated archetypes "
+            f"(e.g. checkpoint,analytics), got {value!r}"
+        )
+    if len(set(names)) != len(names):
+        raise UsageError(f"--archetypes lists duplicates: {names}")
+    return names
+
+
+_sweep_points = _cli_type(validate_sweep_points)
+_positive_int = _cli_type(validate_jobs)
+_step_tolerance = _cli_type(validate_step_tolerance)
+_archetype_list = _cli_type(validate_archetypes)
 
 
 def _add_stepping_arguments(parser: argparse.ArgumentParser) -> None:
@@ -248,6 +310,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="run directories (or store roots containing them) to verify",
     )
 
+    matrix_parser = sub.add_parser(
+        "matrix",
+        help="run the all-pairs interference matrix over workload archetypes",
+    )
+    matrix_parser.add_argument(
+        "--archetypes", type=_archetype_list, required=True,
+        metavar="NAME,NAME[,...]",
+        help="at least two comma-separated workload archetypes; a bad name "
+             "lists the registry (checkpoint, analytics, smallfile, ...)",
+    )
+    matrix_parser.add_argument(
+        "--scale", default="tiny", choices=["tiny", "reduced", "paper"],
+        help="scale preset for every run (default: tiny — the matrix "
+             "multiplies run counts)",
+    )
+    matrix_parser.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="fan alone/pair runs across N worker processes",
+    )
+    matrix_parser.add_argument("--device", default="hdd", help="hdd, ssd, ram")
+    matrix_parser.add_argument(
+        "--sync", default="sync-on", choices=["sync-on", "sync-off", "null-aio"]
+    )
+    matrix_parser.add_argument("--network", default="10g", choices=["10g", "1g"])
+    matrix_parser.add_argument(
+        "--delay", type=float, default=0.0, metavar="SECONDS",
+        help="start offset of the second workload of every pair (default: 0)",
+    )
+    matrix_parser.add_argument(
+        "--cache-dir", metavar="DIR", default=DEFAULT_CACHE_DIR,
+        help=f"content-addressed result cache (default: {DEFAULT_CACHE_DIR}); "
+             "a repeated matrix is a 100%% cache hit",
+    )
+    matrix_parser.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    matrix_parser.add_argument(
+        "--output", metavar="PATH", default="EXPERIMENTS.md",
+        help="report file whose interference-matrix section is created or "
+             "replaced in place (default: EXPERIMENTS.md)",
+    )
+    matrix_parser.add_argument(
+        "--no-output", action="store_true",
+        help="print the report to stdout instead of updating a file",
+    )
+    matrix_parser.add_argument(
+        "--store", metavar="DIR", default=DEFAULT_STORE_DIR,
+        help="persist matrix.json as a verifiable run directory under DIR "
+             f"(default: {DEFAULT_STORE_DIR}/)",
+    )
+    matrix_parser.add_argument(
+        "--no-store", action="store_true", help="do not persist matrix.json"
+    )
+    matrix_parser.add_argument(
+        "--csv", action="store_true",
+        help="print the ordered (victim, aggressor) slowdown table as CSV",
+    )
+    _add_stepping_arguments(matrix_parser)
+
     return parser
 
 
@@ -368,6 +489,53 @@ def _command_grid(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_matrix(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    # Imported lazily: the matrix machinery pulls in the whole fleet stack.
+    from repro.analysis.interference import (
+        matrix_report_markdown,
+        update_experiments_section,
+    )
+    from repro.analysis.tables import rows_to_csv
+    from repro.scenarios.matrix import run_interference_matrix, store_matrix
+
+    stepping = _stepping_policy(parser, args)
+
+    def progress(task_id: str, from_cache: bool) -> None:
+        origin = "cached" if from_cache else "ran"
+        print(f"[matrix] {task_id:40s} ({origin})", file=sys.stderr)
+
+    matrix = run_interference_matrix(
+        args.archetypes,
+        args.scale,
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        stepping=stepping,
+        progress=progress,
+        device=args.device,
+        sync_mode=args.sync,
+        network=args.network,
+        delay=args.delay,
+    )
+
+    if args.csv:
+        print(rows_to_csv(matrix.to_rows()), end="")
+    section = matrix_report_markdown(matrix)
+    if args.no_output:
+        if not args.csv:
+            print(section)
+    else:
+        update_experiments_section(args.output, section)
+        print(f"[matrix] updated {args.output}: {matrix.describe()}", file=sys.stderr)
+    if not args.no_store:
+        run_dir = store_matrix(matrix, args.store)
+        print(
+            f"[matrix] matrix.json persisted under {run_dir} "
+            f"(verify with: repro-io verify {run_dir})",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _command_verify(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -414,6 +582,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_campaign(args, parser)
     if args.command == "grid":
         return _command_grid(args)
+    if args.command == "matrix":
+        return _command_matrix(args, parser)
     if args.command == "verify":
         return _command_verify(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

@@ -45,6 +45,7 @@ __all__ = [
     "tiny_scale",
     "get_scale",
     "grid5000_platform",
+    "make_filesystem",
     "make_scenario",
     "make_single_app_scenario",
     "make_multi_app_scenario",
@@ -296,6 +297,46 @@ def _build_pattern(
     return spec
 
 
+def make_filesystem(
+    scale: Union[str, PresetName, ScalePreset] = PresetName.REDUCED,
+    *,
+    device: Union[str, DeviceSpec] = "hdd",
+    sync_mode: Union[str, SyncMode, bool] = SyncMode.SYNC_ON,
+    stripe_size: float = 64 * units.KiB,
+    n_servers: Optional[int] = None,
+) -> FileSystemConfig:
+    """Build the PVFS-like deployment of a scale preset.
+
+    Shared by :func:`make_scenario` and the scenario-library builders
+    (:mod:`repro.scenarios`), so every entry point resolves device names,
+    sync modes and the preset's server constants identically.
+    """
+    preset = get_scale(scale)
+    device_spec = device_by_name(device) if isinstance(device, str) else device
+    if isinstance(sync_mode, bool):
+        mode = SyncMode.SYNC_ON if sync_mode else SyncMode.SYNC_OFF
+    elif isinstance(sync_mode, str):
+        mode = SyncMode(sync_mode)
+    else:
+        mode = sync_mode
+    if mode is SyncMode.NULL_AIO:
+        device_spec = device_by_name("null")
+    server_cfg = ServerConfig(
+        ingest_bw=preset.server_ingest_bw,
+        fragment_op_cost=preset.fragment_op_cost,
+        buffer_bytes=preset.server_buffer,
+        page_cache_bytes=preset.page_cache,
+    )
+    return FileSystemConfig(
+        n_servers=n_servers if n_servers is not None else preset.n_servers,
+        stripe_size=stripe_size,
+        sync_mode=mode,
+        device=device_spec,
+        server=server_cfg,
+        name="orangefs",
+    )
+
+
 def make_scenario(
     scale: Union[str, PresetName, ScalePreset] = PresetName.REDUCED,
     *,
@@ -331,30 +372,12 @@ def make_scenario(
     preset = get_scale(scale)
     platform = grid5000_platform(preset, network=network)
 
-    device_spec = device_by_name(device) if isinstance(device, str) else device
-    if isinstance(sync_mode, bool):
-        mode = SyncMode.SYNC_ON if sync_mode else SyncMode.SYNC_OFF
-    elif isinstance(sync_mode, str):
-        mode = SyncMode(sync_mode)
-    else:
-        mode = sync_mode
-    if mode is SyncMode.NULL_AIO:
-        device_spec = device_by_name("null")
-
-    servers = n_servers if n_servers is not None else preset.n_servers
-    server_cfg = ServerConfig(
-        ingest_bw=preset.server_ingest_bw,
-        fragment_op_cost=preset.fragment_op_cost,
-        buffer_bytes=preset.server_buffer,
-        page_cache_bytes=preset.page_cache,
-    )
-    fs = FileSystemConfig(
-        n_servers=servers,
+    fs = make_filesystem(
+        preset,
+        device=device,
+        sync_mode=sync_mode,
         stripe_size=stripe_size,
-        sync_mode=mode,
-        device=device_spec,
-        server=server_cfg,
-        name="orangefs",
+        n_servers=n_servers,
     )
 
     nodes = nodes_per_app if nodes_per_app is not None else preset.nodes_per_app
@@ -397,7 +420,7 @@ def make_scenario(
         filesystem=fs,
         applications=(app_a, app_b),
         control=control,
-        label=label or f"{preset.name}/{device_spec.name}/{mode.value}",
+        label=label or f"{preset.name}/{fs.device.name}/{fs.sync_mode.value}",
     )
 
 

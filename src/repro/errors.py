@@ -14,6 +14,7 @@ __all__ = [
     "SchedulingError",
     "ExperimentError",
     "AnalysisError",
+    "UsageError",
 ]
 
 
@@ -48,3 +49,13 @@ class ExperimentError(ReproError, RuntimeError):
 
 class AnalysisError(ReproError, ValueError):
     """Raised by analysis helpers when given malformed or empty results."""
+
+
+class UsageError(ReproError, ValueError):
+    """An invalid command-line argument value.
+
+    Every CLI validator raises this with a message that names the *current*
+    flag spelling (``--points``, ``--jobs``, ``--archetypes``, ...); the CLI
+    layer converts it into the argparse error path, so all bad-argument
+    messages and exit codes (2) are uniform across subcommands.
+    """

@@ -12,11 +12,12 @@ Four pieces (see ``DESIGN.md`` at the repository root):
   through the executor and persisted through the store.
 """
 
-from repro.runner.cache import ResultCache, fingerprint
+from repro.runner.cache import ResultCache, fingerprint, fingerprint_payload
 from repro.runner.executor import (
     ParallelExecutor,
     TaskSpec,
     derive_task_seed,
+    resolve_task_kind,
     run_delta_sweep_parallel,
 )
 from repro.runner.grid import GridResult, ParameterGrid, run_grid
@@ -29,6 +30,8 @@ __all__ = [
     "run_delta_sweep_parallel",
     "ResultCache",
     "fingerprint",
+    "fingerprint_payload",
+    "resolve_task_kind",
     "RunStore",
     "write_run",
     "load_manifest",

@@ -26,7 +26,7 @@ from typing import Dict, List, Mapping, Optional
 
 from repro._version import __version__
 
-__all__ = ["ResultCache", "fingerprint"]
+__all__ = ["ResultCache", "fingerprint", "fingerprint_payload"]
 
 
 def fingerprint(
@@ -49,6 +49,28 @@ def fingerprint(
         "version": str(version),
     }
     canonical = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def fingerprint_payload(
+    kind: str,
+    material: Mapping[str, object],
+    version: str = __version__,
+) -> str:
+    """SHA-256 fingerprint of an arbitrary JSON-serializable task identity.
+
+    The generic analogue of :func:`fingerprint` for task kinds beyond the
+    campaign experiments (matrix alone/pair runs, future fleets).  ``material``
+    must already be plain JSON data (the ``to_dict()`` form of the task's
+    inputs); it is serialized canonically, so logically equal tasks always
+    hash identically — across processes and machines.
+    """
+    document = {
+        "kind": str(kind),
+        "material": material,
+        "version": str(version),
+    }
+    canonical = json.dumps(document, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 

@@ -20,11 +20,12 @@ Determinism rules:
 
 from __future__ import annotations
 
+import importlib
 import time
 import zlib
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -35,6 +36,8 @@ __all__ = [
     "ParallelExecutor",
     "derive_task_seed",
     "execute_task",
+    "execute_cached",
+    "resolve_task_kind",
     "run_experiment_task",
     "run_delta_point_task",
     "run_grid_point_task",
@@ -142,22 +145,41 @@ def run_grid_point_task(payload: Dict[str, Any], seed: Optional[int]) -> Dict[st
     }
 
 
-_TASK_KINDS: Dict[str, Callable[[Dict[str, Any], Optional[int]], Dict[str, Any]]] = {
+_Worker = Callable[[Dict[str, Any], Optional[int]], Dict[str, Any]]
+
+#: Task kind -> worker.  A worker is either the function itself or a lazy
+#: ``"module:function"`` reference.  Lazy references let higher layers (the
+#: scenario fleet in :mod:`repro.scenarios.matrix`) plug their own task kinds
+#: in without this module importing them at load time — crucially, the
+#: reference also resolves inside pool *worker processes*, which import this
+#: module but not necessarily the layer that registered the kind.
+_TASK_KINDS: Dict[str, Union[str, _Worker]] = {
     "experiment": run_experiment_task,
     "delta-point": run_delta_point_task,
     "grid-point": run_grid_point_task,
+    "matrix-alone": "repro.scenarios.matrix:run_matrix_alone_task",
+    "matrix-pair": "repro.scenarios.matrix:run_matrix_pair_task",
 }
+
+
+def resolve_task_kind(kind: str) -> _Worker:
+    """The worker function for ``kind``, importing lazy references on demand."""
+    try:
+        worker = _TASK_KINDS[kind]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown task kind {kind!r}; known: {sorted(_TASK_KINDS)}"
+        ) from None
+    if isinstance(worker, str):
+        module_name, _, attr = worker.partition(":")
+        worker = getattr(importlib.import_module(module_name), attr)
+        _TASK_KINDS[kind] = worker  # memoize for the life of the process
+    return worker
 
 
 def execute_task(task: TaskSpec) -> Dict[str, Any]:
     """Dispatch one task to its worker function (runs inside the pool)."""
-    try:
-        worker = _TASK_KINDS[task.kind]
-    except KeyError:
-        raise ExperimentError(
-            f"unknown task kind {task.kind!r}; known: {sorted(_TASK_KINDS)}"
-        ) from None
-    return worker(task.payload, task.seed)
+    return resolve_task_kind(task.kind)(task.payload, task.seed)
 
 
 # --------------------------------------------------------------------------- #
@@ -230,6 +252,78 @@ class ParallelExecutor:
                 for future in pending:
                     future.cancel()
         return [results_by_index[i] for i in range(len(tasks))]
+
+
+def execute_cached(
+    tasks: Sequence[TaskSpec],
+    *,
+    jobs: int = 1,
+    cache=None,
+    fingerprint_for: Optional[Callable[[TaskSpec], str]] = None,
+    key_material_for: Optional[Callable[[TaskSpec], Dict[str, Any]]] = None,
+    progress: Optional[Callable[[TaskSpec, Dict[str, Any], bool], None]] = None,
+) -> Dict[str, Dict[str, Any]]:
+    """Run tasks through the executor, served from / stored into a cache.
+
+    The shared orchestration of every cached campaign (the experiment
+    campaign, the interference matrix): probe the cache per task, fan the
+    misses across the pool, store completions back.  Returns
+    ``{task_id: payload}`` for every task.
+
+    Parameters
+    ----------
+    tasks:
+        The full task list (hits and misses alike).
+    jobs:
+        Worker processes for the cache misses.
+    cache:
+        A :class:`repro.runner.cache.ResultCache` (or ``None`` to disable
+        caching — fingerprints are then never computed).
+    fingerprint_for:
+        Callable giving one task's cache fingerprint; required when
+        ``cache`` is given.
+    key_material_for:
+        Optional callable giving the human-readable key material stored
+        beside one task's payload.
+    progress:
+        Optional callback ``progress(task, payload, from_cache)``: cache
+        hits fire first (in task order), then completions (in completion
+        order under parallelism).
+    """
+    if cache is not None and fingerprint_for is None:
+        raise ExperimentError("execute_cached needs fingerprint_for with a cache")
+
+    results: Dict[str, Dict[str, Any]] = {}
+    fingerprints: Dict[str, str] = {}
+    pending: List[TaskSpec] = []
+    for task in tasks:
+        if cache is not None:
+            fp = fingerprint_for(task)
+            fingerprints[task.task_id] = fp
+            payload = cache.get(fp)
+            if payload is not None:
+                results[task.task_id] = payload
+                if progress is not None:
+                    progress(task, payload, True)
+                continue
+        pending.append(task)
+
+    def on_done(task: TaskSpec, payload: Dict[str, Any]) -> None:
+        results[task.task_id] = payload
+        if cache is not None:
+            cache.put(
+                fingerprints[task.task_id],
+                payload,
+                key_material=(
+                    key_material_for(task) if key_material_for is not None else None
+                ),
+            )
+        if progress is not None:
+            progress(task, payload, False)
+
+    if pending:
+        ParallelExecutor(jobs=jobs).map(pending, progress=on_done)
+    return results
 
 
 def run_delta_sweep_parallel(

@@ -1,0 +1,46 @@
+"""The scenario fleet: declarative workload archetypes and pair campaigns.
+
+Three pieces (see the *Scenario registry and pair campaigns* section of
+``DESIGN.md``):
+
+* :mod:`repro.scenarios.archetypes` — the registry of named workload
+  archetypes (checkpoint, analytics, smallfile, streaming, randomread,
+  mixed, staggered, incast), each a scale-free description of one member of
+  the workload population;
+* :mod:`repro.scenarios.spec` — :class:`ScenarioSpec`, the serializable
+  archetype-instance record, and :func:`build_scenario`, which assembles one
+  or more specs onto a shared deployment;
+* :mod:`repro.scenarios.matrix` — the all-pairs interference campaign
+  (``repro-io matrix``): N alone runs + N·(N+1)/2 pair runs through the
+  parallel executor and result cache, rendered as a slowdown heatmap.
+"""
+
+from repro.scenarios.archetypes import (
+    Archetype,
+    archetype_names,
+    get_archetype,
+    list_archetypes,
+    register_archetype,
+)
+from repro.scenarios.matrix import (
+    InterferenceMatrix,
+    PairCell,
+    run_interference_matrix,
+    store_matrix,
+)
+from repro.scenarios.spec import BuiltScenario, ScenarioSpec, build_scenario
+
+__all__ = [
+    "Archetype",
+    "archetype_names",
+    "get_archetype",
+    "list_archetypes",
+    "register_archetype",
+    "ScenarioSpec",
+    "BuiltScenario",
+    "build_scenario",
+    "InterferenceMatrix",
+    "PairCell",
+    "run_interference_matrix",
+    "store_matrix",
+]

@@ -1,0 +1,413 @@
+"""Workload archetypes: the vocabulary of the scenario fleet.
+
+The paper studies one workload — two identical checkpoint-style writers — but
+its motivating question ("which applications hurt each other, and why?") is
+about a *population* of workloads.  An :class:`Archetype` is a named,
+declarative description of one member of that population, expressed through
+the knobs the fluid model supports: access kind, request size, per-process
+volume, writer layout, collectivity, and internal staggering.
+
+Every archetype maps a real HPC I/O behaviour onto those knobs.  The model
+simulates one I/O phase through the shared client/transport/server/device
+path; read-flavoured archetypes (analytics scans, random reads) are
+approximated by the same request stream — the contention mechanics the paper
+studies (NIC sharing, server queueing, buffer pressure, Incast) act on
+request traffic regardless of direction, so pairwise *interference structure*
+is preserved even though device-level read/write asymmetry is not.
+
+The built-in registry:
+
+========== ==================================================================
+name       models
+========== ==================================================================
+checkpoint bulk-synchronous checkpoint burst (the paper's workload): one
+           large collective contiguous write per process
+analytics  read-heavy analytics scan: fewer processes streaming large
+           (1 MiB) requests with little synchronization, 1.5x the volume
+smallfile  metadata-heavy small-file workload: many independent 8 KiB
+           operations — fragment-op-cost dominated
+streaming  steady streaming writer: non-collective 512 KiB chunks at a
+           sustained rate (no barrier between operations)
+randomread random-read worker: independent 64 KiB requests over a small
+           volume — latency-bound, never saturates a component alone
+mixed      mixed read/write job: collective 256 KiB strided accesses at
+           3/4 volume (the paper's strided pattern at moderate pressure)
+staggered  staggered multi-app bundle: two half-size checkpoint groups whose
+           starts are offset by half a phase (a workflow of dependent jobs)
+incast     incast-heavy fan-out: all cores issuing 16 KiB collective
+           requests striped over every server — the flow-control stressor
+========== ==================================================================
+
+Use :func:`register_archetype` to extend the registry (tests do).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro import units
+from repro.config.presets import ScalePreset
+from repro.config.workload import AccessKind, ApplicationSpec, PatternSpec
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Archetype",
+    "register_archetype",
+    "get_archetype",
+    "archetype_names",
+    "list_archetypes",
+]
+
+
+@dataclass(frozen=True)
+class Archetype:
+    """A declarative workload archetype.
+
+    Scale-free by construction: every sizing field is a *fraction* of the
+    active :class:`~repro.config.presets.ScalePreset`, so one archetype
+    definition builds consistent workloads at ``tiny``, ``reduced`` and
+    ``paper`` scale.
+
+    Attributes
+    ----------
+    name:
+        Registry key (also the default application-group label).
+    title / description:
+        Human-readable identity, used by ``repro-io matrix`` listings and
+        the DESIGN.md registry table.
+    kind:
+        Spatial access pattern (contiguous or strided).
+    request_size:
+        Request size in bytes, or ``None`` for the pattern default (whole
+        phase for contiguous, 256 KiB for strided).
+    volume_scale:
+        Per-process volume as a fraction of the preset's
+        ``bytes_per_process``.
+    nodes_scale / procs_scale:
+        Writer layout as fractions of the preset's ``nodes_per_app`` /
+        ``procs_per_node`` (floored at 1).
+    collective:
+        Whether operations synchronize between requests (MPI-IO collective
+        style).
+    overhead_scale:
+        Collective/coordination overhead as a fraction of the preset's
+        ``collective_overhead``.
+    n_groups:
+        Number of application sub-groups the archetype expands into
+        (``staggered`` uses 2; everything else 1).  The node budget is
+        split across groups.
+    stagger_frac:
+        Start offset between consecutive sub-groups, as a fraction of the
+        archetype's naive phase-time estimate (volume over aggregate server
+        ingest bandwidth).
+    """
+
+    name: str
+    title: str
+    description: str
+    kind: AccessKind = AccessKind.CONTIGUOUS
+    request_size: Optional[float] = None
+    volume_scale: float = 1.0
+    nodes_scale: float = 1.0
+    procs_scale: float = 1.0
+    collective: bool = True
+    overhead_scale: float = 1.0
+    n_groups: int = 1
+    stagger_frac: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("archetype name must not be empty")
+        if self.volume_scale <= 0:
+            raise ConfigurationError("volume_scale must be positive")
+        if self.nodes_scale <= 0 or self.procs_scale <= 0:
+            raise ConfigurationError("nodes_scale and procs_scale must be positive")
+        if self.request_size is not None and self.request_size <= 0:
+            raise ConfigurationError("request_size must be positive when given")
+        if self.overhead_scale < 0:
+            raise ConfigurationError("overhead_scale must be non-negative")
+        if self.n_groups < 1:
+            raise ConfigurationError("n_groups must be >= 1")
+        if self.stagger_frac < 0:
+            raise ConfigurationError("stagger_frac must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    # Sizing
+    # ------------------------------------------------------------------ #
+
+    def group_nodes(self, preset: ScalePreset, override: Optional[int] = None) -> int:
+        """Nodes per sub-group under ``preset`` (override = total nodes)."""
+        total = override if override is not None else max(
+            1, round(self.nodes_scale * preset.nodes_per_app)
+        )
+        return max(1, total // self.n_groups)
+
+    def procs_per_node(self, preset: ScalePreset, override: Optional[int] = None) -> int:
+        """Processes per node under ``preset``."""
+        if override is not None:
+            return max(1, int(override))
+        return max(1, round(self.procs_scale * preset.procs_per_node))
+
+    def bytes_per_process(
+        self, preset: ScalePreset, override: Optional[float] = None
+    ) -> float:
+        """Per-process volume (bytes) under ``preset``."""
+        if override is not None:
+            return float(override)
+        return self.volume_scale * preset.bytes_per_process
+
+    def phase_estimate(self, preset: ScalePreset) -> float:
+        """Naive single-group transfer-time estimate (for staggering)."""
+        volume = (
+            self.group_nodes(preset)
+            * self.procs_per_node(preset)
+            * self.bytes_per_process(preset)
+        )
+        aggregate = max(preset.server_ingest_bw * preset.n_servers, 1.0)
+        return volume / aggregate
+
+    # ------------------------------------------------------------------ #
+    # Building
+    # ------------------------------------------------------------------ #
+
+    def pattern(
+        self,
+        preset: ScalePreset,
+        *,
+        bytes_per_process: Optional[float] = None,
+        request_size: Optional[float] = None,
+    ) -> PatternSpec:
+        """The archetype's access pattern under ``preset``."""
+        volume = self.bytes_per_process(preset, bytes_per_process)
+        request = request_size if request_size is not None else self.request_size
+        if request is not None:
+            # A request can never exceed the phase volume (validated by
+            # PatternSpec); tiny overridden volumes shrink the request.
+            request = min(float(request), volume)
+        spec = PatternSpec(
+            kind=self.kind,
+            bytes_per_process=volume,
+            request_size=request,
+            collective=self.collective,
+            collective_overhead=self.overhead_scale * preset.collective_overhead,
+        )
+        return spec
+
+    def applications(
+        self,
+        preset: ScalePreset,
+        *,
+        name: Optional[str] = None,
+        start_time: float = 0.0,
+        nodes: Optional[int] = None,
+        procs_per_node: Optional[int] = None,
+        bytes_per_process: Optional[float] = None,
+        request_size: Optional[float] = None,
+    ) -> Tuple[ApplicationSpec, ...]:
+        """Expand the archetype into its application group(s).
+
+        A single-group archetype yields one :class:`ApplicationSpec` named
+        ``name`` (default: the archetype name); an ``n_groups``-archetype
+        yields ``name.1``, ``name.2``, ... with staggered start times.
+        """
+        label = name or self.name
+        pattern = self.pattern(
+            preset, bytes_per_process=bytes_per_process, request_size=request_size
+        )
+        group_nodes = self.group_nodes(preset, nodes)
+        procs = self.procs_per_node(preset, procs_per_node)
+        stagger = self.stagger_frac * self.phase_estimate(preset)
+        apps: List[ApplicationSpec] = []
+        for index in range(self.n_groups):
+            group_name = label if self.n_groups == 1 else f"{label}.{index + 1}"
+            apps.append(
+                ApplicationSpec(
+                    name=group_name,
+                    n_nodes=group_nodes,
+                    procs_per_node=procs,
+                    pattern=pattern,
+                    start_time=float(start_time) + index * stagger,
+                )
+            )
+        return tuple(apps)
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        shape = self.kind.value
+        if self.request_size is not None:
+            shape += f"/{units.bytes_to_human(self.request_size)}"
+        groups = "" if self.n_groups == 1 else f", {self.n_groups} staggered groups"
+        return f"{self.name}: {self.title} ({shape}{groups})"
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+
+_REGISTRY: Dict[str, Archetype] = {}
+
+
+def register_archetype(archetype: Archetype, replace_existing: bool = False) -> Archetype:
+    """Add an archetype to the registry (tests register synthetic ones).
+
+    The registry is per-process: a campaign run with ``jobs > 1`` under a
+    *spawn*/*forkserver* start method re-imports this module in each worker,
+    which only restores the built-ins.  Register custom archetypes at import
+    time of a module the workers also import (or run with ``jobs=1`` / the
+    default *fork* start method on Linux) before fanning them out.
+    """
+    if archetype.name in _REGISTRY and not replace_existing:
+        raise ConfigurationError(
+            f"archetype {archetype.name!r} is already registered"
+        )
+    _REGISTRY[archetype.name] = archetype
+    return archetype
+
+
+def get_archetype(name: str) -> Archetype:
+    """Look an archetype up by name."""
+    key = str(name).strip().lower()
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown archetype {name!r}; available: {archetype_names()}"
+        ) from None
+
+
+def archetype_names() -> List[str]:
+    """Registered archetype names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def list_archetypes() -> List[Archetype]:
+    """Registered archetypes in name order."""
+    return [_REGISTRY[name] for name in archetype_names()]
+
+
+# --------------------------------------------------------------------------- #
+# Built-in archetypes
+# --------------------------------------------------------------------------- #
+
+register_archetype(Archetype(
+    name="checkpoint",
+    title="bulk-synchronous checkpoint burst",
+    description=(
+        "The paper's workload: every process writes one large contiguous "
+        "block collectively — the heaviest sustained offered load."
+    ),
+    kind=AccessKind.CONTIGUOUS,
+))
+
+register_archetype(Archetype(
+    name="analytics",
+    title="read-heavy analytics scan",
+    description=(
+        "Half the cores streaming 1 MiB requests over 1.5x the volume with "
+        "little synchronization; approximates a post-hoc analysis job "
+        "scanning checkpoint output."
+    ),
+    kind=AccessKind.CONTIGUOUS,
+    request_size=1 * units.MiB,
+    volume_scale=1.5,
+    procs_scale=0.5,
+    overhead_scale=0.5,
+))
+
+register_archetype(Archetype(
+    name="smallfile",
+    title="metadata-heavy small-file workload",
+    description=(
+        "Many independent 8 KiB operations over 1/8th the volume — the "
+        "per-fragment server CPU cost dominates, not bytes."
+    ),
+    kind=AccessKind.STRIDED,
+    request_size=8 * units.KiB,
+    volume_scale=0.125,
+    collective=False,
+    overhead_scale=0.0,
+))
+
+register_archetype(Archetype(
+    name="streaming",
+    title="steady streaming writer",
+    description=(
+        "Non-collective 512 KiB chunks at full volume: a telemetry/log "
+        "stream that occupies the path continuously without barriers."
+    ),
+    kind=AccessKind.CONTIGUOUS,
+    request_size=512 * units.KiB,
+    collective=False,
+    overhead_scale=0.0,
+))
+
+register_archetype(Archetype(
+    name="randomread",
+    title="random-read worker",
+    description=(
+        "Independent 64 KiB requests over a quarter of the volume — "
+        "latency-bound traffic that rarely saturates anything alone."
+    ),
+    kind=AccessKind.STRIDED,
+    request_size=64 * units.KiB,
+    volume_scale=0.25,
+    collective=False,
+    overhead_scale=0.0,
+))
+
+register_archetype(Archetype(
+    name="mixed",
+    title="mixed read/write job",
+    description=(
+        "Collective 256 KiB strided accesses at 3/4 volume — the paper's "
+        "strided pattern at moderate pressure, standing in for interleaved "
+        "read-modify-write phases."
+    ),
+    kind=AccessKind.STRIDED,
+    request_size=256 * units.KiB,
+    volume_scale=0.75,
+    overhead_scale=0.5,
+))
+
+register_archetype(Archetype(
+    name="staggered",
+    title="staggered multi-app bundle",
+    description=(
+        "Two half-size checkpoint groups offset by half a phase: a "
+        "workflow of dependent jobs whose bursts partially overlap."
+    ),
+    kind=AccessKind.CONTIGUOUS,
+    volume_scale=0.5,
+    n_groups=2,
+    stagger_frac=0.5,
+))
+
+register_archetype(Archetype(
+    name="incast",
+    title="incast-heavy fan-out",
+    description=(
+        "All cores issuing 16 KiB collective requests striped over every "
+        "server — maximum concurrent flows per server buffer, the "
+        "flow-control (Incast) stressor."
+    ),
+    kind=AccessKind.STRIDED,
+    request_size=16 * units.KiB,
+    volume_scale=0.25,
+    overhead_scale=0.25,
+))
+
+
+def _self_check() -> None:
+    """Fail fast at import if a built-in archetype cannot size itself."""
+    from repro.config.presets import tiny_scale
+
+    preset = tiny_scale()
+    for archetype in list_archetypes():
+        apps = archetype.applications(preset)
+        assert apps, archetype.name
+        assert all(math.isfinite(a.total_bytes) and a.total_bytes > 0 for a in apps)
+
+
+_self_check()

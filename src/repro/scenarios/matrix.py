@@ -1,0 +1,581 @@
+"""The interference-matrix campaign: all pairs of workload archetypes.
+
+For N specs the campaign runs N *alone* simulations plus N·(N+1)/2
+*pair* simulations (unordered pairs including the self-pair), fanned across
+worker processes by :class:`repro.runner.executor.ParallelExecutor` and
+served from the content-addressed result cache on repeats.  From those runs
+it fills the full NxN ordered matrix: cell ``(a, b)`` is the slowdown of
+``a`` co-running with ``b``, read from the unordered pair run (the mirror
+cell reads the other side of the same run).
+
+Everything the campaign produces is deterministic — per-task seeds derive
+from the spec identities, reports carry no timestamps, and the stored
+``matrix.json`` manifest is pinned — so a warm-cache re-run is a 100% cache
+hit with byte-identical outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro._version import __version__
+from repro.analysis.interference import (
+    attribute_pair,
+    dilation,
+    pair_asymmetry,
+    slowdown,
+)
+from repro.config.control import SteppingPolicy
+from repro.core.delta import jsonify
+from repro.errors import AnalysisError, ConfigurationError, ExperimentError
+from repro.runner.cache import ResultCache, fingerprint_payload
+from repro.runner.executor import TaskSpec, execute_cached
+from repro.scenarios.spec import BuiltScenario, ScenarioSpec, build_scenario
+
+__all__ = [
+    "PairCell",
+    "InterferenceMatrix",
+    "run_interference_matrix",
+    "run_matrix_alone_task",
+    "run_matrix_pair_task",
+    "matrix_fingerprint",
+    "store_matrix",
+]
+
+#: Deployment knobs a matrix run shares across every simulation; everything
+#: here is part of each task's cache fingerprint.
+_OPTION_DEFAULTS: Dict[str, Any] = {
+    "device": "hdd",
+    "sync_mode": "sync-on",
+    "network": "10g",
+    "stripe_kib": 64.0,
+    "delay": 0.0,
+    "seed": None,
+}
+
+
+def _normalize_options(options: Dict[str, Any]) -> Dict[str, Any]:
+    unknown = sorted(set(options) - set(_OPTION_DEFAULTS))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown matrix options {unknown}; available: "
+            f"{sorted(_OPTION_DEFAULTS)}"
+        )
+    merged = dict(_OPTION_DEFAULTS)
+    merged.update(options)
+    merged["stripe_kib"] = float(merged["stripe_kib"])
+    merged["delay"] = float(merged["delay"])
+    if merged["seed"] is not None:
+        merged["seed"] = int(merged["seed"])
+    return merged
+
+
+# --------------------------------------------------------------------------- #
+# Result types
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class PairCell:
+    """Outcome of one unordered pair run (``a`` starts first)."""
+
+    a: str
+    b: str
+    alone_a: float
+    alone_b: float
+    pair_a: float
+    pair_b: float
+    makespan: float
+    window_collapses: int
+    root_cause: str
+    root_cause_scores: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def slowdown_a(self) -> float:
+        """Slowdown of workload ``a`` in this pairing."""
+        return slowdown(self.pair_a, self.alone_a)
+
+    @property
+    def slowdown_b(self) -> float:
+        """Slowdown of workload ``b`` in this pairing."""
+        return slowdown(self.pair_b, self.alone_b)
+
+    @property
+    def dilation(self) -> float:
+        """Makespan of the pair over the longer alone phase."""
+        return dilation(self.makespan, self.alone_a, self.alone_b)
+
+    @property
+    def asymmetry(self) -> float:
+        """Positive when ``a`` suffers more than ``b``."""
+        return pair_asymmetry(self.slowdown_a, self.slowdown_b)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable representation (inverse of :meth:`from_dict`)."""
+        return {
+            "a": self.a,
+            "b": self.b,
+            "alone_a": float(self.alone_a),
+            "alone_b": float(self.alone_b),
+            "pair_a": float(self.pair_a),
+            "pair_b": float(self.pair_b),
+            "makespan": float(self.makespan),
+            "window_collapses": int(self.window_collapses),
+            "root_cause": self.root_cause,
+            "root_cause_scores": {
+                k: float(v) for k, v in sorted(self.root_cause_scores.items())
+            },
+            # Derived, stored for human readers of matrix.json only:
+            "slowdown_a": float(self.slowdown_a),
+            "slowdown_b": float(self.slowdown_b),
+            "dilation": float(self.dilation),
+            "asymmetry": float(self.asymmetry),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PairCell":
+        """Rebuild a cell from :meth:`to_dict` output (derived fields recompute)."""
+        return cls(
+            a=str(data["a"]),
+            b=str(data["b"]),
+            alone_a=float(data["alone_a"]),
+            alone_b=float(data["alone_b"]),
+            pair_a=float(data["pair_a"]),
+            pair_b=float(data["pair_b"]),
+            makespan=float(data["makespan"]),
+            window_collapses=int(data["window_collapses"]),
+            root_cause=str(data["root_cause"]),
+            root_cause_scores={
+                str(k): float(v)
+                for k, v in dict(data.get("root_cause_scores", {})).items()
+            },
+        )
+
+
+def _pair_key(a: str, b: str) -> str:
+    return f"{a}|{b}"
+
+
+@dataclass
+class InterferenceMatrix:
+    """The full all-pairs result: N alone baselines + N·(N+1)/2 pair cells."""
+
+    scale: str
+    names: List[str]
+    alone: Dict[str, float]
+    cells: Dict[str, PairCell]
+    options: Dict[str, Any] = field(default_factory=dict)
+    stepping: Optional[Dict[str, object]] = None
+    specs: List[Dict[str, object]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    def alone_time(self, name: str) -> float:
+        """Interference-free phase time of one workload."""
+        try:
+            return self.alone[name]
+        except KeyError as exc:
+            raise AnalysisError(
+                f"no alone baseline for {name!r}; have {sorted(self.alone)}"
+            ) from exc
+
+    def cell(self, a: str, b: str) -> PairCell:
+        """The unordered pair cell covering ``a`` and ``b``."""
+        key = _pair_key(a, b)
+        if key in self.cells:
+            return self.cells[key]
+        mirror = _pair_key(b, a)
+        if mirror in self.cells:
+            return self.cells[mirror]
+        raise AnalysisError(f"matrix has no cell for pair ({a!r}, {b!r})")
+
+    def slowdown_of(self, victim: str, aggressor: str) -> float:
+        """Ordered lookup: slowdown of ``victim`` co-running with ``aggressor``."""
+        cell = self.cell(victim, aggressor)
+        return cell.slowdown_a if cell.a == victim else cell.slowdown_b
+
+    def cells_in_order(self) -> List[PairCell]:
+        """Cells in deterministic row-major (upper-triangle) order."""
+        ordered = []
+        for i, a in enumerate(self.names):
+            for b in self.names[i:]:
+                ordered.append(self.cell(a, b))
+        return ordered
+
+    def worst_pair(self) -> PairCell:
+        """The cell with the largest single-workload slowdown."""
+        cells = self.cells_in_order()
+        if not cells:
+            raise AnalysisError("the matrix has no cells")
+        return max(cells, key=lambda c: max(c.slowdown_a, c.slowdown_b))
+
+    def to_rows(self) -> List[Dict[str, Any]]:
+        """Flat ordered rows (CSV export): victim, aggressor, metrics."""
+        rows = []
+        for victim in self.names:
+            for aggressor in self.names:
+                cell = self.cell(victim, aggressor)
+                rows.append({
+                    "victim": victim,
+                    "aggressor": aggressor,
+                    "slowdown": round(self.slowdown_of(victim, aggressor), 4),
+                    "dilation": round(cell.dilation, 4),
+                    "root_cause": cell.root_cause,
+                })
+        return rows
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable representation (inverse of :meth:`from_dict`)."""
+        return {
+            "version": __version__,
+            "scale": self.scale,
+            "names": list(self.names),
+            "alone": {k: float(v) for k, v in sorted(self.alone.items())},
+            "cells": {k: self.cells[k].to_dict() for k in sorted(self.cells)},
+            "options": jsonify(dict(self.options)),
+            "stepping": self.stepping,
+            "specs": list(self.specs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "InterferenceMatrix":
+        """Rebuild a matrix from :meth:`to_dict` output."""
+        return cls(
+            scale=str(data["scale"]),
+            names=[str(n) for n in data["names"]],
+            alone={str(k): float(v) for k, v in dict(data["alone"]).items()},
+            cells={
+                str(k): PairCell.from_dict(v)
+                for k, v in dict(data["cells"]).items()
+            },
+            options=dict(data.get("options", {})),
+            stepping=data.get("stepping"),
+            specs=[dict(s) for s in data.get("specs", [])],
+        )
+
+    def regenerate_command(self) -> str:
+        """The exact ``repro-io matrix`` invocation that reproduces this matrix.
+
+        Includes every deployment knob that differs from the CLI defaults,
+        so following the hint in a report never silently rebuilds a
+        different matrix.
+        """
+        parts = [
+            "repro-io matrix",
+            f"--archetypes {','.join(self.names)}",
+            f"--scale {self.scale}",
+        ]
+        flags = {"device": "--device", "sync_mode": "--sync",
+                 "network": "--network", "delay": "--delay"}
+        for option, flag in flags.items():
+            value = self.options.get(option, _OPTION_DEFAULTS[option])
+            if value != _OPTION_DEFAULTS[option]:
+                parts.append(f"{flag} {value}")
+        if self.stepping is not None:
+            parts.append(f"--stepping {self.stepping.get('mode', 'adaptive')}")
+            tolerance = self.stepping.get("tolerance")
+            if tolerance is not None:
+                parts.append(f"--step-tolerance {tolerance:g}")
+        return " ".join(parts)
+
+    def describe(self) -> str:
+        """One-line summary for logs."""
+        worst = self.worst_pair()
+        return (
+            f"interference matrix at scale {self.scale!r}: "
+            f"{len(self.names)} archetypes, {len(self.cells)} pair runs, "
+            f"worst pair {worst.a}+{worst.b} "
+            f"(slowdown {max(worst.slowdown_a, worst.slowdown_b):.2f}, "
+            f"{worst.root_cause})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Worker tasks (module-level; referenced lazily from the executor registry)
+# --------------------------------------------------------------------------- #
+
+
+def _phase_time(result, names: Sequence[str]) -> float:
+    """Phase time of one spec's group: first start to last completion."""
+    apps = [result.applications[name] for name in names]
+    return max(a.end_time for a in apps) - min(a.start_time for a in apps)
+
+
+def _build_from_payload(payload: Dict[str, Any]) -> BuiltScenario:
+    specs = [ScenarioSpec.from_dict(s) for s in payload["specs"]]
+    options = payload["options"]
+    stepping = payload.get("stepping")
+    policy = None if stepping is None else SteppingPolicy.from_dict(stepping)
+    from repro import units
+
+    return build_scenario(
+        specs,
+        payload["scale"],
+        device=options["device"],
+        sync_mode=options["sync_mode"],
+        network=options["network"],
+        stripe_size=float(options["stripe_kib"]) * units.KiB,
+        delay=float(options["delay"]),
+        seed=options.get("seed"),
+        stepping=policy,
+    )
+
+
+def run_matrix_alone_task(payload: Dict[str, Any], seed: Optional[int]) -> Dict[str, Any]:
+    """Simulate one spec alone; returns its baseline phase time.
+
+    Payload keys: ``specs`` (a one-element list of serialized
+    :class:`~repro.scenarios.spec.ScenarioSpec`), ``scale``, ``options``,
+    ``stepping``.  ``seed`` is unused — matrix runs keep the scenario's
+    deterministic seed so alone and pair runs share random streams (the
+    common-random-numbers convention of the Δ-graph).
+    """
+    from repro.model.simulator import simulate_scenario
+
+    built = _build_from_payload(payload)
+    result = simulate_scenario(built.scenario)
+    return {
+        "phase_time": float(_phase_time(result, built.groups[0])),
+        "simulated_time": float(result.simulated_time),
+        "n_steps": int(result.n_steps),
+        "window_collapses": int(result.total_window_collapses()),
+    }
+
+
+def run_matrix_pair_task(payload: Dict[str, Any], seed: Optional[int]) -> Dict[str, Any]:
+    """Simulate one unordered pair on a shared deployment.
+
+    Payload is the two-spec analogue of :func:`run_matrix_alone_task`.
+    Returns per-slot phase times plus the root-cause attribution of the run.
+    """
+    from repro.model.simulator import simulate_scenario
+
+    built = _build_from_payload(payload)
+    result = simulate_scenario(built.scenario)
+    apps = list(result.applications.values())
+    makespan = max(a.end_time for a in apps) - min(a.start_time for a in apps)
+    root_cause, scores = attribute_pair(result)
+    return {
+        "phase_times": [
+            float(_phase_time(result, group)) for group in built.groups
+        ],
+        "makespan": float(makespan),
+        "simulated_time": float(result.simulated_time),
+        "window_collapses": int(result.total_window_collapses()),
+        "root_cause": root_cause,
+        "root_cause_scores": {k: float(v) for k, v in sorted(scores.items())},
+    }
+
+
+# --------------------------------------------------------------------------- #
+# The campaign
+# --------------------------------------------------------------------------- #
+
+
+def matrix_fingerprint(
+    specs: Sequence[ScenarioSpec],
+    scale: str,
+    options: Dict[str, Any],
+    stepping: Optional[Dict[str, object]],
+) -> str:
+    """Identity of a whole matrix run (names its stored run directory)."""
+    return fingerprint_payload("interference-matrix", {
+        "specs": [s.to_dict() for s in specs],
+        "scale": str(scale),
+        "options": jsonify(options),
+        "stepping": stepping,
+    })
+
+
+def run_interference_matrix(
+    archetypes: Sequence[Union[str, ScenarioSpec]],
+    scale: str = "tiny",
+    *,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    stepping: Optional[SteppingPolicy] = None,
+    progress: Optional[Callable[[str, bool], None]] = None,
+    **options: Any,
+) -> InterferenceMatrix:
+    """Run the all-pairs interference campaign over the given archetypes.
+
+    Parameters
+    ----------
+    archetypes:
+        At least two archetype names (or ready specs).  Duplicate instance
+        names are rejected — name specs explicitly to pair an archetype with
+        a differently-tuned copy of itself.
+    scale:
+        Scale preset for every run (default ``tiny``: the matrix multiplies
+        run counts, so the conservative scale is the default).
+    jobs:
+        Worker processes for the executor (alone and pair runs are
+        independent tasks).
+    cache_dir:
+        When given, every task is served from / stored into the
+        content-addressed cache — a repeated matrix is a 100% cache hit.
+    stepping:
+        Optional stepping policy for every simulation; non-default policies
+        join each task's cache fingerprint.
+    progress:
+        Optional callback ``progress(task_id, from_cache)`` per finished task.
+    **options:
+        Deployment knobs shared by every run: ``device``, ``sync_mode``,
+        ``network``, ``stripe_kib``, ``delay`` (start offset of the second
+        workload of each pair), ``seed``.
+    """
+    specs = [ScenarioSpec.coerce(a) for a in archetypes]
+    if len(specs) < 2:
+        raise ExperimentError(
+            "an interference matrix needs at least two archetypes"
+        )
+    names = [s.resolved_name for s in specs]
+    if len(set(names)) != len(names):
+        raise ExperimentError(
+            f"duplicate workload names in matrix: {names}; give duplicate "
+            "archetypes distinct ScenarioSpec names"
+        )
+    opts = _normalize_options(options)
+
+    # Normalize an explicit fixed policy to None so it shares the default
+    # cache fingerprint (mirrors run_campaign).
+    if stepping is not None and not stepping.is_adaptive:
+        stepping = None
+    stepping_dict = None if stepping is None else stepping.to_dict()
+
+    spec_by_name = dict(zip(names, specs))
+    cache = ResultCache(cache_dir) if cache_dir else None
+
+    def make_task(task_id: str, kind: str, task_specs: List[ScenarioSpec]) -> TaskSpec:
+        task_opts = dict(opts)
+        if kind == "matrix-alone":
+            # The pair delay cannot affect a single-workload run; normalizing
+            # it keeps alone baselines cache-shared across delay sweeps.
+            task_opts["delay"] = 0.0
+        return TaskSpec(
+            task_id=task_id,
+            kind=kind,
+            payload={
+                "specs": [s.to_dict() for s in task_specs],
+                "scale": str(scale),
+                "options": task_opts,
+                "stepping": stepping_dict,
+            },
+        )
+
+    tasks: List[TaskSpec] = []
+    for name in names:
+        tasks.append(make_task(f"alone:{name}", "matrix-alone", [spec_by_name[name]]))
+    pair_ids: List[Tuple[str, str]] = []
+    for i, a in enumerate(names):
+        for b in names[i:]:
+            pair_ids.append((a, b))
+            tasks.append(
+                make_task(
+                    f"pair:{a}+{b}", "matrix-pair",
+                    [spec_by_name[a], spec_by_name[b]],
+                )
+            )
+
+    def fingerprint_for(task: TaskSpec) -> str:
+        return fingerprint_payload(task.kind, {
+            "specs": task.payload["specs"],
+            "scale": task.payload["scale"],
+            "options": jsonify(task.payload["options"]),
+            "stepping": task.payload["stepping"],
+        })
+
+    def key_material_for(task: TaskSpec) -> Dict[str, Any]:
+        # The task's own (normalized) options — not the campaign-level ones —
+        # so the recorded key always matches what the fingerprint hashed.
+        return {"task_id": task.task_id, "kind": task.kind,
+                "scale": task.payload["scale"],
+                "options": jsonify(task.payload["options"]),
+                "stepping": task.payload["stepping"],
+                "specs": task.payload["specs"]}
+
+    def on_result(task: TaskSpec, payload: Dict[str, Any], from_cache: bool) -> None:
+        if progress is not None:
+            progress(task.task_id, from_cache)
+
+    results = execute_cached(
+        tasks,
+        jobs=jobs,
+        cache=cache,
+        fingerprint_for=fingerprint_for,
+        key_material_for=key_material_for,
+        progress=on_result,
+    )
+
+    alone = {
+        name: float(results[f"alone:{name}"]["phase_time"]) for name in names
+    }
+    cells: Dict[str, PairCell] = {}
+    for a, b in pair_ids:
+        payload = results[f"pair:{a}+{b}"]
+        phase_a, phase_b = payload["phase_times"]
+        cells[_pair_key(a, b)] = PairCell(
+            a=a,
+            b=b,
+            alone_a=alone[a],
+            alone_b=alone[b],
+            pair_a=float(phase_a),
+            pair_b=float(phase_b),
+            makespan=float(payload["makespan"]),
+            window_collapses=int(payload["window_collapses"]),
+            root_cause=str(payload["root_cause"]),
+            root_cause_scores={
+                str(k): float(v)
+                for k, v in dict(payload.get("root_cause_scores", {})).items()
+            },
+        )
+
+    return InterferenceMatrix(
+        scale=str(scale),
+        names=names,
+        alone=alone,
+        cells=cells,
+        options=opts,
+        stepping=stepping_dict,
+        specs=[s.to_dict() for s in specs],
+    )
+
+
+def store_matrix(matrix: InterferenceMatrix, store_dir: str) -> str:
+    """Persist ``matrix.json`` as a verifiable run directory.
+
+    The run id derives from the matrix fingerprint and the manifest
+    timestamp is pinned to zero, so re-running an identical matrix rewrites
+    the directory byte-identically (the warm-cache acceptance property).
+    Returns the run directory path.
+    """
+    import json
+
+    from repro.runner.store import RunStore
+
+    specs = [ScenarioSpec.from_dict(s) for s in matrix.specs]
+    fp = matrix_fingerprint(specs, matrix.scale, matrix.options, matrix.stepping)
+    seed = matrix.options.get("seed")
+    run_path = RunStore(store_dir).write_run(
+        f"matrix_{fp[:12]}",
+        seed=0 if seed is None else int(seed),
+        config=jsonify({
+            "scale": matrix.scale,
+            "archetypes": list(matrix.names),
+            "options": dict(matrix.options),
+            "stepping": matrix.stepping,
+        }),
+        artifacts={
+            "matrix.json": json.dumps(matrix.to_dict(), indent=2, sort_keys=True)
+            + "\n",
+        },
+        timestamp=0.0,
+    )
+    return str(run_path)

@@ -1,0 +1,266 @@
+"""Declarative, serializable scenario specifications.
+
+A :class:`ScenarioSpec` names an archetype plus a handful of optional
+overrides.  It is *pure data*: losslessly round-trippable through
+``to_dict``/``from_dict``, canonically hashable for the result cache, and
+cheap to ship across process boundaries.  :func:`build_scenario` turns one or
+more specs into a validated :class:`~repro.config.scenario.ScenarioConfig`
+on a shared deployment — the assembly step of the interference matrix
+(:mod:`repro.scenarios.matrix`), which pairs every spec with every other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro import units
+from repro.config.control import SteppingPolicy
+from repro.config.presets import (
+    ScalePreset,
+    get_scale,
+    grid5000_platform,
+    make_filesystem,
+)
+from repro.config.scenario import ScenarioConfig, SimulationControl
+from repro.config.workload import ApplicationSpec
+from repro.errors import ConfigurationError
+from repro.scenarios.archetypes import Archetype, get_archetype
+from repro.sim.tracing import TraceConfig
+
+__all__ = ["ScenarioSpec", "BuiltScenario", "SLOT_NAMES", "build_scenario"]
+
+#: Slot prefixes for multi-spec scenarios ("A:checkpoint", "B:analytics", ...).
+SLOT_NAMES = tuple("ABCDEFGH")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One workload instance of a fleet scenario.
+
+    Attributes
+    ----------
+    archetype:
+        Name of a registered :class:`~repro.scenarios.archetypes.Archetype`.
+    name:
+        Optional instance label (defaults to the archetype name); instances
+        of the same archetype in one scenario are disambiguated by slot.
+    start_time:
+        When the workload's I/O phase begins (seconds; pair campaigns add
+        their configured delay on top for the second slot).
+    nodes / procs_per_node / bytes_per_process / request_kib:
+        Optional absolute overrides of the archetype's preset-derived sizing
+        (``request_kib`` in KiB, matching the CLI flag convention).
+    """
+
+    archetype: str
+    name: str = ""
+    start_time: float = 0.0
+    nodes: Optional[int] = None
+    procs_per_node: Optional[int] = None
+    bytes_per_process: Optional[float] = None
+    request_kib: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        get_archetype(self.archetype)  # validate eagerly
+        if self.nodes is not None and self.nodes < 1:
+            raise ConfigurationError("nodes override must be >= 1")
+        if self.procs_per_node is not None and self.procs_per_node < 1:
+            raise ConfigurationError("procs_per_node override must be >= 1")
+        if self.bytes_per_process is not None and self.bytes_per_process <= 0:
+            raise ConfigurationError("bytes_per_process override must be positive")
+        if self.request_kib is not None and self.request_kib <= 0:
+            raise ConfigurationError("request_kib override must be positive")
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def resolved_name(self) -> str:
+        """The instance label (explicit name, else the archetype name)."""
+        return self.name or self.archetype
+
+    @property
+    def archetype_spec(self) -> Archetype:
+        """The registered archetype this spec instantiates."""
+        return get_archetype(self.archetype)
+
+    def applications(
+        self,
+        preset: ScalePreset,
+        *,
+        prefix: str = "",
+        extra_delay: float = 0.0,
+    ) -> Tuple[ApplicationSpec, ...]:
+        """Expand into application group(s) under ``preset``.
+
+        ``prefix`` (e.g. ``"A:"``) namespaces the group names so two
+        instances of the same archetype can share one scenario.
+        """
+        return self.archetype_spec.applications(
+            preset,
+            name=f"{prefix}{self.resolved_name}",
+            start_time=self.start_time + extra_delay,
+            nodes=self.nodes,
+            procs_per_node=self.procs_per_node,
+            bytes_per_process=self.bytes_per_process,
+            request_size=(
+                None if self.request_kib is None else self.request_kib * units.KiB
+            ),
+        )
+
+    def with_start_time(self, start_time: float) -> "ScenarioSpec":
+        """Return a copy starting at ``start_time``."""
+        return replace(self, start_time=float(start_time))
+
+    # ------------------------------------------------------------------ #
+    # Transport (cache fingerprints, task payloads)
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable representation (inverse of :meth:`from_dict`)."""
+        return {
+            "archetype": self.archetype,
+            "name": self.name,
+            "start_time": float(self.start_time),
+            "nodes": self.nodes,
+            "procs_per_node": self.procs_per_node,
+            "bytes_per_process": (
+                None if self.bytes_per_process is None else float(self.bytes_per_process)
+            ),
+            "request_kib": (
+                None if self.request_kib is None else float(self.request_kib)
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        nodes = data.get("nodes")
+        procs = data.get("procs_per_node")
+        volume = data.get("bytes_per_process")
+        request = data.get("request_kib")
+        return cls(
+            archetype=str(data["archetype"]),
+            name=str(data.get("name", "")),
+            start_time=float(data.get("start_time", 0.0)),
+            nodes=None if nodes is None else int(nodes),
+            procs_per_node=None if procs is None else int(procs),
+            bytes_per_process=None if volume is None else float(volume),
+            request_kib=None if request is None else float(request),
+        )
+
+    @classmethod
+    def coerce(cls, value: Union[str, "ScenarioSpec"]) -> "ScenarioSpec":
+        """Accept an archetype name or a ready spec."""
+        if isinstance(value, ScenarioSpec):
+            return value
+        return cls(archetype=str(value).strip().lower())
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        text = self.archetype_spec.describe()
+        if self.name and self.name != self.archetype:
+            text = f"{self.name} <- {text}"
+        return text
+
+
+@dataclass(frozen=True)
+class BuiltScenario:
+    """A scenario assembled from specs, plus the spec -> app-name mapping.
+
+    ``groups[i]`` lists the application names contributed by ``specs[i]`` —
+    what pair metrics aggregate over when a spec expands into several
+    staggered sub-groups.
+    """
+
+    scenario: ScenarioConfig
+    specs: Tuple[ScenarioSpec, ...]
+    groups: Tuple[Tuple[str, ...], ...] = field(default_factory=tuple)
+
+    def group_for(self, index: int) -> Tuple[str, ...]:
+        """Application names of the ``index``-th spec."""
+        return self.groups[index]
+
+
+def build_scenario(
+    specs: Sequence[Union[str, ScenarioSpec]],
+    scale: Union[str, ScalePreset] = "tiny",
+    *,
+    device: str = "hdd",
+    sync_mode: str = "sync-on",
+    network: str = "10g",
+    stripe_size: float = 64 * units.KiB,
+    n_servers: Optional[int] = None,
+    delay: float = 0.0,
+    seed: Optional[int] = None,
+    stepping: Optional[SteppingPolicy] = None,
+    trace: Optional[TraceConfig] = None,
+    label: str = "",
+) -> BuiltScenario:
+    """Assemble one or more specs into a scenario on a shared deployment.
+
+    Parameters
+    ----------
+    specs:
+        Archetype names or :class:`ScenarioSpec` objects.  With more than
+        one spec, application groups are namespaced by slot (``A:``, ``B:``,
+        ...), so two instances of the same archetype coexist.
+    scale:
+        Scale preset (``"tiny"``, ``"reduced"``, ``"paper"``, or a preset).
+    device / sync_mode / network / stripe_size / n_servers:
+        Deployment knobs, shared by every workload (interference requires a
+        shared file system — per-spec deployments would be separate runs).
+    delay:
+        Extra start offset (seconds) applied to the *second and later* specs
+        — the matrix campaign's ordering knob (cf. the Δ-graph's dt).
+    seed / stepping / trace:
+        Simulation control overrides (defaults: preset seed, process-default
+        stepping policy, default tracing).
+    """
+    resolved = tuple(ScenarioSpec.coerce(s) for s in specs)
+    if not resolved:
+        raise ConfigurationError("build_scenario needs at least one spec")
+    if len(resolved) > len(SLOT_NAMES):
+        raise ConfigurationError(
+            f"at most {len(SLOT_NAMES)} workloads per scenario, got {len(resolved)}"
+        )
+    preset = get_scale(scale)
+    platform = grid5000_platform(preset, network=network)
+    fs = make_filesystem(
+        preset,
+        device=device,
+        sync_mode=sync_mode,
+        stripe_size=stripe_size,
+        n_servers=n_servers,
+    )
+
+    multi = len(resolved) > 1
+    apps: List[ApplicationSpec] = []
+    groups: List[Tuple[str, ...]] = []
+    for index, spec in enumerate(resolved):
+        prefix = f"{SLOT_NAMES[index]}:" if multi else ""
+        extra_delay = float(delay) if (multi and index > 0) else 0.0
+        group = spec.applications(preset, prefix=prefix, extra_delay=extra_delay)
+        groups.append(tuple(app.name for app in group))
+        apps.extend(group)
+
+    total_nodes = sum(app.n_nodes for app in apps)
+    max_procs = max(app.procs_per_node for app in apps)
+    if platform.n_client_nodes < total_nodes:
+        platform = platform.with_nodes(total_nodes)
+    if platform.cores_per_node < max_procs:
+        platform = replace(platform, cores_per_node=max_procs)
+
+    control = SimulationControl(
+        seed=seed if seed is not None else preset.seed,
+        trace=trace or TraceConfig(),
+        stepping=stepping,
+    )
+    scenario = ScenarioConfig(
+        platform=platform,
+        filesystem=fs,
+        applications=tuple(apps),
+        control=control,
+        label=label or "+".join(s.resolved_name for s in resolved),
+    )
+    return BuiltScenario(scenario=scenario, specs=resolved, groups=tuple(groups))

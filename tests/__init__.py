@@ -1,0 +1,5 @@
+"""Test suite for the repro package.
+
+A package (not a bare directory) so the golden-trace regeneration script is
+runnable as ``PYTHONPATH=src python -m tests.regen_goldens``.
+"""

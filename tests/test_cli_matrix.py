@@ -1,0 +1,179 @@
+"""Tests of the ``matrix`` subcommand and the unified CLI validation errors."""
+
+import json
+
+import pytest
+
+from repro.cli import (
+    build_parser,
+    main,
+    validate_archetypes,
+    validate_jobs,
+    validate_step_tolerance,
+    validate_sweep_points,
+)
+from repro.errors import UsageError
+from repro.runner.store import verify_manifest
+
+
+def run_matrix(tmp_path, *extra):
+    output = tmp_path / "EXPERIMENTS.md"
+    argv = [
+        "matrix", "--archetypes", "checkpoint,analytics",
+        "--output", str(output),
+        "--store", str(tmp_path / "runs"),
+        "--cache-dir", str(tmp_path / "cache"),
+        *extra,
+    ]
+    assert main(argv) == 0
+    return output
+
+
+class TestMatrixCommand:
+    def test_tiny_matrix_end_to_end(self, tmp_path, capsys):
+        """The acceptance path: heatmap in the report + valid matrix.json."""
+        output = run_matrix(tmp_path, "--jobs", "2")
+        text = output.read_text(encoding="utf-8")
+        assert "Interference matrix" in text
+        assert "| checkpoint |" in text
+
+        runs = sorted((tmp_path / "runs").iterdir())
+        assert len(runs) == 1
+        ok, issues = verify_manifest(runs[0])
+        assert ok, issues
+        with open(runs[0] / "matrix.json", "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert document["names"] == ["checkpoint", "analytics"]
+        assert len(document["cells"]) == 3
+
+    def test_warm_cache_rerun_is_byte_identical(self, tmp_path, capsys):
+        output = run_matrix(tmp_path)
+        capsys.readouterr()
+        first_report = output.read_bytes()
+        runs = sorted((tmp_path / "runs").iterdir())
+        first_manifest = (runs[0] / "manifest.json").read_bytes()
+        first_json = (runs[0] / "matrix.json").read_bytes()
+
+        run_matrix(tmp_path)
+        err = capsys.readouterr().err
+        assert "(cached)" in err
+        assert "(ran)" not in err  # 100% cache hit
+        assert output.read_bytes() == first_report
+        assert (runs[0] / "manifest.json").read_bytes() == first_manifest
+        assert (runs[0] / "matrix.json").read_bytes() == first_json
+
+    def test_csv_output(self, tmp_path, capsys):
+        run_matrix(tmp_path, "--csv")
+        out = capsys.readouterr().out
+        header = out.splitlines()[0]
+        assert header.startswith("victim,aggressor,slowdown")
+        assert len(out.splitlines()) == 1 + 4  # header + NxN ordered rows
+
+    def test_no_output_prints_report(self, tmp_path, capsys):
+        argv = [
+            "matrix", "--archetypes", "checkpoint,analytics",
+            "--no-output", "--no-store", "--no-cache",
+        ]
+        assert main(argv) == 0
+        assert "Interference matrix" in capsys.readouterr().out
+
+    def test_adaptive_stepping_accepted(self, tmp_path):
+        output = run_matrix(
+            tmp_path, "--stepping", "adaptive", "--step-tolerance", "0.1"
+        )
+        assert "Interference matrix" in output.read_text(encoding="utf-8")
+
+
+class TestValidators:
+    """The shared validators raise UsageError naming the current flag."""
+
+    def test_sweep_points_names_the_flag(self):
+        with pytest.raises(UsageError, match=r"--points"):
+            validate_sweep_points("2")
+        with pytest.raises(UsageError, match=r"--points"):
+            validate_sweep_points("many")
+        assert validate_sweep_points("5") == 5
+
+    def test_jobs_names_the_flag(self):
+        with pytest.raises(UsageError, match=r"--jobs"):
+            validate_jobs("0")
+        with pytest.raises(UsageError, match=r"--jobs"):
+            validate_jobs("4.5")
+        assert validate_jobs("4") == 4
+
+    def test_step_tolerance_names_the_flag(self):
+        with pytest.raises(UsageError, match=r"--step-tolerance"):
+            validate_step_tolerance("0")
+        with pytest.raises(UsageError, match=r"--step-tolerance"):
+            validate_step_tolerance("soon")
+        assert validate_step_tolerance("0.5") == 0.5
+
+    def test_archetypes_names_the_flag(self):
+        with pytest.raises(UsageError, match=r"--archetypes"):
+            validate_archetypes("checkpoint")
+        with pytest.raises(UsageError, match=r"--archetypes"):
+            validate_archetypes("checkpoint,warpdrive")
+        with pytest.raises(UsageError, match=r"--archetypes"):
+            validate_archetypes("checkpoint,checkpoint")
+        assert validate_archetypes("Checkpoint, analytics") == [
+            "checkpoint", "analytics"
+        ]
+
+
+BAD_ARGVS = [
+    # sweep
+    ["sweep", "--points", "2"],
+    ["sweep", "--points", "nine"],
+    ["sweep", "--jobs", "0"],
+    ["sweep", "--jobs", "two"],
+    ["sweep", "--stepping", "sometimes"],
+    ["sweep", "--stepping", "adaptive", "--step-tolerance", "1.5"],
+    ["sweep", "--step-tolerance", "0.1"],
+    ["sweep", "--device", "hdd", "--sync", "maybe"],
+    # campaign
+    ["campaign", "--jobs", "-1"],
+    ["campaign", "--scale", "galactic"],
+    ["campaign", "--stepping", "adaptive", "--step-tolerance", "0"],
+    ["campaign", "--step-tolerance", "0.1"],
+    # matrix
+    ["matrix"],
+    ["matrix", "--archetypes", "checkpoint"],
+    ["matrix", "--archetypes", "checkpoint,warpdrive"],
+    ["matrix", "--archetypes", "checkpoint,checkpoint"],
+    ["matrix", "--archetypes", "checkpoint,analytics", "--jobs", "0"],
+    ["matrix", "--archetypes", "checkpoint,analytics", "--scale", "huge"],
+    ["matrix", "--archetypes", "checkpoint,analytics", "--step-tolerance", "0.1"],
+    ["matrix", "--archetypes", "checkpoint,analytics", "--delay", "soon"],
+]
+
+
+class TestBadArgumentExitCodes:
+    """Every bad-argument path exits with argparse's uniform code 2."""
+
+    @pytest.mark.parametrize(
+        "argv", BAD_ARGVS, ids=[" ".join(a) for a in BAD_ARGVS]
+    )
+    def test_exit_code_is_2(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        assert capsys.readouterr().err  # a diagnostic reached stderr
+
+    def test_messages_name_current_flags(self, capsys):
+        cases = {
+            ("sweep", "--points", "2"): "--points",
+            ("sweep", "--jobs", "0"): "--jobs",
+            ("matrix", "--archetypes", "checkpoint"): "--archetypes",
+            ("campaign", "--stepping", "adaptive", "--step-tolerance", "2"):
+                "--step-tolerance",
+        }
+        for argv, flag in cases.items():
+            with pytest.raises(SystemExit):
+                main(list(argv))
+            assert flag in capsys.readouterr().err
+
+    def test_parser_help_lists_matrix(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--help"])
+        assert excinfo.value.code == 0
+        assert "matrix" in capsys.readouterr().out

@@ -1,0 +1,187 @@
+"""Property-based tests (hypothesis) over every workload archetype.
+
+Three laws hold for *any* archetype instance, however it is sized:
+
+* **non-negative queues** — every recorded buffer/progress/utilization
+  series stays within its physical range (no negative fill, no progress
+  beyond completion);
+* **conservation** — each application group completes exactly the bytes its
+  spec issues, and the phase brackets are well-ordered;
+* **adaptive/fixed agreement** — adaptive stepping reproduces the fixed
+  phase times within the :class:`~repro.config.control.SteppingPolicy`
+  tolerance, in no more steps.
+
+The strategies deliberately draw *small* instances (1-2 nodes, <= 2 MiB per
+process) so hundreds of simulations stay fast; the laws are size-free.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.config.control import SteppingPolicy
+from repro.model.simulator import simulate_scenario
+from repro.scenarios.archetypes import archetype_names, get_archetype
+from repro.scenarios.spec import ScenarioSpec, build_scenario
+
+ARCHETYPES = archetype_names()
+
+#: Small-instance overrides: enough variety to exercise every sizing path,
+#: small enough that one simulation takes milliseconds.
+overrides_strategy = st.fixed_dictionaries({
+    "nodes": st.sampled_from([None, 1, 2]),
+    "procs_per_node": st.sampled_from([None, 1, 2]),
+    "bytes_per_process": st.sampled_from(
+        [None, 256 * units.KiB, 1 * units.MiB, 2 * units.MiB]
+    ),
+    "start_time": st.floats(min_value=0.0, max_value=0.5),
+})
+
+
+def _spec(archetype, overrides):
+    return ScenarioSpec(
+        archetype=archetype,
+        nodes=overrides["nodes"],
+        procs_per_node=overrides["procs_per_node"],
+        bytes_per_process=overrides["bytes_per_process"],
+        start_time=overrides["start_time"],
+    )
+
+
+def _simulate(spec, stepping=None):
+    built = build_scenario([spec], "tiny", stepping=stepping)
+    return built, simulate_scenario(built.scenario)
+
+
+class TestArchetypeInvariants:
+    """Queues and conservation, one drawn instance at a time."""
+
+    @pytest.mark.parametrize("archetype", ARCHETYPES)
+    @given(overrides=overrides_strategy)
+    @settings(max_examples=6, deadline=None)
+    def test_queues_and_conservation(self, archetype, overrides):
+        spec = _spec(archetype, overrides)
+        built, result = _simulate(spec)
+
+        # Conservation: every group writes exactly what its spec issues.
+        expected = {
+            app.name: app.total_bytes for app in built.scenario.applications
+        }
+        for name, app in result.applications.items():
+            assert app.bytes_written == pytest.approx(expected[name], rel=1e-9)
+            assert app.end_time >= app.start_time
+            assert app.start_time >= spec.start_time - 1e-12
+            assert app.window_collapses >= 0
+
+        # Non-negative queues and bounded fractions, across every trace.
+        for series_name in result.recorder.series_names():
+            values = result.recorder.get_series(series_name).values
+            assert np.all(np.isfinite(values)), series_name
+            assert np.all(values >= 0.0), series_name
+            if series_name.startswith("progress.") or "occupancy" in series_name:
+                assert np.all(values <= 1.0 + 1e-9), series_name
+
+        # Component statistics are physical utilizations/pressures.
+        comp = result.components
+        assert 0.0 <= comp.client_nic_utilization <= 1.0 + 1e-9
+        assert 0.0 <= comp.server_nic_utilization <= 1.0 + 1e-9
+        assert np.all(comp.buffer_pressure >= 0.0)
+        assert np.all(comp.buffer_pressure <= 1.0 + 1e-9)
+        assert np.all(comp.server_utilization >= 0.0)
+        assert np.all(comp.device_utilization >= 0.0)
+
+
+#: Smaller draw for the agreement test: it runs two simulations per example.
+adaptive_overrides_strategy = st.fixed_dictionaries({
+    "nodes": st.sampled_from([None, 1]),
+    "procs_per_node": st.sampled_from([1, 2]),
+    "bytes_per_process": st.sampled_from([512 * units.KiB, 1 * units.MiB]),
+    "start_time": st.sampled_from([0.0, 0.25]),
+})
+
+
+class TestAdaptiveAgreement:
+    """Adaptive stepping tracks fixed stepping within its tolerance."""
+
+    @pytest.mark.parametrize("archetype", ARCHETYPES)
+    @given(overrides=adaptive_overrides_strategy)
+    @settings(max_examples=2, deadline=None)
+    def test_adaptive_matches_fixed_within_tolerance(self, archetype, overrides):
+        spec = _spec(archetype, overrides)
+        policy = SteppingPolicy.adaptive(tolerance=0.05)
+        built, fixed = _simulate(spec)
+        _, adaptive = _simulate(spec, stepping=policy)
+
+        # Time is quantized: a phase boundary cannot be resolved finer than
+        # one base step, and every operation boundary of an op-dominated
+        # workload re-quantizes — so the error budget is the policy's
+        # relative tolerance plus one step per operation boundary.
+        step = built.scenario.control.resolve_step(
+            built.scenario.estimate_duration()
+        )
+        max_ops = max(
+            app.pattern.requests_per_process
+            for app in built.scenario.applications
+        )
+
+        assert adaptive.n_steps <= fixed.n_steps
+        for name, app in fixed.applications.items():
+            expected = app.end_time - app.start_time
+            got = (
+                adaptive.applications[name].end_time
+                - adaptive.applications[name].start_time
+            )
+            budget = policy.tolerance * expected + step * (1 + max_ops) + 1e-12
+            assert abs(got - expected) <= budget
+        assert abs(adaptive.simulated_time - fixed.simulated_time) <= (
+            policy.tolerance * fixed.simulated_time + step * (1 + max_ops) + 1e-12
+        )
+
+
+class TestSpecStrategies:
+    """Cheap structural laws (no simulation) at higher example counts."""
+
+    @given(
+        archetype=st.sampled_from(ARCHETYPES),
+        overrides=overrides_strategy,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_build_is_valid_and_sized(self, archetype, overrides):
+        spec = _spec(archetype, overrides)
+        built = build_scenario([spec], "tiny")
+        arch = get_archetype(archetype)
+        assert len(built.groups) == 1
+        assert len(built.groups[0]) == arch.n_groups
+        scenario = built.scenario
+        assert len(scenario.applications) == arch.n_groups
+        for app in scenario.applications:
+            assert app.total_bytes > 0
+            assert app.pattern.effective_request_size <= app.pattern.bytes_per_process
+            if overrides["nodes"] is not None:
+                assert app.n_nodes == max(1, overrides["nodes"] // arch.n_groups)
+            if overrides["procs_per_node"] is not None:
+                assert app.procs_per_node == overrides["procs_per_node"]
+
+    @given(
+        archetype=st.sampled_from(ARCHETYPES),
+        overrides=overrides_strategy,
+        second=st.sampled_from(ARCHETYPES),
+        delay=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pairing_namespaces_and_delays(self, archetype, overrides, second, delay):
+        spec_a = _spec(archetype, overrides)
+        spec_b = ScenarioSpec(archetype=second)
+        built = build_scenario([spec_a, spec_b], "tiny", delay=delay)
+        names = [app.name for app in built.scenario.applications]
+        assert len(set(names)) == len(names)
+        assert all(n.startswith("A:") for n in built.groups[0])
+        assert all(n.startswith("B:") for n in built.groups[1])
+        b_start = min(
+            app.start_time
+            for app in built.scenario.applications
+            if app.name in built.groups[1]
+        )
+        assert b_start == pytest.approx(delay, abs=1e-12)

@@ -1,0 +1,207 @@
+"""Round-trip serialization of the scenario-fleet result types.
+
+``ScenarioSpec``, ``PairCell`` and ``InterferenceMatrix`` travel through
+JSON (runner payloads, the result cache, ``matrix.json``); their
+``to_dict``/``from_dict`` must be lossless, and the cache fingerprints
+derived from them must be stable across interpreter processes (a cache
+written by one campaign must hit from the next).
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runner.cache import fingerprint_payload
+from repro.scenarios.matrix import InterferenceMatrix, PairCell, matrix_fingerprint
+from repro.scenarios.spec import ScenarioSpec
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def sample_cell(a="checkpoint", b="analytics"):
+    return PairCell(
+        a=a, b=b,
+        alone_a=0.36, alone_b=0.9,
+        pair_a=0.55, pair_b=1.1,
+        makespan=1.2,
+        window_collapses=12,
+        root_cause="file-system servers",
+        root_cause_scores={"file-system servers": 0.97, "flow control (Incast)": 0.4},
+    )
+
+
+def sample_matrix():
+    cells = {
+        "checkpoint|checkpoint": sample_cell("checkpoint", "checkpoint"),
+        "checkpoint|analytics": sample_cell("checkpoint", "analytics"),
+        "analytics|analytics": sample_cell("analytics", "analytics"),
+    }
+    return InterferenceMatrix(
+        scale="tiny",
+        names=["checkpoint", "analytics"],
+        alone={"checkpoint": 0.36, "analytics": 0.9},
+        cells=cells,
+        options={"device": "hdd", "sync_mode": "sync-on", "network": "10g",
+                 "stripe_kib": 64.0, "delay": 0.0, "seed": None},
+        stepping=None,
+        specs=[ScenarioSpec("checkpoint").to_dict(),
+               ScenarioSpec("analytics").to_dict()],
+    )
+
+
+class TestScenarioSpecRoundTrip:
+    @pytest.mark.parametrize("spec", [
+        ScenarioSpec("checkpoint"),
+        ScenarioSpec("analytics", name="scan"),
+        ScenarioSpec("incast", start_time=1.5),
+        ScenarioSpec("smallfile", nodes=2, procs_per_node=3),
+        ScenarioSpec("streaming", bytes_per_process=2.0 * 2**20),
+        ScenarioSpec("mixed", request_kib=128.0),
+        ScenarioSpec("staggered", name="wf", nodes=4, start_time=0.25,
+                     procs_per_node=2, bytes_per_process=1024.0,
+                     request_kib=64.0),
+    ])
+    def test_lossless(self, spec):
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_survives_json(self):
+        spec = ScenarioSpec("randomread", nodes=2, request_kib=32.0)
+        wire = json.loads(json.dumps(spec.to_dict()))
+        assert ScenarioSpec.from_dict(wire) == spec
+
+    def test_coerce(self):
+        assert ScenarioSpec.coerce("Checkpoint").archetype == "checkpoint"
+        spec = ScenarioSpec("incast")
+        assert ScenarioSpec.coerce(spec) is spec
+
+    def test_rejects_unknown_archetype(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec("warp-drive")
+
+    def test_rejects_bad_overrides(self):
+        for kwargs in (
+            dict(nodes=0), dict(procs_per_node=0),
+            dict(bytes_per_process=0.0), dict(request_kib=-1.0),
+        ):
+            with pytest.raises(ConfigurationError):
+                ScenarioSpec("checkpoint", **kwargs)
+
+
+class TestPairCellRoundTrip:
+    def test_lossless(self):
+        cell = sample_cell()
+        rebuilt = PairCell.from_dict(cell.to_dict())
+        assert rebuilt == cell
+
+    def test_derived_fields_recompute(self):
+        cell = sample_cell()
+        wire = cell.to_dict()
+        # Tampering with a stored derived field cannot poison the rebuild.
+        wire["slowdown_a"] = 999.0
+        rebuilt = PairCell.from_dict(wire)
+        assert rebuilt.slowdown_a == pytest.approx(cell.pair_a / cell.alone_a)
+        assert rebuilt.asymmetry == pytest.approx(
+            cell.slowdown_a - cell.slowdown_b
+        )
+
+    def test_survives_json(self):
+        cell = sample_cell()
+        assert PairCell.from_dict(json.loads(json.dumps(cell.to_dict()))) == cell
+
+
+class TestMatrixRoundTrip:
+    def test_lossless(self):
+        matrix = sample_matrix()
+        rebuilt = InterferenceMatrix.from_dict(matrix.to_dict())
+        assert rebuilt.scale == matrix.scale
+        assert rebuilt.names == matrix.names
+        assert rebuilt.alone == matrix.alone
+        assert rebuilt.cells == matrix.cells
+        assert rebuilt.options == matrix.options
+        assert rebuilt.specs == matrix.specs
+
+    def test_survives_json(self):
+        matrix = sample_matrix()
+        wire = json.loads(json.dumps(matrix.to_dict()))
+        rebuilt = InterferenceMatrix.from_dict(wire)
+        assert rebuilt.to_dict() == matrix.to_dict()
+
+    def test_ordered_lookup_uses_mirror_cells(self):
+        matrix = sample_matrix()
+        cell = matrix.cell("analytics", "checkpoint")
+        assert (cell.a, cell.b) == ("checkpoint", "analytics")
+        assert matrix.slowdown_of("analytics", "checkpoint") == pytest.approx(
+            cell.slowdown_b
+        )
+        assert matrix.slowdown_of("checkpoint", "analytics") == pytest.approx(
+            cell.slowdown_a
+        )
+
+    def test_to_rows_covers_all_ordered_pairs(self):
+        matrix = sample_matrix()
+        rows = matrix.to_rows()
+        assert len(rows) == len(matrix.names) ** 2
+        assert {(r["victim"], r["aggressor"]) for r in rows} == {
+            (a, b) for a in matrix.names for b in matrix.names
+        }
+
+
+class TestFingerprintStability:
+    def test_same_material_same_fingerprint(self):
+        spec = ScenarioSpec("checkpoint")
+        material = {"specs": [spec.to_dict()], "scale": "tiny"}
+        assert fingerprint_payload("matrix-alone", material) == (
+            fingerprint_payload("matrix-alone", material)
+        )
+
+    def test_fingerprint_separates_kinds_specs_and_versions(self):
+        material = {"specs": [ScenarioSpec("checkpoint").to_dict()], "scale": "tiny"}
+        other = {"specs": [ScenarioSpec("incast").to_dict()], "scale": "tiny"}
+        fp = fingerprint_payload("matrix-alone", material)
+        assert fp != fingerprint_payload("matrix-pair", material)
+        assert fp != fingerprint_payload("matrix-alone", other)
+        assert fp != fingerprint_payload("matrix-alone", material, version="0.0.0")
+
+    def test_key_order_does_not_matter(self):
+        a = {"scale": "tiny", "specs": [{"archetype": "checkpoint", "name": ""}]}
+        b = {"specs": [{"name": "", "archetype": "checkpoint"}], "scale": "tiny"}
+        assert fingerprint_payload("matrix-alone", a) == (
+            fingerprint_payload("matrix-alone", b)
+        )
+
+    def test_stable_across_processes(self):
+        """The fingerprint a fresh interpreter computes matches ours —
+        the property that makes the on-disk cache shareable between runs."""
+        spec = ScenarioSpec("analytics", nodes=2)
+        material = {"specs": [spec.to_dict()], "scale": "tiny",
+                    "options": {"device": "hdd"}, "stepping": None}
+        expected = fingerprint_payload("matrix-pair", material)
+        code = (
+            "from repro.runner.cache import fingerprint_payload\n"
+            "from repro.scenarios.spec import ScenarioSpec\n"
+            "spec = ScenarioSpec('analytics', nodes=2)\n"
+            "material = {'specs': [spec.to_dict()], 'scale': 'tiny',\n"
+            "            'options': {'device': 'hdd'}, 'stepping': None}\n"
+            "print(fingerprint_payload('matrix-pair', material))\n"
+        )
+        output = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, check=True,
+            env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+        ).stdout.strip()
+        assert output == expected
+
+    def test_matrix_fingerprint_depends_on_every_ingredient(self):
+        specs = [ScenarioSpec("checkpoint"), ScenarioSpec("analytics")]
+        base = matrix_fingerprint(specs, "tiny", {"device": "hdd"}, None)
+        assert base == matrix_fingerprint(specs, "tiny", {"device": "hdd"}, None)
+        assert base != matrix_fingerprint(specs, "reduced", {"device": "hdd"}, None)
+        assert base != matrix_fingerprint(specs, "tiny", {"device": "ssd"}, None)
+        assert base != matrix_fingerprint(
+            specs, "tiny", {"device": "hdd"}, {"mode": "adaptive"}
+        )
+        assert base != matrix_fingerprint(specs[:1], "tiny", {"device": "hdd"}, None)

@@ -1,0 +1,117 @@
+"""Unit tests of the workload-archetype registry and builders."""
+
+import pytest
+
+from repro import units
+from repro.config.presets import tiny_scale
+from repro.config.workload import AccessKind
+from repro.errors import ConfigurationError
+from repro.scenarios.archetypes import (
+    Archetype,
+    archetype_names,
+    get_archetype,
+    list_archetypes,
+    register_archetype,
+)
+
+EXPECTED_BUILTINS = {
+    "checkpoint", "analytics", "smallfile", "streaming",
+    "randomread", "mixed", "staggered", "incast",
+}
+
+
+class TestRegistry:
+    def test_all_builtins_registered(self):
+        assert EXPECTED_BUILTINS <= set(archetype_names())
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_archetype("Checkpoint").name == "checkpoint"
+        assert get_archetype(" INCAST ").name == "incast"
+
+    def test_unknown_archetype_lists_registry(self):
+        with pytest.raises(ConfigurationError, match="available"):
+            get_archetype("no-such-workload")
+
+    def test_list_is_sorted_and_complete(self):
+        listed = list_archetypes()
+        assert [a.name for a in listed] == archetype_names()
+
+    def test_duplicate_registration_rejected(self):
+        existing = get_archetype("checkpoint")
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_archetype(existing)
+        # replace_existing re-registers without changing the registry size.
+        before = len(archetype_names())
+        register_archetype(existing, replace_existing=True)
+        assert len(archetype_names()) == before
+
+    def test_invalid_archetypes_rejected(self):
+        for kwargs in (
+            dict(volume_scale=0.0),
+            dict(nodes_scale=-1.0),
+            dict(request_size=0.0),
+            dict(overhead_scale=-0.1),
+            dict(n_groups=0),
+            dict(stagger_frac=-0.5),
+        ):
+            with pytest.raises(ConfigurationError):
+                Archetype(name="bad", title="t", description="d", **kwargs)
+
+
+class TestBuilders:
+    def test_checkpoint_matches_paper_baseline(self):
+        preset = tiny_scale()
+        (app,) = get_archetype("checkpoint").applications(preset)
+        assert app.name == "checkpoint"
+        assert app.n_nodes == preset.nodes_per_app
+        assert app.procs_per_node == preset.procs_per_node
+        assert app.pattern.kind is AccessKind.CONTIGUOUS
+        assert app.pattern.bytes_per_process == preset.bytes_per_process
+        assert app.pattern.collective
+
+    def test_staggered_expands_into_offset_groups(self):
+        preset = tiny_scale()
+        arch = get_archetype("staggered")
+        apps = arch.applications(preset, start_time=1.0)
+        assert [a.name for a in apps] == ["staggered.1", "staggered.2"]
+        assert apps[0].start_time == 1.0
+        assert apps[1].start_time > apps[0].start_time
+        stagger = apps[1].start_time - apps[0].start_time
+        assert stagger == pytest.approx(
+            arch.stagger_frac * arch.phase_estimate(preset)
+        )
+        # The node budget is split across the groups.
+        assert sum(a.n_nodes for a in apps) <= preset.nodes_per_app
+
+    def test_smallfile_is_fragment_dominated(self):
+        preset = tiny_scale()
+        (app,) = get_archetype("smallfile").applications(preset)
+        assert app.pattern.kind is AccessKind.STRIDED
+        assert app.pattern.effective_request_size == 8 * units.KiB
+        assert not app.pattern.collective
+        assert app.pattern.requests_per_process > 100
+
+    def test_request_clamped_to_tiny_volumes(self):
+        """Overriding the volume below the request size shrinks the request."""
+        preset = tiny_scale()
+        (app,) = get_archetype("analytics").applications(
+            preset, bytes_per_process=128 * units.KiB
+        )
+        assert app.pattern.effective_request_size <= app.pattern.bytes_per_process
+
+    def test_overrides_apply(self):
+        preset = tiny_scale()
+        (app,) = get_archetype("streaming").applications(
+            preset, nodes=2, procs_per_node=3, bytes_per_process=units.MiB,
+            request_size=64 * units.KiB, name="tap", start_time=0.5,
+        )
+        assert (app.name, app.n_nodes, app.procs_per_node) == ("tap", 2, 3)
+        assert app.pattern.bytes_per_process == units.MiB
+        assert app.pattern.effective_request_size == 64 * units.KiB
+        assert app.start_time == 0.5
+
+    def test_describe_names_every_builtin(self):
+        for arch in list_archetypes():
+            text = arch.describe()
+            assert arch.name in text
+            assert arch.title in text

@@ -1,16 +1,51 @@
-"""Helper shared by the benchmark modules (kept out of conftest so it can be
-imported explicitly)."""
+"""Helpers shared by the benchmark modules (kept out of conftest so they can
+be imported explicitly)."""
 
 from __future__ import annotations
 
+import os
+import time
 from pathlib import Path
 
+#: Repeats used by run_and_report when the caller does not override them.
+#: The experiment harnesses are heavy, so the default stays at 1; CI and
+#: local runs can raise it with REPRO_BENCH_ROUNDS for tighter numbers.
+DEFAULT_ROUNDS = max(int(os.environ.get("REPRO_BENCH_ROUNDS", "1")), 1)
 
-def run_and_report(benchmark, results_dir: Path, runner, name: str):
-    """Execute ``runner`` once under pytest-benchmark and persist its report."""
-    result = benchmark.pedantic(runner, rounds=1, iterations=1)
+
+def run_and_report(benchmark, results_dir: Path, runner, name: str, rounds: int | None = None):
+    """Execute ``runner`` under pytest-benchmark and persist its report.
+
+    The wall time recorded in the report is the *minimum* over ``rounds``
+    repeats, measured with ``perf_counter_ns`` — a single round on the
+    single-CPU container is too noisy to gate on, while the min of a few
+    repeats converges on the undisturbed cost.  The returned value is the
+    last round's result (every round runs the identical experiment).
+    """
+    rounds = DEFAULT_ROUNDS if rounds is None else max(int(rounds), 1)
+    state = {"best_ns": None}
+
+    def timed():
+        start = time.perf_counter_ns()
+        result = runner()
+        elapsed = time.perf_counter_ns() - start
+        if state["best_ns"] is None or elapsed < state["best_ns"]:
+            state["best_ns"] = elapsed
+        state["result"] = result
+        return result
+
+    # Each round is timed individually, so pytest-benchmark's own stats
+    # (and the committed JSON artifact) see per-round times — the min they
+    # report is the same min recorded below.
+    benchmark.pedantic(timed, rounds=rounds, iterations=1)
+    result = state["result"]
     report = result.report()
-    (results_dir / f"{name}.txt").write_text(report + "\n")
+    timing = (
+        f"[min of {rounds} round(s): {state['best_ns'] / 1e9:.3f}s "
+        f"via perf_counter_ns]"
+    )
+    (results_dir / f"{name}.txt").write_text(report + "\n" + timing + "\n")
     print()
     print(report)
+    print(timing)
     return result

@@ -1,0 +1,41 @@
+"""Stepping-kernel throughput benchmark (the perf trajectory's data source).
+
+Runs the canonical scenario set from :mod:`repro.perf.harness` — the same
+measurement ``repro-io perf`` makes — at the scale selected by
+``REPRO_BENCH_SCALE`` (default ``reduced``; CI smoke uses ``tiny``) and
+persists the schema-validated document under ``benchmarks/results/`` so the
+numbers travel with the other benchmark artifacts.
+"""
+
+import json
+
+from _bench_utils import DEFAULT_ROUNDS
+
+from repro.perf import run_perf, validate_bench_document
+from repro.perf.compare import format_summary
+
+
+def test_stepper_kernel_throughput(benchmark, results_dir, bench_scale):
+    """Measure steps/sec of the canonical scenario set; persist the document."""
+    scale = bench_scale if bench_scale in ("tiny", "reduced") else "reduced"
+    repeats = max(DEFAULT_ROUNDS, 3)
+
+    document = benchmark.pedantic(
+        lambda: run_perf(scale=scale, repeats=repeats), rounds=1, iterations=1
+    )
+    validate_bench_document(document)
+    (results_dir / "stepper_kernel.json").write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )
+    print()
+    print(format_summary(document))
+
+    for key, entry in document["scenarios"].items():
+        assert entry["steps_per_sec"] > 0, key
+    # The active-phase scenarios must measurably beat the recorded seed
+    # kernel on comparable hardware; allow generous head-room for CI machines
+    # and noisy neighbours — the committed BENCH_stepper.json records the
+    # authoritative speedup, and tests/test_perf.py pins it.
+    speedup = document.get("speedup", {})
+    for key, value in speedup.items():
+        assert value > 0.5, f"{key} unexpectedly slower than half the reference"

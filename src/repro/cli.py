@@ -37,6 +37,13 @@ interference-matrix section of EXPERIMENTS.md and persists ``matrix.json``;
 a warm-cache repeat is a 100% cache hit with byte-identical outputs)::
 
     repro-io matrix --archetypes checkpoint,analytics --jobs 2
+
+Measure stepping-kernel throughput on the canonical scenario set and refresh
+``BENCH_stepper.json`` (add ``--check`` to gate against the committed
+baseline)::
+
+    repro-io perf --scale reduced --output BENCH_stepper.json
+    repro-io perf --scale tiny --check --baseline BENCH_stepper.json
 """
 
 from __future__ import annotations
@@ -145,10 +152,34 @@ def validate_archetypes(value: str):
     return names
 
 
+def validate_min_ratio(value: str) -> float:
+    """``--min-ratio``: a float in (0, 1]."""
+    try:
+        ratio = float(value)
+    except ValueError:
+        raise UsageError(f"--min-ratio expects a number, got {value!r}") from None
+    if not 0.0 < ratio <= 1.0:
+        raise UsageError(f"--min-ratio must be in (0, 1], got {ratio}")
+    return ratio
+
+
+def validate_repeats(value: str) -> int:
+    """``--repeats``: a strictly positive repeat count."""
+    try:
+        number = int(value)
+    except ValueError:
+        raise UsageError(f"--repeats expects an integer, got {value!r}") from None
+    if number < 1:
+        raise UsageError(f"--repeats must be >= 1, got {number}")
+    return number
+
+
 _sweep_points = _cli_type(validate_sweep_points)
 _positive_int = _cli_type(validate_jobs)
 _step_tolerance = _cli_type(validate_step_tolerance)
 _archetype_list = _cli_type(validate_archetypes)
+_min_ratio = _cli_type(validate_min_ratio)
+_repeat_count = _cli_type(validate_repeats)
 
 
 def _add_stepping_arguments(parser: argparse.ArgumentParser) -> None:
@@ -369,6 +400,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_stepping_arguments(matrix_parser)
 
+    perf_parser = sub.add_parser(
+        "perf",
+        help="measure stepping-kernel throughput and write BENCH_stepper.json",
+    )
+    perf_parser.add_argument(
+        "--scale", default="reduced", choices=["tiny", "reduced"],
+        help="canonical scenario set to measure: 'tiny' (the CI smoke set) "
+             "or 'reduced' (the full set, default)",
+    )
+    perf_parser.add_argument(
+        "--repeats", type=_repeat_count, default=5, metavar="N",
+        help="repeats per scenario; the minimum wall time is reported "
+             "(default: 5)",
+    )
+    perf_parser.add_argument(
+        "--output", metavar="PATH", default="BENCH_stepper.json",
+        help="write the schema'd bench document here "
+             "(default: BENCH_stepper.json)",
+    )
+    perf_parser.add_argument(
+        "--no-output", action="store_true",
+        help="print the document to stdout instead of writing a file",
+    )
+    perf_parser.add_argument(
+        "--profile", action="store_true",
+        help="include a per-phase timing/allocation profile (one extra "
+             "instrumented pass)",
+    )
+    perf_parser.add_argument(
+        "--check", action="store_true",
+        help="compare the fresh measurement against --baseline and exit "
+             "non-zero on a regression",
+    )
+    perf_parser.add_argument(
+        "--baseline", metavar="PATH", default="BENCH_stepper.json",
+        help="committed baseline document for --check "
+             "(default: BENCH_stepper.json)",
+    )
+    perf_parser.add_argument(
+        "--min-ratio", type=_min_ratio, default=0.7, metavar="FRAC",
+        help="allowed fraction of baseline throughput before --check fails "
+             "(default: 0.7, i.e. a >30%% regression fails)",
+    )
+
     return parser
 
 
@@ -536,6 +611,70 @@ def _command_matrix(args: argparse.Namespace, parser: argparse.ArgumentParser) -
     return 0
 
 
+def _command_perf(args: argparse.Namespace) -> int:
+    # Imported lazily: the perf harness pulls in the model stack.
+    import json
+    import os
+
+    from repro.errors import PerfError
+    from repro.perf import check_regression, run_perf, validate_bench_document
+    from repro.perf.compare import format_summary
+
+    # Load the baseline *before* measuring or writing anything: a gate run
+    # must never overwrite its own reference (the default --output and
+    # --baseline are the same committed file) and a missing/corrupt baseline
+    # should fail before the expensive measurement.
+    baseline = None
+    if args.check:
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+            validate_bench_document(baseline)
+        except FileNotFoundError:
+            print(f"[perf] FAIL: baseline {args.baseline} not found", file=sys.stderr)
+            return 1
+        except (PerfError, json.JSONDecodeError) as exc:
+            print(f"[perf] FAIL: {exc}", file=sys.stderr)
+            return 1
+
+    document = run_perf(
+        scale=args.scale, repeats=args.repeats, profile=args.profile
+    )
+    validate_bench_document(document)
+    text = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    if args.no_output:
+        print(text, end="")
+    elif args.check and os.path.realpath(args.output) == os.path.realpath(args.baseline):
+        print(
+            f"[perf] not overwriting the baseline {args.baseline} during a "
+            "--check run; pass a different --output to keep the measurement",
+            file=sys.stderr,
+        )
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"[perf] wrote {args.output}", file=sys.stderr)
+    print(format_summary(document), file=sys.stderr)
+
+    if not args.check:
+        return 0
+    try:
+        failures = check_regression(document, baseline, min_ratio=args.min_ratio)
+    except PerfError as exc:
+        print(f"[perf] FAIL: {exc}", file=sys.stderr)
+        return 1
+    if failures:
+        for failure in failures:
+            print(f"[perf] REGRESSION {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"[perf] gate green: no scenario below {args.min_ratio:.0%} of "
+        f"{args.baseline}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _command_verify(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -586,6 +725,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_matrix(args, parser)
     if args.command == "verify":
         return _command_verify(args)
+    if args.command == "perf":
+        return _command_perf(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -15,6 +15,7 @@ __all__ = [
     "ExperimentError",
     "AnalysisError",
     "UsageError",
+    "PerfError",
 ]
 
 
@@ -49,6 +50,15 @@ class ExperimentError(ReproError, RuntimeError):
 
 class AnalysisError(ReproError, ValueError):
     """Raised by analysis helpers when given malformed or empty results."""
+
+
+class PerfError(ReproError, ValueError):
+    """A malformed benchmark document or a failed perf-regression check.
+
+    Raised by :mod:`repro.perf` when a ``BENCH_*.json`` document does not
+    match its schema or when a measured throughput falls below the committed
+    baseline by more than the allowed margin.
+    """
 
 
 class UsageError(ReproError, ValueError):

@@ -124,16 +124,19 @@ class IOPathSimulator:
                 stop_when=lambda s: state.all_finished(),
             )
 
-        # Trace sampling.
-        sample_period = scenario.control.trace.series_sample_period
-        sim.schedule_periodic(
-            sample_period,
-            self._sample,
-            start=t0 + sample_period,
-            priority=EventPriority.OBSERVE,
-            label="trace.sample",
-            stop_when=lambda s: state.all_finished(),
-        )
+        # Trace sampling.  When no periodic series category records, the
+        # sampling event is not scheduled at all: a disabled trace must not
+        # pay the per-sample aggregate reductions (or the event churn).
+        if self.recorder.config.records_series:
+            sample_period = scenario.control.trace.series_sample_period
+            sim.schedule_periodic(
+                sample_period,
+                self._sample,
+                start=t0 + sample_period,
+                priority=EventPriority.OBSERVE,
+                label="trace.sample",
+                stop_when=lambda s: state.all_finished(),
+            )
 
         wall_start = time.perf_counter()
         end_time = sim.run(until=t0 + horizon)
@@ -218,14 +221,27 @@ class IOPathSimulator:
         self._schedule_step_event(sim, sim.now + bound)
 
     def _schedule_step_event(self, sim: Simulator, at: float) -> None:
-        """(Re)schedule the pending model-step event at time ``at``."""
-        if self._step_event is not None and not self._step_event.cancelled:
-            self._step_event.cancel()
+        """(Re)schedule the pending model-step event at time ``at``.
+
+        A pending event is moved in place (:meth:`Simulator.reschedule`), so
+        re-anchoring the step on every control change leaves no cancelled
+        corpses in the event heap and heap compactions stay rare on adaptive
+        runs.
+        """
+        at = max(at, sim.now)
+        event = self._step_event
+        if event is not None and not event.cancelled and event.heap_time is not None:
+            if sim.horizon is not None and at > sim.horizon:
+                event.cancel()
+                self._step_event = None
+                return
+            sim.reschedule(event, at)
+            return
         self._step_event = None
         if sim.horizon is not None and at > sim.horizon:
             return
         self._step_event = sim.schedule(
-            max(at, sim.now),
+            at,
             self._adaptive_tick,
             priority=EventPriority.NORMAL,
             label="model.step",
@@ -236,6 +252,8 @@ class IOPathSimulator:
         recorder = self.recorder
         now = sim.now
         config = recorder.config
+        if not config.records_series:  # pragma: no cover - run() never schedules this
+            return
         if config.record_progress:
             completed = state.completed_bytes_per_app()
             for runtime in state.app_runtime:

@@ -126,6 +126,17 @@ class ModelState:
         self.conn_app = self.proc_app[self.conn_proc]
         self.conn_node = self.proc_node[self.conn_proc]
 
+        # Step-invariant index groups, computed once so the hot path (stepper
+        # completion phase, trace sampling) never rebuilds them:
+        #: Global process indices per application, in rank order.
+        self.app_proc_ids: List[np.ndarray] = [app.proc_ids() for app in self.applications]
+        #: Connection indices per application (every process/server pair).
+        self._app_conn_ids: List[np.ndarray] = [
+            self.conn_matrix[np.ix_(self.app_proc_ids[app.index],
+                                    np.asarray(app.servers, dtype=np.int64))].reshape(-1)
+            for app in self.applications
+        ]
+
         # Transport and buffer state.
         transport = platform.network.transport
         self.windows = WindowState(
@@ -184,11 +195,12 @@ class ModelState:
     # ------------------------------------------------------------------ #
 
     def app_connection_ids(self, app: Application) -> np.ndarray:
-        """Connection indices of every (process, server) pair of ``app``."""
-        ids = app.proc_ids()
-        servers = np.asarray(app.servers, dtype=np.int64)
-        matrix = self.conn_matrix[np.ix_(ids, servers)]
-        return matrix.reshape(-1)
+        """Connection indices of every (process, server) pair of ``app``.
+
+        Returns the precomputed (step-invariant) index array; treat it as
+        read-only.
+        """
+        return self._app_conn_ids[app.index]
 
     def issue_operation(self, app: Application, op_index: int) -> float:
         """Load operation ``op_index`` of ``app`` onto its connections.
@@ -202,7 +214,7 @@ class ModelState:
             )
         offsets, lengths = app.operation_extents(op_index)
         fs = self.scenario.filesystem
-        ids = app.proc_ids()
+        ids = self.app_proc_ids[app.index]
         issued = 0.0
         for local_rank in range(ids.shape[0]):
             proc = int(ids[local_rank])

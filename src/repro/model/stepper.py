@@ -28,6 +28,27 @@ intermediate arrays of the step) and the :class:`~repro.model.state.ModelState`
 This makes the data flow of the hot path explicit and keeps the step
 re-orderable only where the contract allows it.
 
+Workspace ownership
+-------------------
+The intermediate arrays live in a preallocated :class:`StepWorkspace` owned by
+the stepper, so a steady-state step performs no per-connection or per-server
+array allocations (NumPy reductions like ``bincount`` that have no ``out=``
+form still allocate their small outputs).  The ownership rules extend the
+phase contract to memory:
+
+* every *named* slot (``StepWorkspace.PHASE_SLOTS``) is written only by its
+  owning phase and is read-only for every later phase of the same step;
+* ``tmp_*`` scratch slots carry intra-phase intermediates only: any phase may
+  clobber them, and no phase may read a ``tmp_`` slot it did not write during
+  the same phase;
+* :class:`StepContext` fields alias the named slots (``ctx.desired`` *is*
+  ``workspace.desired``), so the context contract and the workspace contract
+  are one and the same.
+
+``tests/test_stepper_workspace.py`` asserts the first rule mechanically by
+snapshotting owned slots after their phase and diffing after every later
+phase.
+
 Adaptive time advance
 ---------------------
 :meth:`ModelStepper.next_bound` derives the largest safe ``dt`` from the
@@ -49,11 +70,10 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.model.state import ModelState
-from repro.network.allocation import cap_by_group
 from repro.sim.engine import Simulator
 from repro.sim.events import EventPriority
 
-__all__ = ["ModelStepper", "StepContext"]
+__all__ = ["ModelStepper", "StepContext", "StepWorkspace"]
 
 #: Safety margin (seconds) added to a quiescent jump so the landing step is
 #: unambiguously at-or-after the state-changing instant despite float
@@ -66,7 +86,9 @@ class StepContext:
     """The explicit state contract between the sub-phases of one model step.
 
     Fields are owned by (i.e. written exactly once in) the phase noted below
-    and read-only afterwards.  ``None`` marks "not produced yet".
+    and read-only afterwards.  ``None`` marks "not produced yet".  The array
+    fields alias :class:`StepWorkspace` slots (except the admission outputs,
+    which the buffers return); they are valid until the next step begins.
     """
 
     #: Step inputs (owned by :meth:`ModelStepper.step`).
@@ -91,8 +113,89 @@ class StepContext:
     oversubscribed: Optional[np.ndarray] = None  #: per-conn: server oversubscribed
 
 
+class StepWorkspace:
+    """Preallocated per-connection/per-server scratch of the stepping kernel.
+
+    One instance lives for the whole run; every step rewrites the slots in
+    place, so the kernel allocates no per-connection or per-server arrays in
+    steady state.  See the module docstring for the ownership rules; the
+    mapping below is the machine-readable form the aliasing test consumes.
+    """
+
+    #: Named slots by owning phase.  The owner writes the slot; later phases
+    #: only read it.
+    PHASE_SLOTS = {
+        "workload_mix": ("outstanding", "busy", "busy_f", "n_active",
+                         "n_streams", "n_streams_f", "avg_frag"),
+        "drain": ("sending", "drain_rate"),
+        "offer": ("rtt_eff", "potential", "desired", "active", "loss_prone",
+                  "draws"),
+        "admission": (),
+        "window_dynamics": (),
+        "accounting": (),
+    }
+
+    #: Scratch slots: intra-phase intermediates, clobbered freely.
+    SCRATCH_SLOTS = (
+        "tmp_conn_a", "tmp_conn_b", "tmp_conn_c", "tmp_conn_d",
+        "tmp_bool_a", "tmp_bool_b", "tmp_bool_c",
+        "tmp_srv_a", "tmp_srv_b", "tmp_srv_bool",
+        "tmp_node_a", "tmp_node_b", "tmp_node_mask",
+    )
+
+    def __init__(self, n_connections: int, n_servers: int, n_nodes: int) -> None:
+        conn_f = lambda: np.zeros(n_connections, dtype=np.float64)  # noqa: E731
+        conn_b = lambda: np.zeros(n_connections, dtype=bool)  # noqa: E731
+        srv_f = lambda: np.zeros(n_servers, dtype=np.float64)  # noqa: E731
+        node_f = lambda: np.zeros(n_nodes, dtype=np.float64)  # noqa: E731
+        # Phase 1 — workload mix.
+        self.outstanding = conn_f()
+        self.busy = conn_b()
+        self.busy_f = conn_f()
+        self.n_active = srv_f()
+        self.n_streams = np.ones(n_servers, dtype=np.int64)
+        self.n_streams_f = srv_f()
+        self.avg_frag = srv_f()
+        # Phase 2 — drain capacity.
+        self.sending = conn_b()
+        self.drain_rate = srv_f()
+        # Phase 3 — offered load.
+        self.rtt_eff = conn_f()
+        self.potential = conn_f()
+        self.desired = conn_f()
+        self.active = conn_b()
+        self.loss_prone = conn_b()
+        self.draws = conn_f()
+        # Step-invariant constants.  Frozen so downstream identity-based
+        # caches (the admission weights validation) stay sound.
+        self.ones = np.ones(n_connections, dtype=np.float64)
+        self.ones.flags.writeable = False
+        # Scratch.
+        self.tmp_conn_a = conn_f()
+        self.tmp_conn_b = conn_f()
+        self.tmp_conn_c = conn_f()
+        self.tmp_conn_d = conn_f()
+        self.tmp_bool_a = conn_b()
+        self.tmp_bool_b = conn_b()
+        self.tmp_bool_c = conn_b()
+        self.tmp_srv_a = srv_f()
+        self.tmp_srv_b = srv_f()
+        self.tmp_srv_bool = np.zeros(n_servers, dtype=bool)
+        self.tmp_node_a = node_f()
+        self.tmp_node_b = node_f()
+        self.tmp_node_mask = np.zeros(n_nodes, dtype=bool)
+
+    def owned_slots(self, phase: str) -> dict:
+        """Name -> array of the slots owned by ``phase``."""
+        return {name: getattr(self, name) for name in self.PHASE_SLOTS[phase]}
+
+
 class ModelStepper:
     """Advances a :class:`~repro.model.state.ModelState` one step at a time."""
+
+    #: Phase order of one step (used by the profiler and the aliasing test).
+    PHASES = ("workload_mix", "drain", "offer", "admission",
+              "window_dynamics", "accounting", "completion")
 
     def __init__(self, state: ModelState) -> None:
         self.state = state
@@ -114,38 +217,41 @@ class ModelStepper:
         #: catch the model up over a pending quiescent interval; ``None``
         #: (fixed policy) is a no-op.
         self.on_control_change: Optional[Callable[[Simulator], None]] = None
+        #: Optional per-phase profiler (``repro.perf.counters.StepProfiler``
+        #: or anything with a ``phase(name)`` context manager).  ``None``
+        #: keeps the hot path branch-free apart from one identity check.
+        self.profiler = None
 
-    # ------------------------------------------------------------------ #
-    # Aggregate helpers
-    # ------------------------------------------------------------------ #
-
-    def _workload_mix(self):
-        """Per-server active-writer counts and mean fragment sizes."""
-        state = self.state
-        busy = state.outstanding_per_connection() > self._completion_epsilon
-        servers = state.conn_server
-        n_active = np.bincount(servers[busy], minlength=state.n_servers).astype(np.float64)
-        frag_sum = np.bincount(
-            servers[busy], weights=state.frag_size[busy], minlength=state.n_servers
+        # ---------------- cached step invariants -------------------------
+        # Everything below is constant for the lifetime of the run (or, for
+        # the dt-scaled arrays, per distinct dt); computing them here keeps
+        # them out of the per-step path.
+        self.workspace = StepWorkspace(
+            state.n_connections, state.n_servers, state.topology.n_client_nodes
         )
-        with np.errstate(invalid="ignore"):
-            avg_frag = np.where(n_active > 0, frag_sum / np.maximum(n_active, 1.0), 0.0)
-        # Idle servers: report a neutral granularity so the drain-rate law
-        # does not divide by zero.
-        avg_frag[avg_frag <= 0] = state.scenario.filesystem.stripe_size
-        return busy, np.maximum(n_active, 1.0).astype(np.int64), avg_frag
+        self._n_servers = state.n_servers
+        self._n_nodes = state.topology.n_client_nodes
+        self._n_apps = state.n_apps
+        self._stripe_size = state.scenario.filesystem.stripe_size
+        #: rwnd_overcommit * buffer capacity (numerator of the per-server
+        #: receive-window budget).
+        self._rwnd_budget = self._transport.rwnd_overcommit * state.buffers.capacity
+        self._send_floor = self._completion_epsilon * 1e-3
+        self._wl_margin = 1.0 - 1e-6
+        # dt-scaled capacities, refreshed only when dt changes (every step
+        # under the fixed policy reuses them untouched).
+        self._cached_dt: Optional[float] = None
+        self._node_caps_dt = np.empty_like(self._node_caps)
+        self._server_nic_dt = np.empty_like(self._server_nic)
+        # Reused per-step objects: every context field is rewritten by its
+        # owning phase each step, so recycling the container is safe.
+        self._ctx = StepContext(now=0.0, dt=0.0)
 
-    def _stalled_fraction_per_server(self, now: float, busy: np.ndarray) -> np.ndarray:
-        state = self.state
-        stalled = ~state.windows.sending_allowed(now)
-        relevant = busy
-        total = np.bincount(state.conn_server[relevant], minlength=state.n_servers)
-        stalled_count = np.bincount(
-            state.conn_server[relevant & stalled], minlength=state.n_servers
-        )
-        with np.errstate(divide="ignore", invalid="ignore"):
-            fraction = np.where(total > 0, stalled_count / np.maximum(total, 1), 0.0)
-        return fraction
+    def _refresh_dt(self, dt: float) -> None:
+        if dt != self._cached_dt:
+            np.multiply(self._node_caps, dt, out=self._node_caps_dt)
+            np.multiply(self._server_nic, dt, out=self._server_nic_dt)
+            self._cached_dt = dt
 
     # ------------------------------------------------------------------ #
     # The step
@@ -155,14 +261,34 @@ class ModelStepper:
         """Advance the model by ``dt`` seconds at the current simulated time."""
         if dt <= 0:
             raise SimulationError("dt must be positive")
-        ctx = StepContext(now=sim.now, dt=dt)
-        self._phase_workload_mix(ctx)
-        self._phase_drain(ctx)
-        self._phase_offer(ctx)
-        self._phase_admission(ctx)
-        self._phase_window_dynamics(ctx)
-        self._phase_accounting(ctx)
-        self._phase_completion(sim)
+        self._refresh_dt(dt)
+        ctx = self._ctx
+        ctx.now = sim.now
+        ctx.dt = dt
+        profiler = self.profiler
+        if profiler is None:
+            self._phase_workload_mix(ctx)
+            self._phase_drain(ctx)
+            self._phase_offer(ctx)
+            self._phase_admission(ctx)
+            self._phase_window_dynamics(ctx)
+            self._phase_accounting(ctx)
+            self._phase_completion(sim)
+            return
+        with profiler.phase("workload_mix"):
+            self._phase_workload_mix(ctx)
+        with profiler.phase("drain"):
+            self._phase_drain(ctx)
+        with profiler.phase("offer"):
+            self._phase_offer(ctx)
+        with profiler.phase("admission"):
+            self._phase_admission(ctx)
+        with profiler.phase("window_dynamics"):
+            self._phase_window_dynamics(ctx)
+        with profiler.phase("accounting"):
+            self._phase_accounting(ctx)
+        with profiler.phase("completion"):
+            self._phase_completion(sim)
 
     # ------------------------------------------------------------------ #
     # Phase 1 — workload mix
@@ -173,9 +299,33 @@ class ModelStepper:
 
         Reads:  ``state.send_remaining``, ``state.buffers.conn_bytes``,
                 ``state.frag_size``.
-        Writes: ``ctx.busy``, ``ctx.n_streams``, ``ctx.avg_frag``.
+        Writes: ``ctx.busy``, ``ctx.n_streams``, ``ctx.avg_frag`` (workspace
+                slots ``outstanding``, ``busy``, ``busy_f``, ``n_streams``,
+                ``n_streams_f``, ``avg_frag``).
         """
-        ctx.busy, ctx.n_streams, ctx.avg_frag = self._workload_mix()
+        state = self.state
+        ws = self.workspace
+        np.add(state.send_remaining, state.buffers.conn_bytes, out=ws.outstanding)
+        np.greater(ws.outstanding, self._completion_epsilon, out=ws.busy)
+        ws.busy_f[:] = ws.busy
+        servers = state.conn_server
+        # bincount with 0/1 float weights sums the same unit contributions a
+        # boolean-mask bincount would (adding exact zeros is a no-op), so the
+        # counts and fragment sums are bit-identical without the mask arrays.
+        ws.n_active[:] = np.bincount(servers, weights=ws.busy_f, minlength=self._n_servers)
+        np.multiply(state.frag_size, ws.busy_f, out=ws.tmp_conn_a)
+        frag_sum = np.bincount(servers, weights=ws.tmp_conn_a, minlength=self._n_servers)
+        np.maximum(ws.n_active, 1.0, out=ws.tmp_srv_a)
+        np.divide(frag_sum, ws.tmp_srv_a, out=ws.avg_frag)
+        # Idle servers: report a neutral granularity so the drain-rate law
+        # does not divide by zero.
+        np.less_equal(ws.avg_frag, 0.0, out=ws.tmp_srv_bool)
+        np.copyto(ws.avg_frag, self._stripe_size, where=ws.tmp_srv_bool)
+        ws.n_streams[:] = ws.tmp_srv_a
+        ws.n_streams_f[:] = ws.n_streams
+        ctx.busy = ws.busy
+        ctx.n_streams = ws.n_streams
+        ctx.avg_frag = ws.avg_frag
 
     # ------------------------------------------------------------------ #
     # Phase 2 — drain capacity
@@ -185,14 +335,32 @@ class ModelStepper:
         """Compute every server's drain capacity for this step.
 
         Reads:  ``ctx.busy/n_streams/avg_frag``, ``state.windows`` stalls.
-        Writes: ``ctx.drain_rate``, ``state.last_drain_rate``.
+        Writes: ``ctx.drain_rate``, ``state.last_drain_rate`` (workspace
+                slots ``sending``, ``drain_rate``).
         """
         state = self.state
+        ws = self.workspace
         drain_nominal = state.deployment.drain_rates(ctx.n_streams, ctx.avg_frag)
-        stalled_fraction = self._stalled_fraction_per_server(ctx.now, ctx.busy)
-        penalty = 1.0 - self._transport.collapse_penalty * stalled_fraction
-        ctx.drain_rate = drain_nominal * np.clip(penalty, 0.0, 1.0)
-        state.last_drain_rate = np.maximum(ctx.drain_rate, 1.0)
+        # Stalled fraction per server: busy connections sitting in an RTO.
+        # The denominator is phase 1's busy count (``n_active``); an idle
+        # server has a zero stalled count too, so 0 / max(0, 1) is already
+        # the exact 0.0 a guarded where() would select.
+        # (in-place twin of WindowState.sending_allowed — keep in sync)
+        np.less_equal(state.windows.stall_until, ctx.now, out=ws.sending)
+        np.logical_not(ws.sending, out=ws.tmp_bool_a)
+        np.multiply(ws.busy_f, ws.tmp_bool_a, out=ws.tmp_conn_a)
+        stalled_count = np.bincount(
+            state.conn_server, weights=ws.tmp_conn_a, minlength=self._n_servers
+        )
+        np.maximum(ws.n_active, 1.0, out=ws.tmp_srv_a)
+        np.divide(stalled_count, ws.tmp_srv_a, out=ws.tmp_srv_a)
+        # penalty = clip(1 - collapse_penalty * stalled_fraction, 0, 1)
+        np.multiply(ws.tmp_srv_a, self._transport.collapse_penalty, out=ws.tmp_srv_a)
+        np.subtract(1.0, ws.tmp_srv_a, out=ws.tmp_srv_a)
+        np.clip(ws.tmp_srv_a, 0.0, 1.0, out=ws.tmp_srv_a)
+        np.multiply(drain_nominal, ws.tmp_srv_a, out=ws.drain_rate)
+        np.maximum(ws.drain_rate, 1.0, out=state.last_drain_rate)
+        ctx.drain_rate = ws.drain_rate
 
     # ------------------------------------------------------------------ #
     # Phase 3 — offered load
@@ -202,16 +370,25 @@ class ModelStepper:
         """Window- and source-capped offered bytes, plus the Incast burst gate.
 
         Reads:  ``ctx.busy/n_streams/drain_rate``, window state, buffers.
-        Writes: ``ctx.rtt_eff``, ``ctx.desired``, ``ctx.loss_prone``; may
-                collapse gated connections (``windows.force_timeout``) and
-                consume RNG draws for the burst-escape gate.
+        Writes: ``ctx.rtt_eff``, ``ctx.desired``, ``ctx.loss_prone``
+                (workspace slots ``rtt_eff``, ``potential``, ``desired``,
+                ``active``, ``loss_prone``, ``draws``); may collapse gated
+                connections (``windows.force_timeout``) and consume RNG draws
+                for the burst-escape gate.
         """
         state = self.state
-        now, dt = ctx.now, ctx.dt
-        busy, n_streams = ctx.busy, ctx.n_streams
+        ws = self.workspace
+        transport = self._transport
+        dt = ctx.dt
+        conn_server = state.conn_server
+        conn_node = state.conn_node
 
-        queue_delay = state.buffers.queueing_delay(state.last_drain_rate)
-        rtt_eff = self._base_rtt + queue_delay[state.conn_server]
+        # Effective RTT: base RTT plus queueing delay at the server
+        # (in-place twin of ServerBuffers.queueing_delay — keep in sync).
+        np.maximum(state.last_drain_rate, 1e-9, out=ws.tmp_srv_a)
+        np.divide(state.buffers.fill, ws.tmp_srv_a, out=ws.tmp_srv_a)
+        ws.tmp_srv_a.take(conn_server, out=ws.rtt_eff)
+        np.add(ws.rtt_eff, self._base_rtt, out=ws.rtt_eff)
         # Receiver-advertised window: the clients collectively probe a bit
         # beyond the server buffer (rwnd_overcommit), shared by the
         # connections of each server that are currently able to send.
@@ -219,21 +396,34 @@ class ModelStepper:
         # credit, so the surviving (typically first-application) connections
         # inherit their share — this is what lets the incumbent keep
         # streaming while the newcomer's windows stay collapsed (Figure 11).
-        sending_allowed = state.windows.sending_allowed(now)
-        n_ready = np.bincount(
-            state.conn_server[busy & sending_allowed], minlength=state.n_servers
-        ).astype(np.float64)
-        rwnd_per_server = np.maximum(
-            self._transport.rwnd_overcommit
-            * state.buffers.capacity
-            / np.maximum(n_ready, 1.0),
-            self._transport.window_min,
-        )
-        effective_window = np.minimum(state.windows.cwnd, rwnd_per_server[state.conn_server])
-        potential = np.where(sending_allowed, effective_window / np.maximum(rtt_eff, 1e-9) * dt, 0.0)
-        desire_data = np.minimum(potential, state.send_remaining)
-        desired = cap_by_group(desire_data, state.conn_node, self._node_caps * dt)
-        active = desired > 1e-9
+        np.multiply(ws.busy_f, ws.sending, out=ws.tmp_conn_a)
+        n_ready = np.bincount(conn_server, weights=ws.tmp_conn_a, minlength=self._n_servers)
+        np.maximum(n_ready, 1.0, out=ws.tmp_srv_a)
+        np.divide(self._rwnd_budget, ws.tmp_srv_a, out=ws.tmp_srv_a)
+        np.maximum(ws.tmp_srv_a, transport.window_min, out=ws.tmp_srv_a)
+        ws.tmp_srv_a.take(conn_server, out=ws.tmp_conn_a)
+        np.minimum(state.windows.cwnd, ws.tmp_conn_a, out=ws.tmp_conn_a)
+        # potential = sending ? effective_window / max(rtt_eff, 1e-9) * dt : 0
+        np.maximum(ws.rtt_eff, 1e-9, out=ws.tmp_conn_b)
+        np.divide(ws.tmp_conn_a, ws.tmp_conn_b, out=ws.potential)
+        np.multiply(ws.potential, dt, out=ws.potential)
+        np.logical_not(ws.sending, out=ws.tmp_bool_a)
+        np.copyto(ws.potential, 0.0, where=ws.tmp_bool_a)
+        np.minimum(ws.potential, state.send_remaining, out=ws.desired)
+        # Per-node injection cap (cap_by_group inlined onto the workspace).
+        totals = np.bincount(conn_node, weights=ws.desired, minlength=self._n_nodes)
+        np.maximum(totals, 1e-300, out=ws.tmp_node_a)
+        np.greater(totals, self._node_caps_dt, out=ws.tmp_node_mask)
+        # Dividing only the over-capacity lanes sidesteps the overflow that
+        # near-zero totals would produce (long adaptive steps make
+        # capacity * dt huge); the untouched lanes keep their factor of 1.
+        ws.tmp_node_b.fill(1.0)
+        np.divide(self._node_caps_dt, ws.tmp_node_a, out=ws.tmp_node_b,
+                  where=ws.tmp_node_mask)
+        np.clip(ws.tmp_node_b, 0.0, 1.0, out=ws.tmp_node_b)
+        ws.tmp_node_b.take(conn_node, out=ws.tmp_conn_a)
+        np.multiply(ws.desired, ws.tmp_conn_a, out=ws.desired)
+        np.greater(ws.desired, 1e-9, out=ws.active)
 
         # A connection can suffer a timeout collapse ("Incast") only when
         # (a) it offered a full window as a burst, clearly below what its
@@ -241,63 +431,74 @@ class ModelStepper:
         # (b) its server's buffer share per connection is down to a few MSS,
         # (c) its NIC can deliver the burst much faster than the connection's
         #     fair share of the server drain (an un-throttled source).
-        active_per_node = np.bincount(
-            state.conn_node[busy], minlength=state.topology.n_client_nodes
-        ).astype(np.float64)
-        node_share = (self._node_caps * dt)[state.conn_node] / np.maximum(
-            active_per_node[state.conn_node], 1.0
-        )
-        window_limited = (
-            active
-            & (state.send_remaining >= potential * (1.0 - 1e-6))
-            & (potential <= self._transport.source_margin * node_share)
-        )
-        incast_regime = (
-            state.buffers.capacity / np.maximum(n_streams.astype(np.float64), 1.0)
-        ) < self._transport.incast_window_threshold
-        line_rate_share = self._client_line_rate / np.maximum(
-            active_per_node[state.conn_node], 1.0
-        )
-        drain_share = state.last_drain_rate[state.conn_server] / np.maximum(
-            n_streams[state.conn_server].astype(np.float64), 1.0
-        )
-        bursty_source = line_rate_share >= self._transport.burst_loss_ratio * drain_share
-        loss_prone = window_limited & incast_regime[state.conn_server] & bursty_source
-        if self._transport.lossless:
+        active_per_node = np.bincount(conn_node, weights=ws.busy_f, minlength=self._n_nodes)
+        active_per_node.take(conn_node, out=ws.tmp_conn_a)
+        np.maximum(ws.tmp_conn_a, 1.0, out=ws.tmp_conn_a)  # shared denominator
+        self._node_caps_dt.take(conn_node, out=ws.tmp_conn_b)
+        np.divide(ws.tmp_conn_b, ws.tmp_conn_a, out=ws.tmp_conn_b)  # node share
+        np.multiply(ws.potential, self._wl_margin, out=ws.tmp_conn_c)
+        np.greater_equal(state.send_remaining, ws.tmp_conn_c, out=ws.tmp_bool_a)
+        np.multiply(ws.tmp_conn_b, transport.source_margin, out=ws.tmp_conn_b)
+        np.less_equal(ws.potential, ws.tmp_conn_b, out=ws.tmp_bool_b)
+        np.logical_and(ws.active, ws.tmp_bool_a, out=ws.tmp_bool_a)
+        np.logical_and(ws.tmp_bool_a, ws.tmp_bool_b, out=ws.tmp_bool_a)  # window-limited
+        np.maximum(ws.n_streams_f, 1.0, out=ws.tmp_srv_a)
+        np.divide(state.buffers.capacity, ws.tmp_srv_a, out=ws.tmp_srv_a)
+        np.less(ws.tmp_srv_a, transport.incast_window_threshold, out=ws.tmp_srv_bool)
+        np.divide(self._client_line_rate, ws.tmp_conn_a, out=ws.tmp_conn_c)  # line share
+        ws.n_streams_f.take(conn_server, out=ws.tmp_conn_d)
+        np.maximum(ws.tmp_conn_d, 1.0, out=ws.tmp_conn_d)
+        state.last_drain_rate.take(conn_server, out=ws.tmp_conn_b)
+        np.divide(ws.tmp_conn_b, ws.tmp_conn_d, out=ws.tmp_conn_b)  # drain share
+        np.multiply(ws.tmp_conn_b, transport.burst_loss_ratio, out=ws.tmp_conn_b)
+        np.greater_equal(ws.tmp_conn_c, ws.tmp_conn_b, out=ws.tmp_bool_b)  # bursty source
+        ws.tmp_srv_bool.take(conn_server, out=ws.tmp_bool_c)
+        np.logical_and(ws.tmp_bool_a, ws.tmp_bool_c, out=ws.loss_prone)
+        np.logical_and(ws.loss_prone, ws.tmp_bool_b, out=ws.loss_prone)
+        if transport.lossless:
             # Credit-based flow control: bursts wait for credits instead of
             # being dropped, so no connection is ever loss-prone and the
             # Incast machinery below never engages.
-            loss_prone[:] = False
+            ws.loss_prone[:] = False
 
         # Burst-escape gate: a connection without a running ACK clock can
         # only (re)enter an Incast-regime server if its whole-window burst
         # survives an already full buffer.  Failed attempts are immediate
         # timeouts — this is what pins the second application's windows near
         # zero while the first application keeps streaming (Figures 11/12).
-        buffer_full = state.buffers.occupancy_fraction() >= 0.9
-        gated = loss_prone & ~state.windows.paced & active & buffer_full[state.conn_server]
-        if np.any(gated):
-            draws = self._rng.random(state.n_connections)
-            escape_p = np.where(
-                state.windows.ever_paced,
-                self._transport.burst_reentry_probability,
-                self._transport.burst_escape_probability,
+        # (in-place twin of ServerBuffers.occupancy_fraction — keep in sync)
+        np.divide(state.buffers.fill, state.buffers.capacity, out=ws.tmp_srv_a)
+        np.clip(ws.tmp_srv_a, 0.0, 1.0, out=ws.tmp_srv_a)
+        np.greater_equal(ws.tmp_srv_a, 0.9, out=ws.tmp_srv_bool)  # buffer full
+        np.logical_not(state.windows.paced, out=ws.tmp_bool_a)
+        np.logical_and(ws.loss_prone, ws.tmp_bool_a, out=ws.tmp_bool_a)
+        np.logical_and(ws.tmp_bool_a, ws.active, out=ws.tmp_bool_a)
+        ws.tmp_srv_bool.take(conn_server, out=ws.tmp_bool_b)
+        np.logical_and(ws.tmp_bool_a, ws.tmp_bool_b, out=ws.tmp_bool_a)  # gated
+        if ws.tmp_bool_a.any():
+            self._rng.random(out=ws.draws)
+            ws.tmp_conn_a.fill(transport.burst_escape_probability)
+            np.copyto(
+                ws.tmp_conn_a,
+                transport.burst_reentry_probability,
+                where=state.windows.ever_paced,
             )
-            failed = gated & (draws >= escape_p)
-            if np.any(failed):
-                failed_idx = np.flatnonzero(failed)
-                state.windows.force_timeout(failed_idx, now)
-                desired[failed_idx] = 0.0
+            np.greater_equal(ws.draws, ws.tmp_conn_a, out=ws.tmp_bool_b)
+            np.logical_and(ws.tmp_bool_a, ws.tmp_bool_b, out=ws.tmp_bool_b)
+            if ws.tmp_bool_b.any():
+                failed_idx = np.flatnonzero(ws.tmp_bool_b)
+                state.windows.force_timeout(failed_idx, ctx.now)
+                ws.desired[failed_idx] = 0.0
                 state.collapses_per_app += np.bincount(
-                    state.conn_app[failed_idx], minlength=state.n_apps
+                    state.conn_app[failed_idx], minlength=self._n_apps
                 )
                 state.recorder.mark(
-                    now, "incast", "burst-loss", data={"count": int(failed_idx.size)}
+                    ctx.now, "incast", "burst-loss", data={"count": int(failed_idx.size)}
                 )
 
-        ctx.rtt_eff = rtt_eff
-        ctx.desired = desired
-        ctx.loss_prone = loss_prone
+        ctx.rtt_eff = ws.rtt_eff
+        ctx.desired = ws.desired
+        ctx.loss_prone = ws.loss_prone
 
     # ------------------------------------------------------------------ #
     # Phase 4 — admission and drain
@@ -317,19 +518,21 @@ class ModelStepper:
                 deployment's backend accounting.
         """
         state = self.state
+        ws = self.workspace
         dt = ctx.dt
-        weights = np.ones(state.n_connections, dtype=np.float64)
+        np.multiply(ctx.drain_rate, dt, out=ws.tmp_srv_b)
         admitted, oversubscribed = state.buffers.admit(
             ctx.desired,
-            weights,
-            extra_capacity=ctx.drain_rate * dt,
-            max_admission=self._server_nic * dt,
+            ws.ones,
+            extra_capacity=ws.tmp_srv_b,
+            max_admission=self._server_nic_dt,
             rng=None,
         )
         state.send_remaining -= admitted
-        state.send_remaining[state.send_remaining < self._completion_epsilon * 1e-3] = 0.0
+        np.less(state.send_remaining, self._send_floor, out=ws.tmp_bool_a)
+        np.copyto(state.send_remaining, 0.0, where=ws.tmp_bool_a)
 
-        drained_per_server, _drained_per_conn = state.buffers.drain(ctx.drain_rate * dt)
+        drained_per_server, _drained_per_conn = state.buffers.drain(ws.tmp_srv_b)
         state.deployment.commit(drained_per_server, dt, ctx.n_streams, ctx.avg_frag)
 
         ctx.admitted = admitted
@@ -355,6 +558,7 @@ class ModelStepper:
             rtt_eff=ctx.rtt_eff,
             oversubscribed=ctx.oversubscribed,
             loss_prone=ctx.loss_prone,
+            collect_stats=False,
         )
         if update.n_collapsed:
             collapsed_apps = np.bincount(
@@ -378,17 +582,17 @@ class ModelStepper:
         """
         state = self.state
         per_node = np.bincount(
-            state.conn_node, weights=ctx.admitted, minlength=state.topology.n_client_nodes
+            state.conn_node, weights=ctx.admitted, minlength=self._n_nodes
         )
         per_server = np.bincount(
-            state.conn_server, weights=ctx.admitted, minlength=state.n_servers
+            state.conn_server, weights=ctx.admitted, minlength=self._n_servers
         )
         state.topology.record_step(per_node, per_server, ctx.dt)
         if self.pressure_step_ref:
             state.buffers.note_step(weight=ctx.dt / self.pressure_step_ref)
         else:
             state.buffers.note_step()
-        state.last_admission_rate = per_server / ctx.dt
+        np.divide(per_server, ctx.dt, out=state.last_admission_rate)
 
     # ------------------------------------------------------------------ #
     # Phase 6b — operation / application completion
@@ -499,7 +703,7 @@ class ModelStepper:
                 continue
             if per_proc_outstanding is None:
                 per_proc_outstanding = state.outstanding_per_process()
-            ids = app.proc_ids()
+            ids = state.app_proc_ids[app.index]
             idle = per_proc_outstanding[ids] <= self._completion_epsilon
             more_ops = (state.proc_current_op[ids] + 1) < app.n_operations
             pending = state.proc_next_issue[ids][idle & more_ops]
@@ -517,7 +721,7 @@ class ModelStepper:
     def _handle_completions(self, sim: Simulator) -> None:
         state = self.state
         now = sim.now
-        outstanding_app = state.outstanding_per_app()
+        outstanding_app: Optional[np.ndarray] = None
         per_proc_outstanding: Optional[np.ndarray] = None
 
         for runtime in state.app_runtime:
@@ -526,6 +730,8 @@ class ModelStepper:
                 continue
             pattern = app.spec.pattern
             if pattern.collective:
+                if outstanding_app is None:
+                    outstanding_app = state.outstanding_per_app()
                 if outstanding_app[app.index] > self._completion_epsilon:
                     continue
                 if runtime.current_op < 0:
@@ -551,25 +757,28 @@ class ModelStepper:
     def _advance_independent(
         self, runtime, per_proc_outstanding: np.ndarray, now: float
     ) -> None:
-        """Advance per-process (non-collective) operations of one application."""
+        """Advance per-process (non-collective) operations of one application.
+
+        The idle/ready/finished classification is one set of grouped
+        vectorized reductions over the application's (precomputed) process
+        index block; only the processes that actually issue fall back to the
+        per-process striping arithmetic.
+        """
         state = self.state
         app = runtime.app
-        ids = app.proc_ids()
+        ids = state.app_proc_ids[app.index]
         pattern = app.spec.pattern
-        done_procs = 0
-        for proc in ids:
-            proc = int(proc)
-            if per_proc_outstanding[proc] > self._completion_epsilon:
-                continue
-            current = int(state.proc_current_op[proc])
-            if current + 1 >= app.n_operations:
-                done_procs += 1
-                continue
-            if state.proc_next_issue[proc] > now:
-                continue
-            state.issue_process_operation(proc, current + 1)
-            state.proc_next_issue[proc] = now + pattern.collective_overhead
-        if done_procs == ids.shape[0]:
+        idle = per_proc_outstanding[ids] <= self._completion_epsilon
+        current = state.proc_current_op[ids]
+        exhausted = (current + 1) >= app.n_operations
+        ready = idle & ~exhausted & (state.proc_next_issue[ids] <= now)
+        if ready.any():
+            overhead = pattern.collective_overhead
+            for proc, op in zip(ids[ready], current[ready]):
+                proc = int(proc)
+                state.issue_process_operation(proc, int(op) + 1)
+                state.proc_next_issue[proc] = now + overhead
+        if int(np.count_nonzero(idle & exhausted)) == ids.shape[0]:
             self._finish_app(runtime, now)
 
     def _finish_app(self, runtime, now: float) -> None:
@@ -611,6 +820,6 @@ class ModelStepper:
         if app.spec.pattern.collective:
             state.issue_operation(app, 0)
         else:
-            for proc in app.proc_ids():
+            for proc in state.app_proc_ids[app_index]:
                 state.issue_process_operation(int(proc), 0)
                 state.proc_next_issue[int(proc)] = sim.now

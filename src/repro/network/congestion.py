@@ -31,7 +31,12 @@ __all__ = ["WindowState", "WindowUpdateResult"]
 
 @dataclass
 class WindowUpdateResult:
-    """Summary of one window-update step (used for tracing and analysis)."""
+    """Summary of one window-update step (used for tracing and analysis).
+
+    When :meth:`WindowState.update` runs with ``collect_stats=False`` (the
+    stepper's hot path, which only consumes the collapse fields) the optional
+    aggregates are not computed and report ``0``/``0.0``.
+    """
 
     n_collapsed: int
     n_decreased: int
@@ -91,6 +96,19 @@ class WindowState:
         #: True for connections that have been paced at least once; they
         #: recover from a timeout much more easily than true newcomers.
         self.ever_paced = np.zeros(n, dtype=bool)
+        # Scratch buffers for update(); reused every step so the hot path
+        # allocates nothing.  They never leave this class.
+        self._fraction = np.empty(n, dtype=np.float64)
+        self._rtt = np.empty(n, dtype=np.float64)
+        self._cwnd_next = np.empty(n, dtype=np.float64)
+        self._starved_next = np.empty(n, dtype=np.float64)
+        self._draws = np.empty(n, dtype=np.float64)
+        self._empty_indices = np.zeros(0, dtype=np.int64)
+        self._mask_active = np.empty(n, dtype=bool)
+        self._mask_a = np.empty(n, dtype=bool)
+        self._mask_b = np.empty(n, dtype=bool)
+        self._mask_c = np.empty(n, dtype=bool)
+        self._mask_d = np.empty(n, dtype=bool)
 
     # ------------------------------------------------------------------ #
     # Queries used by the admission model
@@ -166,6 +184,7 @@ class WindowState:
         rtt_eff: np.ndarray,
         oversubscribed: np.ndarray,
         loss_prone: Optional[np.ndarray] = None,
+        collect_stats: bool = True,
     ) -> WindowUpdateResult:
         """Apply one step of window dynamics.
 
@@ -196,35 +215,53 @@ class WindowState:
             backpressured (receiver window + queueing delay) keep their
             congestion window, as a self-clocked TCP sender would.  Defaults
             to "all active connections" (the most pessimistic assumption).
+        collect_stats:
+            When False, skip the aggregate counters (``n_decreased``,
+            ``n_increased``, ``stalled_fraction``) that only tracing and
+            analysis consume; the window dynamics themselves are unchanged.
         """
         t = self.transport
         requested = np.asarray(requested, dtype=np.float64)
         admitted = np.asarray(admitted, dtype=np.float64)
-        rtt_eff = np.maximum(np.asarray(rtt_eff, dtype=np.float64), 1e-9)
+        rtt = self._rtt
+        np.maximum(np.asarray(rtt_eff, dtype=np.float64), 1e-9, out=rtt)
         oversubscribed = np.asarray(oversubscribed, dtype=bool)
+        mask_a, mask_b, mask_c, mask_d = (
+            self._mask_a, self._mask_b, self._mask_c, self._mask_d,
+        )
 
-        active = requested > 1e-9
+        active = self._mask_active
+        np.greater(requested, 1e-9, out=active)
         if loss_prone is None:
             loss_prone = active
         else:
             loss_prone = np.asarray(loss_prone, dtype=bool)
-        fraction = np.ones_like(requested)
+        fraction = self._fraction
+        fraction.fill(1.0)
         np.divide(admitted, requested, out=fraction, where=active)
 
-        delivered = admitted > 1e-9
+        np.greater(admitted, 1e-9, out=mask_a)  # delivered
         self.delivered_bytes += admitted
-        self.last_delivery[delivered] = now
-        self.backoff[np.logical_and(delivered, fraction >= 0.5)] = 0
+        np.copyto(self.last_delivery, now, where=mask_a)
+        np.greater_equal(fraction, 0.5, out=mask_b)
+        np.logical_and(mask_a, mask_b, out=mask_b)
+        np.copyto(self.backoff, 0, where=mask_b)
         # A connection that pushed at least a segment through has a running
         # ACK clock again.
-        newly_paced = admitted >= self.transport.mss
-        self.paced[newly_paced] = True
-        self.ever_paced[newly_paced] = True
+        np.greater_equal(admitted, t.mss, out=mask_a)  # newly paced
+        self.paced |= mask_a
+        self.ever_paced |= mask_a
 
         # Additive increase: one segment per effective RTT of good progress.
-        good = np.logical_and(active, fraction >= 0.9)
-        increase = t.additive_increase_segments * t.mss * (dt / rtt_eff)
-        self.cwnd[good] = np.minimum(self.cwnd[good] + increase[good], t.window_max)
+        np.greater_equal(fraction, 0.9, out=mask_b)
+        np.logical_and(active, mask_b, out=mask_b)  # good progress
+        n_increased = int(mask_b.sum()) if collect_stats else 0
+        grown = self._cwnd_next
+        np.divide(dt, rtt, out=grown)
+        grown *= t.additive_increase_segments * t.mss
+        np.add(self.cwnd, grown, out=grown)
+        np.minimum(grown, t.window_max, out=grown)
+        np.copyto(self.cwnd, grown, where=mask_b)
 
         # Multiplicative decrease: only loss-prone connections interpret a
         # throttled step as packet loss.  A paced connection that gets less
@@ -232,30 +269,45 @@ class WindowState:
         # queueing delay), which real TCP absorbs without shrinking cwnd;
         # treating it as loss makes low-connection-count configurations
         # (e.g. one writer per node) underutilize the backend.
-        throttled = active & loss_prone & (fraction < 0.5) & oversubscribed
-        self.cwnd[throttled] = np.maximum(
-            self.cwnd[throttled] * t.multiplicative_decrease, t.window_min
-        )
+        np.logical_and(active, loss_prone, out=mask_a)  # kept for starvation
+        np.less(fraction, 0.5, out=mask_b)
+        np.logical_and(mask_a, mask_b, out=mask_b)
+        np.logical_and(mask_b, oversubscribed, out=mask_b)  # throttled
+        n_decreased = int(mask_b.sum()) if collect_stats else 0
+        shrunk = self._cwnd_next
+        np.multiply(self.cwnd, t.multiplicative_decrease, out=shrunk)
+        np.maximum(shrunk, t.window_min, out=shrunk)
+        np.copyto(self.cwnd, shrunk, where=mask_b)
 
         # Starvation accounting and timeout collapse.  Only loss-prone
         # connections accumulate starvation: a burst that hit a full buffer
         # was lost, while a source-paced trickle was merely delayed.
-        starving = active & loss_prone & (fraction < t.starvation_fraction)
-        self.starved_time[starving] += dt
-        self.starved_time[active & ~starving] = 0.0
-        timed_out = self.starved_time >= t.rto
+        np.less(fraction, t.starvation_fraction, out=mask_b)
+        np.logical_and(mask_a, mask_b, out=mask_b)  # starving
+        starved = self._starved_next
+        np.add(self.starved_time, dt, out=starved)
+        np.copyto(self.starved_time, starved, where=mask_b)
+        np.logical_not(mask_b, out=mask_c)
+        np.logical_and(active, mask_c, out=mask_c)
+        np.copyto(self.starved_time, 0.0, where=mask_c)
+        timed_out = mask_b
+        np.greater_equal(self.starved_time, t.rto, out=timed_out)
 
         # Residual whole-window losses for paced connections in the Incast
         # regime: rare, but they keep even the incumbent application from
         # being completely untouched (Figure 2(a) shows it slowed as well).
-        hazard_candidates = active & loss_prone & self.paced & ~timed_out
-        if np.any(hazard_candidates) and t.paced_timeout_hazard > 0.0:
+        np.logical_not(timed_out, out=mask_c)
+        np.logical_and(mask_a, self.paced, out=mask_d)
+        np.logical_and(mask_d, mask_c, out=mask_d)  # hazard candidates
+        if mask_d.any() and t.paced_timeout_hazard > 0.0:
             p_step = 1.0 - (1.0 - t.paced_timeout_hazard) ** (dt / t.rto)
-            draws = self._rng.random(self.n_connections)
-            timed_out = timed_out | (hazard_candidates & (draws < p_step))
+            self._rng.random(out=self._draws)
+            np.less(self._draws, p_step, out=mask_c)
+            np.logical_and(mask_d, mask_c, out=mask_c)
+            np.logical_or(timed_out, mask_c, out=timed_out)
 
-        n_collapsed = int(timed_out.sum())
-        idx = np.flatnonzero(timed_out)
+        n_collapsed = int(np.count_nonzero(timed_out))
+        idx = np.flatnonzero(timed_out) if n_collapsed else self._empty_indices
         if n_collapsed:
             self.cwnd[idx] = t.window_min
             backoff = np.minimum(self.backoff[idx], t.max_backoff_exponent)
@@ -268,11 +320,16 @@ class WindowState:
             self.collapse_count[idx] += 1
             self.paced[idx] = False
 
+        stalled = (
+            self.stalled_fraction(now, active_mask=active | (~self.sending_allowed(now)))
+            if collect_stats
+            else 0.0
+        )
         result = WindowUpdateResult(
             n_collapsed=n_collapsed,
-            n_decreased=int(throttled.sum()),
-            n_increased=int(good.sum()),
-            stalled_fraction=self.stalled_fraction(now, active_mask=active | (~self.sending_allowed(now))),
+            n_decreased=n_decreased,
+            n_increased=n_increased,
+            stalled_fraction=stalled,
             collapsed_indices=idx,
         )
         return result

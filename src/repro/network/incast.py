@@ -58,6 +58,32 @@ class ServerBuffers:
         ):
             raise SimulationError("conn_server contains out-of-range server indices")
         n_conns = self.conn_server.shape[0]
+        #: Step-invariant per-server connection groups (ascending connection
+        #: indices, exactly the order a boolean ``conn_server == s`` mask
+        #: yields), computed once so the admission path never rescans the
+        #: mapping array.
+        self._server_conn_ids = [
+            np.flatnonzero(self.conn_server == s) for s in range(self.n_servers)
+        ]
+        # When every server hosts the same number of connections (the common
+        # deployment: every application stripes over every server) the groups
+        # stack into one (n_servers, k) index matrix and the admission
+        # water-filling runs as row-wise 2D ops instead of a per-server loop.
+        sizes = {ids.shape[0] for ids in self._server_conn_ids}
+        if len(sizes) == 1 and sizes != {0}:
+            self._group_matrix: Optional[np.ndarray] = np.vstack(self._server_conn_ids)
+            self._group_flat = self._group_matrix.reshape(-1)
+            self._demands_2d = np.empty(self._group_matrix.shape, dtype=np.float64)
+            self._demands_flat = self._demands_2d.reshape(-1)
+        else:
+            self._group_matrix = None
+        self._weights_all_ones = False
+        # Scratch buffers reused by admit()/drain(); holding them here keeps
+        # the per-step allocation count flat without changing any result.
+        self._scratch_capacity = np.zeros(self.n_servers, dtype=np.float64)
+        self._scratch_fraction = np.zeros(self.n_servers, dtype=np.float64)
+        self._scratch_conn = np.zeros(n_conns, dtype=np.float64)
+        self._validated_weights: Optional[np.ndarray] = None
         #: Bytes currently buffered per server.
         self.fill = np.zeros(self.n_servers, dtype=np.float64)
         #: Bytes currently buffered per connection.
@@ -148,13 +174,16 @@ class ServerBuffers:
         offered = np.asarray(offered, dtype=np.float64)
         if offered.shape[0] != self.n_connections:
             raise SimulationError("offered has the wrong number of connections")
-        capacity = self.free_space()
+        capacity = self._scratch_capacity
+        np.subtract(self.capacity, self.fill, out=capacity)
+        np.maximum(capacity, 0.0, out=capacity)
+        scratch = self._scratch_fraction
         if extra_capacity is not None:
-            capacity = capacity + np.maximum(np.asarray(extra_capacity, dtype=np.float64), 0.0)
+            np.maximum(np.asarray(extra_capacity, dtype=np.float64), 0.0, out=scratch)
+            np.add(capacity, scratch, out=capacity)
         if max_admission is not None:
-            capacity = np.minimum(
-                capacity, np.maximum(np.asarray(max_admission, dtype=np.float64), 0.0)
-            )
+            np.maximum(np.asarray(max_admission, dtype=np.float64), 0.0, out=scratch)
+            np.minimum(capacity, scratch, out=capacity)
 
         offered_per_server = np.bincount(
             self.conn_server, weights=offered, minlength=self.n_servers
@@ -162,15 +191,7 @@ class ServerBuffers:
         oversub_server = offered_per_server > capacity + 1e-9
 
         if rng is None:
-            # Deterministic proportional fallback.
-            from repro.network.allocation import proportional_share
-
-            admitted = np.zeros_like(offered)
-            for s in np.flatnonzero(offered_per_server > 0):
-                mask = self.conn_server == s
-                admitted[mask] = proportional_share(
-                    offered[mask], float(capacity[s]), weights=np.asarray(weights)[mask]
-                )
+            admitted = self._admit_proportional(offered, weights, capacity, offered_per_server)
         else:
             keys = admission_order_keys(np.asarray(weights, dtype=np.float64), rng)
             admitted = allocate_greedy_in_order(offered, keys, self.conn_server, capacity)
@@ -183,6 +204,114 @@ class ServerBuffers:
         self.total_admitted += admitted_per_server
         oversubscribed = oversub_server[self.conn_server]
         return admitted, oversubscribed
+
+    def _admit_proportional(
+        self,
+        offered: np.ndarray,
+        weights: np.ndarray,
+        capacity: np.ndarray,
+        offered_per_server: np.ndarray,
+    ) -> np.ndarray:
+        """Deterministic proportional admission, one water-filling per server.
+
+        With equal-sized groups (the common deployment) the water-filling
+        runs vectorized across servers (:meth:`_admit_proportional_stacked`,
+        bit-for-bit equivalent to the scalar reference); ragged deployments
+        fall back to the canonical
+        :func:`~repro.network.allocation.proportional_share` per server on
+        the cached index groups, which select the same connections in the
+        same ascending order as the boolean masks they replace.
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        # The stepper passes the same frozen (non-writeable) unit-weight
+        # array every step; identity-caching the validation and the all-ones
+        # flag is only sound for arrays that cannot be mutated in place, so
+        # writeable arrays are re-examined on every call.
+        if weights is self._validated_weights:
+            all_ones = self._weights_all_ones
+        else:
+            if np.any(weights <= 0):
+                raise ValueError("weights must be positive")
+            all_ones = bool((weights == 1.0).all())
+            if not weights.flags.writeable:
+                self._validated_weights = weights
+                self._weights_all_ones = all_ones
+        if self._group_matrix is not None:
+            return self._admit_proportional_stacked(offered, weights, capacity, all_ones)
+        # Ragged deployments: the canonical scalar water-filling per server,
+        # on the cached index groups (same subsets, in the same order, as the
+        # boolean masks it replaces).
+        from repro.network.allocation import proportional_share
+
+        admitted = np.zeros_like(offered)
+        groups = self._server_conn_ids
+        for s in np.flatnonzero(offered_per_server > 0):
+            idx = groups[s]
+            admitted[idx] = proportional_share(
+                offered[idx], float(capacity[s]), weights=weights[idx]
+            )
+        return admitted
+
+    def _admit_proportional_stacked(
+        self,
+        offered: np.ndarray,
+        weights: np.ndarray,
+        capacity: np.ndarray,
+        all_ones: bool,
+    ) -> np.ndarray:
+        """Row-per-server vectorization of the proportional water-filling.
+
+        Works on the ``(n_servers, k)`` gathered demand matrix.  Row-wise
+        reductions (``sum(axis=1)``) use the same pairwise summation over the
+        same contiguous element order as the per-group ``demands.sum()`` of
+        the scalar path, and dead rows (capacity exhausted / all satisfied —
+        the scalar path's early ``break``) are frozen by zeroing their takes,
+        so the result is bit-for-bit the same.
+        """
+        matrix = self._group_matrix
+        offered.take(self._group_flat, out=self._demands_flat)
+        demands = self._demands_2d                      # (S, k), reused buffer
+        total = demands.sum(axis=1)
+        has_room = capacity > 0
+        fits = has_room & (total <= capacity)
+        over = has_room & (total > capacity)
+        all_over = bool(over.all())
+        if all_over:
+            alloc = None                                # every row water-fills
+        else:
+            alloc = np.zeros_like(demands)
+            alloc[fits] = demands[fits]
+        if all_over or over.any():
+            rows = demands if all_over else demands[over]   # (m, k)
+            if all_ones:
+                # where(unsat, 1.0, 0.0) with a scalar produces the same
+                # values as with an explicit unit-weight row; skip the gather.
+                row_weights: object = 1.0
+            else:
+                row_weights = weights[matrix if all_over else matrix[over]]
+            row_alloc = np.zeros_like(rows)
+            remaining = capacity.copy() if all_over else capacity[over].copy()
+            unsatisfied = rows > 0
+            for _ in range(4):
+                w = np.where(unsatisfied, row_weights, 0.0)
+                w_sum = w.sum(axis=1)
+                live = (remaining > 1e-12) & (w_sum > 0)
+                if not live.any():
+                    break
+                w_sum_safe = np.where(live, w_sum, 1.0)
+                offer = remaining[:, None] * w / w_sum_safe[:, None]
+                take = np.minimum(offer, rows - row_alloc)
+                take[~live] = 0.0
+                row_alloc += take
+                remaining -= take.sum(axis=1)
+                unsatisfied = (rows - row_alloc) > 1e-9
+            if all_over:
+                alloc = row_alloc
+            else:
+                alloc[over] = row_alloc
+        admitted = np.zeros_like(offered)
+        admitted[self._group_flat] = alloc.reshape(-1)
+        return admitted
 
     # ------------------------------------------------------------------ #
     # Drain
@@ -198,13 +327,18 @@ class ServerBuffers:
         -------
         (drained_per_server, drained_per_conn)
         """
-        drain_capacity = np.maximum(np.asarray(drain_capacity, dtype=np.float64), 0.0)
+        drain_capacity = np.asarray(drain_capacity, dtype=np.float64)
         if drain_capacity.shape[0] != self.n_servers:
             raise SimulationError("drain_capacity has the wrong number of servers")
-        drained_per_server = np.minimum(self.fill, drain_capacity)
-        with np.errstate(divide="ignore", invalid="ignore"):
-            fraction = np.where(self.fill > 0, drained_per_server / np.maximum(self.fill, 1e-300), 0.0)
-        drained_per_conn = self.conn_bytes * fraction[self.conn_server]
+        np.maximum(drain_capacity, 0.0, out=self._scratch_capacity)
+        drained_per_server = np.minimum(self.fill, self._scratch_capacity)
+        # An empty buffer drains exactly 0.0 bytes, so 0 / max(0, tiny) is the
+        # same +0.0 a guarded where() would select — no special case needed.
+        fraction = self._scratch_fraction
+        np.maximum(self.fill, 1e-300, out=fraction)
+        np.divide(drained_per_server, fraction, out=fraction)
+        np.take(fraction, self.conn_server, out=self._scratch_conn)
+        drained_per_conn = self.conn_bytes * self._scratch_conn
         self.conn_bytes -= drained_per_conn
         # Snap tiny residues to zero so fragments complete crisply.
         self.conn_bytes[self.conn_bytes < 1e-6] = 0.0
@@ -219,7 +353,10 @@ class ServerBuffers:
         policy; ``dt / base_dt`` for an adaptive jump).
         """
         self.observed_steps += weight
-        self.full_steps[self.occupancy_fraction() >= full_threshold] += weight
+        occupancy = self._scratch_fraction
+        np.divide(self.fill, self.capacity, out=occupancy)
+        np.clip(occupancy, 0.0, 1.0, out=occupancy)
+        self.full_steps[occupancy >= full_threshold] += weight
 
     def reset(self) -> None:
         """Clear all state (buffers and statistics)."""

@@ -15,7 +15,7 @@ from typing import Dict, List
 import numpy as np
 
 from repro.config.network import NetworkConfig
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.network.link import Link
 from repro.network.nic import NIC
 
@@ -47,6 +47,27 @@ class StarTopology:
             Link(name=f"fabric->server{s}", capacity=network.server_nic_bw)
             for s in range(n_servers)
         ]
+        # Per-link accounting lives in flat arrays so the per-step hot path
+        # (record_step) is a handful of vectorized ops instead of a Python
+        # loop over NIC/Link objects.  The objects above only carry names and
+        # capacities (construction-time validation, report labels): their own
+        # per-object counters are NOT fed by record_step — read utilization
+        # through this class's report methods, never through the objects.
+        self._node_capacity = np.array(
+            [nic.effective_bw for nic in self.client_nics], dtype=np.float64
+        )
+        self._server_capacity = np.array(
+            [link.capacity for link in self.server_downlinks], dtype=np.float64
+        )
+        self._node_busy = np.zeros(n_client_nodes, dtype=np.float64)
+        self._node_transferred = np.zeros(n_client_nodes, dtype=np.float64)
+        self._server_busy = np.zeros(n_servers, dtype=np.float64)
+        self._server_transferred = np.zeros(n_servers, dtype=np.float64)
+        self._observed_time = 0.0
+        self._scratch_node = np.empty(n_client_nodes, dtype=np.float64)
+        self._scratch_node2 = np.empty(n_client_nodes, dtype=np.float64)
+        self._scratch_server = np.empty(n_servers, dtype=np.float64)
+        self._scratch_server2 = np.empty(n_servers, dtype=np.float64)
 
     # ------------------------------------------------------------------ #
 
@@ -74,31 +95,74 @@ class StarTopology:
         per_server_bytes: np.ndarray,
         dt: float,
     ) -> None:
-        """Account for one step of traffic on every link."""
+        """Account for one step of traffic on every link.
+
+        Bytes beyond a link's step capacity are clamped (the model's group
+        caps already keep traffic within capacity; the clamp guards float
+        round-off).  Negative byte counts are rejected.
+        """
         per_node_bytes = np.asarray(per_node_bytes, dtype=np.float64)
         per_server_bytes = np.asarray(per_server_bytes, dtype=np.float64)
         if per_node_bytes.shape[0] != self.n_client_nodes:
             raise ConfigurationError("per_node_bytes has the wrong length")
         if per_server_bytes.shape[0] != self.n_servers:
             raise ConfigurationError("per_server_bytes has the wrong length")
-        for nic, nbytes in zip(self.client_nics, per_node_bytes):
-            nic.record(min(float(nbytes), nic.effective_bw * dt), dt)
-        for link, nbytes in zip(self.server_downlinks, per_server_bytes):
-            link.record(min(float(nbytes), link.capacity * dt), dt)
+        if dt <= 0:
+            raise SimulationError("dt must be positive")
+        if np.any(per_node_bytes < 0) or np.any(per_server_bytes < 0):
+            raise SimulationError("cannot record a negative number of bytes")
+        self._observed_time += dt
+        self._record_group(
+            per_node_bytes, self._node_capacity, self._node_transferred,
+            self._node_busy, self._scratch_node, self._scratch_node2, dt,
+        )
+        self._record_group(
+            per_server_bytes, self._server_capacity, self._server_transferred,
+            self._server_busy, self._scratch_server, self._scratch_server2, dt,
+        )
+
+    @staticmethod
+    def _record_group(
+        nbytes: np.ndarray,
+        capacity: np.ndarray,
+        transferred: np.ndarray,
+        busy: np.ndarray,
+        limit: np.ndarray,
+        clipped: np.ndarray,
+        dt: float,
+    ) -> None:
+        np.multiply(capacity, dt, out=limit)
+        np.minimum(nbytes, limit, out=clipped)
+        transferred += clipped
+        np.divide(clipped, limit, out=clipped)
+        np.minimum(clipped, 1.0, out=clipped)
+        clipped *= dt
+        busy += clipped
+
+    def _utilizations(self, busy: np.ndarray) -> np.ndarray:
+        if self._observed_time == 0:
+            return np.zeros_like(busy)
+        return np.minimum(busy / self._observed_time, 1.0)
 
     def utilization_report(self) -> Dict[str, float]:
         """Utilization of every link, keyed by link name."""
         report: Dict[str, float] = {}
-        for nic in self.client_nics:
-            report[nic.uplink.name] = nic.utilization()
-        for link in self.server_downlinks:
-            report[link.name] = link.utilization()
+        node_util = self._utilizations(self._node_busy)
+        for nic, value in zip(self.client_nics, node_util):
+            report[nic.uplink.name] = float(value)
+        server_util = self._utilizations(self._server_busy)
+        for link, value in zip(self.server_downlinks, server_util):
+            report[link.name] = float(value)
         return report
 
     def max_client_utilization(self) -> float:
         """Highest client-uplink utilization (root-cause indicator)."""
-        return max((nic.utilization() for nic in self.client_nics), default=0.0)
+        if not self.client_nics:
+            return 0.0
+        return float(self._utilizations(self._node_busy).max())
 
     def max_server_utilization(self) -> float:
         """Highest server-downlink utilization (root-cause indicator)."""
-        return max((link.utilization() for link in self.server_downlinks), default=0.0)
+        if not self.server_downlinks:
+            return 0.0
+        return float(self._utilizations(self._server_busy).max())

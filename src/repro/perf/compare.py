@@ -1,0 +1,61 @@
+"""Baseline comparison for the perf smoke gate.
+
+Compares a freshly measured bench document against the committed
+``BENCH_stepper.json`` and reports every scenario whose throughput fell
+below ``min_ratio`` of the baseline.  Only scenario keys present in *both*
+documents are compared (a tiny-scale smoke run gates only the tiny
+scenarios of a full committed baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import PerfError
+from repro.perf.schema import validate_bench_document
+
+__all__ = ["check_regression", "format_summary"]
+
+
+def check_regression(
+    current: Dict,
+    baseline: Dict,
+    min_ratio: float = 0.7,
+) -> List[str]:
+    """Return one failure message per regressed scenario (empty = gate green).
+
+    ``min_ratio`` is the allowed fraction of baseline throughput; the default
+    0.7 fails the gate when steps/sec regress by more than 30%.
+    """
+    if not 0.0 < min_ratio <= 1.0:
+        raise PerfError(f"min_ratio must be in (0, 1], got {min_ratio}")
+    validate_bench_document(current)
+    validate_bench_document(baseline)
+    failures: List[str] = []
+    base_scenarios = baseline["scenarios"]
+    for key, entry in current["scenarios"].items():
+        base = base_scenarios.get(key)
+        if base is None:
+            continue
+        measured = float(entry["steps_per_sec"])
+        reference = float(base["steps_per_sec"])
+        if measured < min_ratio * reference:
+            failures.append(
+                f"{key}: {measured:.0f} steps/s is below {min_ratio:.0%} of the "
+                f"baseline {reference:.0f} steps/s "
+                f"(ratio {measured / reference:.2f})"
+            )
+    return failures
+
+
+def format_summary(document: Dict) -> str:
+    """Human-readable one-line-per-scenario summary of a bench document."""
+    lines = []
+    speedup = document.get("speedup", {})
+    for key in sorted(document["scenarios"]):
+        entry = document["scenarios"][key]
+        line = f"{key:32s} {float(entry['steps_per_sec']):10.0f} steps/s"
+        if key in speedup:
+            line += f"   {float(speedup[key]):.2f}x vs reference"
+        lines.append(line)
+    return "\n".join(lines)

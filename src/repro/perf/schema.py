@@ -1,0 +1,85 @@
+"""Validation of the ``BENCH_stepper.json`` document.
+
+Plain-Python structural validation (the container deliberately carries no
+``jsonschema`` dependency): every violation raises
+:class:`~repro.errors.PerfError` naming the offending path, so a malformed
+committed baseline fails the CI gate loudly instead of comparing garbage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import PerfError
+
+__all__ = ["validate_bench_document"]
+
+_KINDS = ("active", "e2e")
+
+
+def _require(condition: bool, path: str, message: str) -> None:
+    if not condition:
+        raise PerfError(f"invalid bench document at {path}: {message}")
+
+
+def _validate_scenario(path: str, entry: object) -> None:
+    _require(isinstance(entry, dict), path, "scenario entry must be an object")
+    assert isinstance(entry, dict)
+    _require(isinstance(entry.get("scale"), str), f"{path}.scale", "must be a string")
+    _require(entry.get("kind") in _KINDS, f"{path}.kind", f"must be one of {_KINDS}")
+    n_steps = entry.get("n_steps")
+    _require(isinstance(n_steps, int) and n_steps > 0, f"{path}.n_steps",
+             "must be a positive integer")
+    best_ns = entry.get("best_ns")
+    _require(isinstance(best_ns, int) and best_ns > 0, f"{path}.best_ns",
+             "must be a positive integer")
+    sps = entry.get("steps_per_sec")
+    _require(isinstance(sps, (int, float)) and sps > 0, f"{path}.steps_per_sec",
+             "must be a positive number")
+
+
+def validate_bench_document(document: object, schema_id: str = "repro-io/bench-stepper/v1") -> Dict:
+    """Validate ``document``; return it (typed as a dict) when well-formed."""
+    _require(isinstance(document, dict), "$", "document must be a JSON object")
+    assert isinstance(document, dict)
+    _require(document.get("schema") == schema_id, "$.schema",
+             f"must be {schema_id!r}, got {document.get('schema')!r}")
+    _require(isinstance(document.get("python"), str), "$.python", "must be a string")
+    repeats = document.get("repeats")
+    _require(isinstance(repeats, int) and repeats >= 1, "$.repeats",
+             "must be an integer >= 1")
+    scenarios = document.get("scenarios")
+    _require(isinstance(scenarios, dict) and len(scenarios) > 0, "$.scenarios",
+             "must be a non-empty object")
+    assert isinstance(scenarios, dict)
+    for key, entry in scenarios.items():
+        _validate_scenario(f"$.scenarios[{key!r}]", entry)
+
+    reference = document.get("reference")
+    if reference is not None:
+        _require(isinstance(reference, dict), "$.reference", "must be an object")
+        assert isinstance(reference, dict)
+        _require(isinstance(reference.get("label"), str), "$.reference.label",
+                 "must be a string")
+        ref_scenarios = reference.get("scenarios")
+        _require(isinstance(ref_scenarios, dict), "$.reference.scenarios",
+                 "must be an object")
+        assert isinstance(ref_scenarios, dict)
+        for key, entry in ref_scenarios.items():
+            path = f"$.reference.scenarios[{key!r}]"
+            _require(isinstance(entry, dict), path, "must be an object")
+            assert isinstance(entry, dict)
+            sps = entry.get("steps_per_sec")
+            _require(isinstance(sps, (int, float)) and sps > 0,
+                     f"{path}.steps_per_sec", "must be a positive number")
+
+    speedup = document.get("speedup")
+    if speedup is not None:
+        _require(isinstance(speedup, dict), "$.speedup", "must be an object")
+        assert isinstance(speedup, dict)
+        for key, value in speedup.items():
+            _require(isinstance(value, (int, float)) and value > 0,
+                     f"$.speedup[{key!r}]", "must be a positive number")
+            _require(key in scenarios, f"$.speedup[{key!r}]",
+                     "names a scenario missing from $.scenarios")
+    return document

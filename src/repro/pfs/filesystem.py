@@ -11,7 +11,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.config.filesystem import FileSystemConfig
+from repro.config.filesystem import FileSystemConfig, SyncMode
 from repro.errors import ConfigurationError
 from repro.pfs.client import PVFSClient
 from repro.pfs.server import PVFSServer
@@ -46,6 +46,15 @@ class PVFSDeployment:
             )
             for s in range(config.n_servers)
         ]
+        # Drain-rate memo: every server shares the same static resources, so
+        # the drain-rate law is a pure function of (n_streams, granularity)
+        # plus — for the Sync OFF path only — whether the server's write-back
+        # cache is currently full.  One simulation step asks for the same few
+        # keys across all servers; the memo collapses those to one evaluation.
+        self._rate_memo: Dict[tuple, float] = {}
+        keyed_on_cache = config.sync_mode is SyncMode.SYNC_OFF
+        for server in self.servers:
+            server.attach_rate_memo(self._rate_memo, keyed_on_cache)
 
     # ------------------------------------------------------------------ #
 
@@ -81,7 +90,9 @@ class PVFSDeployment:
             raise ConfigurationError("per-server arrays have the wrong length")
         rates = np.empty(self.n_servers, dtype=np.float64)
         for i, server in enumerate(self.servers):
-            rates[i] = server.drain_rate(int(n_streams[i]), float(avg_fragment_sizes[i]))
+            rates[i] = server.drain_rate_cached(
+                int(n_streams[i]), float(avg_fragment_sizes[i])
+            )
         return rates
 
     def commit(

@@ -57,6 +57,7 @@ class Simulator:
         self._heap: list[tuple[tuple[float, int, int], Event]] = []
         self._seq = 0
         self._n_cancelled = 0
+        self._n_stale = 0
         self._events_processed = 0
         self._running = False
         self._stopped = False
@@ -89,11 +90,12 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of scheduled, not-yet-fired, not-cancelled events."""
-        return len(self._heap) - self._n_cancelled
+        return len(self._heap) - self._n_cancelled - self._n_stale
 
     @property
     def heap_size(self) -> int:
-        """Number of heap entries, including cancelled-but-not-popped ones."""
+        """Number of heap entries, including cancelled-but-not-popped ones
+        and stale duplicates left behind by in-place reschedules."""
         return len(self._heap)
 
     @property
@@ -108,7 +110,7 @@ class Simulator:
 
     def peek_next_time(self) -> Optional[float]:
         """Return the time of the next live event, or ``None`` if empty."""
-        self._drop_cancelled_head()
+        self._settle_head()
         if not self._heap:
             return None
         return self._heap[0][1].time
@@ -154,9 +156,57 @@ class Simulator:
             label=label,
             payload=payload,
             on_cancel=self._note_cancelled,
+            heap_time=time,
         )
         self._seq += 1
         heapq.heappush(self._heap, (event.sort_key(), event))
+        return event
+
+    def reschedule(self, event: Event, time: float) -> Event:
+        """Move a pending ``event`` to a new absolute ``time`` in place.
+
+        Unlike ``event.cancel()`` plus a fresh :meth:`schedule`, rescheduling
+        leaves no cancelled corpse behind, so drivers that re-anchor the same
+        event on every control change (the adaptive stepping driver) no
+        longer grow the heap or trigger compactions:
+
+        * moving *later* (the common case) is O(1) now — the heap entry is
+          re-keyed lazily when it surfaces at the heap head;
+        * moving *earlier* pushes one new entry and leaves a stale duplicate
+          that is dropped, uncounted, when it surfaces.
+
+        The event keeps its insertion sequence number, so ties at the same
+        (time, priority) resolve deterministically across runs.
+
+        Raises
+        ------
+        SchedulingError
+            If ``time`` is in the past or beyond the horizon, or the event
+            has already fired or been cancelled.
+        """
+        time = float(time)
+        if event.cancelled or event.heap_time is None:
+            raise SchedulingError(
+                f"cannot reschedule event {event.label!r}: already fired or cancelled"
+            )
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot reschedule event {event.label!r} to t={time:.6f}: "
+                f"clock is already at t={self._now:.6f}"
+            )
+        if self._horizon is not None and time > self._horizon:
+            raise SchedulingError(
+                f"cannot reschedule event {event.label!r} to t={time:.6f}: "
+                f"beyond horizon t={self._horizon:.6f}"
+            )
+        if time >= event.heap_time:
+            # Lazy re-key: fix up when the old entry reaches the heap head.
+            event.time = time
+        else:
+            event.time = time
+            event.heap_time = time
+            self._n_stale += 1  # the old entry becomes a stale duplicate
+            heapq.heappush(self._heap, (event.sort_key(), event))
         return event
 
     def schedule_after(
@@ -229,13 +279,15 @@ class Simulator:
         Returns ``True`` if an event was executed, ``False`` if the queue was
         empty.
         """
-        self._drop_cancelled_head()
+        self._settle_head()
         if not self._heap:
             return False
         _, event = heapq.heappop(self._heap)
         # The event is out of the heap; a late cancel() must not count
-        # toward the cancelled-but-heaped total.
+        # toward the cancelled-but-heaped total, and a reschedule() of the
+        # fired event must fall back to a fresh schedule().
         event.on_cancel = None
+        event.heap_time = None
         if event.time < self._now:  # pragma: no cover - heap invariant guard
             raise SimulationError(
                 f"event {event!r} would move the clock backwards from {self._now}"
@@ -282,7 +334,7 @@ class Simulator:
             while True:
                 if self._stopped:
                     break
-                self._drop_cancelled_head()
+                self._settle_head()
                 if not self._heap:
                     break
                 next_time = self._heap[0][1].time
@@ -330,24 +382,54 @@ class Simulator:
         ):
             self.drain_cancelled()
 
-    def _drop_cancelled_head(self) -> None:
-        while self._heap and self._heap[0][1].cancelled:
-            heapq.heappop(self._heap)
-            self._n_cancelled -= 1
+    def _settle_head(self) -> None:
+        """Bring a live, correctly-keyed event to the heap head.
+
+        Drops stale duplicates (from earlier-reschedules) and cancelled
+        entries, and lazily re-keys events that were rescheduled to a later
+        time than their heap entry.
+        """
+        heap = self._heap
+        while heap:
+            key, event = heap[0]
+            entry_time = key[0]
+            if event.heap_time != entry_time:
+                # Stale duplicate left behind by an in-place reschedule
+                # (includes entries of already-fired events, heap_time None).
+                heapq.heappop(heap)
+                self._n_stale -= 1
+                continue
+            if event.cancelled:
+                heapq.heappop(heap)
+                self._n_cancelled -= 1
+                continue
+            if event.time > entry_time:
+                # Lazily retimed to a later instant: re-key in place.
+                heapq.heappop(heap)
+                event.heap_time = event.time
+                heapq.heappush(heap, (event.sort_key(), event))
+                continue
+            return
 
     def drain_cancelled(self) -> int:
-        """Remove all cancelled events from the heap; return how many."""
+        """Remove all cancelled and stale entries from the heap; return how
+        many entries were removed."""
         before = len(self._heap)
-        live = [(key, ev) for key, ev in self._heap if not ev.cancelled]
+        live = [
+            (key, ev)
+            for key, ev in self._heap
+            if not ev.cancelled and ev.heap_time == key[0]
+        ]
         heapq.heapify(live)
         self._heap = live
         self._n_cancelled = 0
+        self._n_stale = 0
         return before - len(self._heap)
 
     def iter_pending(self) -> Iterable[Event]:
         """Yield pending (non-cancelled) events in no particular order."""
-        for _, event in self._heap:
-            if not event.cancelled:
+        for key, event in self._heap:
+            if not event.cancelled and event.heap_time == key[0]:
                 yield event
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -68,6 +68,17 @@ class TraceConfig:
         if self.window_connection_limit < 0:
             raise AnalysisError("window_connection_limit must be non-negative")
 
+    @property
+    def records_series(self) -> bool:
+        """True when any periodic series category is enabled.
+
+        The simulator consults this *before* scheduling the sampling event:
+        a fully disabled trace skips the per-sample aggregate reductions
+        (progress fractions, buffer means, window means) entirely instead of
+        computing and discarding them.
+        """
+        return self.record_windows or self.record_progress or self.record_server_state
+
     @classmethod
     def minimal(cls) -> "TraceConfig":
         """Cheapest configuration: only discrete marks and progress."""

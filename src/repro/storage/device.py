@@ -82,6 +82,12 @@ class DeviceSpec:
             raise ConfigurationError("interleave_granule_cap must be positive")
         if self.sync_flush_cost < 0:
             raise ConfigurationError("sync_flush_cost must be non-negative")
+        # Memo for the bandwidth law below: the law is a pure function of
+        # (n_streams, granularity) per (frozen) spec, and one simulation step
+        # evaluates it several times per server with recurring arguments.
+        # object.__setattr__ because the dataclass is frozen; the cache is not
+        # a field, so equality/hash/asdict are unaffected.
+        object.__setattr__(self, "_bw_cache", {})
 
     # ------------------------------------------------------------------ #
     # Bandwidth law
@@ -128,12 +134,20 @@ class DeviceSpec:
             raise ConfigurationError("granularity must be positive")
         n_streams = max(int(n_streams), 1)
         granule = min(float(granularity), self.interleave_granule_cap)
+        key = (n_streams, granule)
+        cached = self._bw_cache.get(key)
+        if cached is not None:
+            return cached
         switch_fraction = 1.0 - 1.0 / n_streams if n_streams > 1 else 0.0
         if self.positioning_cost == 0.0 or switch_fraction == 0.0:
             penalty = 0.0
         else:
             penalty = switch_fraction * self.positioning_cost * self.write_bw / granule
-        return self.write_bw / (1.0 + penalty)
+        result = self.write_bw / (1.0 + penalty)
+        if len(self._bw_cache) >= 4096:
+            self._bw_cache.clear()
+        self._bw_cache[key] = result
+        return result
 
     def effective_random_bw(self, granularity: float) -> float:
         """Bandwidth for fully random accesses of ``granularity`` bytes each.

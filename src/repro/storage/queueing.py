@@ -66,6 +66,28 @@ class DeviceQueue:
         self.busy_time += dt * (written / capacity if capacity > 0 else 0.0)
         return written
 
+    def commit_step(self, nbytes: float, dt: float, n_streams: int, granularity: float) -> None:
+        """Fused enqueue + drain for the per-step hot path.
+
+        Same arithmetic as :meth:`enqueue` followed by :meth:`drain` (whose
+        validation the stepper has already performed), in one call so the
+        simulation loop pays a single method dispatch per server.
+        """
+        self.pending_bytes += nbytes
+        self.observed_time += dt
+        if self.pending_bytes <= 0:
+            return
+        if self.device.is_unlimited:
+            self.written_bytes += self.pending_bytes
+            self.pending_bytes = 0.0
+            return
+        rate = self.device.effective_write_bw(n_streams, granularity)
+        capacity = rate * dt
+        written = min(self.pending_bytes, capacity)
+        self.pending_bytes -= written
+        self.written_bytes += written
+        self.busy_time += dt * (written / capacity if capacity > 0 else 0.0)
+
     def utilization(self) -> float:
         """Fraction of observed time the device spent writing (0 if unobserved)."""
         if self.observed_time == 0:

@@ -1,0 +1,189 @@
+"""Tests of Simulator.reschedule — the in-place retiming of pending events.
+
+Rescheduling must (a) fire the callback exactly once at the final time,
+(b) leave no cancelled corpses behind (the adaptive driver's heap no longer
+grows on control-change re-anchoring), and (c) keep ordering deterministic.
+"""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim.engine import Simulator
+from repro.sim.events import EventPriority
+
+
+def make_recorder(log, tag):
+    def _cb(sim):
+        log.append((tag, sim.now))
+
+    return _cb
+
+
+class TestRescheduleBasics:
+    def test_later_fires_once_at_new_time(self):
+        sim = Simulator()
+        log = []
+        event = sim.schedule(1.0, make_recorder(log, "a"))
+        sim.reschedule(event, 5.0)
+        sim.run()
+        assert log == [("a", 5.0)]
+        assert sim.events_processed == 1
+
+    def test_earlier_fires_once_at_new_time(self):
+        sim = Simulator()
+        log = []
+        event = sim.schedule(5.0, make_recorder(log, "a"))
+        sim.reschedule(event, 1.0)
+        sim.run()
+        assert log == [("a", 1.0)]
+        assert sim.events_processed == 1
+
+    def test_same_time_is_a_no_op(self):
+        sim = Simulator()
+        log = []
+        event = sim.schedule(2.0, make_recorder(log, "a"))
+        sim.reschedule(event, 2.0)
+        assert sim.heap_size == 1
+        sim.run()
+        assert log == [("a", 2.0)]
+
+    def test_chain_of_reschedules(self):
+        sim = Simulator()
+        log = []
+        event = sim.schedule(1.0, make_recorder(log, "a"))
+        sim.reschedule(event, 4.0)   # later (lazy)
+        sim.reschedule(event, 2.0)   # earlier (new entry)
+        sim.reschedule(event, 3.0)   # later again (lazy on the new entry)
+        sim.run()
+        assert log == [("a", 3.0)]
+        assert sim.events_processed == 1
+
+    def test_peek_next_time_reflects_lazy_retime(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda s: None)
+        sim.schedule(2.0, lambda s: None)
+        sim.reschedule(event, 3.0)
+        assert sim.peek_next_time() == 2.0
+
+    def test_pending_events_stays_consistent(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda s: None)
+        assert sim.pending_events == 1
+        sim.reschedule(event, 5.0)
+        assert sim.pending_events == 1
+        sim.reschedule(event, 0.5)  # leaves one stale duplicate behind
+        assert sim.pending_events == 1
+        sim.run()
+        assert sim.pending_events == 0
+        assert sim.events_processed == 1
+
+
+class TestRescheduleErrors:
+    def test_rejects_past(self):
+        sim = Simulator(start_time=10.0)
+        event = sim.schedule(11.0, lambda s: None)
+        with pytest.raises(SchedulingError):
+            sim.reschedule(event, 9.0)
+
+    def test_rejects_beyond_horizon(self):
+        sim = Simulator(horizon=10.0)
+        event = sim.schedule(1.0, lambda s: None)
+        with pytest.raises(SchedulingError):
+            sim.reschedule(event, 11.0)
+
+    def test_rejects_cancelled(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda s: None)
+        event.cancel()
+        with pytest.raises(SchedulingError):
+            sim.reschedule(event, 2.0)
+
+    def test_rejects_already_fired(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda s: None)
+        sim.run()
+        with pytest.raises(SchedulingError):
+            sim.reschedule(event, 2.0)
+
+
+class TestHeapHygiene:
+    def test_later_reschedules_leave_no_corpses(self):
+        """Re-anchoring the same event (the adaptive driver's pattern) must
+        keep the heap flat — cancel+schedule used to leave one corpse per
+        re-anchor and trigger compactions."""
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda s: None)
+        for offset in range(2, 1002):
+            sim.reschedule(event, float(offset))
+        assert sim.heap_size == 1
+        assert sim.pending_events == 1
+
+    def test_earlier_reschedule_drops_stale_duplicate(self):
+        sim = Simulator()
+        log = []
+        event = sim.schedule(5.0, make_recorder(log, "a"))
+        sim.schedule(6.0, make_recorder(log, "late"))
+        sim.reschedule(event, 1.0)
+        assert sim.heap_size == 2 + 1  # live entry + stale duplicate + other
+        sim.run()
+        assert log == [("a", 1.0), ("late", 6.0)]
+        assert sim.heap_size == 0
+
+    def test_cancel_after_reschedule(self):
+        sim = Simulator()
+        log = []
+        event = sim.schedule(1.0, make_recorder(log, "a"))
+        sim.reschedule(event, 0.5)   # stale dup at 1.0, live at 0.5
+        event.cancel()
+        sim.schedule(2.0, make_recorder(log, "b"))
+        sim.run()
+        assert log == [("b", 2.0)]
+        assert sim.pending_events == 0
+
+    def test_drain_cancelled_removes_stale_entries(self):
+        sim = Simulator()
+        event = sim.schedule(5.0, lambda s: None)
+        sim.reschedule(event, 1.0)
+        removed = sim.drain_cancelled()
+        assert removed == 1  # the stale duplicate
+        assert sim.heap_size == 1
+        assert sim.pending_events == 1
+
+    def test_iter_pending_skips_stale_duplicates(self):
+        sim = Simulator()
+        event = sim.schedule(5.0, lambda s: None, label="step")
+        sim.reschedule(event, 1.0)
+        labels = [entry.label for entry in sim.iter_pending()]
+        assert labels == ["step"]
+
+
+class TestOrderingDeterminism:
+    def test_rescheduled_event_keeps_its_sequence_number(self):
+        """Ties at the same (time, priority) resolve by insertion seq; a
+        rescheduled event keeps its original seq across retimes."""
+        sim = Simulator()
+        log = []
+        first = sim.schedule(1.0, make_recorder(log, "first"))
+        sim.schedule(3.0, make_recorder(log, "second"))
+        sim.reschedule(first, 3.0)
+        sim.run()
+        # `first` was inserted before `second`, so it wins the tie at t=3
+        # even though it was rescheduled afterwards.
+        assert log == [("first", 3.0), ("second", 3.0)]
+
+    def test_priorities_still_order_within_a_time(self):
+        sim = Simulator()
+        log = []
+        normal = sim.schedule(2.0, make_recorder(log, "normal"),
+                              priority=EventPriority.NORMAL)
+        sim.schedule(2.0, make_recorder(log, "control"),
+                     priority=EventPriority.CONTROL)
+        sim.reschedule(normal, 2.0)
+        sim.run()
+        assert log == [("control", 2.0), ("normal", 2.0)]
+
+    def test_reschedule_returns_the_event(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda s: None)
+        assert sim.reschedule(event, 2.0) is event
+        assert event.time == 2.0

@@ -129,3 +129,89 @@ class TestStatistics:
         assert np.allclose(buffers.fill, 0.0)
         assert buffers.observed_steps == 0
         assert np.allclose(buffers.total_admitted, 0.0)
+
+
+class TestProportionalAdmissionPaths:
+    """The stacked (equal-group) and scalar (ragged-group) admission paths
+    must agree bit-for-bit with the reference proportional_share per server."""
+
+    def reference_admit(self, conn_server, n_servers, offered, weights, capacity):
+        from repro.network.allocation import proportional_share
+
+        admitted = np.zeros_like(offered)
+        offered_per_server = np.bincount(conn_server, weights=offered, minlength=n_servers)
+        for s in np.flatnonzero(offered_per_server > 0):
+            mask = conn_server == s
+            admitted[mask] = proportional_share(
+                offered[mask], float(capacity[s]), weights=weights[mask]
+            )
+        return admitted
+
+    def check(self, conn_server, n_servers, capacity_bytes, offered, weights):
+        conn_server = np.asarray(conn_server, dtype=np.int64)
+        buffers = ServerBuffers(
+            n_servers=n_servers, capacity_bytes=capacity_bytes, conn_server=conn_server
+        )
+        admitted, _ = buffers.admit(offered, weights)
+        capacity = np.full(n_servers, capacity_bytes)
+        expected = self.reference_admit(conn_server, n_servers, offered, weights, capacity)
+        assert np.array_equal(admitted, expected)
+        return buffers
+
+    def test_ragged_groups_use_the_scalar_path(self):
+        conn_server = [0, 0, 0, 1, 1, 2]
+        offered = np.array([50.0, 30.0, 40.0, 10.0, 200.0, 5.0])
+        weights = np.array([1.0, 2.0, 1.0, 1.0, 1.0, 3.0])
+        buffers = self.check(conn_server, 3, 100.0, offered, weights)
+        assert buffers._group_matrix is None
+
+    def test_equal_groups_use_the_stacked_path(self):
+        conn_server = [0, 1, 2, 0, 1, 2]
+        offered = np.array([80.0, 30.0, 40.0, 90.0, 200.0, 5.0])
+        weights = np.ones(6)
+        buffers = self.check(conn_server, 3, 100.0, offered, weights)
+        assert buffers._group_matrix is not None
+
+    def test_stacked_path_with_nonuniform_weights(self):
+        conn_server = [0, 1, 0, 1]
+        offered = np.array([90.0, 120.0, 70.0, 60.0])
+        weights = np.array([1.0, 4.0, 2.0, 1.0])
+        self.check(conn_server, 2, 100.0, offered, weights)
+
+    def test_stacked_partial_oversubscription(self):
+        """Some servers fit, some water-fill, one has no offer at all."""
+        conn_server = [0, 1, 2, 0, 1, 2]
+        offered = np.array([10.0, 300.0, 0.0, 20.0, 150.0, 0.0])
+        weights = np.ones(6)
+        self.check(conn_server, 3, 100.0, offered, weights)
+
+    def test_rejects_nonpositive_weights(self):
+        buffers = make_buffers()
+        with pytest.raises(ValueError):
+            buffers.admit(np.full(6, 10.0), np.zeros(6))
+
+    def test_mutating_a_writeable_weights_array_is_picked_up(self):
+        """Identity-caching of weights validation only applies to frozen
+        arrays; mutating a reused writeable array must change the result."""
+        conn_server = np.array([0, 0, 0, 0], dtype=np.int64)
+        offered = np.array([100.0, 100.0, 100.0, 100.0])
+        weights = np.ones(4)
+        buffers = ServerBuffers(1, 100.0, conn_server)
+        uniform, _ = buffers.admit(offered, weights)
+        buffers.drain(np.array([1e9]))
+        weights[0] = 3.0
+        biased, _ = buffers.admit(offered, weights)
+        assert biased[0] > uniform[0]
+        weights[0] = -1.0
+        with pytest.raises(ValueError):
+            buffers.admit(offered, weights)
+
+    def test_frozen_unit_weights_hit_the_identity_cache(self):
+        conn_server = np.array([0, 1, 0, 1], dtype=np.int64)
+        offered = np.array([90.0, 120.0, 70.0, 60.0])
+        weights = np.ones(4)
+        weights.flags.writeable = False
+        buffers = ServerBuffers(2, 100.0, conn_server)
+        buffers.admit(offered, weights)
+        assert buffers._validated_weights is weights
+        assert buffers._weights_all_ones

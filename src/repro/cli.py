@@ -40,10 +40,21 @@ a warm-cache repeat is a 100% cache hit with byte-identical outputs)::
 
 Measure stepping-kernel throughput on the canonical scenario set and refresh
 ``BENCH_stepper.json`` (add ``--check`` to gate against the committed
-baseline)::
+baseline, ``--max-overhead`` to additionally bound telemetry-disabled
+overhead)::
 
     repro-io perf --scale reduced --output BENCH_stepper.json
     repro-io perf --scale tiny --check --baseline BENCH_stepper.json
+
+Capture a run timeline while the matrix executes, then inspect it::
+
+    repro-io matrix --archetypes checkpoint,analytics --telemetry
+    repro-io obs summary runs/matrix_<fp>
+    repro-io obs export runs/matrix_<fp> --format chrome-trace -o trace.json
+    repro-io obs diff runs/matrix_A runs/matrix_B
+
+Diagnostics go to stderr as structured ``level=... event=...`` lines;
+``--quiet`` silences progress, ``--verbose`` adds debug detail.
 """
 
 from __future__ import annotations
@@ -60,6 +71,7 @@ from repro.core.experiment import TwoApplicationExperiment
 from repro.core.reporting import format_delta_sweep
 from repro.errors import UsageError
 from repro.experiments.registry import get_experiment, list_experiments
+from repro.obs.log import configure_logging, get_logger
 
 __all__ = ["main", "build_parser"]
 
@@ -163,6 +175,19 @@ def validate_min_ratio(value: str) -> float:
     return ratio
 
 
+def validate_max_overhead(value: str) -> float:
+    """``--max-overhead``: a float in [0, 1)."""
+    try:
+        fraction = float(value)
+    except ValueError:
+        raise UsageError(
+            f"--max-overhead expects a number, got {value!r}"
+        ) from None
+    if not 0.0 <= fraction < 1.0:
+        raise UsageError(f"--max-overhead must be in [0, 1), got {fraction}")
+    return fraction
+
+
 def validate_repeats(value: str) -> int:
     """``--repeats``: a strictly positive repeat count."""
     try:
@@ -180,6 +205,7 @@ _step_tolerance = _cli_type(validate_step_tolerance)
 _archetype_list = _cli_type(validate_archetypes)
 _min_ratio = _cli_type(validate_min_ratio)
 _repeat_count = _cli_type(validate_repeats)
+_max_overhead = _cli_type(validate_max_overhead)
 
 
 def _add_stepping_arguments(parser: argparse.ArgumentParser) -> None:
@@ -225,6 +251,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--version", action="version", version=f"repro-io {__version__}"
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="emit debug-level diagnostics on stderr",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress progress diagnostics on stderr (warnings still print)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -296,6 +330,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--timing", action="store_true",
         help="include wall-time lines in the report (makes the output "
              "non-deterministic across runs)",
+    )
+    campaign_parser.add_argument(
+        "--telemetry-dir", metavar="DIR", default=None,
+        help="collect span/counter telemetry during the campaign and write "
+             "telemetry.json + telemetry_events.jsonl under DIR",
     )
     _add_stepping_arguments(campaign_parser)
 
@@ -398,6 +437,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv", action="store_true",
         help="print the ordered (victim, aggressor) slowdown table as CSV",
     )
+    matrix_parser.add_argument(
+        "--telemetry", action="store_true",
+        help="collect span/counter telemetry during the campaign; the "
+             "persisted run directory gains telemetry.json, "
+             "telemetry_events.jsonl and a per-task manifest table "
+             "(inspect with repro-io obs)",
+    )
     _add_stepping_arguments(matrix_parser)
 
     perf_parser = sub.add_parser(
@@ -443,6 +489,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed fraction of baseline throughput before --check fails "
              "(default: 0.7, i.e. a >30%% regression fails)",
     )
+    perf_parser.add_argument(
+        "--max-overhead", type=_max_overhead, default=None, metavar="FRAC",
+        help="with --check, additionally fail when throughput falls more "
+             "than FRAC below the baseline (e.g. 0.02 asserts the "
+             "telemetry-disabled overhead stays within 2%%); off by default "
+             "because it is a much tighter gate than --min-ratio",
+    )
+
+    obs_parser = sub.add_parser(
+        "obs",
+        help="inspect the telemetry of persisted runs (summary, export, diff)",
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    obs_summary = obs_sub.add_parser(
+        "summary",
+        help="report worker utilization, per-phase step timing and cache "
+             "efficiency of one run's telemetry",
+    )
+    obs_summary.add_argument(
+        "run_dir", metavar="RUN_DIR",
+        help="run directory carrying telemetry.json (e.g. from "
+             "repro-io matrix --telemetry)",
+    )
+    obs_export = obs_sub.add_parser(
+        "export", help="export one run's telemetry to a trace format"
+    )
+    obs_export.add_argument("run_dir", metavar="RUN_DIR")
+    obs_export.add_argument(
+        "--format", dest="trace_format", default="chrome-trace",
+        choices=["chrome-trace"],
+        help="output format (chrome-trace loads in https://ui.perfetto.dev "
+             "and chrome://tracing)",
+    )
+    obs_export.add_argument(
+        "-o", "--output", metavar="PATH", default=None,
+        help="write the trace here (default: stdout)",
+    )
+    obs_diff = obs_sub.add_parser(
+        "diff", help="compare the telemetry of two run directories"
+    )
+    obs_diff.add_argument("run_dir_a", metavar="RUN_DIR_A")
+    obs_diff.add_argument("run_dir_b", metavar="RUN_DIR_B")
 
     return parser
 
@@ -489,10 +577,36 @@ def _command_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) ->
     return 0
 
 
+def _write_telemetry_files(telemetry, out_dir: str, run_id: Optional[str] = None) -> None:
+    """Validate and write telemetry.json + telemetry_events.jsonl to a dir."""
+    import json
+    import os
+
+    from repro.obs.schema import validate_telemetry_document
+    from repro.obs.summary import TELEMETRY_DOCUMENT_NAME, TELEMETRY_EVENTS_NAME
+
+    document = telemetry.to_document(run_id=run_id)
+    validate_telemetry_document(document)
+    os.makedirs(out_dir, exist_ok=True)
+    with open(os.path.join(out_dir, TELEMETRY_DOCUMENT_NAME), "w",
+              encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    with open(os.path.join(out_dir, TELEMETRY_EVENTS_NAME), "w",
+              encoding="utf-8") as handle:
+        handle.write(telemetry.events_jsonl())
+    get_logger().info(
+        "telemetry_written", dir=out_dir,
+        spans=len(document["spans"]), counters=len(document["counters"]),
+    )
+
+
 def _command_campaign(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     # Imported lazily: the campaign machinery pulls in every experiment module.
     from repro.analysis.campaign import campaign_to_markdown, run_campaign
+    from repro.obs.telemetry import NULL, Telemetry, set_telemetry
 
+    log = get_logger()
     stepping = _stepping_policy(parser, args)
     cache_dir = args.cache_dir
     if args.resume and cache_dir is None:
@@ -500,21 +614,42 @@ def _command_campaign(args: argparse.Namespace, parser: argparse.ArgumentParser)
 
     def progress(experiment_id: str, record) -> None:
         origin = "cached" if record.from_cache else f"{record.wall_time:.1f}s"
-        print(
-            f"[campaign] {experiment_id:10s} {record.n_agreeing}/{record.n_claims} "
-            f"claims agree ({origin})",
-            file=sys.stderr,
+        log.info(
+            "campaign", experiment=experiment_id,
+            agree=f"{record.n_agreeing}/{record.n_claims}", origin=origin,
         )
 
-    campaign = run_campaign(
-        scale=args.scale, quick=args.quick, experiments=args.only, progress=progress,
-        jobs=args.jobs, cache_dir=cache_dir, stepping=stepping,
-    )
+    telemetry = None
+    if args.telemetry_dir:
+        telemetry = Telemetry(label="campaign")
+        set_telemetry(telemetry)
+    try:
+        if telemetry is not None:
+            with telemetry.span(
+                f"campaign:{args.scale}", category="campaign",
+                scale=args.scale, jobs=args.jobs,
+            ):
+                campaign = run_campaign(
+                    scale=args.scale, quick=args.quick, experiments=args.only,
+                    progress=progress, jobs=args.jobs, cache_dir=cache_dir,
+                    stepping=stepping,
+                )
+        else:
+            campaign = run_campaign(
+                scale=args.scale, quick=args.quick, experiments=args.only,
+                progress=progress, jobs=args.jobs, cache_dir=cache_dir,
+                stepping=stepping,
+            )
+    finally:
+        if telemetry is not None:
+            set_telemetry(NULL)
+    if telemetry is not None:
+        _write_telemetry_files(telemetry, args.telemetry_dir)
     text = campaign_to_markdown(campaign, include_timing=args.timing)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(text)
-        print(f"wrote {args.output}: {campaign.describe()}", file=sys.stderr)
+        log.info("report_written", path=args.output, summary=campaign.describe())
     else:
         print(text)
     return 0
@@ -534,11 +669,12 @@ def _command_grid(args: argparse.Namespace) -> int:
             "pattern": ["contiguous", "strided"],
         })
 
+    log = get_logger()
+
     def progress(point_id: str, point) -> None:
-        print(
-            f"[grid] {point_id:40s} peak IF "
-            f"{point.summary['peak_interference_factor']:.2f}",
-            file=sys.stderr,
+        log.info(
+            "grid_point", point=point_id,
+            peak_if=f"{point.summary['peak_interference_factor']:.2f}",
         )
 
     result = run_grid(
@@ -556,10 +692,9 @@ def _command_grid(args: argparse.Namespace) -> int:
     else:
         print(rows_to_markdown(rows))
     if result.store_root:
-        print(
-            f"[grid] {len(result)} runs persisted under {result.store_root} "
-            f"(verify with: repro-io verify {result.store_root})",
-            file=sys.stderr,
+        log.info(
+            "grid_persisted", runs=len(result), store=str(result.store_root),
+            verify=f"repro-io verify {result.store_root}",
         )
     return 0
 
@@ -571,26 +706,40 @@ def _command_matrix(args: argparse.Namespace, parser: argparse.ArgumentParser) -
         update_experiments_section,
     )
     from repro.analysis.tables import rows_to_csv
+    from repro.obs.telemetry import NULL, Telemetry, set_telemetry
     from repro.scenarios.matrix import run_interference_matrix, store_matrix
 
+    log = get_logger()
     stepping = _stepping_policy(parser, args)
+    if args.telemetry and args.no_store:
+        parser.error(
+            "--telemetry persists into the run store; drop --no-store"
+        )
 
     def progress(task_id: str, from_cache: bool) -> None:
         origin = "cached" if from_cache else "ran"
-        print(f"[matrix] {task_id:40s} ({origin})", file=sys.stderr)
+        log.info("matrix_task", task=task_id, origin=origin)
 
-    matrix = run_interference_matrix(
-        args.archetypes,
-        args.scale,
-        jobs=args.jobs,
-        cache_dir=None if args.no_cache else args.cache_dir,
-        stepping=stepping,
-        progress=progress,
-        device=args.device,
-        sync_mode=args.sync,
-        network=args.network,
-        delay=args.delay,
-    )
+    telemetry = None
+    if args.telemetry:
+        telemetry = Telemetry(label="matrix")
+        set_telemetry(telemetry)
+    try:
+        matrix = run_interference_matrix(
+            args.archetypes,
+            args.scale,
+            jobs=args.jobs,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            stepping=stepping,
+            progress=progress,
+            device=args.device,
+            sync_mode=args.sync,
+            network=args.network,
+            delay=args.delay,
+        )
+    finally:
+        if telemetry is not None:
+            set_telemetry(NULL)
 
     if args.csv:
         print(rows_to_csv(matrix.to_rows()), end="")
@@ -600,14 +749,16 @@ def _command_matrix(args: argparse.Namespace, parser: argparse.ArgumentParser) -
             print(section)
     else:
         update_experiments_section(args.output, section)
-        print(f"[matrix] updated {args.output}: {matrix.describe()}", file=sys.stderr)
+        log.info("matrix_report", path=args.output, summary=matrix.describe())
     if not args.no_store:
-        run_dir = store_matrix(matrix, args.store)
-        print(
-            f"[matrix] matrix.json persisted under {run_dir} "
-            f"(verify with: repro-io verify {run_dir})",
-            file=sys.stderr,
+        run_dir = store_matrix(matrix, args.store, telemetry=telemetry)
+        log.info(
+            "matrix_persisted", run_dir=run_dir,
+            telemetry=bool(telemetry),
+            verify=f"repro-io verify {run_dir}",
         )
+        if telemetry is not None:
+            log.info("telemetry_hint", summary=f"repro-io obs summary {run_dir}")
     return 0
 
 
@@ -617,8 +768,18 @@ def _command_perf(args: argparse.Namespace) -> int:
     import os
 
     from repro.errors import PerfError
-    from repro.perf import check_regression, run_perf, validate_bench_document
+    from repro.perf import (
+        check_overhead,
+        check_regression,
+        run_perf,
+        validate_bench_document,
+    )
     from repro.perf.compare import format_summary
+
+    log = get_logger()
+    if args.max_overhead is not None and not args.check:
+        log.error("perf_usage", error="--max-overhead requires --check")
+        return 2
 
     # Load the baseline *before* measuring or writing anything: a gate run
     # must never overwrite its own reference (the default --output and
@@ -631,10 +792,10 @@ def _command_perf(args: argparse.Namespace) -> int:
                 baseline = json.load(handle)
             validate_bench_document(baseline)
         except FileNotFoundError:
-            print(f"[perf] FAIL: baseline {args.baseline} not found", file=sys.stderr)
+            log.error("perf_fail", error=f"baseline {args.baseline} not found")
             return 1
         except (PerfError, json.JSONDecodeError) as exc:
-            print(f"[perf] FAIL: {exc}", file=sys.stderr)
+            log.error("perf_fail", error=str(exc))
             return 1
 
     document = run_perf(
@@ -645,33 +806,35 @@ def _command_perf(args: argparse.Namespace) -> int:
     if args.no_output:
         print(text, end="")
     elif args.check and os.path.realpath(args.output) == os.path.realpath(args.baseline):
-        print(
-            f"[perf] not overwriting the baseline {args.baseline} during a "
-            "--check run; pass a different --output to keep the measurement",
-            file=sys.stderr,
+        log.info(
+            "perf_skip_write",
+            reason=f"not overwriting the baseline {args.baseline} during a "
+                   "--check run; pass a different --output to keep the "
+                   "measurement",
         )
     else:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(text)
-        print(f"[perf] wrote {args.output}", file=sys.stderr)
+        log.info("perf_written", path=args.output)
     print(format_summary(document), file=sys.stderr)
 
     if not args.check:
         return 0
     try:
         failures = check_regression(document, baseline, min_ratio=args.min_ratio)
+        if args.max_overhead is not None:
+            failures += check_overhead(document, baseline, args.max_overhead)
     except PerfError as exc:
-        print(f"[perf] FAIL: {exc}", file=sys.stderr)
+        log.error("perf_fail", error=str(exc))
         return 1
     if failures:
         for failure in failures:
-            print(f"[perf] REGRESSION {failure}", file=sys.stderr)
+            log.error("perf_regression", detail=failure)
         return 1
-    print(
-        f"[perf] gate green: no scenario below {args.min_ratio:.0%} of "
-        f"{args.baseline}",
-        file=sys.stderr,
-    )
+    gate = f"no scenario below {args.min_ratio:.0%} of {args.baseline}"
+    if args.max_overhead is not None:
+        gate += f"; overhead within {args.max_overhead:.1%}"
+    log.info("perf_gate", status="green", detail=gate)
     return 0
 
 
@@ -702,15 +865,81 @@ def _command_verify(args: argparse.Namespace) -> int:
         print(f"[verify] {status:4s} {run_dir}")
         for issue in issues:
             print(f"         - {issue}")
+        if ok:
+            efficiency = _cache_efficiency_line(run_dir)
+            if efficiency:
+                print(f"         {efficiency}")
         failures += 0 if ok else 1
     print(f"[verify] {len(run_dirs) - failures}/{len(run_dirs)} runs verified")
     return 1 if failures else 0
+
+
+def _cache_efficiency_line(run_dir) -> Optional[str]:
+    """Cache-efficiency summary from a manifest's task table, if it has one."""
+    from repro.runner.store import load_manifest
+
+    tasks = load_manifest(run_dir).get("tasks")
+    if not isinstance(tasks, dict) or not tasks:
+        return None
+    cached = sum(1 for t in tasks.values() if t.get("origin") == "cache")
+    computed_wall = sum(
+        float(t.get("wall_time_s", 0.0))
+        for t in tasks.values()
+        if t.get("origin") == "computed"
+    )
+    total = len(tasks)
+    return (
+        f"cache efficiency: {cached}/{total} tasks cached "
+        f"({cached / total:.0%}), {computed_wall:.2f}s spent computing"
+    )
+
+
+def _command_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import TelemetryError
+    from repro.obs.export import to_chrome_trace, validate_chrome_trace
+    from repro.obs.summary import (
+        diff_documents,
+        load_run_telemetry,
+        summarize_document,
+    )
+
+    log = get_logger()
+    try:
+        if args.obs_command == "summary":
+            document = load_run_telemetry(args.run_dir)
+            print(summarize_document(document, args.run_dir))
+        elif args.obs_command == "export":
+            document = load_run_telemetry(args.run_dir)
+            trace = to_chrome_trace(document)
+            validate_chrome_trace(trace)
+            text = json.dumps(trace, indent=1) + "\n"
+            if args.output:
+                with open(args.output, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+                log.info(
+                    "trace_written", path=args.output,
+                    format=args.trace_format,
+                    events=len(trace["traceEvents"]),
+                )
+            else:
+                print(text, end="")
+        elif args.obs_command == "diff":
+            doc_a = load_run_telemetry(args.run_dir_a)
+            doc_b = load_run_telemetry(args.run_dir_b)
+            print(diff_documents(doc_a, doc_b, args.run_dir_a, args.run_dir_b))
+    except TelemetryError as exc:
+        log.error("obs_failed", error=str(exc))
+        return 1
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``repro-io`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(verbose=args.verbose, quiet=args.quiet)
     if args.command == "list":
         return _command_list()
     if args.command == "run":
@@ -727,6 +956,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_verify(args)
     if args.command == "perf":
         return _command_perf(args)
+    if args.command == "obs":
+        return _command_obs(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -16,6 +16,7 @@ __all__ = [
     "AnalysisError",
     "UsageError",
     "PerfError",
+    "TelemetryError",
 ]
 
 
@@ -58,6 +59,15 @@ class PerfError(ReproError, ValueError):
     Raised by :mod:`repro.perf` when a ``BENCH_*.json`` document does not
     match its schema or when a measured throughput falls below the committed
     baseline by more than the allowed margin.
+    """
+
+
+class TelemetryError(ReproError, ValueError):
+    """A malformed telemetry document, event log, or exported trace.
+
+    Raised by :mod:`repro.obs` when a ``telemetry.json`` document does not
+    match its schema, when a run directory carries no telemetry artifacts,
+    or when an exported Chrome trace fails structural validation.
     """
 
 

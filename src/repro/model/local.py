@@ -26,6 +26,7 @@ import numpy as np
 
 from repro import units
 from repro.errors import ConfigurationError, SimulationError
+from repro.obs.telemetry import get_telemetry
 from repro.sim.engine import Simulator
 from repro.storage.device import DeviceSpec
 
@@ -149,7 +150,21 @@ def simulate_local_writes(
             s.stop("all local writers finished")
 
     sim.schedule_periodic(step, tick, start=float(starts.min()) + step, label="local.tick")
-    sim.run(until=float(starts.min()) + max_time)
+    telemetry = get_telemetry()
+    if telemetry.enabled:
+        with telemetry.span(
+            f"local:{device.name}x{n_apps}",
+            category="simulation",
+            device=device.name,
+            n_apps=n_apps,
+            bytes_per_app=float(bytes_per_app),
+        ):
+            sim.run(until=float(starts.min()) + max_time)
+        for name, value in sim.stats().items():
+            telemetry.count(name, value)
+        telemetry.count("sim.steps", sim.events_processed)
+    else:
+        sim.run(until=float(starts.min()) + max_time)
     if np.any(np.isnan(end_times)):
         raise SimulationError(
             "local write simulation did not finish within max_time; "

@@ -28,6 +28,8 @@ from repro.errors import SimulationError
 from repro.model.results import ApplicationResult, ComponentStats, RunResult
 from repro.model.state import ModelState
 from repro.model.stepper import ModelStepper
+from repro.obs.telemetry import get_telemetry
+from repro.perf.counters import StepProfiler
 from repro.sim.engine import Simulator
 from repro.sim.events import EventPriority
 from repro.sim.rng import RandomStreams
@@ -138,9 +140,25 @@ class IOPathSimulator:
                 stop_when=lambda s: state.all_finished(),
             )
 
+        # Telemetry is observational only: the profiler hangs off the
+        # stepper's opt-in hook and publishing happens after sim.run, so the
+        # event sequence, RNG draws and model arrays are untouched and run
+        # output stays byte-identical with telemetry on or off.
+        telemetry = get_telemetry()
+        profiler = None
+        if telemetry.enabled and self.stepper.profiler is None:
+            profiler = StepProfiler()
+            self.stepper.profiler = profiler
+
         wall_start = time.perf_counter()
         end_time = sim.run(until=t0 + horizon)
         wall_time = time.perf_counter() - wall_start
+
+        if profiler is not None:
+            try:
+                self._publish_telemetry(telemetry, sim, profiler, wall_time, end_time)
+            finally:
+                self.stepper.profiler = None
 
         if not state.all_finished():
             unfinished = [rt.app.name for rt in state.app_runtime if not rt.finished]
@@ -149,6 +167,71 @@ class IOPathSimulator:
                 f"applications {unfinished}; check the scenario configuration"
             )
         return self._build_result(end_time, wall_time)
+
+    # ------------------------------------------------------------------ #
+    # Telemetry publication (post-run, hot loop untouched)
+    # ------------------------------------------------------------------ #
+
+    def _publish_telemetry(
+        self,
+        telemetry,
+        sim: Simulator,
+        profiler: StepProfiler,
+        wall_time: float,
+        end_time: float,
+    ) -> None:
+        """Fold the finished run into the ambient telemetry registry.
+
+        Emits one ``simulation`` span covering the run's wall time with
+        synthetic sequential ``phase`` child spans sized by each step phase's
+        accumulated wall time (a flame view of where the stepping kernel
+        spent its time, not a per-step timeline), and publishes engine/step
+        counters.
+        """
+        label = self.scenario.label or "scenario"
+        wall_us = wall_time * 1e6
+        start_us = telemetry.now_us() - wall_us
+        sim_span = telemetry.add_span(
+            f"simulate:{label}",
+            "simulation",
+            start_us,
+            wall_us,
+            args={
+                "label": label,
+                "steps": self._n_steps,
+                "stepping": self._stepping.mode.value,
+                "simulated_time_s": round(end_time - sim.start_time, 9),
+            },
+        )
+        report = profiler.report()
+        cursor = start_us
+        for phase, row in report.items():
+            phase_us = row["ns"] / 1000.0
+            telemetry.add_span(
+                phase,
+                "phase",
+                cursor,
+                phase_us,
+                parent=sim_span,
+                args={"calls": row["calls"],
+                      "ns_per_call": round(row["ns_per_call"], 1),
+                      "alloc_blocks": row["alloc_blocks"]},
+            )
+            cursor += phase_us
+            telemetry.count(f"step.phase.{phase}.ns", row["ns"])
+            telemetry.count(f"step.phase.{phase}.calls", row["calls"])
+            telemetry.observe(f"step.phase.{phase}.ns_per_call", row["ns_per_call"])
+        telemetry.count("sim.steps", self._n_steps)
+        telemetry.observe("sim.wall_s", wall_time)
+        for name, value in sim.stats().items():
+            telemetry.count(name, value)
+        telemetry.event(
+            "simulation_done",
+            label=label,
+            steps=self._n_steps,
+            wall_s=round(wall_time, 6),
+            events_processed=sim.events_processed,
+        )
 
     # ------------------------------------------------------------------ #
     # Callbacks

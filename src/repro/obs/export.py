@@ -1,0 +1,176 @@
+"""Chrome ``trace_event`` export of a telemetry document.
+
+:func:`to_chrome_trace` converts a validated ``telemetry.json`` document into
+the JSON object format consumed by Perfetto (https://ui.perfetto.dev) and
+chrome://tracing: a ``traceEvents`` array of complete (``"X"``) duration
+events plus process/thread metadata.  Span tracks become trace threads;
+overlapping spans on the same track (parallel workers interleaving) are
+split into numbered lanes so the timeline renders without false nesting.
+
+:func:`validate_chrome_trace` is the structural validator the tests and the
+CI telemetry smoke run against an exported file — it checks exactly the
+invariants the viewers rely on (event array, phase codes, microsecond
+timestamps), not the full Trace Event spec.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.errors import TelemetryError
+from repro.obs.schema import validate_telemetry_document
+
+__all__ = ["to_chrome_trace", "validate_chrome_trace"]
+
+_PID = 1
+
+#: Phase codes the validator accepts (the subset this exporter emits).
+_KNOWN_PHASES = ("X", "M", "i", "C")
+
+
+def _assign_lanes(spans: List[Dict[str, Any]]) -> Dict[int, int]:
+    """Greedy lane assignment: span id -> lane index within its track.
+
+    Spans sorted by start time go to the first lane whose previous span has
+    ended; overlapping spans therefore never share a lane, which is what
+    keeps sibling task spans from rendering as a false call stack.
+    """
+    lanes_end: List[float] = []
+    assignment: Dict[int, int] = {}
+    for span in sorted(spans, key=lambda s: (s["start_us"], s["id"])):
+        start, end = span["start_us"], span["start_us"] + span["dur_us"]
+        for lane, lane_end in enumerate(lanes_end):
+            if lane_end <= start:
+                assignment[span["id"]] = lane
+                lanes_end[lane] = end
+                break
+        else:
+            assignment[span["id"]] = len(lanes_end)
+            lanes_end.append(end)
+    return assignment
+
+
+def to_chrome_trace(document: Dict[str, Any]) -> Dict[str, Any]:
+    """Convert a telemetry document into a Chrome trace_event JSON object.
+
+    The input is validated first, so a malformed document fails here rather
+    than producing a trace the viewer silently refuses to load.
+    """
+    validate_telemetry_document(document)
+    spans = document.get("spans", [])
+
+    by_track: Dict[str, List[Dict[str, Any]]] = {}
+    for span in spans:
+        by_track.setdefault(span["track"], []).append(span)
+
+    events: List[Dict[str, Any]] = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": _PID,
+        "tid": 0,
+        "args": {"name": f"repro-io {document.get('label') or 'run'}"},
+    }]
+
+    tid = 0
+    for track in sorted(by_track):
+        track_spans = by_track[track]
+        lanes = _assign_lanes(track_spans)
+        n_lanes = max(lanes.values()) + 1 if lanes else 1
+        base_tid = tid
+        for lane in range(n_lanes):
+            name = track if n_lanes == 1 else f"{track}/{lane}"
+            events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": base_tid + lane,
+                "args": {"name": name},
+            })
+        for span in track_spans:
+            args = dict(span.get("args", {}))
+            args["span_id"] = span["id"]
+            if span.get("parent") is not None:
+                args["parent_span_id"] = span["parent"]
+            events.append({
+                "name": span["name"],
+                "cat": span["category"],
+                "ph": "X",
+                "ts": float(span["start_us"]),
+                "dur": float(span["dur_us"]),
+                "pid": _PID,
+                "tid": base_tid + lanes[span["id"]],
+                "args": args,
+            })
+        tid = base_tid + n_lanes
+
+    # Final counter values as one counter sample at the end of the run, so
+    # the trace carries the cache/engine totals without a time series.
+    counters = document.get("counters", {})
+    if counters:
+        events.append({
+            "name": "counters",
+            "ph": "C",
+            "ts": float(document.get("duration_us", 0.0)),
+            "pid": _PID,
+            "tid": 0,
+            "args": {k: float(v) for k, v in sorted(counters.items())},
+        })
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": document["schema"],
+            "label": document.get("label", ""),
+            "run_id": document.get("run_id"),
+        },
+    }
+
+
+def _require(condition: bool, path: str, message: str) -> None:
+    if not condition:
+        raise TelemetryError(f"invalid chrome trace at {path}: {message}")
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_chrome_trace(trace: object) -> Dict:
+    """Structurally validate a Chrome trace_event JSON object.
+
+    Checks the invariants Perfetto/chrome://tracing rely on to load the
+    file: a ``traceEvents`` array whose entries carry a name, a known phase
+    code, and integer pid/tid; duration (``"X"``) events additionally carry
+    non-negative microsecond ``ts``/``dur``.
+    """
+    _require(isinstance(trace, dict), "$", "trace must be a JSON object")
+    assert isinstance(trace, dict)
+    events = trace.get("traceEvents")
+    _require(isinstance(events, list) and len(events) > 0, "$.traceEvents",
+             "must be a non-empty array")
+    assert isinstance(events, list)
+    for index, event in enumerate(events):
+        path = f"$.traceEvents[{index}]"
+        _require(isinstance(event, dict), path, "event must be an object")
+        assert isinstance(event, dict)
+        _require(isinstance(event.get("name"), str) and event["name"],
+                 f"{path}.name", "must be a non-empty string")
+        phase = event.get("ph")
+        _require(phase in _KNOWN_PHASES, f"{path}.ph",
+                 f"must be one of {_KNOWN_PHASES}")
+        _require(isinstance(event.get("pid"), int), f"{path}.pid",
+                 "must be an integer")
+        _require(isinstance(event.get("tid"), int), f"{path}.tid",
+                 "must be an integer")
+        if phase in ("X", "i", "C"):
+            _require(_is_number(event.get("ts")), f"{path}.ts",
+                     "must be a number (microseconds)")
+        if phase == "X":
+            dur = event.get("dur")
+            _require(_is_number(dur) and dur >= 0, f"{path}.dur",
+                     "must be a non-negative number (microseconds)")
+        if "args" in event:
+            _require(isinstance(event["args"], dict), f"{path}.args",
+                     "must be an object")
+    return trace

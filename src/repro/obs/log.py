@@ -1,0 +1,109 @@
+"""Structured diagnostics for the CLI and runner.
+
+One small logger replaces the scattered ad-hoc ``print(..., file=sys.stderr)``
+diagnostics: every line is machine-parseable ``level=... event=...`` followed
+by ``key=value`` fields, values quoted only when they contain whitespace or
+``=``.  Data outputs (reports, CSV, JSON documents) are *not* log lines and
+keep going to stdout untouched — the logger owns stderr diagnostics only.
+
+Verbosity is a process-wide threshold configured once by the CLI entry point
+from ``--verbose``/``--quiet``: ``--quiet`` suppresses ``info`` (progress)
+lines, ``--verbose`` additionally emits ``debug`` lines.  ``warn`` and
+``error`` always print.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict, Optional, TextIO
+
+__all__ = ["StructLogger", "get_logger", "configure_logging", "LEVELS"]
+
+LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warn": 30, "error": 40}
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        text = f"{value:.6g}"
+    elif isinstance(value, bool):
+        text = "true" if value else "false"
+    else:
+        text = str(value)
+    if text == "" or any(c.isspace() for c in text) or "=" in text or '"' in text:
+        escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    return text
+
+
+class StructLogger:
+    """Writes ``level=... event=... key=value`` lines above a threshold."""
+
+    def __init__(self, stream: Optional[TextIO] = None, level: str = "info") -> None:
+        self._stream = stream
+        self.set_level(level)
+
+    @property
+    def stream(self) -> TextIO:
+        # Resolved lazily so pytest's capsys (which swaps sys.stderr per
+        # test) sees every line without re-configuring the logger.
+        return self._stream if self._stream is not None else sys.stderr
+
+    def set_level(self, level: str) -> None:
+        if level not in LEVELS:
+            raise ValueError(f"unknown log level {level!r}; known: {sorted(LEVELS)}")
+        self.level = level
+        self._threshold = LEVELS[level]
+
+    def is_enabled(self, level: str) -> bool:
+        """True when lines at ``level`` currently print."""
+        return LEVELS[level] >= self._threshold
+
+    def log(self, level: str, event: str, **fields: Any) -> None:
+        """Emit one structured line (no-op below the threshold)."""
+        if LEVELS[level] < self._threshold:
+            return
+        parts = [f"level={level}", f"event={_format_value(event)}"]
+        parts.extend(f"{key}={_format_value(value)}" for key, value in fields.items())
+        print(" ".join(parts), file=self.stream)
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self.log("info", event, **fields)
+
+    def warn(self, event: str, **fields: Any) -> None:
+        self.log("warn", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log("error", event, **fields)
+
+
+_logger = StructLogger()
+
+
+def get_logger() -> StructLogger:
+    """The process-wide logger (configured by the CLI entry point)."""
+    return _logger
+
+
+def configure_logging(
+    *,
+    verbose: bool = False,
+    quiet: bool = False,
+    stream: Optional[TextIO] = None,
+) -> StructLogger:
+    """Set the process-wide threshold from the CLI flags; returns the logger.
+
+    ``quiet`` wins over ``verbose`` when both are given (suppressing output
+    is the safer interpretation of a contradictory command line).
+    """
+    if quiet:
+        _logger.set_level("warn")
+    elif verbose:
+        _logger.set_level("debug")
+    else:
+        _logger.set_level("info")
+    if stream is not None:
+        _logger._stream = stream
+    return _logger

@@ -1,0 +1,152 @@
+"""Validation of the ``telemetry.json`` document.
+
+Plain-Python structural validation in the style of
+:mod:`repro.perf.schema` (the container deliberately carries no
+``jsonschema`` dependency): every violation raises
+:class:`~repro.errors.TelemetryError` naming the offending path, so a
+malformed persisted document fails the CI telemetry smoke loudly instead of
+summarizing garbage.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.errors import TelemetryError
+from repro.obs.telemetry import TELEMETRY_SCHEMA_ID
+
+__all__ = [
+    "validate_telemetry_document",
+    "validate_events_jsonl",
+]
+
+_SPAN_CATEGORIES = ("campaign", "task", "simulation", "phase")
+
+
+def _require(condition: bool, path: str, message: str) -> None:
+    if not condition:
+        raise TelemetryError(f"invalid telemetry document at {path}: {message}")
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _validate_scalar_map(document: Dict, key: str) -> None:
+    mapping = document.get(key)
+    _require(isinstance(mapping, dict), f"$.{key}", "must be an object")
+    for name, value in mapping.items():
+        _require(isinstance(name, str) and name, f"$.{key}[{name!r}]",
+                 "metric names must be non-empty strings")
+        _require(_is_number(value), f"$.{key}[{name!r}]", "must be a number")
+
+
+def _validate_histogram(path: str, entry: object) -> None:
+    _require(isinstance(entry, dict), path, "histogram entry must be an object")
+    assert isinstance(entry, dict)
+    count = entry.get("count")
+    _require(isinstance(count, int) and count >= 1, f"{path}.count",
+             "must be an integer >= 1")
+    for field in ("sum", "min", "max"):
+        _require(_is_number(entry.get(field)), f"{path}.{field}",
+                 "must be a number")
+    _require(entry["min"] <= entry["max"], path, "min must be <= max")
+
+
+def _validate_span(path: str, span: object, seen_ids: set) -> None:
+    _require(isinstance(span, dict), path, "span must be an object")
+    assert isinstance(span, dict)
+    span_id = span.get("id")
+    _require(isinstance(span_id, int) and span_id >= 1, f"{path}.id",
+             "must be an integer >= 1")
+    _require(span_id not in seen_ids, f"{path}.id", "span ids must be unique")
+    seen_ids.add(span_id)
+    parent = span.get("parent")
+    _require(parent is None or (isinstance(parent, int) and parent in seen_ids),
+             f"{path}.parent",
+             "must be null or the id of an earlier span")
+    _require(isinstance(span.get("name"), str) and span["name"],
+             f"{path}.name", "must be a non-empty string")
+    _require(span.get("category") in _SPAN_CATEGORIES, f"{path}.category",
+             f"must be one of {_SPAN_CATEGORIES}")
+    _require(isinstance(span.get("track"), str), f"{path}.track",
+             "must be a string")
+    _require(_is_number(span.get("start_us")), f"{path}.start_us",
+             "must be a number")
+    dur = span.get("dur_us")
+    _require(_is_number(dur) and dur >= 0, f"{path}.dur_us",
+             "must be a non-negative number")
+    _require(isinstance(span.get("args"), dict), f"{path}.args",
+             "must be an object")
+
+
+def validate_telemetry_document(document: object) -> Dict:
+    """Validate ``document``; return it (typed as a dict) when well-formed."""
+    _require(isinstance(document, dict), "$", "document must be a JSON object")
+    assert isinstance(document, dict)
+    _require(document.get("schema") == TELEMETRY_SCHEMA_ID, "$.schema",
+             f"must be {TELEMETRY_SCHEMA_ID!r}, got {document.get('schema')!r}")
+    _require(isinstance(document.get("label"), str), "$.label",
+             "must be a string")
+    run_id = document.get("run_id")
+    _require(run_id is None or isinstance(run_id, str), "$.run_id",
+             "must be null or a string")
+    _require(_is_number(document.get("created")), "$.created",
+             "must be a number (unix epoch)")
+    duration = document.get("duration_us")
+    _require(_is_number(duration) and duration >= 0, "$.duration_us",
+             "must be a non-negative number")
+    _validate_scalar_map(document, "counters")
+    _validate_scalar_map(document, "gauges")
+    histograms = document.get("histograms")
+    _require(isinstance(histograms, dict), "$.histograms", "must be an object")
+    assert isinstance(histograms, dict)
+    for name, entry in histograms.items():
+        _validate_histogram(f"$.histograms[{name!r}]", entry)
+    spans = document.get("spans")
+    _require(isinstance(spans, list), "$.spans", "must be an array")
+    assert isinstance(spans, list)
+    seen: set = set()
+    for index, span in enumerate(spans):
+        _validate_span(f"$.spans[{index}]", span, seen)
+    n_events = document.get("n_events")
+    _require(isinstance(n_events, int) and n_events >= 0, "$.n_events",
+             "must be a non-negative integer")
+    meta = document.get("meta")
+    _require(meta is None or isinstance(meta, dict), "$.meta",
+             "must be an object when present")
+    return document
+
+
+def validate_events_jsonl(text: str) -> List[Dict[str, Any]]:
+    """Validate an events JSONL payload; return the parsed event records.
+
+    Every non-empty line must be a JSON object carrying a numeric ``ts_us``
+    and a non-empty string ``event``.
+    """
+    events: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            raise TelemetryError(
+                f"invalid events log line {lineno}: not JSON ({exc})"
+            ) from None
+        if not isinstance(record, dict):
+            raise TelemetryError(
+                f"invalid events log line {lineno}: must be a JSON object"
+            )
+        if not _is_number(record.get("ts_us")):
+            raise TelemetryError(
+                f"invalid events log line {lineno}: ts_us must be a number"
+            )
+        if not (isinstance(record.get("event"), str) and record["event"]):
+            raise TelemetryError(
+                f"invalid events log line {lineno}: event must be a "
+                "non-empty string"
+            )
+        events.append(record)
+    return events

@@ -16,7 +16,7 @@ The :mod:`repro.perf` package is the repo's perf trajectory in code form:
 ``repro-io perf`` is the CLI entry point.
 """
 
-from repro.perf.compare import check_regression
+from repro.perf.compare import check_overhead, check_regression
 from repro.perf.counters import StepProfiler
 from repro.perf.harness import BENCH_SCHEMA_ID, run_perf, scenarios_for_scale
 from repro.perf.schema import validate_bench_document
@@ -26,6 +26,7 @@ __all__ = [
     "BENCH_SCHEMA_ID",
     "StepProfiler",
     "best_of_ns",
+    "check_overhead",
     "check_regression",
     "run_perf",
     "scenarios_for_scale",

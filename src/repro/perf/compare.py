@@ -14,7 +14,7 @@ from typing import Dict, List
 from repro.errors import PerfError
 from repro.perf.schema import validate_bench_document
 
-__all__ = ["check_regression", "format_summary"]
+__all__ = ["check_regression", "check_overhead", "format_summary"]
 
 
 def check_regression(
@@ -44,6 +44,44 @@ def check_regression(
                 f"{key}: {measured:.0f} steps/s is below {min_ratio:.0%} of the "
                 f"baseline {reference:.0f} steps/s "
                 f"(ratio {measured / reference:.2f})"
+            )
+    return failures
+
+
+def check_overhead(
+    current: Dict,
+    baseline: Dict,
+    max_overhead: float,
+) -> List[str]:
+    """Return one failure per scenario slower than ``baseline`` by more than
+    ``max_overhead`` (empty = gate green).
+
+    The telemetry-overhead gate: a measurement taken with telemetry
+    *disabled* must stay within ``max_overhead`` (e.g. ``0.02`` for 2%) of
+    the committed baseline's throughput, proving the disabled-path cost of
+    the instrumentation is negligible.  The tighter sibling of
+    :func:`check_regression` — same key-intersection semantics, but the
+    bound is phrased as allowed slowdown instead of allowed ratio.
+    """
+    if not 0.0 <= max_overhead < 1.0:
+        raise PerfError(f"max_overhead must be in [0, 1), got {max_overhead}")
+    validate_bench_document(current)
+    validate_bench_document(baseline)
+    floor = 1.0 - max_overhead
+    failures: List[str] = []
+    base_scenarios = baseline["scenarios"]
+    for key, entry in current["scenarios"].items():
+        base = base_scenarios.get(key)
+        if base is None:
+            continue
+        measured = float(entry["steps_per_sec"])
+        reference = float(base["steps_per_sec"])
+        if measured < floor * reference:
+            overhead = 1.0 - measured / reference
+            failures.append(
+                f"{key}: {measured:.0f} steps/s is {overhead:.1%} below the "
+                f"baseline {reference:.0f} steps/s "
+                f"(allowed overhead {max_overhead:.1%})"
             )
     return failures
 

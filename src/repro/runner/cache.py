@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Optional
 
 from repro._version import __version__
+from repro.obs.telemetry import get_telemetry
 
 __all__ = ["ResultCache", "fingerprint", "fingerprint_payload"]
 
@@ -96,6 +97,9 @@ class ResultCache:
 
     def get(self, fp: str) -> Optional[Dict[str, object]]:
         """The cached payload for ``fp``, or ``None`` (counted as hit/miss)."""
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.count("cache.probe")
         path = self._object_path(fp)
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -105,8 +109,12 @@ class ResultCache:
             # Missing file, or a corrupt/truncated/foreign-format entry:
             # treat as a miss so the task simply re-runs and overwrites it.
             self.misses += 1
+            if telemetry.enabled:
+                telemetry.count("cache.miss")
             return None
         self.hits += 1
+        if telemetry.enabled:
+            telemetry.count("cache.hit")
         return payload
 
     def put(
@@ -125,10 +133,11 @@ class ResultCache:
             "key": dict(key_material) if key_material else {},
             "payload": dict(payload),
         }
+        data = json.dumps(entry)
         fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(entry, handle)
+                handle.write(data)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -136,6 +145,11 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.count("cache.store")
+            telemetry.count("cache.bytes_written", len(data.encode("utf-8")))
+            telemetry.event("cache_store", fingerprint=fp, bytes=len(data))
         return path
 
     def contains(self, fp: str) -> bool:

@@ -30,6 +30,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.errors import ExperimentError
+from repro.obs.telemetry import get_telemetry
 
 __all__ = [
     "TaskSpec",
@@ -182,6 +183,41 @@ def execute_task(task: TaskSpec) -> Dict[str, Any]:
     return resolve_task_kind(task.kind)(task.payload, task.seed)
 
 
+def _execute_task_observed(task: TaskSpec, collect: bool) -> Dict[str, Any]:
+    """Pool-side wrapper: time the task and (optionally) collect telemetry.
+
+    Runs inside a worker process, where the parent's registry does not
+    exist.  When ``collect`` is true a fresh worker-local
+    :class:`~repro.obs.telemetry.Telemetry` is installed for the duration of
+    the task; its snapshot ships back with the payload and the parent merges
+    it (re-anchoring span times via the wall-clock epoch) under the task's
+    span.  The wall-clock ``started`` stamp lets the parent compute how long
+    the task waited in the pool queue.
+    """
+    from repro.obs.telemetry import NULL, Telemetry, set_telemetry
+
+    started = time.time()
+    t0 = time.perf_counter()
+    if not collect:
+        payload = execute_task(task)
+        return {
+            "payload": payload,
+            "obs": {"started": started, "wall_s": time.perf_counter() - t0,
+                    "snapshot": None},
+        }
+    local = Telemetry(label=task.task_id)
+    set_telemetry(local)
+    try:
+        payload = execute_task(task)
+    finally:
+        set_telemetry(NULL)
+    return {
+        "payload": payload,
+        "obs": {"started": started, "wall_s": time.perf_counter() - t0,
+                "snapshot": local.snapshot()},
+    }
+
+
 # --------------------------------------------------------------------------- #
 # The executor
 # --------------------------------------------------------------------------- #
@@ -203,6 +239,7 @@ class ParallelExecutor:
         self,
         tasks: Sequence[TaskSpec],
         progress: Optional[Callable[[TaskSpec, Dict[str, Any]], None]] = None,
+        task_records: Optional[Dict[str, Dict[str, Any]]] = None,
     ) -> List[Dict[str, Any]]:
         """Execute every task; results come back in ``tasks`` order.
 
@@ -210,6 +247,14 @@ class ParallelExecutor:
         *complete* (completion order under parallelism).  A failing task
         aborts the whole map: remaining futures are cancelled and the
         worker's exception is re-raised with the task id attached.
+
+        ``task_records``, when given, is filled with per-task provenance
+        ``{task_id: {"wall_time_s", "queue_wait_s"}}`` (a record exists
+        before that task's ``progress`` call fires).  With telemetry enabled
+        each task additionally gets a ``task`` span — and, under
+        parallelism, the worker's own telemetry snapshot merged beneath it.
+        Without telemetry and without ``task_records`` the execution path is
+        unchanged from the uninstrumented executor.
         """
         tasks = list(tasks)
         if not tasks:
@@ -218,20 +263,49 @@ class ParallelExecutor:
         if len(set(ids)) != len(ids):
             raise ExperimentError("task ids must be unique within one map() call")
 
+        telemetry = get_telemetry()
+        observe = telemetry.enabled or task_records is not None
+        if telemetry.enabled:
+            telemetry.gauge("executor.jobs", float(self.jobs))
+
         if self.jobs == 1 or len(tasks) == 1:
             results = []
             for task in tasks:
-                result = execute_task(task)
+                if observe:
+                    # In-process tasks run under the ambient registry, so
+                    # simulation spans nest directly beneath the task span.
+                    start = time.perf_counter()
+                    with telemetry.span(
+                        task.task_id, category="task", track="tasks",
+                        kind=task.kind,
+                    ):
+                        result = execute_task(task)
+                    wall = time.perf_counter() - start
+                    telemetry.count("executor.tasks.completed")
+                    if task_records is not None:
+                        task_records[task.task_id] = {
+                            "wall_time_s": wall, "queue_wait_s": 0.0,
+                        }
+                else:
+                    result = execute_task(task)
                 results.append(result)
                 if progress is not None:
                     progress(task, result)
             return results
 
         results_by_index: Dict[int, Dict[str, Any]] = {}
+        submit_epoch: Dict[int, float] = {}
         with ProcessPoolExecutor(max_workers=min(self.jobs, len(tasks))) as pool:
-            future_to_index = {
-                pool.submit(execute_task, task): i for i, task in enumerate(tasks)
-            }
+            future_to_index = {}
+            for i, task in enumerate(tasks):
+                if observe:
+                    submit_epoch[i] = time.time()
+                    future = pool.submit(
+                        _execute_task_observed, task, telemetry.enabled
+                    )
+                else:
+                    future = pool.submit(execute_task, task)
+                future_to_index[future] = i
             pending = set(future_to_index)
             try:
                 while pending:
@@ -245,6 +319,11 @@ class ParallelExecutor:
                             raise ExperimentError(
                                 f"task {task.task_id!r} failed in worker: {exc}"
                             ) from exc
+                        if observe:
+                            result = _unwrap_observed(
+                                telemetry, task, result,
+                                submit_epoch[index], task_records,
+                            )
                         results_by_index[index] = result
                         if progress is not None:
                             progress(task, result)
@@ -252,6 +331,46 @@ class ParallelExecutor:
                 for future in pending:
                     future.cancel()
         return [results_by_index[i] for i in range(len(tasks))]
+
+
+def _unwrap_observed(
+    telemetry,
+    task: TaskSpec,
+    wrapped: Dict[str, Any],
+    submitted: float,
+    task_records: Optional[Dict[str, Dict[str, Any]]],
+) -> Dict[str, Any]:
+    """Parent-side unwrap of one :func:`_execute_task_observed` result.
+
+    Records the task span (anchored at the worker's wall-clock start, so
+    queue wait shows as the gap after submission), merges the worker's
+    telemetry snapshot beneath it, and fills the task's provenance record.
+    Returns the bare payload.
+    """
+    obs = wrapped["obs"]
+    payload = wrapped["payload"]
+    queue_wait = max(0.0, obs["started"] - submitted)
+    if telemetry.enabled:
+        start_us = (obs["started"] - telemetry.epoch) * 1e6
+        dur_us = obs["wall_s"] * 1e6
+        span_id = telemetry.add_span(
+            task.task_id,
+            "task",
+            start_us,
+            dur_us,
+            track="tasks",
+            args={"kind": task.kind, "queue_wait_s": round(queue_wait, 6)},
+        )
+        if obs.get("snapshot"):
+            telemetry.merge_snapshot(
+                obs["snapshot"], parent=span_id, track="workers"
+            )
+        telemetry.count("executor.tasks.completed")
+    if task_records is not None:
+        task_records[task.task_id] = {
+            "wall_time_s": obs["wall_s"], "queue_wait_s": queue_wait,
+        }
+    return payload
 
 
 def execute_cached(
@@ -262,6 +381,7 @@ def execute_cached(
     fingerprint_for: Optional[Callable[[TaskSpec], str]] = None,
     key_material_for: Optional[Callable[[TaskSpec], Dict[str, Any]]] = None,
     progress: Optional[Callable[[TaskSpec, Dict[str, Any], bool], None]] = None,
+    task_records: Optional[Dict[str, Dict[str, Any]]] = None,
 ) -> Dict[str, Dict[str, Any]]:
     """Run tasks through the executor, served from / stored into a cache.
 
@@ -289,10 +409,16 @@ def execute_cached(
         Optional callback ``progress(task, payload, from_cache)``: cache
         hits fire first (in task order), then completions (in completion
         order under parallelism).
+    task_records:
+        Optional dict filled with per-task provenance
+        ``{task_id: {"origin": "cache"|"computed", "wall_time_s",
+        "queue_wait_s", "fingerprint"?}}`` — the material for the
+        manifest's task table and the cache-efficiency report.
     """
     if cache is not None and fingerprint_for is None:
         raise ExperimentError("execute_cached needs fingerprint_for with a cache")
 
+    telemetry = get_telemetry()
     results: Dict[str, Dict[str, Any]] = {}
     fingerprints: Dict[str, str] = {}
     pending: List[TaskSpec] = []
@@ -303,6 +429,15 @@ def execute_cached(
             payload = cache.get(fp)
             if payload is not None:
                 results[task.task_id] = payload
+                if telemetry.enabled:
+                    telemetry.count("executor.tasks.cached")
+                if task_records is not None:
+                    task_records[task.task_id] = {
+                        "origin": "cache",
+                        "wall_time_s": 0.0,
+                        "queue_wait_s": 0.0,
+                        "fingerprint": fp,
+                    }
                 if progress is not None:
                     progress(task, payload, True)
                 continue
@@ -318,11 +453,22 @@ def execute_cached(
                     key_material_for(task) if key_material_for is not None else None
                 ),
             )
+        if task_records is not None:
+            # The executor recorded timing before this callback fired;
+            # stamp the provenance on top.
+            record = task_records.setdefault(
+                task.task_id, {"wall_time_s": 0.0, "queue_wait_s": 0.0}
+            )
+            record["origin"] = "computed"
+            if task.task_id in fingerprints:
+                record["fingerprint"] = fingerprints[task.task_id]
         if progress is not None:
             progress(task, payload, False)
 
     if pending:
-        ParallelExecutor(jobs=jobs).map(pending, progress=on_done)
+        ParallelExecutor(jobs=jobs).map(
+            pending, progress=on_done, task_records=task_records
+        )
     return results
 
 

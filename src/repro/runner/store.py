@@ -35,6 +35,8 @@ __all__ = [
     "verify_manifest",
     "MANIFEST_NAME",
     "REQUIRED_MANIFEST_FIELDS",
+    "TELEMETRY_DOCUMENT_ARTIFACT",
+    "TELEMETRY_EVENTS_ARTIFACT",
 ]
 
 MANIFEST_NAME = "manifest.json"
@@ -49,6 +51,13 @@ def _sha256(path: Path) -> str:
     return digest.hexdigest()
 
 
+#: Artifact names the manifest's ``telemetry`` reference block points at
+#: (kept in sync with :mod:`repro.obs.summary` by a unit test, not an
+#: import, so the store stays independent of the obs package).
+TELEMETRY_DOCUMENT_ARTIFACT = "telemetry.json"
+TELEMETRY_EVENTS_ARTIFACT = "telemetry_events.jsonl"
+
+
 def write_run(
     run_dir: Union[str, Path],
     *,
@@ -57,6 +66,7 @@ def write_run(
     config: Mapping[str, object],
     artifacts: Mapping[str, str],
     timestamp: Optional[float] = None,
+    tasks: Optional[Mapping[str, Mapping[str, object]]] = None,
 ) -> Dict[str, object]:
     """Write a run directory: artifacts first, then the manifest.
 
@@ -71,6 +81,16 @@ def write_run(
         ``run_dir`` and checksummed into the manifest.
     timestamp:
         Override for the manifest timestamp (defaults to now).
+    tasks:
+        Optional per-task provenance (wall time, queue wait, cache origin)
+        recorded under the manifest's ``tasks`` key — the material
+        ``repro-io verify`` uses for its cache-efficiency report.  Omitted
+        entirely when not given, so runs without telemetry keep the exact
+        manifest shape of earlier versions.
+
+    When the artifacts include a telemetry document
+    (``telemetry.json``/``telemetry_events.jsonl``), the manifest gains a
+    ``telemetry`` block referencing them by name.
 
     Returns the manifest dictionary.
     """
@@ -96,6 +116,17 @@ def write_run(
         "version": __version__,
         "artifacts": entries,
     }
+    if tasks is not None:
+        manifest["tasks"] = {
+            str(task_id): dict(record) for task_id, record in sorted(tasks.items())
+        }
+    telemetry_ref: Dict[str, str] = {}
+    if TELEMETRY_DOCUMENT_ARTIFACT in entries:
+        telemetry_ref["document"] = TELEMETRY_DOCUMENT_ARTIFACT
+    if TELEMETRY_EVENTS_ARTIFACT in entries:
+        telemetry_ref["events"] = TELEMETRY_EVENTS_ARTIFACT
+    if telemetry_ref:
+        manifest["telemetry"] = telemetry_ref
     with open(run_path / MANIFEST_NAME, "w", encoding="utf-8") as handle:
         json.dump(manifest, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -175,12 +206,13 @@ class RunStore:
         config: Mapping[str, object],
         artifacts: Mapping[str, str],
         timestamp: Optional[float] = None,
+        tasks: Optional[Mapping[str, Mapping[str, object]]] = None,
     ) -> Path:
         """Persist one run and return its directory."""
         run_path = self.run_dir(run_id)
         write_run(
             run_path, run_id=run_id, seed=seed, config=config,
-            artifacts=artifacts, timestamp=timestamp,
+            artifacts=artifacts, timestamp=timestamp, tasks=tasks,
         )
         return run_path
 

@@ -29,6 +29,7 @@ from repro.analysis.interference import (
 from repro.config.control import SteppingPolicy
 from repro.core.delta import jsonify
 from repro.errors import AnalysisError, ConfigurationError, ExperimentError
+from repro.obs.telemetry import get_telemetry
 from repro.runner.cache import ResultCache, fingerprint_payload
 from repro.runner.executor import TaskSpec, execute_cached
 from repro.scenarios.spec import BuiltScenario, ScenarioSpec, build_scenario
@@ -168,6 +169,13 @@ class InterferenceMatrix:
     options: Dict[str, Any] = field(default_factory=dict)
     stepping: Optional[Dict[str, object]] = None
     specs: List[Dict[str, object]] = field(default_factory=list)
+    #: Per-task provenance (origin/wall time) gathered when telemetry is
+    #: enabled.  Deliberately outside to_dict()/from_dict() and excluded
+    #: from comparisons: it describes *this* execution, not the matrix, so
+    #: fingerprints and warm-cache byte-identity are unaffected.
+    task_records: Dict[str, Dict[str, Any]] = field(
+        default_factory=dict, compare=False, repr=False
+    )
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -505,14 +513,26 @@ def run_interference_matrix(
         if progress is not None:
             progress(task.task_id, from_cache)
 
-    results = execute_cached(
-        tasks,
-        jobs=jobs,
-        cache=cache,
-        fingerprint_for=fingerprint_for,
-        key_material_for=key_material_for,
-        progress=on_result,
+    telemetry = get_telemetry()
+    task_records: Optional[Dict[str, Dict[str, Any]]] = (
+        {} if telemetry.enabled else None
     )
+    with telemetry.span(
+        f"matrix:{scale}",
+        category="campaign",
+        archetypes=",".join(names),
+        n_tasks=len(tasks),
+        jobs=jobs,
+    ):
+        results = execute_cached(
+            tasks,
+            jobs=jobs,
+            cache=cache,
+            fingerprint_for=fingerprint_for,
+            key_material_for=key_material_for,
+            progress=on_result,
+            task_records=task_records,
+        )
 
     alone = {
         name: float(results[f"alone:{name}"]["phase_time"]) for name in names
@@ -545,26 +565,65 @@ def run_interference_matrix(
         options=opts,
         stepping=stepping_dict,
         specs=[s.to_dict() for s in specs],
+        task_records=task_records or {},
     )
 
 
-def store_matrix(matrix: InterferenceMatrix, store_dir: str) -> str:
+def store_matrix(
+    matrix: InterferenceMatrix,
+    store_dir: str,
+    telemetry=None,
+) -> str:
     """Persist ``matrix.json`` as a verifiable run directory.
 
     The run id derives from the matrix fingerprint and the manifest
     timestamp is pinned to zero, so re-running an identical matrix rewrites
     the directory byte-identically (the warm-cache acceptance property).
     Returns the run directory path.
+
+    With a live ``telemetry`` registry (the one the campaign ran under), the
+    run directory additionally carries the schema-validated
+    ``telemetry.json`` document and ``telemetry_events.jsonl`` log, and the
+    manifest records per-task provenance — those describe one concrete
+    execution, so a telemetry-carrying run dir is *not* expected to be
+    byte-stable across reruns (the default path is unchanged).
     """
     import json
 
-    from repro.runner.store import RunStore
+    from repro.runner.store import (
+        TELEMETRY_DOCUMENT_ARTIFACT,
+        TELEMETRY_EVENTS_ARTIFACT,
+        RunStore,
+    )
 
     specs = [ScenarioSpec.from_dict(s) for s in matrix.specs]
     fp = matrix_fingerprint(specs, matrix.scale, matrix.options, matrix.stepping)
+    run_id = f"matrix_{fp[:12]}"
     seed = matrix.options.get("seed")
+    artifacts = {
+        "matrix.json": json.dumps(matrix.to_dict(), indent=2, sort_keys=True)
+        + "\n",
+    }
+    tasks = None
+    if telemetry is not None and telemetry.enabled:
+        from repro.obs.schema import validate_telemetry_document
+
+        document = telemetry.to_document(run_id=run_id)
+        validate_telemetry_document(document)
+        artifacts[TELEMETRY_DOCUMENT_ARTIFACT] = (
+            json.dumps(document, indent=2, sort_keys=True) + "\n"
+        )
+        artifacts[TELEMETRY_EVENTS_ARTIFACT] = telemetry.events_jsonl()
+        tasks = {
+            task_id: {
+                **record,
+                "wall_time_s": round(float(record.get("wall_time_s", 0.0)), 6),
+                "queue_wait_s": round(float(record.get("queue_wait_s", 0.0)), 6),
+            }
+            for task_id, record in matrix.task_records.items()
+        }
     run_path = RunStore(store_dir).write_run(
-        f"matrix_{fp[:12]}",
+        run_id,
         seed=0 if seed is None else int(seed),
         config=jsonify({
             "scale": matrix.scale,
@@ -572,10 +631,8 @@ def store_matrix(matrix: InterferenceMatrix, store_dir: str) -> str:
             "options": dict(matrix.options),
             "stepping": matrix.stepping,
         }),
-        artifacts={
-            "matrix.json": json.dumps(matrix.to_dict(), indent=2, sort_keys=True)
-            + "\n",
-        },
+        artifacts=artifacts,
         timestamp=0.0,
+        tasks=tasks,
     )
     return str(run_path)

@@ -59,6 +59,14 @@ class Simulator:
         self._n_cancelled = 0
         self._n_stale = 0
         self._events_processed = 0
+        # Monotonic lifetime totals, unlike _n_cancelled/_n_stale which are
+        # live heap-bookkeeping and get decremented as corpses are dropped.
+        # Plain int increments so the hot path carries no telemetry calls;
+        # stats() publishes them into the telemetry registry post-run.
+        self._stat_scheduled = 0
+        self._stat_cancelled = 0
+        self._stat_rescheduled = 0
+        self._stat_compactions = 0
         self._running = False
         self._stopped = False
         self._stop_reason: Optional[str] = None
@@ -159,6 +167,7 @@ class Simulator:
             heap_time=time,
         )
         self._seq += 1
+        self._stat_scheduled += 1
         heapq.heappush(self._heap, (event.sort_key(), event))
         return event
 
@@ -199,6 +208,7 @@ class Simulator:
                 f"cannot reschedule event {event.label!r} to t={time:.6f}: "
                 f"beyond horizon t={self._horizon:.6f}"
             )
+        self._stat_rescheduled += 1
         if time >= event.heap_time:
             # Lazy re-key: fix up when the old entry reaches the heap head.
             event.time = time
@@ -376,6 +386,7 @@ class Simulator:
         dead keeps the amortized cost per cancellation O(log n).
         """
         self._n_cancelled += 1
+        self._stat_cancelled += 1
         if (
             len(self._heap) >= _COMPACTION_MIN_SIZE
             and self._n_cancelled * 2 > len(self._heap)
@@ -414,6 +425,7 @@ class Simulator:
     def drain_cancelled(self) -> int:
         """Remove all cancelled and stale entries from the heap; return how
         many entries were removed."""
+        self._stat_compactions += 1
         before = len(self._heap)
         live = [
             (key, ev)
@@ -425,6 +437,21 @@ class Simulator:
         self._n_cancelled = 0
         self._n_stale = 0
         return before - len(self._heap)
+
+    def stats(self) -> dict:
+        """Lifetime event-kernel totals for the telemetry registry.
+
+        Monotonic over the simulator's life (never decremented by heap
+        cleanup), keyed with the ``engine.*`` telemetry naming convention so
+        callers can feed the dict straight into ``Telemetry.count``.
+        """
+        return {
+            "engine.events.scheduled": self._stat_scheduled,
+            "engine.events.processed": self._events_processed,
+            "engine.events.cancelled": self._stat_cancelled,
+            "engine.events.rescheduled": self._stat_rescheduled,
+            "engine.heap.compactions": self._stat_compactions,
+        }
 
     def iter_pending(self) -> Iterable[Event]:
         """Yield pending (non-cancelled) events in no particular order."""

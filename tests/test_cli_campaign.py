@@ -35,7 +35,7 @@ class TestExecution:
         assert rc == 0
         assert "# EXPERIMENTS" in captured.out
         assert "Table I" in captured.out
-        assert "[campaign] table1" in captured.err
+        assert "event=campaign experiment=table1" in captured.err
 
     def test_campaign_writes_output_file(self, tmp_path, capsys):
         target = tmp_path / "EXPERIMENTS.md"
@@ -45,10 +45,44 @@ class TestExecution:
         assert rc == 0
         text = target.read_text(encoding="utf-8")
         assert text.startswith("# EXPERIMENTS")
-        assert "wrote" in captured.err
+        assert "event=report_written" in captured.err
         # stdout stays clean when writing to a file
         assert "# EXPERIMENTS" not in captured.out
 
     def test_campaign_unknown_experiment_fails_loudly(self):
         with pytest.raises(Exception):
             main(["campaign", "--scale", "tiny", "--only", "figure99"])
+
+
+class TestCampaignTelemetry:
+    def test_telemetry_dir_writes_validated_documents(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.schema import validate_telemetry_document
+
+        tel = tmp_path / "tel"
+        rc = main(["campaign", "--scale", "tiny", "--quick", "--only", "table1",
+                   "--output", str(tmp_path / "r.md"),
+                   "--telemetry-dir", str(tel)])
+        assert rc == 0
+        assert "event=telemetry_written" in capsys.readouterr().err
+        document = json.loads(
+            (tel / "telemetry.json").read_text(encoding="utf-8")
+        )
+        validate_telemetry_document(document)
+        assert document["counters"]["executor.tasks.completed"] == 1
+        assert document["counters"]["engine.events.processed"] > 0
+        categories = {s["category"] for s in document["spans"]}
+        assert {"campaign", "task", "simulation"} <= categories
+        campaign = next(
+            s for s in document["spans"] if s["category"] == "campaign"
+        )
+        assert campaign["name"] == "campaign:tiny"
+        assert (tel / "telemetry_events.jsonl").is_file()
+
+    def test_without_flag_no_telemetry_files(self, tmp_path, capsys):
+        rc = main(["campaign", "--scale", "tiny", "--quick", "--only", "table1",
+                   "--output", str(tmp_path / "r.md")])
+        assert rc == 0
+        capsys.readouterr()
+        assert not list(tmp_path.glob("**/telemetry.json"))

@@ -57,10 +57,10 @@ class TestCampaignCacheCli:
                 "--cache-dir", cache]
         assert main(argv) == 0
         first = capsys.readouterr()
-        assert "(cached)" not in first.err
+        assert "origin=cached" not in first.err
         assert main(argv) == 0
         second = capsys.readouterr()
-        assert "(cached)" in second.err
+        assert "origin=cached" in second.err
         assert second.out == first.out  # byte-identical report
 
     def test_resume_defaults_cache_dir(self, tmp_path, monkeypatch, capsys):
@@ -71,7 +71,7 @@ class TestCampaignCacheCli:
         capsys.readouterr()
         assert (tmp_path / ".repro-cache").is_dir()
         assert main(argv) == 0
-        assert "(cached)" in capsys.readouterr().err
+        assert "origin=cached" in capsys.readouterr().err
 
 
 class TestGridCli:
@@ -84,7 +84,7 @@ class TestGridCli:
         captured = capsys.readouterr()
         assert rc == 0
         assert "| device |" in captured.out
-        assert "[grid] 4 runs persisted" in captured.err
+        assert "event=grid_persisted runs=4" in captured.err
         # every persisted run verifies
         assert main(["verify", store]) == 0
         assert "4/4 runs verified" in capsys.readouterr().out

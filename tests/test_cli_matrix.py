@@ -56,8 +56,8 @@ class TestMatrixCommand:
 
         run_matrix(tmp_path)
         err = capsys.readouterr().err
-        assert "(cached)" in err
-        assert "(ran)" not in err  # 100% cache hit
+        assert "origin=cached" in err
+        assert "origin=ran" not in err  # 100% cache hit
         assert output.read_bytes() == first_report
         assert (runs[0] / "manifest.json").read_bytes() == first_manifest
         assert (runs[0] / "matrix.json").read_bytes() == first_json

@@ -129,3 +129,26 @@ class TestFingerprintMachinery:
         assert target.read_text(encoding="utf-8") == GOLDENS_PATH.read_text(
             encoding="utf-8"
         )
+
+
+class TestTelemetryTransparency:
+    """Telemetry collection must never perturb simulation results.
+
+    Every golden case is recomputed with a live telemetry registry
+    installed; the fingerprint must match the stored golden byte for byte —
+    the observability layer touches no RNG stream and no model array.
+    """
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_fingerprint_identical_with_telemetry_enabled(self, name, goldens):
+        from repro.obs.telemetry import telemetry_session
+
+        with telemetry_session(f"golden:{name}") as session:
+            digest, _ = compute_golden(CASES[name])
+            document = session.to_document()
+        assert digest == goldens[name]["fingerprint"], (
+            f"telemetry perturbed the simulation of {name!r}"
+        )
+        # and the run actually was observed (the test is not vacuous)
+        assert document["counters"].get("sim.steps", 0) > 0
+        assert any(s["category"] == "simulation" for s in document["spans"])

@@ -1,0 +1,99 @@
+"""Chrome trace_event export: structure, lane assignment, validation."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.obs.export import to_chrome_trace, validate_chrome_trace
+from repro.obs.telemetry import Telemetry
+
+
+def document_with_overlap():
+    """Two overlapping task spans on one track plus a campaign span."""
+    t = Telemetry(label="export")
+    t.count("cache.hit", 2)
+    anchor = t.add_span("campaign:tiny", "campaign", 0.0, 100.0)
+    t.add_span("task_a", "task", 10.0, 50.0, parent=anchor, track="tasks")
+    t.add_span("task_b", "task", 30.0, 50.0, parent=anchor, track="tasks")
+    t.add_span("task_c", "task", 61.0, 10.0, parent=anchor, track="tasks")
+    return t.to_document(run_id="run_x")
+
+
+class TestToChromeTrace:
+    def test_trace_validates(self):
+        trace = to_chrome_trace(document_with_overlap())
+        assert validate_chrome_trace(trace) is trace
+
+    def test_span_becomes_complete_event(self):
+        trace = to_chrome_trace(document_with_overlap())
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        names = {e["name"] for e in xs}
+        assert {"campaign:tiny", "task_a", "task_b", "task_c"} <= names
+        task_a = next(e for e in xs if e["name"] == "task_a")
+        assert task_a["ts"] == 10.0
+        assert task_a["dur"] == 50.0
+        assert task_a["cat"] == "task"
+        assert task_a["args"]["parent_span_id"] == 1
+
+    def test_overlapping_spans_get_distinct_lanes(self):
+        trace = to_chrome_trace(document_with_overlap())
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        a = next(e for e in xs if e["name"] == "task_a")
+        b = next(e for e in xs if e["name"] == "task_b")
+        c = next(e for e in xs if e["name"] == "task_c")
+        assert a["tid"] != b["tid"]  # overlap -> different lanes
+        assert c["tid"] == a["tid"]  # c starts after a ended -> lane reused
+
+    def test_process_and_thread_metadata_present(self):
+        trace = to_chrome_trace(document_with_overlap())
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        names = [e["args"]["name"] for e in meta]
+        assert "repro-io export" in names
+        assert any(n.startswith("tasks/") for n in names)
+
+    def test_counters_emitted_as_counter_sample(self):
+        trace = to_chrome_trace(document_with_overlap())
+        counter = next(e for e in trace["traceEvents"] if e["ph"] == "C")
+        assert counter["args"]["cache.hit"] == 2.0
+
+    def test_other_data_carries_identity(self):
+        trace = to_chrome_trace(document_with_overlap())
+        assert trace["otherData"]["run_id"] == "run_x"
+        assert trace["displayTimeUnit"] == "ms"
+
+    def test_malformed_document_rejected_before_export(self):
+        with pytest.raises(TelemetryError):
+            to_chrome_trace({"schema": "nope"})
+
+    def test_empty_registry_exports_metadata_only(self):
+        trace = to_chrome_trace(Telemetry().to_document())
+        validate_chrome_trace(trace)
+        assert all(e["ph"] == "M" for e in trace["traceEvents"])
+
+
+class TestValidateChromeTrace:
+    def test_rejects_non_object(self):
+        with pytest.raises(TelemetryError, match=r"\$"):
+            validate_chrome_trace([])
+
+    def test_rejects_empty_event_array(self):
+        with pytest.raises(TelemetryError, match="traceEvents"):
+            validate_chrome_trace({"traceEvents": []})
+
+    def test_rejects_unknown_phase_code(self):
+        trace = to_chrome_trace(document_with_overlap())
+        trace["traceEvents"][0]["ph"] = "Z"
+        with pytest.raises(TelemetryError, match=r"\.ph"):
+            validate_chrome_trace(trace)
+
+    def test_rejects_negative_duration(self):
+        trace = to_chrome_trace(document_with_overlap())
+        event = next(e for e in trace["traceEvents"] if e["ph"] == "X")
+        event["dur"] = -5
+        with pytest.raises(TelemetryError, match=r"\.dur"):
+            validate_chrome_trace(trace)
+
+    def test_rejects_missing_tid(self):
+        trace = to_chrome_trace(document_with_overlap())
+        del trace["traceEvents"][0]["tid"]
+        with pytest.raises(TelemetryError, match=r"\.tid"):
+            validate_chrome_trace(trace)

@@ -1,0 +1,112 @@
+"""Structured logger: line format, thresholds, CLI wiring."""
+
+import io
+
+import pytest
+
+from repro.obs.log import LEVELS, StructLogger, configure_logging, get_logger
+
+
+def capture():
+    stream = io.StringIO()
+    return stream, StructLogger(stream=stream)
+
+
+class TestLineFormat:
+    def test_basic_line(self):
+        stream, log = capture()
+        log.info("campaign", experiment="table1", agree="2/2")
+        assert stream.getvalue() == (
+            "level=info event=campaign experiment=table1 agree=2/2\n"
+        )
+
+    def test_values_with_spaces_are_quoted(self):
+        stream, log = capture()
+        log.error("perf_fail", error="baseline not found")
+        assert 'error="baseline not found"' in stream.getvalue()
+
+    def test_values_with_equals_are_quoted(self):
+        stream, log = capture()
+        log.info("hint", cmd="repro-io obs summary x")
+        assert 'cmd="repro-io obs summary x"' in stream.getvalue()
+
+    def test_floats_render_compactly(self):
+        stream, log = capture()
+        log.info("x", wall=1.23456789)
+        assert "wall=1.23457" in stream.getvalue()
+
+    def test_booleans_render_lowercase(self):
+        stream, log = capture()
+        log.info("x", cached=True)
+        assert "cached=true" in stream.getvalue()
+
+    def test_embedded_quotes_escaped(self):
+        stream, log = capture()
+        log.info("x", msg='say "hi"')
+        assert '\\"hi\\"' in stream.getvalue()
+
+
+class TestThresholds:
+    def test_debug_suppressed_at_info(self):
+        stream, log = capture()
+        log.debug("noise")
+        assert stream.getvalue() == ""
+
+    def test_debug_printed_at_debug(self):
+        stream, log = capture()
+        log.set_level("debug")
+        log.debug("noise")
+        assert "level=debug" in stream.getvalue()
+
+    def test_warn_and_error_survive_quiet(self):
+        stream, log = capture()
+        log.set_level("warn")
+        log.info("progress")
+        log.warn("caution")
+        log.error("broken")
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("level=warn")
+        assert lines[1].startswith("level=error")
+
+    def test_is_enabled_tracks_threshold(self):
+        _, log = capture()
+        log.set_level("warn")
+        assert not log.is_enabled("info")
+        assert log.is_enabled("error")
+
+    def test_unknown_level_rejected(self):
+        _, log = capture()
+        with pytest.raises(ValueError, match="unknown log level"):
+            log.set_level("loud")
+
+    def test_levels_are_ordered(self):
+        assert LEVELS["debug"] < LEVELS["info"] < LEVELS["warn"] < LEVELS["error"]
+
+
+class TestConfigureLogging:
+    @pytest.fixture(autouse=True)
+    def _restore(self):
+        yield
+        configure_logging()  # back to the info default for other tests
+
+    def test_default_threshold_is_info(self):
+        log = configure_logging()
+        assert log.level == "info"
+        assert log is get_logger()
+
+    def test_verbose_lowers_to_debug(self):
+        assert configure_logging(verbose=True).level == "debug"
+
+    def test_quiet_raises_to_warn(self):
+        assert configure_logging(quiet=True).level == "warn"
+
+    def test_quiet_wins_over_verbose(self):
+        assert configure_logging(verbose=True, quiet=True).level == "warn"
+
+    def test_lazy_stream_follows_sys_stderr(self, capsys):
+        # The process logger resolves sys.stderr per call, so pytest's
+        # capture (a fresh stderr per test) sees the lines.
+        configure_logging()
+        get_logger().info("hello", n=1)
+        assert "event=hello n=1" in capsys.readouterr().err

@@ -1,0 +1,133 @@
+"""Schema validation of persisted telemetry documents and event logs."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.obs.schema import validate_events_jsonl, validate_telemetry_document
+from repro.obs.summary import TELEMETRY_DOCUMENT_NAME, TELEMETRY_EVENTS_NAME
+from repro.obs.telemetry import Telemetry
+from repro.runner.store import (
+    TELEMETRY_DOCUMENT_ARTIFACT,
+    TELEMETRY_EVENTS_ARTIFACT,
+)
+
+
+def sample_document():
+    t = Telemetry(label="unit")
+    t.count("cache.hit", 3)
+    t.gauge("executor.jobs", 2)
+    t.observe("sim.wall_s", 0.5)
+    with t.span("campaign:tiny", category="campaign"):
+        with t.span("task", category="task"):
+            pass
+    t.event("done")
+    return t.to_document(run_id="run_1")
+
+
+class TestDocumentValidation:
+    def test_live_document_validates(self):
+        document = sample_document()
+        assert validate_telemetry_document(document) is document
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(TelemetryError, match=r"\$"):
+            validate_telemetry_document([])
+
+    def test_rejects_wrong_schema_id(self):
+        document = sample_document()
+        document["schema"] = "repro-io/telemetry/v0"
+        with pytest.raises(TelemetryError, match=r"\$\.schema"):
+            validate_telemetry_document(document)
+
+    def test_rejects_negative_duration(self):
+        document = sample_document()
+        document["duration_us"] = -1.0
+        with pytest.raises(TelemetryError, match=r"\$\.duration_us"):
+            validate_telemetry_document(document)
+
+    def test_rejects_non_numeric_counter(self):
+        document = sample_document()
+        document["counters"]["cache.hit"] = "three"
+        with pytest.raises(TelemetryError, match=r"\$\.counters"):
+            validate_telemetry_document(document)
+
+    def test_rejects_boolean_counter(self):
+        document = sample_document()
+        document["counters"]["cache.hit"] = True
+        with pytest.raises(TelemetryError, match="must be a number"):
+            validate_telemetry_document(document)
+
+    def test_rejects_histogram_min_above_max(self):
+        document = sample_document()
+        document["histograms"]["sim.wall_s"]["min"] = 9.0
+        with pytest.raises(TelemetryError, match="min must be <= max"):
+            validate_telemetry_document(document)
+
+    def test_rejects_duplicate_span_ids(self):
+        document = sample_document()
+        document["spans"].append(dict(document["spans"][0]))
+        with pytest.raises(TelemetryError, match="unique"):
+            validate_telemetry_document(document)
+
+    def test_rejects_forward_parent_reference(self):
+        document = sample_document()
+        document["spans"][0]["parent"] = 99
+        with pytest.raises(TelemetryError, match=r"\$\.spans\[0\]\.parent"):
+            validate_telemetry_document(document)
+
+    def test_rejects_unknown_category(self):
+        document = sample_document()
+        document["spans"][0]["category"] = "galaxy"
+        with pytest.raises(TelemetryError, match="category"):
+            validate_telemetry_document(document)
+
+    def test_rejects_missing_n_events(self):
+        document = sample_document()
+        del document["n_events"]
+        with pytest.raises(TelemetryError, match="n_events"):
+            validate_telemetry_document(document)
+
+    def test_json_round_trip_still_validates(self):
+        import json
+
+        document = json.loads(json.dumps(sample_document()))
+        validate_telemetry_document(document)
+
+
+class TestEventsValidation:
+    def test_live_events_validate(self):
+        t = Telemetry()
+        t.event("cache_store", bytes=12)
+        t.event("done")
+        events = validate_events_jsonl(t.events_jsonl())
+        assert [e["event"] for e in events] == ["cache_store", "done"]
+
+    def test_empty_payload_is_no_events(self):
+        assert validate_events_jsonl("") == []
+
+    def test_blank_lines_skipped(self):
+        assert validate_events_jsonl('\n{"ts_us": 1, "event": "x"}\n\n') != []
+
+    def test_rejects_non_json_line(self):
+        with pytest.raises(TelemetryError, match="line 1"):
+            validate_events_jsonl("not json\n")
+
+    def test_rejects_non_object_line(self):
+        with pytest.raises(TelemetryError, match="JSON object"):
+            validate_events_jsonl("[1, 2]\n")
+
+    def test_rejects_missing_timestamp(self):
+        with pytest.raises(TelemetryError, match="ts_us"):
+            validate_events_jsonl('{"event": "x"}\n')
+
+    def test_rejects_empty_event_name(self):
+        with pytest.raises(TelemetryError, match="event"):
+            validate_events_jsonl('{"ts_us": 1, "event": ""}\n')
+
+
+class TestArtifactNameSync:
+    def test_store_and_obs_agree_on_artifact_names(self):
+        # runner.store deliberately does not import repro.obs; this pin keeps
+        # the two name constants from drifting apart.
+        assert TELEMETRY_DOCUMENT_ARTIFACT == TELEMETRY_DOCUMENT_NAME
+        assert TELEMETRY_EVENTS_ARTIFACT == TELEMETRY_EVENTS_NAME

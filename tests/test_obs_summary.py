@@ -1,0 +1,126 @@
+"""Summary and diff reports over telemetry documents."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.obs.summary import (
+    TELEMETRY_DOCUMENT_NAME,
+    cache_stats,
+    diff_documents,
+    executor_stats,
+    load_run_telemetry,
+    phase_timing,
+    summarize_document,
+)
+from repro.obs.telemetry import Telemetry
+
+
+def build_document(cache_hits=2, jobs=2.0):
+    t = Telemetry(label="summary")
+    campaign = t.add_span("campaign:tiny", "campaign", 0.0, 10e6)
+    t.add_span("a", "task", 0.0, 6e6, parent=campaign, track="tasks",
+               args={"kind": "matrix-alone", "queue_wait_s": 0.25})
+    t.add_span("b", "task", 1e6, 8e6, parent=campaign, track="tasks",
+               args={"kind": "matrix-pair", "queue_wait_s": 0.5})
+    t.gauge("executor.jobs", jobs)
+    t.count("executor.tasks.completed", 2)
+    t.count("executor.tasks.cached", cache_hits)
+    t.count("cache.probe", 4)
+    t.count("cache.hit", cache_hits)
+    t.count("cache.miss", 4 - cache_hits)
+    t.count("cache.store", 4 - cache_hits)
+    t.count("cache.bytes_written", 1234)
+    t.count("step.phase.drain.ns", 4e9)
+    t.count("step.phase.drain.calls", 100)
+    t.count("step.phase.offer.ns", 1e9)
+    t.count("step.phase.offer.calls", 50)
+    t.count("engine.events.processed", 7)
+    return t.to_document(run_id="run")
+
+
+class TestDerivedStats:
+    def test_executor_utilization(self):
+        stats = executor_stats(build_document())
+        assert stats["n_tasks"] == 2.0
+        assert stats["busy_s"] == pytest.approx(14.0)
+        assert stats["wall_s"] == pytest.approx(10.0)
+        # 14s busy over 10s wall on 2 workers
+        assert stats["utilization"] == pytest.approx(0.7)
+        assert stats["max_queue_wait_s"] == pytest.approx(0.5)
+
+    def test_executor_stats_without_spans(self):
+        stats = executor_stats(Telemetry().to_document())
+        assert stats["n_tasks"] == 0.0
+        assert stats["utilization"] == 0.0
+
+    def test_phase_timing_sorted_by_cost(self):
+        rows = phase_timing(build_document())
+        assert [r[0] for r in rows] == ["drain", "offer"]
+        assert rows[0][1] == pytest.approx(4000.0)  # ms
+        assert rows[0][2] == 100.0
+
+    def test_cache_hit_rate(self):
+        stats = cache_stats(build_document(cache_hits=3))
+        assert stats["hit_rate"] == pytest.approx(0.75)
+        assert stats["bytes_written"] == 1234.0
+
+    def test_cache_hit_rate_without_probes(self):
+        assert cache_stats(Telemetry().to_document())["hit_rate"] == 0.0
+
+
+class TestSummarizeDocument:
+    def test_report_sections(self):
+        report = summarize_document(build_document(), run_dir="runs/x")
+        assert "telemetry summary: summary (runs/x)" in report
+        assert "utilization 70.0%" in report
+        assert "2/4 hits (50.0%)" in report
+        assert "drain" in report and "offer" in report
+        assert "engine.events.processed" in report
+
+    def test_empty_document_reports_placeholders(self):
+        report = summarize_document(Telemetry().to_document())
+        assert "no cache activity recorded" in report
+        assert "no step-phase timing recorded" in report
+
+
+class TestDiffDocuments:
+    def test_diff_lists_changed_counters(self):
+        cold = build_document(cache_hits=0)
+        warm = build_document(cache_hits=4)
+        report = diff_documents(cold, warm, "cold", "warm")
+        assert "telemetry diff: cold vs warm" in report
+        assert "cache.hit" in report
+        assert "(+4)" in report
+
+    def test_identical_documents_diff_clean(self):
+        doc = build_document()
+        report = diff_documents(doc, json.loads(json.dumps(doc)))
+        assert "all counters equal" in report
+
+
+class TestLoadRunTelemetry:
+    def test_loads_and_validates(self, tmp_path):
+        document = build_document()
+        (tmp_path / TELEMETRY_DOCUMENT_NAME).write_text(
+            json.dumps(document), encoding="utf-8"
+        )
+        loaded = load_run_telemetry(tmp_path)
+        assert loaded["run_id"] == "run"
+
+    def test_missing_document_names_the_flag(self, tmp_path):
+        with pytest.raises(TelemetryError, match="--telemetry"):
+            load_run_telemetry(tmp_path)
+
+    def test_unreadable_document_fails(self, tmp_path):
+        (tmp_path / TELEMETRY_DOCUMENT_NAME).write_text("{", encoding="utf-8")
+        with pytest.raises(TelemetryError, match="unreadable"):
+            load_run_telemetry(tmp_path)
+
+    def test_invalid_document_fails_validation(self, tmp_path):
+        (tmp_path / TELEMETRY_DOCUMENT_NAME).write_text(
+            '{"schema": "other"}', encoding="utf-8"
+        )
+        with pytest.raises(TelemetryError, match=r"\$\.schema"):
+            load_run_telemetry(tmp_path)

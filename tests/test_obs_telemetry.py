@@ -1,0 +1,209 @@
+"""Unit tests for the telemetry registry (counters, spans, worker merge)."""
+
+import json
+
+import pytest
+
+from repro.obs.telemetry import (
+    NULL,
+    SPAN_CATEGORIES,
+    TELEMETRY_SCHEMA_ID,
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    telemetry_session,
+)
+
+
+class TestScalars:
+    def test_counter_accumulates(self):
+        t = Telemetry()
+        t.count("cache.hit")
+        t.count("cache.hit", 2)
+        assert t.counter("cache.hit") == 3
+
+    def test_unwritten_counter_is_zero(self):
+        assert Telemetry().counter("nope") == 0
+
+    def test_gauge_last_write_wins(self):
+        t = Telemetry()
+        t.gauge("executor.jobs", 2)
+        t.gauge("executor.jobs", 8)
+        assert t.to_document()["gauges"]["executor.jobs"] == 8.0
+
+    def test_histogram_aggregates(self):
+        t = Telemetry()
+        for value in (3.0, 1.0, 2.0):
+            t.observe("sim.wall_s", value)
+        hist = t.to_document()["histograms"]["sim.wall_s"]
+        assert hist == {"count": 3, "sum": 6.0, "min": 1.0, "max": 3.0}
+
+
+class TestSpans:
+    def test_context_manager_nesting_sets_parents(self):
+        t = Telemetry()
+        with t.span("outer", category="campaign") as outer_id:
+            with t.span("inner", category="task") as inner_id:
+                assert t.current_span_id() == inner_id
+            assert t.current_span_id() == outer_id
+        assert t.current_span_id() is None
+        outer, inner = t.to_document()["spans"]
+        assert outer["parent"] is None
+        assert inner["parent"] == outer["id"]
+        assert inner["dur_us"] <= outer["dur_us"]
+
+    def test_add_span_defaults_to_open_parent(self):
+        t = Telemetry()
+        with t.span("outer", category="simulation") as outer_id:
+            t.add_span("phase", "phase", 0.0, 5.0)
+        span = t.to_document()["spans"][-1]
+        assert span["parent"] == outer_id
+        assert span["dur_us"] == 5.0
+
+    def test_add_span_explicit_parent_and_args(self):
+        t = Telemetry()
+        sid = t.add_span("task", "task", 1.0, 2.0, args={"kind": "x"})
+        child = t.add_span("sub", "simulation", 1.0, 1.0, parent=sid)
+        spans = t.to_document()["spans"]
+        assert spans[0]["args"] == {"kind": "x"}
+        assert spans[1]["parent"] == sid
+        assert child != sid
+
+    def test_negative_duration_clamped(self):
+        t = Telemetry()
+        t.add_span("x", "task", 0.0, -1.0)
+        assert t.to_document()["spans"][0]["dur_us"] == 0.0
+
+    def test_span_ids_unique_and_increasing(self):
+        t = Telemetry()
+        ids = [t.add_span(f"s{i}", "task", 0.0, 1.0) for i in range(5)]
+        assert ids == sorted(set(ids))
+
+    def test_categories_cover_the_hierarchy(self):
+        assert SPAN_CATEGORIES == ("campaign", "task", "simulation", "phase")
+
+
+class TestEvents:
+    def test_events_jsonl_round_trips(self):
+        t = Telemetry()
+        t.event("cache_store", fingerprint="abc", bytes=17)
+        t.event("done")
+        lines = t.events_jsonl().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["event"] == "cache_store"
+        assert first["fingerprint"] == "abc"
+        assert "ts_us" in first
+
+    def test_no_events_is_empty_payload(self):
+        assert Telemetry().events_jsonl() == ""
+
+    def test_document_counts_events(self):
+        t = Telemetry()
+        t.event("a")
+        assert t.to_document()["n_events"] == 1
+
+
+class TestDocument:
+    def test_schema_id_and_label(self):
+        t = Telemetry(label="matrix")
+        doc = t.to_document(run_id="matrix_abc")
+        assert doc["schema"] == TELEMETRY_SCHEMA_ID
+        assert doc["label"] == "matrix"
+        assert doc["run_id"] == "matrix_abc"
+
+    def test_duration_covers_latest_span(self):
+        t = Telemetry()
+        t.add_span("late", "task", 1e9, 5e6)
+        assert t.to_document()["duration_us"] >= 1e9 + 5e6
+
+    def test_meta_included_when_given(self):
+        doc = Telemetry().to_document(meta={"scale": "tiny"})
+        assert doc["meta"] == {"scale": "tiny"}
+
+
+class TestSnapshotMerge:
+    def _worker_snapshot(self):
+        worker = Telemetry(label="worker")
+        worker.count("sim.steps", 10)
+        worker.gauge("g", 1.0)
+        worker.observe("h", 2.0)
+        with worker.span("simulate", category="simulation"):
+            worker.add_span("drain", "phase", 0.0, 1.0)
+        return worker, worker.snapshot()
+
+    def test_counters_add_and_histograms_merge(self):
+        parent = Telemetry()
+        parent.count("sim.steps", 5)
+        parent.observe("h", 10.0)
+        _, snap = self._worker_snapshot()
+        parent.merge_snapshot(snap)
+        doc = parent.to_document()
+        assert doc["counters"]["sim.steps"] == 15
+        assert doc["histograms"]["h"]["count"] == 2
+        assert doc["histograms"]["h"]["max"] == 10.0
+
+    def test_spans_remap_ids_and_attach_under_parent(self):
+        parent = Telemetry()
+        anchor = parent.add_span("task", "task", 0.0, 100.0)
+        _, snap = self._worker_snapshot()
+        parent.merge_snapshot(snap, parent=anchor, track="workers")
+        spans = parent.to_document()["spans"]
+        merged = [s for s in spans if s["track"] == "workers"]
+        assert len(merged) == 2
+        root = next(s for s in merged if s["name"] == "simulate")
+        child = next(s for s in merged if s["name"] == "drain")
+        assert root["parent"] == anchor
+        assert child["parent"] == root["id"]
+        ids = [s["id"] for s in spans]
+        assert len(ids) == len(set(ids))
+
+    def test_epoch_offset_reanchors_times(self):
+        parent = Telemetry()
+        worker, snap = self._worker_snapshot()
+        snap["epoch"] = parent.epoch + 2.0  # worker started 2s later
+        parent.merge_snapshot(snap)
+        root = parent.to_document()["spans"][0]
+        assert root["start_us"] >= 2e6
+
+
+class TestNullAndSession:
+    def test_null_is_disabled_and_inert(self):
+        assert NULL.enabled is False
+        NULL.count("x")
+        NULL.gauge("x", 1)
+        NULL.observe("x", 1)
+        NULL.event("x")
+        with NULL.span("x"):
+            pass
+        assert NULL.counter("x") == 0
+        assert NULL.add_span("x", "task", 0, 0) == 0
+        assert NULL.snapshot() == {}
+
+    def test_default_registry_is_null(self):
+        assert get_telemetry() is NULL
+
+    def test_session_installs_and_restores(self):
+        assert get_telemetry() is NULL
+        with telemetry_session("test") as session:
+            assert get_telemetry() is session
+            assert session.enabled
+            with telemetry_session("inner") as inner:
+                assert get_telemetry() is inner
+            assert get_telemetry() is session
+        assert get_telemetry() is NULL
+
+    def test_set_telemetry_none_restores_null(self):
+        t = Telemetry()
+        set_telemetry(t)
+        try:
+            assert get_telemetry() is t
+        finally:
+            set_telemetry(None)
+        assert get_telemetry() is NULL
+
+    def test_session_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with telemetry_session():
+                raise RuntimeError("boom")
+        assert get_telemetry() is NULL

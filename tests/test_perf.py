@@ -205,7 +205,7 @@ class TestPerfCli:
             "--output", str(tmp_path / "fresh.json"),
             "--check", "--baseline", str(output), "--min-ratio", "0.1",
         ]) == 0
-        assert "gate green" in capsys.readouterr().err
+        assert "event=perf_gate status=green" in capsys.readouterr().err
 
     def test_check_fails_on_regression(self, tmp_path, capsys):
         baseline = tmp_path / "baseline.json"
@@ -218,7 +218,7 @@ class TestPerfCli:
             "--output", str(tmp_path / "fresh.json"),
             "--check", "--baseline", str(baseline),
         ]) == 1
-        assert "REGRESSION" in capsys.readouterr().err
+        assert "event=perf_regression" in capsys.readouterr().err
 
     def test_check_fails_when_baseline_missing(self, tmp_path, capsys):
         assert main([
@@ -257,7 +257,7 @@ class TestPerfCliMalformedBaseline:
             "--output", str(tmp_path / "fresh.json"),
             "--check", "--baseline", str(baseline),
         ]) == 1
-        assert "FAIL" in capsys.readouterr().err
+        assert "event=perf_fail" in capsys.readouterr().err
 
 
 class TestPerfCliBaselineProtection:
@@ -276,3 +276,97 @@ class TestPerfCliBaselineProtection:
         ]) == 0
         assert baseline.read_text(encoding="utf-8") == original
         assert "not overwriting" in capsys.readouterr().err
+
+
+class TestCheckOverhead:
+    """The telemetry-overhead gate (perf --check --max-overhead)."""
+
+    @staticmethod
+    def bench(steps_per_sec):
+        return {
+            "schema": "repro-io/bench-stepper/v1",
+            "python": "3.11",
+            "repeats": 1,
+            "scenarios": {
+                "tiny/active": {
+                    "scale": "tiny", "kind": "active", "n_steps": 100,
+                    "best_ns": 1000, "steps_per_sec": float(steps_per_sec),
+                },
+            },
+        }
+
+    def test_within_bound_passes(self):
+        from repro.perf import check_overhead
+
+        assert check_overhead(self.bench(99.0), self.bench(100.0), 0.02) == []
+
+    def test_beyond_bound_fails_with_percentages(self):
+        from repro.perf import check_overhead
+
+        failures = check_overhead(self.bench(90.0), self.bench(100.0), 0.02)
+        assert len(failures) == 1
+        assert "tiny/active" in failures[0]
+        assert "10.0%" in failures[0]
+        assert "2.0%" in failures[0]
+
+    def test_faster_than_baseline_passes(self):
+        from repro.perf import check_overhead
+
+        assert check_overhead(self.bench(120.0), self.bench(100.0), 0.0) == []
+
+    def test_only_shared_scenarios_gate(self):
+        from repro.perf import check_overhead
+
+        current = self.bench(50.0)
+        current["scenarios"]["other/active"] = current["scenarios"].pop(
+            "tiny/active"
+        )
+        assert check_overhead(current, self.bench(100.0), 0.02) == []
+
+    def test_rejects_bad_bound(self):
+        from repro.perf import check_overhead
+
+        for bound in (-0.1, 1.0, 2.0):
+            with pytest.raises(PerfError, match="max_overhead"):
+                check_overhead(self.bench(1.0), self.bench(1.0), bound)
+
+    def test_cli_requires_check_with_max_overhead(self, capsys):
+        assert main(["perf", "--scale", "tiny", "--repeats", "1",
+                     "--no-output", "--max-overhead", "0.02"]) == 2
+        assert "requires --check" in capsys.readouterr().err
+
+    def test_cli_rejects_out_of_range_max_overhead(self):
+        with pytest.raises(SystemExit):
+            main(["perf", "--check", "--max-overhead", "1.5"])
+
+    def test_cli_gate_with_overhead_bound(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        document = run_perf(scale="tiny", repeats=1)
+        # A generous bound against a self-measured baseline must pass...
+        for entry in document["scenarios"].values():
+            entry["steps_per_sec"] = float(entry["steps_per_sec"]) * 0.5
+        baseline.write_text(json.dumps(document) + "\n", encoding="utf-8")
+        assert main([
+            "perf", "--scale", "tiny", "--repeats", "1",
+            "--output", str(tmp_path / "fresh.json"),
+            "--check", "--baseline", str(baseline),
+            "--min-ratio", "0.1", "--max-overhead", "0.99",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "event=perf_gate status=green" in err
+        assert "overhead" in err
+
+    def test_cli_gate_fails_beyond_overhead_bound(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        document = run_perf(scale="tiny", repeats=1)
+        # ...and an impossible baseline must trip the overhead gate.
+        for entry in document["scenarios"].values():
+            entry["steps_per_sec"] = float(entry["steps_per_sec"]) * 1e6
+        baseline.write_text(json.dumps(document) + "\n", encoding="utf-8")
+        assert main([
+            "perf", "--scale", "tiny", "--repeats", "1",
+            "--output", str(tmp_path / "fresh.json"),
+            "--check", "--baseline", str(baseline),
+            "--min-ratio", "0.0000001", "--max-overhead", "0.5",
+        ]) == 1
+        assert "event=perf_regression" in capsys.readouterr().err

@@ -199,6 +199,17 @@ def validate_repeats(value: str) -> int:
     return number
 
 
+def validate_batch_size(value: str) -> int:
+    """``--batch``: a strictly positive lockstep batch width."""
+    try:
+        number = int(value)
+    except ValueError:
+        raise UsageError(f"--batch expects an integer, got {value!r}") from None
+    if number < 1:
+        raise UsageError(f"--batch must be >= 1, got {number}")
+    return number
+
+
 _sweep_points = _cli_type(validate_sweep_points)
 _positive_int = _cli_type(validate_jobs)
 _step_tolerance = _cli_type(validate_step_tolerance)
@@ -206,6 +217,7 @@ _archetype_list = _cli_type(validate_archetypes)
 _min_ratio = _cli_type(validate_min_ratio)
 _repeat_count = _cli_type(validate_repeats)
 _max_overhead = _cli_type(validate_max_overhead)
+_batch_size = _cli_type(validate_batch_size)
 
 
 def _add_stepping_arguments(parser: argparse.ArgumentParser) -> None:
@@ -444,6 +456,12 @@ def build_parser() -> argparse.ArgumentParser:
              "telemetry_events.jsonl and a per-task manifest table "
              "(inspect with repro-io obs)",
     )
+    matrix_parser.add_argument(
+        "--no-batch", action="store_true",
+        help="disable the batched lockstep kernel for same-shape tasks and "
+             "run every simulation scalar (results are bitwise identical "
+             "either way; batching applies with --jobs 1 only)",
+    )
     _add_stepping_arguments(matrix_parser)
 
     perf_parser = sub.add_parser(
@@ -473,6 +491,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="include a per-phase timing/allocation profile (one extra "
              "instrumented pass)",
+    )
+    perf_parser.add_argument(
+        "--batch", action="append", type=_batch_size, default=None,
+        metavar="B", dest="batch",
+        help="also measure the batched lockstep kernel at width B "
+             "(repeatable, e.g. --batch 8 --batch 32; the committed curve "
+             "uses B in {1, 8, 32, 128})",
     )
     perf_parser.add_argument(
         "--check", action="store_true",
@@ -732,6 +757,7 @@ def _command_matrix(args: argparse.Namespace, parser: argparse.ArgumentParser) -
             cache_dir=None if args.no_cache else args.cache_dir,
             stepping=stepping,
             progress=progress,
+            batch=not args.no_batch,
             device=args.device,
             sync_mode=args.sync,
             network=args.network,
@@ -799,7 +825,8 @@ def _command_perf(args: argparse.Namespace) -> int:
             return 1
 
     document = run_perf(
-        scale=args.scale, repeats=args.repeats, profile=args.profile
+        scale=args.scale, repeats=args.repeats, profile=args.profile,
+        batch_sizes=args.batch,
     )
     validate_bench_document(document)
     text = json.dumps(document, indent=2, sort_keys=True) + "\n"

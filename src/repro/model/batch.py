@@ -1,0 +1,846 @@
+"""Batched lockstep stepping: advance B same-shape simulations per NumPy call.
+
+The scalar kernel (:mod:`repro.model.stepper`) is dispatch-bound at small
+scale: each phase is a handful of vectorized ops over a few hundred elements,
+so Python/NumPy call overhead dominates the step.  Every campaign this repo
+runs (interference matrices, parameter grids, seed replications) is
+embarrassingly many *independent* simulations of the same deployment shape,
+which makes the batch axis free: concatenate the per-connection, per-server
+and per-node state of B member simulations into flat arrays and run the same
+seven phases once per step over ``B * N`` elements.
+
+Exactness
+---------
+The batched kernel is bit-for-bit identical to running every member alone,
+by construction rather than by tolerance:
+
+* every elementwise ufunc is trivially independent per lane;
+* ``bincount`` accumulates per bin in input order, and each member's
+  connections occupy a contiguous flat range in their original relative
+  order, so per-bin partial-sum order is unchanged;
+* the admission water-filling operates row-per-server on a ``(B*S, k)``
+  matrix; row reductions only combine elements of one member's server, and
+  dead rows are frozen exactly (``take[~live] = 0.0``), so extra iterations
+  driven by *other* members' rows are exact no-ops;
+* RNG draw order is preserved per member: the burst-escape gate draws from
+  each member's own admission stream, and ``WindowState.update`` receives
+  ``rng_sites`` so hazard draws and collapse jitter come from each member's
+  own transport stream, gated and sized exactly as a member-alone run;
+* a finished member steps on as an exact no-op (zero outstanding bytes means
+  zero offers, zero admissions, no window motion — the post-step invariant
+  ``starved_time < rto`` rules out late timeouts), so no per-lane masking is
+  needed; only member-local scalars (observed time, pressure step counts,
+  backend commits, completion handling) are gated on liveness.
+
+Driver
+------
+Each member keeps its own discrete-event engine for the control plane
+(application starts, operation issues, trace sampling) — those are exact
+scalar code paths on member-local state.  A periodic NORMAL-priority marker
+event (the same ``schedule_periodic`` arithmetic the scalar driver uses)
+stops each engine at every step boundary; the batched kernel then advances
+all members at once and the engines resume.  Event ordering within a step
+instant (CONTROL < NORMAL < OBSERVE) is therefore identical to the scalar
+run, including trace samples observing post-step state.
+
+Bucketing
+---------
+:func:`plan_buckets` groups scenarios that can share a flat state: same
+resolved step, start time and horizon, same platform/filesystem
+configuration, and a uniform per-server connection group size (the stacked
+admission path).  Ragged deployments, adaptive stepping, and buckets smaller
+than ``min_batch`` fall back to the scalar kernel.  :func:`simulate_many` is
+the front end: it plans, runs each bucket batched, runs the fallbacks
+scalar, and emits ``batch.*`` telemetry.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config.scenario import ScenarioConfig
+from repro.errors import SimulationError
+from repro.model.results import RunResult
+from repro.model.simulator import IOPathSimulator, simulate_scenario
+from repro.model.stepper import ModelStepper, StepContext
+from repro.network.congestion import WindowState
+from repro.network.incast import ServerBuffers
+from repro.network.topology import StarTopology
+from repro.obs.telemetry import get_telemetry
+from repro.sim.engine import Simulator
+from repro.sim.events import EventPriority
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "BatchSimulator",
+    "BatchedStepper",
+    "BucketShape",
+    "count_fallback",
+    "plan_buckets",
+    "run_bucket",
+    "simulate_many",
+]
+
+#: Member arrays re-pointed at flat slices (state stays bitwise equal because
+#: both sides are freshly constructed with identical initial values).
+_WINDOW_ARRAYS = (
+    "cwnd", "stall_until", "backoff", "starved_time", "last_delivery",
+    "collapse_count", "delivered_bytes", "paced", "ever_paced",
+)
+_BUFFER_SERVER_ARRAYS = ("fill", "total_admitted", "total_drained")
+
+
+# ---------------------------------------------------------------------- #
+# Shape bucketing
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class BucketShape:
+    """The deployment shape a batch bucket shares.
+
+    ``group_size`` is the uniform number of connections per server (``None``
+    marks a ragged deployment, which cannot batch).  ``dt`` and ``t0`` pin
+    the lockstep cadence; members with different resolved steps or start
+    anchors cannot share marker events.
+    """
+
+    n_connections: int
+    n_servers: int
+    n_client_nodes: int
+    group_size: Optional[int]
+    dt: float
+    t0: float
+    max_time: float
+
+
+@dataclass
+class _Bucket:
+    shape: BucketShape
+    reference: ScenarioConfig
+    indices: List[int] = field(default_factory=list)
+
+
+def _shape_of(scenario: ScenarioConfig) -> Optional[BucketShape]:
+    """Deployment shape of ``scenario``, or ``None`` when it cannot batch
+    (adaptive stepping has no fixed lockstep cadence)."""
+    control = scenario.control
+    if control.resolve_stepping().is_adaptive:
+        return None
+    fs = scenario.filesystem
+    per_server = np.zeros(fs.n_servers, dtype=np.int64)
+    n_connections = 0
+    for spec in scenario.applications:
+        servers = np.asarray(scenario.app_servers(spec), dtype=np.int64)
+        n_procs = spec.n_nodes * spec.procs_per_node
+        per_server[servers] += n_procs
+        n_connections += int(n_procs) * int(servers.shape[0])
+    sizes = {int(c) for c in per_server}
+    group_size = sizes.pop() if len(sizes) == 1 and sizes != {0} else None
+    dt = control.resolve_step(scenario.estimate_duration())
+    t0 = min(0.0, min(app.start_time for app in scenario.applications))
+    return BucketShape(
+        n_connections=n_connections,
+        n_servers=fs.n_servers,
+        n_client_nodes=scenario.platform.n_client_nodes,
+        group_size=group_size,
+        dt=float(dt),
+        t0=float(t0),
+        max_time=float(control.max_time),
+    )
+
+
+def _compatible(reference: ScenarioConfig, scenario: ScenarioConfig) -> bool:
+    """True when two same-shape scenarios can share one flat batch state.
+
+    Platform and filesystem configs (frozen dataclasses) must compare equal —
+    they feed the stepper's cached constants.  Seeds, workloads and trace
+    configs are member-local and free to differ.
+    """
+    return (
+        scenario.platform == reference.platform
+        and scenario.filesystem == reference.filesystem
+    )
+
+
+def plan_buckets(
+    scenarios: Sequence[ScenarioConfig], *, min_batch: int = 2
+) -> Tuple[List[_Bucket], List[Tuple[int, str]]]:
+    """Group ``scenarios`` into batchable buckets.
+
+    Returns ``(buckets, fallback)`` where every input index appears in
+    exactly one bucket's ``indices`` or once in ``fallback`` as an
+    ``(index, reason)`` pair with reason one of ``"adaptive"``, ``"ragged"``
+    or ``"singleton"`` (bucket smaller than ``min_batch``).
+    """
+    buckets: List[_Bucket] = []
+    fallback: List[Tuple[int, str]] = []
+    for i, scenario in enumerate(scenarios):
+        shape = _shape_of(scenario)
+        if shape is None:
+            fallback.append((i, "adaptive"))
+            continue
+        if shape.group_size is None:
+            fallback.append((i, "ragged"))
+            continue
+        for bucket in buckets:
+            if bucket.shape == shape and _compatible(bucket.reference, scenario):
+                bucket.indices.append(i)
+                break
+        else:
+            buckets.append(_Bucket(shape=shape, reference=scenario, indices=[i]))
+    full: List[_Bucket] = []
+    for bucket in buckets:
+        if len(bucket.indices) >= max(min_batch, 1):
+            full.append(bucket)
+        else:
+            fallback.extend((i, "singleton") for i in bucket.indices)
+    fallback.sort()
+    return full, fallback
+
+
+# ---------------------------------------------------------------------- #
+# Flat-state facades
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class _BatchMember:
+    """One member simulation and its lanes in the flat state."""
+
+    sim: IOPathSimulator
+    engine: Simulator
+    conn_sl: slice
+    srv_sl: slice
+    node_sl: slice
+    until: float
+    admission_rng: np.random.Generator
+    live: bool = True
+    n_steps: int = 0
+    end_time: float = float("nan")
+
+
+class _BatchedTopology:
+    """Flat per-link accounting shared by every member.
+
+    Busy/transferred arrays are the storage the members' own topologies view
+    into; ``_observed_time`` stays member-local (it advances only while the
+    member is live) so utilization denominators freeze at member finish.
+    """
+
+    def __init__(self, node_capacity: np.ndarray, server_capacity: np.ndarray) -> None:
+        self._node_capacity = node_capacity
+        self._server_capacity = server_capacity
+        n_nodes = node_capacity.shape[0]
+        n_servers = server_capacity.shape[0]
+        self.node_busy = np.zeros(n_nodes, dtype=np.float64)
+        self.node_transferred = np.zeros(n_nodes, dtype=np.float64)
+        self.server_busy = np.zeros(n_servers, dtype=np.float64)
+        self.server_transferred = np.zeros(n_servers, dtype=np.float64)
+        self._scratch_node = np.empty(n_nodes, dtype=np.float64)
+        self._scratch_node2 = np.empty(n_nodes, dtype=np.float64)
+        self._scratch_server = np.empty(n_servers, dtype=np.float64)
+        self._scratch_server2 = np.empty(n_servers, dtype=np.float64)
+
+    @property
+    def n_client_nodes(self) -> int:
+        return self._node_capacity.shape[0]
+
+    def node_capacities(self) -> np.ndarray:
+        return self._node_capacity.copy()
+
+    def server_capacities(self) -> np.ndarray:
+        return self._server_capacity.copy()
+
+    def record_step_flat(
+        self, per_node: np.ndarray, per_server: np.ndarray, dt: float
+    ) -> None:
+        """The two `_record_group` updates of ``StarTopology.record_step``.
+
+        Validation is skipped (the batched kernel feeds its own bincounts)
+        and ``_observed_time`` is left to the per-member accounting.  Dead
+        members contribute exact zeros, so flat accumulation is exact.
+        """
+        StarTopology._record_group(
+            per_node, self._node_capacity, self.node_transferred,
+            self.node_busy, self._scratch_node, self._scratch_node2, dt,
+        )
+        StarTopology._record_group(
+            per_server, self._server_capacity, self.server_transferred,
+            self.server_busy, self._scratch_server, self._scratch_server2, dt,
+        )
+
+
+class _BatchedDeployment:
+    """Routes drain-rate queries and backend commits to live members.
+
+    The per-server drain law is a Python loop over mutable ``PVFSServer``
+    objects, so it stays member-local: each live member's deployment answers
+    for its own server lanes.  Dead members keep stale lanes in ``_rates`` —
+    harmless, since their connections offer zero bytes.
+    """
+
+    def __init__(self, members: Sequence[_BatchMember], n_servers: int) -> None:
+        self._members = members
+        self._rates = np.zeros(n_servers, dtype=np.float64)
+
+    def drain_rates(self, n_streams: np.ndarray, avg_frag: np.ndarray) -> np.ndarray:
+        rates = self._rates
+        for member in self._members:
+            if member.live:
+                sl = member.srv_sl
+                rates[sl] = member.sim.state.deployment.drain_rates(
+                    n_streams[sl], avg_frag[sl]
+                )
+        return rates
+
+    def commit(
+        self,
+        drained: np.ndarray,
+        dt: float,
+        n_streams: np.ndarray,
+        avg_frag: np.ndarray,
+    ) -> None:
+        for member in self._members:
+            if member.live:
+                sl = member.srv_sl
+                member.sim.state.deployment.commit(
+                    drained[sl], dt, n_streams[sl], avg_frag[sl]
+                )
+
+
+class _BatchedState:
+    """Duck-typed ``ModelState`` facade over the flat batch arrays.
+
+    Carries exactly the attributes the inherited stepping phases read; the
+    control plane (operation issue, completion, results) never sees it — it
+    runs on the members' own ``ModelState`` objects, whose hot arrays are
+    views into the flat storage below.
+    """
+
+    def __init__(
+        self,
+        members: Sequence[_BatchMember],
+        topology: _BatchedTopology,
+        deployment: _BatchedDeployment,
+        conn_server: np.ndarray,
+        conn_node: np.ndarray,
+    ) -> None:
+        reference = members[0].sim
+        scenario = reference.scenario
+        self.scenario = scenario
+        #: Dummy stream source: the batched kernel never draws from it (the
+        #: burst-escape gate override draws from each member's own streams).
+        self.streams = RandomStreams(0)
+        self.recorder = None  # the batched phases never mark; members do
+        self.topology = topology
+        self.deployment = deployment
+        self.conn_server = conn_server
+        self.conn_node = conn_node
+        self.n_connections = int(conn_server.shape[0])
+        self.n_servers = int(topology.server_capacities().shape[0])
+        self.n_apps = sum(m.sim.state.n_apps for m in members)
+        transport = scenario.platform.network.transport
+        #: Flat transport/buffer state.  Freshly constructed flat arrays have
+        #: the same initial values as each member's own fresh arrays, so
+        #: re-pointing members at slices preserves bitwise state.  The flat
+        #: WindowState's rng is a dummy: update() receives rng_sites and
+        #: force_timeout is only ever called on member WindowState objects.
+        self.windows = WindowState(
+            self.n_connections, transport, rng=np.random.default_rng(0)
+        )
+        self.buffers = ServerBuffers(
+            n_servers=self.n_servers,
+            capacity_bytes=scenario.filesystem.server.buffer_bytes,
+            conn_server=conn_server,
+        )
+        self.send_remaining = np.zeros(self.n_connections, dtype=np.float64)
+        self.frag_size = np.zeros(self.n_connections, dtype=np.float64)
+        self.last_drain_rate = np.full(
+            self.n_servers, scenario.filesystem.server.ingest_bw, dtype=np.float64
+        )
+        self.last_admission_rate = np.zeros(self.n_servers, dtype=np.float64)
+
+
+# ---------------------------------------------------------------------- #
+# The batched stepper
+# ---------------------------------------------------------------------- #
+
+
+class BatchedStepper(ModelStepper):
+    """The seven-phase kernel over the flat batch state.
+
+    Inherits the data-plane phases unchanged (they are pure array code over
+    the facade state) and overrides the four places that touch RNG streams or
+    member-local bookkeeping: the burst-escape gate, window dynamics,
+    accounting, and completion.
+    """
+
+    def __init__(self, state: _BatchedState, members: Sequence[_BatchMember]) -> None:
+        super().__init__(state)  # type: ignore[arg-type]
+        self._members = list(members)
+        #: Per-member RNG sites for WindowState.update: hazard draws and
+        #: collapse jitter come from each member's own transport stream,
+        #: sliced to its lanes.  Dead members never have candidates (their
+        #: connections are inactive and their post-step starvation clocks
+        #: sit below the RTO), so the site list can stay static.
+        self._rng_sites = tuple(
+            (m.conn_sl, m.sim.state.windows._rng) for m in self._members
+        )
+
+    # -- phase overrides ------------------------------------------------ #
+
+    def _burst_escape_gate(self, ctx: StepContext) -> None:
+        """Per-member burst-escape gate.
+
+        Mirrors the scalar gate slice by slice so every member consumes
+        exactly the draws (one full-lane ``random`` per step with any gated
+        connection) a member-alone run would, from its own admission stream.
+        """
+        ws = self.workspace
+        transport = self._transport
+        if not ws.tmp_bool_a.any():
+            return
+        ever_paced = self.state.windows.ever_paced
+        for member in self._members:
+            sl = member.conn_sl
+            gated = ws.tmp_bool_a[sl]
+            if not gated.any():
+                continue
+            draws = ws.draws[sl]
+            member.admission_rng.random(out=draws)
+            probs = ws.tmp_conn_a[sl]
+            probs.fill(transport.burst_escape_probability)
+            np.copyto(probs, transport.burst_reentry_probability,
+                      where=ever_paced[sl])
+            failed = ws.tmp_bool_b[sl]
+            np.greater_equal(draws, probs, out=failed)
+            np.logical_and(gated, failed, out=failed)
+            if failed.any():
+                local_idx = np.flatnonzero(failed)
+                mstate = member.sim.state
+                mstate.windows.force_timeout(local_idx, ctx.now)
+                ws.desired[sl][local_idx] = 0.0
+                mstate.collapses_per_app += np.bincount(
+                    mstate.conn_app[local_idx], minlength=mstate.n_apps
+                )
+                mstate.recorder.mark(
+                    ctx.now, "incast", "burst-loss",
+                    data={"count": int(local_idx.size)},
+                )
+
+    def _phase_window_dynamics(self, ctx: StepContext) -> None:
+        state = self.state
+        update = state.windows.update(
+            now=ctx.now,
+            dt=ctx.dt,
+            requested=ctx.desired,
+            admitted=ctx.admitted,
+            rtt_eff=ctx.rtt_eff,
+            oversubscribed=ctx.oversubscribed,
+            loss_prone=ctx.loss_prone,
+            collect_stats=False,
+            rng_sites=self._rng_sites,
+        )
+        if update.n_collapsed:
+            # Collapsed indices are ascending, so each member's share is one
+            # contiguous run; split it per member for the local statistics.
+            idx = update.collapsed_indices
+            for member in self._members:
+                sl = member.conn_sl
+                a = int(np.searchsorted(idx, sl.start, side="left"))
+                b = int(np.searchsorted(idx, sl.stop, side="left"))
+                if b <= a:
+                    continue
+                mstate = member.sim.state
+                local_idx = idx[a:b] - sl.start
+                mstate.collapses_per_app += np.bincount(
+                    mstate.conn_app[local_idx], minlength=mstate.n_apps
+                )
+                mstate.recorder.mark(
+                    ctx.now, "incast", "window-collapse",
+                    data={"count": int(b - a)},
+                )
+
+    def _phase_accounting(self, ctx: StepContext) -> None:
+        state = self.state
+        per_node = np.bincount(
+            state.conn_node, weights=ctx.admitted, minlength=self._n_nodes
+        )
+        per_server = np.bincount(
+            state.conn_server, weights=ctx.admitted, minlength=self._n_servers
+        )
+        state.topology.record_step_flat(per_node, per_server, ctx.dt)
+        # Observed time and pressure-step counts are member-local and stop
+        # advancing at member finish, exactly like a scalar run ending.
+        for member in self._members:
+            if member.live:
+                member.sim.state.topology._observed_time += ctx.dt
+                member.sim.state.buffers.note_step()
+        np.divide(per_server, ctx.dt, out=state.last_admission_rate)
+
+    def _phase_completion(self, sim: Optional[Simulator]) -> None:
+        for member in self._members:
+            if member.live:
+                member.sim.stepper._handle_completions(member.engine)
+
+    # -- the batched step ----------------------------------------------- #
+
+    def step_batch(self, now: float, dt: float) -> None:
+        """Advance every live member by ``dt`` at simulated time ``now``."""
+        if dt <= 0:
+            raise SimulationError("dt must be positive")
+        self._refresh_dt(dt)
+        ctx = self._ctx
+        ctx.now = now
+        ctx.dt = dt
+        profiler = self.profiler
+        if profiler is None:
+            self._phase_workload_mix(ctx)
+            self._phase_drain(ctx)
+            self._phase_offer(ctx)
+            self._phase_admission(ctx)
+            self._phase_window_dynamics(ctx)
+            self._phase_accounting(ctx)
+            self._phase_completion(None)
+            return
+        with profiler.phase("workload_mix"):
+            self._phase_workload_mix(ctx)
+        with profiler.phase("drain"):
+            self._phase_drain(ctx)
+        with profiler.phase("offer"):
+            self._phase_offer(ctx)
+        with profiler.phase("admission"):
+            self._phase_admission(ctx)
+        with profiler.phase("window_dynamics"):
+            self._phase_window_dynamics(ctx)
+        with profiler.phase("accounting"):
+            self._phase_accounting(ctx)
+        with profiler.phase("completion"):
+            self._phase_completion(None)
+
+
+# ---------------------------------------------------------------------- #
+# The lockstep driver
+# ---------------------------------------------------------------------- #
+
+
+class BatchSimulator:
+    """Runs B same-shape scenarios in one fixed-dt lockstep loop.
+
+    Build from *fresh* scenarios only: member state is re-pointed at the flat
+    arrays right after construction, before any event runs.
+    """
+
+    def __init__(self, scenarios: Sequence[ScenarioConfig]) -> None:
+        if not scenarios:
+            raise SimulationError("a batch needs at least one scenario")
+        sims = [IOPathSimulator(scenario) for scenario in scenarios]
+        reference = sims[0]
+        if any(sim.stepping.is_adaptive for sim in sims):
+            raise SimulationError("adaptive stepping cannot run batched")
+        self.dt = reference.step_size
+        scenario = reference.scenario
+        self._t0 = min(
+            0.0, min(app.start_time for app in scenario.applications)
+        )
+        self._max_time = scenario.control.max_time
+        transport = scenario.platform.network.transport
+        for sim in sims:
+            s = sim.scenario
+            t0 = min(0.0, min(app.start_time for app in s.applications))
+            if (
+                sim.step_size != self.dt
+                or t0 != self._t0
+                or s.control.max_time != self._max_time
+                or s.platform != scenario.platform
+                or s.filesystem != scenario.filesystem
+            ):
+                raise SimulationError(
+                    "batch members must share step size, start anchor and "
+                    "platform/filesystem configuration"
+                )
+
+        # Lanes.
+        members: List[_BatchMember] = []
+        conn_off = srv_off = node_off = 0
+        until = self._t0 + self._max_time
+        horizon = self._t0 + self._max_time * 2 + 1.0
+        for sim in sims:
+            st = sim.state
+            n_c = st.n_connections
+            n_s = st.n_servers
+            n_n = st.topology.n_client_nodes
+            engine = Simulator(start_time=self._t0, horizon=horizon)
+            members.append(
+                _BatchMember(
+                    sim=sim,
+                    engine=engine,
+                    conn_sl=slice(conn_off, conn_off + n_c),
+                    srv_sl=slice(srv_off, srv_off + n_s),
+                    node_sl=slice(node_off, node_off + n_n),
+                    until=until,
+                    admission_rng=sim.stepper._rng,
+                )
+            )
+            conn_off += n_c
+            srv_off += n_s
+            node_off += n_n
+        self.members = members
+
+        # Flat index maps and facade state.
+        conn_server = np.concatenate(
+            [m.sim.state.conn_server + m.srv_sl.start for m in members]
+        )
+        conn_node = np.concatenate(
+            [m.sim.state.conn_node + m.node_sl.start for m in members]
+        )
+        topology = _BatchedTopology(
+            np.concatenate([m.sim.state.topology.node_capacities() for m in members]),
+            np.concatenate([m.sim.state.topology.server_capacities() for m in members]),
+        )
+        deployment = _BatchedDeployment(members, srv_off)
+        state = _BatchedState(members, topology, deployment, conn_server, conn_node)
+        if state.buffers._group_matrix is None:
+            raise SimulationError(
+                "batch members must have uniform per-server connection groups"
+            )
+        self.state = state
+        self._repoint_members()
+        self.stepper = BatchedStepper(state, members)
+        self._schedule_control_plane()
+        self.n_batch_steps = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _repoint_members(self) -> None:
+        """Point every member's hot arrays at its lanes of the flat state.
+
+        Both sides are freshly constructed (identical initial values), so
+        this changes storage, not state.  Member-local arrays — process
+        bookkeeping, collapse statistics, pressure step counts, observed
+        time — stay where they are.
+        """
+        state = self.state
+        for member in self.members:
+            st = member.sim.state
+            for name in _WINDOW_ARRAYS:
+                setattr(st.windows, name, getattr(state.windows, name)[member.conn_sl])
+            for name in _BUFFER_SERVER_ARRAYS:
+                setattr(st.buffers, name, getattr(state.buffers, name)[member.srv_sl])
+            st.buffers.conn_bytes = state.buffers.conn_bytes[member.conn_sl]
+            st.send_remaining = state.send_remaining[member.conn_sl]
+            st.frag_size = state.frag_size[member.conn_sl]
+            st.last_drain_rate = state.last_drain_rate[member.srv_sl]
+            st.last_admission_rate = state.last_admission_rate[member.srv_sl]
+            topo = st.topology
+            topo._node_busy = state.topology.node_busy[member.node_sl]
+            topo._node_transferred = state.topology.node_transferred[member.node_sl]
+            topo._server_busy = state.topology.server_busy[member.srv_sl]
+            topo._server_transferred = state.topology.server_transferred[member.srv_sl]
+
+    def _schedule_control_plane(self) -> None:
+        """Schedule each member's starts, step markers and trace sampling.
+
+        The step marker is a periodic NORMAL event that merely stops the
+        member's engine at every step boundary; it uses the same
+        ``schedule_periodic`` arithmetic as the scalar driver's tick, so
+        marker times match the scalar step times bitwise.
+        """
+        dt = self.dt
+        t0 = self._t0
+        for member in self.members:
+            sim = member.sim
+            engine = member.engine
+            st = sim.state
+            for app in st.applications:
+                engine.schedule(
+                    app.start_time,
+                    sim._make_start_callback(app.index),
+                    priority=EventPriority.CONTROL,
+                    label=f"start.{app.name}",
+                )
+            engine.schedule_periodic(
+                dt,
+                _stop_for_batch_step,
+                start=t0 + dt,
+                priority=EventPriority.NORMAL,
+                label="model.step",
+                stop_when=_make_finished_probe(st),
+            )
+            if sim.recorder.config.records_series:
+                sample_period = sim.scenario.control.trace.series_sample_period
+                engine.schedule_periodic(
+                    sample_period,
+                    sim._sample,
+                    start=t0 + sample_period,
+                    priority=EventPriority.OBSERVE,
+                    label="trace.sample",
+                    stop_when=_make_finished_probe(st),
+                )
+
+    # ------------------------------------------------------------------ #
+
+    def _advance_one_step(self) -> None:
+        now: Optional[float] = None
+        for member in self.members:
+            if not member.live:
+                continue
+            member.engine.run(until=member.until)
+            if member.engine.stop_reason != "batch-step":
+                unfinished = [
+                    rt.app.name
+                    for rt in member.sim.state.app_runtime
+                    if not rt.finished
+                ]
+                raise SimulationError(
+                    f"simulation reached max_time={self._max_time}s with "
+                    f"unfinished applications {unfinished}; check the "
+                    "scenario configuration"
+                )
+            if now is None:
+                now = member.engine.now
+            elif member.engine.now != now:  # pragma: no cover - lockstep guard
+                raise SimulationError("batch members fell out of lockstep")
+        assert now is not None
+        self.stepper.step_batch(now, self.dt)
+        self.n_batch_steps += 1
+        for member in self.members:
+            if not member.live:
+                continue
+            member.n_steps += 1
+            if member.sim.state.all_finished():
+                member.live = False
+                member.end_time = now
+
+    def run(self) -> List[RunResult]:
+        """Run every member to completion; results in member order."""
+        wall_start = time.perf_counter()
+        while any(member.live for member in self.members):
+            self._advance_one_step()
+        wall_time = time.perf_counter() - wall_start
+        results = []
+        for member in self.members:
+            member.sim._n_steps = member.n_steps
+            results.append(member.sim._build_result(member.end_time, wall_time))
+        return results
+
+
+def _stop_for_batch_step(sim: Simulator) -> None:
+    sim.stop("batch-step")
+
+
+def _make_finished_probe(state):
+    def _finished(sim: Simulator) -> bool:
+        return state.all_finished()
+
+    return _finished
+
+
+# ---------------------------------------------------------------------- #
+# Front end
+# ---------------------------------------------------------------------- #
+
+
+def run_bucket(
+    scenarios: Sequence[ScenarioConfig], shape: BucketShape
+) -> List[RunResult]:
+    """Run one same-shape group through the batched kernel, with telemetry.
+
+    Emits the per-bucket ``simulation``-track span (with synthetic ``phase``
+    child spans and ``step.phase.*`` counters from the kernel profiler, like
+    a scalar run), the ``batch.buckets`` / ``batch.member_runs`` counters,
+    and the ``batch.occupancy`` observation — the single place that
+    accounting lives, shared by :func:`simulate_many` and the
+    executor-level batchers.  Observational only: the batch kernel never
+    reads the profiler, so results stay byte-identical with telemetry on
+    or off.
+    """
+    from repro.perf.counters import StepProfiler
+
+    telemetry = get_telemetry()
+    label = (
+        f"batch:b{len(scenarios)}"
+        f"x{shape.n_connections}c{shape.n_servers}s"
+    )
+    with telemetry.span(
+        label,
+        category="simulation",
+        track="batch",
+        members=len(scenarios),
+        n_connections=shape.n_connections,
+        n_servers=shape.n_servers,
+    ) as bucket_span:
+        batch = BatchSimulator(scenarios)
+        profiler = None
+        if telemetry.enabled and batch.stepper.profiler is None:
+            profiler = StepProfiler()
+            batch.stepper.profiler = profiler
+        try:
+            start_us = telemetry.now_us()
+            results = batch.run()
+        finally:
+            if profiler is not None:
+                batch.stepper.profiler = None
+    if profiler is not None:
+        cursor = start_us
+        for phase, row in profiler.report().items():
+            phase_us = row["ns"] / 1000.0
+            telemetry.add_span(
+                phase,
+                "phase",
+                cursor,
+                phase_us,
+                parent=bucket_span,
+                track="batch",
+                args={"calls": row["calls"],
+                      "ns_per_call": round(row["ns_per_call"], 1),
+                      "alloc_blocks": row["alloc_blocks"]},
+            )
+            cursor += phase_us
+            telemetry.count(f"step.phase.{phase}.ns", row["ns"])
+            telemetry.count(f"step.phase.{phase}.calls", row["calls"])
+            telemetry.observe(f"step.phase.{phase}.ns_per_call", row["ns_per_call"])
+    for member in batch.members:
+        for name, value in member.engine.stats().items():
+            telemetry.count(name, value)
+    telemetry.count("batch.buckets")
+    telemetry.count("batch.member_runs", len(scenarios))
+    telemetry.observe("batch.occupancy", float(len(scenarios)))
+    telemetry.count("sim.steps", sum(m.n_steps for m in batch.members))
+    return results
+
+
+def count_fallback(reason: str) -> None:
+    """Record one scenario taking the scalar path instead of a bucket."""
+    telemetry = get_telemetry()
+    telemetry.count("batch.ragged_fallbacks")
+    telemetry.count(f"batch.fallback.{reason}")
+
+
+def simulate_many(
+    scenarios: Sequence[ScenarioConfig], *, min_batch: int = 2
+) -> List[RunResult]:
+    """Simulate ``scenarios``, batching same-shape groups in lockstep.
+
+    Results come back in input order and are bitwise identical to running
+    each scenario through :func:`~repro.model.simulator.simulate_scenario`
+    alone.  Ragged/adaptive/singleton scenarios take exactly that scalar
+    path.  Emits ``batch.*`` telemetry: one ``simulation``-track span plus an
+    occupancy observation per bucket, and fallback counters.
+    """
+    scenarios = list(scenarios)
+    buckets, fallback = plan_buckets(scenarios, min_batch=min_batch)
+    results: List[Optional[RunResult]] = [None] * len(scenarios)
+    for bucket in buckets:
+        outs = run_bucket([scenarios[i] for i in bucket.indices], bucket.shape)
+        for i, result in zip(bucket.indices, outs):
+            results[i] = result
+    for i, reason in fallback:
+        count_fallback(reason)
+        results[i] = simulate_scenario(scenarios[i])
+    return results  # type: ignore[return-value]

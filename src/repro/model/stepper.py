@@ -475,6 +475,29 @@ class ModelStepper:
         np.logical_and(ws.tmp_bool_a, ws.active, out=ws.tmp_bool_a)
         ws.tmp_srv_bool.take(conn_server, out=ws.tmp_bool_b)
         np.logical_and(ws.tmp_bool_a, ws.tmp_bool_b, out=ws.tmp_bool_a)  # gated
+        self._burst_escape_gate(ctx)
+
+        ctx.rtt_eff = ws.rtt_eff
+        ctx.desired = ws.desired
+        ctx.loss_prone = ws.loss_prone
+
+    def _burst_escape_gate(self, ctx: StepContext) -> None:
+        """Resolve the burst-escape gate for the connections flagged in
+        ``ws.tmp_bool_a`` (the gated mask computed by :meth:`_phase_offer`).
+
+        Draws survival probabilities from the admission stream, collapses the
+        failed connections (``windows.force_timeout``) and zeroes their
+        offered bytes.  Overridable hook: the batched kernel replaces it with
+        a per-member variant so every batch member consumes draws from its
+        own admission stream.
+
+        Reads:  ``ws.tmp_bool_a`` (gated mask), ``windows.ever_paced``.
+        Writes: ``ws.draws``, ``ws.desired`` entries of failed connections,
+                window/collapse state; clobbers ``tmp_conn_a``/``tmp_bool_b``.
+        """
+        state = self.state
+        ws = self.workspace
+        transport = self._transport
         if ws.tmp_bool_a.any():
             self._rng.random(out=ws.draws)
             ws.tmp_conn_a.fill(transport.burst_escape_probability)
@@ -495,10 +518,6 @@ class ModelStepper:
                 state.recorder.mark(
                     ctx.now, "incast", "burst-loss", data={"count": int(failed_idx.size)}
                 )
-
-        ctx.rtt_eff = ws.rtt_eff
-        ctx.desired = ws.desired
-        ctx.loss_prone = ws.loss_prone
 
     # ------------------------------------------------------------------ #
     # Phase 4 — admission and drain

@@ -20,7 +20,7 @@ implements one update per simulation step:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -185,6 +185,7 @@ class WindowState:
         oversubscribed: np.ndarray,
         loss_prone: Optional[np.ndarray] = None,
         collect_stats: bool = True,
+        rng_sites: Optional[Sequence[Tuple[slice, np.random.Generator]]] = None,
     ) -> WindowUpdateResult:
         """Apply one step of window dynamics.
 
@@ -219,6 +220,15 @@ class WindowState:
             When False, skip the aggregate counters (``n_decreased``,
             ``n_increased``, ``stalled_fraction``) that only tracing and
             analysis consume; the window dynamics themselves are unchanged.
+        rng_sites:
+            Random-draw ownership as ``(slice, generator)`` pairs covering
+            disjoint connection ranges.  The batched kernel passes one site
+            per batch member so each member consumes draws from *its own*
+            transport stream exactly as it would alone; the default single
+            site over all connections reproduces the scalar behaviour
+            bit-for-bit.  A site only draws when at least one of its
+            connections is a hazard candidate (resp. collapses), mirroring
+            the scalar short-circuit.
         """
         t = self.transport
         requested = np.asarray(requested, dtype=np.float64)
@@ -299,9 +309,15 @@ class WindowState:
         np.logical_not(timed_out, out=mask_c)
         np.logical_and(mask_a, self.paced, out=mask_d)
         np.logical_and(mask_d, mask_c, out=mask_d)  # hazard candidates
-        if mask_d.any() and t.paced_timeout_hazard > 0.0:
+        if rng_sites is None:
+            rng_sites = ((slice(None), self._rng),)
+        if t.paced_timeout_hazard > 0.0 and mask_d.any():
             p_step = 1.0 - (1.0 - t.paced_timeout_hazard) ** (dt / t.rto)
-            self._rng.random(out=self._draws)
+            for site, rng in rng_sites:
+                if mask_d[site].any():
+                    rng.random(out=self._draws[site])
+            # Sites without candidates keep stale draws; the AND with
+            # mask_d below discards them, so only drawn sites matter.
             np.less(self._draws, p_step, out=mask_c)
             np.logical_and(mask_d, mask_c, out=mask_c)
             np.logical_or(timed_out, mask_c, out=timed_out)
@@ -313,7 +329,20 @@ class WindowState:
             backoff = np.minimum(self.backoff[idx], t.max_backoff_exponent)
             # Randomize the retry instant a little to avoid artificial
             # lock-step retries among simultaneously collapsed connections.
-            jitter = self._rng.uniform(0.5, 1.5, size=idx.shape[0])
+            # Each site jitters its own collapsed connections (idx is
+            # ascending, so a site's share is one contiguous run).
+            jitter = np.empty(idx.shape[0], dtype=np.float64)
+            for site, rng in rng_sites:
+                a = (
+                    0 if site.start is None
+                    else int(np.searchsorted(idx, site.start, side="left"))
+                )
+                b = (
+                    idx.shape[0] if site.stop is None
+                    else int(np.searchsorted(idx, site.stop, side="left"))
+                )
+                if b > a:
+                    jitter[a:b] = rng.uniform(0.5, 1.5, size=b - a)
             self.stall_until[idx] = now + t.rto * (2.0**backoff) * jitter
             self.backoff[idx] = backoff + 1
             self.starved_time[idx] = 0.0

@@ -342,7 +342,11 @@ class ServerBuffers:
         self.conn_bytes -= drained_per_conn
         # Snap tiny residues to zero so fragments complete crisply.
         self.conn_bytes[self.conn_bytes < 1e-6] = 0.0
-        self.fill = np.bincount(self.conn_server, weights=self.conn_bytes, minlength=self.n_servers)
+        # In-place so views of fill (the batched kernel re-points members at
+        # slices of one flat array) stay live across steps.
+        self.fill[:] = np.bincount(
+            self.conn_server, weights=self.conn_bytes, minlength=self.n_servers
+        )
         self.total_drained += drained_per_server
         return drained_per_server, drained_per_conn
 

@@ -19,6 +19,7 @@ from repro.obs.schema import validate_telemetry_document
 __all__ = [
     "TELEMETRY_DOCUMENT_NAME",
     "TELEMETRY_EVENTS_NAME",
+    "batch_stats",
     "load_run_telemetry",
     "summarize_document",
     "diff_documents",
@@ -102,6 +103,36 @@ def phase_timing(document: Dict[str, Any]) -> List[Tuple[str, float, float]]:
     return rows
 
 
+def batch_stats(document: Dict[str, Any]) -> Dict[str, float]:
+    """Batched-kernel routing figures: how much of the campaign ran batched.
+
+    ``batched_share`` is the fraction of executed (non-cached) simulations
+    that advanced inside a lockstep bucket rather than scalar; ``occupancy``
+    figures describe the bucket widths (from the ``batch.occupancy``
+    histogram).
+    """
+    counters = document.get("counters", {})
+    histogram = document.get("histograms", {}).get("batch.occupancy", {})
+    buckets = float(counters.get("batch.buckets", 0))
+    member_runs = float(counters.get("batch.member_runs", 0))
+    fallbacks = float(counters.get("batch.ragged_fallbacks", 0))
+    executed = float(counters.get("executor.tasks.completed", 0))
+    routed = member_runs + fallbacks
+    return {
+        "buckets": buckets,
+        "member_runs": member_runs,
+        "fallbacks": fallbacks,
+        "batched_share": member_runs / executed if executed > 0 else (
+            member_runs / routed if routed > 0 else 0.0
+        ),
+        "mean_occupancy": (
+            float(histogram.get("sum", 0)) / float(histogram["count"])
+            if histogram.get("count") else 0.0
+        ),
+        "max_occupancy": float(histogram.get("max", 0.0)),
+    }
+
+
 def cache_stats(document: Dict[str, Any]) -> Dict[str, float]:
     """Cache probe/hit/miss/store counters plus the derived hit rate."""
     counters = document.get("counters", {})
@@ -148,6 +179,22 @@ def summarize_document(
         f"-> utilization {ex['utilization']:.1%} "
         f"(max queue wait {ex['max_queue_wait_s']:.3f}s)"
     )
+
+    batch = batch_stats(document)
+    lines.append("batching")
+    if batch["buckets"] > 0:
+        lines.append(
+            f"  {batch['member_runs']:.0f} simulations in "
+            f"{batch['buckets']:.0f} lockstep buckets "
+            f"({batch['batched_share']:.1%} of executed tasks batched), "
+            f"{batch['fallbacks']:.0f} scalar fallbacks"
+        )
+        lines.append(
+            f"  occupancy mean {batch['mean_occupancy']:.1f} "
+            f"max {batch['max_occupancy']:.0f} scenarios/bucket"
+        )
+    else:
+        lines.append("  no batched simulation recorded")
 
     cache = cache_stats(document)
     lines.append("cache")

@@ -25,22 +25,28 @@ from __future__ import annotations
 
 import platform
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.errors import PerfError
 from repro.perf.counters import StepProfiler
+from repro.perf.schema import BENCH_SCHEMA_V2
 from repro.perf.timing import best_of_ns
 
 __all__ = [
     "BENCH_SCHEMA_ID",
     "BenchScenario",
     "CANONICAL_SCENARIOS",
+    "DEFAULT_BATCH_SIZES",
     "REFERENCE_BASELINE",
     "run_perf",
     "scenarios_for_scale",
 ]
 
-BENCH_SCHEMA_ID = "repro-io/bench-stepper/v1"
+BENCH_SCHEMA_ID = BENCH_SCHEMA_V2
+
+#: Batch widths measured when ``repro-io perf`` runs with ``--batch`` and no
+#: explicit sizes: the committed batched throughput curve.
+DEFAULT_BATCH_SIZES: Tuple[int, ...] = (1, 8, 32, 128)
 
 #: Steps measured per repeat of an ``active`` scenario — comfortably below
 #: the ~220 steps the reduced contended scenario needs to complete, so the
@@ -151,6 +157,58 @@ def _measure_e2e(spec: BenchScenario, repeats: int) -> Dict[str, object]:
     }
 
 
+def _build_started_batch(batch_size: int):
+    """A :class:`~repro.model.batch.BatchSimulator` of ``batch_size`` copies
+    of the canonical tiny scenario, every member's applications started."""
+    from repro.config.presets import make_scenario
+    from repro.model.batch import BatchSimulator
+
+    scenarios = [
+        make_scenario("tiny", device="hdd", sync_mode="sync-on")
+        for _ in range(batch_size)
+    ]
+    batch = BatchSimulator(scenarios)
+    for member in batch.members:
+        for index in range(len(member.sim.state.applications)):
+            member.sim.stepper.start_application(member.engine, index)
+    return batch
+
+
+def _measure_batched(batch_size: int, repeats: int) -> Dict[str, object]:
+    """Lockstep-kernel throughput at one batch width.
+
+    Mirrors :func:`_measure_active` — same scenario, same step count, no
+    engine in the loop — but advances ``batch_size`` members per
+    :meth:`~repro.model.batch.BatchedStepper.step_batch` call.
+    ``steps_per_sec`` is aggregate member-steps per second
+    (``ACTIVE_STEPS * batch_size / wall``), directly comparable to the
+    scalar ``active/tiny-hdd-sync-on`` number.
+    """
+
+    def setup():
+        return _build_started_batch(batch_size)
+
+    def run(batch):
+        dt = batch.dt
+        stepper = batch.stepper
+        now = 0.0
+        for _ in range(ACTIVE_STEPS):
+            stepper.step_batch(now, dt)
+            now += dt
+            for member in batch.members:
+                member.engine._now = now  # manual advance, as in _measure_active
+
+    best_ns, _ = best_of_ns(run, repeats=repeats, setup=setup)
+    return {
+        "scale": "tiny",
+        "kind": "batched",
+        "batch": int(batch_size),
+        "n_steps": ACTIVE_STEPS,
+        "best_ns": int(best_ns),
+        "steps_per_sec": ACTIVE_STEPS * batch_size / (best_ns / 1e9),
+    }
+
+
 def _profile_phases(spec: BenchScenario) -> Dict[str, Dict[str, float]]:
     """One instrumented (untimed) pass collecting per-phase counters."""
     runner, engine = _build_started(spec)
@@ -169,8 +227,13 @@ def run_perf(
     repeats: int = 5,
     profile: bool = False,
     reference: Optional[Dict[str, object]] = None,
+    batch_sizes: Optional[Sequence[int]] = None,
 ) -> Dict[str, object]:
     """Measure the canonical scenario set; return the bench document.
+
+    ``batch_sizes`` adds one ``batched/tiny-hdd-sync-on@b{B}`` entry per
+    width: the lockstep kernel advancing ``B`` copies of the tiny scenario
+    per step (always measured at tiny scale, whatever ``scale`` is).
 
     The document validates against :func:`repro.perf.schema.validate_bench_document`
     and is what ``repro-io perf`` writes to ``BENCH_stepper.json``.
@@ -185,6 +248,11 @@ def run_perf(
             scenarios[spec.key] = _measure_active(spec, repeats)
         else:
             scenarios[spec.key] = _measure_e2e(spec, repeats)
+    for batch_size in batch_sizes or ():
+        if batch_size < 1:
+            raise PerfError(f"batch sizes must be >= 1, got {batch_size}")
+        key = f"batched/tiny-hdd-sync-on@b{int(batch_size)}"
+        scenarios[key] = _measure_batched(int(batch_size), repeats)
 
     speedup: Dict[str, float] = {}
     ref_scenarios = reference.get("scenarios", {}) if reference else {}

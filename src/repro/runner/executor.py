@@ -382,6 +382,9 @@ def execute_cached(
     key_material_for: Optional[Callable[[TaskSpec], Dict[str, Any]]] = None,
     progress: Optional[Callable[[TaskSpec, Dict[str, Any], bool], None]] = None,
     task_records: Optional[Dict[str, Dict[str, Any]]] = None,
+    batch_runner: Optional[
+        Callable[[List[TaskSpec]], Optional[Dict[str, Dict[str, Any]]]]
+    ] = None,
 ) -> Dict[str, Dict[str, Any]]:
     """Run tasks through the executor, served from / stored into a cache.
 
@@ -414,6 +417,14 @@ def execute_cached(
         ``{task_id: {"origin": "cache"|"computed", "wall_time_s",
         "queue_wait_s", "fingerprint"?}}`` — the material for the
         manifest's task table and the cache-efficiency report.
+    batch_runner:
+        Optional bulk path for cache misses, tried before the pool.  Called
+        once with the full miss list; returns ``{task_id: payload}`` for
+        whatever subset it chose to run together (``None`` or ``{}`` to
+        decline).  Handled tasks skip the pool but flow through the same
+        caching/progress/provenance path as pool completions; the runner is
+        responsible for stamping its own timing into ``task_records``.
+        Unhandled tasks fall through to the pool unchanged.
     """
     if cache is not None and fingerprint_for is None:
         raise ExperimentError("execute_cached needs fingerprint_for with a cache")
@@ -464,6 +475,19 @@ def execute_cached(
                 record["fingerprint"] = fingerprints[task.task_id]
         if progress is not None:
             progress(task, payload, False)
+
+    if pending and batch_runner is not None:
+        batched = batch_runner(list(pending)) or {}
+        if batched:
+            still_pending = []
+            for task in pending:
+                if task.task_id in batched:
+                    if telemetry.enabled:
+                        telemetry.count("executor.tasks.completed")
+                    on_done(task, batched[task.task_id])
+                else:
+                    still_pending.append(task)
+            pending = still_pending
 
     if pending:
         ParallelExecutor(jobs=jobs).map(

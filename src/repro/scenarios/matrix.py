@@ -40,6 +40,7 @@ __all__ = [
     "run_interference_matrix",
     "run_matrix_alone_task",
     "run_matrix_pair_task",
+    "run_matrix_tasks_batched",
     "matrix_fingerprint",
     "store_matrix",
 ]
@@ -336,19 +337,8 @@ def _build_from_payload(payload: Dict[str, Any]) -> BuiltScenario:
     )
 
 
-def run_matrix_alone_task(payload: Dict[str, Any], seed: Optional[int]) -> Dict[str, Any]:
-    """Simulate one spec alone; returns its baseline phase time.
-
-    Payload keys: ``specs`` (a one-element list of serialized
-    :class:`~repro.scenarios.spec.ScenarioSpec`), ``scale``, ``options``,
-    ``stepping``.  ``seed`` is unused — matrix runs keep the scenario's
-    deterministic seed so alone and pair runs share random streams (the
-    common-random-numbers convention of the Δ-graph).
-    """
-    from repro.model.simulator import simulate_scenario
-
-    built = _build_from_payload(payload)
-    result = simulate_scenario(built.scenario)
+def _alone_payload_from_result(built: BuiltScenario, result) -> Dict[str, Any]:
+    """The transported payload of one alone run (shared by both kernels)."""
     return {
         "phase_time": float(_phase_time(result, built.groups[0])),
         "simulated_time": float(result.simulated_time),
@@ -357,16 +347,8 @@ def run_matrix_alone_task(payload: Dict[str, Any], seed: Optional[int]) -> Dict[
     }
 
 
-def run_matrix_pair_task(payload: Dict[str, Any], seed: Optional[int]) -> Dict[str, Any]:
-    """Simulate one unordered pair on a shared deployment.
-
-    Payload is the two-spec analogue of :func:`run_matrix_alone_task`.
-    Returns per-slot phase times plus the root-cause attribution of the run.
-    """
-    from repro.model.simulator import simulate_scenario
-
-    built = _build_from_payload(payload)
-    result = simulate_scenario(built.scenario)
+def _pair_payload_from_result(built: BuiltScenario, result) -> Dict[str, Any]:
+    """The transported payload of one pair run (shared by both kernels)."""
     apps = list(result.applications.values())
     makespan = max(a.end_time for a in apps) - min(a.start_time for a in apps)
     root_cause, scores = attribute_pair(result)
@@ -380,6 +362,109 @@ def run_matrix_pair_task(payload: Dict[str, Any], seed: Optional[int]) -> Dict[s
         "root_cause": root_cause,
         "root_cause_scores": {k: float(v) for k, v in sorted(scores.items())},
     }
+
+
+#: Task kind -> payload extraction from the finished RunResult.  Shared by
+#: the scalar workers below and the batched route, so the two paths cannot
+#: drift apart in what they transport.
+_PAYLOAD_EXTRACTORS: Dict[str, Callable[[BuiltScenario, Any], Dict[str, Any]]] = {
+    "matrix-alone": _alone_payload_from_result,
+    "matrix-pair": _pair_payload_from_result,
+}
+
+
+def run_matrix_alone_task(payload: Dict[str, Any], seed: Optional[int]) -> Dict[str, Any]:
+    """Simulate one spec alone; returns its baseline phase time.
+
+    Payload keys: ``specs`` (a one-element list of serialized
+    :class:`~repro.scenarios.spec.ScenarioSpec`), ``scale``, ``options``,
+    ``stepping``.  ``seed`` is unused — matrix runs keep the scenario's
+    deterministic seed so alone and pair runs share random streams (the
+    common-random-numbers convention of the Δ-graph).
+    """
+    from repro.model.simulator import simulate_scenario
+
+    built = _build_from_payload(payload)
+    result = simulate_scenario(built.scenario)
+    return _alone_payload_from_result(built, result)
+
+
+def run_matrix_pair_task(payload: Dict[str, Any], seed: Optional[int]) -> Dict[str, Any]:
+    """Simulate one unordered pair on a shared deployment.
+
+    Payload is the two-spec analogue of :func:`run_matrix_alone_task`.
+    Returns per-slot phase times plus the root-cause attribution of the run.
+    """
+    from repro.model.simulator import simulate_scenario
+
+    built = _build_from_payload(payload)
+    result = simulate_scenario(built.scenario)
+    return _pair_payload_from_result(built, result)
+
+
+def run_matrix_tasks_batched(
+    pending: Sequence[TaskSpec],
+    task_records: Optional[Dict[str, Dict[str, Any]]] = None,
+) -> Dict[str, Dict[str, Any]]:
+    """Bulk route for matrix cache misses: same-shape tasks step in lockstep.
+
+    Builds every pending task's scenario, groups same-shape ones with
+    :func:`repro.model.batch.plan_buckets`, and advances each group through
+    one batched kernel via :func:`repro.model.batch.run_bucket`.  Returns
+    payloads for the bucketed tasks only — ragged, adaptive, and singleton
+    tasks are *not* claimed, so they fall through to the executor's scalar
+    path unchanged.  The batched kernel is bitwise-equivalent to the scalar
+    one and payload extraction is shared, so both routes transport identical
+    payloads (and therefore identical cache entries).
+
+    Per handled task this emits the same ``task``-category span the scalar
+    route would, tagged ``batched`` with the bucket width, and stamps
+    ``task_records`` with the bucket's wall time.
+    """
+    import time
+
+    from repro.model.batch import count_fallback, plan_buckets, run_bucket
+
+    supported = [t for t in pending if t.kind in _PAYLOAD_EXTRACTORS]
+    if len(supported) < 2:
+        return {}
+    built = [_build_from_payload(t.payload) for t in supported]
+    buckets, fallback = plan_buckets([b.scenario for b in built])
+    telemetry = get_telemetry()
+    handled: Dict[str, Dict[str, Any]] = {}
+    for bucket in buckets:
+        started = time.time()
+        t0 = time.perf_counter()
+        results = run_bucket(
+            [built[i].scenario for i in bucket.indices], bucket.shape
+        )
+        wall = time.perf_counter() - t0
+        for i, result in zip(bucket.indices, results):
+            task = supported[i]
+            extract = _PAYLOAD_EXTRACTORS[task.kind]
+            handled[task.task_id] = extract(built[i], result)
+            if telemetry.enabled:
+                telemetry.add_span(
+                    task.task_id,
+                    "task",
+                    (started - telemetry.epoch) * 1e6,
+                    wall * 1e6,
+                    track="tasks",
+                    args={
+                        "kind": task.kind,
+                        "batched": True,
+                        "batch": len(bucket.indices),
+                    },
+                )
+            if task_records is not None:
+                task_records[task.task_id] = {
+                    "wall_time_s": wall,
+                    "queue_wait_s": 0.0,
+                    "batched": True,
+                }
+    for _, reason in fallback:
+        count_fallback(reason)
+    return handled
 
 
 # --------------------------------------------------------------------------- #
@@ -410,6 +495,7 @@ def run_interference_matrix(
     cache_dir: Optional[str] = None,
     stepping: Optional[SteppingPolicy] = None,
     progress: Optional[Callable[[str, bool], None]] = None,
+    batch: bool = True,
     **options: Any,
 ) -> InterferenceMatrix:
     """Run the all-pairs interference campaign over the given archetypes.
@@ -426,6 +512,12 @@ def run_interference_matrix(
     jobs:
         Worker processes for the executor (alone and pair runs are
         independent tasks).
+    batch:
+        Route same-shape cache misses through the batched lockstep kernel
+        (:mod:`repro.model.batch`) instead of one simulation per task.
+        Serial-mode only — with ``jobs > 1`` the pool already provides the
+        parallelism and tasks run scalar.  Results are bitwise identical
+        either way; disable to A/B against the scalar path.
     cache_dir:
         When given, every task is served from / stored into the
         content-addressed cache — a repeated matrix is a 100% cache hit.
@@ -517,6 +609,12 @@ def run_interference_matrix(
     task_records: Optional[Dict[str, Dict[str, Any]]] = (
         {} if telemetry.enabled else None
     )
+
+    batch_runner = None
+    if batch and jobs == 1:
+        def batch_runner(pending):
+            return run_matrix_tasks_batched(pending, task_records)
+
     with telemetry.span(
         f"matrix:{scale}",
         category="campaign",
@@ -532,6 +630,7 @@ def run_interference_matrix(
             key_material_for=key_material_for,
             progress=on_result,
             task_records=task_records,
+            batch_runner=batch_runner,
         )
 
     alone = {

@@ -69,6 +69,31 @@ class TestDerivedStats:
     def test_cache_hit_rate_without_probes(self):
         assert cache_stats(Telemetry().to_document())["hit_rate"] == 0.0
 
+    def test_batch_stats(self):
+        from repro.obs.summary import batch_stats
+
+        t = Telemetry(label="batched")
+        t.count("batch.buckets", 2)
+        t.count("batch.member_runs", 12)
+        t.count("batch.ragged_fallbacks", 2)
+        t.count("executor.tasks.completed", 14)
+        t.observe("batch.occupancy", 8.0)
+        t.observe("batch.occupancy", 4.0)
+        stats = batch_stats(t.to_document())
+        assert stats["buckets"] == 2.0
+        assert stats["member_runs"] == 12.0
+        assert stats["fallbacks"] == 2.0
+        assert stats["batched_share"] == pytest.approx(12 / 14)
+        assert stats["mean_occupancy"] == pytest.approx(6.0)
+        assert stats["max_occupancy"] == 8.0
+
+    def test_batch_stats_without_batching(self):
+        from repro.obs.summary import batch_stats
+
+        stats = batch_stats(Telemetry().to_document())
+        assert stats["buckets"] == 0.0
+        assert stats["batched_share"] == 0.0
+
 
 class TestSummarizeDocument:
     def test_report_sections(self):
@@ -83,6 +108,22 @@ class TestSummarizeDocument:
         report = summarize_document(Telemetry().to_document())
         assert "no cache activity recorded" in report
         assert "no step-phase timing recorded" in report
+        assert "no batched simulation recorded" in report
+
+    def test_batching_section_reports_share(self):
+        t = Telemetry(label="batched")
+        t.count("batch.buckets", 3)
+        t.count("batch.member_runs", 13)
+        t.count("batch.ragged_fallbacks", 1)
+        t.count("executor.tasks.completed", 14)
+        t.observe("batch.occupancy", 7.0)
+        t.observe("batch.occupancy", 4.0)
+        t.observe("batch.occupancy", 2.0)
+        report = summarize_document(t.to_document())
+        assert "13 simulations in 3 lockstep buckets" in report
+        assert "92.9% of executed tasks batched" in report
+        assert "1 scalar fallbacks" in report
+        assert "occupancy mean 4.3 max 7 scenarios/bucket" in report
 
 
 class TestDiffDocuments:

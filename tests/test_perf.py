@@ -150,12 +150,88 @@ class TestCompare:
             check_regression(self.document(1.0), self.document(1.0), min_ratio=0.0)
 
 
+class TestSchemaV2:
+    """Batched entries: the v2 additions to the bench document."""
+
+    def batched_document(self):
+        return {
+            "schema": "repro-io/bench-stepper/v2",
+            "python": "3.11.7",
+            "scale": "tiny",
+            "repeats": 3,
+            "scenarios": {
+                "active/x": {
+                    "scale": "tiny", "kind": "active", "n_steps": 10,
+                    "best_ns": 1000, "steps_per_sec": 100.0,
+                },
+                "batched/x@b8": {
+                    "scale": "tiny", "kind": "batched", "batch": 8,
+                    "n_steps": 10, "best_ns": 1000, "steps_per_sec": 400.0,
+                },
+            },
+        }
+
+    def test_valid_v2_document_passes(self):
+        validate_bench_document(self.batched_document())
+
+    def test_explicit_schema_id_pins_the_version(self):
+        document = self.batched_document()
+        validate_bench_document(document, "repro-io/bench-stepper/v2")
+        with pytest.raises(PerfError, match=r"\$\.schema"):
+            validate_bench_document(document, "repro-io/bench-stepper/v1")
+
+    def test_batched_kind_is_not_valid_v1(self):
+        document = self.batched_document()
+        document["schema"] = "repro-io/bench-stepper/v1"
+        with pytest.raises(PerfError, match=r"\.kind"):
+            validate_bench_document(document)
+
+    def test_batched_entry_requires_batch_width(self):
+        document = self.batched_document()
+        del document["scenarios"]["batched/x@b8"]["batch"]
+        with pytest.raises(PerfError, match=r"\.batch"):
+            validate_bench_document(document)
+
+    def test_unknown_schema_version_rejected(self):
+        document = self.batched_document()
+        document["schema"] = "repro-io/bench-stepper/v9"
+        with pytest.raises(PerfError, match=r"\$\.schema"):
+            validate_bench_document(document)
+
+
+class TestBatchedHarness:
+    def test_run_perf_with_batch_sizes(self):
+        document = run_perf(scale="tiny", repeats=1, batch_sizes=[1, 2])
+        validate_bench_document(document)
+        for batch in (1, 2):
+            entry = document["scenarios"][f"batched/tiny-hdd-sync-on@b{batch}"]
+            assert entry["kind"] == "batched"
+            assert entry["batch"] == batch
+            assert entry["steps_per_sec"] > 0
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(PerfError):
+            run_perf(scale="tiny", repeats=1, batch_sizes=[0])
+
+    def test_cli_parses_repeated_batch_flag(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["perf", "--batch", "8", "--batch", "32"])
+        assert args.batch == [8, 32]
+        assert build_parser().parse_args(["perf"]).batch is None
+
+    def test_cli_rejects_bad_batch(self):
+        with pytest.raises(SystemExit) as err:
+            main(["perf", "--batch", "0"])
+        assert err.value.code == 2
+
+
 class TestCommittedBaseline:
     """The committed BENCH_stepper.json is the perf trajectory's anchor."""
 
     def test_committed_document_is_schema_valid(self):
         document = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
-        validate_bench_document(document)
+        validate_bench_document(document, "repro-io/bench-stepper/v2")
 
     def test_committed_document_records_the_kernel_speedup(self):
         """The tentpole claim: >= 1.8x steps/sec on the canonical
@@ -167,6 +243,24 @@ class TestCommittedBaseline:
         document = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
         for spec in scenarios_for_scale("tiny"):
             assert spec.key in document["scenarios"]
+
+    def test_committed_batched_curve(self):
+        """The batched-kernel claim: the committed curve covers
+        B in {1, 8, 32, 128} and B=32 delivers >= 2x per-scenario
+        throughput over the scalar active-phase kernel."""
+        from repro.perf.harness import DEFAULT_BATCH_SIZES
+
+        document = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+        scalar = float(
+            document["scenarios"]["active/tiny-hdd-sync-on"]["steps_per_sec"]
+        )
+        for batch in DEFAULT_BATCH_SIZES:
+            entry = document["scenarios"][f"batched/tiny-hdd-sync-on@b{batch}"]
+            assert entry["batch"] == batch
+        b32 = float(
+            document["scenarios"]["batched/tiny-hdd-sync-on@b32"]["steps_per_sec"]
+        )
+        assert b32 >= 2.0 * scalar
 
 
 class TestPerfCli:

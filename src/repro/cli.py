@@ -458,20 +458,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     matrix_parser.add_argument(
         "--no-batch", action="store_true",
-        help="disable the batched lockstep kernel for same-shape tasks and "
+        help="disable the batched lockstep kernel for same-cadence tasks and "
              "run every simulation scalar (results are bitwise identical "
-             "either way; batching applies with --jobs 1 only)",
+             "either way; with --jobs N each planned bucket is one pool "
+             "work unit, so batching and workers compose)",
     )
     _add_stepping_arguments(matrix_parser)
 
     perf_parser = sub.add_parser(
         "perf",
-        help="measure stepping-kernel throughput and write BENCH_stepper.json",
+        help="measure stepping-kernel or campaign throughput and write the "
+             "schema'd bench document (BENCH_stepper.json / "
+             "BENCH_campaign.json)",
+    )
+    perf_parser.add_argument(
+        "--campaign", action="store_true",
+        help="measure the campaign grid instead of the stepper scenarios: "
+             "cold+warm matrix wall over jobs x batch cells plus the "
+             "batched-kernel curve; writes/gates BENCH_campaign.json",
+    )
+    perf_parser.add_argument(
+        "--explain-buckets", action="store_true",
+        help="print the bucket plan of the matrix over --archetypes "
+             "(bucket widths, cadences, padded group-width sets, per-task "
+             "fallback reasons) and exit without measuring",
+    )
+    perf_parser.add_argument(
+        "--archetypes", type=_archetype_list, default=None,
+        metavar="NAME,NAME[,...]",
+        help="archetype set for --campaign / --explain-buckets (default: "
+             "checkpoint,analytics,smallfile,incast)",
     )
     perf_parser.add_argument(
         "--scale", default="reduced", choices=["tiny", "reduced"],
         help="canonical scenario set to measure: 'tiny' (the CI smoke set) "
-             "or 'reduced' (the full set, default)",
+             "or 'reduced' (the full set, default; --campaign always runs "
+             "its matrix at tiny)",
     )
     perf_parser.add_argument(
         "--repeats", type=_repeat_count, default=5, metavar="N",
@@ -479,9 +501,9 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: 5)",
     )
     perf_parser.add_argument(
-        "--output", metavar="PATH", default="BENCH_stepper.json",
-        help="write the schema'd bench document here "
-             "(default: BENCH_stepper.json)",
+        "--output", metavar="PATH", default=None,
+        help="write the schema'd bench document here (default: "
+             "BENCH_campaign.json with --campaign, else BENCH_stepper.json)",
     )
     perf_parser.add_argument(
         "--no-output", action="store_true",
@@ -505,9 +527,9 @@ def build_parser() -> argparse.ArgumentParser:
              "non-zero on a regression",
     )
     perf_parser.add_argument(
-        "--baseline", metavar="PATH", default="BENCH_stepper.json",
-        help="committed baseline document for --check "
-             "(default: BENCH_stepper.json)",
+        "--baseline", metavar="PATH", default=None,
+        help="committed baseline document for --check (default: "
+             "BENCH_campaign.json with --campaign, else BENCH_stepper.json)",
     )
     perf_parser.add_argument(
         "--min-ratio", type=_min_ratio, default=0.7, metavar="FRAC",
@@ -556,6 +578,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_diff.add_argument("run_dir_a", metavar="RUN_DIR_A")
     obs_diff.add_argument("run_dir_b", metavar="RUN_DIR_B")
+
+    cache_parser = sub.add_parser(
+        "cache",
+        help="maintain a content-addressed result cache (layout migration)",
+    )
+    cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
+    cache_migrate = cache_sub.add_parser(
+        "migrate",
+        help="move legacy flat-layout entries into the sharded "
+             "objects/<aa>/ layout (idempotent; also sweeps stale *.tmp "
+             "writer debris)",
+    )
+    cache_migrate.add_argument(
+        "--cache-dir", metavar="DIR", default=DEFAULT_CACHE_DIR,
+        help=f"cache root to migrate in place (default: {DEFAULT_CACHE_DIR})",
+    )
 
     return parser
 
@@ -803,6 +841,21 @@ def _command_perf(args: argparse.Namespace) -> int:
     from repro.perf.compare import format_summary
 
     log = get_logger()
+
+    if args.explain_buckets:
+        from repro.perf.campaign import DEFAULT_CAMPAIGN_ARCHETYPES
+        from repro.scenarios.matrix import explain_matrix_buckets
+
+        archetypes = args.archetypes or list(DEFAULT_CAMPAIGN_ARCHETYPES)
+        print(explain_matrix_buckets(archetypes, args.scale))
+        return 0
+
+    if args.campaign:
+        return _perf_campaign(args, log)
+
+    # The stepper bench: resolve the mode-dependent default paths.
+    output = args.output or "BENCH_stepper.json"
+    baseline_path = args.baseline or "BENCH_stepper.json"
     if args.max_overhead is not None and not args.check:
         log.error("perf_usage", error="--max-overhead requires --check")
         return 2
@@ -814,11 +867,11 @@ def _command_perf(args: argparse.Namespace) -> int:
     baseline = None
     if args.check:
         try:
-            with open(args.baseline, "r", encoding="utf-8") as handle:
+            with open(baseline_path, "r", encoding="utf-8") as handle:
                 baseline = json.load(handle)
             validate_bench_document(baseline)
         except FileNotFoundError:
-            log.error("perf_fail", error=f"baseline {args.baseline} not found")
+            log.error("perf_fail", error=f"baseline {baseline_path} not found")
             return 1
         except (PerfError, json.JSONDecodeError) as exc:
             log.error("perf_fail", error=str(exc))
@@ -832,17 +885,17 @@ def _command_perf(args: argparse.Namespace) -> int:
     text = json.dumps(document, indent=2, sort_keys=True) + "\n"
     if args.no_output:
         print(text, end="")
-    elif args.check and os.path.realpath(args.output) == os.path.realpath(args.baseline):
+    elif args.check and os.path.realpath(output) == os.path.realpath(baseline_path):
         log.info(
             "perf_skip_write",
-            reason=f"not overwriting the baseline {args.baseline} during a "
+            reason=f"not overwriting the baseline {baseline_path} during a "
                    "--check run; pass a different --output to keep the "
                    "measurement",
         )
     else:
-        with open(args.output, "w", encoding="utf-8") as handle:
+        with open(output, "w", encoding="utf-8") as handle:
             handle.write(text)
-        log.info("perf_written", path=args.output)
+        log.info("perf_written", path=output)
     print(format_summary(document), file=sys.stderr)
 
     if not args.check:
@@ -858,11 +911,106 @@ def _command_perf(args: argparse.Namespace) -> int:
         for failure in failures:
             log.error("perf_regression", detail=failure)
         return 1
-    gate = f"no scenario below {args.min_ratio:.0%} of {args.baseline}"
+    gate = f"no scenario below {args.min_ratio:.0%} of {baseline_path}"
     if args.max_overhead is not None:
         gate += f"; overhead within {args.max_overhead:.1%}"
     log.info("perf_gate", status="green", detail=gate)
     return 0
+
+
+def _perf_campaign(args: argparse.Namespace, log) -> int:
+    """The ``repro-io perf --campaign`` mode: measure, write, optionally gate."""
+    import json
+    import os
+
+    from repro.errors import PerfError
+    from repro.perf.campaign import (
+        DEFAULT_CAMPAIGN_ARCHETYPES,
+        check_campaign_regression,
+        format_campaign_summary,
+        run_campaign_bench,
+        validate_campaign_document,
+    )
+
+    if args.max_overhead is not None:
+        log.error(
+            "perf_usage",
+            error="--max-overhead applies to the stepper bench only",
+        )
+        return 2
+    output = args.output or "BENCH_campaign.json"
+    baseline_path = args.baseline or "BENCH_campaign.json"
+
+    baseline = None
+    if args.check:
+        try:
+            with open(baseline_path, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+            validate_campaign_document(baseline)
+        except FileNotFoundError:
+            log.error("perf_fail", error=f"baseline {baseline_path} not found")
+            return 1
+        except (PerfError, json.JSONDecodeError) as exc:
+            log.error("perf_fail", error=str(exc))
+            return 1
+
+    archetypes = args.archetypes or list(DEFAULT_CAMPAIGN_ARCHETYPES)
+    document = run_campaign_bench(archetypes=archetypes, repeats=args.repeats)
+    validate_campaign_document(document)
+    text = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    if args.no_output:
+        print(text, end="")
+    elif args.check and os.path.realpath(output) == os.path.realpath(baseline_path):
+        log.info(
+            "perf_skip_write",
+            reason=f"not overwriting the baseline {baseline_path} during a "
+                   "--check run; pass a different --output to keep the "
+                   "measurement",
+        )
+    else:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        log.info("perf_written", path=output)
+    print(format_campaign_summary(document), file=sys.stderr)
+
+    if not args.check:
+        return 0
+    try:
+        failures = check_campaign_regression(
+            document, baseline, min_ratio=args.min_ratio
+        )
+    except PerfError as exc:
+        log.error("perf_fail", error=str(exc))
+        return 1
+    if failures:
+        for failure in failures:
+            log.error("perf_regression", detail=failure)
+        return 1
+    log.info(
+        "perf_gate", status="green",
+        detail=f"grid byte-identical, zero ragged fallbacks, no kernel "
+               f"throughput below {args.min_ratio:.0%} of {baseline_path}",
+    )
+    return 0
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    """The ``repro-io cache`` maintenance commands."""
+    from repro.runner.cache import ResultCache
+
+    log = get_logger()
+    if args.cache_command == "migrate":
+        cache = ResultCache(args.cache_dir, tmp_max_age_s=0.0)
+        moved = cache.migrate()
+        log.info(
+            "cache_migrated",
+            cache_dir=args.cache_dir,
+            moved=moved,
+            swept_tmp=cache.swept_tmp,
+            entries=len(cache.entries()),
+        )
+        return 0
+    return 2  # pragma: no cover - argparse enforces the subcommand
 
 
 def _command_verify(args: argparse.Namespace) -> int:
@@ -985,6 +1133,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_perf(args)
     if args.command == "obs":
         return _command_obs(args)
+    if args.command == "cache":
+        return _command_cache(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

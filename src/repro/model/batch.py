@@ -46,12 +46,15 @@ run, including trace samples observing post-step state.
 Bucketing
 ---------
 :func:`plan_buckets` groups scenarios that can share a flat state: same
-resolved step, start time and horizon, same platform/filesystem
-configuration, and a uniform per-server connection group size (the stacked
-admission path).  Ragged deployments, adaptive stepping, and buckets smaller
-than ``min_batch`` fall back to the scalar kernel.  :func:`simulate_many` is
-the front end: it plans, runs each bucket batched, runs the fallbacks
-scalar, and emits ``batch.*`` telemetry.
+resolved step, start time and horizon, and the same platform/filesystem
+configuration.  Connection counts and per-server group sizes are free to
+differ — the admission water-filling pads ragged groups into width classes
+(:class:`~repro.network.incast.ServerBuffers`), so mixed deployments batch
+together and ``batch.padded_slots`` accounts the masked waste.  Only
+adaptive stepping (no fixed lockstep cadence) and buckets smaller than
+``min_batch`` fall back to the scalar kernel.  :func:`simulate_many` is the
+front end: it plans, runs each bucket batched, runs the fallbacks scalar,
+and emits ``batch.*`` telemetry.
 """
 
 from __future__ import annotations
@@ -101,18 +104,18 @@ _BUFFER_SERVER_ARRAYS = ("fill", "total_admitted", "total_drained")
 
 @dataclass(frozen=True)
 class BucketShape:
-    """The deployment shape a batch bucket shares.
+    """The lockstep cadence a batch bucket shares.
 
-    ``group_size`` is the uniform number of connections per server (``None``
-    marks a ragged deployment, which cannot batch).  ``dt`` and ``t0`` pin
-    the lockstep cadence; members with different resolved steps or start
-    anchors cannot share marker events.
+    ``dt`` and ``t0`` pin the cadence; members with different resolved steps
+    or start anchors cannot share marker events.  ``n_servers`` and
+    ``n_client_nodes`` are informational (the platform/filesystem equality
+    check in :func:`_compatible` already pins them); connection counts and
+    per-server group sizes are deliberately absent — ragged and mixed-width
+    members pad into one bucket.
     """
 
-    n_connections: int
     n_servers: int
     n_client_nodes: int
-    group_size: Optional[int]
     dt: float
     t0: float
     max_time: float
@@ -131,23 +134,11 @@ def _shape_of(scenario: ScenarioConfig) -> Optional[BucketShape]:
     control = scenario.control
     if control.resolve_stepping().is_adaptive:
         return None
-    fs = scenario.filesystem
-    per_server = np.zeros(fs.n_servers, dtype=np.int64)
-    n_connections = 0
-    for spec in scenario.applications:
-        servers = np.asarray(scenario.app_servers(spec), dtype=np.int64)
-        n_procs = spec.n_nodes * spec.procs_per_node
-        per_server[servers] += n_procs
-        n_connections += int(n_procs) * int(servers.shape[0])
-    sizes = {int(c) for c in per_server}
-    group_size = sizes.pop() if len(sizes) == 1 and sizes != {0} else None
     dt = control.resolve_step(scenario.estimate_duration())
     t0 = min(0.0, min(app.start_time for app in scenario.applications))
     return BucketShape(
-        n_connections=n_connections,
-        n_servers=fs.n_servers,
+        n_servers=scenario.filesystem.n_servers,
         n_client_nodes=scenario.platform.n_client_nodes,
-        group_size=group_size,
         dt=float(dt),
         t0=float(t0),
         max_time=float(control.max_time),
@@ -174,8 +165,8 @@ def plan_buckets(
 
     Returns ``(buckets, fallback)`` where every input index appears in
     exactly one bucket's ``indices`` or once in ``fallback`` as an
-    ``(index, reason)`` pair with reason one of ``"adaptive"``, ``"ragged"``
-    or ``"singleton"`` (bucket smaller than ``min_batch``).
+    ``(index, reason)`` pair with reason ``"adaptive"`` or ``"singleton"``
+    (bucket smaller than ``min_batch``).
     """
     buckets: List[_Bucket] = []
     fallback: List[Tuple[int, str]] = []
@@ -183,9 +174,6 @@ def plan_buckets(
         shape = _shape_of(scenario)
         if shape is None:
             fallback.append((i, "adaptive"))
-            continue
-        if shape.group_size is None:
-            fallback.append((i, "ragged"))
             continue
         for bucket in buckets:
             if bucket.shape == shape and _compatible(bucket.reference, scenario):
@@ -605,10 +593,6 @@ class BatchSimulator:
         )
         deployment = _BatchedDeployment(members, srv_off)
         state = _BatchedState(members, topology, deployment, conn_server, conn_node)
-        if state.buffers._group_matrix is None:
-            raise SimulationError(
-                "batch members must have uniform per-server connection groups"
-            )
         self.state = state
         self._repoint_members()
         self.stepper = BatchedStepper(state, members)
@@ -747,33 +731,33 @@ def _make_finished_probe(state):
 
 
 def run_bucket(
-    scenarios: Sequence[ScenarioConfig], shape: BucketShape
+    scenarios: Sequence[ScenarioConfig], shape: Optional[BucketShape] = None
 ) -> List[RunResult]:
-    """Run one same-shape group through the batched kernel, with telemetry.
+    """Run one same-cadence group through the batched kernel, with telemetry.
 
     Emits the per-bucket ``simulation``-track span (with synthetic ``phase``
     child spans and ``step.phase.*`` counters from the kernel profiler, like
-    a scalar run), the ``batch.buckets`` / ``batch.member_runs`` counters,
-    and the ``batch.occupancy`` observation — the single place that
-    accounting lives, shared by :func:`simulate_many` and the
-    executor-level batchers.  Observational only: the batch kernel never
-    reads the profiler, so results stay byte-identical with telemetry on
-    or off.
+    a scalar run), the ``batch.buckets`` / ``batch.member_runs`` /
+    ``batch.padded_slots`` / ``batch.group_slots`` counters, and the
+    ``batch.occupancy`` observation — the single place that accounting
+    lives, shared by :func:`simulate_many` and the executor-level batchers.
+    Observational only: the batch kernel never reads the profiler, so
+    results stay byte-identical with telemetry on or off.  ``shape`` is
+    informational (span labelling); pool workers omit it.
     """
     from repro.perf.counters import StepProfiler
 
     telemetry = get_telemetry()
-    label = (
-        f"batch:b{len(scenarios)}"
-        f"x{shape.n_connections}c{shape.n_servers}s"
-    )
+    if shape is None:
+        shape = _shape_of(scenarios[0])
+    n_servers = shape.n_servers if shape is not None else 0
+    label = f"batch:b{len(scenarios)}x{n_servers}s"
     with telemetry.span(
         label,
         category="simulation",
         track="batch",
         members=len(scenarios),
-        n_connections=shape.n_connections,
-        n_servers=shape.n_servers,
+        n_servers=n_servers,
     ) as bucket_span:
         batch = BatchSimulator(scenarios)
         profiler = None
@@ -811,6 +795,8 @@ def run_bucket(
     telemetry.count("batch.buckets")
     telemetry.count("batch.member_runs", len(scenarios))
     telemetry.observe("batch.occupancy", float(len(scenarios)))
+    telemetry.count("batch.padded_slots", batch.state.buffers.padded_slots)
+    telemetry.count("batch.group_slots", batch.state.buffers.group_slots)
     telemetry.count("sim.steps", sum(m.n_steps for m in batch.members))
     return results
 
@@ -829,9 +815,10 @@ def simulate_many(
 
     Results come back in input order and are bitwise identical to running
     each scenario through :func:`~repro.model.simulator.simulate_scenario`
-    alone.  Ragged/adaptive/singleton scenarios take exactly that scalar
-    path.  Emits ``batch.*`` telemetry: one ``simulation``-track span plus an
-    occupancy observation per bucket, and fallback counters.
+    alone.  Adaptive/singleton scenarios take exactly that scalar path;
+    ragged and mixed-width deployments batch (padded width classes).  Emits
+    ``batch.*`` telemetry: one ``simulation``-track span plus an occupancy
+    observation per bucket, and fallback counters.
     """
     scenarios = list(scenarios)
     buckets, fallback = plan_buckets(scenarios, min_batch=min_batch)

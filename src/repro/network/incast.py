@@ -65,18 +65,54 @@ class ServerBuffers:
         self._server_conn_ids = [
             np.flatnonzero(self.conn_server == s) for s in range(self.n_servers)
         ]
-        # When every server hosts the same number of connections (the common
-        # deployment: every application stripes over every server) the groups
-        # stack into one (n_servers, k) index matrix and the admission
-        # water-filling runs as row-wise 2D ops instead of a per-server loop.
-        sizes = {ids.shape[0] for ids in self._server_conn_ids}
-        if len(sizes) == 1 and sizes != {0}:
-            self._group_matrix: Optional[np.ndarray] = np.vstack(self._server_conn_ids)
-            self._group_flat = self._group_matrix.reshape(-1)
-            self._demands_2d = np.empty(self._group_matrix.shape, dtype=np.float64)
+        # The groups stack into one padded (n_servers, K) index matrix, K
+        # being the widest group: short rows are padded by repeating their
+        # last real connection index (the pad slots are gathered but never
+        # read — every reduction slices the row to its true width) and the
+        # admission water-filling runs as row-wise 2D ops per *width class*
+        # instead of a per-server loop.  Slicing each class to its width
+        # preserves NumPy's pairwise-summation tree, so a ragged or batched
+        # deployment admits bit-for-bit what each group would admit alone.
+        widths = np.array(
+            [ids.shape[0] for ids in self._server_conn_ids], dtype=np.int64
+        )
+        self._group_widths = widths
+        max_width = int(widths.max()) if n_conns else 0
+        if max_width > 0:
+            matrix = np.zeros((self.n_servers, max_width), dtype=np.int64)
+            for s, ids in enumerate(self._server_conn_ids):
+                w = ids.shape[0]
+                if w:
+                    matrix[s, :w] = ids
+                    matrix[s, w:] = ids[-1]
+            self._group_matrix: Optional[np.ndarray] = matrix
+            self._group_flat = matrix.reshape(-1)
+            self._demands_2d = np.empty(matrix.shape, dtype=np.float64)
             self._demands_flat = self._demands_2d.reshape(-1)
+            #: (width, row indices, (m, width) connection matrix) per distinct
+            #: nonzero group width, ascending — the units the water-filling
+            #: vectorizes over.
+            self._width_classes = [
+                (w, rows, matrix[rows, :w])
+                for w in sorted({int(x) for x in widths} - {0})
+                for rows in (np.flatnonzero(widths == w),)
+            ]
+            self._uniform_groups = (
+                len(self._width_classes) == 1
+                and self._width_classes[0][0] == max_width
+                and self._width_classes[0][1].shape[0] == self.n_servers
+            )
         else:
             self._group_matrix = None
+            self._width_classes = []
+            self._uniform_groups = False
+        #: Gathered-but-ignored slots of the padded group matrix — the
+        #: padding waste masked batching pays per admission call.
+        self.padded_slots = (
+            int((max_width - widths).sum()) if max_width > 0 else 0
+        )
+        #: Total slots of the padded group matrix (real + padding).
+        self.group_slots = int(self.n_servers * max_width)
         self._weights_all_ones = False
         # Scratch buffers reused by admit()/drain(); holding them here keeps
         # the per-step allocation count flat without changing any result.
@@ -214,13 +250,11 @@ class ServerBuffers:
     ) -> np.ndarray:
         """Deterministic proportional admission, one water-filling per server.
 
-        With equal-sized groups (the common deployment) the water-filling
-        runs vectorized across servers (:meth:`_admit_proportional_stacked`,
-        bit-for-bit equivalent to the scalar reference); ragged deployments
-        fall back to the canonical
-        :func:`~repro.network.allocation.proportional_share` per server on
-        the cached index groups, which select the same connections in the
-        same ascending order as the boolean masks they replace.
+        The water-filling runs vectorized across servers per group-width
+        class (:meth:`_admit_proportional_stacked`), bit-for-bit equivalent
+        to the canonical :func:`~repro.network.allocation.proportional_share`
+        applied per server on the cached index groups — including ragged
+        deployments, where each width class stacks its own rows.
         """
         weights = np.asarray(weights, dtype=np.float64)
         # The stepper passes the same frozen (non-writeable) unit-weight
@@ -238,19 +272,7 @@ class ServerBuffers:
                 self._weights_all_ones = all_ones
         if self._group_matrix is not None:
             return self._admit_proportional_stacked(offered, weights, capacity, all_ones)
-        # Ragged deployments: the canonical scalar water-filling per server,
-        # on the cached index groups (same subsets, in the same order, as the
-        # boolean masks it replaces).
-        from repro.network.allocation import proportional_share
-
-        admitted = np.zeros_like(offered)
-        groups = self._server_conn_ids
-        for s in np.flatnonzero(offered_per_server > 0):
-            idx = groups[s]
-            admitted[idx] = proportional_share(
-                offered[idx], float(capacity[s]), weights=weights[idx]
-            )
-        return admitted
+        return np.zeros_like(offered)  # no connections at all
 
     def _admit_proportional_stacked(
         self,
@@ -261,16 +283,44 @@ class ServerBuffers:
     ) -> np.ndarray:
         """Row-per-server vectorization of the proportional water-filling.
 
-        Works on the ``(n_servers, k)`` gathered demand matrix.  Row-wise
+        Works on the ``(n_servers, K)`` gathered demand matrix, one pass per
+        group-width class over that class's ``[:, :w]`` slice.  Row-wise
         reductions (``sum(axis=1)``) use the same pairwise summation over the
         same contiguous element order as the per-group ``demands.sum()`` of
-        the scalar path, and dead rows (capacity exhausted / all satisfied —
-        the scalar path's early ``break``) are frozen by zeroing their takes,
-        so the result is bit-for-bit the same.
+        the scalar path (slicing to the true width is what keeps the
+        summation tree identical — padded slots never enter a reduction),
+        and dead rows (capacity exhausted / all satisfied — the scalar
+        path's early ``break``) are frozen by zeroing their takes, so the
+        result is bit-for-bit the same.
         """
-        matrix = self._group_matrix
         offered.take(self._group_flat, out=self._demands_flat)
-        demands = self._demands_2d                      # (S, k), reused buffer
+        if self._uniform_groups:
+            # Single full-width class: operate on the reused buffer directly,
+            # no row gather — the common every-app-stripes-everywhere path.
+            alloc = self._water_fill_rows(
+                self._demands_2d, capacity, self._group_matrix, weights, all_ones
+            )
+            admitted = np.zeros_like(offered)
+            admitted[self._group_flat] = alloc.reshape(-1)
+            return admitted
+        admitted = np.zeros_like(offered)
+        for w, rows, class_matrix in self._width_classes:
+            demands = self._demands_2d[rows, :w]        # (m, w), rows contiguous
+            alloc = self._water_fill_rows(
+                demands, capacity[rows], class_matrix, weights, all_ones
+            )
+            admitted[class_matrix.reshape(-1)] = alloc.reshape(-1)
+        return admitted
+
+    @staticmethod
+    def _water_fill_rows(
+        demands: np.ndarray,
+        capacity: np.ndarray,
+        matrix: np.ndarray,
+        weights: np.ndarray,
+        all_ones: bool,
+    ) -> np.ndarray:
+        """The stacked water-filling kernel for one ``(m, w)`` row block."""
         total = demands.sum(axis=1)
         has_room = capacity > 0
         fits = has_room & (total <= capacity)
@@ -309,9 +359,7 @@ class ServerBuffers:
                 alloc = row_alloc
             else:
                 alloc[over] = row_alloc
-        admitted = np.zeros_like(offered)
-        admitted[self._group_flat] = alloc.reshape(-1)
-        return admitted
+        return alloc
 
     # ------------------------------------------------------------------ #
     # Drain

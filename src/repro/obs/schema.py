@@ -21,7 +21,7 @@ __all__ = [
     "validate_events_jsonl",
 ]
 
-_SPAN_CATEGORIES = ("campaign", "task", "simulation", "phase")
+_SPAN_CATEGORIES = ("campaign", "task", "bucket", "simulation", "phase")
 
 
 def _require(condition: bool, path: str, message: str) -> None:

@@ -117,11 +117,16 @@ def batch_stats(document: Dict[str, Any]) -> Dict[str, float]:
     member_runs = float(counters.get("batch.member_runs", 0))
     fallbacks = float(counters.get("batch.ragged_fallbacks", 0))
     executed = float(counters.get("executor.tasks.completed", 0))
+    padded = float(counters.get("batch.padded_slots", 0))
+    slots = float(counters.get("batch.group_slots", 0))
     routed = member_runs + fallbacks
     return {
         "buckets": buckets,
         "member_runs": member_runs,
         "fallbacks": fallbacks,
+        "padded_slots": padded,
+        "group_slots": slots,
+        "padded_waste": padded / slots if slots > 0 else 0.0,
         "batched_share": member_runs / executed if executed > 0 else (
             member_runs / routed if routed > 0 else 0.0
         ),
@@ -192,6 +197,10 @@ def summarize_document(
         lines.append(
             f"  occupancy mean {batch['mean_occupancy']:.1f} "
             f"max {batch['max_occupancy']:.0f} scenarios/bucket"
+        )
+        lines.append(
+            f"  padding {batch['padded_slots']:.0f}/{batch['group_slots']:.0f} "
+            f"admission slots masked ({batch['padded_waste']:.1%} waste)"
         )
     else:
         lines.append("  no batched simulation recorded")

@@ -32,7 +32,9 @@ Naming convention
 Dotted ``subsystem.noun[.verb]`` lower-case names: ``engine.events.scheduled``,
 ``cache.hit``, ``cache.bytes_written``, ``executor.tasks.completed``,
 ``sim.steps``, ``step.phase.<phase>.ns``.  Span categories are one of
-``campaign``, ``task``, ``simulation``, ``phase``.
+``campaign``, ``task``, ``bucket``, ``simulation``, ``phase`` (``bucket``
+spans are the pool work units of batched parallel dispatch; they carry
+member ``task`` spans without being tasks themselves).
 
 Worker processes
 ----------------
@@ -60,8 +62,10 @@ __all__ = [
 
 TELEMETRY_SCHEMA_ID = "repro-io/telemetry/v1"
 
-#: Span categories, outermost first (the canonical hierarchy).
-SPAN_CATEGORIES = ("campaign", "task", "simulation", "phase")
+#: Span categories, outermost first (the canonical hierarchy).  ``bucket``
+#: sits beside ``task``: it is the pool work unit that carries a batch of
+#: member tasks under parallel dispatch, and is excluded from task counts.
+SPAN_CATEGORIES = ("campaign", "task", "bucket", "simulation", "phase")
 
 
 class Telemetry:

@@ -10,8 +10,26 @@ ingredient) invalidates the fingerprint naturally; no explicit eviction
 logic is needed.
 
 Payloads are JSON documents (the ``to_dict()`` form of the result objects),
-stored under ``<cache_dir>/objects/<aa>/<fingerprint>.json`` with the key
-material recorded alongside the payload for debuggability.
+stored under ``<cache_dir>/objects/<aa>/<fingerprint>.json`` — sharded by the
+2-hex fingerprint prefix so no single directory grows unbounded — with the
+key material recorded alongside the payload for debuggability.
+
+Campaign-scale access goes through three additions on top of the per-entry
+``get``/``put``:
+
+* :meth:`ResultCache.get_many` — one batched multi-probe for a whole task
+  list, backed by an in-process LRU *hot tier* so repeated probes (warm
+  reruns, post-compute re-reads) stop paying a stat+read per task.  The
+  single-entry :meth:`ResultCache.get` stays disk-authoritative (corruption
+  introduced behind the instance's back is still detected there).
+* an append-only ``index.jsonl`` written beside ``objects/`` on every store:
+  one line per entry with the fingerprint, the key material (task id, kind,
+  params) and the payload's headline numeric metrics — the queryable seed of
+  the result lake.
+* crash hygiene: stale ``*.tmp`` files abandoned by a killed worker are
+  swept on cache open (an age grace keeps live concurrent writers safe), and
+  :meth:`ResultCache.migrate` converts a legacy flat layout to the sharded
+  one idempotently.
 """
 
 from __future__ import annotations
@@ -21,8 +39,9 @@ import json
 import os
 import tempfile
 import time
+from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro._version import __version__
 from repro.obs.telemetry import get_telemetry
@@ -83,17 +102,58 @@ class ResultCache:
     cache_dir:
         Root directory; created on first write.  Safe to share between
         concurrent processes — writes are atomic (tempfile + rename).
+    hot_capacity:
+        Entries held in the in-process LRU hot tier serving
+        :meth:`get_many` probes and re-probes of freshly stored payloads.
+        ``0`` disables the tier.
+    tmp_max_age_s:
+        ``*.tmp`` files older than this are swept on open — debris of a
+        crashed writer.  Younger ones are left alone: a concurrent worker
+        may be mid-write.
     """
 
-    def __init__(self, cache_dir: str) -> None:
+    def __init__(
+        self,
+        cache_dir: str,
+        *,
+        hot_capacity: int = 256,
+        tmp_max_age_s: float = 3600.0,
+    ) -> None:
         self.root = Path(cache_dir)
         self.hits = 0
         self.misses = 0
+        self.hot_capacity = int(hot_capacity)
+        self._hot: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+        self.swept_tmp = self._sweep_stale_tmp(float(tmp_max_age_s))
 
     # ------------------------------------------------------------------ #
 
     def _object_path(self, fp: str) -> Path:
         return self.root / "objects" / fp[:2] / f"{fp}.json"
+
+    def _sweep_stale_tmp(self, max_age_s: float) -> int:
+        """Remove abandoned ``*.tmp`` files older than ``max_age_s``."""
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return 0
+        cutoff = time.time() - max_age_s
+        swept = 0
+        for tmp in objects.glob("**/*.tmp"):
+            try:
+                if tmp.stat().st_mtime <= cutoff:
+                    tmp.unlink()
+                    swept += 1
+            except OSError:  # pragma: no cover - raced with another sweeper
+                continue
+        return swept
+
+    def _hot_insert(self, fp: str, payload: Dict[str, object]) -> None:
+        if self.hot_capacity <= 0:
+            return
+        self._hot[fp] = payload
+        self._hot.move_to_end(fp)
+        while len(self._hot) > self.hot_capacity:
+            self._hot.popitem(last=False)
 
     def get(self, fp: str) -> Optional[Dict[str, object]]:
         """The cached payload for ``fp``, or ``None`` (counted as hit/miss)."""
@@ -115,7 +175,36 @@ class ResultCache:
         self.hits += 1
         if telemetry.enabled:
             telemetry.count("cache.hit")
+        self._hot_insert(fp, payload)
         return payload
+
+    def get_many(self, fps: Iterable[str]) -> Dict[str, Dict[str, object]]:
+        """Batched multi-probe: ``{fp: payload}`` for every stored entry.
+
+        Counts one probe (and hit or miss) per requested fingerprint, like
+        the equivalent :meth:`get` loop, but serves repeats and recently
+        stored/read entries from the in-process hot tier (``cache.hot_hit``
+        counts those).  The hot tier trusts this instance's own reads and
+        writes; disk corruption introduced behind its back is only detected
+        by the disk-authoritative :meth:`get`.
+        """
+        telemetry = get_telemetry()
+        found: Dict[str, Dict[str, object]] = {}
+        for fp in fps:
+            payload = self._hot.get(fp)
+            if payload is not None:
+                self._hot.move_to_end(fp)
+                self.hits += 1
+                if telemetry.enabled:
+                    telemetry.count("cache.probe")
+                    telemetry.count("cache.hit")
+                    telemetry.count("cache.hot_hit")
+                found[fp] = payload
+                continue
+            payload = self.get(fp)
+            if payload is not None:
+                found[fp] = payload
+        return found
 
     def put(
         self,
@@ -145,12 +234,97 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        self._hot_insert(fp, dict(payload))
+        self._index_append(fp, entry["key"], entry["payload"])
         telemetry = get_telemetry()
         if telemetry.enabled:
             telemetry.count("cache.store")
             telemetry.count("cache.bytes_written", len(data.encode("utf-8")))
             telemetry.event("cache_store", fingerprint=fp, bytes=len(data))
         return path
+
+    # ------------------------------------------------------------------ #
+    # Index
+    # ------------------------------------------------------------------ #
+
+    @property
+    def index_path(self) -> Path:
+        """The append-only ``index.jsonl`` beside ``objects/``."""
+        return self.root / "index.jsonl"
+
+    def _index_append(self, fp: str, key: Mapping[str, object],
+                      payload: Mapping[str, object]) -> None:
+        """Append one index line: fingerprint, key material, headline metrics.
+
+        A single ``O_APPEND`` write per store — atomic for lines of this
+        size on every platform we target — keeps concurrent workers safe
+        without locking.  Append-only by design: rewrites of a fingerprint
+        append a fresh line and readers let the last occurrence win.
+        """
+        headline = {
+            k: v for k, v in payload.items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)
+        }
+        line = json.dumps(
+            {
+                "fingerprint": fp,
+                "stored_at": time.time(),
+                "key": dict(key),
+                "headline": headline,
+            },
+            sort_keys=True,
+        )
+        fd = os.open(
+            str(self.index_path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(fd, (line + "\n").encode("utf-8"))
+        finally:
+            os.close(fd)
+
+    def index_entries(self) -> List[Dict[str, object]]:
+        """Parsed index lines, oldest first (corrupt lines are skipped).
+
+        Duplicated fingerprints (an entry stored more than once) keep every
+        line; callers wanting current state deduplicate by fingerprint, last
+        occurrence winning.
+        """
+        try:
+            text = self.index_path.read_text(encoding="utf-8")
+        except OSError:
+            return []
+        entries = []
+        for line in text.splitlines():
+            try:
+                entries.append(json.loads(line))
+            except ValueError:
+                continue
+        return entries
+
+    # ------------------------------------------------------------------ #
+    # Layout migration
+    # ------------------------------------------------------------------ #
+
+    def migrate(self) -> int:
+        """Convert a legacy flat layout to the sharded one; returns moves.
+
+        Entries sitting directly under ``objects/`` (or the cache root) move
+        into their 2-hex shard directory with an atomic rename.  Idempotent:
+        a second run finds nothing flat and moves zero files.
+        """
+        moved = 0
+        for parent in (self.root / "objects", self.root):
+            if not parent.is_dir():
+                continue
+            for path in parent.glob("*.json"):
+                fp = path.stem
+                if len(fp) != 64 or any(c not in "0123456789abcdef" for c in fp):
+                    continue
+                dest = self._object_path(fp)
+                dest.parent.mkdir(parents=True, exist_ok=True)
+                os.replace(path, dest)
+                moved += 1
+        return moved
 
     def contains(self, fp: str) -> bool:
         """True when a payload is stored for ``fp`` (does not touch counters)."""

@@ -65,12 +65,17 @@ class TaskSpec:
 
     ``kind`` selects the worker function; ``payload`` is its (picklable)
     argument mapping; ``seed`` is the task's deterministic RNG seed.
+    ``span_category`` labels the telemetry span the executor records for the
+    task — ``"task"`` for ordinary work units; bucket work units use
+    ``"bucket"`` so per-member accounting (spans stamped by the batcher,
+    ``executor.tasks.completed``) is not double-counted.
     """
 
     task_id: str
     kind: str
     payload: Dict[str, Any] = field(default_factory=dict)
     seed: Optional[int] = None
+    span_category: str = "task"
 
 
 # --------------------------------------------------------------------------- #
@@ -160,6 +165,7 @@ _TASK_KINDS: Dict[str, Union[str, _Worker]] = {
     "grid-point": run_grid_point_task,
     "matrix-alone": "repro.scenarios.matrix:run_matrix_alone_task",
     "matrix-pair": "repro.scenarios.matrix:run_matrix_pair_task",
+    "matrix-bucket": "repro.scenarios.matrix:run_matrix_bucket_task",
 }
 
 
@@ -276,12 +282,13 @@ class ParallelExecutor:
                     # simulation spans nest directly beneath the task span.
                     start = time.perf_counter()
                     with telemetry.span(
-                        task.task_id, category="task", track="tasks",
-                        kind=task.kind,
+                        task.task_id, category=task.span_category,
+                        track="tasks", kind=task.kind,
                     ):
                         result = execute_task(task)
                     wall = time.perf_counter() - start
-                    telemetry.count("executor.tasks.completed")
+                    if task.span_category == "task":
+                        telemetry.count("executor.tasks.completed")
                     if task_records is not None:
                         task_records[task.task_id] = {
                             "wall_time_s": wall, "queue_wait_s": 0.0,
@@ -355,7 +362,7 @@ def _unwrap_observed(
         dur_us = obs["wall_s"] * 1e6
         span_id = telemetry.add_span(
             task.task_id,
-            "task",
+            task.span_category,
             start_us,
             dur_us,
             track="tasks",
@@ -365,7 +372,8 @@ def _unwrap_observed(
             telemetry.merge_snapshot(
                 obs["snapshot"], parent=span_id, track="workers"
             )
-        telemetry.count("executor.tasks.completed")
+        if task.span_category == "task":
+            telemetry.count("executor.tasks.completed")
     if task_records is not None:
         task_records[task.task_id] = {
             "wall_time_s": obs["wall_s"], "queue_wait_s": queue_wait,
@@ -433,11 +441,25 @@ def execute_cached(
     results: Dict[str, Dict[str, Any]] = {}
     fingerprints: Dict[str, str] = {}
     pending: List[TaskSpec] = []
+    found: Dict[str, Dict[str, Any]] = {}
+    if cache is not None and tasks:
+        # One batched multi-probe for the whole campaign (hot-tier backed)
+        # instead of one stat+read round-trip per task.
+        fingerprints = {task.task_id: fingerprint_for(task) for task in tasks}
+        probe = [fingerprints[task.task_id] for task in tasks]
+        if hasattr(cache, "get_many"):
+            found = cache.get_many(probe)
+        else:  # duck-typed caches: per-task probes, same semantics
+            found = {
+                fp: payload
+                for fp in probe
+                for payload in (cache.get(fp),)
+                if payload is not None
+            }
     for task in tasks:
         if cache is not None:
-            fp = fingerprint_for(task)
-            fingerprints[task.task_id] = fp
-            payload = cache.get(fp)
+            fp = fingerprints[task.task_id]
+            payload = found.get(fp)
             if payload is not None:
                 results[task.task_id] = payload
                 if telemetry.enabled:

@@ -37,6 +37,7 @@ from repro.scenarios.spec import BuiltScenario, ScenarioSpec, build_scenario
 __all__ = [
     "PairCell",
     "InterferenceMatrix",
+    "explain_matrix_buckets",
     "run_interference_matrix",
     "run_matrix_alone_task",
     "run_matrix_pair_task",
@@ -402,19 +403,53 @@ def run_matrix_pair_task(payload: Dict[str, Any], seed: Optional[int]) -> Dict[s
     return _pair_payload_from_result(built, result)
 
 
+def run_matrix_bucket_task(
+    payload: Dict[str, Any], seed: Optional[int]
+) -> Dict[str, Any]:
+    """Pool work unit advancing one whole bucket through the batched kernel.
+
+    Payload keys: ``tasks`` — a list of ``{"task_id", "kind", "payload"}``
+    member descriptors (the member payloads are exactly what the scalar
+    ``matrix-alone``/``matrix-pair`` workers receive).  Returns
+    ``{"results": {task_id: member payload}, "wall_s": ...}``; the parent
+    feeds each member payload through the same cache-store/provenance path a
+    scalar completion takes.  ``seed`` is unused — matrix members keep their
+    scenarios' deterministic seeds.
+    """
+    import time
+
+    from repro.model.batch import run_bucket
+
+    t0 = time.perf_counter()
+    items = payload["tasks"]
+    built = [_build_from_payload(item["payload"]) for item in items]
+    results = run_bucket([b.scenario for b in built])
+    out: Dict[str, Dict[str, Any]] = {}
+    for item, b, result in zip(items, built, results):
+        out[item["task_id"]] = _PAYLOAD_EXTRACTORS[item["kind"]](b, result)
+    return {"results": out, "wall_s": time.perf_counter() - t0}
+
+
 def run_matrix_tasks_batched(
     pending: Sequence[TaskSpec],
     task_records: Optional[Dict[str, Dict[str, Any]]] = None,
+    *,
+    jobs: int = 1,
 ) -> Dict[str, Dict[str, Any]]:
-    """Bulk route for matrix cache misses: same-shape tasks step in lockstep.
+    """Bulk route for matrix cache misses: same-cadence tasks step in lockstep.
 
-    Builds every pending task's scenario, groups same-shape ones with
-    :func:`repro.model.batch.plan_buckets`, and advances each group through
-    one batched kernel via :func:`repro.model.batch.run_bucket`.  Returns
-    payloads for the bucketed tasks only — ragged, adaptive, and singleton
-    tasks are *not* claimed, so they fall through to the executor's scalar
-    path unchanged.  The batched kernel is bitwise-equivalent to the scalar
-    one and payload extraction is shared, so both routes transport identical
+    Builds every pending task's scenario, groups compatible ones with
+    :func:`repro.model.batch.plan_buckets` (``min_batch=1``: mixed widths
+    pad together and leftovers run as width-1 buckets, so only adaptive
+    stepping falls back), and advances each group through one batched kernel
+    via :func:`repro.model.batch.run_bucket`.  With ``jobs > 1`` each bucket
+    becomes a single ``matrix-bucket`` pool work unit, so the process pool
+    runs ``jobs`` batched kernels concurrently; buckets are submitted and
+    reassembled in plan order, so the parallel route is byte-identical to
+    the serial one.  Returns payloads for the bucketed tasks only — adaptive
+    tasks are *not* claimed and fall through to the executor's scalar path
+    unchanged.  The batched kernel is bitwise-equivalent to the scalar one
+    and payload extraction is shared, so both routes transport identical
     payloads (and therefore identical cache entries).
 
     Per handled task this emits the same ``task``-category span the scalar
@@ -424,25 +459,25 @@ def run_matrix_tasks_batched(
     import time
 
     from repro.model.batch import count_fallback, plan_buckets, run_bucket
+    from repro.runner.executor import ParallelExecutor
 
     supported = [t for t in pending if t.kind in _PAYLOAD_EXTRACTORS]
     if len(supported) < 2:
         return {}
     built = [_build_from_payload(t.payload) for t in supported]
-    buckets, fallback = plan_buckets([b.scenario for b in built])
+    buckets, fallback = plan_buckets(
+        [b.scenario for b in built], min_batch=1
+    )
     telemetry = get_telemetry()
     handled: Dict[str, Dict[str, Any]] = {}
-    for bucket in buckets:
-        started = time.time()
-        t0 = time.perf_counter()
-        results = run_bucket(
-            [built[i].scenario for i in bucket.indices], bucket.shape
-        )
-        wall = time.perf_counter() - t0
+
+    def stamp(bucket, results, started: float, wall: float) -> None:
         for i, result in zip(bucket.indices, results):
             task = supported[i]
             extract = _PAYLOAD_EXTRACTORS[task.kind]
-            handled[task.task_id] = extract(built[i], result)
+            handled[task.task_id] = (
+                result if isinstance(result, dict) else extract(built[i], result)
+            )
             if telemetry.enabled:
                 telemetry.add_span(
                     task.task_id,
@@ -462,6 +497,39 @@ def run_matrix_tasks_batched(
                     "queue_wait_s": 0.0,
                     "batched": True,
                 }
+
+    if jobs > 1 and len(buckets) > 1:
+        bucket_specs = [
+            TaskSpec(
+                task_id=f"bucket[{k}]:b{len(bucket.indices)}",
+                kind="matrix-bucket",
+                payload={
+                    "tasks": [
+                        {
+                            "task_id": supported[i].task_id,
+                            "kind": supported[i].kind,
+                            "payload": supported[i].payload,
+                        }
+                        for i in bucket.indices
+                    ]
+                },
+                span_category="bucket",
+            )
+            for k, bucket in enumerate(buckets)
+        ]
+        submitted = time.time()
+        outs = ParallelExecutor(jobs=jobs).map(bucket_specs)
+        for bucket, out in zip(buckets, outs):
+            results = [out["results"][supported[i].task_id] for i in bucket.indices]
+            stamp(bucket, results, submitted, float(out["wall_s"]))
+    else:
+        for bucket in buckets:
+            started = time.time()
+            t0 = time.perf_counter()
+            results = run_bucket(
+                [built[i].scenario for i in bucket.indices], bucket.shape
+            )
+            stamp(bucket, results, started, time.perf_counter() - t0)
     for _, reason in fallback:
         count_fallback(reason)
     return handled
@@ -487,71 +555,25 @@ def matrix_fingerprint(
     })
 
 
-def run_interference_matrix(
-    archetypes: Sequence[Union[str, ScenarioSpec]],
-    scale: str = "tiny",
-    *,
-    jobs: int = 1,
-    cache_dir: Optional[str] = None,
-    stepping: Optional[SteppingPolicy] = None,
-    progress: Optional[Callable[[str, bool], None]] = None,
-    batch: bool = True,
-    **options: Any,
-) -> InterferenceMatrix:
-    """Run the all-pairs interference campaign over the given archetypes.
+def _matrix_task_list(
+    specs: Sequence[ScenarioSpec],
+    scale: str,
+    opts: Dict[str, Any],
+    stepping_dict: Optional[Dict[str, object]],
+) -> Tuple[List[str], List[TaskSpec], List[Tuple[str, str]]]:
+    """The campaign's task list: N alone runs plus N·(N+1)/2 unordered pairs.
 
-    Parameters
-    ----------
-    archetypes:
-        At least two archetype names (or ready specs).  Duplicate instance
-        names are rejected — name specs explicitly to pair an archetype with
-        a differently-tuned copy of itself.
-    scale:
-        Scale preset for every run (default ``tiny``: the matrix multiplies
-        run counts, so the conservative scale is the default).
-    jobs:
-        Worker processes for the executor (alone and pair runs are
-        independent tasks).
-    batch:
-        Route same-shape cache misses through the batched lockstep kernel
-        (:mod:`repro.model.batch`) instead of one simulation per task.
-        Serial-mode only — with ``jobs > 1`` the pool already provides the
-        parallelism and tasks run scalar.  Results are bitwise identical
-        either way; disable to A/B against the scalar path.
-    cache_dir:
-        When given, every task is served from / stored into the
-        content-addressed cache — a repeated matrix is a 100% cache hit.
-    stepping:
-        Optional stepping policy for every simulation; non-default policies
-        join each task's cache fingerprint.
-    progress:
-        Optional callback ``progress(task_id, from_cache)`` per finished task.
-    **options:
-        Deployment knobs shared by every run: ``device``, ``sync_mode``,
-        ``network``, ``stripe_kib``, ``delay`` (start offset of the second
-        workload of each pair), ``seed``.
+    Shared by :func:`run_interference_matrix` and
+    :func:`explain_matrix_buckets`, so the bucket-plan diagnostic always
+    describes exactly the tasks the campaign would run.
     """
-    specs = [ScenarioSpec.coerce(a) for a in archetypes]
-    if len(specs) < 2:
-        raise ExperimentError(
-            "an interference matrix needs at least two archetypes"
-        )
     names = [s.resolved_name for s in specs]
     if len(set(names)) != len(names):
         raise ExperimentError(
             f"duplicate workload names in matrix: {names}; give duplicate "
             "archetypes distinct ScenarioSpec names"
         )
-    opts = _normalize_options(options)
-
-    # Normalize an explicit fixed policy to None so it shares the default
-    # cache fingerprint (mirrors run_campaign).
-    if stepping is not None and not stepping.is_adaptive:
-        stepping = None
-    stepping_dict = None if stepping is None else stepping.to_dict()
-
     spec_by_name = dict(zip(names, specs))
-    cache = ResultCache(cache_dir) if cache_dir else None
 
     def make_task(task_id: str, kind: str, task_specs: List[ScenarioSpec]) -> TaskSpec:
         task_opts = dict(opts)
@@ -583,6 +605,141 @@ def run_interference_matrix(
                     [spec_by_name[a], spec_by_name[b]],
                 )
             )
+    return names, tasks, pair_ids
+
+
+def _scenario_group_widths(scenario) -> List[int]:
+    """Per-server connection-group widths (zero-width servers dropped).
+
+    Mirrors the connection layout :class:`repro.model.state.SimulationState`
+    builds (every process of an application opens one connection to each of
+    its target servers) without paying for state construction.
+    """
+    widths = [0] * scenario.filesystem.n_servers
+    for app in scenario.applications:
+        procs = app.n_nodes * app.procs_per_node
+        for server in scenario.app_servers(app):
+            widths[server] += procs
+    return [w for w in widths if w > 0]
+
+
+def explain_matrix_buckets(
+    archetypes: Sequence[Union[str, ScenarioSpec]],
+    scale: str = "tiny",
+    *,
+    stepping: Optional[SteppingPolicy] = None,
+    **options: Any,
+) -> str:
+    """Render the bucket plan ``repro-io perf --explain-buckets`` prints.
+
+    Builds exactly the task list :func:`run_interference_matrix` would run,
+    plans buckets the way the batched route does (``min_batch=1``), and
+    reports per bucket its width (members), cadence, server count and the
+    set of admission-group widths that pad together — plus every task that
+    falls back to the scalar path and why.
+    """
+    from repro.model.batch import plan_buckets
+
+    specs = [ScenarioSpec.coerce(a) for a in archetypes]
+    if len(specs) < 2:
+        raise ExperimentError(
+            "an interference matrix needs at least two archetypes"
+        )
+    opts = _normalize_options(options)
+    if stepping is not None and not stepping.is_adaptive:
+        stepping = None
+    stepping_dict = None if stepping is None else stepping.to_dict()
+    names, tasks, _ = _matrix_task_list(specs, scale, opts, stepping_dict)
+    built = [_build_from_payload(t.payload) for t in tasks]
+    buckets, fallback = plan_buckets([b.scenario for b in built], min_batch=1)
+
+    lines = [
+        f"bucket plan: {len(tasks)} tasks over {'+'.join(names)} @ {scale} "
+        f"-> {len(buckets)} buckets, {len(fallback)} scalar fallbacks"
+    ]
+    for k, bucket in enumerate(buckets):
+        shape = bucket.shape
+        widths = sorted({
+            w for i in bucket.indices
+            for w in _scenario_group_widths(built[i].scenario)
+        })
+        padded = "padded" if len(widths) > 1 else "uniform"
+        lines.append(
+            f"  bucket[{k}]  B={len(bucket.indices)}  "
+            f"dt={shape.dt:.6g}s  n_servers={shape.n_servers}  "
+            f"group_widths={{{','.join(str(w) for w in widths)}}} ({padded})"
+        )
+        lines.append(
+            "    members: "
+            + ", ".join(tasks[i].task_id for i in bucket.indices)
+        )
+    if fallback:
+        lines.append("fallbacks (scalar path):")
+        for i, reason in fallback:
+            lines.append(f"  {tasks[i].task_id}: {reason}")
+    return "\n".join(lines)
+
+
+def run_interference_matrix(
+    archetypes: Sequence[Union[str, ScenarioSpec]],
+    scale: str = "tiny",
+    *,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    stepping: Optional[SteppingPolicy] = None,
+    progress: Optional[Callable[[str, bool], None]] = None,
+    batch: bool = True,
+    **options: Any,
+) -> InterferenceMatrix:
+    """Run the all-pairs interference campaign over the given archetypes.
+
+    Parameters
+    ----------
+    archetypes:
+        At least two archetype names (or ready specs).  Duplicate instance
+        names are rejected — name specs explicitly to pair an archetype with
+        a differently-tuned copy of itself.
+    scale:
+        Scale preset for every run (default ``tiny``: the matrix multiplies
+        run counts, so the conservative scale is the default).
+    jobs:
+        Worker processes for the executor (alone and pair runs are
+        independent tasks).
+    batch:
+        Route same-cadence cache misses through the batched lockstep kernel
+        (:mod:`repro.model.batch`) instead of one simulation per task.
+        With ``jobs > 1`` each planned bucket becomes one pool work unit,
+        so ``N`` workers advance ``N`` batched kernels concurrently — the
+        two multipliers compose.  Results are bitwise identical either way;
+        disable to A/B against the scalar path.
+    cache_dir:
+        When given, every task is served from / stored into the
+        content-addressed cache — a repeated matrix is a 100% cache hit.
+    stepping:
+        Optional stepping policy for every simulation; non-default policies
+        join each task's cache fingerprint.
+    progress:
+        Optional callback ``progress(task_id, from_cache)`` per finished task.
+    **options:
+        Deployment knobs shared by every run: ``device``, ``sync_mode``,
+        ``network``, ``stripe_kib``, ``delay`` (start offset of the second
+        workload of each pair), ``seed``.
+    """
+    specs = [ScenarioSpec.coerce(a) for a in archetypes]
+    if len(specs) < 2:
+        raise ExperimentError(
+            "an interference matrix needs at least two archetypes"
+        )
+    opts = _normalize_options(options)
+
+    # Normalize an explicit fixed policy to None so it shares the default
+    # cache fingerprint (mirrors run_campaign).
+    if stepping is not None and not stepping.is_adaptive:
+        stepping = None
+    stepping_dict = None if stepping is None else stepping.to_dict()
+
+    cache = ResultCache(cache_dir) if cache_dir else None
+    names, tasks, pair_ids = _matrix_task_list(specs, scale, opts, stepping_dict)
 
     def fingerprint_for(task: TaskSpec) -> str:
         return fingerprint_payload(task.kind, {
@@ -611,9 +768,9 @@ def run_interference_matrix(
     )
 
     batch_runner = None
-    if batch and jobs == 1:
+    if batch:
         def batch_runner(pending):
-            return run_matrix_tasks_batched(pending, task_records)
+            return run_matrix_tasks_batched(pending, task_records, jobs=jobs)
 
     with telemetry.span(
         f"matrix:{scale}",

@@ -129,18 +129,30 @@ class TestBucketing:
             shapes = {_shape_of(scenarios[i]) for i in bucket.indices}
             assert shapes == {bucket.shape}
 
-    def test_ragged_specs_fall_back(self):
+    def test_ragged_specs_bucket_together(self):
         scenario = _alone_scenario("checkpoint")
         app = scenario.applications[0]
         ragged = dataclasses.replace(
             scenario,
             applications=(dataclasses.replace(app, target_servers=(0, 1)),),
         )
-        shape = _shape_of(ragged)
-        assert shape is not None and shape.group_size is None
+        assert _shape_of(ragged) is not None
         buckets, fallback = plan_buckets([ragged, ragged])
-        assert not buckets
-        assert [(i, r) for i, r in fallback] == [(0, "ragged"), (1, "ragged")]
+        assert not fallback
+        assert [b.indices for b in buckets] == [[0, 1]]
+
+    def test_mixed_width_specs_share_a_bucket(self):
+        """Different connection counts / group sizes no longer split buckets
+        as long as the lockstep cadence and platform/filesystem match."""
+        scenario = _alone_scenario("checkpoint")
+        app = scenario.applications[0]
+        ragged = dataclasses.replace(
+            scenario,
+            applications=(dataclasses.replace(app, target_servers=(0, 1)),),
+        )
+        buckets, fallback = plan_buckets([scenario, ragged])
+        assert not fallback
+        assert [b.indices for b in buckets] == [[0, 1]]
 
     def test_adaptive_stepping_falls_back(self):
         policy = SteppingPolicy(mode=SteppingMode.ADAPTIVE)
@@ -300,8 +312,9 @@ class TestMatrixBatching:
         scalar = run_interference_matrix(self.ARCH, "tiny", batch=False)
         dump = lambda m: json.dumps(m.to_dict(), indent=2, sort_keys=True)
         assert dump(batched) == dump(scalar)
-        # 2 alone runs bucket together; so do the 3 pair runs.
-        assert snapshot["counters"]["batch.buckets"] == 2
+        # All 5 runs (2 alone + 3 pairs) share one lockstep cadence and pad
+        # their mixed widths into a single bucket.
+        assert snapshot["counters"]["batch.buckets"] == 1
         assert snapshot["counters"]["batch.member_runs"] == 5
         assert snapshot["counters"]["executor.tasks.completed"] == 5
         batched_tasks = [
@@ -309,26 +322,31 @@ class TestMatrixBatching:
         ]
         assert len(batched_tasks) == 5
 
-    def test_jobs_gt_one_disables_batching(self):
-        from repro.runner.executor import TaskSpec
+    def test_jobs_gt_one_keeps_batching(self):
+        """The batch runner is wired for every jobs value and forwards the
+        jobs count so buckets fan out as pool work units."""
         from repro.scenarios import matrix as matrix_mod
 
-        def explode(pending, task_records=None):  # pragma: no cover
-            raise AssertionError("batch runner must not fire with jobs > 1")
+        seen = {}
 
-        # run_interference_matrix only constructs the runner for jobs == 1;
-        # verify at the wiring level without paying for a process pool.
+        def spy(pending, task_records=None, *, jobs=1):  # pragma: no cover
+            seen["jobs"] = jobs
+            return {}
+
         import unittest.mock as mock
 
         with mock.patch.object(
-            matrix_mod, "run_matrix_tasks_batched", explode
+            matrix_mod, "run_matrix_tasks_batched", spy
         ), mock.patch.object(matrix_mod, "execute_cached") as fake:
             fake.return_value = {}
             try:
                 matrix_mod.run_interference_matrix(self.ARCH, "tiny", jobs=2)
             except Exception:
                 pass  # assembly fails on empty results; wiring already seen
-            assert fake.call_args.kwargs["batch_runner"] is None
+            runner = fake.call_args.kwargs["batch_runner"]
+            assert runner is not None
+            runner([])
+            assert seen["jobs"] == 2
 
     def test_batcher_declines_small_or_foreign_task_lists(self):
         from repro.runner.executor import TaskSpec

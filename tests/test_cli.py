@@ -110,3 +110,58 @@ class TestCommands:
         )
         out = capsys.readouterr().out
         assert out.splitlines()[0].startswith("delta")
+
+
+class TestExplainBuckets:
+    def test_prints_the_bucket_plan(self, capsys):
+        assert main([
+            "perf", "--explain-buckets", "--scale", "tiny",
+            "--archetypes", "checkpoint,analytics",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "bucket plan: 5 tasks over checkpoint+analytics" in out
+        assert "0 scalar fallbacks" in out
+        assert "group_widths=" in out
+        assert "alone:checkpoint" in out
+
+    def test_padded_buckets_are_labelled(self, capsys):
+        # smallfile (w32) and analytics (w8) share a cadence: mixed widths
+        # pad into one bucket rather than falling back.
+        assert main([
+            "perf", "--explain-buckets", "--scale", "tiny",
+            "--archetypes", "analytics,smallfile,incast",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "(padded)" in out
+
+    def test_rejects_unknown_archetypes(self):
+        with pytest.raises(SystemExit) as err:
+            main(["perf", "--explain-buckets", "--archetypes", "nope,nah"])
+        assert err.value.code == 2
+
+
+class TestCacheMigrateCli:
+    def test_migrates_flat_entries_and_reports(self, tmp_path, capsys):
+        import shutil
+
+        from repro.runner.cache import ResultCache, fingerprint
+
+        fp = fingerprint("table1", "tiny", False)
+        donor = ResultCache(str(tmp_path / "donor"))
+        stored = donor.put(fp, {"v": 1})
+        legacy = tmp_path / "legacy"
+        (legacy / "objects").mkdir(parents=True)
+        shutil.copy(stored, legacy / "objects" / f"{fp}.json")
+        (legacy / "objects" / "dead.tmp").write_text("x", encoding="utf-8")
+
+        assert main(["cache", "migrate", "--cache-dir", str(legacy)]) == 0
+        err = capsys.readouterr().err
+        assert "event=cache_migrated" in err
+        assert "moved=1" in err
+        assert "swept_tmp=1" in err
+        assert ResultCache(str(legacy)).get(fp) == {"v": 1}
+
+    def test_idempotent_second_run(self, tmp_path, capsys):
+        assert main(["cache", "migrate", "--cache-dir", str(tmp_path)]) == 0
+        assert main(["cache", "migrate", "--cache-dir", str(tmp_path)]) == 0
+        assert "moved=0" in capsys.readouterr().err

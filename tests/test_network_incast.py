@@ -132,7 +132,7 @@ class TestStatistics:
 
 
 class TestProportionalAdmissionPaths:
-    """The stacked (equal-group) and scalar (ragged-group) admission paths
+    """The width-classed stacked admission (uniform and ragged groups alike)
     must agree bit-for-bit with the reference proportional_share per server."""
 
     def reference_admit(self, conn_server, n_servers, offered, weights, capacity):
@@ -158,12 +158,16 @@ class TestProportionalAdmissionPaths:
         assert np.array_equal(admitted, expected)
         return buffers
 
-    def test_ragged_groups_use_the_scalar_path(self):
+    def test_ragged_groups_pad_into_width_classes(self):
         conn_server = [0, 0, 0, 1, 1, 2]
         offered = np.array([50.0, 30.0, 40.0, 10.0, 200.0, 5.0])
         weights = np.array([1.0, 2.0, 1.0, 1.0, 1.0, 3.0])
         buffers = self.check(conn_server, 3, 100.0, offered, weights)
-        assert buffers._group_matrix is None
+        assert not buffers._uniform_groups
+        assert [w for w, _, _ in buffers._width_classes] == [1, 2, 3]
+        # Widths 3/2/1 padded to K=3: 0 + 1 + 2 wasted slots.
+        assert buffers.padded_slots == 3
+        assert buffers.group_slots == 9
 
     def test_equal_groups_use_the_stacked_path(self):
         conn_server = [0, 1, 2, 0, 1, 2]
@@ -171,6 +175,18 @@ class TestProportionalAdmissionPaths:
         weights = np.ones(6)
         buffers = self.check(conn_server, 3, 100.0, offered, weights)
         assert buffers._group_matrix is not None
+        assert buffers._uniform_groups
+        assert buffers.padded_slots == 0
+
+    def test_server_without_connections_pads_harmlessly(self):
+        conn_server = [0, 0, 2, 2]
+        offered = np.array([90.0, 60.0, 10.0, 20.0])
+        weights = np.ones(4)
+        buffers = self.check(conn_server, 3, 100.0, offered, weights)
+        # Server 1 hosts no connections: its padded row never reaches a
+        # width class and costs K slots of padding waste.
+        assert [w for w, _, _ in buffers._width_classes] == [2]
+        assert buffers.padded_slots == 2
 
     def test_stacked_path_with_nonuniform_weights(self):
         conn_server = [0, 1, 0, 1]

@@ -77,6 +77,8 @@ class TestDerivedStats:
         t.count("batch.member_runs", 12)
         t.count("batch.ragged_fallbacks", 2)
         t.count("executor.tasks.completed", 14)
+        t.count("batch.padded_slots", 32)
+        t.count("batch.group_slots", 128)
         t.observe("batch.occupancy", 8.0)
         t.observe("batch.occupancy", 4.0)
         stats = batch_stats(t.to_document())
@@ -86,6 +88,9 @@ class TestDerivedStats:
         assert stats["batched_share"] == pytest.approx(12 / 14)
         assert stats["mean_occupancy"] == pytest.approx(6.0)
         assert stats["max_occupancy"] == 8.0
+        assert stats["padded_slots"] == 32.0
+        assert stats["group_slots"] == 128.0
+        assert stats["padded_waste"] == pytest.approx(0.25)
 
     def test_batch_stats_without_batching(self):
         from repro.obs.summary import batch_stats
@@ -93,6 +98,7 @@ class TestDerivedStats:
         stats = batch_stats(Telemetry().to_document())
         assert stats["buckets"] == 0.0
         assert stats["batched_share"] == 0.0
+        assert stats["padded_waste"] == 0.0
 
 
 class TestSummarizeDocument:
@@ -116,6 +122,8 @@ class TestSummarizeDocument:
         t.count("batch.member_runs", 13)
         t.count("batch.ragged_fallbacks", 1)
         t.count("executor.tasks.completed", 14)
+        t.count("batch.padded_slots", 52)
+        t.count("batch.group_slots", 520)
         t.observe("batch.occupancy", 7.0)
         t.observe("batch.occupancy", 4.0)
         t.observe("batch.occupancy", 2.0)
@@ -124,6 +132,7 @@ class TestSummarizeDocument:
         assert "92.9% of executed tasks batched" in report
         assert "1 scalar fallbacks" in report
         assert "occupancy mean 4.3 max 7 scenarios/bucket" in report
+        assert "padding 52/520 admission slots masked (10.0% waste)" in report
 
 
 class TestDiffDocuments:

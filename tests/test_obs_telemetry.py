@@ -80,7 +80,9 @@ class TestSpans:
         assert ids == sorted(set(ids))
 
     def test_categories_cover_the_hierarchy(self):
-        assert SPAN_CATEGORIES == ("campaign", "task", "simulation", "phase")
+        assert SPAN_CATEGORIES == (
+            "campaign", "task", "bucket", "simulation", "phase"
+        )
 
 
 class TestEvents:

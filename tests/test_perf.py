@@ -270,7 +270,12 @@ class TestPerfCli:
         args = build_parser().parse_args(["perf"])
         assert args.scale == "reduced"
         assert args.repeats == 5
-        assert args.output == "BENCH_stepper.json"
+        # The output/baseline defaults are mode-dependent (BENCH_stepper.json
+        # for the stepper bench, BENCH_campaign.json with --campaign), so
+        # argparse leaves them None and _command_perf resolves them.
+        assert args.output is None
+        assert args.baseline is None
+        assert not args.campaign
         assert args.min_ratio == 0.7
 
     @pytest.mark.parametrize("argv", [

@@ -94,3 +94,143 @@ class TestResultCache:
         entry = json.loads(path.read_text(encoding="utf-8"))
         assert entry["key"]["experiment_id"] == "table1"
         assert entry["fingerprint"] == fp
+
+class TestGetManyAndHotTier:
+    def test_get_many_mixes_found_and_missing(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        stored = fingerprint("table1", "tiny", False)
+        absent = fingerprint("figure2", "tiny", False)
+        cache.put(stored, {"v": 1})
+        found = cache.get_many([stored, absent])
+        assert found == {stored: {"v": 1}}
+        assert cache.stats() == {"hits": 1, "misses": 1}
+
+    def test_fresh_put_probes_hit_the_hot_tier(self, tmp_path):
+        from repro.obs.telemetry import telemetry_session
+
+        cache = ResultCache(str(tmp_path))
+        fp = fingerprint("table1", "tiny", False)
+        cache.put(fp, {"v": 1})
+        with telemetry_session("cache-test") as telemetry:
+            assert cache.get_many([fp]) == {fp: {"v": 1}}
+            counters = telemetry.snapshot()["counters"]
+        assert counters["cache.probe"] == 1
+        assert counters["cache.hit"] == 1
+        assert counters["cache.hot_hit"] == 1
+
+    def test_disk_read_populates_the_hot_tier(self, tmp_path):
+        fp = fingerprint("table1", "tiny", False)
+        ResultCache(str(tmp_path)).put(fp, {"v": 1})
+        cache = ResultCache(str(tmp_path))  # cold hot tier
+        assert cache.get_many([fp]) == {fp: {"v": 1}}  # disk read
+        assert fp in cache._hot
+
+    def test_single_get_stays_disk_authoritative(self, tmp_path):
+        """Corruption behind the instance's back must still be a miss on
+        get() even when the hot tier has the stale payload."""
+        cache = ResultCache(str(tmp_path))
+        fp = fingerprint("table1", "tiny", False)
+        path = cache.put(fp, {"v": 1})
+        assert fp in cache._hot
+        path.write_text("{ truncated", encoding="utf-8")
+        assert cache.get(fp) is None
+
+    def test_lru_eviction_order(self, tmp_path):
+        cache = ResultCache(str(tmp_path), hot_capacity=2)
+        fps = [fingerprint(e, "tiny", False) for e in ("a", "b", "c")]
+        for fp in fps[:2]:
+            cache.put(fp, {"fp": fp})
+        cache.get_many([fps[0]])  # refresh a: b is now least recent
+        cache.put(fps[2], {"fp": fps[2]})
+        assert set(cache._hot) == {fps[0], fps[2]}
+
+    def test_zero_capacity_disables_the_tier(self, tmp_path):
+        cache = ResultCache(str(tmp_path), hot_capacity=0)
+        fp = fingerprint("table1", "tiny", False)
+        cache.put(fp, {"v": 1})
+        assert cache._hot == {}
+        assert cache.get_many([fp]) == {fp: {"v": 1}}  # served from disk
+
+
+class TestTmpSweep:
+    def test_stale_tmp_swept_on_open(self, tmp_path):
+        shard = tmp_path / "objects" / "ab"
+        shard.mkdir(parents=True)
+        (shard / "dead.tmp").write_text("debris", encoding="utf-8")
+        cache = ResultCache(str(tmp_path), tmp_max_age_s=0.0)
+        assert cache.swept_tmp == 1
+        assert not (shard / "dead.tmp").exists()
+
+    def test_young_tmp_survives_the_grace(self, tmp_path):
+        shard = tmp_path / "objects" / "ab"
+        shard.mkdir(parents=True)
+        (shard / "live.tmp").write_text("mid-write", encoding="utf-8")
+        cache = ResultCache(str(tmp_path), tmp_max_age_s=3600.0)
+        assert cache.swept_tmp == 0
+        assert (shard / "live.tmp").exists()
+
+
+class TestMigrate:
+    def test_flat_layout_round_trips(self, tmp_path):
+        import shutil
+
+        fp = fingerprint("table1", "tiny", False)
+        donor = ResultCache(str(tmp_path / "donor"))
+        stored = donor.put(fp, {"v": 7}, key_material={"experiment_id": "table1"})
+        # Rebuild the entry as a legacy flat layout: objects/<fp>.json.
+        legacy = tmp_path / "legacy"
+        (legacy / "objects").mkdir(parents=True)
+        shutil.copy(stored, legacy / "objects" / f"{fp}.json")
+
+        cache = ResultCache(str(legacy))
+        assert cache.get(fp) is None  # sharded path: not found yet
+        assert cache.migrate() == 1
+        assert cache.get(fp) == {"v": 7}
+        assert cache.migrate() == 0  # idempotent
+
+    def test_migrate_skips_non_fingerprint_files(self, tmp_path):
+        (tmp_path / "objects").mkdir(parents=True)
+        (tmp_path / "objects" / "notes.json").write_text("{}", encoding="utf-8")
+        cache = ResultCache(str(tmp_path))
+        assert cache.migrate() == 0
+        assert (tmp_path / "objects" / "notes.json").exists()
+
+
+class TestIndex:
+    def test_puts_append_headline_lines(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        fp = fingerprint("table1", "tiny", False)
+        cache.put(
+            fp,
+            {"phase_time": 1.5, "n_steps": 30, "label": "x", "ok": True},
+            key_material={"task_id": "alone:checkpoint"},
+        )
+        entries = cache.index_entries()
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry["fingerprint"] == fp
+        assert entry["key"]["task_id"] == "alone:checkpoint"
+        # Headline keeps numeric scalars only (bools and strings dropped).
+        assert entry["headline"] == {"phase_time": 1.5, "n_steps": 30}
+
+    def test_rewrites_append_and_last_occurrence_wins(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        fp = fingerprint("table1", "tiny", False)
+        cache.put(fp, {"v": 1.0})
+        cache.put(fp, {"v": 2.0})
+        entries = cache.index_entries()
+        assert len(entries) == 2
+        latest = {e["fingerprint"]: e for e in entries}
+        assert latest[fp]["headline"] == {"v": 2.0}
+
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        fp = fingerprint("table1", "tiny", False)
+        cache.put(fp, {"v": 1.0})
+        with open(cache.index_path, "a", encoding="utf-8") as handle:
+            handle.write("not json\n")
+        cache.put(fp, {"v": 2.0})
+        assert len(cache.index_entries()) == 2
+
+    def test_missing_index_is_empty(self, tmp_path):
+        assert ResultCache(str(tmp_path)).index_entries() == []

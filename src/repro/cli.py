@@ -53,6 +53,16 @@ Capture a run timeline while the matrix executes, then inspect it::
     repro-io obs export runs/matrix_<fp> --format chrome-trace -o trace.json
     repro-io obs diff runs/matrix_A runs/matrix_B
 
+Query the result lake (every cached result, across all runs) and re-verify
+a persisted run end-to-end::
+
+    repro-io lake query --where key.kind=matrix-pair \
+        --where key.task_id~checkpoint --sort derived.dilation:desc --limit 5
+    repro-io lake query --agg max:derived.dilation --group-by key.scale
+    repro-io lake stats
+    repro-io lake compact
+    repro-io reproduce runs/matrix_<fp>
+
 Diagnostics go to stderr as structured ``level=... event=...`` lines;
 ``--quiet`` silences progress, ``--verbose`` adds debug detail.
 """
@@ -210,6 +220,35 @@ def validate_batch_size(value: str) -> int:
     return number
 
 
+def validate_limit(value: str) -> int:
+    """``--limit``: a non-negative row count."""
+    try:
+        number = int(value)
+    except ValueError:
+        raise UsageError(f"--limit expects an integer, got {value!r}") from None
+    if number < 0:
+        raise UsageError(f"--limit must be >= 0, got {number}")
+    return number
+
+
+def _validate_where(value: str):
+    from repro.lake.query import parse_where
+
+    return parse_where(value)
+
+
+def _validate_sort(value: str):
+    from repro.lake.query import parse_sort
+
+    return parse_sort(value)
+
+
+def _validate_agg(value: str):
+    from repro.lake.query import parse_aggregate
+
+    return parse_aggregate(value)
+
+
 _sweep_points = _cli_type(validate_sweep_points)
 _positive_int = _cli_type(validate_jobs)
 _step_tolerance = _cli_type(validate_step_tolerance)
@@ -218,6 +257,10 @@ _min_ratio = _cli_type(validate_min_ratio)
 _repeat_count = _cli_type(validate_repeats)
 _max_overhead = _cli_type(validate_max_overhead)
 _batch_size = _cli_type(validate_batch_size)
+_row_limit = _cli_type(validate_limit)
+_where_filter = _cli_type(_validate_where)
+_sort_spec = _cli_type(_validate_sort)
+_agg_spec = _cli_type(_validate_agg)
 
 
 def _add_stepping_arguments(parser: argparse.ArgumentParser) -> None:
@@ -593,6 +636,120 @@ def build_parser() -> argparse.ArgumentParser:
     cache_migrate.add_argument(
         "--cache-dir", metavar="DIR", default=DEFAULT_CACHE_DIR,
         help=f"cache root to migrate in place (default: {DEFAULT_CACHE_DIR})",
+    )
+
+    lake_parser = sub.add_parser(
+        "lake",
+        help="query the result lake (every cached result across all runs): "
+             "filter/sort/aggregate over keys and headline metrics",
+    )
+    lake_sub = lake_parser.add_subparsers(dest="lake_command", required=True)
+    lake_query = lake_sub.add_parser(
+        "query",
+        help="filter, sort and aggregate lake entries; derived.* fields "
+             "(dilation, slowdowns) join pair entries with their alone "
+             "baselines",
+    )
+    lake_query.add_argument(
+        "--cache-dir", metavar="DIR", default=DEFAULT_CACHE_DIR,
+        help=f"cache root holding objects/ + index.jsonl "
+             f"(default: {DEFAULT_CACHE_DIR})",
+    )
+    lake_query.add_argument(
+        "--where", action="append", type=_where_filter, default=None,
+        metavar="FIELD[OP]VALUE",
+        help="filter expression (repeatable, ANDed): field=value, "
+             "field!=value, field~substr, field>n, field>=n, field<n, "
+             "field<=n, or a bare field (present); fields are dotted paths "
+             "like key.kind, headline.makespan, derived.dilation",
+    )
+    lake_query.add_argument(
+        "--sort", type=_sort_spec, default=None, metavar="FIELD[:asc|:desc]",
+        help="order results by a field (default direction: asc; entries "
+             "missing the field sort last)",
+    )
+    lake_query.add_argument(
+        "--limit", type=_row_limit, default=None, metavar="N",
+        help="keep at most N rows after filtering and sorting",
+    )
+    lake_query.add_argument(
+        "--columns", metavar="F1,F2,...",
+        default="fingerprint,key.kind,key.task_id,key.scale",
+        help="comma-separated fields of the result table (default: "
+             "fingerprint,key.kind,key.task_id,key.scale); the sort field "
+             "is appended automatically",
+    )
+    lake_query.add_argument(
+        "--agg", action="append", type=_agg_spec, default=None,
+        metavar="FN:FIELD",
+        help="aggregate instead of listing rows: FN in "
+             "min,max,mean,sum,count (repeatable)",
+    )
+    lake_query.add_argument(
+        "--group-by", metavar="FIELD", default=None,
+        help="group --agg aggregates by this field",
+    )
+    lake_query.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print full entries (or aggregate rows) as JSON instead of a "
+             "table",
+    )
+    lake_stats = lake_sub.add_parser(
+        "stats",
+        help="report the lake's reconciliation state: entries, index lines, "
+             "duplicates, ghosts, backfills",
+    )
+    lake_stats.add_argument(
+        "--cache-dir", metavar="DIR", default=DEFAULT_CACHE_DIR,
+        help=f"cache root (default: {DEFAULT_CACHE_DIR})",
+    )
+    lake_stats.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the stats as JSON",
+    )
+    lake_compact = lake_sub.add_parser(
+        "compact",
+        help="rewrite index.jsonl from objects/: drops ghost and duplicate "
+             "lines, backfills unindexed objects",
+    )
+    lake_compact.add_argument(
+        "--cache-dir", metavar="DIR", default=DEFAULT_CACHE_DIR,
+        help=f"cache root to compact in place (default: {DEFAULT_CACHE_DIR})",
+    )
+
+    reproduce_parser = sub.add_parser(
+        "reproduce",
+        help="re-verify a persisted run end-to-end: checksum its artifacts, "
+             "re-execute its recipe through the cached runner and diff the "
+             "regenerated artifacts byte-for-byte",
+    )
+    reproduce_parser.add_argument(
+        "run_dir", metavar="RUN_DIR",
+        help="run directory to reproduce (a matrix run carries its full "
+             "recipe in matrix.json)",
+    )
+    reproduce_parser.add_argument(
+        "--cache-dir", metavar="DIR", default=DEFAULT_CACHE_DIR,
+        help=f"result cache for the re-execution (default: "
+             f"{DEFAULT_CACHE_DIR}; the original run's cache makes "
+             "reproduction a 100%% cache hit)",
+    )
+    reproduce_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="re-execute without the result cache (every task recomputed)",
+    )
+    reproduce_parser.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="fan the re-execution across N worker processes",
+    )
+    reproduce_parser.add_argument(
+        "--verify-only", action="store_true",
+        help="stop after the checksum stage (equivalent to repro-io verify, "
+             "in reproduce's per-artifact report format)",
+    )
+    reproduce_parser.add_argument(
+        "--no-batch", action="store_true",
+        help="disable the batched lockstep kernel during re-execution",
     )
 
     return parser
@@ -1013,6 +1170,120 @@ def _command_cache(args: argparse.Namespace) -> int:
     return 2  # pragma: no cover - argparse enforces the subcommand
 
 
+def _short_fingerprint(value: object) -> str:
+    text = str(value)
+    return text[:12] if len(text) > 12 else text
+
+
+def _command_lake(args: argparse.Namespace) -> int:
+    """The ``repro-io lake`` query/stats/compact commands."""
+    import json
+
+    from repro.analysis.tables import rows_to_markdown
+    from repro.lake import aggregate_entries, load_lake, run_query
+
+    log = get_logger()
+    if args.lake_command == "compact":
+        from repro.runner.cache import ResultCache
+
+        stats = ResultCache(args.cache_dir).compact_index()
+        log.info("lake_compacted", cache_dir=args.cache_dir, **stats)
+        print(
+            f"[lake] compacted {args.cache_dir}: {stats['entries']} entries, "
+            f"dropped {stats['dropped_duplicates']} duplicates and "
+            f"{stats['dropped_ghosts']} ghosts, backfilled "
+            f"{stats['backfilled']}"
+        )
+        return 0
+
+    view = load_lake(args.cache_dir)
+    if args.lake_command == "stats":
+        stats = {
+            "root": view.root,
+            "entries": len(view.entries),
+            "index_lines": view.index_lines,
+            "duplicates": view.duplicates,
+            "ghosts": len(view.ghosts),
+            "backfilled": len(view.backfilled),
+            "unreadable": view.unreadable,
+            "coherent": view.coherent,
+        }
+        if args.as_json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+            return 0
+        print(f"[lake] {view.root}")
+        print(f"  entries     {stats['entries']}")
+        print(f"  index lines {stats['index_lines']} "
+              f"({stats['duplicates']} shadowed duplicates)")
+        print(f"  ghosts      {stats['ghosts']}")
+        print(f"  backfilled  {stats['backfilled']}")
+        print(f"  unreadable  {stats['unreadable']}")
+        verdict = "coherent" if view.coherent else (
+            "incoherent (run repro-io lake compact)"
+        )
+        print(f"  index is {verdict}")
+        return 0
+
+    # lake query
+    entries = run_query(
+        view.entries,
+        where=args.where or (),
+        sort=args.sort,
+        limit=args.limit,
+    )
+    if args.agg:
+        rows = aggregate_entries(entries, args.agg, group_by=args.group_by)
+        if args.as_json:
+            print(json.dumps(rows, indent=2, sort_keys=True))
+        elif rows:
+            print(rows_to_markdown(rows))
+        else:
+            print("[lake] no matching entries")
+        return 0
+    if args.group_by:
+        log.warn("lake_usage", detail="--group-by has no effect without --agg")
+    if args.as_json:
+        print(json.dumps(entries, indent=2, sort_keys=True))
+        return 0
+    if not entries:
+        print("[lake] no matching entries")
+        return 0
+    from repro.lake.query import resolve_field
+
+    columns = [c.strip() for c in args.columns.split(",") if c.strip()]
+    if args.sort and args.sort[0] not in columns:
+        columns.append(args.sort[0])
+    rows = []
+    for entry in entries:
+        row = {}
+        for column in columns:
+            value = resolve_field(entry, column)
+            if column == "fingerprint" and value is not None:
+                value = _short_fingerprint(value)
+            if isinstance(value, float):
+                value = round(value, 6)
+            row[column] = "" if value is None else value
+        rows.append(row)
+    print(rows_to_markdown(rows, columns=columns))
+    print(f"{len(entries)} entries")
+    return 0
+
+
+def _command_reproduce(args: argparse.Namespace) -> int:
+    """The ``repro-io reproduce`` verb: re-verify one run end-to-end."""
+    from repro.lake.reproduce import reproduce_run
+
+    report = reproduce_run(
+        args.run_dir,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        jobs=args.jobs,
+        batch=not args.no_batch,
+        verify_only=args.verify_only,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _command_verify(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -1135,6 +1406,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_obs(args)
     if args.command == "cache":
         return _command_cache(args)
+    if args.command == "lake":
+        return _command_lake(args)
+    if args.command == "reproduce":
+        return _command_reproduce(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -1,0 +1,43 @@
+"""The queryable result lake over the content-addressed cache.
+
+The cache (:mod:`repro.runner.cache`) stores one JSON object per finished
+task and appends one headline line per store to ``index.jsonl``.  This
+package turns that material into something a human (or the future oracle
+service) can *ask questions of*:
+
+* :mod:`repro.lake.index` — load the index, deduplicate it (last occurrence
+  wins) and reconcile it against ``objects/`` so queries never report ghost
+  entries or miss unindexed objects;
+* :mod:`repro.lake.query` — filter/sort/aggregate over key material,
+  headline metrics and derived cross-entry metrics (pair dilation and
+  slowdowns joined against their alone baselines);
+* :mod:`repro.lake.reproduce` — the ``repro-io reproduce`` verb: re-verify
+  a persisted run directory end-to-end from its manifest (checksums, task
+  re-execution through the cached batched runner, byte-for-byte artifact
+  comparison).
+"""
+
+from repro.lake.index import LakeView, load_lake, scan_lake
+from repro.lake.query import (
+    QueryFilter,
+    aggregate_entries,
+    attach_derived,
+    parse_sort,
+    parse_where,
+    run_query,
+)
+from repro.lake.reproduce import ReproduceReport, reproduce_run
+
+__all__ = [
+    "LakeView",
+    "load_lake",
+    "scan_lake",
+    "QueryFilter",
+    "parse_where",
+    "parse_sort",
+    "run_query",
+    "aggregate_entries",
+    "attach_derived",
+    "ReproduceReport",
+    "reproduce_run",
+]

@@ -1,0 +1,185 @@
+"""Loading and reconciling the result-lake index.
+
+The contract (documented in DESIGN.md "The result lake"):
+
+* ``index.jsonl`` is append-only; a fingerprint stored twice appears twice
+  and **the last occurrence wins**;
+* ``objects/`` is the single source of truth — an index line whose object
+  no longer exists is a *ghost* and must never surface in query results; an
+  object without an index line (a legacy entry stored before the index
+  existed) is *missing* and must still surface;
+* :func:`load_lake` therefore returns exactly one entry per object on disk:
+  deduplicated index lines for the indexed ones, and entries rebuilt from
+  the stored envelope (same headline extraction) for the missing ones.
+
+Entries are plain dicts shaped like index lines::
+
+    {"fingerprint": ..., "stored_at": ..., "key": {...}, "headline": {...}}
+
+so the query layer, the JSONL on disk and a rescan of ``objects/`` all
+speak one format.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.obs.telemetry import get_telemetry
+from repro.runner.cache import headline_metrics
+
+__all__ = ["LakeView", "load_lake", "scan_lake"]
+
+#: One lake entry (an index-line-shaped dict).
+Entry = Dict[str, object]
+
+
+@dataclass
+class LakeView:
+    """The reconciled state of one cache directory.
+
+    ``entries`` is authoritative: exactly one entry per object in
+    ``objects/``, deterministically ordered by ``(stored_at, fingerprint)``.
+    The remaining fields describe what reconciliation had to repair — the
+    material for ``repro-io lake stats`` and the ``lake.reconcile.*``
+    telemetry counters.
+    """
+
+    root: str
+    entries: List[Entry] = field(default_factory=list)
+    #: Fingerprints the index named but ``objects/`` no longer holds.
+    ghosts: List[str] = field(default_factory=list)
+    #: Fingerprints found in ``objects/`` with no index line (rebuilt here).
+    backfilled: List[str] = field(default_factory=list)
+    #: Raw index lines read (before dedup; corrupt lines excluded).
+    index_lines: int = 0
+    #: Index lines shadowed by a later line for the same fingerprint.
+    duplicates: int = 0
+    #: Objects whose stored envelope could not be parsed (skipped).
+    unreadable: int = 0
+
+    @property
+    def coherent(self) -> bool:
+        """True when the index needed no repairs (no ghosts, no backfills)."""
+        return not self.ghosts and not self.backfilled
+
+
+def _index_path(root: Path) -> Path:
+    return root / "index.jsonl"
+
+
+def _read_index_lines(root: Path) -> List[Entry]:
+    """Parsed ``index.jsonl`` lines, oldest first; corrupt lines skipped."""
+    try:
+        text = _index_path(root).read_text(encoding="utf-8")
+    except OSError:
+        return []
+    lines: List[Entry] = []
+    for raw in text.splitlines():
+        try:
+            parsed = json.loads(raw)
+        except ValueError:
+            continue
+        if isinstance(parsed, dict) and "fingerprint" in parsed:
+            lines.append(parsed)
+    return lines
+
+
+def _object_fingerprints(root: Path) -> List[str]:
+    """Fingerprints of every object under ``objects/<aa>/`` (sorted)."""
+    objects = root / "objects"
+    if not objects.is_dir():
+        return []
+    return sorted(p.stem for p in objects.glob("*/*.json"))
+
+
+def _entry_from_object(root: Path, fp: str) -> Optional[Entry]:
+    """Rebuild one index-line-shaped entry from a stored object envelope."""
+    path = root / "objects" / fp[:2] / f"{fp}.json"
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            envelope = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(envelope, dict) or "payload" not in envelope:
+        return None
+    payload = envelope.get("payload")
+    if not isinstance(payload, dict):
+        return None
+    return {
+        "fingerprint": fp,
+        "stored_at": envelope.get("stored_at", 0.0),
+        "key": dict(envelope.get("key", {}) or {}),
+        "headline": headline_metrics(payload),
+    }
+
+
+def _sort_key(entry: Entry):
+    try:
+        stored = float(entry.get("stored_at", 0.0))
+    except (TypeError, ValueError):
+        stored = 0.0
+    return (stored, str(entry.get("fingerprint", "")))
+
+
+def load_lake(cache_dir: Union[str, Path]) -> LakeView:
+    """Reconcile ``index.jsonl`` against ``objects/`` and return the view.
+
+    Fast path: indexed objects reuse their (deduplicated, last-wins) index
+    line without touching the object file; only unindexed objects pay a
+    full envelope read.  Ghost lines are dropped, never surfaced.
+    """
+    root = Path(cache_dir)
+    lines = _read_index_lines(root)
+    deduped: Dict[str, Entry] = {}
+    for line in lines:  # oldest first -> later lines overwrite: last wins
+        deduped[str(line["fingerprint"])] = line
+    live = _object_fingerprints(root)
+    live_set = set(live)
+
+    view = LakeView(
+        root=str(root),
+        index_lines=len(lines),
+        duplicates=len(lines) - len(deduped),
+        ghosts=sorted(set(deduped) - live_set),
+    )
+    for fp in live:
+        line = deduped.get(fp)
+        if line is None:
+            rebuilt = _entry_from_object(root, fp)
+            if rebuilt is None:
+                view.unreadable += 1
+                continue
+            view.backfilled.append(fp)
+            view.entries.append(rebuilt)
+        else:
+            view.entries.append(line)
+    view.entries.sort(key=_sort_key)
+
+    telemetry = get_telemetry()
+    if telemetry.enabled:
+        telemetry.count("lake.entries", len(view.entries))
+        telemetry.count("lake.reconcile.ghosts", len(view.ghosts))
+        telemetry.count("lake.reconcile.backfilled", len(view.backfilled))
+        telemetry.count("lake.reconcile.duplicates", view.duplicates)
+    return view
+
+
+def scan_lake(cache_dir: Union[str, Path]) -> List[Entry]:
+    """Ground-truth entries built purely from ``objects/`` (no index read).
+
+    Every object envelope is parsed; the index file is ignored entirely.
+    This is the oracle the reconciliation property tests compare
+    :func:`load_lake` against — by construction it can contain neither
+    ghosts nor missing entries.
+    """
+    root = Path(cache_dir)
+    entries: List[Entry] = []
+    for fp in _object_fingerprints(root):
+        entry = _entry_from_object(root, fp)
+        if entry is not None:
+            entries.append(entry)
+    entries.sort(key=_sort_key)
+    return entries

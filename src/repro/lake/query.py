@@ -1,0 +1,353 @@
+"""Filter / sort / aggregate queries over lake entries.
+
+Fields are dotted paths into the entry dict — ``key.kind``,
+``key.task_id``, ``headline.makespan``, ``fingerprint`` — resolved with a
+longest-match rule so flattened headline names that themselves contain a
+dot (``headline.phase_times.0``) still resolve.  ``derived.*`` fields are
+cross-entry joins computed by :func:`attach_derived`: a ``matrix-pair``
+entry whose two alone baselines are also in the lake gains
+``derived.dilation``, ``derived.slowdown_a``/``_b`` and
+``derived.asymmetry`` — which is what makes "worst observed dilation for
+checkpoint x randomread across all runs" a one-liner::
+
+    repro-io lake query --where key.kind=matrix-pair \\
+        --where key.task_id~checkpoint --where key.task_id~randomread \\
+        --sort derived.dilation:desc --limit 1
+
+Filter grammar (one ``--where`` each): ``field=value``, ``field!=value``,
+``field~substring``, ``field>num``, ``field>=num``, ``field<num``,
+``field<=num``, or a bare ``field`` (present and non-null).  An entry
+missing the field never matches — the lake answers about facts it has,
+it does not invent nulls.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import UsageError
+from repro.obs.telemetry import get_telemetry
+
+__all__ = [
+    "QueryFilter",
+    "parse_where",
+    "parse_sort",
+    "parse_aggregate",
+    "resolve_field",
+    "attach_derived",
+    "run_query",
+    "aggregate_entries",
+    "AGGREGATE_FUNCTIONS",
+]
+
+Entry = Dict[str, object]
+
+#: Operator tokens, longest first so ``>=`` is not parsed as ``>``.
+_OPERATORS: Tuple[str, ...] = (">=", "<=", "!=", "=", ">", "<", "~")
+
+AGGREGATE_FUNCTIONS = ("min", "max", "mean", "sum", "count")
+
+
+def resolve_field(entry: Entry, path: str):
+    """The value at a dotted ``path``, or ``None`` when absent.
+
+    At every level the full remaining path is tried as a literal key before
+    descending one segment, so flattened metric names containing dots
+    (``phase_times.0``) resolve under their section (``headline.``).
+    """
+    parts = path.split(".")
+    node: object = entry
+    i = 0
+    while i < len(parts):
+        if not isinstance(node, dict):
+            return None
+        remainder = ".".join(parts[i:])
+        if remainder in node:
+            return node[remainder]
+        if parts[i] in node:
+            node = node[parts[i]]
+            i += 1
+            continue
+        return None
+    return node
+
+
+def _as_number(value) -> Optional[float]:
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            return None
+    return None
+
+
+@dataclass(frozen=True)
+class QueryFilter:
+    """One parsed ``--where`` expression."""
+
+    field: str
+    op: str  # one of _OPERATORS, or "present" for a bare field
+    value: str = ""
+
+    def matches(self, entry: Entry) -> bool:
+        actual = resolve_field(entry, self.field)
+        if actual is None:
+            return False
+        if self.op == "present":
+            return True
+        if self.op == "~":
+            return self.value in str(actual)
+        if self.op in ("=", "!="):
+            left, right = _as_number(actual), _as_number(self.value)
+            equal = (
+                left == right
+                if left is not None and right is not None
+                else str(actual) == self.value
+            )
+            return equal if self.op == "=" else not equal
+        left, right = _as_number(actual), _as_number(self.value)
+        if left is None or right is None:
+            return False
+        if self.op == ">":
+            return left > right
+        if self.op == ">=":
+            return left >= right
+        if self.op == "<":
+            return left < right
+        return left <= right  # "<="
+
+
+def parse_where(expr: str) -> QueryFilter:
+    """Parse one filter expression; raises :class:`UsageError` when malformed."""
+    text = expr.strip()
+    if not text:
+        raise UsageError("--where expects a non-empty expression")
+    for op in _OPERATORS:
+        index = text.find(op)
+        if index > 0:
+            field = text[:index].strip()
+            value = text[index + len(op):].strip()
+            if not field:
+                break
+            if op != "~" and not value:
+                raise UsageError(
+                    f"--where {expr!r} has operator {op!r} but no value"
+                )
+            return QueryFilter(field=field, op=op, value=value)
+        if index == 0:
+            raise UsageError(f"--where {expr!r} has no field before {op!r}")
+    return QueryFilter(field=text, op="present")
+
+
+def parse_sort(spec: str) -> Tuple[str, bool]:
+    """Parse ``FIELD[:asc|:desc]`` into ``(field, reverse)``."""
+    field, _, direction = spec.strip().partition(":")
+    if not field:
+        raise UsageError("--sort expects FIELD or FIELD:desc")
+    direction = direction or "asc"
+    if direction not in ("asc", "desc"):
+        raise UsageError(
+            f"--sort direction must be asc or desc, got {direction!r}"
+        )
+    return field, direction == "desc"
+
+
+def parse_aggregate(spec: str) -> Tuple[str, str]:
+    """Parse ``FN:FIELD`` into ``(fn, field)``."""
+    fn, _, field = spec.strip().partition(":")
+    if fn not in AGGREGATE_FUNCTIONS or not field:
+        raise UsageError(
+            f"--agg expects FN:FIELD with FN in {sorted(AGGREGATE_FUNCTIONS)}, "
+            f"got {spec!r}"
+        )
+    return fn, field
+
+
+# --------------------------------------------------------------------------- #
+# Derived cross-entry metrics
+# --------------------------------------------------------------------------- #
+
+
+def _baseline_join_key(key: Dict[str, object], spec: object) -> str:
+    """The identity under which a pair leg matches its alone baseline.
+
+    Alone tasks normalize the pair start ``delay`` to zero (it cannot affect
+    a single-workload run), so the join strips ``delay`` from the options on
+    both sides; everything else — scale, stepping, deployment options and
+    the spec itself — must match exactly.
+    """
+    options = key.get("options")
+    options = {
+        k: v for k, v in dict(options or {}).items() if k != "delay"
+    }
+    return json.dumps(
+        {
+            "scale": key.get("scale"),
+            "stepping": key.get("stepping"),
+            "options": options,
+            "spec": spec,
+        },
+        sort_keys=True,
+    )
+
+
+def attach_derived(entries: Sequence[Entry]) -> List[Entry]:
+    """Join pair entries with their alone baselines; returns ``entries``.
+
+    Every ``matrix-pair`` entry whose two alone baselines are present in
+    the lake (same scale/options/stepping, matched per spec) gains a
+    ``derived`` section: ``alone_a``/``alone_b``, ``dilation`` (makespan
+    over the longer alone phase), ``slowdown_a``/``slowdown_b`` (from the
+    flattened ``phase_times.*`` headline) and ``asymmetry``.  Entries
+    without a complete join are left untouched — derived fields never
+    guess.
+    """
+    baselines: Dict[str, float] = {}
+    for entry in entries:
+        key = entry.get("key") or {}
+        if not isinstance(key, dict) or key.get("kind") != "matrix-alone":
+            continue
+        headline = entry.get("headline") or {}
+        phase = _as_number(
+            headline.get("phase_time") if isinstance(headline, dict) else None
+        )
+        specs = key.get("specs") or []
+        if phase is None or phase <= 0 or len(specs) != 1:
+            continue
+        baselines[_baseline_join_key(key, specs[0])] = phase
+
+    for entry in entries:
+        key = entry.get("key") or {}
+        if not isinstance(key, dict) or key.get("kind") != "matrix-pair":
+            continue
+        specs = key.get("specs") or []
+        if len(specs) != 2:
+            continue
+        alone_a = baselines.get(_baseline_join_key(key, specs[0]))
+        alone_b = baselines.get(_baseline_join_key(key, specs[1]))
+        if alone_a is None or alone_b is None:
+            continue
+        headline = entry.get("headline") or {}
+        derived: Dict[str, float] = {"alone_a": alone_a, "alone_b": alone_b}
+        makespan = _as_number(headline.get("makespan"))
+        if makespan is not None:
+            derived["dilation"] = makespan / max(alone_a, alone_b)
+        pair_a = _as_number(headline.get("phase_times.0"))
+        pair_b = _as_number(headline.get("phase_times.1"))
+        if pair_a is not None:
+            derived["slowdown_a"] = pair_a / alone_a
+        if pair_b is not None:
+            derived["slowdown_b"] = pair_b / alone_b
+        if "slowdown_a" in derived and "slowdown_b" in derived:
+            derived["asymmetry"] = derived["slowdown_a"] - derived["slowdown_b"]
+        entry["derived"] = derived
+    return list(entries)
+
+
+# --------------------------------------------------------------------------- #
+# Query execution
+# --------------------------------------------------------------------------- #
+
+
+def _sort_value(entry: Entry, field: str):
+    """A totally ordered sort key: numbers first, then strings, absent last."""
+    value = resolve_field(entry, field)
+    number = _as_number(value)
+    if number is not None:
+        return (0, number, "")
+    if value is None:
+        return (2, 0.0, "")
+    return (1, 0.0, str(value))
+
+
+def run_query(
+    entries: Sequence[Entry],
+    where: Sequence[QueryFilter] = (),
+    sort: Optional[Tuple[str, bool]] = None,
+    limit: Optional[int] = None,
+    derived: bool = True,
+) -> List[Entry]:
+    """Execute one query: derive, filter, sort, truncate."""
+    telemetry = get_telemetry()
+    if telemetry.enabled:
+        telemetry.count("lake.query")
+    pool = attach_derived(list(entries)) if derived else list(entries)
+    for query_filter in where:
+        pool = [e for e in pool if query_filter.matches(e)]
+    if sort is not None:
+        field, reverse = sort
+        # Entries missing the sort field go last in either direction — a
+        # plain reverse=True sort would float them to the top of a :desc
+        # query, ahead of every real value.
+        present = [e for e in pool if resolve_field(e, field) is not None]
+        absent = [e for e in pool if resolve_field(e, field) is None]
+        present.sort(key=lambda e: _sort_value(e, field), reverse=reverse)
+        pool = present + absent
+    if limit is not None:
+        pool = pool[: max(0, int(limit))]
+    return pool
+
+
+def aggregate_entries(
+    entries: Sequence[Entry],
+    specs: Sequence[Tuple[str, str]],
+    group_by: Optional[str] = None,
+) -> List[Dict[str, object]]:
+    """Aggregate rows ``{group?, aggregate, value, n}`` over the entries.
+
+    ``count`` counts entries where the field resolves; the numeric
+    functions skip entries whose field is absent or non-numeric (``n``
+    reports how many contributed).
+    """
+    groups: Dict[str, List[Entry]] = {}
+    if group_by is None:
+        groups[""] = list(entries)
+    else:
+        for entry in entries:
+            value = resolve_field(entry, group_by)
+            if value is None:
+                continue
+            groups.setdefault(str(value), []).append(entry)
+
+    rows: List[Dict[str, object]] = []
+    for group in sorted(groups):
+        for fn, field in specs:
+            values = [
+                number
+                for entry in groups[group]
+                for number in (_as_number(resolve_field(entry, field)),)
+                if number is not None
+            ]
+            if fn == "count":
+                present = sum(
+                    1 for entry in groups[group]
+                    if resolve_field(entry, field) is not None
+                )
+                value: object = present
+                n = present
+            elif not values:
+                value = None
+                n = 0
+            elif fn == "min":
+                value, n = min(values), len(values)
+            elif fn == "max":
+                value, n = max(values), len(values)
+            elif fn == "sum":
+                value, n = sum(values), len(values)
+            else:  # mean
+                value, n = sum(values) / len(values), len(values)
+            row: Dict[str, object] = {
+                "aggregate": f"{fn}({field})",
+                "value": value,
+                "n": n,
+            }
+            if group_by is not None:
+                row = {group_by: group, **row}
+            rows.append(row)
+    return rows

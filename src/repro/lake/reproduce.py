@@ -1,0 +1,250 @@
+"""End-to-end re-verification of a persisted run directory.
+
+``repro-io reproduce RUN_DIR`` answers a stronger question than
+``repro-io verify``: not just "are the stored bytes intact?" but "does
+re-executing this run's recipe today still produce those bytes?".  Three
+stages, each reported per check:
+
+1. **integrity** — the manifest parses, carries every required field, and
+   every recorded artifact re-hashes to its manifest checksum
+   (:func:`repro.runner.store.sha256_file`, the same digest the store
+   wrote);
+2. **re-execution** — the task list is re-derived from the stored
+   ``matrix.json`` (specs, scale, options, stepping travel inside it) and
+   re-executed through the cached batched runner
+   (:func:`repro.scenarios.matrix.rerun_matrix_document`) — with a warm
+   cache every task is a hit and the stage costs milliseconds;
+3. **byte comparison** — the regenerated ``matrix.json`` and
+   ``EXPERIMENTS.md`` artifact texts (shared renderer:
+   :func:`repro.scenarios.matrix.matrix_artifacts`) are diffed byte-for-byte
+   against the stored files.
+
+Telemetry artifacts (``telemetry.json``/``telemetry_events.jsonl``) and the
+manifest's task table describe one concrete execution; they are checksummed
+in stage 1 but never byte-compared — a reproduced run legitimately has its
+own timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro._version import __version__
+from repro.errors import AnalysisError
+from repro.runner.store import (
+    MANIFEST_NAME,
+    REQUIRED_MANIFEST_FIELDS,
+    sha256_file,
+)
+
+__all__ = ["ReproduceCheck", "ReproduceReport", "reproduce_run"]
+
+#: The artifacts a reproduced matrix regenerates and byte-compares.
+REPRODUCIBLE_ARTIFACTS = ("matrix.json", "EXPERIMENTS.md")
+
+
+@dataclass(frozen=True)
+class ReproduceCheck:
+    """One named pass/fail/skip verdict of the reproduce pipeline."""
+
+    name: str
+    status: str  # "ok" | "FAIL" | "skip"
+    detail: str = ""
+
+
+@dataclass
+class ReproduceReport:
+    """Every check of one ``reproduce_run``, renderable as the CLI report."""
+
+    run_dir: str
+    checks: List[ReproduceCheck] = field(default_factory=list)
+
+    def add(self, name: str, status: str, detail: str = "") -> None:
+        self.checks.append(ReproduceCheck(name, status, detail))
+
+    @property
+    def ok(self) -> bool:
+        return all(check.status != "FAIL" for check in self.checks)
+
+    @property
+    def n_passed(self) -> int:
+        return sum(1 for check in self.checks if check.status == "ok")
+
+    def render(self) -> str:
+        lines = []
+        for check in self.checks:
+            line = f"[reproduce] {check.status:4s} {check.name}"
+            if check.detail:
+                line += f": {check.detail}"
+            lines.append(line)
+        graded = [c for c in self.checks if c.status != "skip"]
+        verdict = "PASS" if self.ok else "FAIL"
+        lines.append(
+            f"[reproduce] {verdict} {self.run_dir}: "
+            f"{self.n_passed}/{len(graded)} checks passed"
+        )
+        return "\n".join(lines)
+
+
+def _first_difference(stored: bytes, regenerated: bytes) -> str:
+    """Human-sized description of where two byte strings diverge."""
+    limit = min(len(stored), len(regenerated))
+    for i in range(limit):
+        if stored[i] != regenerated[i]:
+            return (
+                f"first difference at byte {i} "
+                f"(stored {len(stored)} bytes, regenerated {len(regenerated)})"
+            )
+    return (
+        f"lengths differ after a common prefix of {limit} bytes "
+        f"(stored {len(stored)}, regenerated {len(regenerated)})"
+    )
+
+
+def _check_integrity(report: ReproduceReport, run_path: Path) -> Optional[Dict]:
+    """Stage 1: manifest fields + per-artifact checksums.  Returns manifest."""
+    manifest_path = run_path / MANIFEST_NAME
+    if not manifest_path.is_file():
+        report.add("manifest", "FAIL", f"missing {manifest_path}")
+        return None
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except ValueError as exc:
+        report.add("manifest", "FAIL", f"unreadable: {exc}")
+        return None
+
+    missing = [f for f in REQUIRED_MANIFEST_FIELDS if f not in manifest]
+    if missing:
+        report.add("manifest", "FAIL", f"missing required fields {missing}")
+    else:
+        report.add(
+            "manifest", "ok",
+            f"{len(REQUIRED_MANIFEST_FIELDS)} required fields present",
+        )
+
+    artifacts = manifest.get("artifacts", {})
+    if not isinstance(artifacts, dict):
+        report.add("artifacts", "FAIL", "'artifacts' must be a mapping")
+        return manifest
+    for name in sorted(artifacts):
+        entry = artifacts[name]
+        if not isinstance(entry, dict):
+            report.add(f"checksum {name}", "FAIL", "entry must be a mapping")
+            continue
+        artifact_path = run_path / entry.get("path", name)
+        if not artifact_path.is_file():
+            report.add(f"checksum {name}", "FAIL", "artifact missing")
+            continue
+        actual = sha256_file(artifact_path)
+        recorded = entry.get("sha256")
+        if actual != recorded:
+            report.add(
+                f"checksum {name}", "FAIL",
+                f"manifest {recorded}, file {actual}",
+            )
+        elif "bytes" in entry and artifact_path.stat().st_size != entry["bytes"]:
+            report.add(f"checksum {name}", "FAIL", "size mismatch")
+        else:
+            report.add(
+                f"checksum {name}", "ok",
+                f"{artifact_path.stat().st_size} bytes",
+            )
+    return manifest
+
+
+def reproduce_run(
+    run_dir: Union[str, Path],
+    *,
+    cache_dir: Optional[str] = None,
+    jobs: int = 1,
+    batch: bool = True,
+    verify_only: bool = False,
+) -> ReproduceReport:
+    """Re-verify one run directory; see the module docstring for the stages.
+
+    ``cache_dir`` feeds the re-execution through the content-addressed
+    cache (the original run's cache makes the whole stage cache hits);
+    ``verify_only`` stops after stage 1.  Never raises for a failing run —
+    failures are checks in the returned report; callers exit non-zero on
+    ``not report.ok``.
+    """
+    run_path = Path(run_dir)
+    report = ReproduceReport(run_dir=str(run_dir))
+    manifest = _check_integrity(report, run_path)
+    if manifest is None or verify_only:
+        return report
+
+    artifacts = manifest.get("artifacts", {})
+    if "matrix.json" not in artifacts:
+        report.add(
+            "re-execute", "FAIL",
+            "run carries no matrix.json recipe; only matrix runs are "
+            "end-to-end reproducible (use repro-io verify for "
+            "checksum-only verification)",
+        )
+        return report
+
+    try:
+        with open(run_path / "matrix.json", "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as exc:
+        report.add("re-execute", "FAIL", f"unreadable matrix.json: {exc}")
+        return report
+
+    stored_version = document.get("version", "?")
+    if stored_version == __version__:
+        report.add("version", "ok", f"stored and running {__version__}")
+    else:
+        report.add(
+            "version", "FAIL",
+            f"stored by {stored_version}, running {__version__} — "
+            "byte-identity is not expected across versions",
+        )
+
+    from repro.scenarios.matrix import matrix_artifacts, rerun_matrix_document
+
+    tally = {"tasks": 0, "cached": 0}
+
+    def progress(task_id: str, from_cache: bool) -> None:
+        tally["tasks"] += 1
+        tally["cached"] += 1 if from_cache else 0
+
+    try:
+        matrix = rerun_matrix_document(
+            document, jobs=jobs, cache_dir=cache_dir,
+            batch=batch, progress=progress,
+        )
+    except (AnalysisError, KeyError, TypeError, ValueError) as exc:
+        report.add("re-execute", "FAIL", f"{type(exc).__name__}: {exc}")
+        return report
+    report.add(
+        "re-execute", "ok",
+        f"{tally['tasks']} tasks ({tally['cached']} cached)",
+    )
+
+    regenerated = matrix_artifacts(matrix)
+    for name in REPRODUCIBLE_ARTIFACTS:
+        if name not in artifacts:
+            report.add(
+                f"regenerated {name}", "skip",
+                "not recorded in this run's manifest (stored by an older "
+                "version)",
+            )
+            continue
+        stored_bytes = (run_path / name).read_bytes()
+        fresh_bytes = regenerated[name].encode("utf-8")
+        if stored_bytes == fresh_bytes:
+            report.add(
+                f"regenerated {name}", "ok",
+                f"byte-identical ({len(fresh_bytes)} bytes)",
+            )
+        else:
+            report.add(
+                f"regenerated {name}", "FAIL",
+                _first_difference(stored_bytes, fresh_bytes),
+            )
+    return report

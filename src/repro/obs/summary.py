@@ -20,6 +20,7 @@ __all__ = [
     "TELEMETRY_DOCUMENT_NAME",
     "TELEMETRY_EVENTS_NAME",
     "batch_stats",
+    "lake_stats",
     "load_run_telemetry",
     "summarize_document",
     "diff_documents",
@@ -153,6 +154,20 @@ def cache_stats(document: Dict[str, Any]) -> Dict[str, float]:
     }
 
 
+def lake_stats(document: Dict[str, Any]) -> Dict[str, float]:
+    """Result-lake query/reconciliation counters (zero when no lake ran)."""
+    counters = document.get("counters", {})
+    return {
+        "queries": float(counters.get("lake.query", 0)),
+        "entries": float(counters.get("lake.entries", 0)),
+        "ghosts": float(counters.get("lake.reconcile.ghosts", 0)),
+        "backfilled": float(counters.get("lake.reconcile.backfilled", 0)),
+        "duplicates": float(counters.get("lake.reconcile.duplicates", 0)),
+        "compact_entries": float(counters.get("lake.compact.entries", 0)),
+        "compact_dropped": float(counters.get("lake.compact.dropped", 0)),
+    }
+
+
 # --------------------------------------------------------------------------- #
 # Reports
 # --------------------------------------------------------------------------- #
@@ -230,6 +245,21 @@ def summarize_document(
             )
     else:
         lines.append("  no step-phase timing recorded")
+
+    lake = lake_stats(document)
+    if any(lake.values()):
+        lines.append("lake")
+        lines.append(
+            f"  {lake['queries']:.0f} queries over {lake['entries']:.0f} "
+            f"entries; reconciliation dropped {lake['ghosts']:.0f} ghosts, "
+            f"backfilled {lake['backfilled']:.0f}, shadowed "
+            f"{lake['duplicates']:.0f} duplicates"
+        )
+        if lake["compact_entries"] or lake["compact_dropped"]:
+            lines.append(
+                f"  compaction kept {lake['compact_entries']:.0f} lines, "
+                f"dropped {lake['compact_dropped']:.0f}"
+            )
 
     counters = document.get("counters", {})
     engine_counters = {

@@ -46,7 +46,31 @@ from typing import Dict, Iterable, List, Mapping, Optional
 from repro._version import __version__
 from repro.obs.telemetry import get_telemetry
 
-__all__ = ["ResultCache", "fingerprint", "fingerprint_payload"]
+__all__ = ["ResultCache", "fingerprint", "fingerprint_payload", "headline_metrics"]
+
+
+def headline_metrics(payload: Mapping[str, object]) -> Dict[str, float]:
+    """The queryable numeric facts of one payload, flattened for the index.
+
+    Numeric scalars keep their name; shallow lists of numbers flatten to
+    ``name.i`` entries (a pair run's ``phase_times`` become
+    ``phase_times.0``/``phase_times.1``).  Bools, strings and nested
+    structures are dropped — the index carries metrics, not payloads.  The
+    result lake (:mod:`repro.lake`) derives its per-entry metrics from this
+    one function, whether a line came from a live ``put`` or from a rescan
+    of ``objects/``, so the two routes cannot disagree.
+    """
+    headline: Dict[str, float] = {}
+    for name, value in payload.items():
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            headline[str(name)] = value
+        elif isinstance(value, (list, tuple)):
+            for i, item in enumerate(value):
+                if isinstance(item, (int, float)) and not isinstance(item, bool):
+                    headline[f"{name}.{i}"] = item
+    return headline
 
 
 def fingerprint(
@@ -235,7 +259,11 @@ class ResultCache:
                 pass
             raise
         self._hot_insert(fp, dict(payload))
-        self._index_append(fp, entry["key"], entry["payload"])
+        # Stamp the index line with the envelope's own stored_at so an index
+        # read and a rescan of objects/ describe the same instant.
+        self._index_append(
+            fp, entry["key"], entry["payload"], stored_at=entry["stored_at"]
+        )
         telemetry = get_telemetry()
         if telemetry.enabled:
             telemetry.count("cache.store")
@@ -253,24 +281,23 @@ class ResultCache:
         return self.root / "index.jsonl"
 
     def _index_append(self, fp: str, key: Mapping[str, object],
-                      payload: Mapping[str, object]) -> None:
+                      payload: Mapping[str, object],
+                      stored_at: Optional[float] = None) -> None:
         """Append one index line: fingerprint, key material, headline metrics.
 
         A single ``O_APPEND`` write per store — atomic for lines of this
         size on every platform we target — keeps concurrent workers safe
         without locking.  Append-only by design: rewrites of a fingerprint
         append a fresh line and readers let the last occurrence win.
+        ``stored_at`` overrides the line's timestamp (backfills from
+        :meth:`migrate` keep the object's original store time).
         """
-        headline = {
-            k: v for k, v in payload.items()
-            if isinstance(v, (int, float)) and not isinstance(v, bool)
-        }
         line = json.dumps(
             {
                 "fingerprint": fp,
-                "stored_at": time.time(),
+                "stored_at": time.time() if stored_at is None else stored_at,
                 "key": dict(key),
-                "headline": headline,
+                "headline": headline_metrics(payload),
             },
             sort_keys=True,
         )
@@ -309,8 +336,11 @@ class ResultCache:
         """Convert a legacy flat layout to the sharded one; returns moves.
 
         Entries sitting directly under ``objects/`` (or the cache root) move
-        into their 2-hex shard directory with an atomic rename.  Idempotent:
-        a second run finds nothing flat and moves zero files.
+        into their 2-hex shard directory with an atomic rename, and every
+        moved object is backfilled into ``index.jsonl`` (legacy flat layouts
+        predate the index; without the backfill a migrated entry would be
+        invisible to every index reader).  Idempotent: a second run finds
+        nothing flat, moves zero files and appends zero lines.
         """
         moved = 0
         for parent in (self.root / "objects", self.root):
@@ -324,7 +354,84 @@ class ResultCache:
                 dest.parent.mkdir(parents=True, exist_ok=True)
                 os.replace(path, dest)
                 moved += 1
+                entry = self._read_entry(fp)
+                if entry is not None:
+                    self._index_append(
+                        fp,
+                        entry.get("key", {}),
+                        entry.get("payload", {}),
+                        stored_at=entry.get("stored_at"),
+                    )
         return moved
+
+    def _read_entry(self, fp: str) -> Optional[Dict[str, object]]:
+        """The full stored envelope for ``fp`` (no counters), or ``None``."""
+        try:
+            with open(self._object_path(fp), "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict) or "payload" not in entry:
+            return None
+        return entry
+
+    def compact_index(self) -> Dict[str, int]:
+        """Rewrite ``index.jsonl`` to exactly one live line per stored object.
+
+        The append-only index accumulates duplicate lines (rewrites of a
+        fingerprint) and can carry ghost lines for objects that no longer
+        exist (deleted behind the instance's back).  Compaction rebuilds the
+        file from ``objects/`` — the single source of truth — one line per
+        object, ordered by (stored_at, fingerprint), written atomically.
+        Returns ``{"entries", "dropped_duplicates", "dropped_ghosts",
+        "backfilled", "unreadable"}``.
+        """
+        old_lines = self.index_entries()
+        indexed = {
+            str(line.get("fingerprint"))
+            for line in old_lines
+            if isinstance(line, dict)
+        }
+        live = self.entries()
+        rebuilt: List[Dict[str, object]] = []
+        unreadable = 0
+        for fp in live:
+            entry = self._read_entry(fp)
+            if entry is None:
+                unreadable += 1
+                continue
+            rebuilt.append({
+                "fingerprint": fp,
+                "stored_at": entry.get("stored_at", 0.0),
+                "key": dict(entry.get("key", {}) or {}),
+                "headline": headline_metrics(entry.get("payload", {}) or {}),
+            })
+        rebuilt.sort(key=lambda e: (e["stored_at"], e["fingerprint"]))
+        data = "".join(json.dumps(e, sort_keys=True) + "\n" for e in rebuilt)
+        fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(data)
+            os.replace(tmp, self.index_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        stats = {
+            "entries": len(rebuilt),
+            "dropped_duplicates": len(old_lines) - len(indexed),
+            "dropped_ghosts": len(indexed - set(live)),
+            "backfilled": len(set(live) - indexed),
+            "unreadable": unreadable,
+        }
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.count("lake.compact.entries", stats["entries"])
+            telemetry.count("lake.compact.dropped",
+                            stats["dropped_duplicates"] + stats["dropped_ghosts"])
+        return stats
 
     def contains(self, fp: str) -> bool:
         """True when a payload is stored for ``fp`` (does not touch counters)."""
@@ -337,17 +444,69 @@ class ResultCache:
             return []
         return sorted(p.stem for p in objects.glob("*/*.json"))
 
+    def shards(self) -> List[str]:
+        """The 2-hex shard directories currently under ``objects/``."""
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return []
+        return sorted(
+            p.name for p in objects.iterdir()
+            if p.is_dir() and len(p.name) == 2
+            and all(c in "0123456789abcdef" for c in p.name)
+        )
+
+    def _remove_empty_shards(self) -> int:
+        """Drop shard directories that hold no objects; returns removals."""
+        removed = 0
+        objects = self.root / "objects"
+        for shard in self.shards():
+            path = objects / shard
+            try:
+                next(path.iterdir())
+            except StopIteration:
+                try:
+                    path.rmdir()
+                    removed += 1
+                except OSError:  # pragma: no cover - raced with a writer
+                    continue
+            except OSError:  # pragma: no cover - raced with a sweeper
+                continue
+        return removed
+
     def clear(self) -> int:
-        """Delete every cached object; returns how many were removed."""
+        """Delete every cached object; returns how many were removed.
+
+        Clearing is *coherent*: the in-process hot tier is emptied (so
+        :meth:`get_many` cannot keep serving deleted payloads), ``index.jsonl``
+        is truncated (so index readers see no ghost entries), and emptied
+        2-hex shard directories are removed (so :meth:`entries`/:meth:`stats`
+        describe an actually empty store).
+        """
         removed = 0
         for fp in self.entries():
             self._object_path(fp).unlink()
             removed += 1
+        self._hot.clear()
+        try:
+            self.index_path.unlink()
+        except OSError:
+            pass
+        self._remove_empty_shards()
         return removed
 
     def stats(self) -> Dict[str, int]:
-        """Hit/miss counters for this cache instance."""
-        return {"hits": self.hits, "misses": self.misses}
+        """Hit/miss counters plus the on-disk shape of the store.
+
+        ``objects``/``shards`` are live disk facts (consistent with
+        :meth:`entries` and :meth:`shards` after any clear/migrate);
+        ``hits``/``misses`` are counters of this instance.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "objects": len(self.entries()),
+            "shards": len(self.shards()),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ResultCache {str(self.root)!r} hits={self.hits} misses={self.misses}>"

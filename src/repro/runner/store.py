@@ -33,6 +33,7 @@ __all__ = [
     "write_run",
     "load_manifest",
     "verify_manifest",
+    "sha256_file",
     "MANIFEST_NAME",
     "REQUIRED_MANIFEST_FIELDS",
     "TELEMETRY_DOCUMENT_ARTIFACT",
@@ -43,12 +44,21 @@ MANIFEST_NAME = "manifest.json"
 REQUIRED_MANIFEST_FIELDS = ("run_id", "seed", "config", "timestamp", "artifacts")
 
 
-def _sha256(path: Path) -> str:
+def sha256_file(path: Union[str, Path]) -> str:
+    """Streaming SHA-256 of one file — the manifest's artifact checksum.
+
+    Public because ``repro-io reproduce`` re-hashes artifacts with exactly
+    the digest the manifest recorded; a private copy would let the two
+    drift.
+    """
     digest = hashlib.sha256()
     with open(path, "rb") as handle:
         for chunk in iter(lambda: handle.read(65536), b""):
             digest.update(chunk)
     return digest.hexdigest()
+
+
+_sha256 = sha256_file
 
 
 #: Artifact names the manifest's ``telemetry`` reference block points at

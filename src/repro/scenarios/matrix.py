@@ -38,6 +38,8 @@ __all__ = [
     "PairCell",
     "InterferenceMatrix",
     "explain_matrix_buckets",
+    "matrix_artifacts",
+    "rerun_matrix_document",
     "run_interference_matrix",
     "run_matrix_alone_task",
     "run_matrix_pair_task",
@@ -825,12 +827,80 @@ def run_interference_matrix(
     )
 
 
+def matrix_artifacts(matrix: InterferenceMatrix) -> Dict[str, str]:
+    """The byte-exact deterministic artifact texts of one matrix run.
+
+    ``matrix.json`` is the machine-readable document; ``EXPERIMENTS.md`` is
+    the marker-delimited report section exactly as
+    :func:`repro.analysis.interference.update_experiments_section` would
+    splice it into a report file.  :func:`store_matrix` persists these and
+    ``repro-io reproduce`` regenerates them from a re-executed matrix —
+    sharing this one function is what makes the byte-for-byte comparison
+    meaningful rather than a test of two renderers.
+    """
+    import json
+
+    from repro.analysis.interference import (
+        MATRIX_SECTION_BEGIN,
+        MATRIX_SECTION_END,
+        matrix_report_markdown,
+    )
+
+    section = matrix_report_markdown(matrix)
+    return {
+        "matrix.json": json.dumps(matrix.to_dict(), indent=2, sort_keys=True)
+        + "\n",
+        "EXPERIMENTS.md": f"{MATRIX_SECTION_BEGIN}\n{section}\n"
+                          f"{MATRIX_SECTION_END}\n",
+    }
+
+
+def rerun_matrix_document(
+    document: Dict[str, object],
+    *,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    batch: bool = True,
+    progress: Optional[Callable[[str, bool], None]] = None,
+) -> InterferenceMatrix:
+    """Re-derive and re-execute the task list of a stored ``matrix.json``.
+
+    The stored document carries everything that determined the original
+    campaign — serialized specs, scale, deployment options, stepping policy
+    — so the reconstructed task list is fingerprint-identical to the
+    original's and a warm cache serves every task.  This is the execution
+    half of ``repro-io reproduce``: the returned matrix feeds
+    :func:`matrix_artifacts` for the byte-for-byte comparison.
+    """
+    stored = InterferenceMatrix.from_dict(document)
+    specs = [ScenarioSpec.from_dict(s) for s in stored.specs]
+    if not specs:
+        raise AnalysisError(
+            "stored matrix document carries no specs; it predates spec "
+            "serialization and cannot be re-executed"
+        )
+    policy = (
+        None if stored.stepping is None
+        else SteppingPolicy.from_dict(stored.stepping)
+    )
+    return run_interference_matrix(
+        specs,
+        stored.scale,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        stepping=policy,
+        progress=progress,
+        batch=batch,
+        **stored.options,
+    )
+
+
 def store_matrix(
     matrix: InterferenceMatrix,
     store_dir: str,
     telemetry=None,
 ) -> str:
-    """Persist ``matrix.json`` as a verifiable run directory.
+    """Persist ``matrix.json`` + ``EXPERIMENTS.md`` as a verifiable run dir.
 
     The run id derives from the matrix fingerprint and the manifest
     timestamp is pinned to zero, so re-running an identical matrix rewrites
@@ -856,10 +926,7 @@ def store_matrix(
     fp = matrix_fingerprint(specs, matrix.scale, matrix.options, matrix.stepping)
     run_id = f"matrix_{fp[:12]}"
     seed = matrix.options.get("seed")
-    artifacts = {
-        "matrix.json": json.dumps(matrix.to_dict(), indent=2, sort_keys=True)
-        + "\n",
-    }
+    artifacts = dict(matrix_artifacts(matrix))
     tasks = None
     if telemetry is not None and telemetry.enabled:
         from repro.obs.schema import validate_telemetry_document

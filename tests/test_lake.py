@@ -1,0 +1,457 @@
+"""The result lake: index reconciliation, queries, and the lake CLI."""
+
+import json
+import shutil
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.errors import UsageError
+from repro.lake import (
+    aggregate_entries,
+    attach_derived,
+    load_lake,
+    parse_sort,
+    parse_where,
+    run_query,
+    scan_lake,
+)
+from repro.lake.query import parse_aggregate, resolve_field
+from repro.runner.cache import ResultCache, fingerprint_payload
+
+
+# --------------------------------------------------------------------------- #
+# Fixtures: a tiny synthetic lake with matrix-shaped key material
+# --------------------------------------------------------------------------- #
+
+SPEC_A = {"archetype": "checkpoint", "name": "checkpoint"}
+SPEC_B = {"archetype": "randomread", "name": "randomread"}
+OPTS = {"device": "hdd", "delay": 0.0}
+
+
+def put_alone(cache, spec, phase_time, scale="tiny"):
+    key = {
+        "task_id": f"alone:{spec['name']}", "kind": "matrix-alone",
+        "scale": scale, "options": OPTS, "stepping": None, "specs": [spec],
+    }
+    fp = fingerprint_payload("matrix-alone", key)
+    cache.put(fp, {"phase_time": phase_time, "n_steps": 10}, key_material=key)
+    return fp
+
+
+def put_pair(cache, spec_a, spec_b, phase_times, makespan, scale="tiny"):
+    key = {
+        "task_id": f"pair:{spec_a['name']}+{spec_b['name']}",
+        "kind": "matrix-pair", "scale": scale, "options": OPTS,
+        "stepping": None, "specs": [spec_a, spec_b],
+    }
+    fp = fingerprint_payload("matrix-pair", key)
+    cache.put(
+        fp,
+        {"phase_times": list(phase_times), "makespan": makespan,
+         "labels": ["a", "b"]},
+        key_material=key,
+    )
+    return fp
+
+
+@pytest.fixture
+def lake_dir(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    put_alone(cache, SPEC_A, 2.0)
+    put_alone(cache, SPEC_B, 4.0)
+    put_pair(cache, SPEC_A, SPEC_B, [3.0, 6.0], 6.0)
+    return str(tmp_path / "cache")
+
+
+# --------------------------------------------------------------------------- #
+# Reconciliation
+# --------------------------------------------------------------------------- #
+
+
+class TestReconciliation:
+    def test_fresh_cache_is_coherent(self, lake_dir):
+        view = load_lake(lake_dir)
+        assert view.coherent
+        assert len(view.entries) == 3
+        assert view.ghosts == [] and view.backfilled == []
+
+    def test_load_agrees_with_object_scan(self, lake_dir):
+        assert load_lake(lake_dir).entries == scan_lake(lake_dir)
+
+    def test_ghost_lines_never_surface(self, lake_dir):
+        cache = ResultCache(lake_dir)
+        doomed = cache.entries()[0]
+        cache._object_path(doomed).unlink()
+        view = load_lake(lake_dir)
+        assert view.ghosts == [doomed]
+        assert not view.coherent
+        assert doomed not in {e["fingerprint"] for e in view.entries}
+        assert view.entries == scan_lake(lake_dir)
+
+    def test_unindexed_objects_are_backfilled(self, lake_dir):
+        cache = ResultCache(lake_dir)
+        cache.index_path.unlink()  # simulate a pre-index store
+        view = load_lake(lake_dir)
+        assert sorted(view.backfilled) == cache.entries()
+        assert len(view.entries) == 3
+        assert view.entries == scan_lake(lake_dir)
+
+    def test_backfilled_entries_flatten_lists_like_live_lines(self, lake_dir):
+        cache = ResultCache(lake_dir)
+        cache.index_path.unlink()
+        pairs = [
+            e for e in load_lake(lake_dir).entries
+            if e["key"]["kind"] == "matrix-pair"
+        ]
+        assert pairs[0]["headline"]["phase_times.0"] == 3.0
+        assert pairs[0]["headline"]["phase_times.1"] == 6.0
+
+    def test_duplicate_lines_last_occurrence_wins(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = {"task_id": "t", "kind": "k"}
+        fp = fingerprint_payload("k", key)
+        cache.put(fp, {"v": 1.0}, key_material=key)
+        cache.put(fp, {"v": 2.0}, key_material=key)
+        view = load_lake(str(tmp_path))
+        assert view.duplicates == 1
+        assert len(view.entries) == 1
+        assert view.entries[0]["headline"] == {"v": 2.0}
+
+
+# --------------------------------------------------------------------------- #
+# Field resolution / filters / sort / aggregate
+# --------------------------------------------------------------------------- #
+
+
+class TestFieldResolution:
+    def test_dotted_descent(self):
+        entry = {"key": {"kind": "matrix-pair"}}
+        assert resolve_field(entry, "key.kind") == "matrix-pair"
+
+    def test_longest_match_for_flat_dotted_keys(self):
+        entry = {"headline": {"phase_times.0": 3.0}}
+        assert resolve_field(entry, "headline.phase_times.0") == 3.0
+
+    def test_missing_field_is_none(self):
+        assert resolve_field({"key": {}}, "key.kind") is None
+        assert resolve_field({}, "nope.deeper") is None
+
+
+class TestParsing:
+    @pytest.mark.parametrize("expr,op,value", [
+        ("key.kind=matrix-pair", "=", "matrix-pair"),
+        ("headline.makespan>=2.5", ">=", "2.5"),
+        ("key.task_id~checkpoint", "~", "checkpoint"),
+        ("headline.v!=1", "!=", "1"),
+    ])
+    def test_operators(self, expr, op, value):
+        parsed = parse_where(expr)
+        assert (parsed.op, parsed.value) == (op, value)
+
+    def test_bare_field_means_present(self):
+        assert parse_where("derived.dilation").op == "present"
+
+    def test_malformed_filters_raise(self):
+        with pytest.raises(UsageError):
+            parse_where("")
+        with pytest.raises(UsageError):
+            parse_where("=value")
+        with pytest.raises(UsageError):
+            parse_where("field=")
+
+    def test_sort_directions(self):
+        assert parse_sort("f") == ("f", False)
+        assert parse_sort("f:desc") == ("f", True)
+        with pytest.raises(UsageError):
+            parse_sort("f:sideways")
+        with pytest.raises(UsageError):
+            parse_sort(":desc")
+
+    def test_aggregate_spec(self):
+        assert parse_aggregate("max:derived.dilation") == ("max", "derived.dilation")
+        with pytest.raises(UsageError):
+            parse_aggregate("median:f")
+        with pytest.raises(UsageError):
+            parse_aggregate("max")
+
+
+class TestQueries:
+    def test_filter_and_numeric_comparison(self, lake_dir):
+        entries = load_lake(lake_dir).entries
+        hits = run_query(entries, where=[parse_where("headline.phase_time>=3")])
+        assert [e["key"]["task_id"] for e in hits] == ["alone:randomread"]
+
+    def test_missing_field_never_matches(self, lake_dir):
+        entries = load_lake(lake_dir).entries
+        assert run_query(entries, where=[parse_where("headline.nope>0")]) == []
+
+    def test_sort_and_limit(self, lake_dir):
+        entries = load_lake(lake_dir).entries
+        top = run_query(
+            entries, sort=parse_sort("headline.makespan:desc"), limit=1
+        )
+        assert len(top) == 1
+        assert top[0]["key"]["kind"] == "matrix-pair"
+
+    def test_entries_missing_the_sort_field_sort_last(self, lake_dir):
+        entries = load_lake(lake_dir).entries
+        ordered = run_query(entries, sort=parse_sort("headline.makespan"))
+        assert ordered[-1]["headline"].get("makespan") is None or \
+            ordered[0]["headline"].get("makespan") is not None
+
+    def test_aggregates(self, lake_dir):
+        entries = load_lake(lake_dir).entries
+        rows = aggregate_entries(entries, [("max", "headline.phase_time")])
+        assert rows == [
+            {"aggregate": "max(headline.phase_time)", "value": 4.0, "n": 2}
+        ]
+
+    def test_aggregate_with_no_numeric_values_reports_none(self, lake_dir):
+        entries = load_lake(lake_dir).entries
+        rows = aggregate_entries(entries, [("mean", "headline.nope")])
+        assert rows == [
+            {"aggregate": "mean(headline.nope)", "value": None, "n": 0}
+        ]
+
+    def test_group_by(self, lake_dir):
+        entries = load_lake(lake_dir).entries
+        rows = aggregate_entries(
+            entries, [("count", "fingerprint")], group_by="key.kind"
+        )
+        assert {(r["key.kind"], r["value"]) for r in rows} == {
+            ("matrix-alone", 2), ("matrix-pair", 1),
+        }
+
+
+class TestDerivedMetrics:
+    def test_pair_gains_dilation_and_slowdowns(self, lake_dir):
+        entries = attach_derived(load_lake(lake_dir).entries)
+        pair = [e for e in entries if e["key"]["kind"] == "matrix-pair"][0]
+        derived = pair["derived"]
+        assert derived["alone_a"] == 2.0 and derived["alone_b"] == 4.0
+        assert derived["dilation"] == pytest.approx(6.0 / 4.0)
+        assert derived["slowdown_a"] == pytest.approx(3.0 / 2.0)
+        assert derived["slowdown_b"] == pytest.approx(6.0 / 4.0)
+        assert derived["asymmetry"] == pytest.approx(0.0)
+
+    def test_join_ignores_the_pair_delay(self, tmp_path):
+        # Alone baselines are normalized to delay=0; a pair run with a
+        # nonzero delay must still find them.
+        cache = ResultCache(str(tmp_path))
+        put_alone(cache, SPEC_A, 2.0)
+        put_alone(cache, SPEC_B, 4.0)
+        key = {
+            "task_id": "pair:checkpoint+randomread", "kind": "matrix-pair",
+            "scale": "tiny", "options": {"device": "hdd", "delay": 1.5},
+            "stepping": None, "specs": [SPEC_A, SPEC_B],
+        }
+        cache.put(
+            fingerprint_payload("matrix-pair", key),
+            {"phase_times": [3.0, 6.0], "makespan": 7.5},
+            key_material=key,
+        )
+        entries = attach_derived(load_lake(str(tmp_path)).entries)
+        pair = [e for e in entries if e["key"]["kind"] == "matrix-pair"][0]
+        assert pair["derived"]["dilation"] == pytest.approx(7.5 / 4.0)
+
+    def test_incomplete_join_adds_nothing(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        put_pair(cache, SPEC_A, SPEC_B, [3.0, 6.0], 6.0)  # no alone baselines
+        entries = attach_derived(load_lake(str(tmp_path)).entries)
+        assert "derived" not in entries[0]
+
+    def test_worst_dilation_query_end_to_end(self, lake_dir):
+        # The motivating query: worst observed dilation for the pair.
+        cache = ResultCache(lake_dir)
+        put_pair(cache, SPEC_A, SPEC_B, [3.5, 7.0], 8.0, scale="reduced")
+        put_alone(cache, SPEC_A, 2.0, scale="reduced")
+        put_alone(cache, SPEC_B, 4.0, scale="reduced")
+        worst = run_query(
+            load_lake(lake_dir).entries,
+            where=[parse_where("key.kind=matrix-pair"),
+                   parse_where("key.task_id~checkpoint"),
+                   parse_where("key.task_id~randomread")],
+            sort=parse_sort("derived.dilation:desc"),
+            limit=1,
+        )
+        assert worst[0]["key"]["scale"] == "reduced"
+        assert worst[0]["derived"]["dilation"] == pytest.approx(2.0)
+
+
+# --------------------------------------------------------------------------- #
+# Reconciliation property: the lake never disagrees with objects/
+# --------------------------------------------------------------------------- #
+
+
+def _apply_op(cache, op, i):
+    key = {"task_id": f"t{i}", "kind": "k", "i": i}
+    if op == "put":
+        cache.put(
+            fingerprint_payload("k", key), {"v": float(i)}, key_material=key
+        )
+    elif op == "reput":  # duplicate index line for the same fingerprint
+        cache.put(
+            fingerprint_payload("k", key), {"v": float(i) + 0.5},
+            key_material=key,
+        )
+    elif op == "clear":
+        cache.clear()
+    elif op == "migrate":
+        cache.migrate()
+    elif op == "legacy":
+        # A pre-index, flat-layout object dropped in behind the cache's
+        # back — exactly what migrate() must absorb coherently.
+        fp = fingerprint_payload("legacy", {"i": i})
+        entry = {
+            "fingerprint": fp, "stored_at": 100.0 + i, "version": "legacy",
+            "key": {"task_id": f"legacy{i}", "kind": "legacy"},
+            "payload": {"v": float(i)},
+        }
+        objects = cache.root / "objects"
+        objects.mkdir(parents=True, exist_ok=True)
+        (objects / f"{fp}.json").write_text(json.dumps(entry), "utf-8")
+
+
+class TestReconciliationProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(
+        st.tuples(
+            st.sampled_from(["put", "reput", "clear", "migrate", "legacy"]),
+            st.integers(min_value=0, max_value=4),
+        ),
+        max_size=12,
+    ))
+    def test_lake_always_agrees_with_objects(self, ops):
+        root = tempfile.mkdtemp()
+        try:
+            cache = ResultCache(root)
+            for op, i in ops:
+                _apply_op(cache, op, i)
+            view = load_lake(root)
+            truth = scan_lake(root)
+            # No ghosts, no missing: exactly one entry per object on disk,
+            # and the reconciled entries match a full envelope rescan.
+            assert view.entries == truth
+            assert {e["fingerprint"] for e in view.entries} == set(
+                fp for fp in cache.entries()
+                if (cache.root / "objects" / fp[:2] / f"{fp}.json").is_file()
+            )
+            # Queries over the reconciled view agree with the ground truth.
+            where = [parse_where("headline.v>=2")]
+            assert (
+                run_query(view.entries, where=where, derived=False)
+                == run_query(truth, where=where, derived=False)
+            )
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+
+# --------------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------------- #
+
+
+class TestLakeTelemetry:
+    def test_load_and_query_count(self, lake_dir):
+        from repro.obs.telemetry import telemetry_session
+
+        cache = ResultCache(lake_dir)
+        doomed = cache.entries()[0]
+        cache._object_path(doomed).unlink()
+        cache.index_path.touch()  # keep ghost lines in place
+        with telemetry_session("lake-test") as telemetry:
+            view = load_lake(lake_dir)
+            run_query(view.entries)
+            counters = telemetry.snapshot()["counters"]
+        assert counters["lake.entries"] == 2
+        assert counters["lake.reconcile.ghosts"] == 1
+        assert counters["lake.query"] == 1
+
+
+class TestLakeCli:
+    def test_stats_reports_coherent(self, lake_dir, capsys):
+        assert main(["-q", "lake", "stats", "--cache-dir", lake_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries     3" in out
+        assert "index is coherent" in out
+
+    def test_stats_json(self, lake_dir, capsys):
+        assert main(["-q", "lake", "stats", "--cache-dir", lake_dir,
+                     "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 3 and stats["coherent"] is True
+
+    def test_query_table_and_sort(self, lake_dir, capsys):
+        assert main([
+            "-q", "lake", "query", "--cache-dir", lake_dir,
+            "--where", "key.kind=matrix-pair",
+            "--sort", "derived.dilation:desc",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pair:checkpoint+randomread" in out
+        assert "derived.dilation" in out  # sort column auto-appended
+        assert "1 entries" in out
+
+    def test_query_json(self, lake_dir, capsys):
+        assert main([
+            "-q", "lake", "query", "--cache-dir", lake_dir,
+            "--where", "key.kind=matrix-alone", "--json",
+        ]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert len(entries) == 2
+        assert all(e["key"]["kind"] == "matrix-alone" for e in entries)
+
+    def test_query_aggregate(self, lake_dir, capsys):
+        assert main([
+            "-q", "lake", "query", "--cache-dir", lake_dir,
+            "--agg", "max:headline.phase_time", "--json",
+        ]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["value"] == 4.0
+
+    def test_query_no_matches(self, lake_dir, capsys):
+        assert main([
+            "-q", "lake", "query", "--cache-dir", lake_dir,
+            "--where", "key.kind=nope",
+        ]) == 0
+        assert "no matching entries" in capsys.readouterr().out
+
+    def test_malformed_where_is_a_usage_error(self, lake_dir):
+        with pytest.raises(SystemExit) as exc:
+            main(["lake", "query", "--cache-dir", lake_dir, "--where", "=x"])
+        assert exc.value.code == 2
+
+    def test_malformed_sort_and_agg_are_usage_errors(self, lake_dir):
+        for flags in (["--sort", "f:sideways"], ["--agg", "median:f"],
+                      ["--limit", "-1"]):
+            with pytest.raises(SystemExit) as exc:
+                main(["lake", "query", "--cache-dir", lake_dir, *flags])
+            assert exc.value.code == 2
+
+    def test_group_by_without_agg_warns(self, lake_dir, capsys):
+        assert main(["lake", "query", "--cache-dir", lake_dir,
+                     "--group-by", "key.kind", "--limit", "0"]) == 0
+        err = capsys.readouterr().err
+        assert "no effect without --agg" in err
+
+    def test_empty_aggregate_result_set(self, tmp_path, capsys):
+        assert main(["-q", "lake", "query", "--cache-dir", str(tmp_path),
+                     "--agg", "max:headline.v"]) == 0
+        # An empty lake aggregates to a single row with value None.
+        out = capsys.readouterr().out
+        assert "max(headline.v)" in out
+
+    def test_compact_heals_an_incoherent_index(self, lake_dir, capsys):
+        cache = ResultCache(lake_dir)
+        doomed = cache.entries()[0]
+        cache._object_path(doomed).unlink()  # ghost line in the index
+        assert main(["-q", "lake", "compact", "--cache-dir", lake_dir]) == 0
+        out = capsys.readouterr().out
+        assert "dropped 0 duplicates and 1 ghosts" in out
+        view = load_lake(lake_dir)
+        assert view.coherent
+        assert view.index_lines == 2

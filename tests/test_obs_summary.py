@@ -115,6 +115,23 @@ class TestSummarizeDocument:
         assert "no cache activity recorded" in report
         assert "no step-phase timing recorded" in report
         assert "no batched simulation recorded" in report
+        assert "lake" not in report  # section appears only when the lake ran
+
+    def test_lake_section_reports_reconciliation(self):
+        t = Telemetry(label="lake")
+        t.count("lake.query", 2)
+        t.count("lake.entries", 12)
+        t.count("lake.reconcile.ghosts", 1)
+        t.count("lake.reconcile.backfilled", 3)
+        t.count("lake.reconcile.duplicates", 4)
+        t.count("lake.compact.entries", 12)
+        t.count("lake.compact.dropped", 5)
+        report = summarize_document(t.to_document())
+        assert "2 queries over 12 entries" in report
+        assert "dropped 1 ghosts" in report
+        assert "backfilled 3" in report
+        assert "shadowed 4 duplicates" in report
+        assert "compaction kept 12 lines, dropped 5" in report
 
     def test_batching_section_reports_share(self):
         t = Telemetry(label="batched")

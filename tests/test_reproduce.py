@@ -1,0 +1,178 @@
+"""``repro-io reproduce``: end-to-end re-verification of persisted runs."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lake.reproduce import ReproduceReport, reproduce_run
+from repro.runner.store import sha256_file, write_run
+
+
+@pytest.fixture(scope="module")
+def matrix_run(tmp_path_factory):
+    """One persisted tiny matrix run (plus its warm cache), built once."""
+    root = tmp_path_factory.mktemp("reproduce")
+    assert main([
+        "-q", "matrix", "--archetypes", "checkpoint,analytics",
+        "--scale", "tiny", "--no-output",
+        "--store", str(root / "runs"),
+        "--cache-dir", str(root / "cache"),
+    ]) == 0
+    runs = sorted((root / "runs").iterdir())
+    assert len(runs) == 1
+    return {"run_dir": runs[0], "cache_dir": str(root / "cache")}
+
+
+class TestReproducePass:
+    def test_fresh_run_reproduces_byte_identically(self, matrix_run):
+        report = reproduce_run(
+            matrix_run["run_dir"], cache_dir=matrix_run["cache_dir"]
+        )
+        assert report.ok, report.render()
+        by_name = {c.name: c for c in report.checks}
+        assert by_name["re-execute"].status == "ok"
+        assert "cached" in by_name["re-execute"].detail
+        assert by_name["regenerated matrix.json"].status == "ok"
+        assert by_name["regenerated EXPERIMENTS.md"].status == "ok"
+        assert "byte-identical" in by_name["regenerated matrix.json"].detail
+
+    def test_cli_exit_zero_and_pass_line(self, matrix_run, capsys):
+        rc = main([
+            "-q", "reproduce", str(matrix_run["run_dir"]),
+            "--cache-dir", matrix_run["cache_dir"],
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[reproduce] PASS" in out
+
+    def test_verify_only_stops_before_reexecution(self, matrix_run, capsys):
+        rc = main([
+            "-q", "reproduce", str(matrix_run["run_dir"]), "--verify-only",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "re-execute" not in out
+        assert "checksum matrix.json" in out
+
+
+class TestReproduceFail:
+    def test_tampered_artifact_fails_the_checksum(self, matrix_run, tmp_path,
+                                                  capsys):
+        import shutil
+
+        run_dir = tmp_path / "run"
+        shutil.copytree(matrix_run["run_dir"], run_dir)
+        (run_dir / "EXPERIMENTS.md").write_text("tampered\n", encoding="utf-8")
+        rc = main([
+            "-q", "reproduce", str(run_dir),
+            "--cache-dir", matrix_run["cache_dir"],
+        ])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "FAIL checksum EXPERIMENTS.md" in out
+        assert "[reproduce] FAIL" in out
+
+    def test_version_drift_fails_with_explanation(self, matrix_run, tmp_path):
+        import shutil
+
+        run_dir = tmp_path / "run"
+        shutil.copytree(matrix_run["run_dir"], run_dir)
+        # Rewrite the stored document's version and re-stamp its checksum so
+        # only the version check (not the integrity stage) can catch it.
+        document = json.loads((run_dir / "matrix.json").read_text("utf-8"))
+        document["version"] = "0.0.1"
+        text = json.dumps(document, indent=2, sort_keys=True) + "\n"
+        (run_dir / "matrix.json").write_text(text, encoding="utf-8")
+        manifest = json.loads((run_dir / "manifest.json").read_text("utf-8"))
+        manifest["artifacts"]["matrix.json"]["sha256"] = sha256_file(
+            run_dir / "matrix.json"
+        )
+        manifest["artifacts"]["matrix.json"]["bytes"] = (
+            (run_dir / "matrix.json").stat().st_size
+        )
+        (run_dir / "manifest.json").write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        report = reproduce_run(run_dir, cache_dir=matrix_run["cache_dir"])
+        assert not report.ok
+        version = [c for c in report.checks if c.name == "version"][0]
+        assert version.status == "FAIL"
+        assert "0.0.1" in version.detail
+
+    def test_non_matrix_run_is_not_reproducible(self, tmp_path, capsys):
+        write_run(
+            tmp_path / "run", run_id="sweep", seed=0, config={},
+            artifacts={"sweep.json": "{}\n"}, timestamp=0.0,
+        )
+        rc = main(["-q", "reproduce", str(tmp_path / "run")])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "no matrix.json recipe" in out
+        assert "repro-io verify" in out
+
+    def test_missing_manifest_fails(self, tmp_path):
+        report = reproduce_run(tmp_path)
+        assert not report.ok
+        assert report.checks[0].name == "manifest"
+
+
+class TestIntegrityStage:
+    def test_missing_artifact_fails(self, tmp_path):
+        write_run(
+            tmp_path, run_id="r", seed=0, config={},
+            artifacts={"sweep.json": "{}\n"}, timestamp=0.0,
+        )
+        (tmp_path / "sweep.json").unlink()
+        report = reproduce_run(tmp_path, verify_only=True)
+        checks = {c.name: c for c in report.checks}
+        assert checks["checksum sweep.json"].status == "FAIL"
+        assert checks["checksum sweep.json"].detail == "artifact missing"
+
+    def test_unreadable_manifest_fails(self, tmp_path):
+        (tmp_path / "manifest.json").write_text("{ nope", encoding="utf-8")
+        report = reproduce_run(tmp_path)
+        assert not report.ok
+        assert "unreadable" in report.checks[0].detail
+
+    def test_missing_required_fields_fail(self, tmp_path):
+        (tmp_path / "manifest.json").write_text(
+            json.dumps({"artifacts": {}}), encoding="utf-8"
+        )
+        report = reproduce_run(tmp_path, verify_only=True)
+        manifest_check = report.checks[0]
+        assert manifest_check.status == "FAIL"
+        assert "run_id" in manifest_check.detail
+
+
+class TestFirstDifference:
+    def test_points_at_the_first_divergent_byte(self):
+        from repro.lake.reproduce import _first_difference
+
+        detail = _first_difference(b"abcdef", b"abXdef")
+        assert "byte 2" in detail
+
+    def test_prefix_only_difference_reports_lengths(self):
+        from repro.lake.reproduce import _first_difference
+
+        detail = _first_difference(b"abc", b"abcdef")
+        assert "common prefix of 3" in detail
+
+
+class TestReport:
+    def test_render_counts_skips_out_of_the_denominator(self):
+        report = ReproduceReport(run_dir="r")
+        report.add("a", "ok", "fine")
+        report.add("b", "skip", "older version")
+        report.add("c", "FAIL", "boom")
+        text = report.render()
+        assert "[reproduce] ok   a: fine" in text
+        assert "[reproduce] FAIL r: 1/2 checks passed" in text
+        assert not report.ok
+
+    def test_all_ok_is_a_pass(self):
+        report = ReproduceReport(run_dir="r")
+        report.add("a", "ok")
+        assert report.ok
+        assert "PASS r: 1/1" in report.render()

@@ -48,7 +48,9 @@ class TestResultCache:
         assert cache.get(fp) is None
         cache.put(fp, {"answer": 42})
         assert cache.get(fp) == {"answer": 42}
-        assert cache.stats() == {"hits": 1, "misses": 1}
+        assert cache.stats() == {
+            "hits": 1, "misses": 1, "objects": 1, "shards": 1,
+        }
 
     def test_version_bump_is_a_miss(self, tmp_path):
         cache = ResultCache(str(tmp_path))
@@ -103,7 +105,9 @@ class TestGetManyAndHotTier:
         cache.put(stored, {"v": 1})
         found = cache.get_many([stored, absent])
         assert found == {stored: {"v": 1}}
-        assert cache.stats() == {"hits": 1, "misses": 1}
+        assert cache.stats() == {
+            "hits": 1, "misses": 1, "objects": 1, "shards": 1,
+        }
 
     def test_fresh_put_probes_hit_the_hot_tier(self, tmp_path):
         from repro.obs.telemetry import telemetry_session
@@ -194,6 +198,133 @@ class TestMigrate:
         cache = ResultCache(str(tmp_path))
         assert cache.migrate() == 0
         assert (tmp_path / "objects" / "notes.json").exists()
+
+
+class TestClearCoherence:
+    """Regressions for the stale-state bugs: clear() must leave no trace
+    of the deleted objects in the hot tier, the index, or the shard tree."""
+
+    def test_clear_empties_the_hot_tier(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        fp = fingerprint("table1", "tiny", False)
+        cache.put(fp, {"v": 1})
+        assert cache.get_many([fp]) == {fp: {"v": 1}}  # hot-tier served
+        cache.clear()
+        # Before the fix the hot tier kept serving the deleted payload.
+        assert cache._hot == {}
+        assert cache.get_many([fp]) == {}
+
+    def test_clear_truncates_the_index(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        for exp in ("table1", "figure2"):
+            cache.put(fingerprint(exp, "tiny", False), {"v": 1.0})
+        assert len(cache.index_entries()) == 2
+        cache.clear()
+        # Before the fix index.jsonl kept ghost lines for deleted objects.
+        assert cache.index_entries() == []
+        assert not cache.index_path.exists()
+
+    def test_clear_removes_emptied_shard_dirs(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        fps = [fingerprint(e, "tiny", False) for e in ("a", "b", "c")]
+        for fp in fps:
+            cache.put(fp, {})
+        assert len(cache.shards()) >= 1
+        cache.clear()
+        assert cache.shards() == []
+        assert cache.entries() == []
+        assert cache.stats()["objects"] == 0
+        assert cache.stats()["shards"] == 0
+
+    def test_puts_after_clear_rebuild_cleanly(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        fp = fingerprint("table1", "tiny", False)
+        cache.put(fp, {"v": 1.0})
+        cache.clear()
+        cache.put(fp, {"v": 2.0})
+        assert cache.get(fp) == {"v": 2.0}
+        entries = cache.index_entries()
+        assert len(entries) == 1
+        assert entries[0]["headline"] == {"v": 2.0}
+
+
+class TestMigrateIndexBackfill:
+    def _legacy_cache(self, tmp_path, fp, payload, key):
+        """A flat-layout cache dir with no index (predates index.jsonl)."""
+        import shutil
+
+        donor = ResultCache(str(tmp_path / "donor"))
+        stored = donor.put(fp, payload, key_material=key)
+        legacy = tmp_path / "legacy"
+        (legacy / "objects").mkdir(parents=True)
+        shutil.copy(stored, legacy / "objects" / f"{fp}.json")
+        return legacy
+
+    def test_migrate_backfills_one_index_line_per_moved_object(self, tmp_path):
+        fp = fingerprint("table1", "tiny", False)
+        legacy = self._legacy_cache(
+            tmp_path, fp, {"phase_time": 2.5, "label": "x"},
+            {"task_id": "alone:checkpoint"},
+        )
+        cache = ResultCache(str(legacy))
+        assert cache.index_entries() == []  # legacy layout has no index
+        assert cache.migrate() == 1
+        # Before the fix the moved object never reached index.jsonl, so
+        # index readers (and the lake) could not see migrated entries.
+        entries = cache.index_entries()
+        assert len(entries) == 1
+        assert entries[0]["fingerprint"] == fp
+        assert entries[0]["key"] == {"task_id": "alone:checkpoint"}
+        assert entries[0]["headline"] == {"phase_time": 2.5}
+
+    def test_backfill_keeps_the_original_store_time(self, tmp_path):
+        fp = fingerprint("table1", "tiny", False)
+        legacy = self._legacy_cache(tmp_path, fp, {"v": 1.0}, None)
+        stored_at = json.loads(
+            (legacy / "objects" / f"{fp}.json").read_text(encoding="utf-8")
+        )["stored_at"]
+        cache = ResultCache(str(legacy))
+        cache.migrate()
+        assert cache.index_entries()[0]["stored_at"] == stored_at
+
+    def test_second_migrate_appends_nothing(self, tmp_path):
+        fp = fingerprint("table1", "tiny", False)
+        legacy = self._legacy_cache(tmp_path, fp, {"v": 1.0}, None)
+        cache = ResultCache(str(legacy))
+        cache.migrate()
+        assert cache.migrate() == 0
+        assert len(cache.index_entries()) == 1
+
+
+class TestCompactIndex:
+    def test_compact_dedupes_and_drops_ghosts(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        kept = fingerprint("table1", "tiny", False)
+        doomed = fingerprint("figure2", "tiny", False)
+        cache.put(kept, {"v": 1.0})
+        cache.put(kept, {"v": 2.0})  # duplicate line
+        cache.put(doomed, {"v": 3.0})
+        cache._object_path(doomed).unlink()  # ghost: line without object
+        stats = cache.compact_index()
+        assert stats == {
+            "entries": 1,
+            "dropped_duplicates": 1,
+            "dropped_ghosts": 1,
+            "backfilled": 0,
+            "unreadable": 0,
+        }
+        entries = cache.index_entries()
+        assert [e["fingerprint"] for e in entries] == [kept]
+        assert entries[0]["headline"] == {"v": 2.0}  # last occurrence won
+
+    def test_compact_backfills_unindexed_objects(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        fp = fingerprint("table1", "tiny", False)
+        cache.put(fp, {"v": 1.0})
+        cache.index_path.unlink()  # simulate a pre-index store
+        stats = cache.compact_index()
+        assert stats["backfilled"] == 1
+        assert cache.index_entries()[0]["fingerprint"] == fp
 
 
 class TestIndex:

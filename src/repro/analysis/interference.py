@@ -123,12 +123,22 @@ def _format_cell(value: float) -> str:
 
 
 def matrix_heatmap_markdown(matrix: "InterferenceMatrix") -> str:
-    """The NxN slowdown heatmap: rows are victims, columns aggressors."""
+    """The NxN slowdown heatmap: rows are victims, columns aggressors.
+
+    Pairs lost to quarantine (see ``matrix.failed_tasks``) render as ``—``
+    so a degraded campaign still produces a complete table.
+    """
     rows: List[Dict[str, object]] = []
     for victim in matrix.names:
         row: Dict[str, object] = {"slowdown of \\ with": victim}
         for aggressor in matrix.names:
-            row[aggressor] = _format_cell(matrix.slowdown_of(victim, aggressor))
+            cell = matrix.cell_or_none(victim, aggressor)
+            if cell is None or victim not in matrix.alone:
+                row[aggressor] = "—"
+            else:
+                row[aggressor] = _format_cell(
+                    matrix.slowdown_of(victim, aggressor)
+                )
         rows.append(row)
     return rows_to_markdown(rows)
 
@@ -153,7 +163,10 @@ def matrix_report_markdown(matrix: "InterferenceMatrix") -> str:
         rows_to_markdown([
             {
                 "workload": name,
-                "alone phase (s)": f"{matrix.alone_time(name):.3f}",
+                "alone phase (s)": (
+                    f"{matrix.alone[name]:.3f}"
+                    if name in matrix.alone else "—"
+                ),
             }
             for name in matrix.names
         ]),
@@ -174,6 +187,26 @@ def matrix_report_markdown(matrix: "InterferenceMatrix") -> str:
             "window collapses": cell.window_collapses,
         })
     lines.append(rows_to_markdown(detail_rows))
+    if getattr(matrix, "failed_tasks", None):
+        lines.extend([
+            "",
+            "### Failed tasks (quarantined)",
+            "",
+            "These tasks exhausted their retries under the active fault "
+            "policy; their cells render as `—` above.  Re-run the campaign "
+            "to retry them (completed results are cache hits).",
+            "",
+            rows_to_markdown([
+                {
+                    "task": failure.get("task_id", "?"),
+                    "kind": failure.get("kind", "?"),
+                    "reason": failure.get("reason", "?"),
+                    "attempts": failure.get("attempts", "?"),
+                    "error": str(failure.get("error", ""))[:80],
+                }
+                for failure in matrix.failed_tasks
+            ]),
+        ])
     lines.append("")
     lines.append(f"Regenerate with: `{matrix.regenerate_command()}`.")
     return "\n".join(lines)

@@ -152,6 +152,32 @@ def validate_step_tolerance(value: str) -> float:
     return tolerance
 
 
+def validate_task_timeout(value: str) -> float:
+    """``--task-timeout``: a strictly positive wall-clock deadline in seconds."""
+    try:
+        timeout = float(value)
+    except ValueError:
+        raise UsageError(
+            f"--task-timeout expects a number of seconds, got {value!r}"
+        ) from None
+    if timeout <= 0:
+        raise UsageError(f"--task-timeout must be positive, got {timeout}")
+    return timeout
+
+
+def validate_max_retries(value: str) -> int:
+    """``--max-retries``: a non-negative retry budget per task."""
+    try:
+        retries = int(value)
+    except ValueError:
+        raise UsageError(
+            f"--max-retries expects an integer, got {value!r}"
+        ) from None
+    if retries < 0:
+        raise UsageError(f"--max-retries must be >= 0, got {retries}")
+    return retries
+
+
 def validate_archetypes(value: str):
     """``--archetypes``: >= 2 comma-separated registered archetype names."""
     from repro.scenarios.archetypes import archetype_names
@@ -253,6 +279,8 @@ _sweep_points = _cli_type(validate_sweep_points)
 _positive_int = _cli_type(validate_jobs)
 _step_tolerance = _cli_type(validate_step_tolerance)
 _archetype_list = _cli_type(validate_archetypes)
+_task_timeout = _cli_type(validate_task_timeout)
+_max_retries = _cli_type(validate_max_retries)
 _min_ratio = _cli_type(validate_min_ratio)
 _repeat_count = _cli_type(validate_repeats)
 _max_overhead = _cli_type(validate_max_overhead)
@@ -505,6 +533,23 @@ def build_parser() -> argparse.ArgumentParser:
              "run every simulation scalar (results are bitwise identical "
              "either way; with --jobs N each planned bucket is one pool "
              "work unit, so batching and workers compose)",
+    )
+    matrix_parser.add_argument(
+        "--task-timeout", type=_task_timeout, default=None, metavar="SECONDS",
+        help="wall-clock deadline per task; a task exceeding it is "
+             "interrupted and retried (default: no deadline)",
+    )
+    matrix_parser.add_argument(
+        "--max-retries", type=_max_retries, default=2, metavar="N",
+        help="retries per failing task before it is quarantined; the "
+             "campaign always completes and quarantined tasks are listed "
+             "in matrix.json/EXPERIMENTS.md (default: 2)",
+    )
+    matrix_parser.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted campaign: completed tasks are served "
+             "from the result cache and the run's progress.jsonl journal "
+             "reports how much survived",
     )
     _add_stepping_arguments(matrix_parser)
 
@@ -927,7 +972,13 @@ def _command_matrix(args: argparse.Namespace, parser: argparse.ArgumentParser) -
     )
     from repro.analysis.tables import rows_to_csv
     from repro.obs.telemetry import NULL, Telemetry, set_telemetry
-    from repro.scenarios.matrix import run_interference_matrix, store_matrix
+    from repro.runner.executor import FaultPolicy
+    from repro.runner.journal import JOURNAL_NAME, ProgressJournal
+    from repro.scenarios.matrix import (
+        matrix_run_id,
+        run_interference_matrix,
+        store_matrix,
+    )
 
     log = get_logger()
     stepping = _stepping_policy(parser, args)
@@ -935,10 +986,44 @@ def _command_matrix(args: argparse.Namespace, parser: argparse.ArgumentParser) -
         parser.error(
             "--telemetry persists into the run store; drop --no-store"
         )
+    if args.resume and args.no_cache:
+        parser.error(
+            "--resume replays completed tasks from the result cache; "
+            "drop --no-cache"
+        )
 
     def progress(task_id: str, from_cache: bool) -> None:
         origin = "cached" if from_cache else "ran"
         log.info("matrix_task", task=task_id, origin=origin)
+
+    fault_policy = FaultPolicy(
+        task_timeout_s=args.task_timeout,
+        max_retries=args.max_retries,
+    )
+
+    journal = None
+    if not args.no_store:
+        import os
+
+        run_id = matrix_run_id(
+            args.archetypes,
+            args.scale,
+            stepping=stepping,
+            device=args.device,
+            sync_mode=args.sync,
+            network=args.network,
+            delay=args.delay,
+        )
+        journal = ProgressJournal(
+            os.path.join(args.store, run_id, JOURNAL_NAME)
+        )
+        if args.resume and journal.exists():
+            survived = journal.completed()
+            log.info(
+                "matrix_resume",
+                completed=len(survived),
+                journal=str(journal.path),
+            )
 
     telemetry = None
     if args.telemetry:
@@ -953,6 +1038,8 @@ def _command_matrix(args: argparse.Namespace, parser: argparse.ArgumentParser) -
             stepping=stepping,
             progress=progress,
             batch=not args.no_batch,
+            fault_policy=fault_policy,
+            journal=journal,
             device=args.device,
             sync_mode=args.sync,
             network=args.network,
@@ -980,6 +1067,15 @@ def _command_matrix(args: argparse.Namespace, parser: argparse.ArgumentParser) -
         )
         if telemetry is not None:
             log.info("telemetry_hint", summary=f"repro-io obs summary {run_dir}")
+    if matrix.failed_tasks:
+        log.error(
+            "matrix_quarantine",
+            failed=len(matrix.failed_tasks),
+            tasks=",".join(f["task_id"] for f in matrix.failed_tasks),
+            hint="completed results are cached; re-run to retry the "
+                 "quarantined tasks",
+        )
+        return 1
     return 0
 
 
@@ -1206,6 +1302,7 @@ def _command_lake(args: argparse.Namespace) -> int:
             "ghosts": len(view.ghosts),
             "backfilled": len(view.backfilled),
             "unreadable": view.unreadable,
+            "corrupt_lines": view.corrupt_lines,
             "coherent": view.coherent,
         }
         if args.as_json:
@@ -1218,6 +1315,9 @@ def _command_lake(args: argparse.Namespace) -> int:
         print(f"  ghosts      {stats['ghosts']}")
         print(f"  backfilled  {stats['backfilled']}")
         print(f"  unreadable  {stats['unreadable']}")
+        if stats["corrupt_lines"]:
+            print(f"  corrupt     {stats['corrupt_lines']} skipped index "
+                  "lines (lake compact heals them)")
         verdict = "coherent" if view.coherent else (
             "incoherent (run repro-io lake compact)"
         )
@@ -1386,6 +1486,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     configure_logging(verbose=args.verbose, quiet=args.quiet)
+    try:
+        return _dispatch(args, parser)
+    except KeyboardInterrupt:
+        # Completed results are already in the cache and the progress
+        # journal was appended line-by-line, so an interrupted campaign
+        # loses nothing that finished.  Exit code 130 = 128 + SIGINT.
+        print(
+            "interrupted; completed tasks are cached — "
+            "re-run with --resume to continue",
+            file=sys.stderr,
+        )
+        return 130
+
+
+def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     if args.command == "list":
         return _command_list()
     if args.command == "run":

@@ -17,6 +17,7 @@ __all__ = [
     "UsageError",
     "PerfError",
     "TelemetryError",
+    "TaskTimeout",
 ]
 
 
@@ -47,6 +48,18 @@ class SchedulingError(SimulationError):
 
 class ExperimentError(ReproError, RuntimeError):
     """A reproduction experiment could not be assembled or executed."""
+
+
+class TaskTimeout(ExperimentError):
+    """A supervised task exceeded its wall-clock deadline.
+
+    Raised inside the worker (or the serial executor path) by the
+    signal-based deadline guard of :mod:`repro.runner.executor`; the
+    supervisor counts it as a timeout and retries or quarantines the task
+    according to the active :class:`~repro.runner.executor.FaultPolicy`.
+    Module-level and payload-free so it pickles cleanly across the pool
+    boundary.
+    """
 
 
 class AnalysisError(ReproError, ValueError):

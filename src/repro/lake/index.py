@@ -25,7 +25,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.obs.telemetry import get_telemetry
 from repro.runner.cache import headline_metrics
@@ -59,6 +59,8 @@ class LakeView:
     duplicates: int = 0
     #: Objects whose stored envelope could not be parsed (skipped).
     unreadable: int = 0
+    #: Torn/truncated/garbage index lines skipped (``compact`` heals them).
+    corrupt_lines: int = 0
 
     @property
     def coherent(self) -> bool:
@@ -70,21 +72,35 @@ def _index_path(root: Path) -> Path:
     return root / "index.jsonl"
 
 
-def _read_index_lines(root: Path) -> List[Entry]:
-    """Parsed ``index.jsonl`` lines, oldest first; corrupt lines skipped."""
+def _read_index_lines(root: Path) -> Tuple[List[Entry], int]:
+    """Parsed ``index.jsonl`` lines, oldest first, plus a corrupt-line count.
+
+    A writer killed mid-append leaves a torn final line; disk corruption can
+    inject binary garbage anywhere.  Neither may take the whole lake down:
+    bad lines are skipped and counted, and the objects they described are
+    healed by the backfill path of :func:`load_lake` (or permanently by
+    ``repro-io lake compact``).  Undecodable bytes are replaced rather than
+    raised so a single mangled line cannot poison the read of every other.
+    """
     try:
-        text = _index_path(root).read_text(encoding="utf-8")
+        raw_bytes = _index_path(root).read_bytes()
     except OSError:
-        return []
+        return [], 0
     lines: List[Entry] = []
-    for raw in text.splitlines():
+    corrupt = 0
+    for raw in raw_bytes.decode("utf-8", errors="replace").splitlines():
+        if not raw.strip():
+            continue
         try:
             parsed = json.loads(raw)
         except ValueError:
+            corrupt += 1
             continue
         if isinstance(parsed, dict) and "fingerprint" in parsed:
             lines.append(parsed)
-    return lines
+        else:
+            corrupt += 1
+    return lines, corrupt
 
 
 def _object_fingerprints(root: Path) -> List[str]:
@@ -132,7 +148,7 @@ def load_lake(cache_dir: Union[str, Path]) -> LakeView:
     full envelope read.  Ghost lines are dropped, never surfaced.
     """
     root = Path(cache_dir)
-    lines = _read_index_lines(root)
+    lines, corrupt = _read_index_lines(root)
     deduped: Dict[str, Entry] = {}
     for line in lines:  # oldest first -> later lines overwrite: last wins
         deduped[str(line["fingerprint"])] = line
@@ -144,6 +160,7 @@ def load_lake(cache_dir: Union[str, Path]) -> LakeView:
         index_lines=len(lines),
         duplicates=len(lines) - len(deduped),
         ghosts=sorted(set(deduped) - live_set),
+        corrupt_lines=corrupt,
     )
     for fp in live:
         line = deduped.get(fp)
@@ -164,6 +181,8 @@ def load_lake(cache_dir: Union[str, Path]) -> LakeView:
         telemetry.count("lake.reconcile.ghosts", len(view.ghosts))
         telemetry.count("lake.reconcile.backfilled", len(view.backfilled))
         telemetry.count("lake.reconcile.duplicates", view.duplicates)
+        if view.corrupt_lines:
+            telemetry.count("lake.reconcile.corrupt_lines", view.corrupt_lines)
     return view
 
 

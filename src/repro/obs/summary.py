@@ -21,6 +21,7 @@ __all__ = [
     "TELEMETRY_EVENTS_NAME",
     "batch_stats",
     "lake_stats",
+    "resilience_stats",
     "load_run_telemetry",
     "summarize_document",
     "diff_documents",
@@ -163,8 +164,25 @@ def lake_stats(document: Dict[str, Any]) -> Dict[str, float]:
         "ghosts": float(counters.get("lake.reconcile.ghosts", 0)),
         "backfilled": float(counters.get("lake.reconcile.backfilled", 0)),
         "duplicates": float(counters.get("lake.reconcile.duplicates", 0)),
+        "corrupt_lines": float(counters.get("lake.reconcile.corrupt_lines", 0)),
         "compact_entries": float(counters.get("lake.compact.entries", 0)),
         "compact_dropped": float(counters.get("lake.compact.dropped", 0)),
+    }
+
+
+def resilience_stats(document: Dict[str, Any]) -> Dict[str, float]:
+    """Fault-tolerance counters from a supervised campaign.
+
+    All zero on an unsupervised or fault-free run — the section only
+    renders when something actually exercised a recovery path.
+    """
+    counters = document.get("counters", {})
+    return {
+        "retries": float(counters.get("executor.retries", 0)),
+        "timeouts": float(counters.get("executor.timeouts", 0)),
+        "quarantined": float(counters.get("executor.quarantined", 0)),
+        "pool_rebuilds": float(counters.get("executor.pool_rebuilds", 0)),
+        "demotions": float(counters.get("batch.demotions", 0)),
     }
 
 
@@ -246,6 +264,21 @@ def summarize_document(
     else:
         lines.append("  no step-phase timing recorded")
 
+    resilience = resilience_stats(document)
+    if any(resilience.values()):
+        lines.append("resilience")
+        lines.append(
+            f"  {resilience['retries']:.0f} retries, "
+            f"{resilience['timeouts']:.0f} timeouts, "
+            f"{resilience['quarantined']:.0f} quarantined, "
+            f"{resilience['pool_rebuilds']:.0f} pool rebuilds"
+        )
+        if resilience["demotions"]:
+            lines.append(
+                f"  {resilience['demotions']:.0f} bucket members demoted "
+                "to scalar execution"
+            )
+
     lake = lake_stats(document)
     if any(lake.values()):
         lines.append("lake")
@@ -255,6 +288,11 @@ def summarize_document(
             f"backfilled {lake['backfilled']:.0f}, shadowed "
             f"{lake['duplicates']:.0f} duplicates"
         )
+        if lake["corrupt_lines"]:
+            lines.append(
+                f"  skipped {lake['corrupt_lines']:.0f} corrupt index "
+                "lines (compact heals them)"
+            )
         if lake["compact_entries"] or lake["compact_dropped"]:
             lines.append(
                 f"  compaction kept {lake['compact_entries']:.0f} lines, "

@@ -9,23 +9,39 @@ Four pieces (see ``DESIGN.md`` at the repository root):
 * :mod:`repro.runner.store` — persistent run directories with verifiable
   ``manifest.json`` files;
 * :mod:`repro.runner.grid` — declarative cartesian parameter grids executed
-  through the executor and persisted through the store.
+  through the executor and persisted through the store;
+* :mod:`repro.runner.chaos` — deterministic fault injection
+  (:class:`~repro.runner.chaos.FaultPlan`) for proving the supervisor's
+  recovery paths;
+* :mod:`repro.runner.journal` — append-only per-run progress journal for
+  crash-safe, resumable campaigns.
 """
 
 from repro.runner.cache import ResultCache, fingerprint, fingerprint_payload
+from repro.runner.chaos import ChaosError, FaultPlan, FaultSpec, fault_plan
 from repro.runner.executor import (
+    FaultPolicy,
     ParallelExecutor,
+    TaskFailure,
     TaskSpec,
     derive_task_seed,
     resolve_task_kind,
     run_delta_sweep_parallel,
 )
 from repro.runner.grid import GridResult, ParameterGrid, run_grid
+from repro.runner.journal import ProgressJournal
 from repro.runner.store import RunStore, load_manifest, verify_manifest, write_run
 
 __all__ = [
     "ParallelExecutor",
     "TaskSpec",
+    "FaultPolicy",
+    "TaskFailure",
+    "ChaosError",
+    "FaultPlan",
+    "FaultSpec",
+    "fault_plan",
+    "ProgressJournal",
     "derive_task_seed",
     "run_delta_sweep_parallel",
     "ResultCache",

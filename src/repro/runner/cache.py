@@ -148,6 +148,8 @@ class ResultCache:
         self.misses = 0
         self.hot_capacity = int(hot_capacity)
         self._hot: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+        #: Corrupt lines skipped by the most recent :meth:`index_entries` read.
+        self.index_corrupt_lines = 0
         self.swept_tmp = self._sweep_stale_tmp(float(tmp_max_age_s))
 
     # ------------------------------------------------------------------ #
@@ -156,20 +158,15 @@ class ResultCache:
         return self.root / "objects" / fp[:2] / f"{fp}.json"
 
     def _sweep_stale_tmp(self, max_age_s: float) -> int:
-        """Remove abandoned ``*.tmp`` files older than ``max_age_s``."""
-        objects = self.root / "objects"
-        if not objects.is_dir():
-            return 0
-        cutoff = time.time() - max_age_s
-        swept = 0
-        for tmp in objects.glob("**/*.tmp"):
-            try:
-                if tmp.stat().st_mtime <= cutoff:
-                    tmp.unlink()
-                    swept += 1
-            except OSError:  # pragma: no cover - raced with another sweeper
-                continue
-        return swept
+        """Remove abandoned ``*.tmp`` files older than ``max_age_s``.
+
+        Delegates to the shared :func:`repro.runner.store.sweep_stale_tmp`
+        crash-hygiene primitive, over the whole cache root so abandoned
+        index-compaction temps are swept along with object temps.
+        """
+        from repro.runner.store import sweep_stale_tmp
+
+        return sweep_stale_tmp(self.root, max_age_s)
 
     def _hot_insert(self, fp: str, payload: Dict[str, object]) -> None:
         if self.hot_capacity <= 0:
@@ -314,18 +311,32 @@ class ResultCache:
 
         Duplicated fingerprints (an entry stored more than once) keep every
         line; callers wanting current state deduplicate by fingerprint, last
-        occurrence winning.
+        occurrence winning.  Torn, truncated, or binary-garbage lines — the
+        debris of a writer killed mid-append or a corrupted disk — are
+        skipped and counted in :attr:`index_corrupt_lines` (refreshed on
+        every read); ``compact_index`` rewrites the file from ``objects/``
+        and heals them.
         """
         try:
-            text = self.index_path.read_text(encoding="utf-8")
+            raw = self.index_path.read_bytes()
         except OSError:
+            self.index_corrupt_lines = 0
             return []
         entries = []
-        for line in text.splitlines():
-            try:
-                entries.append(json.loads(line))
-            except ValueError:
+        corrupt = 0
+        for line in raw.decode("utf-8", errors="replace").splitlines():
+            if not line.strip():
                 continue
+            try:
+                parsed = json.loads(line)
+            except ValueError:
+                corrupt += 1
+                continue
+            if not isinstance(parsed, dict):
+                corrupt += 1
+                continue
+            entries.append(parsed)
+        self.index_corrupt_lines = corrupt
         return entries
 
     # ------------------------------------------------------------------ #

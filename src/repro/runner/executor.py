@@ -20,20 +20,44 @@ Determinism rules:
 
 from __future__ import annotations
 
+import hashlib
 import importlib
+import signal
+import threading
 import time
 import zlib
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, TaskTimeout
 from repro.obs.telemetry import get_telemetry
+from repro.runner.chaos import get_fault_plan
 
 __all__ = [
     "TaskSpec",
+    "FaultPolicy",
+    "TaskFailure",
     "ParallelExecutor",
     "derive_task_seed",
     "execute_task",
@@ -42,6 +66,7 @@ __all__ = [
     "run_experiment_task",
     "run_delta_point_task",
     "run_grid_point_task",
+    "run_probe_task",
     "run_delta_sweep_parallel",
 ]
 
@@ -151,6 +176,22 @@ def run_grid_point_task(payload: Dict[str, Any], seed: Optional[int]) -> Dict[st
     }
 
 
+def run_probe_task(payload: Dict[str, Any], seed: Optional[int]) -> Dict[str, Any]:
+    """Trivial diagnostic worker: optionally sleep, then echo the payload value.
+
+    Exists for the supervision and chaos tests — a task kind with no model
+    dependencies whose wall-clock behaviour (``sleep_s``) and output
+    (``value``) are fully controlled by the payload.
+    """
+    delay = float(payload.get("sleep_s", 0.0))
+    if delay > 0.0:
+        time.sleep(delay)
+    return {
+        "value": payload.get("value"),
+        "seed": None if seed is None else int(seed),
+    }
+
+
 _Worker = Callable[[Dict[str, Any], Optional[int]], Dict[str, Any]]
 
 #: Task kind -> worker.  A worker is either the function itself or a lazy
@@ -166,6 +207,7 @@ _TASK_KINDS: Dict[str, Union[str, _Worker]] = {
     "matrix-alone": "repro.scenarios.matrix:run_matrix_alone_task",
     "matrix-pair": "repro.scenarios.matrix:run_matrix_pair_task",
     "matrix-bucket": "repro.scenarios.matrix:run_matrix_bucket_task",
+    "probe": run_probe_task,
 }
 
 
@@ -189,7 +231,153 @@ def execute_task(task: TaskSpec) -> Dict[str, Any]:
     return resolve_task_kind(task.kind)(task.payload, task.seed)
 
 
-def _execute_task_observed(task: TaskSpec, collect: bool) -> Dict[str, Any]:
+# --------------------------------------------------------------------------- #
+# Supervision: deadlines, bounded retries, quarantine
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """How the supervised executor treats failing, slow, and stuck tasks.
+
+    ``task_timeout_s`` is the default per-task wall-clock deadline (``None``
+    disables deadlines); ``timeouts_by_kind`` overrides it per task kind.
+    ``max_retries`` bounds how many times one task is re-run after its first
+    failed attempt before it is quarantined.  Retries back off exponentially
+    from ``backoff_base_s`` (capped at ``backoff_cap_s``) with deterministic
+    jitter derived from ``(task_id, attempt)`` — reruns of the same campaign
+    wait the same amounts.  ``grace_s`` is how long the parent waits past a
+    task's deadline before concluding the worker-side guard failed (a worker
+    stuck in C code cannot be interrupted by a signal-raised exception) and
+    tearing the pool down.
+    """
+
+    task_timeout_s: Optional[float] = None
+    timeouts_by_kind: Mapping[str, float] = field(default_factory=dict)
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    grace_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ExperimentError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0:
+            raise ExperimentError(
+                f"task_timeout_s must be positive, got {self.task_timeout_s}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ExperimentError(
+                "backoff_base_s and backoff_cap_s must be >= 0, got "
+                f"{self.backoff_base_s}/{self.backoff_cap_s}"
+            )
+        if self.grace_s < 0:
+            raise ExperimentError(
+                f"grace_s must be >= 0, got {self.grace_s}"
+            )
+
+    def timeout_for(self, kind: str) -> Optional[float]:
+        """The wall-clock deadline for one task kind (``None`` = unlimited)."""
+        override = self.timeouts_by_kind.get(kind)
+        return self.task_timeout_s if override is None else float(override)
+
+    def backoff_s(self, task_key: str, attempt: int) -> float:
+        """Delay before running ``attempt`` (1-based retry counter) of a task.
+
+        Exponential in the attempt number, capped, then scaled into
+        ``[0.5, 1.0)`` of itself by a deterministic hash of
+        ``(task_key, attempt)`` — jitter without irreproducibility.
+        """
+        if attempt <= 0:
+            return 0.0
+        base = self.backoff_base_s * (2.0 ** (attempt - 1))
+        bounded = min(base, self.backoff_cap_s)
+        material = f"{task_key}|{attempt}".encode("utf-8")
+        digest = hashlib.sha256(material).digest()
+        fraction = int.from_bytes(digest[:8], "big") / 2 ** 64
+        return bounded * (0.5 + 0.5 * fraction)
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One quarantined task: what failed, how, and after how many attempts."""
+
+    task_id: str
+    kind: str
+    reason: str  # "exception" | "timeout" | "pool-crash"
+    error: str
+    attempts: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "task_id": self.task_id,
+            "kind": self.kind,
+            "reason": self.reason,
+            "error": self.error,
+            "attempts": int(self.attempts),
+        }
+
+
+@contextmanager
+def _deadline(timeout_s: Optional[float], label: str) -> Iterator[None]:
+    """Raise :class:`TaskTimeout` if the block outlives ``timeout_s``.
+
+    Implemented with ``signal.setitimer`` so a stalled task — even one
+    sleeping inside library code — is interrupted.  Requires the POSIX
+    signal API and the process main thread (pool workers run tasks on
+    theirs); anywhere else the guard degrades to a no-op and the parent's
+    grace-period watchdog is the only enforcement.
+    """
+    if (
+        not timeout_s
+        or timeout_s <= 0
+        or not hasattr(signal, "setitimer")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def on_alarm(signum, frame):  # pragma: no cover - exercised via raise
+        raise TaskTimeout(
+            f"task {label!r} exceeded its {timeout_s:g}s deadline"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(timeout_s))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _run_attempt(
+    task: TaskSpec,
+    attempt: int,
+    timeout_s: Optional[float],
+    *,
+    in_worker: bool,
+) -> Dict[str, Any]:
+    """One supervised attempt: chaos injection + deadline + the task itself.
+
+    The chaos check lives *inside* the deadline guard so an injected stall
+    is interrupted exactly like an organic one.
+    """
+    with _deadline(timeout_s, task.task_id):
+        plan = get_fault_plan()
+        if plan is not None:
+            plan.maybe_inject(task.task_id, attempt, in_worker=in_worker)
+        return execute_task(task)
+
+
+def _execute_task_observed(
+    task: TaskSpec,
+    collect: bool,
+    attempt: int = 0,
+    timeout_s: Optional[float] = None,
+) -> Dict[str, Any]:
     """Pool-side wrapper: time the task and (optionally) collect telemetry.
 
     Runs inside a worker process, where the parent's registry does not
@@ -199,13 +387,17 @@ def _execute_task_observed(task: TaskSpec, collect: bool) -> Dict[str, Any]:
     it (re-anchoring span times via the wall-clock epoch) under the task's
     span.  The wall-clock ``started`` stamp lets the parent compute how long
     the task waited in the pool queue.
+
+    Under supervision the wrapper also enforces the task's wall-clock
+    deadline and applies any active chaos plan (``attempt`` selects which
+    injections fire; workers inherit the plan through ``REPRO_CHAOS``).
     """
     from repro.obs.telemetry import NULL, Telemetry, set_telemetry
 
     started = time.time()
     t0 = time.perf_counter()
     if not collect:
-        payload = execute_task(task)
+        payload = _run_attempt(task, attempt, timeout_s, in_worker=True)
         return {
             "payload": payload,
             "obs": {"started": started, "wall_s": time.perf_counter() - t0,
@@ -214,7 +406,7 @@ def _execute_task_observed(task: TaskSpec, collect: bool) -> Dict[str, Any]:
     local = Telemetry(label=task.task_id)
     set_telemetry(local)
     try:
-        payload = execute_task(task)
+        payload = _run_attempt(task, attempt, timeout_s, in_worker=True)
     finally:
         set_telemetry(NULL)
     return {
@@ -234,18 +426,29 @@ class ParallelExecutor:
 
     ``jobs=1`` (the default) runs everything in-process with no pool, so the
     serial path has zero multiprocessing overhead and identical semantics.
+
+    With a :class:`FaultPolicy` the executor runs *supervised*: failing
+    tasks are retried with backoff, deadline overruns are interrupted, a
+    broken pool is rebuilt and only unfinished tasks resubmitted, and tasks
+    that exhaust their retries are quarantined instead of aborting the map.
+    Without one (the default) semantics are unchanged — the first failure
+    aborts the whole map.
     """
 
-    def __init__(self, jobs: int = 1) -> None:
+    def __init__(
+        self, jobs: int = 1, fault_policy: Optional[FaultPolicy] = None
+    ) -> None:
         if jobs < 1:
             raise ExperimentError(f"jobs must be >= 1, got {jobs}")
         self.jobs = int(jobs)
+        self.fault_policy = fault_policy
 
     def map(
         self,
         tasks: Sequence[TaskSpec],
         progress: Optional[Callable[[TaskSpec, Dict[str, Any]], None]] = None,
         task_records: Optional[Dict[str, Dict[str, Any]]] = None,
+        failures: Optional[Dict[str, Dict[str, Any]]] = None,
     ) -> List[Dict[str, Any]]:
         """Execute every task; results come back in ``tasks`` order.
 
@@ -261,6 +464,13 @@ class ParallelExecutor:
         parallelism, the worker's own telemetry snapshot merged beneath it.
         Without telemetry and without ``task_records`` the execution path is
         unchanged from the uninstrumented executor.
+
+        Under a :class:`FaultPolicy` the abort-on-failure contract changes:
+        quarantined tasks yield ``None`` placeholders in the returned list
+        (``progress`` never fires for them) and their
+        :meth:`TaskFailure.to_dict` records land in ``failures``.  A
+        supervised map with quarantined tasks but no ``failures`` dict to
+        report into raises, so failures can never be silently dropped.
         """
         tasks = list(tasks)
         if not tasks:
@@ -273,6 +483,11 @@ class ParallelExecutor:
         observe = telemetry.enabled or task_records is not None
         if telemetry.enabled:
             telemetry.gauge("executor.jobs", float(self.jobs))
+
+        if self.fault_policy is not None:
+            return self._map_supervised(
+                tasks, telemetry, observe, progress, task_records, failures
+            )
 
         if self.jobs == 1 or len(tasks) == 1:
             results = []
@@ -339,6 +554,275 @@ class ParallelExecutor:
                     future.cancel()
         return [results_by_index[i] for i in range(len(tasks))]
 
+    # ------------------------------------------------------------------ #
+    # Supervised execution
+    # ------------------------------------------------------------------ #
+
+    def _map_supervised(
+        self,
+        tasks: List[TaskSpec],
+        telemetry,
+        observe: bool,
+        progress,
+        task_records,
+        failures: Optional[Dict[str, Dict[str, Any]]],
+    ) -> List[Optional[Dict[str, Any]]]:
+        policy = self.fault_policy
+        quarantined: Dict[str, TaskFailure] = {}
+
+        def charge(task: TaskSpec, attempt: int, exc: BaseException, reason: str) -> bool:
+            """Record one failed attempt; True means the task may retry."""
+            if telemetry.enabled and reason == "timeout":
+                telemetry.count("executor.timeouts")
+            if attempt < policy.max_retries:
+                if telemetry.enabled:
+                    telemetry.count("executor.retries")
+                return True
+            quarantined[task.task_id] = TaskFailure(
+                task_id=task.task_id,
+                kind=task.kind,
+                reason=reason,
+                error=str(exc),
+                attempts=attempt + 1,
+            )
+            if telemetry.enabled:
+                telemetry.count("executor.quarantined")
+            return False
+
+        if self.jobs == 1 or len(tasks) == 1:
+            results = self._supervised_serial(
+                tasks, telemetry, observe, progress, task_records, charge
+            )
+        else:
+            results = self._supervised_pool(
+                tasks, telemetry, progress, task_records, charge
+            )
+
+        if quarantined:
+            if failures is None:
+                names = ", ".join(sorted(quarantined))
+                raise ExperimentError(
+                    f"{len(quarantined)} task(s) exhausted their retries "
+                    f"and no failures sink was provided: {names}"
+                )
+            for task_id, failure in quarantined.items():
+                failures[task_id] = failure.to_dict()
+        return results
+
+    def _supervised_serial(
+        self, tasks, telemetry, observe, progress, task_records, charge
+    ) -> List[Optional[Dict[str, Any]]]:
+        policy = self.fault_policy
+        results: List[Optional[Dict[str, Any]]] = []
+        for task in tasks:
+            timeout_s = policy.timeout_for(task.kind)
+            attempt = 0
+            payload: Optional[Dict[str, Any]] = None
+            while True:
+                start = time.perf_counter()
+                try:
+                    if observe:
+                        with telemetry.span(
+                            task.task_id, category=task.span_category,
+                            track="tasks", kind=task.kind,
+                        ):
+                            payload = _run_attempt(
+                                task, attempt, timeout_s, in_worker=False
+                            )
+                    else:
+                        payload = _run_attempt(
+                            task, attempt, timeout_s, in_worker=False
+                        )
+                except Exception as exc:
+                    reason = (
+                        "timeout" if isinstance(exc, TaskTimeout) else "exception"
+                    )
+                    if not charge(task, attempt, exc, reason):
+                        payload = None
+                        break
+                    attempt += 1
+                    time.sleep(policy.backoff_s(task.task_id, attempt))
+                    continue
+                if observe:
+                    if task.span_category == "task":
+                        telemetry.count("executor.tasks.completed")
+                    if task_records is not None:
+                        task_records[task.task_id] = {
+                            "wall_time_s": time.perf_counter() - start,
+                            "queue_wait_s": 0.0,
+                        }
+                break
+            results.append(payload)
+            if payload is not None and progress is not None:
+                progress(task, payload)
+        return results
+
+    def _supervised_pool(
+        self, tasks, telemetry, progress, task_records, charge
+    ) -> List[Optional[Dict[str, Any]]]:
+        policy = self.fault_policy
+        results_by_id: Dict[str, Dict[str, Any]] = {}
+        # (task, attempt, ready_epoch): the run queue, with backoff encoded
+        # as a not-before time so one task's backoff never stalls the rest.
+        waiting: "deque[Tuple[TaskSpec, int, float]]" = deque(
+            (task, 0, 0.0) for task in tasks
+        )
+        inflight: Dict[Any, _InFlight] = {}
+        pool = self._new_pool(len(tasks))
+
+        def requeue(meta: "_InFlight", exc: BaseException, reason: str) -> None:
+            if charge(meta.task, meta.attempt, exc, reason):
+                next_attempt = meta.attempt + 1
+                waiting.append((
+                    meta.task,
+                    next_attempt,
+                    time.time() + policy.backoff_s(meta.task.task_id, next_attempt),
+                ))
+
+        def rebuild_pool(old_pool, *, terminate: bool) -> ProcessPoolExecutor:
+            if terminate:
+                procs = list((getattr(old_pool, "_processes", None) or {}).values())
+                old_pool.shutdown(wait=False, cancel_futures=True)
+                for proc in procs:
+                    try:
+                        proc.terminate()
+                    except Exception:  # pragma: no cover - defensive
+                        pass
+            else:
+                old_pool.shutdown(wait=False)
+            if telemetry.enabled:
+                telemetry.count("executor.pool_rebuilds")
+            return self._new_pool(max(1, len(waiting)))
+
+        try:
+            while waiting or inflight:
+                now = time.time()
+                # Fill the submission window with ready work.  Keeping
+                # in-flight <= jobs means a pool crash can only strike tasks
+                # that were genuinely running, so innocents in the queue are
+                # never charged an attempt.
+                deferred: List[Tuple[TaskSpec, int, float]] = []
+                while waiting and len(inflight) < self.jobs:
+                    task, attempt, ready = waiting.popleft()
+                    if ready > now:
+                        deferred.append((task, attempt, ready))
+                        continue
+                    timeout_s = policy.timeout_for(task.kind)
+                    future = pool.submit(
+                        _execute_task_observed, task, telemetry.enabled,
+                        attempt, timeout_s,
+                    )
+                    hard = None
+                    if timeout_s is not None:
+                        hard = now + timeout_s + policy.grace_s
+                    inflight[future] = _InFlight(task, attempt, now, hard)
+                waiting.extendleft(reversed(deferred))
+
+                if not inflight:
+                    # Everything is backing off; sleep to the first release.
+                    ready_at = min(entry[2] for entry in waiting)
+                    time.sleep(max(0.0, ready_at - time.time()))
+                    continue
+
+                deadlines = [
+                    meta.hard_deadline
+                    for meta in inflight.values()
+                    if meta.hard_deadline is not None
+                ]
+                releases = [entry[2] for entry in waiting if entry[2] > now]
+                wake_at = min(deadlines + releases) if (deadlines or releases) else None
+                timeout = None if wake_at is None else max(0.0, wake_at - time.time())
+                done, _ = wait(
+                    set(inflight), timeout=timeout, return_when=FIRST_COMPLETED
+                )
+
+                pool_broken = False
+                for future in done:
+                    meta = inflight.pop(future)
+                    try:
+                        wrapped = future.result()
+                    except BrokenExecutor as exc:
+                        pool_broken = True
+                        requeue(meta, exc, "pool-crash")
+                        continue
+                    except Exception as exc:
+                        reason = (
+                            "timeout" if isinstance(exc, TaskTimeout)
+                            else "exception"
+                        )
+                        requeue(meta, exc, reason)
+                        continue
+                    payload = _unwrap_observed(
+                        telemetry, meta.task, wrapped, meta.submitted,
+                        task_records,
+                    )
+                    results_by_id[meta.task.task_id] = payload
+                    if progress is not None:
+                        progress(meta.task, payload)
+
+                if pool_broken:
+                    # The pool is unusable; every still-in-flight task died
+                    # with it.  Charge them, rebuild, resubmit only what is
+                    # unfinished.
+                    for meta in list(inflight.values()):
+                        requeue(
+                            meta,
+                            ExperimentError(
+                                "worker pool broke while the task was in flight"
+                            ),
+                            "pool-crash",
+                        )
+                    inflight.clear()
+                    pool = rebuild_pool(pool, terminate=False)
+                    continue
+
+                # Parent-side watchdog: a worker that blew past deadline +
+                # grace is stuck beyond the reach of the in-worker signal
+                # guard.  The pool API cannot kill one worker, so tear the
+                # whole pool down; overdue tasks are charged a timeout,
+                # innocent casualties are resubmitted at the same attempt.
+                now = time.time()
+                overdue = [
+                    future
+                    for future, meta in inflight.items()
+                    if meta.hard_deadline is not None and now > meta.hard_deadline
+                ]
+                if overdue:
+                    survivors = [
+                        meta for future, meta in inflight.items()
+                        if future not in overdue
+                    ]
+                    victims = [inflight[future] for future in overdue]
+                    inflight.clear()
+                    pool = rebuild_pool(pool, terminate=True)
+                    for meta in victims:
+                        requeue(
+                            meta,
+                            TaskTimeout(
+                                f"task {meta.task.task_id!r} exceeded its "
+                                "deadline and grace period (parent watchdog)"
+                            ),
+                            "timeout",
+                        )
+                    for meta in survivors:
+                        waiting.append((meta.task, meta.attempt, 0.0))
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return [results_by_id.get(task.task_id) for task in tasks]
+
+    def _new_pool(self, backlog: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=min(self.jobs, max(1, backlog)))
+
+
+@dataclass
+class _InFlight:
+    """Parent-side bookkeeping for one submitted supervised attempt."""
+
+    task: TaskSpec
+    attempt: int
+    submitted: float
+    hard_deadline: Optional[float]
+
 
 def _unwrap_observed(
     telemetry,
@@ -393,6 +877,9 @@ def execute_cached(
     batch_runner: Optional[
         Callable[[List[TaskSpec]], Optional[Dict[str, Dict[str, Any]]]]
     ] = None,
+    fault_policy: Optional[FaultPolicy] = None,
+    failures: Optional[Dict[str, Dict[str, Any]]] = None,
+    journal=None,
 ) -> Dict[str, Dict[str, Any]]:
     """Run tasks through the executor, served from / stored into a cache.
 
@@ -433,6 +920,18 @@ def execute_cached(
         caching/progress/provenance path as pool completions; the runner is
         responsible for stamping its own timing into ``task_records``.
         Unhandled tasks fall through to the pool unchanged.
+    fault_policy:
+        Optional :class:`FaultPolicy`; with one, the pool phase runs
+        supervised (retry/timeout/quarantine) and quarantined tasks simply
+        have no entry in the returned mapping.
+    failures:
+        Required with ``fault_policy``: collects ``{task_id:
+        TaskFailure.to_dict()}`` for quarantined tasks.
+    journal:
+        Optional :class:`repro.runner.journal.ProgressJournal`; every
+        completion (cache hit, batched, or computed) and every quarantined
+        failure appends one state line, making the campaign resumable after
+        a kill.
     """
     if cache is not None and fingerprint_for is None:
         raise ExperimentError("execute_cached needs fingerprint_for with a cache")
@@ -471,6 +970,10 @@ def execute_cached(
                         "queue_wait_s": 0.0,
                         "fingerprint": fp,
                     }
+                if journal is not None:
+                    journal.record(
+                        task.task_id, "completed", fingerprint=fp, origin="cache"
+                    )
                 if progress is not None:
                     progress(task, payload, True)
                 continue
@@ -495,6 +998,13 @@ def execute_cached(
             record["origin"] = "computed"
             if task.task_id in fingerprints:
                 record["fingerprint"] = fingerprints[task.task_id]
+        if journal is not None:
+            journal.record(
+                task.task_id,
+                "completed",
+                fingerprint=fingerprints.get(task.task_id),
+                origin="computed",
+            )
         if progress is not None:
             progress(task, payload, False)
 
@@ -512,9 +1022,20 @@ def execute_cached(
             pending = still_pending
 
     if pending:
-        ParallelExecutor(jobs=jobs).map(
-            pending, progress=on_done, task_records=task_records
+        ParallelExecutor(jobs=jobs, fault_policy=fault_policy).map(
+            pending,
+            progress=on_done,
+            task_records=task_records,
+            failures=failures,
         )
+    if journal is not None and failures:
+        for task_id, failure in failures.items():
+            journal.record(
+                task_id,
+                "failed",
+                attempt=int(failure.get("attempts", 0)),
+                error=str(failure.get("error", "")),
+            )
     return results
 
 

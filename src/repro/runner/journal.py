@@ -1,0 +1,113 @@
+"""Append-only per-run progress journal: crash-safe campaign bookkeeping.
+
+Completed task *payloads* already live in the content-addressed result cache;
+what a killed campaign loses is the *narrative* — which tasks finished, which
+were retried, which were quarantined.  The journal records exactly that, one
+JSON line per state change, so ``--resume`` can report how much of a campaign
+survives and post-mortems can reconstruct what happened.
+
+Crash-safety contract:
+
+* every line is written with a single ``O_APPEND`` ``os.write`` — atomic for
+  lines of this size on the platforms we target, so concurrent writers and
+  mid-write kills cannot interleave or tear a line *in between* lines;
+* a torn **final** line (the one a kill interrupted) is tolerated on read:
+  :meth:`ProgressJournal.load` skips unparsable lines and counts them;
+* the journal is append-only — a task retried and then completed appears
+  twice, and the last line for a task id wins.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+__all__ = ["ProgressJournal", "JOURNAL_NAME"]
+
+JOURNAL_NAME = "progress.jsonl"
+
+
+class ProgressJournal:
+    """One campaign's ``progress.jsonl``; see the module docstring for the contract."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        #: Unparsable lines skipped by the last :meth:`load` (torn final line).
+        self.corrupt_lines = 0
+
+    def exists(self) -> bool:
+        return self.path.is_file()
+
+    def record(
+        self,
+        task_id: str,
+        status: str,
+        *,
+        fingerprint: Optional[str] = None,
+        attempt: int = 0,
+        origin: Optional[str] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        """Append one state change (``status``: completed/failed/retried)."""
+        line: Dict[str, object] = {
+            "task_id": str(task_id),
+            "status": str(status),
+            "attempt": int(attempt),
+            "t": time.time(),
+        }
+        if fingerprint is not None:
+            line["fingerprint"] = fingerprint
+        if origin is not None:
+            line["origin"] = origin
+        if error is not None:
+            line["error"] = error
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        data = (json.dumps(line, sort_keys=True) + "\n").encode("utf-8")
+        fd = os.open(
+            str(self.path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(fd, data)
+        finally:
+            os.close(fd)
+
+    def load(self) -> Dict[str, Dict[str, object]]:
+        """Last recorded state per task id (empty when the journal is absent).
+
+        Corrupt or torn lines — the debris of a killed writer — are skipped
+        and counted in :attr:`corrupt_lines`, never raised: a journal must
+        stay readable after any crash.
+        """
+        self.corrupt_lines = 0
+        try:
+            raw = self.path.read_bytes()
+        except OSError:
+            return {}
+        state: Dict[str, Dict[str, object]] = {}
+        for line in raw.decode("utf-8", errors="replace").splitlines():
+            if not line.strip():
+                continue
+            try:
+                parsed = json.loads(line)
+            except ValueError:
+                self.corrupt_lines += 1
+                continue
+            if not isinstance(parsed, dict) or "task_id" not in parsed:
+                self.corrupt_lines += 1
+                continue
+            state[str(parsed["task_id"])] = parsed
+        return state
+
+    def completed(self) -> Dict[str, Optional[str]]:
+        """``{task_id: fingerprint}`` for tasks whose last state is completed."""
+        return {
+            task_id: record.get("fingerprint")  # type: ignore[misc]
+            for task_id, record in self.load().items()
+            if record.get("status") == "completed"
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ProgressJournal {str(self.path)!r}>"

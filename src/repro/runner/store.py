@@ -15,12 +15,20 @@ a :class:`RunStore` root:
 The manifest records a SHA-256 checksum per artifact; :func:`verify_manifest`
 re-hashes everything so a tampered or truncated run directory is detected
 (``repro-io verify <run-dir>``).
+
+Every file lands via write-to-``*.tmp`` + :func:`os.replace`, so a crash
+mid-write can never leave a truncated ``telemetry.json``/``matrix.json``
+that ``reproduce`` would later report as tampering — the worst case is an
+abandoned ``*.tmp``, which :func:`sweep_stale_tmp` removes on the next
+store open (an age grace keeps live concurrent writers safe).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
 import time
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Tuple, Union
@@ -34,6 +42,8 @@ __all__ = [
     "load_manifest",
     "verify_manifest",
     "sha256_file",
+    "atomic_write_text",
+    "sweep_stale_tmp",
     "MANIFEST_NAME",
     "REQUIRED_MANIFEST_FIELDS",
     "TELEMETRY_DOCUMENT_ARTIFACT",
@@ -59,6 +69,52 @@ def sha256_file(path: Union[str, Path]) -> str:
 
 
 _sha256 = sha256_file
+
+
+def atomic_write_text(path: Union[str, Path], content: str) -> None:
+    """Write ``content`` to ``path`` atomically (tempfile + ``os.replace``).
+
+    The temporary file is created in ``path``'s own directory (same
+    filesystem, so the replace is a rename) with a ``.tmp`` suffix that
+    :func:`sweep_stale_tmp` recognizes.  A crash between write and replace
+    leaves only the temp file; readers never observe a truncated ``path``.
+    """
+    target = Path(path)
+    fd, tmp = tempfile.mkstemp(dir=str(target.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(content)
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def sweep_stale_tmp(root: Union[str, Path], max_age_s: float = 3600.0) -> int:
+    """Remove abandoned ``*.tmp`` files under ``root`` older than ``max_age_s``.
+
+    The shared crash-hygiene primitive of the result cache and the run
+    store: atomic writers leave a ``*.tmp`` behind only when killed
+    mid-write, and anything older than the grace window cannot belong to a
+    live writer.  Returns how many files were removed; races with another
+    sweeper are benign.
+    """
+    base = Path(root)
+    if not base.is_dir():
+        return 0
+    cutoff = time.time() - float(max_age_s)
+    swept = 0
+    for tmp in base.glob("**/*.tmp"):
+        try:
+            if tmp.stat().st_mtime <= cutoff:
+                tmp.unlink()
+                swept += 1
+        except OSError:  # pragma: no cover - raced with another sweeper
+            continue
+    return swept
 
 
 #: Artifact names the manifest's ``telemetry`` reference block points at
@@ -112,7 +168,7 @@ def write_run(
             raise AnalysisError(f"artifact name {name!r} must be a plain relative path")
         artifact_path = run_path / name
         artifact_path.parent.mkdir(parents=True, exist_ok=True)
-        artifact_path.write_text(content, encoding="utf-8")
+        atomic_write_text(artifact_path, content)
         entries[name] = {
             "path": name,
             "sha256": _sha256(artifact_path),
@@ -137,9 +193,10 @@ def write_run(
         telemetry_ref["events"] = TELEMETRY_EVENTS_ARTIFACT
     if telemetry_ref:
         manifest["telemetry"] = telemetry_ref
-    with open(run_path / MANIFEST_NAME, "w", encoding="utf-8") as handle:
-        json.dump(manifest, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    atomic_write_text(
+        run_path / MANIFEST_NAME,
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+    )
     return manifest
 
 
@@ -198,10 +255,19 @@ def verify_manifest(run_dir: Union[str, Path]) -> Tuple[bool, List[str]]:
 
 
 class RunStore:
-    """A directory of persisted runs, one subdirectory per run."""
+    """A directory of persisted runs, one subdirectory per run.
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    Opening a store sweeps ``*.tmp`` debris (abandoned atomic writes of a
+    killed run) older than ``tmp_max_age_s`` from every run directory;
+    younger temp files are left alone because a concurrent writer may be
+    mid-write.
+    """
+
+    def __init__(
+        self, root: Union[str, Path], *, tmp_max_age_s: float = 3600.0
+    ) -> None:
         self.root = Path(root)
+        self.swept_tmp = sweep_stale_tmp(self.root, tmp_max_age_s)
 
     def run_dir(self, run_id: str) -> Path:
         """Path of one run's directory (not created)."""

@@ -45,6 +45,7 @@ __all__ = [
     "run_matrix_pair_task",
     "run_matrix_tasks_batched",
     "matrix_fingerprint",
+    "matrix_run_id",
     "store_matrix",
 ]
 
@@ -173,6 +174,11 @@ class InterferenceMatrix:
     options: Dict[str, Any] = field(default_factory=dict)
     stepping: Optional[Dict[str, object]] = None
     specs: List[Dict[str, object]] = field(default_factory=list)
+    #: Quarantined tasks (``TaskFailure.to_dict()`` records) from a
+    #: supervised campaign that completed despite failures.  Empty on a
+    #: clean run — and then omitted from :meth:`to_dict`, so fault-tolerant
+    #: execution cannot perturb the bytes of a healthy ``matrix.json``.
+    failed_tasks: List[Dict[str, Any]] = field(default_factory=list)
     #: Per-task provenance (origin/wall time) gathered when telemetry is
     #: enabled.  Deliberately outside to_dict()/from_dict() and excluded
     #: from comparisons: it describes *this* execution, not the matrix, so
@@ -196,13 +202,17 @@ class InterferenceMatrix:
 
     def cell(self, a: str, b: str) -> PairCell:
         """The unordered pair cell covering ``a`` and ``b``."""
+        found = self.cell_or_none(a, b)
+        if found is None:
+            raise AnalysisError(f"matrix has no cell for pair ({a!r}, {b!r})")
+        return found
+
+    def cell_or_none(self, a: str, b: str) -> Optional[PairCell]:
+        """Like :meth:`cell` but ``None`` for a missing (quarantined) pair."""
         key = _pair_key(a, b)
         if key in self.cells:
             return self.cells[key]
-        mirror = _pair_key(b, a)
-        if mirror in self.cells:
-            return self.cells[mirror]
-        raise AnalysisError(f"matrix has no cell for pair ({a!r}, {b!r})")
+        return self.cells.get(_pair_key(b, a))
 
     def slowdown_of(self, victim: str, aggressor: str) -> float:
         """Ordered lookup: slowdown of ``victim`` co-running with ``aggressor``."""
@@ -210,11 +220,17 @@ class InterferenceMatrix:
         return cell.slowdown_a if cell.a == victim else cell.slowdown_b
 
     def cells_in_order(self) -> List[PairCell]:
-        """Cells in deterministic row-major (upper-triangle) order."""
+        """Cells in deterministic row-major (upper-triangle) order.
+
+        Pairs lost to quarantine are skipped — a degraded matrix still
+        renders and summarizes from whatever completed.
+        """
         ordered = []
         for i, a in enumerate(self.names):
             for b in self.names[i:]:
-                ordered.append(self.cell(a, b))
+                found = self.cell_or_none(a, b)
+                if found is not None:
+                    ordered.append(found)
         return ordered
 
     def worst_pair(self) -> PairCell:
@@ -229,7 +245,9 @@ class InterferenceMatrix:
         rows = []
         for victim in self.names:
             for aggressor in self.names:
-                cell = self.cell(victim, aggressor)
+                cell = self.cell_or_none(victim, aggressor)
+                if cell is None:
+                    continue
                 rows.append({
                     "victim": victim,
                     "aggressor": aggressor,
@@ -245,7 +263,7 @@ class InterferenceMatrix:
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable representation (inverse of :meth:`from_dict`)."""
-        return {
+        document = {
             "version": __version__,
             "scale": self.scale,
             "names": list(self.names),
@@ -255,6 +273,9 @@ class InterferenceMatrix:
             "stepping": self.stepping,
             "specs": list(self.specs),
         }
+        if self.failed_tasks:
+            document["failed_tasks"] = [dict(f) for f in self.failed_tasks]
+        return document
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "InterferenceMatrix":
@@ -270,6 +291,7 @@ class InterferenceMatrix:
             options=dict(data.get("options", {})),
             stepping=data.get("stepping"),
             specs=[dict(s) for s in data.get("specs", [])],
+            failed_tasks=[dict(f) for f in data.get("failed_tasks", [])],
         )
 
     def regenerate_command(self) -> str:
@@ -299,11 +321,17 @@ class InterferenceMatrix:
 
     def describe(self) -> str:
         """One-line summary for logs."""
+        prefix = (
+            f"interference matrix at scale {self.scale!r}: "
+            f"{len(self.names)} archetypes, {len(self.cells)} pair runs"
+        )
+        if self.failed_tasks:
+            prefix += f", {len(self.failed_tasks)} quarantined"
+        if not self.cells:
+            return prefix + ", no completed cells"
         worst = self.worst_pair()
         return (
-            f"interference matrix at scale {self.scale!r}: "
-            f"{len(self.names)} archetypes, {len(self.cells)} pair runs, "
-            f"worst pair {worst.a}+{worst.b} "
+            f"{prefix}, worst pair {worst.a}+{worst.b} "
             f"(slowdown {max(worst.slowdown_a, worst.slowdown_b):.2f}, "
             f"{worst.root_cause})"
         )
@@ -421,9 +449,17 @@ def run_matrix_bucket_task(
     import time
 
     from repro.model.batch import run_bucket
+    from repro.runner.chaos import get_fault_plan
 
     t0 = time.perf_counter()
     items = payload["tasks"]
+    plan = get_fault_plan()
+    if plan is not None:
+        # Chaos targets member task ids; a fault on any member fails (or
+        # kills) the whole bucket, which the supervisor then demotes to
+        # scalar per-task execution.
+        for item in items:
+            plan.maybe_inject(item["task_id"], 0, in_worker=True)
     built = [_build_from_payload(item["payload"]) for item in items]
     results = run_bucket([b.scenario for b in built])
     out: Dict[str, Dict[str, Any]] = {}
@@ -437,6 +473,7 @@ def run_matrix_tasks_batched(
     task_records: Optional[Dict[str, Dict[str, Any]]] = None,
     *,
     jobs: int = 1,
+    fault_policy=None,
 ) -> Dict[str, Dict[str, Any]]:
     """Bulk route for matrix cache misses: same-cadence tasks step in lockstep.
 
@@ -457,11 +494,21 @@ def run_matrix_tasks_batched(
     Per handled task this emits the same ``task``-category span the scalar
     route would, tagged ``batched`` with the bucket width, and stamps
     ``task_records`` with the bucket's wall time.
+
+    A bucket whose kernel raises (or whose worker dies) is *demoted*: its
+    members are simply not claimed here, so they fall through to the
+    executor's scalar per-task path — a batching bug degrades throughput,
+    never correctness.  Each demoted member counts toward the
+    ``batch.demotions`` telemetry counter.  ``fault_policy`` (the campaign's
+    :class:`~repro.runner.executor.FaultPolicy`, if any) scales the bucket
+    deadline to the widest bucket; bucket work units themselves never retry
+    — one failure means immediate demotion.
     """
     import time
 
     from repro.model.batch import count_fallback, plan_buckets, run_bucket
-    from repro.runner.executor import ParallelExecutor
+    from repro.runner.chaos import get_fault_plan
+    from repro.runner.executor import FaultPolicy, ParallelExecutor
 
     supported = [t for t in pending if t.kind in _PAYLOAD_EXTRACTORS]
     if len(supported) < 2:
@@ -500,6 +547,12 @@ def run_matrix_tasks_batched(
                     "batched": True,
                 }
 
+    demoted = 0
+
+    def demote(bucket) -> None:
+        nonlocal demoted
+        demoted += len(bucket.indices)
+
     if jobs > 1 and len(buckets) > 1:
         bucket_specs = [
             TaskSpec(
@@ -519,19 +572,51 @@ def run_matrix_tasks_batched(
             )
             for k, bucket in enumerate(buckets)
         ]
+        # Buckets always run supervised with zero retries: a failing bucket
+        # is immediately demoted (its members rerun scalar) rather than
+        # retried as a bucket, and a worker crash cannot abort the campaign.
+        widest = max(len(bucket.indices) for bucket in buckets)
+        base_timeout = None if fault_policy is None else fault_policy.timeout_for(
+            "matrix-bucket"
+        )
+        bucket_policy = FaultPolicy(
+            task_timeout_s=(
+                None if base_timeout is None else base_timeout * widest
+            ),
+            max_retries=0,
+            grace_s=5.0 if fault_policy is None else fault_policy.grace_s,
+        )
+        bucket_failures: Dict[str, Dict[str, Any]] = {}
         submitted = time.time()
-        outs = ParallelExecutor(jobs=jobs).map(bucket_specs)
+        outs = ParallelExecutor(jobs=jobs, fault_policy=bucket_policy).map(
+            bucket_specs, failures=bucket_failures
+        )
         for bucket, out in zip(buckets, outs):
+            if out is None:
+                demote(bucket)
+                continue
             results = [out["results"][supported[i].task_id] for i in bucket.indices]
             stamp(bucket, results, submitted, float(out["wall_s"]))
     else:
+        plan = get_fault_plan()
         for bucket in buckets:
             started = time.time()
             t0 = time.perf_counter()
-            results = run_bucket(
-                [built[i].scenario for i in bucket.indices], bucket.shape
-            )
+            try:
+                if plan is not None:
+                    for i in bucket.indices:
+                        plan.maybe_inject(
+                            supported[i].task_id, 0, in_worker=False
+                        )
+                results = run_bucket(
+                    [built[i].scenario for i in bucket.indices], bucket.shape
+                )
+            except Exception:
+                demote(bucket)
+                continue
             stamp(bucket, results, started, time.perf_counter() - t0)
+    if demoted and telemetry.enabled:
+        telemetry.count("batch.demotions", demoted)
     for _, reason in fallback:
         count_fallback(reason)
     return handled
@@ -555,6 +640,30 @@ def matrix_fingerprint(
         "options": jsonify(options),
         "stepping": stepping,
     })
+
+
+def matrix_run_id(
+    archetypes: Sequence[Union[str, ScenarioSpec]],
+    scale: str = "tiny",
+    *,
+    stepping: Optional[SteppingPolicy] = None,
+    **options: Any,
+) -> str:
+    """The run-directory id a matrix campaign will store under.
+
+    Computable *before* the campaign runs (it hashes only inputs), which is
+    what lets the CLI place the progress journal inside the eventual run
+    directory and find it again for ``--resume``.  Matches
+    :func:`store_matrix` exactly — both derive from
+    :func:`matrix_fingerprint`.
+    """
+    specs = [ScenarioSpec.coerce(a) for a in archetypes]
+    opts = _normalize_options(options)
+    if stepping is not None and not stepping.is_adaptive:
+        stepping = None
+    stepping_dict = None if stepping is None else stepping.to_dict()
+    fp = matrix_fingerprint(specs, scale, opts, stepping_dict)
+    return f"matrix_{fp[:12]}"
 
 
 def _matrix_task_list(
@@ -691,6 +800,8 @@ def run_interference_matrix(
     stepping: Optional[SteppingPolicy] = None,
     progress: Optional[Callable[[str, bool], None]] = None,
     batch: bool = True,
+    fault_policy=None,
+    journal=None,
     **options: Any,
 ) -> InterferenceMatrix:
     """Run the all-pairs interference campaign over the given archetypes.
@@ -722,6 +833,18 @@ def run_interference_matrix(
         join each task's cache fingerprint.
     progress:
         Optional callback ``progress(task_id, from_cache)`` per finished task.
+    fault_policy:
+        Optional :class:`~repro.runner.executor.FaultPolicy`.  With one the
+        campaign runs *supervised*: failing tasks retry with backoff,
+        deadline overruns are interrupted, broken pools are rebuilt, and
+        tasks that exhaust their retries are quarantined — the campaign
+        completes and the returned matrix carries their
+        :attr:`~InterferenceMatrix.failed_tasks` records (pair cells that
+        lost a run, or either alone baseline, are simply absent).
+    journal:
+        Optional :class:`~repro.runner.journal.ProgressJournal`; every task
+        completion and quarantined failure appends one line, making an
+        interrupted campaign resumable.
     **options:
         Deployment knobs shared by every run: ``device``, ``sync_mode``,
         ``network``, ``stripe_kib``, ``delay`` (start offset of the second
@@ -772,8 +895,13 @@ def run_interference_matrix(
     batch_runner = None
     if batch:
         def batch_runner(pending):
-            return run_matrix_tasks_batched(pending, task_records, jobs=jobs)
+            return run_matrix_tasks_batched(
+                pending, task_records, jobs=jobs, fault_policy=fault_policy
+            )
 
+    failures: Optional[Dict[str, Dict[str, Any]]] = (
+        {} if fault_policy is not None else None
+    )
     with telemetry.span(
         f"matrix:{scale}",
         category="campaign",
@@ -790,14 +918,25 @@ def run_interference_matrix(
             progress=on_result,
             task_records=task_records,
             batch_runner=batch_runner,
+            fault_policy=fault_policy,
+            failures=failures,
+            journal=journal,
         )
 
+    # Assemble from whatever completed: a quarantined alone run drops its
+    # baseline (and every cell that needs it); a quarantined pair run drops
+    # just that cell.  A clean run takes the exact same path with nothing
+    # missing, so tolerance costs no bytes in the output.
     alone = {
-        name: float(results[f"alone:{name}"]["phase_time"]) for name in names
+        name: float(results[f"alone:{name}"]["phase_time"])
+        for name in names
+        if f"alone:{name}" in results
     }
     cells: Dict[str, PairCell] = {}
     for a, b in pair_ids:
-        payload = results[f"pair:{a}+{b}"]
+        payload = results.get(f"pair:{a}+{b}")
+        if payload is None or a not in alone or b not in alone:
+            continue
         phase_a, phase_b = payload["phase_times"]
         cells[_pair_key(a, b)] = PairCell(
             a=a,
@@ -815,6 +954,9 @@ def run_interference_matrix(
             },
         )
 
+    failed_tasks = (
+        [failures[task_id] for task_id in sorted(failures)] if failures else []
+    )
     return InterferenceMatrix(
         scale=str(scale),
         names=names,
@@ -824,6 +966,7 @@ def run_interference_matrix(
         stepping=stepping_dict,
         specs=[s.to_dict() for s in specs],
         task_records=task_records or {},
+        failed_tasks=failed_tasks,
     )
 
 

@@ -329,8 +329,10 @@ class TestMatrixBatching:
 
         seen = {}
 
-        def spy(pending, task_records=None, *, jobs=1):  # pragma: no cover
+        def spy(pending, task_records=None, *, jobs=1,
+                fault_policy=None):  # pragma: no cover
             seen["jobs"] = jobs
+            seen["fault_policy"] = fault_policy
             return {}
 
         import unittest.mock as mock

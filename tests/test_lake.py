@@ -121,6 +121,50 @@ class TestReconciliation:
         assert len(view.entries) == 1
         assert view.entries[0]["headline"] == {"v": 2.0}
 
+    def test_corrupt_index_lines_are_skipped_and_counted(self, lake_dir):
+        cache = ResultCache(lake_dir)
+        with open(cache.index_path, "ab") as handle:
+            handle.write(b'{"fingerprint": "torn-by-a-k')  # torn final line
+        view = load_lake(lake_dir)
+        assert view.corrupt_lines == 1
+        assert len(view.entries) == 3
+        assert view.entries == scan_lake(lake_dir)
+
+    def test_binary_garbage_in_index_does_not_poison_the_read(self, lake_dir):
+        cache = ResultCache(lake_dir)
+        raw = cache.index_path.read_bytes().splitlines(keepends=True)
+        # Corrupt the *middle* line: later valid lines must still parse.
+        raw[1] = b"\xff\xfe\x00 binary garbage \xba\xad\n"
+        cache.index_path.write_bytes(b"".join(raw))
+        view = load_lake(lake_dir)
+        assert view.corrupt_lines == 1
+        # The object whose line was destroyed is healed by the backfill.
+        assert len(view.backfilled) == 1
+        assert len(view.entries) == 3
+        assert view.entries == scan_lake(lake_dir)
+
+    def test_compact_heals_corrupt_lines(self, lake_dir):
+        cache = ResultCache(lake_dir)
+        with open(cache.index_path, "ab") as handle:
+            handle.write(b"not json at all\n")
+        assert load_lake(lake_dir).corrupt_lines == 1
+        cache.compact_index()
+        view = load_lake(lake_dir)
+        assert view.corrupt_lines == 0
+        assert view.coherent
+        assert len(view.entries) == 3
+
+    def test_corrupt_lines_counter_emitted(self, lake_dir):
+        from repro.obs.telemetry import telemetry_session
+
+        cache = ResultCache(lake_dir)
+        with open(cache.index_path, "ab") as handle:
+            handle.write(b"garbage\n")
+        with telemetry_session("lake-corrupt") as telemetry:
+            load_lake(lake_dir)
+            counters = telemetry.snapshot()["counters"]
+        assert counters["lake.reconcile.corrupt_lines"] == 1
+
 
 # --------------------------------------------------------------------------- #
 # Field resolution / filters / sort / aggregate

@@ -133,6 +133,29 @@ class TestSummarizeDocument:
         assert "shadowed 4 duplicates" in report
         assert "compaction kept 12 lines, dropped 5" in report
 
+    def test_resilience_section_reports_recovery_paths(self):
+        t = Telemetry(label="chaos")
+        t.count("executor.retries", 5)
+        t.count("executor.timeouts", 1)
+        t.count("executor.quarantined", 1)
+        t.count("executor.pool_rebuilds", 2)
+        t.count("batch.demotions", 3)
+        report = summarize_document(t.to_document())
+        assert "resilience" in report
+        assert "5 retries, 1 timeouts, 1 quarantined, 2 pool rebuilds" in report
+        assert "3 bucket members demoted to scalar execution" in report
+
+    def test_resilience_section_absent_on_fault_free_runs(self):
+        report = summarize_document(Telemetry().to_document())
+        assert "resilience" not in report
+
+    def test_lake_section_reports_corrupt_lines(self):
+        t = Telemetry(label="lake")
+        t.count("lake.entries", 3)
+        t.count("lake.reconcile.corrupt_lines", 2)
+        report = summarize_document(t.to_document())
+        assert "skipped 2 corrupt index lines (compact heals them)" in report
+
     def test_batching_section_reports_share(self):
         t = Telemetry(label="batched")
         t.count("batch.buckets", 3)

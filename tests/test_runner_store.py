@@ -123,3 +123,57 @@ class TestRunStore:
         store = RunStore(tmp_path)
         path = store.write_run("a/b", seed=0, config={}, artifacts={"f": "x"})
         assert path.parent == store.root
+
+
+class TestAtomicWrites:
+    def test_write_run_leaves_no_tmp_debris(self, tmp_path):
+        write_run(
+            tmp_path / "run", run_id="r", seed=1, config={},
+            artifacts={"a.json": "{}", "nested/b.txt": "hello"},
+        )
+        assert list((tmp_path / "run").glob("**/*.tmp")) == []
+        ok, issues = verify_manifest(tmp_path / "run")
+        assert ok, issues
+
+    def test_atomic_write_failure_leaves_target_untouched(self, tmp_path):
+        from repro.runner.store import atomic_write_text
+
+        target = tmp_path / "artifact.json"
+        target.write_text("original", encoding="utf-8")
+
+        class Boom(Exception):
+            pass
+
+        class ExplodingStr(str):
+            def __str__(self):
+                raise Boom()
+
+        # A write that fails mid-flight (simulated by a content object that
+        # explodes on use) must not replace or truncate the target.
+        with pytest.raises(TypeError):
+            atomic_write_text(target, object())  # not a string at all
+        assert target.read_text(encoding="utf-8") == "original"
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_store_open_sweeps_stale_tmp_from_run_dirs(self, tmp_path):
+        import os
+        import time as time_mod
+
+        store = RunStore(tmp_path)
+        store.write_run("r1", seed=1, config={}, artifacts={"a.json": "{}"})
+        stale = tmp_path / "r1" / "tmpabc123.tmp"
+        stale.write_text("abandoned", encoding="utf-8")
+        old = time_mod.time() - 7200
+        os.utime(stale, (old, old))
+        fresh = tmp_path / "r1" / "tmpdef456.tmp"
+        fresh.write_text("live writer", encoding="utf-8")
+
+        reopened = RunStore(tmp_path)
+        assert reopened.swept_tmp == 1
+        assert not stale.exists()
+        assert fresh.exists()  # young temp: a concurrent writer may own it
+
+    def test_sweep_missing_root_is_zero(self, tmp_path):
+        from repro.runner.store import sweep_stale_tmp
+
+        assert sweep_stale_tmp(tmp_path / "nowhere") == 0

@@ -202,3 +202,75 @@ class TestStore:
         assert first == second  # same fingerprint-derived run id
         manifest_2 = (root / second.split("/")[-1] / "manifest.json").read_bytes()
         assert manifest_1 == manifest_2  # byte-identical re-store
+
+
+class TestDegradationAndResume:
+    def test_matrix_run_id_is_deterministic_and_input_only(self):
+        from repro.scenarios.matrix import matrix_run_id
+
+        a = matrix_run_id(ARCHES, "tiny", device="hdd")
+        assert a == matrix_run_id(ARCHES, "tiny", device="hdd")
+        assert a.startswith("matrix_")
+        assert a != matrix_run_id(ARCHES, "tiny", device="ssd")
+        assert a != matrix_run_id(ARCHES, "reduced", device="hdd")
+
+    def test_transient_bucket_fault_demotes_to_scalar(self, tmp_path):
+        """A failing bucket degrades its members to scalar execution.
+
+        The fault fires once per member on attempt 0 (the bucket pass);
+        the demoted scalar attempt re-injects, and the scalar retry then
+        completes — so the matrix comes out whole, with the demotion and
+        retries visible in the counters and no quarantined tasks.
+        """
+        from repro.obs.telemetry import telemetry_session
+        from repro.runner.chaos import FaultPlan, FaultSpec, fault_plan
+        from repro.runner.executor import FaultPolicy
+
+        policy = FaultPolicy(max_retries=2, backoff_base_s=0.001,
+                             backoff_cap_s=0.002)
+        plan = FaultPlan.of(
+            FaultSpec(match="pair:checkpoint+analytics", times=1)
+        )
+        with telemetry_session("demotion") as telemetry:
+            with fault_plan(plan):
+                matrix = run_interference_matrix(
+                    ARCHES, "tiny", cache_dir=str(tmp_path / "cache"),
+                    fault_policy=policy,
+                )
+            counters = telemetry.snapshot()["counters"]
+        assert counters["batch.demotions"] >= 1
+        assert matrix.failed_tasks == []
+        assert matrix.cell("checkpoint", "analytics") is not None
+
+    def test_quarantined_pair_yields_partial_matrix(self, tmp_path):
+        from repro.runner.chaos import FaultPlan, FaultSpec, fault_plan
+        from repro.runner.executor import FaultPolicy
+
+        policy = FaultPolicy(max_retries=0, backoff_base_s=0.001,
+                             backoff_cap_s=0.002)
+        plan = FaultPlan.of(
+            FaultSpec(match="pair:checkpoint+analytics", times=99)
+        )
+        with fault_plan(plan):
+            matrix = run_interference_matrix(
+                ARCHES, "tiny", cache_dir=str(tmp_path / "cache"),
+                fault_policy=policy,
+            )
+        assert [f["task_id"] for f in matrix.failed_tasks] == [
+            "pair:checkpoint+analytics"
+        ]
+        assert matrix.cell_or_none("checkpoint", "analytics") is None
+        with pytest.raises(AnalysisError):
+            matrix.cell("checkpoint", "analytics")
+        assert "quarantined" in matrix.describe()
+        # The report renders the degraded matrix without raising, with a
+        # dash for the missing cell and the quarantine table at the end.
+        report = matrix_report_markdown(matrix)
+        assert "Failed tasks (quarantined)" in report
+        assert "—" in matrix_heatmap_markdown(matrix)
+
+    def test_failed_tasks_round_trip_and_stay_absent_when_clean(self, tiny_matrix):
+        document = tiny_matrix.to_dict()
+        assert "failed_tasks" not in document  # clean runs keep the old shape
+        clone = InterferenceMatrix.from_dict(document)
+        assert clone.failed_tasks == []

@@ -537,7 +537,10 @@ def build_parser() -> argparse.ArgumentParser:
     matrix_parser.add_argument(
         "--task-timeout", type=_task_timeout, default=None, metavar="SECONDS",
         help="wall-clock deadline per task; a task exceeding it is "
-             "interrupted and retried (default: no deadline)",
+             "interrupted and retried (default: no deadline).  With "
+             "--jobs 1 only the in-process signal guard enforces it, which "
+             "cannot interrupt a task stuck in native code — use --jobs 2 "
+             "or more for the parent watchdog",
     )
     matrix_parser.add_argument(
         "--max-retries", type=_max_retries, default=2, metavar="N",
@@ -1489,14 +1492,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return _dispatch(args, parser)
     except KeyboardInterrupt:
-        # Completed results are already in the cache and the progress
-        # journal was appended line-by-line, so an interrupted campaign
-        # loses nothing that finished.  Exit code 130 = 128 + SIGINT.
-        print(
-            "interrupted; completed tasks are cached — "
-            "re-run with --resume to continue",
-            file=sys.stderr,
-        )
+        # Exit code 130 = 128 + SIGINT.  Only campaign/matrix runs have
+        # cache + journal resume semantics; other commands get the plain
+        # one-liner so the hint never promises a --resume that isn't there.
+        if getattr(args, "command", None) in ("campaign", "matrix"):
+            print(
+                "interrupted; completed tasks are cached — "
+                "re-run with --resume to continue",
+                file=sys.stderr,
+            )
+        else:
+            print("interrupted", file=sys.stderr)
         return 130
 
 

@@ -261,8 +261,14 @@ def get_fault_plan() -> Optional[FaultPlan]:
         return _ENV_CACHE[1]
     text = raw
     if not raw.lstrip().startswith("{"):
-        with open(raw, "r", encoding="utf-8") as handle:
-            text = handle.read()
+        try:
+            with open(raw, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise ReproError(
+                f"{CHAOS_ENV_VAR} names an unreadable fault-plan file "
+                f"{raw!r}: {exc}"
+            ) from None
     plan = FaultPlan.from_json(text)
     _ENV_CACHE = (raw, plan)
     return plan

@@ -181,10 +181,23 @@ def run_probe_task(payload: Dict[str, Any], seed: Optional[int]) -> Dict[str, An
 
     Exists for the supervision and chaos tests — a task kind with no model
     dependencies whose wall-clock behaviour (``sleep_s``) and output
-    (``value``) are fully controlled by the payload.
+    (``value``) are fully controlled by the payload.  With
+    ``uninterruptible`` the sleep swallows the deadline guard's
+    :class:`TaskTimeout` and keeps sleeping — simulating a task stuck in
+    native code that only the parent watchdog can reclaim.
     """
     delay = float(payload.get("sleep_s", 0.0))
-    if delay > 0.0:
+    if delay > 0.0 and payload.get("uninterruptible"):
+        end = time.monotonic() + delay
+        while True:
+            remaining = end - time.monotonic()
+            if remaining <= 0.0:
+                break
+            try:
+                time.sleep(remaining)
+            except TaskTimeout:
+                continue
+    elif delay > 0.0:
         time.sleep(delay)
     return {
         "value": payload.get("value"),
@@ -250,6 +263,13 @@ class FaultPolicy:
     task's deadline before concluding the worker-side guard failed (a worker
     stuck in C code cannot be interrupted by a signal-raised exception) and
     tearing the pool down.
+
+    Serial caveat: with ``jobs=1`` tasks run in the supervisor process
+    itself, so the in-process SIGALRM guard is the *only* deadline
+    enforcement — there is no pool for the parent watchdog to tear down,
+    and a task stuck in C code that never returns to the interpreter hangs
+    the campaign despite ``task_timeout_s``.  Use ``jobs >= 2`` when
+    stuck-in-native-code tasks are a real risk.
     """
 
     task_timeout_s: Optional[float] = None
@@ -794,7 +814,12 @@ class ParallelExecutor:
                     ]
                     victims = [inflight[future] for future in overdue]
                     inflight.clear()
-                    pool = rebuild_pool(pool, terminate=True)
+                    # Requeue before rebuilding (as in the BrokenExecutor
+                    # branch): rebuild_pool sizes the new pool from the
+                    # waiting queue, so victims and survivors must be back
+                    # in it first — otherwise an all-in-flight stall leaves
+                    # a one-worker pool serving up to ``jobs`` submissions,
+                    # and queue wait counts against the next hard deadline.
                     for meta in victims:
                         requeue(
                             meta,
@@ -806,6 +831,7 @@ class ParallelExecutor:
                         )
                     for meta in survivors:
                         waiting.append((meta.task, meta.attempt, 0.0))
+                    pool = rebuild_pool(pool, terminate=True)
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
         return [results_by_id.get(task.task_id) for task in tasks]

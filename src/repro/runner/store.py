@@ -84,6 +84,11 @@ def atomic_write_text(path: Union[str, Path], content: str) -> None:
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
             handle.write(content)
+        # mkstemp creates the file 0600; widen to the umask-default mode so
+        # atomic writes don't silently tighten permissions on shared stores.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(tmp, 0o666 & ~umask)
         os.replace(tmp, target)
     except BaseException:
         try:

@@ -138,6 +138,14 @@ class TestActivation:
         monkeypatch.setenv(CHAOS_ENV_VAR, str(path))
         assert get_fault_plan() == plan
 
+    def test_env_unreadable_file_path_raises_repro_error(
+        self, tmp_path, monkeypatch
+    ):
+        missing = tmp_path / "no_such_plan.json"
+        monkeypatch.setenv(CHAOS_ENV_VAR, str(missing))
+        with pytest.raises(ReproError, match=CHAOS_ENV_VAR):
+            get_fault_plan()
+
     def test_override_wins_over_env(self, monkeypatch):
         env_plan = FaultPlan.of(FaultSpec(match="env"))
         override = FaultPlan.of(FaultSpec(match="override"))

@@ -284,6 +284,21 @@ class TestFaultToleranceCli:
             raise KeyboardInterrupt()
 
         monkeypatch.setattr(cli_module, "_dispatch", interrupted)
-        assert main(["lake", "stats"]) == 130
+        assert main(["matrix", "--archetypes", "checkpoint,analytics"]) == 130
         err = capsys.readouterr().err
         assert "--resume" in err
+
+    def test_keyboard_interrupt_hint_scoped_to_resumable_commands(
+        self, capsys, monkeypatch
+    ):
+        import repro.cli as cli_module
+
+        def interrupted(args, parser):
+            raise KeyboardInterrupt()
+
+        monkeypatch.setattr(cli_module, "_dispatch", interrupted)
+        # lake has no cache/journal resume semantics — no misleading hint.
+        assert main(["lake", "stats"]) == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "--resume" not in err

@@ -155,6 +155,21 @@ class TestAtomicWrites:
         assert target.read_text(encoding="utf-8") == "original"
         assert list(tmp_path.glob("*.tmp")) == []
 
+    def test_atomic_write_respects_umask(self, tmp_path):
+        import os
+
+        from repro.runner.store import atomic_write_text
+
+        target = tmp_path / "artifact.json"
+        previous = os.umask(0o022)
+        try:
+            atomic_write_text(target, "{}")
+        finally:
+            os.umask(previous)
+        # mkstemp creates 0600 temps; the write must widen to the
+        # umask-default mode so shared run stores stay group-readable.
+        assert (target.stat().st_mode & 0o777) == 0o644
+
     def test_store_open_sweeps_stale_tmp_from_run_dirs(self, tmp_path):
         import os
         import time as time_mod

@@ -178,6 +178,47 @@ class TestSupervisedPool:
         results = ParallelExecutor(jobs=2, fault_policy=policy).map(tasks)
         assert [r["value"] for r in results] == list(range(8))
 
+    def test_watchdog_rebuild_sized_for_requeued_victims(self, monkeypatch):
+        """Every-task-stuck must rebuild a full-width pool, not one worker.
+
+        Regression: the watchdog used to rebuild *before* requeueing
+        victims, sizing the new pool from an empty waiting queue — a single
+        worker then served up to ``jobs`` resubmissions, and the queue wait
+        counted against the hard deadline, falsely timing out healthy
+        retries.  Uninterruptible probes (they swallow the worker-side
+        TaskTimeout) force the parent-watchdog path deterministically.
+        """
+        sizes = []
+        original = ParallelExecutor._new_pool
+
+        def spying_new_pool(self, backlog):
+            pool = original(self, backlog)
+            sizes.append(pool._max_workers)
+            return pool
+
+        monkeypatch.setattr(ParallelExecutor, "_new_pool", spying_new_pool)
+        policy = FaultPolicy(task_timeout_s=0.2, grace_s=0.2, max_retries=1,
+                             backoff_base_s=0.001, backoff_cap_s=0.002)
+
+        def hang(task_id):
+            return TaskSpec(
+                task_id=task_id, kind="probe",
+                payload={"sleep_s": 30.0, "uninterruptible": True}, seed=1,
+            )
+
+        failures = {}
+        results = ParallelExecutor(jobs=2, fault_policy=policy).map(
+            [hang("h0"), hang("h1")], failures=failures
+        )
+        assert results == [None, None]
+        assert set(failures) == {"h0", "h1"}
+        assert all(f["reason"] == "timeout" for f in failures.values())
+        # sizes[0] is the initial pool; sizes[1] is the rebuild after the
+        # first watchdog sweep, which must be full width because both
+        # victims were requeued for their retry before the rebuild.
+        assert sizes[0] == 2
+        assert sizes[1] == 2
+
 
 class TestTaskTimeoutError:
     def test_is_picklable(self):
